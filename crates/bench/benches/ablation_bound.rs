@@ -1,0 +1,42 @@
+//! Ablation: how much tightness the mixed bound's chain constraint buys
+//! over the plain area bound (the design choice of paper Section III-A).
+//!
+//! Prints the bound values per size once, then benchmarks the marginal
+//! cost of the extra constraint.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetchol_bounds::BoundSet;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+
+fn ablation(c: &mut Criterion) {
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+
+    println!("# Ablation: area vs mixed bound tightness (GFLOP/s upper bounds)");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>10}",
+        "tiles", "area", "mixed", "crit.path", "mixed/area"
+    );
+    for &n in &[4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let set = BoundSet::compute(n, &platform, &profile);
+        println!(
+            "{:>6} {:>12.1} {:>12.1} {:>12.1} {:>10.3}",
+            n,
+            set.area_gflops(),
+            set.mixed_gflops(),
+            set.critical_path_gflops(),
+            set.mixed_gflops() / set.area_gflops()
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_bound");
+    group.sample_size(10);
+    group.bench_function("bound_set_n16", |b| {
+        b.iter(|| BoundSet::compute(16, &platform, &profile))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Ablation: PCI bandwidth sweep — when do communications start to hurt?
+//! Justifies the paper's communication-free bound comparisons ("data
+//! transfers are largely overlapped with kernel computation").
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetchol_bench::{sim_gflops, SchedKind};
+use hetchol_core::platform::{CommModel, Platform};
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::time::Time;
+use hetchol_sim::SimOptions;
+
+fn ablation(c: &mut Criterion) {
+    let profile = TimingProfile::mirage();
+    let n = 16;
+
+    println!("# Ablation: dmda GFLOP/s at n = 16 vs PCI bandwidth");
+    println!("{:>12} {:>10}", "bandwidth", "GFLOP/s");
+    let free = sim_gflops(
+        n,
+        &Platform::mirage().without_comm(),
+        &profile,
+        SchedKind::Dmda,
+        &SimOptions::default(),
+    );
+    println!("{:>12} {free:>10.2}", "infinite");
+    for &gbps in &[16.0f64, 8.0, 4.0, 2.0, 1.0, 0.5] {
+        let platform = Platform::mirage().with_comm(CommModel {
+            latency: Time::from_micros(10),
+            bandwidth: gbps * 1e9,
+        });
+        let g = sim_gflops(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
+        println!("{:>10.1}GB {g:>10.2}", gbps);
+    }
+
+    let mut group = c.benchmark_group("ablation_comm");
+    group.sample_size(10);
+    group.bench_function("dmda_8gbps_n16", |b| {
+        b.iter(|| {
+            sim_gflops(
+                n,
+                &Platform::mirage(),
+                &profile,
+                SchedKind::Dmda,
+                &SimOptions::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Ablation: performance as a function of the triangle-TRSM offset `k`
+//! (the design knob of paper Figures 9–11; best around `k = 6–8`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetchol_bench::{sim_gflops, SchedKind};
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_sim::SimOptions;
+
+fn ablation(c: &mut Criterion) {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+
+    println!("# Ablation: triangle-TRSM offset k at n = 16 (simulated GFLOP/s)");
+    println!("{:>6} {:>10}", "k", "GFLOP/s");
+    let dmdas = sim_gflops(16, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+    for k in 1..16u32 {
+        let g = sim_gflops(
+            16,
+            &platform,
+            &profile,
+            SchedKind::TriangleTrsm(k),
+            &SimOptions::default(),
+        );
+        println!("{k:>6} {g:>10.2}");
+    }
+    println!("{:>6} {dmdas:>10.2}", "dmdas");
+
+    let mut group = c.benchmark_group("ablation_k");
+    group.sample_size(10);
+    group.bench_function("triangle_k6_n16", |b| {
+        b.iter(|| {
+            sim_gflops(
+                16,
+                &platform,
+                &profile,
+                SchedKind::TriangleTrsm(6),
+                &SimOptions::default(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

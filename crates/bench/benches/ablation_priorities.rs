@@ -1,0 +1,41 @@
+//! Ablation: what the HEFT priorities of `dmdas` buy (or cost) over plain
+//! FIFO `dmda` — quantifying the Figure 12 idle-time defect across sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetchol_bench::{sim_result, SchedKind};
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_sim::SimOptions;
+
+fn ablation(c: &mut Criterion) {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+
+    println!("# Ablation: dmda (FIFO) vs dmdas (priority-sorted), GPU idle %");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>10}",
+        "tiles", "dmda GF/s", "dmdas GF/s", "idle dmda", "idle dmdas"
+    );
+    for &n in &[4usize, 8, 12, 16, 24, 32] {
+        let a = sim_result(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
+        let b = sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>9.1}% {:>9.1}%",
+            n,
+            a.gflops(n, profile.nb()),
+            b.gflops(n, profile.nb()),
+            a.trace.idle_fraction(9..12) * 100.0,
+            b.trace.idle_fraction(9..12) * 100.0,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_priorities");
+    group.sample_size(10);
+    group.bench_function("dmdas_n16", |b| {
+        b.iter(|| sim_result(16, &platform, &profile, SchedKind::Dmdas, &SimOptions::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, ablation);
+criterion_main!(benches);

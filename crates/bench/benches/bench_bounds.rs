@@ -1,0 +1,30 @@
+//! Criterion benchmark of the bound computations — the paper stresses the
+//! mixed-bound LP "can be solved very quickly ... right after the
+//! application execution"; this bench quantifies that for our simplex.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetchol_bounds::{area_bound, mixed_bound, BoundSet};
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+
+fn bench_bounds(c: &mut Criterion) {
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    let mut group = c.benchmark_group("bounds");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("area", n), &n, |b, &n| {
+            b.iter(|| area_bound(n, &platform, &profile))
+        });
+        group.bench_with_input(BenchmarkId::new("mixed", n), &n, |b, &n| {
+            b.iter(|| mixed_bound(n, &platform, &profile))
+        });
+        group.bench_with_input(BenchmarkId::new("full_set", n), &n, |b, &n| {
+            b.iter(|| BoundSet::compute(n, &platform, &profile))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

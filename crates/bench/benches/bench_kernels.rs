@@ -1,0 +1,56 @@
+//! Criterion benchmark of the real tile kernels (the `hetchol-linalg`
+//! substrate): GFLOP/s of POTRF/TRSM/SYRK/GEMM at several tile sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetchol_linalg::generate::random_spd;
+use hetchol_linalg::{gemm_update, potrf_tile, syrk_update, trsm_solve};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tile_kernels");
+    group.sample_size(10);
+    for &nb in &[64usize, 128, 256] {
+        let spd = random_spd(nb, 1).data().to_vec();
+        let factored = {
+            let mut f = spd.clone();
+            potrf_tile(&mut f, nb).unwrap();
+            f
+        };
+        let generic = random_spd(nb, 2).data().to_vec();
+        let generic2 = random_spd(nb, 3).data().to_vec();
+
+        group.throughput(Throughput::Elements((nb * nb * nb) as u64));
+        group.bench_with_input(BenchmarkId::new("potrf", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut a = spd.clone();
+                potrf_tile(black_box(&mut a), nb).unwrap();
+                a
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("trsm", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut x = generic.clone();
+                trsm_solve(black_box(&mut x), &factored, nb);
+                x
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("syrk", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut cmat = generic.clone();
+                syrk_update(black_box(&mut cmat), &generic2, nb);
+                cmat
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("gemm", nb), &nb, |b, &nb| {
+            b.iter(|| {
+                let mut cmat = generic.clone();
+                gemm_update(black_box(&mut cmat), &generic2, &factored, nb);
+                cmat
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

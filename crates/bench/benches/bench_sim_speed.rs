@@ -1,0 +1,32 @@
+//! Criterion benchmark of the discrete-event simulator itself: simulated
+//! tasks per second for `dmda` on the Mirage platform — the engineering
+//! budget behind "several simulations can be run in parallel" (paper
+//! Section IV-C).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetchol_bench::{sim_result, SchedKind};
+use hetchol_core::kernel::Kernel;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_sim::SimOptions;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for &n in &[8usize, 16, 32] {
+        let platform = Platform::mirage();
+        let profile = TimingProfile::mirage();
+        group.throughput(Throughput::Elements(Kernel::total_cholesky_tasks(n) as u64));
+        group.bench_with_input(BenchmarkId::new("dmda_with_comm", n), &n, |b, &n| {
+            b.iter(|| sim_result(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default()))
+        });
+        let no_comm = platform.without_comm();
+        group.bench_with_input(BenchmarkId::new("dmdas_comm_free", n), &n, |b, &n| {
+            b.iter(|| sim_result(n, &no_comm, &profile, SchedKind::Dmdas, &SimOptions::default()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

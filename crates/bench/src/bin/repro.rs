@@ -1,0 +1,177 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! Usage:
+//! ```text
+//! repro all                  # everything below, in order
+//! repro table1               # Table I: GPU/CPU kernel speedups
+//! repro kfactors             # Section V-C2 acceleration factors K(n)
+//! repro fig1                 # 5x5 Cholesky DAG (DOT)
+//! repro fig2                 # theoretical upper bounds
+//! repro fig3 .. fig8         # scheduler curves (see DESIGN.md)
+//! repro fig9 [n] [k]         # TRSMs forced on CPUs (ASCII triangle)
+//! repro fig10 [--cp-budget N]  # static knowledge vs bounds (CP inside)
+//! repro fig11                # actual mode with static knowledge
+//! repro fig12                # GPU Gantt traces, dmda vs dmdas
+//! repro hint-gemmsyrk        # Section V-C3 first experiment
+//! repro mapping-only         # Section VI-B experiment
+//! repro sweep-k [n]          # makespan vs triangle offset k
+//!
+//! Add `--csv` to print figures as CSV instead of aligned tables.
+//! ```
+
+use hetchol_bench as bench;
+use hetchol_core::metrics::Figure;
+use hetchol_cp::CpOptions;
+
+struct Args {
+    csv: bool,
+    json: bool,
+    cp_budget: usize,
+    rest: Vec<String>,
+}
+
+fn parse_args() -> Args {
+    let mut csv = false;
+    let mut json = false;
+    let mut cp_budget = 30_000usize;
+    let mut rest = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--csv" => csv = true,
+            "--json" => json = true,
+            "--cp-budget" => {
+                cp_budget = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--cp-budget needs an integer"));
+            }
+            _ => rest.push(a),
+        }
+    }
+    Args {
+        csv,
+        json,
+        cp_budget,
+        rest,
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2)
+}
+
+fn emit(fig: &Figure, args: &Args) {
+    if args.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(fig).expect("figures serialize")
+        );
+    } else if args.csv {
+        print!("{}", fig.to_csv());
+        println!();
+    } else {
+        print!("{}", fig.to_table());
+        println!();
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let cmd = args.rest.first().map(String::as_str).unwrap_or("help");
+    let cp_opts = CpOptions {
+        anneal_iters: args.cp_budget,
+        node_limit: args.cp_budget,
+        seed: 0,
+    };
+
+    let run_one = |name: &str| match name {
+        "table1" => print!("{}", bench::table1()),
+        "kfactors" => print!("{}", bench::kfactors()),
+        "fig1" => print!("{}", bench::figure1()),
+        "fig2" => emit(&bench::figure2(), &args),
+        "fig3" => emit(&bench::figure3(), &args),
+        "fig4" => emit(&bench::figure4(), &args),
+        "fig5" => emit(&bench::figure5(), &args),
+        "fig6" => emit(&bench::figure6(), &args),
+        "fig7" => emit(&bench::figure7(), &args),
+        "fig8" => emit(&bench::figure8(), &args),
+        "fig9" => {
+            let n = args
+                .rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(10usize);
+            let k = args.rest.get(2).and_then(|v| v.parse().ok()).unwrap_or(3u32);
+            print!("{}", bench::figure9(n, k));
+        }
+        "fig10" => emit(&bench::figure10(&cp_opts, 16), &args),
+        "fig11" => emit(&bench::figure11(), &args),
+        "fig12" => print!("{}", bench::figure12()),
+        "hint-gemmsyrk" => emit(&bench::figure_hint_gemmsyrk(), &args),
+        "mapping-only" => emit(&bench::figure_mapping_only(&cp_opts, &[4, 8, 12]), &args),
+        "lu" => emit(&bench::figure_algo(hetchol_core::algorithm::Algorithm::Lu), &args),
+        "qr" => emit(&bench::figure_algo(hetchol_core::algorithm::Algorithm::Qr), &args),
+        "sweep-k" => {
+            let n = args
+                .rest
+                .get(1)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(16usize);
+            let platform = hetchol_core::platform::Platform::mirage().without_comm();
+            let profile = hetchol_core::profiles::TimingProfile::mirage();
+            println!("# Triangle hint sweep at n={n} (simulated, GFLOP/s)");
+            println!("{:>6} {:>10}", "k", "GFLOP/s");
+            for k in 1..n as u32 {
+                let g = bench::sim_gflops(
+                    n,
+                    &platform,
+                    &profile,
+                    bench::SchedKind::TriangleTrsm(k),
+                    &hetchol_sim::SimOptions::default(),
+                );
+                println!("{k:>6} {g:>10.2}");
+            }
+        }
+        other => die(&format!("unknown subcommand `{other}`; try `repro help`")),
+    };
+
+    match cmd {
+        "help" | "--help" | "-h" => {
+            println!(
+                "repro — regenerate the paper's tables and figures\n\
+                 subcommands: all table1 kfactors fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8\n\
+                 \u{20}            fig9 [n k]  fig10  fig11  fig12  hint-gemmsyrk  mapping-only  sweep-k [n]\n\
+                 \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
+                 flags: --csv  --json  --cp-budget <iters>"
+            );
+        }
+        "all" => {
+            for name in [
+                "table1",
+                "kfactors",
+                "fig2",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "fig8",
+                "fig9",
+                "fig10",
+                "fig11",
+                "fig12",
+                "hint-gemmsyrk",
+                "mapping-only",
+                "lu",
+                "qr",
+            ] {
+                println!("================================================================");
+                run_one(name);
+                println!();
+            }
+        }
+        name => run_one(name),
+    }
+}

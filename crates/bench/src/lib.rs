@@ -1,0 +1,756 @@
+//! # hetchol-bench
+//!
+//! The reproduction harness: one function per table/figure of the paper,
+//! shared by the `repro` binary and the criterion benches. Each function
+//! returns a [`Figure`] (labelled series over matrix sizes) that the
+//! binary renders as an aligned table or CSV — the textual equivalent of
+//! the paper's plots.
+
+use hetchol_bounds::BoundSet;
+use hetchol_core::algorithm::Algorithm;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::metrics::{Figure, Series};
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::scheduler::Scheduler;
+use hetchol_cp::{optimize_from, CpOptions};
+use hetchol_sched::{
+    Dmda, Dmdas, EagerScheduler, GemmSyrkOnGpu, MappingInjector, RandomScheduler,
+    ScheduleInjector, TriangleTrsmOnCpu,
+};
+use hetchol_sim::{simulate, SimOptions, SimResult};
+
+/// The matrix sizes (in 960-tiles) of every plot in the paper.
+pub const PAPER_SIZES: [usize; 8] = [4, 8, 12, 16, 20, 24, 28, 32];
+
+/// Number of repetitions behind every "actual execution" data point
+/// (paper: "we provide the average and standard deviation of 10 runs").
+pub const ACTUAL_RUNS: u64 = 10;
+
+/// Scheduler selector used across the harness.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SchedKind {
+    /// StarPU's `random`.
+    Random,
+    /// StarPU's `eager` (model-free greedy baseline).
+    Eager,
+    /// StarPU's `dmda`.
+    Dmda,
+    /// StarPU's `dmdas` (HEFT-like).
+    Dmdas,
+    /// `dmdas` + GEMM/SYRK forced on GPUs.
+    GemmSyrkGpu,
+    /// `dmdas` + TRSMs ≥ `k` tiles below the diagonal forced on CPUs.
+    TriangleTrsm(u32),
+}
+
+impl SchedKind {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            SchedKind::Random => "random".into(),
+            SchedKind::Eager => "eager".into(),
+            SchedKind::Dmda => "dmda".into(),
+            SchedKind::Dmdas => "dmdas".into(),
+            SchedKind::GemmSyrkGpu => "gemm+syrk on gpu".into(),
+            SchedKind::TriangleTrsm(k) => format!("triangle trsms on cpu (k={k})"),
+        }
+    }
+
+    /// Instantiate the scheduler; `seed` only matters for `random`.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler + Send> {
+        match self {
+            SchedKind::Random => Box::new(RandomScheduler::new(seed)),
+            SchedKind::Eager => Box::new(EagerScheduler::new()),
+            SchedKind::Dmda => Box::new(Dmda::new()),
+            SchedKind::Dmdas => Box::new(Dmdas::new()),
+            SchedKind::GemmSyrkGpu => Box::new(GemmSyrkOnGpu(Dmdas::new())),
+            SchedKind::TriangleTrsm(k) => Box::new(TriangleTrsmOnCpu(Dmdas::new(), k)),
+        }
+    }
+
+    /// Whether the scheduler itself is stochastic (needs averaging even in
+    /// deterministic simulation mode).
+    pub fn stochastic(self) -> bool {
+        matches!(self, SchedKind::Random)
+    }
+}
+
+/// Run one simulation and return achieved GFLOP/s.
+pub fn sim_gflops(
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+    kind: SchedKind,
+    opts: &SimOptions,
+) -> f64 {
+    sim_result(n, platform, profile, kind, opts).gflops(n, profile.nb())
+}
+
+/// Run one simulation and return the full result.
+pub fn sim_result(
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+    kind: SchedKind,
+    opts: &SimOptions,
+) -> SimResult {
+    let graph = TaskGraph::cholesky(n);
+    let mut scheduler = kind.build(opts.seed);
+    simulate(&graph, platform, profile, scheduler.as_mut(), opts)
+}
+
+/// Run one simulation of any supported factorization.
+pub fn sim_result_algo(
+    algo: Algorithm,
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+    kind: SchedKind,
+    opts: &SimOptions,
+) -> SimResult {
+    let graph = algo.graph(n);
+    let mut scheduler = kind.build(opts.seed);
+    simulate(&graph, platform, profile, scheduler.as_mut(), opts)
+}
+
+/// The paper's methodology applied to another factorization (its stated
+/// future work): scheduler comparison against the generalised mixed bound
+/// and kernel peak, simulated on the comm-free Mirage platform.
+pub fn figure_algo(algo: Algorithm) -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let mut fig = Figure::new(
+        format!(
+            "Extension: {} factorization, simulated Mirage (comm-free)",
+            algo.label()
+        ),
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [
+        SchedKind::Random,
+        SchedKind::Eager,
+        SchedKind::Dmda,
+        SchedKind::Dmdas,
+    ] {
+        let mut s = Series::new(kind.label());
+        for &n in &PAPER_SIZES {
+            if kind.stochastic() {
+                let samples: Vec<f64> = (0..ACTUAL_RUNS)
+                    .map(|seed| {
+                        let opts = SimOptions {
+                            seed,
+                            ..SimOptions::default()
+                        };
+                        let r = sim_result_algo(algo, n, &platform, &profile, kind, &opts);
+                        algo.gflops(n, profile.nb(), r.makespan)
+                    })
+                    .collect();
+                s.push_samples(n as f64, &samples);
+            } else {
+                let r =
+                    sim_result_algo(algo, n, &platform, &profile, kind, &SimOptions::default());
+                s.push(n as f64, algo.gflops(n, profile.nb(), r.makespan));
+            }
+        }
+        fig.add(s);
+    }
+    let mut mixed = Series::new("mixed bound");
+    let mut peak = Series::new("kernel peak");
+    for &n in &PAPER_SIZES {
+        let set = BoundSet::compute_algo(algo, n, &platform, &profile);
+        mixed.push(n as f64, set.mixed_gflops());
+        peak.push(n as f64, set.gemm_peak);
+    }
+    fig.add(mixed);
+    fig.add(peak);
+    fig
+}
+
+/// Mean ± std GFLOP/s over `runs` seeds (seeds feed both the jitter and
+/// stochastic schedulers).
+pub fn sim_gflops_samples(
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+    kind: SchedKind,
+    actual_mode: bool,
+    runs: u64,
+) -> Vec<f64> {
+    (0..runs)
+        .map(|seed| {
+            let opts = if actual_mode {
+                SimOptions::actual(seed)
+            } else {
+                SimOptions {
+                    seed,
+                    ..SimOptions::default()
+                }
+            };
+            sim_gflops(n, platform, profile, kind, &opts)
+        })
+        .collect()
+}
+
+/// One scheduler curve over the paper's sizes. Deterministic schedulers in
+/// simulation mode get a single run per size; stochastic schedulers and
+/// actual mode get [`ACTUAL_RUNS`] seeds with mean ± std, exactly like the
+/// paper's methodology.
+pub fn scheduler_series(
+    platform: &Platform,
+    profile_for: &dyn Fn(usize) -> TimingProfile,
+    kind: SchedKind,
+    actual_mode: bool,
+    sizes: &[usize],
+) -> Series {
+    let mut s = Series::new(kind.label());
+    for &n in sizes {
+        let profile = profile_for(n);
+        if actual_mode || kind.stochastic() {
+            let samples =
+                sim_gflops_samples(n, platform, &profile, kind, actual_mode, ACTUAL_RUNS);
+            s.push_samples(n as f64, &samples);
+        } else {
+            s.push(
+                n as f64,
+                sim_gflops(n, platform, &profile, kind, &SimOptions::default()),
+            );
+        }
+    }
+    s
+}
+
+/// Mixed-bound performance curve.
+pub fn mixed_bound_series(
+    platform: &Platform,
+    profile_for: &dyn Fn(usize) -> TimingProfile,
+    sizes: &[usize],
+) -> Series {
+    let mut s = Series::new("mixed bound");
+    for &n in sizes {
+        let profile = profile_for(n);
+        let set = BoundSet::compute(n, platform, &profile);
+        s.push(n as f64, set.mixed_gflops());
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// Figure 2: the four theoretical performance upper bounds on Mirage.
+pub fn figure2() -> Figure {
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 2: Heterogeneous theoretical performance upper bounds",
+        "tiles",
+        "GFLOP/s",
+    );
+    let mut cp = Series::new("critical path");
+    let mut area = Series::new("area bound");
+    let mut mixed = Series::new("mixed bound");
+    let mut peak = Series::new("gemm peak");
+    for &n in &PAPER_SIZES {
+        let set = BoundSet::compute(n, &platform, &profile);
+        cp.push(n as f64, set.critical_path_gflops());
+        area.push(n as f64, set.area_gflops());
+        mixed.push(n as f64, set.mixed_gflops());
+        peak.push(n as f64, set.gemm_peak);
+    }
+    fig.add(cp);
+    fig.add(area);
+    fig.add(mixed);
+    fig.add(peak);
+    fig
+}
+
+/// Figure 3: homogeneous *actual* performance (random/dmda/dmdas on
+/// 9 CPU cores, 10 jittered runs with runtime overhead).
+pub fn figure3() -> Figure {
+    let platform = Platform::homogeneous(9);
+    let prof = |_n: usize| TimingProfile::mirage_homogeneous();
+    let mut fig = Figure::new(
+        "Figure 3: Homogeneous actual performance (9 CPUs)",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, true, &PAPER_SIZES));
+    }
+    fig
+}
+
+/// Figure 4: homogeneous *simulated* performance + mixed bound.
+pub fn figure4() -> Figure {
+    let platform = Platform::homogeneous(9);
+    let prof = |_n: usize| TimingProfile::mirage_homogeneous();
+    let mut fig = Figure::new(
+        "Figure 4: Homogeneous simulated performance (9 CPUs)",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+    }
+    fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
+    fig
+}
+
+/// Figure 5: heterogeneous *related* simulated performance + mixed bound
+/// (fictitious platform where every kernel is `K(n)`× faster on GPU).
+pub fn figure5() -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let prof = |n: usize| TimingProfile::mirage_related(n);
+    let mut fig = Figure::new(
+        "Figure 5: Heterogeneous related simulated performance",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+    }
+    fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
+    fig
+}
+
+/// Figure 6: heterogeneous unrelated *actual* performance (PCI transfers
+/// on, runtime overhead + jitter, 10 runs).
+pub fn figure6() -> Figure {
+    let platform = Platform::mirage();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 6: Heterogeneous unrelated actual performance",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, true, &PAPER_SIZES));
+    }
+    fig
+}
+
+/// Figure 7: heterogeneous unrelated *simulated* performance + mixed bound
+/// (communications removed for a fair comparison with the bound, as in
+/// the paper).
+pub fn figure7() -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 7: Heterogeneous unrelated simulated performance",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+    }
+    fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
+    fig
+}
+
+/// Figure 8: the related case rescaled so its mixed bound matches the
+/// unrelated mixed bound (the paper's apples-to-apples comparison of the
+/// two heterogeneity models).
+pub fn figure8() -> Figure {
+    let related = figure5();
+    let platform = Platform::mirage().without_comm();
+    let unrelated_prof = TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 8: Heterogeneous related simulated performance, scaled to the unrelated mixed bound",
+        "tiles",
+        "GFLOP/s",
+    );
+    // Per-size scale factor: mixed_unrelated(n) / mixed_related(n).
+    let mixed_related = related
+        .series
+        .iter()
+        .find(|s| s.label == "mixed bound")
+        .expect("figure 5 has a mixed bound")
+        .clone();
+    let mut scaled_series: Vec<Series> = related
+        .series
+        .iter()
+        .filter(|s| s.label != "mixed bound")
+        .cloned()
+        .collect();
+    let mut mixed_unrelated = Series::new("mixed bound");
+    for &n in &PAPER_SIZES {
+        let set = BoundSet::compute(n, &platform, &unrelated_prof);
+        let target = set.mixed_gflops();
+        mixed_unrelated.push(n as f64, target);
+        let source = mixed_related
+            .at(n as f64)
+            .expect("related bound covers all sizes")
+            .mean;
+        let factor = target / source;
+        for s in &mut scaled_series {
+            if let Some(p) = s.points.iter_mut().find(|p| p.x == n as f64) {
+                p.mean *= factor;
+                p.std *= factor;
+            }
+        }
+    }
+    for s in scaled_series {
+        fig.add(s);
+    }
+    fig.add(mixed_unrelated);
+    fig
+}
+
+/// Figure 10: heterogeneous simulated performance with static knowledge:
+/// dmdas baseline, mixed bound, the CP solution (its theoretical makespan),
+/// the CP schedule replayed in simulation, and the best triangle-TRSM hint.
+///
+/// `cp_opts` bounds the CP effort (the paper used 23 hours; pass a budget
+/// appropriate to your patience — shapes are stable from modest budgets).
+pub fn figure10(cp_opts: &CpOptions, cp_max_size: usize) -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 10: Heterogeneous unrelated simulated performance with static knowledge",
+        "tiles",
+        "GFLOP/s",
+    );
+    fig.add(scheduler_series(
+        &platform,
+        &prof,
+        SchedKind::Dmdas,
+        false,
+        &PAPER_SIZES,
+    ));
+    fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
+
+    let mut cp_theory = Series::new("CP solution");
+    let mut cp_sim = Series::new("CP solution in simulation");
+    for &n in PAPER_SIZES.iter().filter(|&&n| n <= cp_max_size) {
+        let graph = TaskGraph::cholesky(n);
+        // Seed the search with the schedules the dynamic runtime actually
+        // produces (dmdas and the best triangle hint) — the analogue of the
+        // paper seeding CP Optimizer with a HEFT solution.
+        let dmdas_seed = sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default())
+            .trace
+            .to_schedule();
+        let (_, best_k) = best_triangle_k(n, &platform, &profile, false);
+        let tri_seed = sim_result(
+            n,
+            &platform,
+            &profile,
+            SchedKind::TriangleTrsm(best_k),
+            &SimOptions::default(),
+        )
+        .trace
+        .to_schedule();
+        let sol = optimize_from(&graph, &platform, &profile, &[&dmdas_seed, &tri_seed], cp_opts);
+        cp_theory.push(
+            n as f64,
+            hetchol_core::metrics::gflops(n, profile.nb(), sol.makespan),
+        );
+        let mut inj = ScheduleInjector::new(&sol.schedule);
+        let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        cp_sim.push(n as f64, replay.gflops(n, profile.nb()));
+    }
+    fig.add(cp_theory);
+    fig.add(cp_sim);
+
+    let mut triangle = Series::new("triangle trsms on cpu (best k)");
+    for &n in &PAPER_SIZES {
+        let (g, _k) = best_triangle_k(n, &platform, &profile, false);
+        triangle.push(n as f64, g);
+    }
+    fig.add(triangle);
+    fig
+}
+
+/// Figure 11: heterogeneous *actual* performance with static knowledge —
+/// dmdas vs the best triangle-TRSM offset, 10 jittered runs each.
+pub fn figure11() -> Figure {
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Figure 11: Heterogeneous actual performance with static knowledge",
+        "tiles",
+        "GFLOP/s",
+    );
+    fig.add(scheduler_series(
+        &platform,
+        &prof,
+        SchedKind::Dmdas,
+        true,
+        &PAPER_SIZES,
+    ));
+    let mut triangle = Series::new("triangle trsms on cpu (best k)");
+    for &n in &PAPER_SIZES {
+        // Pick k on the deterministic model, then report jittered runs —
+        // mirroring the paper's "best obtained performance over all k".
+        let (_, k) = best_triangle_k(n, &platform.without_comm(), &profile, false);
+        let samples = sim_gflops_samples(
+            n,
+            &platform,
+            &profile,
+            SchedKind::TriangleTrsm(k),
+            true,
+            ACTUAL_RUNS,
+        );
+        triangle.push_samples(n as f64, &samples);
+    }
+    fig.add(triangle);
+    fig
+}
+
+/// Section V-C3, first experiment: forcing GEMM/SYRK on GPUs barely helps.
+pub fn figure_hint_gemmsyrk() -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Hint: GEMM+SYRK forced on GPUs vs plain dmdas (simulated)",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Dmdas, SchedKind::GemmSyrkGpu] {
+        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+    }
+    fig
+}
+
+/// Section VI-B: mapping-only injection of the CP solution vs full
+/// injection vs plain dmda/dmdas.
+pub fn figure_mapping_only(cp_opts: &CpOptions, sizes: &[usize]) -> Figure {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let prof = |_n: usize| TimingProfile::mirage();
+    let mut fig = Figure::new(
+        "Section VI-B: injecting the CP mapping only vs the full CP schedule",
+        "tiles",
+        "GFLOP/s",
+    );
+    for kind in [SchedKind::Dmda, SchedKind::Dmdas] {
+        fig.add(scheduler_series(&platform, &prof, kind, false, sizes));
+    }
+    let mut full = Series::new("CP full injection");
+    let mut mapping = Series::new("CP mapping only");
+    for &n in sizes {
+        let graph = TaskGraph::cholesky(n);
+        // Same seeding as Figure 10: the CP search starts from the dmdas
+        // schedule, so its solution never loses to the dynamic scheduler.
+        let dmdas_seed =
+            sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default())
+                .trace
+                .to_schedule();
+        let sol = optimize_from(&graph, &platform, &profile, &[&dmdas_seed], cp_opts);
+        let ctx = hetchol_core::scheduler::SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut inj = ScheduleInjector::new(&sol.schedule);
+        let r = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        full.push(n as f64, r.gflops(n, profile.nb()));
+        let mut map = MappingInjector::new(&sol.schedule, &ctx);
+        let r = simulate(&graph, &platform, &profile, &mut map, &SimOptions::default());
+        mapping.push(n as f64, r.gflops(n, profile.nb()));
+    }
+    fig.add(full);
+    fig.add(mapping);
+    fig
+}
+
+/// Sweep the triangle-TRSM offset `k` and return `(best GFLOP/s, best k)`
+/// for one size (Figures 10/11; the paper reports best performance around
+/// `k = 6–8`).
+pub fn best_triangle_k(
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+    actual_mode: bool,
+) -> (f64, u32) {
+    let mut best = (f64::MIN, 1u32);
+    // k = n forces nothing (max offset is n-1), so the sweep always
+    // contains plain dmdas as a fallback.
+    for k in 1..=n.max(1) as u32 {
+        let g = if actual_mode {
+            let samples = sim_gflops_samples(
+                n,
+                platform,
+                profile,
+                SchedKind::TriangleTrsm(k),
+                true,
+                ACTUAL_RUNS,
+            );
+            samples.iter().sum::<f64>() / samples.len() as f64
+        } else {
+            sim_gflops(
+                n,
+                platform,
+                profile,
+                SchedKind::TriangleTrsm(k),
+                &SimOptions::default(),
+            )
+        };
+        if g > best.0 {
+            best = (g, k);
+        }
+    }
+    best
+}
+
+/// Table I: GPU relative performance per kernel.
+pub fn table1() -> String {
+    use std::fmt::Write as _;
+    let profile = TimingProfile::mirage();
+    let mut out = String::new();
+    let _ = writeln!(out, "# Table I: GPUs relative performance (Mirage profile)");
+    let _ = writeln!(
+        out,
+        "{:>8} {:>12} {:>12} {:>10}",
+        "kernel", "CPU time", "GPU time", "speedup"
+    );
+    for k in hetchol_core::kernel::Kernel::ALL {
+        let cpu = profile.time(k, 0);
+        let gpu = profile.time(k, 1);
+        let _ = writeln!(
+            out,
+            "{:>8} {:>12} {:>12} {:>9.1}x",
+            k.label(),
+            format!("{cpu}"),
+            format!("{gpu}"),
+            profile.speedup(k, 1, 0)
+        );
+    }
+    out
+}
+
+/// Section V-C2: the acceleration factors `K(n)` of the related platform.
+pub fn kfactors() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "# Acceleration factors K(n) for the related platform");
+    let _ = writeln!(out, "{:>8} {:>8}", "tiles", "K");
+    for &n in &PAPER_SIZES {
+        let _ = writeln!(out, "{:>8} {:>8.2}", n, TimingProfile::acceleration_factor(n));
+    }
+    out
+}
+
+/// Figure 12: GPU Gantt traces at 8×8 tiles, dmda vs dmdas, plus idle
+/// fractions — the textual version of the paper's trace comparison.
+pub fn figure12() -> String {
+    use std::fmt::Write as _;
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let n = 8;
+    let mut out = String::new();
+    for kind in [SchedKind::Dmda, SchedKind::Dmdas] {
+        let r = sim_result(n, &platform, &profile, kind, &SimOptions::default());
+        let _ = writeln!(
+            out,
+            "## GPU trace with {} scheduler ({n}x{n} tiles, makespan {})",
+            kind.label(),
+            r.makespan
+        );
+        // Show only GPU rows (workers 9..12), as in the paper's figure.
+        let gantt = r.trace.gantt_ascii(&platform, 96);
+        for line in gantt.lines() {
+            if line.trim_start().starts_with("GPU") || line.trim_start().starts_with('0') {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+        let idle = r.trace.idle_fraction(9..12);
+        let _ = writeln!(out, "GPU idle fraction: {:.1}%\n", idle * 100.0);
+    }
+    out.push_str("(P = POTRF, T = TRSM, S = SYRK, G = GEMM, . = idle)\n");
+    out
+}
+
+/// Figure 1: the 5×5-tile Cholesky DAG in DOT format.
+pub fn figure1() -> String {
+    TaskGraph::cholesky(5).to_dot()
+}
+
+/// Figure 9: which TRSMs the triangle hint forces on CPUs.
+pub fn figure9(n: usize, k: u32) -> String {
+    format!(
+        "# Figure 9: TRSMs forced on CPUs (n={n}, offset k={k})\n{}\
+         (P = diagonal POTRF tile, g = TRSM left to the dynamic scheduler, C = TRSM forced on CPU)\n",
+        hetchol_sched::hints::render_forced_triangle(n, k)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_kind_labels_and_builders() {
+        for kind in [
+            SchedKind::Random,
+            SchedKind::Dmda,
+            SchedKind::Dmdas,
+            SchedKind::GemmSyrkGpu,
+            SchedKind::TriangleTrsm(6),
+        ] {
+            let s = kind.build(0);
+            assert!(!s.name().is_empty());
+            assert!(!kind.label().is_empty());
+        }
+        assert!(SchedKind::Random.stochastic());
+        assert!(!SchedKind::Dmdas.stochastic());
+    }
+
+    #[test]
+    fn small_figure7_shape() {
+        // Miniature of Figure 7 at two sizes: dmda/dmdas beat random, and
+        // the mixed bound dominates everything.
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let sizes = [4usize, 8];
+        for &n in &sizes {
+            let rand_g = {
+                let samples =
+                    sim_gflops_samples(n, &platform, &profile, SchedKind::Random, false, 5);
+                samples.iter().sum::<f64>() / samples.len() as f64
+            };
+            let dmda_g = sim_gflops(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
+            let set = BoundSet::compute(n, &platform, &profile);
+            assert!(dmda_g > rand_g, "n={n}: dmda {dmda_g} vs random {rand_g}");
+            assert!(
+                dmda_g <= set.mixed_gflops() * 1.0001,
+                "n={n}: dmda {dmda_g} exceeds bound {}",
+                set.mixed_gflops()
+            );
+        }
+    }
+
+    #[test]
+    fn triangle_sweep_beats_or_matches_dmdas_on_medium() {
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let n = 10;
+        let dmdas = sim_gflops(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+        let (best, k) = best_triangle_k(n, &platform, &profile, false);
+        assert!(
+            best >= dmdas * 0.98,
+            "triangle best {best} (k={k}) vs dmdas {dmdas}"
+        );
+    }
+
+    #[test]
+    fn table_and_dot_outputs() {
+        assert!(table1().contains("GEMM"));
+        assert!(kfactors().contains("17.30"));
+        assert!(figure1().contains("POTRF_0"));
+        let f9 = figure9(6, 2);
+        assert!(f9.contains('C') && f9.contains('g'));
+    }
+
+    #[test]
+    fn figure12_reports_idle() {
+        let out = figure12();
+        assert!(out.contains("dmda"));
+        assert!(out.contains("dmdas"));
+        assert!(out.contains("GPU idle fraction"));
+    }
+}

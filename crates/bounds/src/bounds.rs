@@ -1,0 +1,542 @@
+//! The paper's makespan lower bounds (Section III) and performance upper
+//! bounds (Figure 2).
+//!
+//! All bounds take the calibrated timing table `T_rt` as input:
+//!
+//! * **area bound** — the LP of Section III-A: assign the `N_t` tasks of
+//!   each type to resource classes so that every class finishes its share
+//!   within the makespan `l`; precedence is ignored entirely.
+//! * **mixed bound** — area bound plus the POTRF-chain constraint: the
+//!   Cholesky DAG contains a path with all `n` POTRFs, `n-1` TRSMs and
+//!   `n-1` SYRKs, so `Σ_r n_rP·T_rP + (n-1)(T*_T + T*_S) ≤ l`.
+//! * **critical-path bound** — longest path in the DAG with every task at
+//!   its fastest resource.
+//! * **GEMM peak** — the classical aggregate-GFLOP/s ceiling.
+
+use crate::ilp::solve_ilp_gap;
+use crate::simplex::{solve_lp, Constraint, LinearProgram, LpSolution, Relation};
+use hetchol_core::algorithm::Algorithm;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::kernel::Kernel;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::time::Time;
+
+/// Node budget for the branch-and-bound; the paper's LPs close in a handful
+/// of nodes, so this is a safety backstop rather than a tuning knob.
+const NODE_LIMIT: usize = 600;
+
+/// Build the area-bound (I)LP from per-kernel task counts. Variable
+/// layout: `n_rt` at `r * Kernel::COUNT + t` (class-major), makespan `l`
+/// (seconds) last. Kernels with zero count contribute fixed-zero
+/// variables, so one layout serves every algorithm.
+fn area_lp(
+    counts: &[usize; Kernel::COUNT],
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> LinearProgram {
+    let n_classes = platform.n_classes();
+    let l_var = n_classes * Kernel::COUNT;
+    let n_vars = l_var + 1;
+    let var = |r: usize, t: Kernel| r * Kernel::COUNT + t.index();
+
+    let mut constraints = Vec::new();
+    // Every task of each type is placed somewhere.
+    for t in Kernel::ALL {
+        let mut coeffs = vec![0.0; n_vars];
+        for r in 0..n_classes {
+            coeffs[var(r, t)] = 1.0;
+        }
+        constraints.push(Constraint::new(
+            coeffs,
+            Relation::Eq,
+            counts[t.index()] as f64,
+        ));
+    }
+    // Each class finishes its assigned work within l: Σ_t n_rt·T_rt ≤ l·M_r.
+    for (r, class) in platform.classes().iter().enumerate() {
+        let mut coeffs = vec![0.0; n_vars];
+        for t in Kernel::ALL {
+            coeffs[var(r, t)] = profile.time(t, r).as_secs_f64();
+        }
+        coeffs[l_var] = -(class.count as f64);
+        constraints.push(Constraint::new(coeffs, Relation::Le, 0.0));
+    }
+
+    let mut objective = vec![0.0; n_vars];
+    objective[l_var] = 1.0;
+    LinearProgram {
+        n_vars,
+        objective,
+        minimize: true,
+        constraints,
+    }
+}
+
+/// Round the LP relaxation into an integral-feasible warm start: floor the
+/// task counts, hand the per-type deficits to the classes with the largest
+/// fractional parts, then take the smallest `l` satisfying every
+/// constraint. This incumbent lets branch-and-bound prune the wide,
+/// near-degenerate plateaus these LPs exhibit.
+fn rounded_incumbent(
+    lp: &LinearProgram,
+    counts: &[usize; Kernel::COUNT],
+    n_classes: usize,
+) -> Option<LpSolution> {
+    let relax = solve_lp(lp);
+    let relax = relax.optimal()?;
+    let l_var = n_classes * Kernel::COUNT;
+    let mut x = vec![0.0; lp.n_vars];
+    for t in Kernel::ALL {
+        let total = counts[t.index()] as i64;
+        let vals: Vec<f64> = (0..n_classes)
+            .map(|r| relax.x[r * Kernel::COUNT + t.index()])
+            .collect();
+        let mut floors: Vec<i64> = vals.iter().map(|v| v.floor().max(0.0) as i64).collect();
+        let mut deficit = total - floors.iter().sum::<i64>();
+        // Largest fractional parts first.
+        let mut order: Vec<usize> = (0..n_classes).collect();
+        order.sort_by(|&a, &b| {
+            let fa = vals[a] - vals[a].floor();
+            let fb = vals[b] - vals[b].floor();
+            fb.partial_cmp(&fa).expect("fractional parts are finite")
+        });
+        let mut i = 0;
+        while deficit > 0 {
+            floors[order[i % n_classes]] += 1;
+            deficit -= 1;
+            i += 1;
+        }
+        while deficit < 0 {
+            // Over-allocation can only come from floor(v) > 0 rounding up
+            // noise; shave from the largest counts.
+            let j = (0..n_classes)
+                .max_by_key(|&r| floors[r])
+                .expect("at least one class");
+            floors[j] -= 1;
+            deficit += 1;
+        }
+        for r in 0..n_classes {
+            x[r * Kernel::COUNT + t.index()] = floors[r] as f64;
+        }
+    }
+    // Smallest l satisfying every constraint involving l.
+    let mut l = 0.0f64;
+    for c in &lp.constraints {
+        let cl = c.coeffs.get(l_var).copied().unwrap_or(0.0);
+        let s: f64 = c
+            .coeffs
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != l_var)
+            .map(|(i, &v)| v * x[i])
+            .sum();
+        match c.rel {
+            Relation::Le if cl < -1e-12 => l = l.max((s - c.rhs) / -cl),
+            Relation::Ge if cl > 1e-12 => l = l.max((c.rhs - s) / cl),
+            _ => {}
+        }
+    }
+    x[l_var] = l;
+    Some(LpSolution { objective: l, x })
+}
+
+fn solve_bound_lp(
+    lp: &LinearProgram,
+    counts: &[usize; Kernel::COUNT],
+    n_classes: usize,
+) -> Time {
+    let n_int_vars = n_classes * Kernel::COUNT;
+    let integer_vars: Vec<usize> = (0..n_int_vars).collect();
+    let warm = rounded_incumbent(lp, counts, n_classes);
+    // A 0.01% optimality gap: far below anything visible in a GFLOP/s plot,
+    // and the reported bound stays valid regardless (the search returns the
+    // tightest pruned relaxation, never the possibly-suboptimal incumbent).
+    let result = solve_ilp_gap(lp, &integer_vars, NODE_LIMIT, warm, 1e-4);
+    // `lower_bound` is a valid makespan lower bound whether or not the
+    // search closed (it degrades to the LP relaxation).
+    Time::from_secs_f64(result.lower_bound.max(0.0))
+}
+
+/// The **area bound** of a factorization on the given platform
+/// (generalisation of the paper's Section III-A LP to any kernel counts).
+pub fn area_bound_algo(
+    algo: Algorithm,
+    n_tiles: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> Time {
+    if n_tiles == 0 {
+        return Time::ZERO;
+    }
+    let counts = algo.counts(n_tiles);
+    let lp = area_lp(&counts, platform, profile);
+    solve_bound_lp(&lp, &counts, platform.n_classes())
+}
+
+/// The paper's **area bound** for an `n_tiles × n_tiles` Cholesky.
+pub fn area_bound(n_tiles: usize, platform: &Platform, profile: &TimingProfile) -> Time {
+    area_bound_algo(Algorithm::Cholesky, n_tiles, platform, profile)
+}
+
+/// The **mixed bound** of a factorization: area bound plus the
+/// diagonal-chain constraint. The paper's POTRF-chain argument
+/// (Section III-A) applies verbatim to GETRF (LU) and GEQRT (QR): all `n`
+/// diagonal factorizations sit on one path, interleaved with one
+/// panel/update kernel pair per step.
+pub fn mixed_bound_algo(
+    algo: Algorithm,
+    n_tiles: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> Time {
+    if n_tiles == 0 {
+        return Time::ZERO;
+    }
+    let counts = algo.counts(n_tiles);
+    let mut lp = area_lp(&counts, platform, profile);
+    let n_classes = platform.n_classes();
+    let l_var = n_classes * Kernel::COUNT;
+
+    // l - Σ_r n_rD·T_rD ≥ (n-1)·Σ_chain T*_k
+    let diag = algo.diag_kernel();
+    let chain_tail: f64 = (n_tiles as f64 - 1.0)
+        * algo
+            .chain_kernels()
+            .iter()
+            .map(|&k| profile.fastest_time(k).as_secs_f64())
+            .sum::<f64>();
+    let mut coeffs = vec![0.0; lp.n_vars];
+    for r in 0..n_classes {
+        coeffs[r * Kernel::COUNT + diag.index()] = -profile.time(diag, r).as_secs_f64();
+    }
+    coeffs[l_var] = 1.0;
+    lp.constraints
+        .push(Constraint::new(coeffs, Relation::Ge, chain_tail));
+
+    solve_bound_lp(&lp, &counts, n_classes)
+}
+
+/// The paper's **mixed bound** for an `n_tiles × n_tiles` Cholesky.
+pub fn mixed_bound(n_tiles: usize, platform: &Platform, profile: &TimingProfile) -> Time {
+    mixed_bound_algo(Algorithm::Cholesky, n_tiles, platform, profile)
+}
+
+/// The **critical-path bound**: longest path in the DAG with each task at
+/// its fastest resource type (Section III-C).
+pub fn critical_path_bound(graph: &TaskGraph, profile: &TimingProfile) -> Time {
+    graph.critical_path(|t| profile.fastest_time(graph.task(t).kernel()))
+}
+
+/// The **GEMM peak** in GFLOP/s: the sum over workers of their GEMM rate.
+pub fn gemm_peak_gflops(platform: &Platform, profile: &TimingProfile) -> f64 {
+    profile.gemm_peak(platform)
+}
+
+/// Generalisation of the GEMM peak to any algorithm: the sum over workers
+/// of their best per-kernel GFLOP/s rate among the algorithm's kernels
+/// (for Cholesky this is exactly the GEMM peak).
+pub fn kernel_peak_gflops(algo: Algorithm, platform: &Platform, profile: &TimingProfile) -> f64 {
+    platform
+        .workers()
+        .map(|w| {
+            let class = platform.class_of(w);
+            algo.kernels()
+                .iter()
+                .map(|&k| profile.gflops_rate(k, class))
+                .fold(0.0f64, f64::max)
+        })
+        .sum()
+}
+
+/// All four bounds of Figure 2 for one matrix size (and, through
+/// [`BoundSet::compute_algo`], for LU and QR as well).
+#[derive(Clone, Debug)]
+pub struct BoundSet {
+    /// The factorization the bounds describe.
+    pub algo: Algorithm,
+    /// Matrix size in tiles.
+    pub n_tiles: usize,
+    /// Tile size.
+    pub nb: usize,
+    /// Critical-path makespan lower bound.
+    pub critical_path: Time,
+    /// Area-bound makespan lower bound.
+    pub area: Time,
+    /// Mixed-bound makespan lower bound.
+    pub mixed: Time,
+    /// Best-kernel aggregate peak in GFLOP/s (the GEMM peak for Cholesky;
+    /// already a performance bound).
+    pub gemm_peak: f64,
+}
+
+impl BoundSet {
+    /// Compute every bound for one Cholesky size (the paper's Figure 2).
+    ///
+    /// ```
+    /// use hetchol_bounds::BoundSet;
+    /// use hetchol_core::{platform::Platform, profiles::TimingProfile};
+    ///
+    /// let set = BoundSet::compute(8, &Platform::mirage(), &TimingProfile::mirage());
+    /// // The mixed bound is the tightest performance upper bound.
+    /// assert!(set.mixed_gflops() <= set.area_gflops());
+    /// assert!(set.mixed_gflops() <= set.gemm_peak);
+    /// ```
+    pub fn compute(n_tiles: usize, platform: &Platform, profile: &TimingProfile) -> BoundSet {
+        Self::compute_algo(Algorithm::Cholesky, n_tiles, platform, profile)
+    }
+
+    /// Compute every bound for one size of any supported factorization.
+    pub fn compute_algo(
+        algo: Algorithm,
+        n_tiles: usize,
+        platform: &Platform,
+        profile: &TimingProfile,
+    ) -> BoundSet {
+        let graph = algo.graph(n_tiles);
+        BoundSet {
+            algo,
+            n_tiles,
+            nb: profile.nb(),
+            critical_path: critical_path_bound(&graph, profile),
+            area: area_bound_algo(algo, n_tiles, platform, profile),
+            mixed: mixed_bound_algo(algo, n_tiles, platform, profile),
+            gemm_peak: kernel_peak_gflops(algo, platform, profile),
+        }
+    }
+
+    /// The makespan lower bound implied by the kernel peak.
+    pub fn gemm_peak_time(&self) -> Time {
+        let flops = self.algo.flops(self.n_tiles * self.nb);
+        Time::from_secs_f64(flops / (self.gemm_peak * 1e9))
+    }
+
+    /// Performance upper bound (GFLOP/s) from the critical path.
+    pub fn critical_path_gflops(&self) -> f64 {
+        self.algo.gflops(self.n_tiles, self.nb, self.critical_path)
+    }
+
+    /// Performance upper bound (GFLOP/s) from the area bound.
+    pub fn area_gflops(&self) -> f64 {
+        self.algo.gflops(self.n_tiles, self.nb, self.area)
+    }
+
+    /// Performance upper bound (GFLOP/s) from the mixed bound.
+    pub fn mixed_gflops(&self) -> f64 {
+        self.algo.gflops(self.n_tiles, self.nb, self.mixed)
+    }
+
+    /// The tightest makespan lower bound in the set.
+    pub fn best(&self) -> Time {
+        self.critical_path
+            .max(self.area)
+            .max(self.mixed)
+            .max(self.gemm_peak_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mirage() -> (Platform, TimingProfile) {
+        (Platform::mirage(), TimingProfile::mirage())
+    }
+
+    #[test]
+    fn homogeneous_area_bound_is_total_work_over_m() {
+        let platform = Platform::homogeneous(9);
+        let profile = TimingProfile::mirage_homogeneous();
+        for n in [2usize, 4, 8, 16] {
+            let bound = area_bound(n, &platform, &profile);
+            let total: f64 = Kernel::ALL
+                .iter()
+                .map(|&k| k.count_in_cholesky(n) as f64 * profile.time(k, 0).as_secs_f64())
+                .sum();
+            let expected = total / 9.0;
+            assert!(
+                (bound.as_secs_f64() - expected).abs() < 1e-6,
+                "n={n}: {} vs {expected}",
+                bound.as_secs_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_dominates_area() {
+        let (platform, profile) = mirage();
+        for n in [2usize, 4, 8, 12, 16] {
+            let a = area_bound(n, &platform, &profile);
+            let m = mixed_bound(n, &platform, &profile);
+            assert!(m >= a, "n={n}: mixed {m} < area {a}");
+        }
+    }
+
+    #[test]
+    fn mixed_dominates_chain_tail() {
+        let (platform, profile) = mirage();
+        for n in [2usize, 4, 8] {
+            let m = mixed_bound(n, &platform, &profile).as_secs_f64();
+            let chain = n as f64 * profile.fastest_time(Kernel::Potrf).as_secs_f64()
+                + (n as f64 - 1.0)
+                    * (profile.fastest_time(Kernel::Trsm).as_secs_f64()
+                        + profile.fastest_time(Kernel::Syrk).as_secs_f64());
+            assert!(m >= chain - 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn bounds_grow_with_matrix_size() {
+        let (platform, profile) = mirage();
+        let mut prev = Time::ZERO;
+        for n in [2usize, 4, 8, 16, 24] {
+            let m = mixed_bound(n, &platform, &profile);
+            assert!(m > prev, "mixed bound must strictly grow, n={n}");
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn performance_bounds_below_gemm_peak_at_scale() {
+        // The paper's Figure 2: the mixed bound curve approaches but stays
+        // below the GEMM peak.
+        let (platform, profile) = mirage();
+        for n in [4usize, 8, 16, 24, 32] {
+            let set = BoundSet::compute(n, &platform, &profile);
+            assert!(
+                set.mixed_gflops() <= set.gemm_peak * 1.001,
+                "n={n}: {} vs peak {}",
+                set.mixed_gflops(),
+                set.gemm_peak
+            );
+            assert!(set.mixed_gflops() <= set.area_gflops() + 1e-9, "n={n}");
+        }
+    }
+
+    #[test]
+    fn mixed_bound_binds_critical_path_for_small_sizes() {
+        // For small matrices the POTRF chain dominates: the mixed bound in
+        // GFLOP/s must sit well below the area bound.
+        let (platform, profile) = mirage();
+        let set = BoundSet::compute(4, &platform, &profile);
+        assert!(
+            set.mixed_gflops() < 0.8 * set.area_gflops(),
+            "mixed {} area {}",
+            set.mixed_gflops(),
+            set.area_gflops()
+        );
+    }
+
+    #[test]
+    fn critical_path_matches_diagonal_chain_on_mirage() {
+        // On Mirage the longest path is the POTRF/TRSM/SYRK diagonal chain
+        // at GPU speeds.
+        let (_, profile) = mirage();
+        let n = 8usize;
+        let graph = TaskGraph::cholesky(n);
+        let cp = critical_path_bound(&graph, &profile);
+        let chain = profile.fastest_time(Kernel::Potrf) * n as u64
+            + (profile.fastest_time(Kernel::Trsm) + profile.fastest_time(Kernel::Syrk))
+                * (n as u64 - 1);
+        assert_eq!(cp, chain);
+    }
+
+    #[test]
+    fn gemm_peak_value() {
+        let (platform, profile) = mirage();
+        let peak = gemm_peak_gflops(&platform, &profile);
+        assert!((900.0..930.0).contains(&peak), "{peak}");
+    }
+
+    #[test]
+    fn zero_tiles_edge_case() {
+        let (platform, profile) = mirage();
+        assert_eq!(area_bound(0, &platform, &profile), Time::ZERO);
+        assert_eq!(mixed_bound(0, &platform, &profile), Time::ZERO);
+    }
+
+    #[test]
+    fn n1_bounds_are_single_potrf() {
+        // One tile: the whole factorization is one POTRF; the mixed bound
+        // must be at least the fastest POTRF, area bound likewise.
+        let (platform, profile) = mirage();
+        let fastest = profile.fastest_time(Kernel::Potrf);
+        // The area bound divides by the class size, so for a single task it
+        // is weak (T/M_r) but must stay positive; the mixed bound's chain
+        // constraint restores the full single-POTRF duration.
+        assert!(area_bound(1, &platform, &profile) > Time::ZERO);
+        assert!(mixed_bound(1, &platform, &profile) >= fastest);
+        let graph = TaskGraph::cholesky(1);
+        assert_eq!(critical_path_bound(&graph, &profile), fastest);
+    }
+
+    #[test]
+    fn best_is_max_of_all() {
+        let (platform, profile) = mirage();
+        let set = BoundSet::compute(8, &platform, &profile);
+        let best = set.best();
+        assert!(best >= set.critical_path);
+        assert!(best >= set.area);
+        assert!(best >= set.mixed);
+        assert!(best >= set.gemm_peak_time());
+    }
+
+    #[test]
+    fn lu_and_qr_bounds_are_ordered() {
+        let (platform, profile) = mirage();
+        use hetchol_core::algorithm::Algorithm;
+        for algo in [Algorithm::Lu, Algorithm::Qr] {
+            for n in [2usize, 4, 8] {
+                let set = BoundSet::compute_algo(algo, n, &platform, &profile);
+                assert!(set.area > Time::ZERO, "{algo} n={n}");
+                assert!(
+                    set.mixed.as_secs_f64() >= set.area.as_secs_f64() * 0.999,
+                    "{algo} n={n}: mixed {} < area {}",
+                    set.mixed,
+                    set.area
+                );
+                // Critical path dominates the diagonal chain constant.
+                let chain = profile.fastest_time(algo.diag_kernel()) * n as u64
+                    + algo
+                        .chain_kernels()
+                        .iter()
+                        .map(|&k| profile.fastest_time(k))
+                        .sum::<Time>()
+                        * (n as u64 - 1);
+                assert!(set.critical_path >= chain, "{algo} n={n}");
+                // Performance bounds below the kernel peak.
+                assert!(set.mixed_gflops() <= set.gemm_peak * 1.001, "{algo} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn qr_peak_below_cholesky_peak() {
+        // TSMQR's best GPU rate is below GEMM's, so the QR kernel peak sits
+        // below the Cholesky GEMM peak on the same platform.
+        let (platform, profile) = mirage();
+        use hetchol_core::algorithm::Algorithm;
+        let chol = kernel_peak_gflops(Algorithm::Cholesky, &platform, &profile);
+        let qr = kernel_peak_gflops(Algorithm::Qr, &platform, &profile);
+        assert!((chol - gemm_peak_gflops(&platform, &profile)).abs() < 1e-9);
+        assert!(qr < chol, "qr {qr} vs cholesky {chol}");
+    }
+
+    #[test]
+    fn related_platform_bounds_sane() {
+        // The related profile changes GPU times but bounds must stay ordered.
+        let platform = Platform::mirage();
+        for n in [4usize, 8, 16] {
+            let profile = TimingProfile::mirage_related(n);
+            let a = area_bound(n, &platform, &profile);
+            let m = mixed_bound(n, &platform, &profile);
+            // Both are solved to a 0.01% gap independently, so dominance
+            // holds up to that tolerance.
+            assert!(
+                m.as_secs_f64() >= a.as_secs_f64() * 0.999,
+                "n={n}: mixed {m} area {a}"
+            );
+            assert!(a > Time::ZERO);
+        }
+    }
+}

@@ -1,0 +1,291 @@
+//! Branch-and-bound integer programming on top of the simplex relaxation.
+//!
+//! The paper's bound LPs require the task counts `n_rt` to be integral
+//! (`n_rt ∈ ℕ`). With at most eight integral variables, textbook
+//! branch-and-bound over the LP relaxation solves these instantly.
+
+use crate::simplex::{solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation};
+
+/// Result of a branch-and-bound run on a minimization ILP.
+#[derive(Clone, Debug)]
+pub struct IlpResult {
+    /// Best integral solution found (`None` if none was found within the
+    /// node budget or the problem is infeasible).
+    pub solution: Option<LpSolution>,
+    /// A valid lower bound on the ILP optimum (the root relaxation when the
+    /// search was truncated, the incumbent value when it completed).
+    pub lower_bound: f64,
+    /// Whether the search proved optimality of `solution`.
+    pub optimal: bool,
+    /// Nodes explored.
+    pub nodes: usize,
+}
+
+const INT_TOL: f64 = 1e-6;
+
+fn most_fractional(x: &[f64], integer_vars: &[usize]) -> Option<(usize, f64)> {
+    integer_vars
+        .iter()
+        .filter_map(|&i| {
+            let v = x[i];
+            let frac = (v - v.round()).abs();
+            if frac > INT_TOL {
+                // Distance from 0.5 fractional part, smaller = more fractional.
+                let dist = ((v - v.floor()) - 0.5).abs();
+                Some((i, v, dist))
+            } else {
+                None
+            }
+        })
+        .min_by(|a, b| a.2.partial_cmp(&b.2).expect("fractionality is finite"))
+        .map(|(i, v, _)| (i, v))
+}
+
+/// Solve `min c·x` with the variables in `integer_vars` restricted to ℕ
+/// (all variables remain ≥ 0). Explores at most `node_limit` nodes.
+///
+/// # Panics
+/// Panics if `lp.minimize` is false; the bound computations only ever
+/// minimize, and supporting maximization would double the sign bookkeeping
+/// for no caller.
+pub fn solve_ilp(lp: &LinearProgram, integer_vars: &[usize], node_limit: usize) -> IlpResult {
+    solve_ilp_with_incumbent(lp, integer_vars, node_limit, None)
+}
+
+/// [`solve_ilp`] with an optional starting incumbent (a known
+/// integral-feasible solution, e.g. from a rounding heuristic) and an
+/// explicit relative optimality gap. A good incumbent lets branch-and-bound
+/// prune near-degenerate subtrees that would otherwise be enumerated
+/// exhaustively; `rel_gap` trades proof effort for speed while
+/// [`IlpResult::lower_bound`] stays valid (it tracks the tightest pruned
+/// relaxation).
+pub fn solve_ilp_with_incumbent(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    node_limit: usize,
+    warm_start: Option<LpSolution>,
+) -> IlpResult {
+    solve_ilp_gap(lp, integer_vars, node_limit, warm_start, 1e-7)
+}
+
+/// Fully-parameterised branch-and-bound; see [`solve_ilp_with_incumbent`].
+pub fn solve_ilp_gap(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    node_limit: usize,
+    warm_start: Option<LpSolution>,
+    rel_gap: f64,
+) -> IlpResult {
+    assert!(lp.minimize, "solve_ilp only supports minimization");
+
+    let root = solve_lp(lp);
+    let root_sol = match root {
+        LpOutcome::Optimal(s) => s,
+        LpOutcome::Infeasible => {
+            return IlpResult {
+                solution: None,
+                lower_bound: f64::INFINITY,
+                optimal: true,
+                nodes: 1,
+            }
+        }
+        LpOutcome::Unbounded => {
+            return IlpResult {
+                solution: None,
+                lower_bound: f64::NEG_INFINITY,
+                optimal: false,
+                nodes: 1,
+            }
+        }
+    };
+    let root_bound = root_sol.objective;
+
+    // DFS over subproblems; each node carries the extra branching
+    // constraints. Depth-first keeps memory trivial and finds incumbents
+    // fast, which the pruning then exploits.
+    let mut stack: Vec<Vec<Constraint>> = vec![Vec::new()];
+    let mut incumbent: Option<LpSolution> = warm_start;
+    let mut nodes = 0usize;
+    let mut exhausted = true;
+    // Tightest relaxation value among subtrees pruned by the epsilon test;
+    // `min(incumbent, pruned_floor)` is always a valid lower bound.
+    let mut pruned_floor = f64::INFINITY;
+
+    while let Some(extra) = stack.pop() {
+        if nodes >= node_limit {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+        let mut sub = lp.clone();
+        sub.constraints.extend(extra.iter().cloned());
+        let sol = match solve_lp(&sub) {
+            LpOutcome::Optimal(s) => s,
+            // Branching only tightens a feasible bounded problem, so
+            // Unbounded cannot appear below a bounded root; Infeasible
+            // prunes the node.
+            _ => continue,
+        };
+        if let Some(inc) = &incumbent {
+            // Relative epsilon: subtrees that cannot improve the incumbent
+            // by more than `rel_gap` of its value are not worth proving out.
+            let eps = 1e-9f64.max(rel_gap * inc.objective.abs());
+            if sol.objective >= inc.objective - eps {
+                pruned_floor = pruned_floor.min(sol.objective);
+                continue; // dominated subtree
+            }
+        }
+        match most_fractional(&sol.x, integer_vars) {
+            None => {
+                // Integral: round off numerical fuzz and keep as incumbent.
+                let mut s = sol;
+                for &i in integer_vars {
+                    s.x[i] = s.x[i].round();
+                }
+                incumbent = Some(s);
+            }
+            Some((var, value)) => {
+                let mut le = extra.clone();
+                let mut coeffs = vec![0.0; lp.n_vars];
+                coeffs[var] = 1.0;
+                le.push(Constraint::new(coeffs.clone(), Relation::Le, value.floor()));
+                let mut ge = extra;
+                ge.push(Constraint::new(coeffs, Relation::Ge, value.ceil()));
+                // Push the "floor" branch last so it is explored first:
+                // rounding down work assignments tends to be feasible.
+                stack.push(ge);
+                stack.push(le);
+            }
+        }
+    }
+
+    let (lower_bound, optimal) = match (&incumbent, exhausted) {
+        (Some(inc), true) => (inc.objective.min(pruned_floor), true),
+        (Some(_), false) | (None, false) => (root_bound, false),
+        (None, true) => (pruned_floor, true), // integer-infeasible unless pruned
+    };
+    IlpResult {
+        solution: incumbent,
+        lower_bound,
+        optimal,
+        nodes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pure_lp_passthrough_when_already_integral() {
+        // min x + y s.t. x + y >= 4, x <= 2 -> LP gives (2, 2), integral.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Relation::Ge, 4.0),
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 2.0),
+            ],
+        };
+        let r = solve_ilp(&lp, &[0, 1], 1000);
+        assert!(r.optimal);
+        assert!((r.lower_bound - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn integrality_gap_enforced() {
+        // min l s.t. n_c + n_g = 3, n_c <= l, 0.3 n_g <= l.
+        // LP relaxation: l = 0.6923; ILP: best split n_c=0,n_g=3 -> l = 0.9.
+        let lp = LinearProgram {
+            n_vars: 3, // n_c, n_g, l
+            objective: vec![0.0, 0.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0, 0.0], Relation::Eq, 3.0),
+                Constraint::new(vec![1.0, 0.0, -1.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.0, 0.3, -1.0], Relation::Le, 0.0),
+            ],
+        };
+        let r = solve_ilp(&lp, &[0, 1], 1000);
+        assert!(r.optimal);
+        let sol = r.solution.unwrap();
+        assert!((sol.objective - 0.9).abs() < 1e-6, "obj {}", sol.objective);
+        assert!((sol.x[0] - 0.0).abs() < 1e-6);
+        assert!((sol.x[1] - 3.0).abs() < 1e-6);
+        // ILP optimum dominates the LP relaxation.
+        assert!(r.lower_bound >= 0.6923 - 1e-6);
+    }
+
+    #[test]
+    fn knapsack_style() {
+        // min 5x + 4y s.t. 2x + 3y >= 7  (integers) -> candidates:
+        // x=0,y=3 -> 12 ; x=2,y=1 -> 14 ; x=1,y=2 -> 13; best 12.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![5.0, 4.0],
+            minimize: true,
+            constraints: vec![Constraint::new(vec![2.0, 3.0], Relation::Ge, 7.0)],
+        };
+        let r = solve_ilp(&lp, &[0, 1], 1000);
+        assert!(r.optimal);
+        assert!((r.solution.unwrap().objective - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_ilp() {
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0], Relation::Ge, 5.0),
+                Constraint::new(vec![1.0], Relation::Le, 3.0),
+            ],
+        };
+        let r = solve_ilp(&lp, &[0], 1000);
+        assert!(r.solution.is_none());
+        assert!(r.optimal);
+        assert!(r.lower_bound.is_infinite());
+    }
+
+    #[test]
+    fn node_limit_degrades_to_root_bound() {
+        // Same instance as integrality_gap_enforced but with a 1-node budget:
+        // no incumbent, bound = root relaxation.
+        let lp = LinearProgram {
+            n_vars: 3,
+            objective: vec![0.0, 0.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0, 0.0], Relation::Eq, 3.0),
+                Constraint::new(vec![1.0, 0.0, -1.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.0, 0.3, -1.0], Relation::Le, 0.0),
+            ],
+        };
+        let r = solve_ilp(&lp, &[0, 1], 1);
+        assert!(!r.optimal);
+        assert!((r.lower_bound - 0.9 / 1.3).abs() < 1e-4, "{}", r.lower_bound);
+    }
+
+    #[test]
+    fn fractional_continuous_vars_allowed() {
+        // Only x is integral; y may stay fractional. min x + y with
+        // x + 2y >= 3.5: y is twice as effective per unit cost, so the
+        // optimum is x = 0 (already integral), y = 1.75.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 2.0], Relation::Ge, 3.5),
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 1.0),
+            ],
+        };
+        let r = solve_ilp(&lp, &[0], 1000);
+        let sol = r.solution.unwrap();
+        assert!((sol.x[0] - 0.0).abs() < 1e-6);
+        assert!((sol.x[1] - 1.75).abs() < 1e-6);
+        assert!((sol.objective - 1.75).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,26 @@
+//! # hetchol-bounds
+//!
+//! Makespan lower bounds for heterogeneous scheduling, reproducing
+//! Section III of the paper:
+//!
+//! * [`simplex`] — a dense two-phase primal simplex LP solver (the paper's
+//!   LPs have at most `|kernels| × |classes| + 1 = 9` variables, so a
+//!   textbook implementation solves them exactly and instantly).
+//! * [`ilp`] — branch-and-bound on top of the LP relaxation, restoring the
+//!   paper's integrality requirement `n_rt ∈ ℕ`.
+//! * [`bounds`] — the **area bound** (work conservation per resource
+//!   class), the **mixed bound** (area + the POTRF/TRSM/SYRK critical
+//!   chain), the **critical-path bound** and the **GEMM peak**, plus the
+//!   conversion of each into a GFLOP/s performance upper bound
+//!   (Figure 2 of the paper).
+
+pub mod bounds;
+pub mod ilp;
+pub mod simplex;
+
+pub use bounds::{
+    area_bound, area_bound_algo, critical_path_bound, gemm_peak_gflops, kernel_peak_gflops,
+    mixed_bound, mixed_bound_algo, BoundSet,
+};
+pub use ilp::solve_ilp;
+pub use simplex::{solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation};

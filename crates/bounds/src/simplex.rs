@@ -1,0 +1,552 @@
+//! A dense two-phase primal simplex solver.
+//!
+//! Solves `min/max c·x` subject to linear constraints (`≤`, `=`, `≥`) and
+//! `x ≥ 0`. Designed for the paper's bound LPs — a handful of variables and
+//! constraints — so clarity and numerical robustness (Bland's rule, explicit
+//! tolerances) win over sparse-matrix sophistication.
+
+/// Relation of a linear constraint.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Relation {
+    /// `coeffs · x ≤ rhs`
+    Le,
+    /// `coeffs · x = rhs`
+    Eq,
+    /// `coeffs · x ≥ rhs`
+    Ge,
+}
+
+/// One linear constraint over the LP's variables.
+#[derive(Clone, Debug)]
+pub struct Constraint {
+    /// Coefficient of each variable (length = `n_vars`; shorter vectors are
+    /// implicitly zero-padded).
+    pub coeffs: Vec<f64>,
+    /// Constraint relation.
+    pub rel: Relation,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Convenience constructor.
+    pub fn new(coeffs: Vec<f64>, rel: Relation, rhs: f64) -> Constraint {
+        Constraint { coeffs, rel, rhs }
+    }
+}
+
+/// A linear program over non-negative variables.
+#[derive(Clone, Debug)]
+pub struct LinearProgram {
+    /// Number of decision variables.
+    pub n_vars: usize,
+    /// Objective coefficients (length = `n_vars`).
+    pub objective: Vec<f64>,
+    /// `true` to minimize, `false` to maximize.
+    pub minimize: bool,
+    /// The constraints.
+    pub constraints: Vec<Constraint>,
+}
+
+/// An optimal LP solution.
+#[derive(Clone, Debug)]
+pub struct LpSolution {
+    /// Objective value at the optimum.
+    pub objective: f64,
+    /// Optimal variable values.
+    pub x: Vec<f64>,
+}
+
+/// Result of solving an LP.
+#[derive(Clone, Debug)]
+pub enum LpOutcome {
+    /// A finite optimum was found.
+    Optimal(LpSolution),
+    /// The constraint set is empty.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+impl LpOutcome {
+    /// The solution if optimal, else `None`.
+    pub fn optimal(&self) -> Option<&LpSolution> {
+        match self {
+            LpOutcome::Optimal(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+const TOL: f64 = 1e-9;
+
+/// Dense simplex tableau with explicit basis bookkeeping.
+struct Tableau {
+    /// `rows × (n_cols + 1)`; the last column is the RHS.
+    rows: Vec<Vec<f64>>,
+    /// Objective row (reduced costs), length `n_cols + 1`; the last entry is
+    /// minus the current objective value.
+    z: Vec<f64>,
+    /// Basic variable (column) of each row.
+    basis: Vec<usize>,
+    n_cols: usize,
+}
+
+impl Tableau {
+    fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > TOL, "pivot on ~zero element");
+        let inv = 1.0 / piv;
+        for v in self.rows[row].iter_mut() {
+            *v *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (r, current) in self.rows.iter_mut().enumerate() {
+            if r != row {
+                let factor = current[col];
+                if factor != 0.0 {
+                    for (v, p) in current.iter_mut().zip(&pivot_row) {
+                        *v -= factor * p;
+                    }
+                }
+            }
+        }
+        let factor = self.z[col];
+        if factor != 0.0 {
+            for (v, p) in self.z.iter_mut().zip(&pivot_row) {
+                *v -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Run the simplex loop on the current objective row. Returns `false`
+    /// if the problem is unbounded in the direction of optimization.
+    fn optimize(&mut self, allowed_cols: usize) -> bool {
+        // Iteration cap as a cycling backstop on top of Bland's rule.
+        let max_iters = 50_000usize;
+        for _ in 0..max_iters {
+            // Bland's rule: entering column = lowest index with negative
+            // reduced cost.
+            let Some(col) = (0..allowed_cols).find(|&c| self.z[c] < -TOL) else {
+                return true; // optimal
+            };
+            // Ratio test; Bland tie-break on the basic variable index.
+            let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
+            for (r, row) in self.rows.iter().enumerate() {
+                if row[col] > TOL {
+                    let ratio = row[self.n_cols] / row[col];
+                    let key = (ratio, self.basis[r]);
+                    if best.is_none_or(|(br, bb, _)| key < (br, bb)) {
+                        best = Some((ratio, self.basis[r], r));
+                    }
+                }
+            }
+            let Some((_, _, row)) = best else {
+                return false; // unbounded
+            };
+            self.pivot(row, col);
+        }
+        panic!("simplex failed to converge within {max_iters} iterations");
+    }
+}
+
+/// Solve a linear program with the two-phase primal simplex method.
+pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
+    let n = lp.n_vars;
+    let m = lp.constraints.len();
+
+    // Normalise rows to have rhs >= 0 and count auxiliary columns.
+    struct Row {
+        coeffs: Vec<f64>,
+        rel: Relation,
+        rhs: f64,
+    }
+    let rows_in: Vec<Row> = lp
+        .constraints
+        .iter()
+        .map(|c| {
+            let mut coeffs = vec![0.0; n];
+            for (i, &v) in c.coeffs.iter().enumerate().take(n) {
+                coeffs[i] = v;
+            }
+            if c.rhs < 0.0 {
+                let rel = match c.rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+                Row {
+                    coeffs: coeffs.iter().map(|v| -v).collect(),
+                    rel,
+                    rhs: -c.rhs,
+                }
+            } else {
+                Row {
+                    coeffs,
+                    rel: c.rel,
+                    rhs: c.rhs,
+                }
+            }
+        })
+        .collect();
+
+    let n_slack = rows_in
+        .iter()
+        .filter(|r| matches!(r.rel, Relation::Le | Relation::Ge))
+        .count();
+    let n_art = rows_in
+        .iter()
+        .filter(|r| matches!(r.rel, Relation::Eq | Relation::Ge))
+        .count();
+    let n_cols = n + n_slack + n_art;
+
+    let mut tab = Tableau {
+        rows: Vec::with_capacity(m),
+        z: vec![0.0; n_cols + 1],
+        basis: Vec::with_capacity(m),
+        n_cols,
+    };
+
+    let mut next_slack = n;
+    let mut next_art = n + n_slack;
+    let mut art_cols = Vec::new();
+    for r in &rows_in {
+        let mut row = vec![0.0; n_cols + 1];
+        row[..n].copy_from_slice(&r.coeffs);
+        row[n_cols] = r.rhs;
+        match r.rel {
+            Relation::Le => {
+                row[next_slack] = 1.0;
+                tab.basis.push(next_slack);
+                next_slack += 1;
+            }
+            Relation::Ge => {
+                row[next_slack] = -1.0;
+                next_slack += 1;
+                row[next_art] = 1.0;
+                tab.basis.push(next_art);
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+            Relation::Eq => {
+                row[next_art] = 1.0;
+                tab.basis.push(next_art);
+                art_cols.push(next_art);
+                next_art += 1;
+            }
+        }
+        tab.rows.push(row);
+    }
+
+    // Phase 1: minimise the sum of artificials.
+    if !art_cols.is_empty() {
+        for &a in &art_cols {
+            tab.z[a] = 1.0;
+        }
+        // Price out the artificial basis: z-row must have zero reduced cost
+        // on basic columns.
+        for (r, &b) in tab.basis.clone().iter().enumerate() {
+            if tab.z[b] != 0.0 {
+                let factor = tab.z[b];
+                let row = tab.rows[r].clone();
+                for (v, p) in tab.z.iter_mut().zip(&row) {
+                    *v -= factor * p;
+                }
+            }
+        }
+        let bounded = tab.optimize(n_cols);
+        debug_assert!(bounded, "phase-1 objective is bounded by construction");
+        let phase1_obj = -tab.z[n_cols];
+        if phase1_obj > 1e-7 {
+            return LpOutcome::Infeasible;
+        }
+        // Drive any artificial still in the basis out (degenerate case).
+        for r in 0..tab.rows.len() {
+            if art_cols.contains(&tab.basis[r]) {
+                if let Some(col) = (0..n + n_slack).find(|&c| tab.rows[r][c].abs() > TOL) {
+                    tab.pivot(r, col);
+                } else {
+                    // Redundant constraint row: harmless, leave the
+                    // artificial basic at value ~0.
+                }
+            }
+        }
+    }
+
+    // Phase 2: install the true objective (as minimisation).
+    let sign = if lp.minimize { 1.0 } else { -1.0 };
+    tab.z = vec![0.0; n_cols + 1];
+    for i in 0..n {
+        tab.z[i] = sign * lp.objective.get(i).copied().unwrap_or(0.0);
+    }
+    // Forbid artificials from re-entering by pricing: restrict the entering
+    // column search to structural + slack columns.
+    let allowed = n + n_slack;
+    for (r, &b) in tab.basis.clone().iter().enumerate() {
+        if tab.z[b] != 0.0 {
+            let factor = tab.z[b];
+            let row = tab.rows[r].clone();
+            for (v, p) in tab.z.iter_mut().zip(&row) {
+                *v -= factor * p;
+            }
+        }
+    }
+    if !tab.optimize(allowed) {
+        return LpOutcome::Unbounded;
+    }
+
+    let mut x = vec![0.0; n];
+    for (r, &b) in tab.basis.iter().enumerate() {
+        if b < n {
+            x[b] = tab.rows[r][n_cols];
+        }
+    }
+    let objective: f64 = lp
+        .objective
+        .iter()
+        .zip(&x)
+        .map(|(c, v)| c * v)
+        .sum();
+    LpOutcome::Optimal(LpSolution { objective, x })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Simplex vs brute-force vertex enumeration on random 2-variable
+        /// LPs: `min c·x` over `x ≥ 0` and `≤` constraints with
+        /// non-negative rhs (always feasible at the origin) and
+        /// non-negative costs (always bounded below by 0). The optimum of
+        /// a bounded LP is attained at a vertex of the feasible polygon,
+        /// so enumerating all pairwise constraint intersections (plus the
+        /// axes) finds it.
+        #[test]
+        fn simplex_matches_vertex_enumeration(
+            c in prop::array::uniform2(0.0f64..10.0),
+            rows in prop::collection::vec((0.1f64..10.0, 0.1f64..10.0, 0.1f64..20.0), 1..6),
+        ) {
+            let lp = LinearProgram {
+                n_vars: 2,
+                objective: c.to_vec(),
+                minimize: true,
+                constraints: rows
+                    .iter()
+                    .map(|&(a, b, r)| Constraint::new(vec![a, b], Relation::Le, r))
+                    .collect(),
+            };
+            let sol = solve_lp(&lp);
+            let sol = sol.optimal().expect("feasible & bounded by construction");
+
+            // Brute force: all intersections of constraint boundaries and
+            // the axes. Boundaries: a·x + b·y = r for each row, x = 0, y = 0.
+            let mut lines: Vec<(f64, f64, f64)> = rows.clone();
+            lines.push((1.0, 0.0, 0.0)); // x = 0
+            lines.push((0.0, 1.0, 0.0)); // y = 0
+            let feasible = |x: f64, y: f64| {
+                x >= -1e-9
+                    && y >= -1e-9
+                    && rows.iter().all(|&(a, b, r)| a * x + b * y <= r + 1e-7)
+            };
+            let mut best = f64::INFINITY;
+            for i in 0..lines.len() {
+                for j in (i + 1)..lines.len() {
+                    let (a1, b1, r1) = lines[i];
+                    let (a2, b2, r2) = lines[j];
+                    let det = a1 * b2 - a2 * b1;
+                    if det.abs() < 1e-9 {
+                        continue;
+                    }
+                    let x = (r1 * b2 - r2 * b1) / det;
+                    let y = (a1 * r2 - a2 * r1) / det;
+                    if feasible(x, y) {
+                        best = best.min(c[0] * x + c[1] * y);
+                    }
+                }
+            }
+            // The origin is always a vertex candidate too.
+            best = best.min(0.0);
+            prop_assert!(
+                (sol.objective - best).abs() < 1e-5 * (1.0 + best.abs()),
+                "simplex {} vs brute force {best}",
+                sol.objective
+            );
+        }
+    }
+
+    fn assert_opt(outcome: &LpOutcome, expect_obj: f64, expect_x: Option<&[f64]>) {
+        let sol = outcome.optimal().unwrap_or_else(|| panic!("{outcome:?}"));
+        assert!(
+            (sol.objective - expect_obj).abs() < 1e-6,
+            "objective {} != {expect_obj}",
+            sol.objective
+        );
+        if let Some(xs) = expect_x {
+            for (got, want) in sol.x.iter().zip(xs) {
+                assert!((got - want).abs() < 1e-6, "x = {:?}", sol.x);
+            }
+        }
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  => (2, 6), 36.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![3.0, 5.0],
+            minimize: false,
+            constraints: vec![
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 4.0),
+                Constraint::new(vec![0.0, 2.0], Relation::Le, 12.0),
+                Constraint::new(vec![3.0, 2.0], Relation::Le, 18.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 36.0, Some(&[2.0, 6.0]));
+    }
+
+    #[test]
+    fn minimization_with_ge_needs_phase1() {
+        // min 2x + 3y s.t. x + y >= 10, x <= 8, y <= 8  => x=8, y=2, obj 22.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![2.0, 3.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Relation::Ge, 10.0),
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 8.0),
+                Constraint::new(vec![0.0, 1.0], Relation::Le, 8.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 22.0, Some(&[8.0, 2.0]));
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + 2y s.t. x + y = 5, x - y = 1 => (3, 2), obj 7.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 2.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Relation::Eq, 5.0),
+                Constraint::new(vec![1.0, -1.0], Relation::Eq, 1.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 7.0, Some(&[3.0, 2.0]));
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x >= 5 and x <= 3.
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0], Relation::Ge, 5.0),
+                Constraint::new(vec![1.0], Relation::Le, 3.0),
+            ],
+        };
+        assert!(matches!(solve_lp(&lp), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x with x >= 1 only.
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: false,
+            constraints: vec![Constraint::new(vec![1.0], Relation::Ge, 1.0)],
+        };
+        assert!(matches!(solve_lp(&lp), LpOutcome::Unbounded));
+    }
+
+    #[test]
+    fn negative_rhs_normalised() {
+        // min x s.t. -x <= -4  (i.e. x >= 4).
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: true,
+            constraints: vec![Constraint::new(vec![-1.0], Relation::Le, -4.0)],
+        };
+        assert_opt(&solve_lp(&lp), 4.0, Some(&[4.0]));
+    }
+
+    #[test]
+    fn degenerate_pivoting_terminates() {
+        // A classic degenerate instance (Beale-like); Bland's rule must not
+        // cycle. max 0.75a - 150b + 0.02c - 6d with the standard rows.
+        let lp = LinearProgram {
+            n_vars: 4,
+            objective: vec![0.75, -150.0, 0.02, -6.0],
+            minimize: false,
+            constraints: vec![
+                Constraint::new(vec![0.25, -60.0, -0.04, 9.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.5, -90.0, -0.02, 3.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.0, 0.0, 1.0, 0.0], Relation::Le, 1.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 0.05, None);
+    }
+
+    #[test]
+    fn redundant_equalities() {
+        // x + y = 4 stated twice; min y => (4, 0).
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![0.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Relation::Eq, 4.0),
+                Constraint::new(vec![2.0, 2.0], Relation::Eq, 8.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 0.0, None);
+    }
+
+    #[test]
+    fn short_coefficient_vectors_are_padded() {
+        // Constraint mentions only x0 out of 3 vars.
+        let lp = LinearProgram {
+            n_vars: 3,
+            objective: vec![1.0, 1.0, 1.0],
+            minimize: true,
+            constraints: vec![Constraint::new(vec![1.0], Relation::Ge, 2.0)],
+        };
+        assert_opt(&solve_lp(&lp), 2.0, Some(&[2.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn area_bound_shape_lp() {
+        // A miniature of the paper's area bound: 2 task types, 2 classes.
+        // 10 tasks of type A (1s CPU, 0.1s GPU), 2 of type B (1s, 0.5s);
+        // 2 CPUs, 1 GPU. Variables: nA_cpu nA_gpu nB_cpu nB_gpu l.
+        let lp = LinearProgram {
+            n_vars: 5,
+            objective: vec![0.0, 0.0, 0.0, 0.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0, 0.0, 0.0, 0.0], Relation::Eq, 10.0),
+                Constraint::new(vec![0.0, 0.0, 1.0, 1.0, 0.0], Relation::Eq, 2.0),
+                // CPU class: 1*nA + 1*nB <= 2 l
+                Constraint::new(vec![1.0, 0.0, 1.0, 0.0, -2.0], Relation::Le, 0.0),
+                // GPU class: 0.1 nA + 0.5 nB <= 1 l
+                Constraint::new(vec![0.0, 0.1, 0.0, 0.5, -1.0], Relation::Le, 0.0),
+            ],
+        };
+        let sol = solve_lp(&lp);
+        let s = sol.optimal().unwrap();
+        // All 12 tasks must be placed and l balances both classes.
+        assert!(s.objective > 0.0);
+        assert!(s.x[0] + s.x[1] > 9.99);
+        // l must cover the GPU load.
+        assert!(0.1 * s.x[1] + 0.5 * s.x[3] <= s.objective + 1e-9);
+    }
+}

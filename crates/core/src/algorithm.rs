@@ -1,0 +1,170 @@
+//! The supported factorization algorithms, as one dispatchable value.
+//!
+//! The paper studies Cholesky and observes the methodology carries to the
+//! other one-sided factorizations; [`Algorithm`] is the handle the bounds,
+//! harness and examples use to run the same experiment on Cholesky, LU
+//! (no pivoting) or QR.
+
+use crate::dag::TaskGraph;
+use crate::kernel::Kernel;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// A tiled one-sided factorization.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// The paper's subject: `A = L·Lᵀ` of an SPD matrix.
+    Cholesky,
+    /// Tiled LU without pivoting (extension).
+    Lu,
+    /// Tiled QR, flat-tree elimination (extension).
+    Qr,
+}
+
+impl Algorithm {
+    /// All supported algorithms.
+    pub const ALL: [Algorithm; 3] = [Algorithm::Cholesky, Algorithm::Lu, Algorithm::Qr];
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Algorithm::Cholesky => "cholesky",
+            Algorithm::Lu => "lu",
+            Algorithm::Qr => "qr",
+        }
+    }
+
+    /// The kernel set of the algorithm.
+    pub fn kernels(self) -> &'static [Kernel] {
+        match self {
+            Algorithm::Cholesky => &Kernel::CHOLESKY,
+            Algorithm::Lu => &Kernel::LU,
+            Algorithm::Qr => &Kernel::QR,
+        }
+    }
+
+    /// Number of tasks of `kernel` in an `n × n`-tile factorization.
+    pub fn count(self, kernel: Kernel, n: usize) -> usize {
+        match self {
+            Algorithm::Cholesky => kernel.count_in_cholesky(n),
+            Algorithm::Lu => kernel.count_in_lu(n),
+            Algorithm::Qr => kernel.count_in_qr(n),
+        }
+    }
+
+    /// Task counts for every kernel, indexed by [`Kernel::index`].
+    pub fn counts(self, n: usize) -> [usize; Kernel::COUNT] {
+        std::array::from_fn(|i| self.count(Kernel::from_index(i), n))
+    }
+
+    /// Total task count.
+    pub fn total_tasks(self, n: usize) -> usize {
+        self.counts(n).iter().sum()
+    }
+
+    /// Build the task graph.
+    pub fn graph(self, n: usize) -> TaskGraph {
+        match self {
+            Algorithm::Cholesky => TaskGraph::cholesky(n),
+            Algorithm::Lu => TaskGraph::lu(n),
+            Algorithm::Qr => TaskGraph::qr(n),
+        }
+    }
+
+    /// Floating-point operations for an `N × N` matrix (element count):
+    /// `N³/3` for Cholesky, `2N³/3` for LU, `4N³/3` for QR (leading
+    /// order; Cholesky keeps its conventional lower-order terms).
+    pub fn flops(self, n_elements: usize) -> f64 {
+        let n = n_elements as f64;
+        match self {
+            Algorithm::Cholesky => crate::metrics::cholesky_flops(n_elements),
+            Algorithm::Lu => 2.0 * n * n * n / 3.0,
+            Algorithm::Qr => 4.0 * n * n * n / 3.0,
+        }
+    }
+
+    /// Achieved GFLOP/s for an `n_tiles × n_tiles` run at tile size `nb`.
+    pub fn gflops(self, n_tiles: usize, nb: usize, makespan: Time) -> f64 {
+        if makespan.is_zero() {
+            return 0.0;
+        }
+        self.flops(n_tiles * nb) / makespan.as_secs_f64() / 1e9
+    }
+
+    /// The diagonal-factorization kernel, whose `n` occurrences all sit on
+    /// one path of the DAG (the paper's mixed-bound observation for
+    /// POTRF generalises to GETRF and GEQRT).
+    pub fn diag_kernel(self) -> Kernel {
+        match self {
+            Algorithm::Cholesky => Kernel::Potrf,
+            Algorithm::Lu => Kernel::Getrf,
+            Algorithm::Qr => Kernel::Geqrt,
+        }
+    }
+
+    /// Kernels that appear once per step on the diagonal chain alongside
+    /// the diagonal kernel (`n − 1` occurrences each): TRSM+SYRK for
+    /// Cholesky (the paper's chain), TRSM+GEMM for LU, TSQRT+TSMQR for QR.
+    pub fn chain_kernels(self) -> &'static [Kernel] {
+        match self {
+            Algorithm::Cholesky => &[Kernel::Trsm, Kernel::Syrk],
+            Algorithm::Lu => &[Kernel::Trsm, Kernel::Gemm],
+            Algorithm::Qr => &[Kernel::Tsqrt, Kernel::Tsmqr],
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_match_graphs() {
+        for algo in Algorithm::ALL {
+            for n in 0..=8usize {
+                let g = algo.graph(n);
+                assert_eq!(g.len(), algo.total_tasks(n), "{algo} n={n}");
+                assert_eq!(g.kernel_counts(), algo.counts(n), "{algo} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn flop_ratios() {
+        let n = 4800;
+        let chol = Algorithm::Cholesky.flops(n);
+        let lu = Algorithm::Lu.flops(n);
+        let qr = Algorithm::Qr.flops(n);
+        assert!((lu / chol - 2.0).abs() < 0.01);
+        assert!((qr / chol - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn chain_kernels_belong_to_the_algorithm() {
+        for algo in Algorithm::ALL {
+            assert!(algo.kernels().contains(&algo.diag_kernel()));
+            for k in algo.chain_kernels() {
+                assert!(algo.kernels().contains(k), "{algo}: {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn gflops_zero_makespan() {
+        assert_eq!(Algorithm::Lu.gflops(4, 960, Time::ZERO), 0.0);
+        assert!(Algorithm::Qr.gflops(4, 960, Time::from_secs(1)) > 0.0);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Algorithm::Cholesky.to_string(), "cholesky");
+        assert_eq!(Algorithm::Lu.label(), "lu");
+        assert_eq!(Algorithm::Qr.label(), "qr");
+    }
+}

@@ -1,0 +1,642 @@
+//! Task graphs of the tiled factorizations (Figure 1 of the paper for
+//! Cholesky; LU and QR are the DESIGN.md §8 extension).
+//!
+//! Dependencies are derived *data-driven* from the per-task accesses of
+//! [`crate::task::TaskCoords::accesses`]: a read depends on the last writer
+//! of the tile (RAW), a write depends on the last writer (WAW) and on every
+//! reader since that write (WAR). For the in-place tiled Cholesky this
+//! produces exactly the classic DAG of the paper, the same engine derives
+//! the LU and QR graphs, and the generic construction doubles as a
+//! correctness check of the access lists.
+
+use crate::kernel::Kernel;
+use crate::task::{Task, TaskCoords, TaskId, Tile};
+use crate::time::Time;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// An immutable task graph with precomputed adjacency.
+#[derive(Clone, Debug)]
+pub struct TaskGraph {
+    /// Matrix order in tiles.
+    n: usize,
+    /// Tasks in sequential-algorithm submission order.
+    tasks: Vec<Task>,
+    /// Direct successors of each task (deduplicated, sorted).
+    succs: Vec<Vec<TaskId>>,
+    /// Direct predecessors of each task (deduplicated, sorted).
+    preds: Vec<Vec<TaskId>>,
+    /// Map from coordinates to identifier.
+    by_coords: HashMap<TaskCoords, TaskId>,
+}
+
+impl TaskGraph {
+    /// Build the task graph of the Cholesky factorization of an
+    /// `n × n`-tile matrix, following Algorithm 1 of the paper.
+    ///
+    /// Tasks are created in the sequential pseudocode order, which is also
+    /// the order a StarPU application would submit them in.
+    ///
+    /// ```
+    /// use hetchol_core::dag::TaskGraph;
+    ///
+    /// // Figure 1 of the paper: the 5x5-tile DAG has 35 tasks.
+    /// let g = TaskGraph::cholesky(5);
+    /// assert_eq!(g.len(), 35);
+    /// assert_eq!(g.entry_tasks().len(), 1);
+    /// assert!(g.to_dot().contains("POTRF_0"));
+    /// ```
+    pub fn cholesky(n: usize) -> TaskGraph {
+        let mut coords = Vec::with_capacity(Kernel::total_cholesky_tasks(n));
+        for k in 0..n as u32 {
+            coords.push(TaskCoords::Potrf { k });
+            for i in (k + 1)..n as u32 {
+                coords.push(TaskCoords::Trsm { k, i });
+            }
+            for j in (k + 1)..n as u32 {
+                coords.push(TaskCoords::Syrk { k, j });
+                for i in (j + 1)..n as u32 {
+                    coords.push(TaskCoords::Gemm { k, i, j });
+                }
+            }
+        }
+        Self::from_submission_order(n, coords)
+    }
+
+    /// Build the task graph of the tiled LU factorization *without
+    /// pivoting* of an `n × n`-tile matrix (extension; see DESIGN.md §8).
+    ///
+    /// Per step `k`: `GETRF(k)`, then the row panel (`LuTrsmRow`), the
+    /// column panel (`LuTrsmCol`), then the `(n-1-k)²` trailing `LuGemm`
+    /// updates.
+    pub fn lu(n: usize) -> TaskGraph {
+        let mut coords = Vec::with_capacity(Kernel::total_lu_tasks(n));
+        for k in 0..n as u32 {
+            coords.push(TaskCoords::Getrf { k });
+            for j in (k + 1)..n as u32 {
+                coords.push(TaskCoords::LuTrsmRow { k, j });
+            }
+            for i in (k + 1)..n as u32 {
+                coords.push(TaskCoords::LuTrsmCol { k, i });
+            }
+            for i in (k + 1)..n as u32 {
+                for j in (k + 1)..n as u32 {
+                    coords.push(TaskCoords::LuGemm { k, i, j });
+                }
+            }
+        }
+        Self::from_submission_order(n, coords)
+    }
+
+    /// Build the task graph of the tiled QR factorization (flat-tree
+    /// elimination, as in PLASMA's default) of an `n × n`-tile matrix
+    /// (extension; see DESIGN.md §8).
+    ///
+    /// Per step `k`: `GEQRT(k)`, the `ORMQR` row applications, then for
+    /// each sub-diagonal row `i` a `TSQRT(k, i)` followed by its row of
+    /// `TSMQR` applications — the serial TSQRT chain is what makes the QR
+    /// critical path longer than Cholesky's.
+    pub fn qr(n: usize) -> TaskGraph {
+        let mut coords = Vec::with_capacity(Kernel::total_qr_tasks(n));
+        for k in 0..n as u32 {
+            coords.push(TaskCoords::Geqrt { k });
+            for j in (k + 1)..n as u32 {
+                coords.push(TaskCoords::Ormqr { k, j });
+            }
+            for i in (k + 1)..n as u32 {
+                coords.push(TaskCoords::Tsqrt { k, i });
+                for j in (k + 1)..n as u32 {
+                    coords.push(TaskCoords::Tsmqr { k, i, j });
+                }
+            }
+        }
+        Self::from_submission_order(n, coords)
+    }
+
+    /// Build a graph from an explicit submission order of tasks, deriving
+    /// dependencies from data accesses. Exposed so tests can build custom
+    /// micro-DAGs with the same machinery.
+    pub fn from_submission_order(n: usize, coords: Vec<TaskCoords>) -> TaskGraph {
+        let tasks: Vec<Task> = coords
+            .iter()
+            .enumerate()
+            .map(|(idx, &c)| Task {
+                id: TaskId(idx as u32),
+                coords: c,
+            })
+            .collect();
+
+        let mut by_coords = HashMap::with_capacity(tasks.len());
+        for t in &tasks {
+            let prior = by_coords.insert(t.coords, t.id);
+            assert!(prior.is_none(), "duplicate task {:?}", t.coords);
+        }
+
+        // Per-tile data hazard state.
+        #[derive(Default, Clone)]
+        struct TileState {
+            last_writer: Option<TaskId>,
+            readers_since_write: Vec<TaskId>,
+        }
+        let mut tile_state: HashMap<Tile, TileState> = HashMap::new();
+
+        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
+        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
+        let add_edge = |succs: &mut Vec<Vec<TaskId>>,
+                            preds: &mut Vec<Vec<TaskId>>,
+                            from: TaskId,
+                            to: TaskId| {
+            if from != to {
+                succs[from.index()].push(to);
+                preds[to.index()].push(from);
+            }
+        };
+
+        for t in &tasks {
+            for access in t.coords.accesses() {
+                let st = tile_state.entry(access.tile).or_default();
+                if access.mode.is_write() {
+                    // RAW/WAW on the previous writer.
+                    if let Some(w) = st.last_writer {
+                        add_edge(&mut succs, &mut preds, w, t.id);
+                    }
+                    // WAR on every reader since that write.
+                    for &r in &st.readers_since_write {
+                        add_edge(&mut succs, &mut preds, r, t.id);
+                    }
+                    st.last_writer = Some(t.id);
+                    st.readers_since_write.clear();
+                } else {
+                    if let Some(w) = st.last_writer {
+                        add_edge(&mut succs, &mut preds, w, t.id);
+                    }
+                    st.readers_since_write.push(t.id);
+                }
+            }
+        }
+
+        for list in succs.iter_mut().chain(preds.iter_mut()) {
+            list.sort_unstable();
+            list.dedup();
+        }
+
+        TaskGraph {
+            n,
+            tasks,
+            succs,
+            preds,
+            by_coords,
+        }
+    }
+
+    /// Matrix order in tiles.
+    #[inline]
+    pub fn n_tiles(&self) -> usize {
+        self.n
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// `true` iff the graph has no tasks (`n = 0`).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// All tasks, in submission order.
+    #[inline]
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// Look up a task by identifier.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.index()]
+    }
+
+    /// Look up a task by coordinates.
+    #[inline]
+    pub fn find(&self, coords: TaskCoords) -> Option<TaskId> {
+        self.by_coords.get(&coords).copied()
+    }
+
+    /// Direct successors of a task.
+    #[inline]
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.succs[id.index()]
+    }
+
+    /// Direct predecessors of a task.
+    #[inline]
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.preds[id.index()]
+    }
+
+    /// In-degree of each task (used to seed ready queues).
+    pub fn indegrees(&self) -> Vec<usize> {
+        self.preds.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of (deduplicated) edges.
+    pub fn n_edges(&self) -> usize {
+        self.succs.iter().map(Vec::len).sum()
+    }
+
+    /// Iterate all edges `(from, to)`.
+    pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
+        self.succs
+            .iter()
+            .enumerate()
+            .flat_map(|(i, ss)| ss.iter().map(move |&s| (TaskId(i as u32), s)))
+    }
+
+    /// Tasks with no predecessors.
+    pub fn entry_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| self.preds[t.id.index()].is_empty())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Tasks with no successors.
+    pub fn exit_tasks(&self) -> Vec<TaskId> {
+        self.tasks
+            .iter()
+            .filter(|t| self.succs[t.id.index()].is_empty())
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Number of tasks of each kernel, indexed by [`Kernel::index`].
+    pub fn kernel_counts(&self) -> [usize; Kernel::COUNT] {
+        let mut counts = [0usize; Kernel::COUNT];
+        for t in &self.tasks {
+            counts[t.kernel().index()] += 1;
+        }
+        counts
+    }
+
+    /// A topological order of the tasks (Kahn's algorithm, stable with
+    /// respect to submission order among simultaneously-ready tasks).
+    ///
+    /// # Panics
+    /// Panics if the graph contains a cycle — impossible for graphs built by
+    /// the data-driven constructor, which only ever adds backward-in-time
+    /// edges.
+    pub fn topo_order(&self) -> Vec<TaskId> {
+        let mut indeg = self.indegrees();
+        // A plain FIFO over dense ids preserves submission order because
+        // edges always point forward in submission order.
+        let mut queue: std::collections::VecDeque<TaskId> = self
+            .tasks
+            .iter()
+            .filter(|t| indeg[t.id.index()] == 0)
+            .map(|t| t.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.len());
+        while let Some(id) = queue.pop_front() {
+            order.push(id);
+            for &s in self.successors(id) {
+                indeg[s.index()] -= 1;
+                if indeg[s.index()] == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        assert_eq!(order.len(), self.len(), "task graph contains a cycle");
+        order
+    }
+
+    /// Bottom level of every task: the weight of the longest path from the
+    /// task to an exit task, *including* the task's own duration.
+    ///
+    /// `duration` maps a task to the weight used for path lengths; the paper
+    /// uses the fastest execution time of each task among the resources for
+    /// the `dmdas` priorities and the critical-path bound (Sections III-C
+    /// and V-A).
+    pub fn bottom_levels(&self, mut duration: impl FnMut(TaskId) -> Time) -> Vec<Time> {
+        let order = self.topo_order();
+        let mut bl = vec![Time::ZERO; self.len()];
+        for &id in order.iter().rev() {
+            let tail = self
+                .successors(id)
+                .iter()
+                .map(|s| bl[s.index()])
+                .max()
+                .unwrap_or(Time::ZERO);
+            bl[id.index()] = duration(id) + tail;
+        }
+        bl
+    }
+
+    /// Length of the critical path under the given per-task durations:
+    /// the largest bottom level over all tasks.
+    pub fn critical_path(&self, duration: impl FnMut(TaskId) -> Time) -> Time {
+        self.bottom_levels(duration)
+            .into_iter()
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Depth (number of tasks on the longest chain ending at each task),
+    /// 1 for entry tasks. Handy for layered trace rendering and tests.
+    pub fn depths(&self) -> Vec<usize> {
+        let order = self.topo_order();
+        let mut depth = vec![0usize; self.len()];
+        for &id in &order {
+            let d = self
+                .predecessors(id)
+                .iter()
+                .map(|p| depth[p.index()])
+                .max()
+                .unwrap_or(0);
+            depth[id.index()] = d + 1;
+        }
+        depth
+    }
+
+    /// Render the graph in Graphviz DOT format with the paper's task names
+    /// and one fill colour per kernel (Figure 1).
+    pub fn to_dot(&self) -> String {
+        let mut out = String::new();
+        out.push_str("digraph cholesky {\n  rankdir=TB;\n  node [style=filled];\n");
+        for t in &self.tasks {
+            let color = match t.kernel() {
+                Kernel::Potrf => "#e41a1c",
+                Kernel::Trsm => "#377eb8",
+                Kernel::Syrk => "#4daf4a",
+                Kernel::Gemm => "#ff7f00",
+                Kernel::Getrf => "#984ea3",
+                Kernel::Geqrt => "#a65628",
+                Kernel::Tsqrt => "#f781bf",
+                Kernel::Ormqr => "#999999",
+                Kernel::Tsmqr => "#ffff33",
+            };
+            let _ = writeln!(out, "  \"{}\" [fillcolor=\"{color}\"];", t.coords);
+        }
+        for (from, to) in self.edges() {
+            let _ = writeln!(
+                out,
+                "  \"{}\" -> \"{}\";",
+                self.task(from).coords,
+                self.task(to).coords
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(g: &TaskGraph, a: TaskCoords, b: TaskCoords) -> bool {
+        let (a, b) = (g.find(a).unwrap(), g.find(b).unwrap());
+        g.successors(a).contains(&b)
+    }
+
+    #[test]
+    fn figure1_graph_has_35_tasks() {
+        let g = TaskGraph::cholesky(5);
+        assert_eq!(g.len(), 35);
+        assert_eq!(g.kernel_counts()[..4], [5, 10, 10, 10]);
+        assert!(g.kernel_counts()[4..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn classic_dependencies_present() {
+        let g = TaskGraph::cholesky(5);
+        // POTRF(0) -> TRSM(1,0)
+        assert!(edge(
+            &g,
+            TaskCoords::Potrf { k: 0 },
+            TaskCoords::Trsm { k: 0, i: 1 }
+        ));
+        // TRSM(1,0) -> SYRK(1,0)
+        assert!(edge(
+            &g,
+            TaskCoords::Trsm { k: 0, i: 1 },
+            TaskCoords::Syrk { k: 0, j: 1 }
+        ));
+        // SYRK(1,0) -> POTRF(1)
+        assert!(edge(
+            &g,
+            TaskCoords::Syrk { k: 0, j: 1 },
+            TaskCoords::Potrf { k: 1 }
+        ));
+        // TRSM(2,0) and TRSM(1,0) feed GEMM(2,1,0)
+        assert!(edge(
+            &g,
+            TaskCoords::Trsm { k: 0, i: 2 },
+            TaskCoords::Gemm { k: 0, i: 2, j: 1 }
+        ));
+        assert!(edge(
+            &g,
+            TaskCoords::Trsm { k: 0, i: 1 },
+            TaskCoords::Gemm { k: 0, i: 2, j: 1 }
+        ));
+        // GEMM(2,1,0) -> TRSM(2,1): update then solve of A[2][1]
+        assert!(edge(
+            &g,
+            TaskCoords::Gemm { k: 0, i: 2, j: 1 },
+            TaskCoords::Trsm { k: 1, i: 2 }
+        ));
+        // SYRK(2,0) -> SYRK(2,1): successive updates of A[2][2]
+        assert!(edge(
+            &g,
+            TaskCoords::Syrk { k: 0, j: 2 },
+            TaskCoords::Syrk { k: 1, j: 2 }
+        ));
+        // No bogus edge: POTRF(0) does not directly feed SYRK(1,0)
+        assert!(!edge(
+            &g,
+            TaskCoords::Potrf { k: 0 },
+            TaskCoords::Syrk { k: 0, j: 1 }
+        ));
+    }
+
+    #[test]
+    fn single_entry_single_exit() {
+        for n in 1..=12 {
+            let g = TaskGraph::cholesky(n);
+            let entries = g.entry_tasks();
+            let exits = g.exit_tasks();
+            assert_eq!(entries.len(), 1, "n={n}");
+            assert_eq!(g.task(entries[0]).coords, TaskCoords::Potrf { k: 0 });
+            assert_eq!(exits.len(), 1, "n={n}");
+            assert_eq!(
+                g.task(exits[0]).coords,
+                TaskCoords::Potrf {
+                    k: n as u32 - 1
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn topo_order_is_consistent() {
+        let g = TaskGraph::cholesky(8);
+        let order = g.topo_order();
+        assert_eq!(order.len(), g.len());
+        let mut pos = vec![usize::MAX; g.len()];
+        for (p, id) in order.iter().enumerate() {
+            pos[id.index()] = p;
+        }
+        for (from, to) in g.edges() {
+            assert!(pos[from.index()] < pos[to.index()]);
+        }
+    }
+
+    #[test]
+    fn unit_critical_path_is_3n_minus_2() {
+        // The POTRF -> TRSM -> SYRK -> POTRF ... chain the paper exploits for
+        // the mixed bound has 3(n-1) + 1 tasks.
+        for n in 1..=16 {
+            let g = TaskGraph::cholesky(n);
+            let cp = g.critical_path(|_| Time::from_millis(1));
+            assert_eq!(
+                cp,
+                Time::from_millis(3 * n as u64 - 2),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn bottom_levels_decrease_along_edges() {
+        let g = TaskGraph::cholesky(10);
+        let bl = g.bottom_levels(|_| Time::from_millis(1));
+        for (from, to) in g.edges() {
+            assert!(bl[from.index()] > bl[to.index()]);
+        }
+    }
+
+    #[test]
+    fn depths_start_at_one() {
+        let g = TaskGraph::cholesky(6);
+        let d = g.depths();
+        let entry = g.entry_tasks()[0];
+        assert_eq!(d[entry.index()], 1);
+        for (from, to) in g.edges() {
+            assert!(d[to.index()] > d[from.index()]);
+        }
+    }
+
+    #[test]
+    fn edge_count_grows_like_n_cubed() {
+        // Sanity envelope rather than an exact closed form: the GEMM count
+        // dominates and each GEMM has >= 3 incident input edges.
+        let g = TaskGraph::cholesky(10);
+        assert!(g.n_edges() >= 3 * Kernel::Gemm.count_in_cholesky(10));
+        assert!(g.n_edges() < 6 * g.len());
+    }
+
+    #[test]
+    fn dot_output_contains_tasks_and_edges() {
+        let g = TaskGraph::cholesky(3);
+        let dot = g.to_dot();
+        assert!(dot.contains("digraph cholesky"));
+        assert!(dot.contains("\"POTRF_0\""));
+        assert!(dot.contains("\"POTRF_0\" -> \"TRSM_1_0\""));
+        assert!(dot.contains("\"GEMM_2_1_0\""));
+    }
+
+    #[test]
+    fn lu_graph_structure() {
+        for n in 1..=8usize {
+            let g = TaskGraph::lu(n);
+            assert_eq!(g.len(), Kernel::total_lu_tasks(n), "n={n}");
+            assert_eq!(g.entry_tasks().len(), 1, "n={n}");
+            assert_eq!(
+                g.task(g.entry_tasks()[0]).coords,
+                TaskCoords::Getrf { k: 0 }
+            );
+            // Exit: the last GETRF.
+            let exits = g.exit_tasks();
+            assert_eq!(exits.len(), 1, "n={n}");
+            assert_eq!(
+                g.task(exits[0]).coords,
+                TaskCoords::Getrf { k: n as u32 - 1 }
+            );
+            // Acyclic with a full topological order.
+            assert_eq!(g.topo_order().len(), g.len());
+        }
+        // Classic LU dependencies at n = 3.
+        let g = TaskGraph::lu(3);
+        let e = |a: TaskCoords, b: TaskCoords| {
+            g.successors(g.find(a).unwrap()).contains(&g.find(b).unwrap())
+        };
+        assert!(e(TaskCoords::Getrf { k: 0 }, TaskCoords::LuTrsmRow { k: 0, j: 1 }));
+        assert!(e(TaskCoords::Getrf { k: 0 }, TaskCoords::LuTrsmCol { k: 0, i: 2 }));
+        assert!(e(
+            TaskCoords::LuTrsmRow { k: 0, j: 1 },
+            TaskCoords::LuGemm { k: 0, i: 1, j: 1 }
+        ));
+        assert!(e(
+            TaskCoords::LuGemm { k: 0, i: 1, j: 1 },
+            TaskCoords::Getrf { k: 1 }
+        ));
+    }
+
+    #[test]
+    fn qr_graph_structure() {
+        for n in 1..=8usize {
+            let g = TaskGraph::qr(n);
+            assert_eq!(g.len(), Kernel::total_qr_tasks(n), "n={n}");
+            assert_eq!(g.entry_tasks().len(), 1, "n={n}");
+            assert_eq!(g.topo_order().len(), g.len());
+        }
+        let g = TaskGraph::qr(3);
+        let e = |a: TaskCoords, b: TaskCoords| {
+            g.successors(g.find(a).unwrap()).contains(&g.find(b).unwrap())
+        };
+        // GEQRT(0) gates both its ORMQRs and the first TSQRT (RW chain on
+        // the diagonal tile).
+        assert!(e(TaskCoords::Geqrt { k: 0 }, TaskCoords::Ormqr { k: 0, j: 1 }));
+        assert!(e(TaskCoords::Geqrt { k: 0 }, TaskCoords::Tsqrt { k: 0, i: 1 }));
+        // TSQRTs of one step serialise on the diagonal tile.
+        assert!(e(
+            TaskCoords::Tsqrt { k: 0, i: 1 },
+            TaskCoords::Tsqrt { k: 0, i: 2 }
+        ));
+        // TSMQR needs its TSQRT's reflectors.
+        assert!(e(
+            TaskCoords::Tsqrt { k: 0, i: 1 },
+            TaskCoords::Tsmqr { k: 0, i: 1, j: 1 }
+        ));
+        // TSMQRs on the same row tile A[k][j] serialise across i.
+        assert!(e(
+            TaskCoords::Tsmqr { k: 0, i: 1, j: 1 },
+            TaskCoords::Tsmqr { k: 0, i: 2, j: 1 }
+        ));
+    }
+
+    #[test]
+    fn qr_critical_path_longer_than_cholesky() {
+        // The serial TSQRT chain makes QR's unit-duration critical path
+        // strictly longer than Cholesky's 3n - 2 for n >= 3.
+        for n in 3..=8usize {
+            let qr = TaskGraph::qr(n).critical_path(|_| Time::from_millis(1));
+            let chol =
+                TaskGraph::cholesky(n).critical_path(|_| Time::from_millis(1));
+            assert!(qr > chol, "n={n}: qr {qr} chol {chol}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_graphs() {
+        let g0 = TaskGraph::cholesky(0);
+        assert!(g0.is_empty());
+        assert_eq!(g0.critical_path(|_| Time::from_millis(1)), Time::ZERO);
+        let g1 = TaskGraph::cholesky(1);
+        assert_eq!(g1.len(), 1);
+        assert_eq!(g1.n_edges(), 0);
+    }
+}

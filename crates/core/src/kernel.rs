@@ -1,0 +1,291 @@
+//! The tile kernels of the supported dense factorizations.
+//!
+//! The paper studies the tiled Cholesky factorization (POTRF / TRSM /
+//! SYRK / GEMM, Section II-A) and notes the same methodology applies to
+//! the other one-sided factorizations; this crate also carries the tiled
+//! LU (no pivoting) and tiled QR kernel sets so the bounds, schedulers
+//! and simulator can be exercised on them (see DESIGN.md §8, Extensions).
+//!
+//! LU reuses the BLAS3 `TRSM`/`GEMM` kernels (their cost per tile is the
+//! same as in Cholesky); only its diagonal factorization `GETRF` is new.
+//! QR brings the four tile-QR kernels of Buttari et al.:
+//! `GEQRT`/`TSQRT`/`ORMQR`/`TSMQR`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One tile kernel.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub enum Kernel {
+    /// Cholesky factorization of a diagonal tile (`dpotrf`).
+    Potrf,
+    /// Triangular solve (`dtrsm`) — used by both Cholesky and LU panels.
+    Trsm,
+    /// Symmetric rank-`nb` update of a diagonal tile (`dsyrk`).
+    Syrk,
+    /// General tile update (`dgemm`) — Cholesky and LU trailing updates.
+    Gemm,
+    /// LU factorization (no pivoting) of a diagonal tile (`dgetrf`).
+    Getrf,
+    /// QR factorization of a diagonal tile (`dgeqrt`).
+    Geqrt,
+    /// QR of a triangle stacked on a square tile (`dtsqrt`).
+    Tsqrt,
+    /// Apply a GEQRT reflector block to a row tile (`dormqr`).
+    Ormqr,
+    /// Apply a TSQRT reflector block to a stacked tile pair (`dtsmqr`).
+    Tsmqr,
+}
+
+impl Kernel {
+    /// All kernels, in the canonical order used for tables and LP
+    /// variables. The first four are the Cholesky set of the paper.
+    pub const ALL: [Kernel; 9] = [
+        Kernel::Potrf,
+        Kernel::Trsm,
+        Kernel::Syrk,
+        Kernel::Gemm,
+        Kernel::Getrf,
+        Kernel::Geqrt,
+        Kernel::Tsqrt,
+        Kernel::Ormqr,
+        Kernel::Tsmqr,
+    ];
+
+    /// The four kernels of the tiled Cholesky factorization (the paper's
+    /// scope).
+    pub const CHOLESKY: [Kernel; 4] = [Kernel::Potrf, Kernel::Trsm, Kernel::Syrk, Kernel::Gemm];
+
+    /// The kernels of the tiled LU factorization without pivoting.
+    pub const LU: [Kernel; 3] = [Kernel::Getrf, Kernel::Trsm, Kernel::Gemm];
+
+    /// The kernels of the tiled QR factorization.
+    pub const QR: [Kernel; 4] = [Kernel::Geqrt, Kernel::Tsqrt, Kernel::Ormqr, Kernel::Tsmqr];
+
+    /// Number of kernel kinds (length of [`Kernel::ALL`]).
+    pub const COUNT: usize = 9;
+
+    /// Canonical dense index in `0..Kernel::COUNT`, matching [`Kernel::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            Kernel::Potrf => 0,
+            Kernel::Trsm => 1,
+            Kernel::Syrk => 2,
+            Kernel::Gemm => 3,
+            Kernel::Getrf => 4,
+            Kernel::Geqrt => 5,
+            Kernel::Tsqrt => 6,
+            Kernel::Ormqr => 7,
+            Kernel::Tsmqr => 8,
+        }
+    }
+
+    /// Inverse of [`Kernel::index`].
+    ///
+    /// # Panics
+    /// Panics if `idx >= Kernel::COUNT`.
+    #[inline]
+    pub const fn from_index(idx: usize) -> Kernel {
+        Kernel::ALL[idx]
+    }
+
+    /// Floating-point operation count of one tile kernel for tile size `nb`
+    /// (double precision, counting multiply and add separately).
+    ///
+    /// Standard counts: POTRF `nb³/3`, TRSM `nb³`, SYRK `nb³`, GEMM `2nb³`,
+    /// GETRF `2nb³/3`, GEQRT `4nb³/3`, TSQRT `2nb³`, ORMQR `2nb³`,
+    /// TSMQR `4nb³` (leading order; lower-order terms included where they
+    /// are conventional).
+    #[inline]
+    pub fn flops(self, nb: usize) -> f64 {
+        let b = nb as f64;
+        let b3 = b * b * b;
+        match self {
+            Kernel::Potrf => b3 / 3.0 + b * b / 2.0 + b / 6.0,
+            Kernel::Trsm => b3,
+            Kernel::Syrk => b * b * (b + 1.0),
+            Kernel::Gemm => 2.0 * b3,
+            Kernel::Getrf => 2.0 * b3 / 3.0,
+            Kernel::Geqrt => 4.0 * b3 / 3.0,
+            Kernel::Tsqrt => 2.0 * b3,
+            Kernel::Ormqr => 2.0 * b3,
+            Kernel::Tsmqr => 4.0 * b3,
+        }
+    }
+
+    /// Number of tasks of this kernel in the Cholesky factorization of an
+    /// `n × n`-tile matrix (zero for non-Cholesky kernels):
+    /// `n` POTRF, `n(n-1)/2` TRSM, `n(n-1)/2` SYRK, `n(n-1)(n-2)/6` GEMM.
+    #[inline]
+    pub fn count_in_cholesky(self, n: usize) -> usize {
+        match self {
+            Kernel::Potrf => n,
+            Kernel::Trsm => n * n.saturating_sub(1) / 2,
+            Kernel::Syrk => n * n.saturating_sub(1) / 2,
+            Kernel::Gemm => n * n.saturating_sub(1) * n.saturating_sub(2) / 6,
+            _ => 0,
+        }
+    }
+
+    /// Number of tasks of this kernel in the tiled LU (no pivoting) of an
+    /// `n × n`-tile matrix: `n` GETRF, `n(n-1)` TRSM (row + column
+    /// panels), `(n-1)n(2n-1)/6` GEMM.
+    #[inline]
+    pub fn count_in_lu(self, n: usize) -> usize {
+        let m = n.saturating_sub(1);
+        match self {
+            Kernel::Getrf => n,
+            Kernel::Trsm => n * m,
+            Kernel::Gemm => m * n * (2 * n).saturating_sub(1) / 6,
+            _ => 0,
+        }
+    }
+
+    /// Number of tasks of this kernel in the tiled QR of an `n × n`-tile
+    /// matrix: `n` GEQRT, `n(n-1)/2` TSQRT, `n(n-1)/2` ORMQR,
+    /// `(n-1)n(2n-1)/6` TSMQR.
+    #[inline]
+    pub fn count_in_qr(self, n: usize) -> usize {
+        let m = n.saturating_sub(1);
+        match self {
+            Kernel::Geqrt => n,
+            Kernel::Tsqrt => n * m / 2,
+            Kernel::Ormqr => n * m / 2,
+            Kernel::Tsmqr => m * n * (2 * n).saturating_sub(1) / 6,
+            _ => 0,
+        }
+    }
+
+    /// Total task count of an `n × n`-tile Cholesky factorization.
+    #[inline]
+    pub fn total_cholesky_tasks(n: usize) -> usize {
+        Kernel::CHOLESKY
+            .iter()
+            .map(|k| k.count_in_cholesky(n))
+            .sum()
+    }
+
+    /// Total task count of an `n × n`-tile LU (no pivoting).
+    #[inline]
+    pub fn total_lu_tasks(n: usize) -> usize {
+        Kernel::LU.iter().map(|k| k.count_in_lu(n)).sum()
+    }
+
+    /// Total task count of an `n × n`-tile QR.
+    #[inline]
+    pub fn total_qr_tasks(n: usize) -> usize {
+        Kernel::QR.iter().map(|k| k.count_in_qr(n)).sum()
+    }
+
+    /// Short upper-case label, as used in the paper's figures and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Kernel::Potrf => "POTRF",
+            Kernel::Trsm => "TRSM",
+            Kernel::Syrk => "SYRK",
+            Kernel::Gemm => "GEMM",
+            Kernel::Getrf => "GETRF",
+            Kernel::Geqrt => "GEQRT",
+            Kernel::Tsqrt => "TSQRT",
+            Kernel::Ormqr => "ORMQR",
+            Kernel::Tsmqr => "TSMQR",
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::from_index(k.index()), k);
+        }
+        assert_eq!(Kernel::ALL.len(), Kernel::COUNT);
+    }
+
+    #[test]
+    fn flop_counts_at_nb_960() {
+        let nb = 960;
+        assert!((Kernel::Gemm.flops(nb) - 2.0 * 960f64.powi(3)).abs() < 1.0);
+        assert!((Kernel::Trsm.flops(nb) - 960f64.powi(3)).abs() < 1.0);
+        let p = Kernel::Potrf.flops(nb);
+        assert!(p > 960f64.powi(3) / 3.0 && p < 960f64.powi(3) / 3.0 * 1.01);
+        let s = Kernel::Syrk.flops(nb);
+        assert!(s > 960f64.powi(3) && s < 960f64.powi(3) * 1.01);
+        // LU diagonal is twice the Cholesky diagonal work.
+        assert!((Kernel::Getrf.flops(nb) / Kernel::Potrf.flops(nb) - 2.0).abs() < 0.01);
+        // TSMQR is the heavyweight QR kernel.
+        assert!(Kernel::Tsmqr.flops(nb) > Kernel::Gemm.flops(nb));
+    }
+
+    #[test]
+    fn cholesky_task_counts_small_sizes() {
+        // n = 4: 4 + 6 + 6 + 4 = 20 tasks (used in the paper's K(4) = 17.30).
+        assert_eq!(Kernel::Potrf.count_in_cholesky(4), 4);
+        assert_eq!(Kernel::Trsm.count_in_cholesky(4), 6);
+        assert_eq!(Kernel::Syrk.count_in_cholesky(4), 6);
+        assert_eq!(Kernel::Gemm.count_in_cholesky(4), 4);
+        assert_eq!(Kernel::total_cholesky_tasks(4), 20);
+        // n = 5 matches Figure 1 of the paper: 5+10+10+10 = 35 vertices.
+        assert_eq!(Kernel::total_cholesky_tasks(5), 35);
+        // Non-Cholesky kernels never appear.
+        assert_eq!(Kernel::Getrf.count_in_cholesky(8), 0);
+        assert_eq!(Kernel::Tsmqr.count_in_cholesky(8), 0);
+    }
+
+    #[test]
+    fn lu_task_counts() {
+        // n = 3: 3 GETRF + 6 TRSM + (2·3·5)/6 = 5 GEMM = 14 tasks.
+        assert_eq!(Kernel::Getrf.count_in_lu(3), 3);
+        assert_eq!(Kernel::Trsm.count_in_lu(3), 6);
+        assert_eq!(Kernel::Gemm.count_in_lu(3), 5);
+        assert_eq!(Kernel::total_lu_tasks(3), 14);
+        assert_eq!(Kernel::total_lu_tasks(1), 1);
+        assert_eq!(Kernel::Potrf.count_in_lu(5), 0);
+    }
+
+    #[test]
+    fn qr_task_counts() {
+        // n = 3: 3 GEQRT + 3 TSQRT + 3 ORMQR + 5 TSMQR = 14 tasks.
+        assert_eq!(Kernel::Geqrt.count_in_qr(3), 3);
+        assert_eq!(Kernel::Tsqrt.count_in_qr(3), 3);
+        assert_eq!(Kernel::Ormqr.count_in_qr(3), 3);
+        assert_eq!(Kernel::Tsmqr.count_in_qr(3), 5);
+        assert_eq!(Kernel::total_qr_tasks(3), 14);
+        assert_eq!(Kernel::total_qr_tasks(1), 1);
+    }
+
+    #[test]
+    fn cholesky_task_counts_degenerate() {
+        assert_eq!(Kernel::total_cholesky_tasks(0), 0);
+        assert_eq!(Kernel::total_cholesky_tasks(1), 1);
+        assert_eq!(Kernel::Gemm.count_in_cholesky(2), 0);
+        assert_eq!(Kernel::total_cholesky_tasks(2), 4);
+    }
+
+    #[test]
+    fn cholesky_counts_sum_identity() {
+        for n in 0usize..40 {
+            let expected = n
+                + n * n.saturating_sub(1)
+                + n * n.saturating_sub(1) * n.saturating_sub(2) / 6;
+            assert_eq!(Kernel::total_cholesky_tasks(n), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Kernel::Gemm.to_string(), "GEMM");
+        assert_eq!(Kernel::Potrf.label(), "POTRF");
+        assert_eq!(Kernel::Tsmqr.label(), "TSMQR");
+    }
+}

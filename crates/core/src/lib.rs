@@ -1,0 +1,55 @@
+//! # hetchol-core
+//!
+//! Foundation types for the `hetchol` reproduction of *"Bridging the Gap
+//! between Performance and Bounds of Cholesky Factorization on Heterogeneous
+//! Platforms"* (Agullo et al., HCW 2015).
+//!
+//! This crate defines everything the rest of the workspace shares:
+//!
+//! * [`time`] — deterministic nanosecond time arithmetic used by the
+//!   discrete-event simulator, the real runtime and the bound computations.
+//! * [`kernel`] — the four Cholesky kernels (POTRF/TRSM/SYRK/GEMM), their
+//!   flop counts and their multiplicities in an `n × n`-tile factorization.
+//! * [`task`] — task and tile identifiers, and per-task data accesses.
+//! * [`dag`] — the tiled-Cholesky task graph (Figure 1 of the paper):
+//!   data-driven dependency construction, topological orders, bottom levels
+//!   and critical paths.
+//! * [`platform`] — heterogeneous platform descriptions (resource classes,
+//!   workers, memory nodes, PCI links), including the paper's *Mirage*
+//!   machine.
+//! * [`profiles`] — per-(kernel, resource-class) timing profiles, the
+//!   paper's Table I speedups, and the *related* platform construction of
+//!   Section V-C2.
+//! * [`schedule`] — explicit schedules (task → worker/start/end) and a
+//!   validator that checks resource exclusivity and dependency feasibility.
+//! * [`scheduler`] — the dynamic-scheduler interface shared by the
+//!   simulator (`hetchol-sim`) and the real runtime (`hetchol-rt`),
+//!   mirroring StarPU's push-model scheduling hooks.
+//! * [`trace`] — per-worker execution traces (Figure 12 of the paper),
+//!   idle-time accounting and ASCII Gantt rendering.
+//! * [`metrics`] — GFLOP/s conversions and result-series containers used by
+//!   the reproduction harness.
+
+pub mod algorithm;
+pub mod dag;
+pub mod kernel;
+pub mod metrics;
+pub mod platform;
+pub mod profiles;
+pub mod schedule;
+pub mod scheduler;
+pub mod task;
+pub mod time;
+pub mod trace;
+
+pub use algorithm::Algorithm;
+pub use dag::TaskGraph;
+pub use kernel::Kernel;
+pub use metrics::{Figure, Point, Series};
+pub use platform::{ClassId, CommModel, MemNode, Platform, ResourceClass, ResourceKind, WorkerId};
+pub use profiles::TimingProfile;
+pub use schedule::{DurationCheck, Schedule, ScheduleEntry, ScheduleError};
+pub use scheduler::{ExecutionView, SchedContext, Scheduler, StaticView};
+pub use task::{Access, AccessMode, Task, TaskCoords, TaskId, Tile};
+pub use time::Time;
+pub use trace::{Trace, TraceEvent, TransferEvent};

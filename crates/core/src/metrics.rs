@@ -1,0 +1,279 @@
+//! Performance metrics and result-series containers.
+//!
+//! The paper reports everything in GFLOP/s against matrix size in multiples
+//! of the 960-element tile; [`gflops`] performs exactly that conversion and
+//! [`Series`] carries one plotted curve (mean ± standard deviation over
+//! repeated runs, as in the paper's "10 runs" methodology).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Floating-point operations of the Cholesky factorization of an
+/// `N × N` matrix (element count, not tiles): `N³/3 + N²/2 + N/6`.
+pub fn cholesky_flops(n_elements: usize) -> f64 {
+    let n = n_elements as f64;
+    n * n * n / 3.0 + n * n / 2.0 + n / 6.0
+}
+
+/// Achieved GFLOP/s of a Cholesky factorization of an `n_tiles × n_tiles`
+/// tile matrix with tile size `nb`, completed in `makespan`.
+pub fn gflops(n_tiles: usize, nb: usize, makespan: Time) -> f64 {
+    if makespan.is_zero() {
+        return 0.0;
+    }
+    cholesky_flops(n_tiles * nb) / makespan.as_secs_f64() / 1e9
+}
+
+/// Mean and sample standard deviation of a set of observations.
+pub fn mean_std(values: &[f64]) -> (f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    if values.len() < 2 {
+        return (mean, 0.0);
+    }
+    let var = values
+        .iter()
+        .map(|v| (v - mean) * (v - mean))
+        .sum::<f64>()
+        / (values.len() - 1) as f64;
+    (mean, var.sqrt())
+}
+
+/// One point of a plotted curve.
+#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// X coordinate (matrix size in tiles, in the paper's figures).
+    pub x: f64,
+    /// Mean value over repetitions.
+    pub mean: f64,
+    /// Standard deviation over repetitions (zero for deterministic runs).
+    pub std: f64,
+}
+
+/// One labelled curve of a figure.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Series {
+    /// Curve label ("dmda", "mixed bound", ...).
+    pub label: String,
+    /// The points, in increasing x.
+    pub points: Vec<Point>,
+}
+
+impl Series {
+    /// Create an empty series with a label.
+    pub fn new(label: impl Into<String>) -> Series {
+        Series {
+            label: label.into(),
+            points: Vec::new(),
+        }
+    }
+
+    /// Append a deterministic point.
+    pub fn push(&mut self, x: f64, value: f64) {
+        self.points.push(Point {
+            x,
+            mean: value,
+            std: 0.0,
+        });
+    }
+
+    /// Append a point from repeated observations (mean ± std).
+    pub fn push_samples(&mut self, x: f64, samples: &[f64]) {
+        let (mean, std) = mean_std(samples);
+        self.points.push(Point { x, mean, std });
+    }
+
+    /// Value at a given x, if present.
+    pub fn at(&self, x: f64) -> Option<Point> {
+        self.points.iter().copied().find(|p| p.x == x)
+    }
+
+    /// Multiply every mean/std by a factor (used by the paper's Figure 8,
+    /// which rescales the related-case curves by the bound ratio).
+    pub fn scaled(&self, factor: f64) -> Series {
+        Series {
+            label: self.label.clone(),
+            points: self
+                .points
+                .iter()
+                .map(|p| Point {
+                    x: p.x,
+                    mean: p.mean * factor,
+                    std: p.std * factor,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// A figure: several curves sharing an x axis, renderable as an
+/// aligned-column table (the harness's textual stand-in for the paper's
+/// plots) or as CSV.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure title ("Figure 7: Heterogeneous unrelated simulated ...").
+    pub title: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Create an empty figure.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Figure {
+        Figure {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Add a curve.
+    pub fn add(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// All x values appearing in any series, sorted and deduplicated.
+    pub fn xs(&self) -> Vec<f64> {
+        let mut xs: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.x))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("x values must not be NaN"));
+        xs.dedup();
+        xs
+    }
+
+    /// Render as an aligned text table: one row per x, one column pair
+    /// (mean, std when nonzero) per series.
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>12}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, " {:>18}", s.label);
+        }
+        out.push('\n');
+        for x in self.xs() {
+            let _ = write!(out, "{x:>12.0}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(p) if p.std > 0.0 => {
+                        let _ = write!(out, " {:>11.2}±{:<6.2}", p.mean, p.std);
+                    }
+                    Some(p) => {
+                        let _ = write!(out, " {:>18.2}", p.mean);
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as CSV (`x,series1_mean,series1_std,...`).
+    pub fn to_csv(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "{}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, ",{} mean,{} std", s.label, s.label);
+        }
+        out.push('\n');
+        for x in self.xs() {
+            let _ = write!(out, "{x}");
+            for s in &self.series {
+                match s.at(x) {
+                    Some(p) => {
+                        let _ = write!(out, ",{},{}", p.mean, p.std);
+                    }
+                    None => out.push_str(",,"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_count_formula() {
+        // N = 1: a single division/sqrt -> formula gives 1.
+        assert!((cholesky_flops(1) - 1.0).abs() < 1e-12);
+        // Large N: dominated by N^3/3.
+        let n = 30_720; // 32 tiles of 960
+        let f = cholesky_flops(n);
+        assert!(f > (n as f64).powi(3) / 3.0);
+        assert!(f < (n as f64).powi(3) / 3.0 * 1.001);
+    }
+
+    #[test]
+    fn gflops_conversion() {
+        // 4x4 tiles of 960, 1 second -> flops(3840)/1e9 GFLOP/s.
+        let g = gflops(4, 960, Time::from_secs(1));
+        assert!((g - cholesky_flops(3840) / 1e9).abs() < 1e-9);
+        assert_eq!(gflops(4, 960, Time::ZERO), 0.0);
+    }
+
+    #[test]
+    fn mean_std_basics() {
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+        assert_eq!(mean_std(&[5.0]), (5.0, 0.0));
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_push_and_scale() {
+        let mut s = Series::new("dmda");
+        s.push(4.0, 100.0);
+        s.push_samples(8.0, &[190.0, 210.0]);
+        assert_eq!(s.at(4.0).unwrap().mean, 100.0);
+        let p = s.at(8.0).unwrap();
+        assert!((p.mean - 200.0).abs() < 1e-12);
+        assert!(p.std > 0.0);
+        let scaled = s.scaled(0.5);
+        assert_eq!(scaled.at(4.0).unwrap().mean, 50.0);
+        assert!(s.at(12.0).is_none());
+    }
+
+    #[test]
+    fn figure_table_and_csv() {
+        let mut fig = Figure::new("Demo", "tiles", "GFLOP/s");
+        let mut a = Series::new("dmda");
+        a.push(4.0, 100.0);
+        a.push(8.0, 200.0);
+        let mut b = Series::new("bound");
+        b.push(4.0, 150.0);
+        fig.add(a);
+        fig.add(b);
+        assert_eq!(fig.xs(), vec![4.0, 8.0]);
+        let table = fig.to_table();
+        assert!(table.contains("# Demo"));
+        assert!(table.contains("dmda"));
+        assert!(table.contains('-'), "missing point rendered as dash");
+        let csv = fig.to_csv();
+        assert!(csv.starts_with("tiles,dmda mean,dmda std,bound mean,bound std"));
+        assert!(csv.contains("4,100,0,150,0"));
+    }
+}

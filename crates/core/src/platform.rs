@@ -1,0 +1,282 @@
+//! Heterogeneous platform descriptions.
+//!
+//! A platform is a set of *resource classes* (e.g. "CPU core" × 9,
+//! "GPU" × 3 on the paper's Mirage machine), each containing identical
+//! workers. CPU workers share the host memory node; each GPU worker owns a
+//! private memory node connected to the host by a PCI link described by a
+//! latency/bandwidth [`CommModel`] (SimGrid-style fluid model, first order).
+
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Index of a worker (a processing element) on the platform.
+pub type WorkerId = usize;
+/// Index of a resource class (a *type* of processing element).
+pub type ClassId = usize;
+/// Index of a memory node (0 = host RAM, `1..` = GPU memories).
+pub type MemNode = usize;
+
+/// The broad kind of a resource class, which determines its memory topology.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// A CPU core; shares the host memory node.
+    Cpu,
+    /// A GPU; owns a private memory node behind a PCI link.
+    Gpu,
+}
+
+/// A class of identical processing elements.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ResourceClass {
+    /// Human-readable name ("CPU", "GPU", ...).
+    pub name: String,
+    /// Kind, for memory-topology purposes.
+    pub kind: ResourceKind,
+    /// Number of workers in this class (the paper's `M_r`).
+    pub count: usize,
+}
+
+/// Latency + bandwidth model of one PCI direction.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Per-message latency.
+    pub latency: Time,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth: f64,
+}
+
+impl CommModel {
+    /// Time to move `bytes` over the link: `latency + bytes / bandwidth`.
+    pub fn transfer_time(&self, bytes: usize) -> Time {
+        self.latency + Time::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+/// An immutable heterogeneous platform.
+#[derive(Clone, Debug)]
+pub struct Platform {
+    classes: Vec<ResourceClass>,
+    /// `None` models the paper's "communication removed" configuration used
+    /// when comparing against bounds (Section V-C2); `Some` enables the PCI
+    /// model for actual-execution-style runs.
+    comm: Option<CommModel>,
+    /// Class of each worker, flattened in class order.
+    worker_class: Vec<ClassId>,
+    /// Memory node of each worker.
+    worker_node: Vec<MemNode>,
+    /// Total number of memory nodes (host + one per GPU worker).
+    n_nodes: usize,
+}
+
+impl Platform {
+    /// Build a platform from resource classes and an optional PCI model.
+    ///
+    /// Workers are numbered class by class, in order; GPU workers are
+    /// assigned private memory nodes `1, 2, ...` while all other workers
+    /// share node `0`.
+    pub fn new(classes: Vec<ResourceClass>, comm: Option<CommModel>) -> Platform {
+        let mut worker_class = Vec::new();
+        let mut worker_node = Vec::new();
+        let mut next_node: MemNode = 1;
+        for (cid, class) in classes.iter().enumerate() {
+            for _ in 0..class.count {
+                worker_class.push(cid);
+                match class.kind {
+                    ResourceKind::Cpu => worker_node.push(0),
+                    ResourceKind::Gpu => {
+                        worker_node.push(next_node);
+                        next_node += 1;
+                    }
+                }
+            }
+        }
+        Platform {
+            classes,
+            comm,
+            worker_class,
+            worker_node,
+            n_nodes: next_node,
+        }
+    }
+
+    /// The paper's *Mirage* machine as used in the experiments: 9 CPU
+    /// workers (12 cores minus the 3 reserved as GPU drivers) and 3 GPUs,
+    /// with an 8 GB/s, 10 µs PCI model per GPU.
+    pub fn mirage() -> Platform {
+        Platform::new(
+            vec![
+                ResourceClass {
+                    name: "CPU".into(),
+                    kind: ResourceKind::Cpu,
+                    count: 9,
+                },
+                ResourceClass {
+                    name: "GPU".into(),
+                    kind: ResourceKind::Gpu,
+                    count: 3,
+                },
+            ],
+            Some(CommModel {
+                latency: Time::from_micros(10),
+                bandwidth: 8.0e9,
+            }),
+        )
+    }
+
+    /// The homogeneous configuration of Section V-C1: 9 CPU cores, no
+    /// accelerators (communication is irrelevant: one memory node).
+    pub fn homogeneous(n_cpus: usize) -> Platform {
+        Platform::new(
+            vec![ResourceClass {
+                name: "CPU".into(),
+                kind: ResourceKind::Cpu,
+                count: n_cpus,
+            }],
+            None,
+        )
+    }
+
+    /// Same platform with communications disabled (made free), as the paper
+    /// does when comparing schedulers against the bounds.
+    pub fn without_comm(&self) -> Platform {
+        let mut p = self.clone();
+        p.comm = None;
+        p
+    }
+
+    /// Same platform with the given PCI model.
+    pub fn with_comm(&self, comm: CommModel) -> Platform {
+        let mut p = self.clone();
+        p.comm = Some(comm);
+        p
+    }
+
+    /// The PCI model, if communications are enabled.
+    #[inline]
+    pub fn comm(&self) -> Option<&CommModel> {
+        self.comm.as_ref()
+    }
+
+    /// Resource classes.
+    #[inline]
+    pub fn classes(&self) -> &[ResourceClass] {
+        &self.classes
+    }
+
+    /// Number of resource classes.
+    #[inline]
+    pub fn n_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Total number of workers.
+    #[inline]
+    pub fn n_workers(&self) -> usize {
+        self.worker_class.len()
+    }
+
+    /// Class of a worker.
+    #[inline]
+    pub fn class_of(&self, w: WorkerId) -> ClassId {
+        self.worker_class[w]
+    }
+
+    /// Memory node a worker computes from.
+    #[inline]
+    pub fn node_of(&self, w: WorkerId) -> MemNode {
+        self.worker_node[w]
+    }
+
+    /// Number of memory nodes (host + GPUs).
+    #[inline]
+    pub fn n_nodes(&self) -> usize {
+        self.n_nodes
+    }
+
+    /// Workers belonging to a class, as a contiguous range.
+    pub fn workers_in_class(&self, class: ClassId) -> std::ops::Range<WorkerId> {
+        let first: usize = self.classes[..class].iter().map(|c| c.count).sum();
+        first..first + self.classes[class].count
+    }
+
+    /// All worker ids.
+    #[inline]
+    pub fn workers(&self) -> std::ops::Range<WorkerId> {
+        0..self.n_workers()
+    }
+
+    /// Short display name of a worker, e.g. `CPU3` or `GPU0`.
+    pub fn worker_name(&self, w: WorkerId) -> String {
+        let class = self.class_of(w);
+        let rank = w - self.workers_in_class(class).start;
+        format!("{}{}", self.classes[class].name, rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirage_topology() {
+        let p = Platform::mirage();
+        assert_eq!(p.n_workers(), 12);
+        assert_eq!(p.n_classes(), 2);
+        assert_eq!(p.workers_in_class(0), 0..9);
+        assert_eq!(p.workers_in_class(1), 9..12);
+        // 9 CPUs share node 0; GPUs own nodes 1..=3.
+        for w in 0..9 {
+            assert_eq!(p.node_of(w), 0);
+            assert_eq!(p.class_of(w), 0);
+        }
+        for (rank, w) in (9..12).enumerate() {
+            assert_eq!(p.node_of(w), 1 + rank);
+            assert_eq!(p.class_of(w), 1);
+        }
+        assert_eq!(p.n_nodes(), 4);
+        assert!(p.comm().is_some());
+    }
+
+    #[test]
+    fn homogeneous_topology() {
+        let p = Platform::homogeneous(9);
+        assert_eq!(p.n_workers(), 9);
+        assert_eq!(p.n_nodes(), 1);
+        assert!(p.comm().is_none());
+        assert_eq!(p.worker_name(4), "CPU4");
+    }
+
+    #[test]
+    fn worker_names() {
+        let p = Platform::mirage();
+        assert_eq!(p.worker_name(0), "CPU0");
+        assert_eq!(p.worker_name(8), "CPU8");
+        assert_eq!(p.worker_name(9), "GPU0");
+        assert_eq!(p.worker_name(11), "GPU2");
+    }
+
+    #[test]
+    fn comm_model_transfer_time() {
+        let m = CommModel {
+            latency: Time::from_micros(10),
+            bandwidth: 8.0e9,
+        };
+        // A 960x960 f64 tile is 7_372_800 bytes -> 921.6 us + 10 us latency.
+        let t = m.transfer_time(960 * 960 * 8);
+        assert!((t.as_secs_f64() - (10e-6 + 7_372_800.0 / 8.0e9)).abs() < 1e-12);
+        // Zero bytes still pays latency.
+        assert_eq!(m.transfer_time(0), Time::from_micros(10));
+    }
+
+    #[test]
+    fn without_comm_strips_the_link() {
+        let p = Platform::mirage().without_comm();
+        assert!(p.comm().is_none());
+        assert_eq!(p.n_workers(), 12);
+        let p2 = p.with_comm(CommModel {
+            latency: Time::ZERO,
+            bandwidth: 1.0,
+        });
+        assert!(p2.comm().is_some());
+    }
+}

@@ -1,0 +1,374 @@
+//! Explicit schedules and their validation.
+//!
+//! A [`Schedule`] fixes, for every task, the worker it runs on and its start
+//! and end times. Schedules are produced by the simulator (as a by-product
+//! of a run), by the CP-style solver, and by static list schedulers; the
+//! [`Schedule::validate`] checker is the common referee that every produced
+//! schedule must pass.
+
+use crate::dag::TaskGraph;
+use crate::platform::{Platform, WorkerId};
+use crate::profiles::TimingProfile;
+use crate::task::TaskId;
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+
+/// Placement and timing of one task.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleEntry {
+    /// The task.
+    pub task: TaskId,
+    /// Worker executing it.
+    pub worker: WorkerId,
+    /// Start time.
+    pub start: Time,
+    /// Completion time.
+    pub end: Time,
+}
+
+/// A complete schedule: one entry per task, indexable by task id.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Schedule {
+    entries: Vec<ScheduleEntry>,
+}
+
+/// Why a schedule failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleError {
+    /// The schedule does not contain exactly the graph's tasks.
+    WrongTaskSet {
+        /// Tasks expected.
+        expected: usize,
+        /// Entries found.
+        found: usize,
+    },
+    /// An entry references a worker outside the platform.
+    BadWorker(TaskId, WorkerId),
+    /// A task ends before it starts.
+    NegativeDuration(TaskId),
+    /// A task's duration does not match the profile.
+    WrongDuration {
+        /// Offending task.
+        task: TaskId,
+        /// Duration in the schedule.
+        got: Time,
+        /// Duration the profile prescribes.
+        expected: Time,
+    },
+    /// A dependency is violated (`succ` starts before `pred` ends).
+    DependencyViolated {
+        /// The predecessor task.
+        pred: TaskId,
+        /// The successor task.
+        succ: TaskId,
+    },
+    /// Two tasks overlap on the same worker.
+    WorkerOverlap {
+        /// The worker.
+        worker: WorkerId,
+        /// First task (earlier start).
+        first: TaskId,
+        /// Second task overlapping it.
+        second: TaskId,
+    },
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScheduleError::WrongTaskSet { expected, found } => {
+                write!(f, "schedule has {found} entries, graph has {expected} tasks")
+            }
+            ScheduleError::BadWorker(t, w) => write!(f, "{t} assigned to nonexistent worker {w}"),
+            ScheduleError::NegativeDuration(t) => write!(f, "{t} ends before it starts"),
+            ScheduleError::WrongDuration { task, got, expected } => {
+                write!(f, "{task} runs for {got}, profile says {expected}")
+            }
+            ScheduleError::DependencyViolated { pred, succ } => {
+                write!(f, "{succ} starts before its predecessor {pred} ends")
+            }
+            ScheduleError::WorkerOverlap { worker, first, second } => {
+                write!(f, "worker {worker}: {second} overlaps {first}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+/// What [`Schedule::validate`] should check about durations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DurationCheck {
+    /// Durations must equal the profile's `T_rt` exactly (deterministic
+    /// simulation, CP solutions).
+    Exact,
+    /// Durations may differ from the profile (jittered "actual" runs);
+    /// only `end ≥ start` is required.
+    Loose,
+}
+
+impl Schedule {
+    /// Build a schedule from entries (any order); they are indexed by task.
+    pub fn from_entries(mut entries: Vec<ScheduleEntry>) -> Schedule {
+        entries.sort_by_key(|e| e.task);
+        Schedule { entries }
+    }
+
+    /// Number of scheduled tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` iff no tasks are scheduled.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, ordered by task id.
+    #[inline]
+    pub fn entries(&self) -> &[ScheduleEntry] {
+        &self.entries
+    }
+
+    /// The entry of a task, if scheduled. After validation against a graph,
+    /// `entry(t)` is `Some` for every task `t` of that graph and
+    /// `entries()[t.index()]` addresses it directly.
+    pub fn entry(&self, task: TaskId) -> Option<&ScheduleEntry> {
+        self.entries
+            .binary_search_by_key(&task, |e| e.task)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Completion time of the last task (zero for an empty schedule).
+    pub fn makespan(&self) -> Time {
+        self.entries
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Time::ZERO)
+    }
+
+    /// Check the schedule against a graph, platform and profile.
+    ///
+    /// Verifies: task-set completeness, worker validity, duration
+    /// consistency (per `check`), dependency feasibility, and per-worker
+    /// mutual exclusion.
+    pub fn validate(
+        &self,
+        graph: &TaskGraph,
+        platform: &Platform,
+        profile: &TimingProfile,
+        check: DurationCheck,
+    ) -> Result<(), ScheduleError> {
+        if self.entries.len() != graph.len() {
+            return Err(ScheduleError::WrongTaskSet {
+                expected: graph.len(),
+                found: self.entries.len(),
+            });
+        }
+        for (idx, e) in self.entries.iter().enumerate() {
+            // Sorted + complete => entry i must be task i.
+            if e.task.index() != idx {
+                return Err(ScheduleError::WrongTaskSet {
+                    expected: graph.len(),
+                    found: self.entries.len(),
+                });
+            }
+            if e.worker >= platform.n_workers() {
+                return Err(ScheduleError::BadWorker(e.task, e.worker));
+            }
+            if e.end < e.start {
+                return Err(ScheduleError::NegativeDuration(e.task));
+            }
+            if check == DurationCheck::Exact {
+                let expected =
+                    profile.time(graph.task(e.task).kernel(), platform.class_of(e.worker));
+                let got = e.end - e.start;
+                if got != expected {
+                    return Err(ScheduleError::WrongDuration {
+                        task: e.task,
+                        got,
+                        expected,
+                    });
+                }
+            }
+        }
+        for (pred, succ) in graph.edges() {
+            let (ep, es) = (&self.entries[pred.index()], &self.entries[succ.index()]);
+            if es.start < ep.end {
+                return Err(ScheduleError::DependencyViolated { pred, succ });
+            }
+        }
+        // Mutual exclusion per worker.
+        let mut per_worker: Vec<Vec<&ScheduleEntry>> = vec![Vec::new(); platform.n_workers()];
+        for e in &self.entries {
+            per_worker[e.worker].push(e);
+        }
+        for (worker, mut evs) in per_worker.into_iter().enumerate() {
+            evs.sort_by_key(|e| (e.start, e.end));
+            for pair in evs.windows(2) {
+                if pair[1].start < pair[0].end {
+                    return Err(ScheduleError::WorkerOverlap {
+                        worker,
+                        first: pair[0].task,
+                        second: pair[1].task,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::TaskCoords;
+
+    fn tiny() -> (TaskGraph, Platform, TimingProfile) {
+        (
+            TaskGraph::cholesky(2),
+            Platform::homogeneous(2),
+            TimingProfile::mirage_homogeneous(),
+        )
+    }
+
+    /// A hand-built valid sequential schedule for n = 2 on one CPU.
+    fn sequential_n2(graph: &TaskGraph, prof: &TimingProfile) -> Schedule {
+        // Submission order happens to be a topological order.
+        let mut t = Time::ZERO;
+        let mut entries = Vec::new();
+        for task in graph.tasks() {
+            let d = prof.time(task.kernel(), 0);
+            entries.push(ScheduleEntry {
+                task: task.id,
+                worker: 0,
+                start: t,
+                end: t + d,
+            });
+            t += d;
+        }
+        Schedule::from_entries(entries)
+    }
+
+    #[test]
+    fn valid_sequential_schedule_passes() {
+        let (g, p, prof) = tiny();
+        let s = sequential_n2(&g, &prof);
+        s.validate(&g, &p, &prof, DurationCheck::Exact).unwrap();
+        // POTRF(59) + TRSM(104) + SYRK(98) + POTRF(59) = 320 ms.
+        assert_eq!(s.makespan(), Time::from_millis(320));
+    }
+
+    #[test]
+    fn detects_missing_task() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        s.entries.pop();
+        assert!(matches!(
+            s.validate(&g, &p, &prof, DurationCheck::Exact),
+            Err(ScheduleError::WrongTaskSet { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_duplicate_task() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        let dup = s.entries[0];
+        s.entries[1] = dup; // two entries for task 0, none for task 1
+        assert!(matches!(
+            s.validate(&g, &p, &prof, DurationCheck::Exact),
+            Err(ScheduleError::WrongTaskSet { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_bad_worker() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        s.entries[0].worker = 99;
+        assert!(matches!(
+            s.validate(&g, &p, &prof, DurationCheck::Exact),
+            Err(ScheduleError::BadWorker(_, 99))
+        ));
+    }
+
+    #[test]
+    fn detects_wrong_duration_and_loose_mode_allows_it() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        // Stretch the last task: no dependency or overlap issue arises.
+        let last = s.entries.last_mut().unwrap();
+        last.end += Time::from_millis(1);
+        assert!(matches!(
+            s.validate(&g, &p, &prof, DurationCheck::Exact),
+            Err(ScheduleError::WrongDuration { .. })
+        ));
+        s.validate(&g, &p, &prof, DurationCheck::Loose).unwrap();
+    }
+
+    #[test]
+    fn detects_dependency_violation() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        // Move SYRK(1,0) to a second worker, starting before TRSM ends.
+        let syrk = g.find(TaskCoords::Syrk { k: 0, j: 1 }).unwrap();
+        let d = prof.time(crate::kernel::Kernel::Syrk, 0);
+        let e = &mut s.entries[syrk.index()];
+        e.worker = 1;
+        e.start = Time::from_millis(10);
+        e.end = Time::from_millis(10) + d;
+        assert!(matches!(
+            s.validate(&g, &p, &prof, DurationCheck::Exact),
+            Err(ScheduleError::DependencyViolated { .. })
+        ));
+    }
+
+    #[test]
+    fn detects_worker_overlap() {
+        let (g, p, prof) = tiny();
+        let mut s = sequential_n2(&g, &prof);
+        // Make TRSM start before POTRF(0) has finished on the same worker —
+        // but keep its dependency satisfied by shifting POTRF(0)'s end...
+        // simpler: overlap two independent-ish tasks by giving TRSM an early
+        // start; that also violates the dependency, so instead overlap the
+        // final POTRF with SYRK on worker 0 while keeping dep order intact.
+        let potrf1 = g.find(TaskCoords::Potrf { k: 1 }).unwrap();
+        let syrk = g.find(TaskCoords::Syrk { k: 0, j: 1 }).unwrap();
+        let syrk_end = s.entries[syrk.index()].end;
+        let d = prof.time(crate::kernel::Kernel::Potrf, 0);
+        let e = &mut s.entries[potrf1.index()];
+        e.start = syrk_end - Time::from_millis(1); // overlaps SYRK by 1 ms
+        e.end = e.start + d;
+        let err = s.validate(&g, &p, &prof, DurationCheck::Exact);
+        assert!(
+            matches!(
+                err,
+                Err(ScheduleError::WorkerOverlap { .. })
+                    | Err(ScheduleError::DependencyViolated { .. })
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn entry_lookup() {
+        let (g, _p, prof) = tiny();
+        let s = sequential_n2(&g, &prof);
+        for t in g.tasks() {
+            assert_eq!(s.entry(t.id).unwrap().task, t.id);
+        }
+        assert!(s.entry(TaskId(1000)).is_none());
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let s = Schedule::default();
+        assert!(s.is_empty());
+        assert_eq!(s.makespan(), Time::ZERO);
+    }
+}

@@ -1,0 +1,312 @@
+//! Deterministic time arithmetic.
+//!
+//! Both the discrete-event simulator and the makespan bounds need a time
+//! representation with total ordering and exact arithmetic, so that repeated
+//! simulations of the same scenario are bit-for-bit reproducible. We use a
+//! nanosecond-resolution unsigned integer: at 1 ns resolution a `u64` spans
+//! ~585 years, far beyond any simulated makespan, while kernel durations in
+//! the hundreds of microseconds keep full precision.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A point in (simulated or measured) time, or a duration, in nanoseconds.
+///
+/// `Time` is used for both instants and durations; the scheduling literature
+/// the paper builds on (makespans, bottom levels, completion-time estimates)
+/// freely mixes the two and the extra type safety of separating them buys
+/// little here.
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Time(u64);
+
+impl Time {
+    /// The zero instant / empty duration.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable time; used as "+infinity" in longest-path
+    /// and earliest-finish computations.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Construct from raw nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Time(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        Time(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        Time(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        Time(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// Negative and non-finite inputs saturate to zero: they only arise from
+    /// numerical noise in bound computations, where clamping is the correct
+    /// interpretation of "no earlier than now".
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return Time::ZERO;
+        }
+        Time((s * 1e9).round() as u64)
+    }
+
+    /// Construct from fractional milliseconds (the natural unit for tile
+    /// kernels at `nb = 960`).
+    #[inline]
+    pub fn from_millis_f64(ms: f64) -> Self {
+        Self::from_secs_f64(ms * 1e-3)
+    }
+
+    /// Raw nanoseconds.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional seconds.
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Fractional milliseconds.
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// `true` iff this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: `a.saturating_sub(b)` is zero when `b > a`.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Time) -> Time {
+        Time(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked addition, `None` on overflow. Useful when accumulating onto
+    /// `Time::MAX` sentinels in longest-path computations.
+    #[inline]
+    pub const fn checked_add(self, rhs: Time) -> Option<Time> {
+        match self.0.checked_add(rhs.0) {
+            Some(v) => Some(Time(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating addition (overflow clamps to `Time::MAX`).
+    #[inline]
+    pub const fn saturating_add(self, rhs: Time) -> Time {
+        Time(self.0.saturating_add(rhs.0))
+    }
+
+    /// Multiply a duration by a dimensionless `f64` factor (e.g. jitter),
+    /// rounding to the nearest nanosecond and clamping at zero.
+    #[inline]
+    pub fn scale(self, factor: f64) -> Time {
+        Time::from_secs_f64(self.as_secs_f64() * factor)
+    }
+
+    /// The maximum of two times.
+    #[inline]
+    pub fn max(self, other: Time) -> Time {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The minimum of two times.
+    #[inline]
+    pub fn min(self, other: Time) -> Time {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    #[inline]
+    fn add(self, rhs: Time) -> Time {
+        Time(
+            self.0
+                .checked_add(rhs.0)
+                .expect("Time addition overflowed"),
+        )
+    }
+}
+
+impl AddAssign for Time {
+    #[inline]
+    fn add_assign(&mut self, rhs: Time) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    #[inline]
+    fn sub(self, rhs: Time) -> Time {
+        Time(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Time subtraction underflowed"),
+        )
+    }
+}
+
+impl SubAssign for Time {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Time) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn mul(self, rhs: u64) -> Time {
+        Time(
+            self.0
+                .checked_mul(rhs)
+                .expect("Time multiplication overflowed"),
+        )
+    }
+}
+
+impl Div<u64> for Time {
+    type Output = Time;
+    #[inline]
+    fn div(self, rhs: u64) -> Time {
+        Time(self.0 / rhs)
+    }
+}
+
+impl Sum for Time {
+    fn sum<I: Iterator<Item = Time>>(iter: I) -> Time {
+        iter.fold(Time::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Debug for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns == u64::MAX {
+            write!(f, "+inf")
+        } else if ns >= 1_000_000_000 {
+            write!(f, "{:.6}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", ns as f64 / 1e3)
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(Time::from_millis(104).as_millis_f64(), 104.0);
+        assert_eq!(Time::from_secs(2).as_nanos(), 2_000_000_000);
+        assert_eq!(Time::from_micros(7).as_nanos(), 7_000);
+        let t = Time::from_secs_f64(0.186);
+        assert!((t.as_secs_f64() - 0.186).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_garbage() {
+        assert_eq!(Time::from_secs_f64(-1.0), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NAN), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(f64::NEG_INFINITY), Time::ZERO);
+        assert_eq!(Time::from_secs_f64(0.0), Time::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Time::from_millis(10);
+        let b = Time::from_millis(4);
+        assert_eq!(a + b, Time::from_millis(14));
+        assert_eq!(a - b, Time::from_millis(6));
+        assert_eq!(a * 3, Time::from_millis(30));
+        assert_eq!(a / 2, Time::from_millis(5));
+        assert_eq!(b.saturating_sub(a), Time::ZERO);
+        assert_eq!(Time::MAX.saturating_add(a), Time::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_sub_panics() {
+        let _ = Time::from_millis(1) - Time::from_millis(2);
+    }
+
+    #[test]
+    fn scale_rounds_and_clamps() {
+        let a = Time::from_millis(100);
+        assert_eq!(a.scale(0.5), Time::from_millis(50));
+        assert_eq!(a.scale(-3.0), Time::ZERO);
+        // 1/11th of 104 ms, rounded to nearest ns
+        let t = Time::from_millis(104).scale(1.0 / 11.0);
+        assert!((t.as_millis_f64() - 104.0 / 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ordering_and_minmax() {
+        let a = Time::from_millis(3);
+        let b = Time::from_millis(5);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(Time::ZERO.max(Time::MAX), Time::MAX);
+    }
+
+    #[test]
+    fn sum_of_durations() {
+        let total: Time = (1..=4).map(Time::from_millis).sum();
+        assert_eq!(total, Time::from_millis(10));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Time::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", Time::from_micros(3)), "3.000us");
+        assert_eq!(format!("{}", Time::from_millis(9)), "9.000ms");
+        assert_eq!(format!("{}", Time::from_secs(2)), "2.000000s");
+        assert_eq!(format!("{}", Time::MAX), "+inf");
+    }
+}

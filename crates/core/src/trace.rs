@@ -1,0 +1,300 @@
+//! Execution traces: per-worker task timelines and transfer logs.
+//!
+//! The paper diagnoses scheduler behaviour from traces (Figure 12: GPU
+//! Gantt charts of `dmda` vs `dmdas` at 8 × 8 tiles, showing the idle time
+//! the HEFT-style policy introduces on GPUs). This module provides the
+//! trace container, busy/idle accounting, conversion to a [`Schedule`] for
+//! validation, and an ASCII Gantt renderer.
+
+use crate::kernel::Kernel;
+use crate::platform::{MemNode, Platform, WorkerId};
+use crate::schedule::{Schedule, ScheduleEntry};
+use crate::task::{TaskId, Tile};
+use crate::time::Time;
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// One executed task occurrence.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Worker that ran the task.
+    pub worker: WorkerId,
+    /// The task.
+    pub task: TaskId,
+    /// Its kernel (denormalised for painless plotting).
+    pub kernel: Kernel,
+    /// Execution start.
+    pub start: Time,
+    /// Execution end.
+    pub end: Time,
+}
+
+/// One tile transfer between memory nodes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransferEvent {
+    /// The tile moved.
+    pub tile: Tile,
+    /// Source memory node.
+    pub from: MemNode,
+    /// Destination memory node.
+    pub to: MemNode,
+    /// Transfer start.
+    pub start: Time,
+    /// Transfer end.
+    pub end: Time,
+}
+
+/// A complete execution trace.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Trace {
+    /// Number of workers on the platform the trace was recorded on.
+    pub n_workers: usize,
+    /// Task executions, in completion order.
+    pub events: Vec<TraceEvent>,
+    /// Tile transfers, in completion order.
+    pub transfers: Vec<TransferEvent>,
+}
+
+impl Trace {
+    /// Completion time of the last event (tasks and transfers).
+    pub fn makespan(&self) -> Time {
+        let t = self.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO);
+        let x = self
+            .transfers
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Time::ZERO);
+        t.max(x)
+    }
+
+    /// Total busy time of a worker.
+    pub fn busy_time(&self, worker: WorkerId) -> Time {
+        self.events
+            .iter()
+            .filter(|e| e.worker == worker)
+            .map(|e| e.end - e.start)
+            .sum()
+    }
+
+    /// Idle time of a worker over the whole makespan.
+    pub fn idle_time(&self, worker: WorkerId) -> Time {
+        self.makespan().saturating_sub(self.busy_time(worker))
+    }
+
+    /// Sum of busy times over all workers.
+    pub fn total_busy(&self) -> Time {
+        self.events.iter().map(|e| e.end - e.start).sum()
+    }
+
+    /// Events of one worker, sorted by start time.
+    pub fn worker_events(&self, worker: WorkerId) -> Vec<TraceEvent> {
+        let mut evs: Vec<TraceEvent> = self
+            .events
+            .iter()
+            .copied()
+            .filter(|e| e.worker == worker)
+            .collect();
+        evs.sort_by_key(|e| e.start);
+        evs
+    }
+
+    /// Busy time split by kernel for one worker, indexed by
+    /// [`Kernel::index`].
+    pub fn busy_by_kernel(&self, worker: WorkerId) -> [Time; Kernel::COUNT] {
+        let mut acc = [Time::ZERO; Kernel::COUNT];
+        for e in self.events.iter().filter(|e| e.worker == worker) {
+            acc[e.kernel.index()] += e.end - e.start;
+        }
+        acc
+    }
+
+    /// Convert to a [`Schedule`] so the common validator can referee it.
+    pub fn to_schedule(&self) -> Schedule {
+        Schedule::from_entries(
+            self.events
+                .iter()
+                .map(|e| ScheduleEntry {
+                    task: e.task,
+                    worker: e.worker,
+                    start: e.start,
+                    end: e.end,
+                })
+                .collect(),
+        )
+    }
+
+    /// Render an ASCII Gantt chart, one row per worker, `width` characters
+    /// spanning the makespan. Tasks are drawn with their kernel's initial
+    /// (`P`/`T`/`S`/`G`); idle time is `.`.
+    ///
+    /// This is the textual analogue of the paper's Figure 12.
+    pub fn gantt_ascii(&self, platform: &Platform, width: usize) -> String {
+        let mut out = String::new();
+        let span = self.makespan();
+        if span.is_zero() || width == 0 {
+            return out;
+        }
+        let span_ns = span.as_nanos() as f64;
+        for w in 0..self.n_workers {
+            let name = platform.worker_name(w);
+            let mut row = vec!['.'; width];
+            for e in self.worker_events(w) {
+                let a = ((e.start.as_nanos() as f64 / span_ns) * width as f64).floor() as usize;
+                let b = ((e.end.as_nanos() as f64 / span_ns) * width as f64).ceil() as usize;
+                let glyph = match e.kernel {
+                    Kernel::Potrf => 'P',
+                    Kernel::Trsm => 'T',
+                    Kernel::Syrk => 'S',
+                    Kernel::Gemm => 'G',
+                    Kernel::Getrf => 'F',
+                    Kernel::Geqrt => 'Q',
+                    Kernel::Tsqrt => 'q',
+                    Kernel::Ormqr => 'O',
+                    Kernel::Tsmqr => 'M',
+                };
+                for cell in row.iter_mut().take(b.min(width)).skip(a.min(width)) {
+                    *cell = glyph;
+                }
+            }
+            let _ = writeln!(out, "{name:>6} |{}|", row.into_iter().collect::<String>());
+        }
+        let _ = writeln!(
+            out,
+            "{:>6}  0{:>width$}",
+            "",
+            format!("{span}"),
+            width = width
+        );
+        out
+    }
+
+    /// Fraction of the makespan the given workers spend idle, averaged —
+    /// the quantity Figure 12 makes visible.
+    pub fn idle_fraction(&self, workers: impl Iterator<Item = WorkerId>) -> f64 {
+        let span = self.makespan();
+        if span.is_zero() {
+            return 0.0;
+        }
+        let (mut total_idle, mut count) = (0.0f64, 0usize);
+        for w in workers {
+            total_idle += self.idle_time(w).as_secs_f64();
+            count += 1;
+        }
+        if count == 0 {
+            return 0.0;
+        }
+        total_idle / (count as f64 * span.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> Trace {
+        Trace {
+            n_workers: 2,
+            events: vec![
+                TraceEvent {
+                    worker: 0,
+                    task: TaskId(0),
+                    kernel: Kernel::Potrf,
+                    start: Time::ZERO,
+                    end: Time::from_millis(10),
+                },
+                TraceEvent {
+                    worker: 1,
+                    task: TaskId(1),
+                    kernel: Kernel::Gemm,
+                    start: Time::from_millis(10),
+                    end: Time::from_millis(40),
+                },
+                TraceEvent {
+                    worker: 0,
+                    task: TaskId(2),
+                    kernel: Kernel::Syrk,
+                    start: Time::from_millis(20),
+                    end: Time::from_millis(30),
+                },
+            ],
+            transfers: vec![TransferEvent {
+                tile: Tile::new(1, 0),
+                from: 0,
+                to: 1,
+                start: Time::ZERO,
+                end: Time::from_millis(2),
+            }],
+        }
+    }
+
+    #[test]
+    fn busy_idle_accounting() {
+        let t = demo_trace();
+        assert_eq!(t.makespan(), Time::from_millis(40));
+        assert_eq!(t.busy_time(0), Time::from_millis(20));
+        assert_eq!(t.idle_time(0), Time::from_millis(20));
+        assert_eq!(t.busy_time(1), Time::from_millis(30));
+        assert_eq!(t.total_busy(), Time::from_millis(50));
+        // busy + idle == makespan for every worker
+        for w in 0..2 {
+            assert_eq!(t.busy_time(w) + t.idle_time(w), t.makespan());
+        }
+    }
+
+    #[test]
+    fn busy_by_kernel_partitions_busy_time() {
+        let t = demo_trace();
+        let by_k = t.busy_by_kernel(0);
+        assert_eq!(by_k[Kernel::Potrf.index()], Time::from_millis(10));
+        assert_eq!(by_k[Kernel::Syrk.index()], Time::from_millis(10));
+        assert_eq!(by_k.iter().copied().sum::<Time>(), t.busy_time(0));
+    }
+
+    #[test]
+    fn worker_events_sorted() {
+        let t = demo_trace();
+        let evs = t.worker_events(0);
+        assert_eq!(evs.len(), 2);
+        assert!(evs[0].start <= evs[1].start);
+    }
+
+    #[test]
+    fn idle_fraction_bounds() {
+        let t = demo_trace();
+        let f = t.idle_fraction(0..2);
+        assert!((0.0..=1.0).contains(&f));
+        // worker 0 idle 20/40, worker 1 idle 10/40 -> average 0.375
+        assert!((f - 0.375).abs() < 1e-9);
+        assert_eq!(Trace::default().idle_fraction(0..2), 0.0);
+    }
+
+    #[test]
+    fn gantt_renders_rows() {
+        let t = demo_trace();
+        let p = Platform::homogeneous(2);
+        let g = t.gantt_ascii(&p, 40);
+        assert!(g.contains("CPU0"));
+        assert!(g.contains("CPU1"));
+        assert!(g.contains('P'));
+        assert!(g.contains('G'));
+        assert!(g.contains('.'));
+        assert!(t.gantt_ascii(&p, 0).is_empty());
+    }
+
+    #[test]
+    fn to_schedule_preserves_timing() {
+        let t = demo_trace();
+        let s = t.to_schedule();
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.makespan(), Time::from_millis(40));
+        assert_eq!(s.entry(TaskId(1)).unwrap().worker, 1);
+    }
+
+    #[test]
+    fn makespan_includes_transfers() {
+        let mut t = demo_trace();
+        t.transfers[0].end = Time::from_millis(100);
+        assert_eq!(t.makespan(), Time::from_millis(100));
+    }
+}

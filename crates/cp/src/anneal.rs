@@ -1,0 +1,185 @@
+//! Simulated-annealing local search over the (classes, priorities)
+//! encoding.
+//!
+//! Moves: flip one task's resource class, swap two tasks' priorities, or
+//! nudge one task's priority. Each candidate is decoded by
+//! [`crate::list::list_schedule`]; acceptance follows the Metropolis rule
+//! with geometric cooling. The paper's observation that the CP solution's
+//! value lies in its *precise ordering* (Section VI-B) is exactly why the
+//! priority moves matter as much as the mapping moves.
+
+use crate::list::{encode, list_schedule};
+use crate::CpOptions;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::schedule::Schedule;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Improve `seed_schedule` by simulated annealing; returns the best
+/// schedule observed (never worse than the decoded seed).
+pub fn anneal(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    seed_schedule: &Schedule,
+    opts: &CpOptions,
+) -> Schedule {
+    let n = graph.len();
+    let (mut classes, mut priorities) = encode(seed_schedule, platform);
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
+
+    let mut current = list_schedule(graph, platform, profile, &classes, &priorities);
+    let mut current_cost = current.makespan().as_secs_f64();
+    let mut best = current.clone();
+    let mut best_cost = current_cost;
+
+    // Temperature scaled to the makespan: initial moves worth ~2% of the
+    // makespan are accepted readily, then cooled geometrically.
+    let mut temperature = 0.02 * current_cost.max(1e-9);
+    let cooling = (1e-3f64).powf(1.0 / opts.anneal_iters.max(1) as f64);
+
+    for _ in 0..opts.anneal_iters {
+        // Propose a move: flip a class, swap two priorities, reassign one
+        // priority anywhere in the observed range, or jointly retarget a
+        // task (class flip + priority reassignment) — the joint move is
+        // what lets a task migrate *and* land at a sensible position in
+        // its new queue within a single acceptance test.
+        let mut new_classes = classes.clone();
+        let mut new_priorities = priorities.clone();
+        let (lo, hi) = {
+            let lo = priorities.iter().copied().min().unwrap_or(0);
+            let hi = priorities.iter().copied().max().unwrap_or(0);
+            (lo - 1, hi + 1)
+        };
+        match rng.gen_range(0..4u8) {
+            0 if platform.n_classes() > 1 => {
+                let t = rng.gen_range(0..n);
+                let shift = rng.gen_range(1..platform.n_classes());
+                new_classes[t] = (new_classes[t] + shift) % platform.n_classes();
+            }
+            1 => {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                new_priorities.swap(a, b);
+            }
+            2 => {
+                let t = rng.gen_range(0..n);
+                new_priorities[t] = rng.gen_range(lo..=hi);
+            }
+            _ => {
+                let t = rng.gen_range(0..n);
+                if platform.n_classes() > 1 {
+                    let shift = rng.gen_range(1..platform.n_classes());
+                    new_classes[t] = (new_classes[t] + shift) % platform.n_classes();
+                }
+                new_priorities[t] = rng.gen_range(lo..=hi);
+            }
+        }
+
+        let candidate = list_schedule(graph, platform, profile, &new_classes, &new_priorities);
+        let cost = candidate.makespan().as_secs_f64();
+        let accept = cost <= current_cost
+            || rng.gen::<f64>() < ((current_cost - cost) / temperature).exp();
+        if accept {
+            classes = new_classes;
+            priorities = new_priorities;
+            current = candidate;
+            current_cost = cost;
+            if cost < best_cost {
+                best_cost = cost;
+                best = current.clone();
+            }
+        }
+        temperature *= cooling;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::schedule::DurationCheck;
+    use hetchol_sched::heft_schedule;
+
+    #[test]
+    fn annealing_never_regresses_below_seed() {
+        let graph = TaskGraph::cholesky(5);
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let seed = heft_schedule(&graph, &platform, &profile);
+        let opts = CpOptions {
+            anneal_iters: 3_000,
+            node_limit: 0,
+            seed: 3,
+        };
+        let out = anneal(&graph, &platform, &profile, &seed, &opts);
+        out.validate(&graph, &platform, &profile, DurationCheck::Exact)
+            .unwrap();
+        // `anneal` returns the best schedule *observed*, which includes the
+        // decoded seed itself.
+        let (c, p) = crate::list::encode(&seed, &platform);
+        let decoded_seed = crate::list::list_schedule(&graph, &platform, &profile, &c, &p);
+        assert!(out.makespan() <= decoded_seed.makespan());
+    }
+
+    #[test]
+    fn annealing_is_deterministic_per_seed() {
+        let graph = TaskGraph::cholesky(4);
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let seed = heft_schedule(&graph, &platform, &profile);
+        let opts = CpOptions {
+            anneal_iters: 500,
+            node_limit: 0,
+            seed: 9,
+        };
+        let a = anneal(&graph, &platform, &profile, &seed, &opts);
+        let b = anneal(&graph, &platform, &profile, &seed, &opts);
+        assert_eq!(a.makespan(), b.makespan());
+    }
+
+    #[test]
+    fn annealing_improves_a_bad_seed() {
+        // Seed: everything serial on one CPU. Annealing must find
+        // something dramatically better on a 12-worker machine.
+        let graph = TaskGraph::cholesky(4);
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let serial = {
+            use hetchol_core::schedule::ScheduleEntry;
+            use hetchol_core::time::Time;
+            let mut t = Time::ZERO;
+            Schedule::from_entries(
+                graph
+                    .tasks()
+                    .iter()
+                    .map(|task| {
+                        let d = profile.time(task.kernel(), 0);
+                        let e = ScheduleEntry {
+                            task: task.id,
+                            worker: 0,
+                            start: t,
+                            end: t + d,
+                        };
+                        t += d;
+                        e
+                    })
+                    .collect(),
+            )
+        };
+        let opts = CpOptions {
+            anneal_iters: 4_000,
+            node_limit: 0,
+            seed: 1,
+        };
+        let out = anneal(&graph, &platform, &profile, &serial, &opts);
+        assert!(
+            out.makespan().as_secs_f64() < 0.6 * serial.makespan().as_secs_f64(),
+            "{} vs serial {}",
+            out.makespan(),
+            serial.makespan()
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Full (square) tiled matrix storage, for the nonsymmetric
+//! factorizations (LU); the symmetric Cholesky path uses the packed
+//! [`crate::matrix::TiledMatrix`].
+
+use crate::matrix::Matrix;
+
+/// An `n × n`-tile dense matrix with every tile materialised
+/// (column-major within tiles, row-major across tiles).
+#[derive(Clone, Debug)]
+pub struct FullTiledMatrix {
+    n_tiles: usize,
+    nb: usize,
+    tiles: Vec<Vec<f64>>,
+}
+
+impl FullTiledMatrix {
+    /// A zero matrix.
+    pub fn zeros(n_tiles: usize, nb: usize) -> FullTiledMatrix {
+        FullTiledMatrix {
+            n_tiles,
+            nb,
+            tiles: vec![vec![0.0; nb * nb]; n_tiles * n_tiles],
+        }
+    }
+
+    /// Tile decomposition of a dense matrix whose order is a multiple of
+    /// `nb`.
+    pub fn from_dense(dense: &Matrix, nb: usize) -> FullTiledMatrix {
+        assert_eq!(dense.rows(), dense.cols(), "matrix must be square");
+        assert_eq!(dense.rows() % nb, 0, "order must be a multiple of nb");
+        let n_tiles = dense.rows() / nb;
+        let mut m = FullTiledMatrix::zeros(n_tiles, nb);
+        for ti in 0..n_tiles {
+            for tj in 0..n_tiles {
+                let t = m.tile_mut(ti, tj);
+                for c in 0..nb {
+                    for r in 0..nb {
+                        t[r + c * nb] = dense[(ti * nb + r, tj * nb + c)];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Reassemble the dense matrix.
+    pub fn to_dense(&self) -> Matrix {
+        let n = self.n_tiles * self.nb;
+        let mut m = Matrix::zeros(n, n);
+        for ti in 0..self.n_tiles {
+            for tj in 0..self.n_tiles {
+                let t = self.tile(ti, tj);
+                for c in 0..self.nb {
+                    for r in 0..self.nb {
+                        m[(ti * self.nb + r, tj * self.nb + c)] = t[r + c * self.nb];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(row < self.n_tiles && col < self.n_tiles);
+        row * self.n_tiles + col
+    }
+
+    /// Borrow a tile.
+    #[inline]
+    pub fn tile(&self, row: usize, col: usize) -> &[f64] {
+        &self.tiles[self.idx(row, col)]
+    }
+
+    /// Mutably borrow a tile.
+    #[inline]
+    pub fn tile_mut(&mut self, row: usize, col: usize) -> &mut [f64] {
+        let i = self.idx(row, col);
+        &mut self.tiles[i]
+    }
+
+    /// Borrow two distinct tiles, the first mutably.
+    pub fn tile_pair_mut(
+        &mut self,
+        out: (usize, usize),
+        input: (usize, usize),
+    ) -> (&mut [f64], &[f64]) {
+        let oi = self.idx(out.0, out.1);
+        let ii = self.idx(input.0, input.1);
+        assert_ne!(oi, ii, "output and input tiles must differ");
+        if oi < ii {
+            let (lo, hi) = self.tiles.split_at_mut(ii);
+            (&mut lo[oi], &hi[0])
+        } else {
+            let (lo, hi) = self.tiles.split_at_mut(oi);
+            (&mut hi[0], &lo[ii])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let n = 6;
+        let dense = Matrix::from_fn(n, n, |r, c| (r * n + c) as f64);
+        let m = FullTiledMatrix::from_dense(&dense, 3);
+        assert_eq!(m.n_tiles(), 2);
+        assert_eq!(m.to_dense(), dense);
+        // Upper tile (0,1) exists, unlike the packed storage.
+        assert_eq!(m.tile(0, 1)[0], dense[(0, 3)]);
+    }
+
+    #[test]
+    fn tile_pair_mut_disjoint() {
+        let mut m = FullTiledMatrix::zeros(2, 2);
+        m.tile_mut(0, 1)[0] = 3.0;
+        let (out, input) = m.tile_pair_mut((1, 0), (0, 1));
+        out[0] = input[0] * 2.0;
+        assert_eq!(m.tile(1, 0)[0], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn same_tile_pair_panics() {
+        let mut m = FullTiledMatrix::zeros(2, 2);
+        let _ = m.tile_pair_mut((0, 1), (0, 1));
+    }
+}

@@ -1,0 +1,273 @@
+//! The four tile kernels, operating on `nb × nb` column-major tiles.
+//!
+//! Conventions match the tiled Cholesky of the paper's Algorithm 1 with an
+//! in-place lower factorization (`A = L·Lᵀ`):
+//!
+//! * [`potrf_tile`] — `A[k][k] ← chol(A[k][k])` (lower).
+//! * [`trsm_solve`] — `A[i][k] ← A[i][k] · L[k][k]⁻ᵀ` (right solve).
+//! * [`syrk_update`] — `A[j][j] ← A[j][j] − A[j][k] · A[j][k]ᵀ`.
+//! * [`gemm_update`] — `A[i][j] ← A[i][j] − A[i][k] · A[j][k]ᵀ`.
+
+/// Error from a numerically failed POTRF.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NotPositiveDefinite {
+    /// Column at which the pivot became non-positive.
+    pub column: usize,
+}
+
+impl std::fmt::Display for NotPositiveDefinite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "matrix is not positive definite (pivot at column {})",
+            self.column
+        )
+    }
+}
+
+impl std::error::Error for NotPositiveDefinite {}
+
+#[inline]
+fn at(nb: usize, r: usize, c: usize) -> usize {
+    r + c * nb
+}
+
+/// In-place lower Cholesky factorization of one `nb × nb` tile
+/// (unblocked right-looking `dpotrf`). Only the lower triangle is read and
+/// written; the strict upper triangle is left untouched.
+pub fn potrf_tile(a: &mut [f64], nb: usize) -> Result<(), NotPositiveDefinite> {
+    debug_assert_eq!(a.len(), nb * nb);
+    for j in 0..nb {
+        let mut d = a[at(nb, j, j)];
+        for k in 0..j {
+            let v = a[at(nb, j, k)];
+            d -= v * v;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(NotPositiveDefinite { column: j });
+        }
+        let d = d.sqrt();
+        a[at(nb, j, j)] = d;
+        let inv = 1.0 / d;
+        for i in (j + 1)..nb {
+            let mut v = a[at(nb, i, j)];
+            for k in 0..j {
+                v -= a[at(nb, i, k)] * a[at(nb, j, k)];
+            }
+            a[at(nb, i, j)] = v * inv;
+        }
+    }
+    Ok(())
+}
+
+/// Right triangular solve `B ← B · L⁻ᵀ` where `L` is the lower factor
+/// stored in `l` (`dtrsm` with side=R, uplo=L, trans=T, diag=N).
+pub fn trsm_solve(b: &mut [f64], l: &[f64], nb: usize) {
+    debug_assert_eq!(b.len(), nb * nb);
+    debug_assert_eq!(l.len(), nb * nb);
+    // Column q of the result depends on columns < q:
+    // X[p,q] = (B[p,q] - Σ_{r<q} X[p,r]·L[q,r]) / L[q,q].
+    for q in 0..nb {
+        for r in 0..q {
+            let lqr = l[at(nb, q, r)];
+            if lqr != 0.0 {
+                let (xr, xq) = {
+                    // Columns r and q are disjoint slices of `b`.
+                    let (lo, hi) = b.split_at_mut(q * nb);
+                    (&lo[r * nb..r * nb + nb], &mut hi[..nb])
+                };
+                for p in 0..nb {
+                    xq[p] -= xr[p] * lqr;
+                }
+            }
+        }
+        let inv = 1.0 / l[at(nb, q, q)];
+        for p in 0..nb {
+            b[at(nb, p, q)] *= inv;
+        }
+    }
+}
+
+/// Symmetric rank-`nb` update `C ← C − A·Aᵀ` of a diagonal tile. The full
+/// tile is updated (keeping it symmetric), which keeps the kernel simple;
+/// POTRF only consumes the lower triangle anyway.
+pub fn syrk_update(c: &mut [f64], a: &[f64], nb: usize) {
+    debug_assert_eq!(c.len(), nb * nb);
+    debug_assert_eq!(a.len(), nb * nb);
+    // C[p,q] -= Σ_r A[p,r]·A[q,r]; loop order r-q-p streams columns of A.
+    for r in 0..nb {
+        let col = &a[r * nb..r * nb + nb];
+        for q in 0..nb {
+            let aqr = col[q];
+            if aqr != 0.0 {
+                let out = &mut c[q * nb..q * nb + nb];
+                for p in 0..nb {
+                    out[p] -= col[p] * aqr;
+                }
+            }
+        }
+    }
+}
+
+/// General update `C ← C − A·Bᵀ` of an off-diagonal tile.
+pub fn gemm_update(c: &mut [f64], a: &[f64], b: &[f64], nb: usize) {
+    debug_assert_eq!(c.len(), nb * nb);
+    debug_assert_eq!(a.len(), nb * nb);
+    debug_assert_eq!(b.len(), nb * nb);
+    // C[p,q] -= Σ_r A[p,r]·B[q,r].
+    for r in 0..nb {
+        let acol = &a[r * nb..r * nb + nb];
+        let bcol = &b[r * nb..r * nb + nb];
+        for q in 0..nb {
+            let bqr = bcol[q];
+            if bqr != 0.0 {
+                let out = &mut c[q * nb..q * nb + nb];
+                for p in 0..nb {
+                    out[p] -= acol[p] * bqr;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Matrix;
+
+    fn to_tile(m: &Matrix) -> Vec<f64> {
+        m.data().to_vec()
+    }
+
+    fn from_tile(t: &[f64], nb: usize) -> Matrix {
+        Matrix::from_fn(nb, nb, |r, c| t[r + c * nb])
+    }
+
+    /// A small SPD matrix: Aᵢⱼ = n·[i=j] + 1/(1+|i-j|).
+    fn spd(nb: usize) -> Matrix {
+        Matrix::from_fn(nb, nb, |r, c| {
+            let base = 1.0 / (1.0 + (r as f64 - c as f64).abs());
+            if r == c {
+                base + nb as f64
+            } else {
+                base
+            }
+        })
+    }
+
+    #[test]
+    fn potrf_reconstructs_spd() {
+        let nb = 8;
+        let a = spd(nb);
+        let mut t = to_tile(&a);
+        potrf_tile(&mut t, nb).unwrap();
+        let l = from_tile(&t, nb).lower_triangle();
+        let llt = l.matmul(&l.transpose());
+        let mut err = 0.0f64;
+        for r in 0..nb {
+            for c in 0..nb {
+                err = err.max((llt[(r, c)] - a[(r, c)]).abs());
+            }
+        }
+        assert!(err < 1e-12, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn potrf_2x2_hand_checked() {
+        // [[4, 2], [2, 5]] -> L = [[2, 0], [1, 2]]
+        let nb = 2;
+        let mut t = vec![4.0, 2.0, 2.0, 5.0]; // col-major
+        potrf_tile(&mut t, nb).unwrap();
+        assert!((t[0] - 2.0).abs() < 1e-15); // L[0,0]
+        assert!((t[1] - 1.0).abs() < 1e-15); // L[1,0]
+        assert!((t[3] - 2.0).abs() < 1e-15); // L[1,1]
+    }
+
+    #[test]
+    fn potrf_rejects_indefinite() {
+        let nb = 2;
+        let mut t = vec![1.0, 2.0, 2.0, 1.0]; // det < 0
+        let err = potrf_tile(&mut t, nb).unwrap_err();
+        assert_eq!(err.column, 1);
+        let mut t = vec![-1.0, 0.0, 0.0, 1.0];
+        assert_eq!(potrf_tile(&mut t, nb).unwrap_err().column, 0);
+    }
+
+    #[test]
+    fn trsm_solves_right_transposed_system() {
+        let nb = 6;
+        let a = spd(nb);
+        let mut lt = to_tile(&a);
+        potrf_tile(&mut lt, nb).unwrap();
+        let l = from_tile(&lt, nb).lower_triangle();
+        let b = Matrix::from_fn(nb, nb, |r, c| (r * nb + c) as f64 / 7.0 - 1.5);
+        let mut x = to_tile(&b);
+        trsm_solve(&mut x, &lt, nb);
+        // X·Lᵀ must equal B.
+        let back = from_tile(&x, nb).matmul(&l.transpose());
+        let mut err = 0.0f64;
+        for r in 0..nb {
+            for c in 0..nb {
+                err = err.max((back[(r, c)] - b[(r, c)]).abs());
+            }
+        }
+        assert!(err < 1e-11, "solve error {err}");
+    }
+
+    #[test]
+    fn trsm_identity_factor_is_noop() {
+        let nb = 4;
+        let l = to_tile(&Matrix::identity(nb));
+        let b = Matrix::from_fn(nb, nb, |r, c| (r + 2 * c) as f64);
+        let mut x = to_tile(&b);
+        trsm_solve(&mut x, &l, nb);
+        assert_eq!(from_tile(&x, nb), b);
+    }
+
+    #[test]
+    fn syrk_matches_matrix_algebra() {
+        let nb = 5;
+        let a = Matrix::from_fn(nb, nb, |r, c| ((r + 1) * (c + 2)) as f64 / 3.0);
+        let c0 = spd(nb);
+        let mut c = to_tile(&c0);
+        syrk_update(&mut c, &to_tile(&a), nb);
+        let expect = {
+            let prod = a.matmul(&a.transpose());
+            Matrix::from_fn(nb, nb, |r, q| c0[(r, q)] - prod[(r, q)])
+        };
+        let got = from_tile(&c, nb);
+        for r in 0..nb {
+            for q in 0..nb {
+                assert!((got[(r, q)] - expect[(r, q)]).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_matches_matrix_algebra() {
+        let nb = 5;
+        let a = Matrix::from_fn(nb, nb, |r, c| (r as f64 - c as f64) * 0.7);
+        let b = Matrix::from_fn(nb, nb, |r, c| (r * c) as f64 * 0.1 + 1.0);
+        let c0 = Matrix::from_fn(nb, nb, |r, c| (r + c) as f64);
+        let mut c = to_tile(&c0);
+        gemm_update(&mut c, &to_tile(&a), &to_tile(&b), nb);
+        let prod = a.matmul(&b.transpose());
+        let got = from_tile(&c, nb);
+        for r in 0..nb {
+            for q in 0..nb {
+                assert!((got[(r, q)] - (c0[(r, q)] - prod[(r, q)])).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_with_zero_b_is_noop() {
+        let nb = 3;
+        let a = Matrix::from_fn(nb, nb, |r, c| (r + c) as f64);
+        let zero = Matrix::zeros(nb, nb);
+        let c0 = spd(nb);
+        let mut c = to_tile(&c0);
+        gemm_update(&mut c, &to_tile(&a), &to_tile(&zero), nb);
+        assert_eq!(from_tile(&c, nb), c0);
+    }
+}

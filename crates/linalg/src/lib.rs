@@ -1,0 +1,30 @@
+//! # hetchol-linalg
+//!
+//! Real double-precision dense linear algebra backing the *actual
+//! execution* mode: the four tile kernels of the tiled Cholesky
+//! factorization (POTRF / TRSM / SYRK / GEMM), tiled matrix storage, SPD
+//! matrix generators and residual verification.
+//!
+//! The kernels are straightforward cache-aware loops, not a BLAS: the
+//! reproduction's claims are about *scheduling*, so what matters is that
+//! the kernels are numerically correct and have stable, calibratable
+//! execution times (which `hetchol-rt` measures at startup, playing the
+//! role of StarPU's calibration pass).
+
+pub mod cholesky;
+pub mod full;
+pub mod generate;
+pub mod kernels;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod verify;
+
+pub use cholesky::{tiled_cholesky_in_place, TiledCholeskyError};
+pub use full::FullTiledMatrix;
+pub use generate::{random_diagonally_dominant, random_spd};
+pub use kernels::{gemm_update, potrf_tile, syrk_update, trsm_solve};
+pub use lu::{lu_residual, tiled_lu_in_place, TiledLuError};
+pub use matrix::{Matrix, TiledMatrix};
+pub use qr::{QrMatrix, TiledQrError};
+pub use verify::{factorization_residual, solve_with_factor};

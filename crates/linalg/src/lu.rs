@@ -1,0 +1,341 @@
+//! Tiled LU factorization without pivoting (extension, DESIGN.md §8).
+//!
+//! `A = L·U` with `L` unit lower triangular and `U` upper triangular,
+//! computed in place over a [`FullTiledMatrix`]. No pivoting: callers must
+//! supply matrices for which this is stable (the generator
+//! [`crate::generate::random_diagonally_dominant`] guarantees it), which
+//! is the standard setting for tiled LU-nopiv studies.
+
+use crate::full::FullTiledMatrix;
+use crate::matrix::Matrix;
+use hetchol_core::task::TaskCoords;
+
+/// Numerical failure during tiled LU.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TiledLuError {
+    /// A zero (or non-finite) pivot appeared on the diagonal.
+    ZeroPivot {
+        /// Elimination step (diagonal tile index).
+        k: usize,
+        /// Column within the tile.
+        column: usize,
+    },
+    /// The task does not belong to the LU DAG.
+    WrongAlgorithm,
+}
+
+impl std::fmt::Display for TiledLuError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiledLuError::ZeroPivot { k, column } => {
+                write!(f, "zero pivot in tile A[{k}][{k}], column {column}")
+            }
+            TiledLuError::WrongAlgorithm => write!(f, "task is not an LU task"),
+        }
+    }
+}
+
+impl std::error::Error for TiledLuError {}
+
+#[inline]
+fn at(nb: usize, r: usize, c: usize) -> usize {
+    r + c * nb
+}
+
+/// In-place unblocked LU without pivoting of one tile: on return the
+/// strict lower triangle holds `L` (unit diagonal implied) and the upper
+/// triangle holds `U`.
+pub fn getrf_nopiv_tile(a: &mut [f64], nb: usize) -> Result<(), usize> {
+    debug_assert_eq!(a.len(), nb * nb);
+    for k in 0..nb {
+        let piv = a[at(nb, k, k)];
+        if piv == 0.0 || !piv.is_finite() {
+            return Err(k);
+        }
+        let inv = 1.0 / piv;
+        for i in (k + 1)..nb {
+            a[at(nb, i, k)] *= inv;
+        }
+        for j in (k + 1)..nb {
+            let ukj = a[at(nb, k, j)];
+            if ukj != 0.0 {
+                for i in (k + 1)..nb {
+                    a[at(nb, i, j)] -= a[at(nb, i, k)] * ukj;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Left solve `B ← L⁻¹·B` with `L` the *unit* lower triangle stored in
+/// `lu` (LU row-panel update).
+pub fn trsm_left_lower_unit(b: &mut [f64], lu: &[f64], nb: usize) {
+    debug_assert_eq!(b.len(), nb * nb);
+    debug_assert_eq!(lu.len(), nb * nb);
+    for q in 0..nb {
+        for p in 0..nb {
+            let mut v = b[at(nb, p, q)];
+            for r in 0..p {
+                v -= lu[at(nb, p, r)] * b[at(nb, r, q)];
+            }
+            b[at(nb, p, q)] = v; // unit diagonal: no division
+        }
+    }
+}
+
+/// Right solve `B ← B·U⁻¹` with `U` the upper triangle stored in `lu`
+/// (LU column-panel update).
+pub fn trsm_right_upper(b: &mut [f64], lu: &[f64], nb: usize) {
+    debug_assert_eq!(b.len(), nb * nb);
+    debug_assert_eq!(lu.len(), nb * nb);
+    // X·U = B: column q of X needs columns < q:
+    // X[p,q] = (B[p,q] - Σ_{r<q} X[p,r]·U[r,q]) / U[q,q].
+    for q in 0..nb {
+        for r in 0..q {
+            let urq = lu[at(nb, r, q)];
+            if urq != 0.0 {
+                let (xr, xq) = {
+                    let (lo, hi) = b.split_at_mut(q * nb);
+                    (&lo[r * nb..r * nb + nb], &mut hi[..nb])
+                };
+                for p in 0..nb {
+                    xq[p] -= xr[p] * urq;
+                }
+            }
+        }
+        let inv = 1.0 / lu[at(nb, q, q)];
+        for p in 0..nb {
+            b[at(nb, p, q)] *= inv;
+        }
+    }
+}
+
+/// General update `C ← C − A·B` (no transpose — LU's trailing update).
+pub fn gemm_nn_update(c: &mut [f64], a: &[f64], b: &[f64], nb: usize) {
+    debug_assert_eq!(c.len(), nb * nb);
+    debug_assert_eq!(a.len(), nb * nb);
+    debug_assert_eq!(b.len(), nb * nb);
+    for q in 0..nb {
+        let bcol = &b[q * nb..q * nb + nb];
+        for (r, &brq) in bcol.iter().enumerate() {
+            if brq != 0.0 {
+                let acol = &a[r * nb..r * nb + nb];
+                let out = &mut c[q * nb..q * nb + nb];
+                for p in 0..nb {
+                    out[p] -= acol[p] * brq;
+                }
+            }
+        }
+    }
+}
+
+/// Execute one LU DAG task in place.
+pub fn apply_lu_task(m: &mut FullTiledMatrix, coords: TaskCoords) -> Result<(), TiledLuError> {
+    let nb = m.nb();
+    match coords {
+        TaskCoords::Getrf { k } => {
+            let k = k as usize;
+            getrf_nopiv_tile(m.tile_mut(k, k), nb)
+                .map_err(|column| TiledLuError::ZeroPivot { k, column })
+        }
+        TaskCoords::LuTrsmRow { k, j } => {
+            let (k, j) = (k as usize, j as usize);
+            let (b, lu) = m.tile_pair_mut((k, j), (k, k));
+            trsm_left_lower_unit(b, lu, nb);
+            Ok(())
+        }
+        TaskCoords::LuTrsmCol { k, i } => {
+            let (k, i) = (k as usize, i as usize);
+            let (b, lu) = m.tile_pair_mut((i, k), (k, k));
+            trsm_right_upper(b, lu, nb);
+            Ok(())
+        }
+        TaskCoords::LuGemm { k, i, j } => {
+            let (k, i, j) = (k as usize, i as usize, j as usize);
+            let bkj = m.tile(k, j).to_vec();
+            let (c, a) = m.tile_pair_mut((i, j), (i, k));
+            gemm_nn_update(c, a, &bkj, nb);
+            Ok(())
+        }
+        _ => Err(TiledLuError::WrongAlgorithm),
+    }
+}
+
+/// Sequential in-place tiled LU without pivoting.
+pub fn tiled_lu_in_place(m: &mut FullTiledMatrix) -> Result<(), TiledLuError> {
+    let n = m.n_tiles() as u32;
+    for k in 0..n {
+        apply_lu_task(m, TaskCoords::Getrf { k })?;
+        for j in (k + 1)..n {
+            apply_lu_task(m, TaskCoords::LuTrsmRow { k, j })?;
+        }
+        for i in (k + 1)..n {
+            apply_lu_task(m, TaskCoords::LuTrsmCol { k, i })?;
+        }
+        for i in (k + 1)..n {
+            for j in (k + 1)..n {
+                apply_lu_task(m, TaskCoords::LuGemm { k, i, j })?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Relative Frobenius residual `‖A − L·U‖_F / ‖A‖_F` of an in-place LU.
+pub fn lu_residual(original: &Matrix, factored: &FullTiledMatrix) -> f64 {
+    let n = original.rows();
+    let dense = factored.to_dense();
+    let l = Matrix::from_fn(n, n, |r, c| {
+        use std::cmp::Ordering;
+        match r.cmp(&c) {
+            Ordering::Greater => dense[(r, c)],
+            Ordering::Equal => 1.0,
+            Ordering::Less => 0.0,
+        }
+    });
+    let u = Matrix::from_fn(n, n, |r, c| if r <= c { dense[(r, c)] } else { 0.0 });
+    let prod = l.matmul(&u);
+    let mut diff2 = 0.0f64;
+    for c in 0..n {
+        for r in 0..n {
+            let d = prod[(r, c)] - original[(r, c)];
+            diff2 += d * d;
+        }
+    }
+    diff2.sqrt() / original.frobenius_norm()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate::random_diagonally_dominant;
+    use hetchol_core::dag::TaskGraph;
+
+    #[test]
+    fn getrf_tile_reconstructs() {
+        let nb = 8;
+        let a = random_diagonally_dominant(nb, 3);
+        let mut t = a.data().to_vec();
+        getrf_nopiv_tile(&mut t, nb).unwrap();
+        let m = FullTiledMatrix::from_dense(&a, nb);
+        let mut factored = FullTiledMatrix::zeros(1, nb);
+        factored.tile_mut(0, 0).copy_from_slice(&t);
+        let res = lu_residual(&m.to_dense(), &factored);
+        assert!(res < 1e-13, "residual {res}");
+    }
+
+    #[test]
+    fn getrf_rejects_zero_pivot() {
+        let nb = 3;
+        let mut t = vec![0.0; 9];
+        assert_eq!(getrf_nopiv_tile(&mut t, nb), Err(0));
+    }
+
+    #[test]
+    fn trsm_left_lower_unit_solves() {
+        let nb = 5;
+        let a = random_diagonally_dominant(nb, 7);
+        let mut lu = a.data().to_vec();
+        getrf_nopiv_tile(&mut lu, nb).unwrap();
+        let b = Matrix::from_fn(nb, nb, |r, c| (r + 2 * c) as f64 - 3.0);
+        let mut x = b.data().to_vec();
+        trsm_left_lower_unit(&mut x, &lu, nb);
+        // L·X must equal B.
+        let l = Matrix::from_fn(nb, nb, |r, c| {
+            use std::cmp::Ordering;
+            match r.cmp(&c) {
+                Ordering::Greater => lu[r + c * nb],
+                Ordering::Equal => 1.0,
+                Ordering::Less => 0.0,
+            }
+        });
+        let xm = Matrix::from_fn(nb, nb, |r, c| x[r + c * nb]);
+        let back = l.matmul(&xm);
+        for r in 0..nb {
+            for c in 0..nb {
+                assert!((back[(r, c)] - b[(r, c)]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn trsm_right_upper_solves() {
+        let nb = 5;
+        let a = random_diagonally_dominant(nb, 9);
+        let mut lu = a.data().to_vec();
+        getrf_nopiv_tile(&mut lu, nb).unwrap();
+        let b = Matrix::from_fn(nb, nb, |r, c| (2 * r + c) as f64 * 0.25 + 1.0);
+        let mut x = b.data().to_vec();
+        trsm_right_upper(&mut x, &lu, nb);
+        let u = Matrix::from_fn(nb, nb, |r, c| if r <= c { lu[r + c * nb] } else { 0.0 });
+        let xm = Matrix::from_fn(nb, nb, |r, c| x[r + c * nb]);
+        let back = xm.matmul(&u);
+        for r in 0..nb {
+            for c in 0..nb {
+                assert!((back[(r, c)] - b[(r, c)]).abs() < 1e-11);
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_nn_matches_matrix_algebra() {
+        let nb = 4;
+        let a = Matrix::from_fn(nb, nb, |r, c| (r as f64 + 1.0) * (c as f64 - 1.5));
+        let b = Matrix::from_fn(nb, nb, |r, c| (r * c) as f64 * 0.3 - 1.0);
+        let c0 = Matrix::from_fn(nb, nb, |r, c| (r + c) as f64);
+        let mut c = c0.data().to_vec();
+        gemm_nn_update(&mut c, a.data(), b.data(), nb);
+        let prod = a.matmul(&b);
+        for q in 0..nb {
+            for p in 0..nb {
+                assert!((c[p + q * nb] - (c0[(p, q)] - prod[(p, q)])).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_lu_factorizes_dominant_matrices() {
+        let nb = 4;
+        for n_tiles in 1..=5usize {
+            let a = random_diagonally_dominant(n_tiles * nb, 11 + n_tiles as u64);
+            let mut m = FullTiledMatrix::from_dense(&a, nb);
+            tiled_lu_in_place(&mut m).unwrap();
+            let res = lu_residual(&a, &m);
+            assert!(res < 1e-12, "n_tiles={n_tiles}: residual {res}");
+        }
+    }
+
+    #[test]
+    fn lu_dag_order_equivalence() {
+        // Executing the LU DAG in topological order matches the sequential
+        // loop bit for bit — validating the LU access lists feeding the
+        // DAG builder.
+        let nb = 4;
+        let n_tiles = 4;
+        let a = random_diagonally_dominant(n_tiles * nb, 23);
+        let graph = TaskGraph::lu(n_tiles);
+
+        let mut m1 = FullTiledMatrix::from_dense(&a, nb);
+        tiled_lu_in_place(&mut m1).unwrap();
+
+        let mut m2 = FullTiledMatrix::from_dense(&a, nb);
+        for id in graph.topo_order() {
+            apply_lu_task(&mut m2, graph.task(id).coords).unwrap();
+        }
+        for i in 0..n_tiles {
+            for j in 0..n_tiles {
+                assert_eq!(m1.tile(i, j), m2.tile(i, j), "tile ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn cholesky_task_rejected() {
+        let mut m = FullTiledMatrix::zeros(2, 2);
+        assert_eq!(
+            apply_lu_task(&mut m, TaskCoords::Potrf { k: 0 }),
+            Err(TiledLuError::WrongAlgorithm)
+        );
+    }
+}

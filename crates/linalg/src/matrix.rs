@@ -1,0 +1,328 @@
+//! Dense and tiled matrix storage (column-major, like LAPACK).
+
+/// A dense column-major `rows × cols` matrix of `f64`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// A zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// The identity matrix.
+    pub fn identity(n: usize) -> Matrix {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Build from a closure over `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Matrix {
+        let mut m = Matrix::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Raw column-major storage.
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// `self · otherᵀ`-free plain product `self · other`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "inner dimensions must agree");
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for j in 0..other.cols {
+            for k in 0..self.cols {
+                let b = other[(k, j)];
+                if b != 0.0 {
+                    for i in 0..self.rows {
+                        out[(i, j)] += self[(i, k)] * b;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Keep the lower triangle (including the diagonal), zero the rest.
+    pub fn lower_triangle(&self) -> Matrix {
+        Matrix::from_fn(self.rows, self.cols, |r, c| if r >= c { self[(r, c)] } else { 0.0 })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &self.data[r + c * self.rows]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        debug_assert!(r < self.rows && c < self.cols);
+        &mut self.data[r + c * self.rows]
+    }
+}
+
+/// The lower triangle of a symmetric matrix stored as `nb × nb`
+/// column-major tiles (only tiles with `row ≥ col` are materialised, as in
+/// the paper's in-place tiled Cholesky).
+#[derive(Clone, Debug)]
+pub struct TiledMatrix {
+    n_tiles: usize,
+    nb: usize,
+    /// Packed lower-triangular tiles, indexed by `Tile::packed_index`.
+    tiles: Vec<Vec<f64>>,
+}
+
+impl TiledMatrix {
+    /// A zero tiled matrix of `n_tiles × n_tiles` tiles of size `nb`.
+    pub fn zeros(n_tiles: usize, nb: usize) -> TiledMatrix {
+        let count = n_tiles * (n_tiles + 1) / 2;
+        TiledMatrix {
+            n_tiles,
+            nb,
+            tiles: vec![vec![0.0; nb * nb]; count],
+        }
+    }
+
+    /// Tile decomposition of (the lower triangle of) a dense symmetric
+    /// matrix whose order is a multiple of `nb`.
+    pub fn from_dense(dense: &Matrix, nb: usize) -> TiledMatrix {
+        assert_eq!(dense.rows(), dense.cols(), "matrix must be square");
+        assert_eq!(dense.rows() % nb, 0, "order must be a multiple of nb");
+        let n_tiles = dense.rows() / nb;
+        let mut tm = TiledMatrix::zeros(n_tiles, nb);
+        for ti in 0..n_tiles {
+            for tj in 0..=ti {
+                let t = tm.tile_mut(ti, tj);
+                for c in 0..nb {
+                    for r in 0..nb {
+                        t[r + c * nb] = dense[(ti * nb + r, tj * nb + c)];
+                    }
+                }
+            }
+        }
+        tm
+    }
+
+    /// Reassemble a dense matrix; the strict upper triangle is mirrored
+    /// from the lower one (symmetric interpretation).
+    pub fn to_dense_symmetric(&self) -> Matrix {
+        let n = self.n_tiles * self.nb;
+        let mut m = Matrix::zeros(n, n);
+        for ti in 0..self.n_tiles {
+            for tj in 0..=ti {
+                let t = self.tile(ti, tj);
+                for c in 0..self.nb {
+                    for r in 0..self.nb {
+                        let (gr, gc) = (ti * self.nb + r, tj * self.nb + c);
+                        m[(gr, gc)] = t[r + c * self.nb];
+                        m[(gc, gr)] = t[r + c * self.nb];
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Extract the lower-triangular Cholesky factor `L` after an in-place
+    /// factorization: off-diagonal tiles verbatim, diagonal tiles keep only
+    /// their lower triangle.
+    pub fn to_dense_lower_factor(&self) -> Matrix {
+        let n = self.n_tiles * self.nb;
+        let mut m = Matrix::zeros(n, n);
+        for ti in 0..self.n_tiles {
+            for tj in 0..=ti {
+                let t = self.tile(ti, tj);
+                for c in 0..self.nb {
+                    for r in 0..self.nb {
+                        if ti > tj || r >= c {
+                            m[(ti * self.nb + r, tj * self.nb + c)] = t[r + c * self.nb];
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    #[inline]
+    fn idx(&self, row: usize, col: usize) -> usize {
+        debug_assert!(col <= row && row < self.n_tiles, "({row},{col}) not in lower triangle");
+        row * (row + 1) / 2 + col
+    }
+
+    /// Borrow a tile (`col ≤ row`).
+    #[inline]
+    pub fn tile(&self, row: usize, col: usize) -> &[f64] {
+        &self.tiles[self.idx(row, col)]
+    }
+
+    /// Mutably borrow a tile (`col ≤ row`).
+    #[inline]
+    pub fn tile_mut(&mut self, row: usize, col: usize) -> &mut [f64] {
+        let i = self.idx(row, col);
+        &mut self.tiles[i]
+    }
+
+    /// Borrow two distinct tiles, the first mutably — the shape every
+    /// in-place kernel needs (output tile + one input tile).
+    pub fn tile_pair_mut(
+        &mut self,
+        out: (usize, usize),
+        input: (usize, usize),
+    ) -> (&mut [f64], &[f64]) {
+        let oi = self.idx(out.0, out.1);
+        let ii = self.idx(input.0, input.1);
+        assert_ne!(oi, ii, "output and input tiles must differ");
+        if oi < ii {
+            let (lo, hi) = self.tiles.split_at_mut(ii);
+            (&mut lo[oi], &hi[0])
+        } else {
+            let (lo, hi) = self.tiles.split_at_mut(oi);
+            (&mut hi[0], &lo[ii])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_indexing_is_column_major() {
+        let mut m = Matrix::zeros(3, 2);
+        m[(2, 1)] = 7.0;
+        assert_eq!(m.data()[2 + 3], 7.0);
+        assert_eq!(m[(2, 1)], 7.0);
+    }
+
+    #[test]
+    fn identity_matmul() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_fn(2, 2, |r, c| [[1.0, 2.0], [3.0, 4.0]][r][c]);
+        let b = Matrix::from_fn(2, 2, |r, c| [[5.0, 6.0], [7.0, 8.0]][r][c]);
+        let p = a.matmul(&b);
+        assert_eq!(p[(0, 0)], 19.0);
+        assert_eq!(p[(0, 1)], 22.0);
+        assert_eq!(p[(1, 0)], 43.0);
+        assert_eq!(p[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn frobenius() {
+        let a = Matrix::from_fn(2, 2, |r, c| if r == c { 3.0 } else { 4.0 });
+        assert!((a.frobenius_norm() - 50f64.sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiled_round_trip_symmetric() {
+        let n = 8;
+        let dense = Matrix::from_fn(n, n, |r, c| {
+            let (a, b) = (r.min(c) as f64, r.max(c) as f64);
+            a * 10.0 + b // symmetric by construction
+        });
+        let tm = TiledMatrix::from_dense(&dense, 4);
+        assert_eq!(tm.n_tiles(), 2);
+        let back = tm.to_dense_symmetric();
+        assert_eq!(back, dense);
+    }
+
+    #[test]
+    fn lower_factor_extraction_zeroes_strict_upper() {
+        let n = 4;
+        let dense = Matrix::from_fn(n, n, |_, _| 5.0);
+        let tm = TiledMatrix::from_dense(&dense, 2);
+        let l = tm.to_dense_lower_factor();
+        for r in 0..n {
+            for c in 0..n {
+                if c > r {
+                    assert_eq!(l[(r, c)], 0.0);
+                } else {
+                    assert_eq!(l[(r, c)], 5.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tile_pair_mut_disjoint_borrows() {
+        let mut tm = TiledMatrix::zeros(3, 2);
+        tm.tile_mut(1, 0)[0] = 2.0;
+        let (out, input) = tm.tile_pair_mut((2, 0), (1, 0));
+        out[0] = input[0] * 3.0;
+        assert_eq!(tm.tile(2, 0)[0], 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must differ")]
+    fn tile_pair_mut_same_tile_panics() {
+        let mut tm = TiledMatrix::zeros(3, 2);
+        let _ = tm.tile_pair_mut((1, 0), (1, 0));
+    }
+}

@@ -1,0 +1,517 @@
+//! Tiled QR factorization numerics (extension, DESIGN.md §8).
+//!
+//! Flat-tree tile QR à la Buttari et al.: `GEQRT` factors a diagonal tile
+//! with Householder reflectors, `TSQRT` eliminates a sub-diagonal tile
+//! against the diagonal triangle, and `ORMQR`/`TSMQR` apply the respective
+//! reflector sets to the tiles on the right. Reflectors are applied
+//! columnwise (one `H = I − τ·v·vᵀ` at a time) rather than via compact-WY
+//! `T` blocks — numerically identical, simpler to verify, and the
+//! scheduling study never times these kernels anyway (the simulator uses
+//! the calibrated profile).
+//!
+//! Storage convention after factorization of a [`QrMatrix`]:
+//! * diagonal tile `(k,k)`: `R` in the upper triangle, the `GEQRT`
+//!   reflector vectors `V` (unit leading entry implied) in the strict
+//!   lower triangle, `τ` values in a side table;
+//! * sub-diagonal tile `(i,k)`: the dense `TSQRT` reflector block `Vb`
+//!   (its implicit top part is `e_j`), `τ` values in the side table;
+//! * tiles `(k,j)`, `j > k`: the corresponding block of `R`.
+
+use crate::full::FullTiledMatrix;
+use crate::matrix::Matrix;
+use hetchol_core::task::TaskCoords;
+use std::collections::HashMap;
+
+/// Numerical failure during tiled QR.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TiledQrError {
+    /// The task does not belong to the QR DAG.
+    WrongAlgorithm,
+    /// Reflector data required by an apply kernel is missing (tasks were
+    /// executed in an order violating the DAG).
+    MissingReflectors {
+        /// Tile row of the missing reflector block.
+        row: usize,
+        /// Tile column of the missing reflector block.
+        col: usize,
+    },
+}
+
+impl std::fmt::Display for TiledQrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TiledQrError::WrongAlgorithm => write!(f, "task is not a QR task"),
+            TiledQrError::MissingReflectors { row, col } => {
+                write!(f, "no reflectors stored for tile ({row},{col})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TiledQrError {}
+
+/// A tiled matrix being QR-factorized: tiles plus per-tile `τ` vectors.
+pub struct QrMatrix {
+    tiles: FullTiledMatrix,
+    /// `τ` vectors of the reflector sets, keyed by the tile that stores
+    /// the corresponding `V` block.
+    taus: HashMap<(usize, usize), Vec<f64>>,
+}
+
+/// Compute a Householder reflector for the vector `[x0, rest…]`:
+/// returns `(beta, tau)` and overwrites `rest` with the scaled tail `v`
+/// (the implied leading entry of `v` is 1). `H·x = β·e₁` with
+/// `H = I − τ·v·vᵀ`.
+fn householder(x0: f64, rest: &mut [f64]) -> (f64, f64) {
+    let norm2: f64 = x0 * x0 + rest.iter().map(|v| v * v).sum::<f64>();
+    if norm2 == 0.0 {
+        return (0.0, 0.0);
+    }
+    let norm = norm2.sqrt();
+    let beta = if x0 >= 0.0 { -norm } else { norm };
+    let u0 = x0 - beta; // no cancellation by the sign choice
+    for v in rest.iter_mut() {
+        *v /= u0;
+    }
+    let tau = -u0 / beta;
+    (beta, tau)
+}
+
+#[inline]
+fn at(nb: usize, r: usize, c: usize) -> usize {
+    r + c * nb
+}
+
+/// GEQRT: in-place Householder QR of one tile. Returns the `τ` vector.
+pub fn geqrt_tile(a: &mut [f64], nb: usize) -> Vec<f64> {
+    let mut taus = vec![0.0; nb];
+    for j in 0..nb {
+        // Build the reflector from column j, rows j…
+        let x0 = a[at(nb, j, j)];
+        let (head, tail) = a.split_at_mut(at(nb, j, j) + 1);
+        let _ = head;
+        let col_tail_len = nb - j - 1;
+        let (beta, tau) = {
+            let rest = &mut tail[..col_tail_len];
+            householder(x0, rest)
+        };
+        a[at(nb, j, j)] = beta;
+        taus[j] = tau;
+        if tau == 0.0 {
+            continue;
+        }
+        // Apply H to the trailing columns (within the tile).
+        for c in (j + 1)..nb {
+            let mut w = a[at(nb, j, c)];
+            for p in (j + 1)..nb {
+                w += a[at(nb, p, j)] * a[at(nb, p, c)];
+            }
+            let tw = tau * w;
+            a[at(nb, j, c)] -= tw;
+            for p in (j + 1)..nb {
+                let vpj = a[at(nb, p, j)];
+                a[at(nb, p, c)] -= tw * vpj;
+            }
+        }
+    }
+    taus
+}
+
+/// ORMQR: apply `Qᵀ` from a GEQRT-factored tile (`v` = strict lower
+/// triangle of `vt`, `taus`) to tile `c`.
+pub fn ormqr_apply(c: &mut [f64], vt: &[f64], taus: &[f64], nb: usize) {
+    for j in 0..nb {
+        let tau = taus[j];
+        if tau == 0.0 {
+            continue;
+        }
+        for col in 0..nb {
+            let mut w = c[at(nb, j, col)];
+            for p in (j + 1)..nb {
+                w += vt[at(nb, p, j)] * c[at(nb, p, col)];
+            }
+            let tw = tau * w;
+            c[at(nb, j, col)] -= tw;
+            for p in (j + 1)..nb {
+                c[at(nb, p, col)] -= tw * vt[at(nb, p, j)];
+            }
+        }
+    }
+}
+
+/// TSQRT: QR of the upper-triangular tile `r` stacked on the dense tile
+/// `b`. On return `r` holds the updated triangle, `b` the reflector block
+/// `Vb`; returns the `τ` vector.
+pub fn tsqrt_tiles(r: &mut [f64], b: &mut [f64], nb: usize) -> Vec<f64> {
+    let mut taus = vec![0.0; nb];
+    for j in 0..nb {
+        // x = [R[j,j]; B[:, j]] — the top block is zero below its diagonal.
+        let x0 = r[at(nb, j, j)];
+        let (beta, tau) = {
+            let col = &mut b[j * nb..j * nb + nb];
+            householder(x0, col)
+        };
+        r[at(nb, j, j)] = beta;
+        taus[j] = tau;
+        if tau == 0.0 {
+            continue;
+        }
+        // Apply to trailing columns of [R; B].
+        let vb: Vec<f64> = b[j * nb..j * nb + nb].to_vec();
+        for c in (j + 1)..nb {
+            let mut w = r[at(nb, j, c)];
+            for (p, &v) in vb.iter().enumerate() {
+                w += v * b[at(nb, p, c)];
+            }
+            let tw = tau * w;
+            r[at(nb, j, c)] -= tw;
+            for (p, &v) in vb.iter().enumerate() {
+                b[at(nb, p, c)] -= tw * v;
+            }
+        }
+    }
+    taus
+}
+
+/// TSMQR: apply `Qᵀ` from a TSQRT reflector block (`vb`, `taus`) to the
+/// stacked tile pair `c1` (row tile) / `c2` (sub-diagonal tile).
+pub fn tsmqr_apply(c1: &mut [f64], c2: &mut [f64], vb: &[f64], taus: &[f64], nb: usize) {
+    for j in 0..nb {
+        let tau = taus[j];
+        if tau == 0.0 {
+            continue;
+        }
+        let v = &vb[j * nb..j * nb + nb];
+        for col in 0..nb {
+            let mut w = c1[at(nb, j, col)];
+            for (p, &vp) in v.iter().enumerate() {
+                w += vp * c2[at(nb, p, col)];
+            }
+            let tw = tau * w;
+            c1[at(nb, j, col)] -= tw;
+            for (p, &vp) in v.iter().enumerate() {
+                c2[at(nb, p, col)] -= tw * vp;
+            }
+        }
+    }
+}
+
+impl QrMatrix {
+    /// Wrap a matrix for QR factorization.
+    pub fn from_dense(dense: &Matrix, nb: usize) -> QrMatrix {
+        QrMatrix {
+            tiles: FullTiledMatrix::from_dense(dense, nb),
+            taus: HashMap::new(),
+        }
+    }
+
+    /// Rebuild from externally produced parts (e.g. a threaded run in
+    /// `hetchol-rt`), for verification with [`QrMatrix::residual`].
+    pub fn from_parts(
+        tiles: FullTiledMatrix,
+        taus: impl IntoIterator<Item = ((usize, usize), Vec<f64>)>,
+    ) -> QrMatrix {
+        QrMatrix {
+            tiles,
+            taus: taus.into_iter().collect(),
+        }
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.tiles.n_tiles()
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.tiles.nb()
+    }
+
+    /// The underlying tiles (reflectors + R after factorization).
+    pub fn tiles(&self) -> &FullTiledMatrix {
+        &self.tiles
+    }
+
+    /// Execute one QR DAG task.
+    pub fn apply_task(&mut self, coords: TaskCoords) -> Result<(), TiledQrError> {
+        let nb = self.nb();
+        match coords {
+            TaskCoords::Geqrt { k } => {
+                let k = k as usize;
+                let taus = geqrt_tile(self.tiles.tile_mut(k, k), nb);
+                self.taus.insert((k, k), taus);
+                Ok(())
+            }
+            TaskCoords::Ormqr { k, j } => {
+                let (k, j) = (k as usize, j as usize);
+                let taus = self
+                    .taus
+                    .get(&(k, k))
+                    .ok_or(TiledQrError::MissingReflectors { row: k, col: k })?
+                    .clone();
+                let (c, vt) = self.tiles.tile_pair_mut((k, j), (k, k));
+                ormqr_apply(c, vt, &taus, nb);
+                Ok(())
+            }
+            TaskCoords::Tsqrt { k, i } => {
+                let (k, i) = (k as usize, i as usize);
+                // Two mutable tiles: take the diagonal out, work, put back.
+                let mut r = self.tiles.tile(k, k).to_vec();
+                let taus = tsqrt_tiles(&mut r, self.tiles.tile_mut(i, k), nb);
+                self.tiles.tile_mut(k, k).copy_from_slice(&r);
+                self.taus.insert((i, k), taus);
+                Ok(())
+            }
+            TaskCoords::Tsmqr { k, i, j } => {
+                let (k, i, j) = (k as usize, i as usize, j as usize);
+                let taus = self
+                    .taus
+                    .get(&(i, k))
+                    .ok_or(TiledQrError::MissingReflectors { row: i, col: k })?
+                    .clone();
+                let vb = self.tiles.tile(i, k).to_vec();
+                let mut c1 = self.tiles.tile(k, j).to_vec();
+                tsmqr_apply(&mut c1, self.tiles.tile_mut(i, j), &vb, &taus, nb);
+                self.tiles.tile_mut(k, j).copy_from_slice(&c1);
+                Ok(())
+            }
+            _ => Err(TiledQrError::WrongAlgorithm),
+        }
+    }
+
+    /// Sequential in-place tiled QR (flat tree).
+    pub fn factorize(&mut self) -> Result<(), TiledQrError> {
+        let n = self.n_tiles() as u32;
+        for k in 0..n {
+            self.apply_task(TaskCoords::Geqrt { k })?;
+            for j in (k + 1)..n {
+                self.apply_task(TaskCoords::Ormqr { k, j })?;
+            }
+            for i in (k + 1)..n {
+                self.apply_task(TaskCoords::Tsqrt { k, i })?;
+                for j in (k + 1)..n {
+                    self.apply_task(TaskCoords::Tsmqr { k, i, j })?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Extract the dense upper-triangular factor `R`.
+    pub fn r_factor(&self) -> Matrix {
+        let nb = self.nb();
+        let n = self.n_tiles() * nb;
+        let mut r = Matrix::zeros(n, n);
+        for tk in 0..self.n_tiles() {
+            for tj in tk..self.n_tiles() {
+                let t = self.tiles.tile(tk, tj);
+                for c in 0..nb {
+                    for row in 0..nb {
+                        if tj > tk || row <= c {
+                            r[(tk * nb + row, tj * nb + c)] = t[row + c * nb];
+                        }
+                    }
+                }
+            }
+        }
+        r
+    }
+
+    /// Reconstruct `Q·R` by applying the stored reflectors to `R` in
+    /// reverse factorization order (each `H` is symmetric, so this undoes
+    /// the factorization); the result should equal the original matrix.
+    pub fn reconstruct(&self) -> Matrix {
+        let nb = self.nb();
+        let nt = self.n_tiles();
+        let n = nt * nb;
+        let mut d = self.r_factor();
+        for k in (0..nt).rev() {
+            for i in ((k + 1)..nt).rev() {
+                // TSQRT(k, i) reflectors, reverse column order.
+                let vb = self.tiles.tile(i, k);
+                let taus = &self.taus[&(i, k)];
+                for j in (0..nb).rev() {
+                    let tau = taus[j];
+                    if tau == 0.0 {
+                        continue;
+                    }
+                    let v = &vb[j * nb..j * nb + nb];
+                    for col in 0..n {
+                        let mut w = d[(k * nb + j, col)];
+                        for (p, &vp) in v.iter().enumerate() {
+                            w += vp * d[(i * nb + p, col)];
+                        }
+                        let tw = tau * w;
+                        d[(k * nb + j, col)] -= tw;
+                        for (p, &vp) in v.iter().enumerate() {
+                            d[(i * nb + p, col)] -= tw * vp;
+                        }
+                    }
+                }
+            }
+            // GEQRT(k) reflectors, reverse column order.
+            let vt = self.tiles.tile(k, k);
+            let taus = &self.taus[&(k, k)];
+            for j in (0..nb).rev() {
+                let tau = taus[j];
+                if tau == 0.0 {
+                    continue;
+                }
+                for col in 0..n {
+                    let mut w = d[(k * nb + j, col)];
+                    for p in (j + 1)..nb {
+                        w += vt[p + j * nb] * d[(k * nb + p, col)];
+                    }
+                    let tw = tau * w;
+                    d[(k * nb + j, col)] -= tw;
+                    for p in (j + 1)..nb {
+                        d[(k * nb + p, col)] -= tw * vt[p + j * nb];
+                    }
+                }
+            }
+        }
+        d
+    }
+
+    /// Relative Frobenius residual `‖A − Q·R‖_F / ‖A‖_F`.
+    pub fn residual(&self, original: &Matrix) -> f64 {
+        let rec = self.reconstruct();
+        let n = original.rows();
+        let mut diff2 = 0.0f64;
+        for c in 0..n {
+            for r in 0..n {
+                let d = rec[(r, c)] - original[(r, c)];
+                diff2 += d * d;
+            }
+        }
+        diff2.sqrt() / original.frobenius_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_dense(n: usize, seed: u64) -> Matrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+    }
+
+    #[test]
+    fn householder_annihilates() {
+        // H x = beta e1 exactly.
+        let x = [3.0, 4.0, 0.0, 12.0];
+        let mut rest = x[1..].to_vec();
+        let (beta, tau) = householder(x[0], &mut rest);
+        assert!((beta.abs() - 13.0).abs() < 1e-12, "|beta| = ||x||");
+        // Apply H to x and check.
+        let v: Vec<f64> = std::iter::once(1.0).chain(rest.iter().copied()).collect();
+        let w: f64 = x[0] + rest.iter().zip(&x[1..]).map(|(v, x)| v * x).sum::<f64>();
+        let hx0 = x[0] - tau * w * v[0];
+        assert!((hx0 - beta).abs() < 1e-12);
+        for p in 1..4 {
+            let hxp = x[p] - tau * w * v[p];
+            assert!(hxp.abs() < 1e-12, "tail must vanish, got {hxp}");
+        }
+        // Degenerate: zero vector -> identity reflector.
+        let (b, t) = householder(0.0, &mut []);
+        assert_eq!((b, t), (0.0, 0.0));
+    }
+
+    #[test]
+    fn geqrt_single_tile_qr() {
+        let nb = 8;
+        let a = random_dense(nb, 5);
+        let mut qr = QrMatrix::from_dense(&a, nb);
+        qr.factorize().unwrap();
+        let res = qr.residual(&a);
+        assert!(res < 1e-13, "residual {res}");
+        // R really is upper triangular.
+        let r = qr.r_factor();
+        for c in 0..nb {
+            for row in (c + 1)..nb {
+                assert_eq!(r[(row, c)], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_qr_factorizes_random_matrices() {
+        let nb = 4;
+        for n_tiles in 1..=4usize {
+            let a = random_dense(n_tiles * nb, 100 + n_tiles as u64);
+            let mut qr = QrMatrix::from_dense(&a, nb);
+            qr.factorize().unwrap();
+            let res = qr.residual(&a);
+            assert!(res < 1e-12, "n_tiles={n_tiles}: residual {res}");
+        }
+    }
+
+    #[test]
+    fn r_diagonal_carries_column_norms() {
+        // |R[0,0]| equals the norm of A's first column (first reflector).
+        let nb = 6;
+        let a = random_dense(nb, 9);
+        let mut qr = QrMatrix::from_dense(&a, nb);
+        qr.factorize().unwrap();
+        let col_norm: f64 = (0..nb).map(|r| a[(r, 0)] * a[(r, 0)]).sum::<f64>().sqrt();
+        let r = qr.r_factor();
+        assert!((r[(0, 0)].abs() - col_norm).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dag_order_equivalence() {
+        use hetchol_core::dag::TaskGraph;
+        let nb = 4;
+        let n_tiles = 3;
+        let a = random_dense(n_tiles * nb, 31);
+        let graph = TaskGraph::qr(n_tiles);
+
+        let mut seq = QrMatrix::from_dense(&a, nb);
+        seq.factorize().unwrap();
+
+        let mut dag = QrMatrix::from_dense(&a, nb);
+        for id in graph.topo_order() {
+            dag.apply_task(graph.task(id).coords).unwrap();
+        }
+        for i in 0..n_tiles {
+            for j in 0..n_tiles {
+                assert_eq!(seq.tiles().tile(i, j), dag.tiles().tile(i, j), "tile ({i},{j})");
+            }
+        }
+        assert!(dag.residual(&a) < 1e-12);
+    }
+
+    #[test]
+    fn out_of_order_apply_is_reported() {
+        let mut qr = QrMatrix::from_dense(&random_dense(8, 1), 4);
+        // ORMQR before its GEQRT: reflectors missing.
+        assert_eq!(
+            qr.apply_task(TaskCoords::Ormqr { k: 0, j: 1 }),
+            Err(TiledQrError::MissingReflectors { row: 0, col: 0 })
+        );
+        assert_eq!(
+            qr.apply_task(TaskCoords::Potrf { k: 0 }),
+            Err(TiledQrError::WrongAlgorithm)
+        );
+    }
+
+    #[test]
+    fn orthogonality_via_norm_preservation() {
+        // ‖R‖_F must equal ‖A‖_F (Q orthogonal preserves the norm).
+        let nb = 4;
+        let n_tiles = 3;
+        let a = random_dense(n_tiles * nb, 55);
+        let mut qr = QrMatrix::from_dense(&a, nb);
+        qr.factorize().unwrap();
+        let r = qr.r_factor();
+        assert!(
+            (r.frobenius_norm() - a.frobenius_norm()).abs() < 1e-11,
+            "{} vs {}",
+            r.frobenius_norm(),
+            a.frobenius_norm()
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Verification of computed factorizations.
+
+use crate::matrix::{Matrix, TiledMatrix};
+
+/// Relative Frobenius residual `‖A − L·Lᵀ‖_F / ‖A‖_F` of an in-place
+/// factorization against the original matrix.
+pub fn factorization_residual(original: &Matrix, factored: &TiledMatrix) -> f64 {
+    let l = factored.to_dense_lower_factor();
+    let llt = l.matmul(&l.transpose());
+    let n = original.rows();
+    let mut diff2 = 0.0f64;
+    for c in 0..n {
+        for r in 0..n {
+            let d = llt[(r, c)] - original[(r, c)];
+            diff2 += d * d;
+        }
+    }
+    diff2.sqrt() / original.frobenius_norm()
+}
+
+/// Solve `A·x = b` given the in-place Cholesky factor: forward
+/// substitution `L·y = b` followed by backward substitution `Lᵀ·x = y` —
+/// the use case the paper's Section II-A motivates the factorization with.
+pub fn solve_with_factor(factored: &TiledMatrix, b: &[f64]) -> Vec<f64> {
+    let l = factored.to_dense_lower_factor();
+    let n = l.rows();
+    assert_eq!(b.len(), n, "right-hand side has wrong length");
+    // L y = b
+    let mut y = b.to_vec();
+    for i in 0..n {
+        for j in 0..i {
+            y[i] -= l[(i, j)] * y[j];
+        }
+        y[i] /= l[(i, i)];
+    }
+    // Lᵀ x = y
+    let mut x = y;
+    for i in (0..n).rev() {
+        for j in (i + 1)..n {
+            x[i] -= l[(j, i)] * x[j];
+        }
+        x[i] /= l[(i, i)];
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cholesky::tiled_cholesky_in_place;
+    use crate::generate::random_spd;
+
+    #[test]
+    fn residual_zero_for_exact_factor() {
+        // A = I: its factor is I; the residual must be numerically zero.
+        let n = 8;
+        let a = Matrix::identity(n);
+        let mut m = TiledMatrix::from_dense(&a, 4);
+        tiled_cholesky_in_place(&mut m).unwrap();
+        assert!(factorization_residual(&a, &m) < 1e-15);
+    }
+
+    #[test]
+    fn residual_large_for_wrong_factor() {
+        let n = 8;
+        let a = random_spd(n, 5);
+        let mut m = TiledMatrix::from_dense(&a, 4);
+        tiled_cholesky_in_place(&mut m).unwrap();
+        // Corrupt one entry of the factor.
+        m.tile_mut(1, 0)[0] += 1.0;
+        assert!(factorization_residual(&a, &m) > 1e-3);
+    }
+
+    #[test]
+    fn linear_solve_round_trip() {
+        let n = 12;
+        let a = random_spd(n, 11);
+        let mut m = TiledMatrix::from_dense(&a, 4);
+        tiled_cholesky_in_place(&mut m).unwrap();
+        // Build b = A·x_true and recover x.
+        let x_true: Vec<f64> = (0..n).map(|i| (i as f64) * 0.5 - 2.0).collect();
+        let mut b = vec![0.0; n];
+        for j in 0..n {
+            for i in 0..n {
+                b[i] += a[(i, j)] * x_true[j];
+            }
+        }
+        let x = solve_with_factor(&m, &b);
+        for (got, want) in x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-10, "{got} vs {want}");
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Host kernel calibration — the stand-in for StarPU's automatic
+//! performance-model calibration (paper Section IV-A).
+//!
+//! Each kernel is run `reps` times on representative data and the median
+//! wall-clock duration becomes the profile entry. The resulting
+//! [`TimingProfile`] feeds the schedulers' completion-time estimates and
+//! the homogeneous bound computations for real runs.
+
+use hetchol_core::kernel::Kernel;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::time::Time;
+use hetchol_linalg::generate::random_spd;
+use hetchol_linalg::{gemm_update, potrf_tile, syrk_update, trsm_solve};
+use std::time::Instant;
+
+fn median(mut samples: Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    samples[samples.len() / 2]
+}
+
+/// Measure the four kernels at tile size `nb` on the current host and
+/// build a single-class (CPU) [`TimingProfile`].
+pub fn calibrate_profile(nb: usize, reps: usize) -> TimingProfile {
+    assert!(reps > 0, "need at least one repetition");
+    let spd = random_spd(nb, 42);
+    let factored = {
+        let mut f = spd.data().to_vec();
+        potrf_tile(&mut f, nb).expect("calibration matrix is SPD");
+        f
+    };
+    let generic = random_spd(nb, 43).data().to_vec();
+    let generic2 = random_spd(nb, 44).data().to_vec();
+
+    let mut times = [Time::ZERO; Kernel::COUNT];
+    for kernel in Kernel::CHOLESKY {
+        let mut samples = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            // Fresh writable buffers so every repetition does the same work.
+            let mut a = spd.data().to_vec();
+            let mut c = generic.clone();
+            let t0 = Instant::now();
+            match kernel {
+                Kernel::Potrf => {
+                    potrf_tile(&mut a, nb).expect("calibration matrix is SPD");
+                }
+                Kernel::Trsm => trsm_solve(&mut c, &factored, nb),
+                Kernel::Syrk => syrk_update(&mut c, &generic2, nb),
+                Kernel::Gemm => gemm_update(&mut c, &generic2, &factored, nb),
+                _ => unreachable!("CHOLESKY contains only the four kernels"),
+            }
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        times[kernel.index()] = Time::from_secs_f64(median(samples)).max(Time::from_nanos(1));
+    }
+    // Kernels without a host implementation (LU/QR extension kernels when
+    // only Cholesky runs on the real runtime): extrapolate from the
+    // measured GEMM rate, flop-proportionally. They are never executed,
+    // only needed so the profile is total over `Kernel::ALL`.
+    let gemm_rate = Kernel::Gemm.flops(nb) / times[Kernel::Gemm.index()].as_secs_f64();
+    for kernel in Kernel::ALL {
+        if times[kernel.index()].is_zero() {
+            times[kernel.index()] =
+                Time::from_secs_f64(kernel.flops(nb) / gemm_rate).max(Time::from_nanos(1));
+        }
+    }
+    TimingProfile::new(nb, vec![times])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_produces_positive_ordered_times() {
+        let p = calibrate_profile(48, 5);
+        for k in Kernel::ALL {
+            assert!(p.time(k, 0) > Time::ZERO, "{k}");
+        }
+        // GEMM does 2nb^3 flops, POTRF nb^3/3: GEMM must be the slowest
+        // and POTRF the fastest at any reasonable tile size.
+        assert!(p.time(Kernel::Gemm, 0) > p.time(Kernel::Potrf, 0));
+    }
+
+    #[test]
+    fn calibration_respects_tile_size() {
+        let p = calibrate_profile(32, 3);
+        assert_eq!(p.nb(), 32);
+        assert_eq!(p.n_classes(), 1);
+    }
+}

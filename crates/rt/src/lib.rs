@@ -1,0 +1,30 @@
+//! # hetchol-rt
+//!
+//! A real multithreaded task runtime executing the tiled Cholesky DAG on
+//! host CPU cores — the *actual execution* substrate for the paper's
+//! homogeneous experiments (Figure 3), playing the role StarPU plays on
+//! the Mirage machine's CPU side.
+//!
+//! The runtime mirrors the simulator's semantics so the same `Scheduler`
+//! implementations drive both:
+//!
+//! * a task whose dependencies complete is pushed through the scheduler's
+//!   `assign` hook into a worker queue (FIFO or priority-sorted);
+//! * worker threads pop from their own queue and execute the real kernels
+//!   of `hetchol-linalg` on lock-protected tiles;
+//! * completions release successors and wake idle workers.
+//!
+//! [`calibrate_profile`] measures per-kernel execution times on the host,
+//! standing in for StarPU's automatic calibration (paper Section IV-A).
+//!
+//! Beyond the paper's Cholesky scope, the engine is generic over the task
+//! executor ([`execute_with`]): [`execute_lu`] and [`execute_qr`] run the
+//! extension factorizations on the same real-thread machinery.
+
+pub mod calibrate;
+pub mod runtime;
+pub mod storage;
+
+pub use calibrate::calibrate_profile;
+pub use runtime::{execute, execute_lu, execute_qr, execute_with, RtResult};
+pub use storage::{LockedFullTiledMatrix, LockedTiledMatrix};

@@ -1,0 +1,475 @@
+//! The parallel runtime: worker threads, dependency tracking, scheduler
+//! integration.
+
+use crate::storage::LockedTiledMatrix;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::platform::{Platform, WorkerId};
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
+use hetchol_core::task::TaskId;
+use hetchol_core::time::Time;
+use hetchol_core::trace::{Trace, TraceEvent};
+use hetchol_linalg::cholesky::TiledCholeskyError;
+use hetchol_linalg::matrix::TiledMatrix;
+use parking_lot::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Result of one real execution.
+#[derive(Clone, Debug)]
+pub struct RtResult {
+    /// Wall-clock trace (times relative to execution start).
+    pub trace: Trace,
+    /// Wall-clock makespan.
+    pub makespan: Time,
+}
+
+#[derive(Copy, Clone)]
+struct Queued {
+    task: TaskId,
+    prio: i64,
+    seq: u64,
+}
+
+struct Shared<E> {
+    indeg: Vec<usize>,
+    queues: Vec<Vec<Queued>>,
+    /// Estimated queued work per worker (for the completion-time view).
+    queued_exec: Vec<Time>,
+    /// Estimated end of each worker's running task.
+    est_busy_until: Vec<Time>,
+    busy: Vec<bool>,
+    remaining: usize,
+    seq: u64,
+    error: Option<E>,
+    events: Vec<TraceEvent>,
+}
+
+struct RtView<'a> {
+    now: Time,
+    avail: Vec<Time>,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl ExecutionView for RtView<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn worker_available_at(&self, w: WorkerId) -> Time {
+        self.avail[w]
+    }
+    fn transfer_estimate(&self, _task: TaskId, _w: WorkerId) -> Time {
+        Time::ZERO // single memory node: CPU-only runtime
+    }
+}
+
+fn push_ready<E>(
+    task: TaskId,
+    now: Time,
+    ctx: &SchedContext,
+    scheduler: &mut dyn Scheduler,
+    shared: &mut Shared<E>,
+) {
+    let avail: Vec<Time> = (0..shared.queues.len())
+        .map(|w| {
+            let base = if shared.busy[w] {
+                shared.est_busy_until[w].max(now)
+            } else {
+                now
+            };
+            base + shared.queued_exec[w]
+        })
+        .collect();
+    let view = RtView {
+        now,
+        avail,
+        _marker: std::marker::PhantomData,
+    };
+    let w = scheduler.assign(task, ctx, &view);
+    let entry = Queued {
+        task,
+        prio: scheduler.priority(task, ctx),
+        seq: shared.seq,
+    };
+    shared.seq += 1;
+    shared.queued_exec[w] += ctx
+        .profile
+        .time(ctx.graph.task(task).kernel(), ctx.platform.class_of(w));
+    let queue = &mut shared.queues[w];
+    if scheduler.sorted_queues() {
+        let pos = queue.partition_point(|q| (-q.prio, q.seq) <= (-entry.prio, entry.seq));
+        queue.insert(pos, entry);
+    } else {
+        queue.push(entry);
+    }
+}
+
+/// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
+///
+/// `profile` supplies the execution-time *estimates* the scheduler reasons
+/// with (from [`crate::calibrate_profile`] or a synthetic profile);
+/// the actual durations are whatever the host delivers. On success the
+/// factor overwrites `matrix` and the wall-clock trace is returned.
+pub fn execute(
+    matrix: &mut TiledMatrix,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+) -> Result<RtResult, TiledCholeskyError> {
+    assert_eq!(
+        graph.n_tiles(),
+        matrix.n_tiles(),
+        "graph and matrix disagree on tile count"
+    );
+    let locked = LockedTiledMatrix::from_tiled(matrix);
+    let result = execute_with(
+        |coords| locked.apply_task(coords),
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+    )?;
+    *matrix = locked.to_tiled();
+    Ok(result)
+}
+
+/// Execute the LU DAG on a full tiled matrix with real threads
+/// (extension, DESIGN.md §8). Same contract as [`execute`].
+pub fn execute_lu(
+    matrix: &mut hetchol_linalg::full::FullTiledMatrix,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+) -> Result<RtResult, hetchol_linalg::lu::TiledLuError> {
+    assert_eq!(
+        graph.n_tiles(),
+        matrix.n_tiles(),
+        "graph and matrix disagree on tile count"
+    );
+    let locked = crate::storage::LockedFullTiledMatrix::from_full(matrix);
+    let result = execute_with(
+        |coords| locked.apply_lu_task(coords),
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+    )?;
+    *matrix = locked.to_full();
+    Ok(result)
+}
+
+/// Execute the QR DAG with real threads (extension, DESIGN.md §8).
+/// Returns the runtime trace plus the factored parts for verification via
+/// [`hetchol_linalg::qr::QrMatrix::from_parts`].
+pub fn execute_qr(
+    dense: &hetchol_linalg::matrix::Matrix,
+    nb: usize,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+) -> Result<
+    (
+        RtResult,
+        hetchol_linalg::full::FullTiledMatrix,
+        crate::storage::TauTable,
+    ),
+    hetchol_linalg::qr::TiledQrError,
+> {
+    let locked = crate::storage::LockedQrMatrix::from_dense(dense, nb);
+    let result = execute_with(
+        |coords| locked.apply_qr_task(coords),
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+    )?;
+    let (tiles, taus) = locked.into_parts();
+    Ok((result, tiles, taus))
+}
+
+/// Run an arbitrary task graph on `n_workers` real threads, executing each
+/// task via `apply` (which must be safe to call concurrently for tasks
+/// that are independent in the DAG — the per-tile locking of
+/// [`crate::storage`] provides exactly that).
+pub fn execute_with<E: Send>(
+    apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+) -> Result<RtResult, E> {
+    assert!(n_workers > 0, "need at least one worker");
+    let platform = Platform::homogeneous(n_workers);
+    let ctx = SchedContext {
+        graph,
+        platform: &platform,
+        profile,
+    };
+    scheduler.init(&ctx);
+
+    let shared = Mutex::new(Shared::<E> {
+        indeg: graph.indegrees(),
+        queues: vec![Vec::new(); n_workers],
+        queued_exec: vec![Time::ZERO; n_workers],
+        est_busy_until: vec![Time::ZERO; n_workers],
+        busy: vec![false; n_workers],
+        remaining: graph.len(),
+        seq: 0,
+        error: None,
+        events: Vec::with_capacity(graph.len()),
+    });
+    let condvar = Condvar::new();
+    let t0 = Instant::now();
+    let scheduler = Mutex::new(scheduler);
+
+    {
+        let mut s = shared.lock();
+        let mut sched = scheduler.lock();
+        for t in graph.tasks() {
+            if s.indeg[t.id.index()] == 0 {
+                push_ready(t.id, Time::ZERO, &ctx, &mut **sched, &mut s);
+            }
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for w in 0..n_workers {
+            let shared = &shared;
+            let condvar = &condvar;
+            let apply = &apply;
+            let ctx = &ctx;
+            let scheduler = &scheduler;
+            scope.spawn(move || loop {
+                let task = {
+                    let mut s = shared.lock();
+                    loop {
+                        if s.remaining == 0 || s.error.is_some() {
+                            return;
+                        }
+                        // First startable task in this worker's queue (the
+                        // `may_start` gate supports strict schedule replay).
+                        let pos = {
+                            let mut sched = scheduler.lock();
+                            (0..s.queues[w].len())
+                                .find(|&i| sched.may_start(s.queues[w][i].task, w))
+                        };
+                        if let Some(i) = pos {
+                            let q = s.queues[w].remove(i);
+                            scheduler.lock().notify_start(q.task, w);
+                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let kernel = ctx.graph.task(q.task).kernel();
+                            let est = ctx.profile.time(kernel, ctx.platform.class_of(w));
+                            s.queued_exec[w] = s.queued_exec[w].saturating_sub(est);
+                            s.est_busy_until[w] = now + est;
+                            s.busy[w] = true;
+                            break q.task;
+                        }
+                        condvar.wait(&mut s);
+                    }
+                };
+
+                let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                let result = apply(ctx.graph.task(task).coords);
+                let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+
+                let mut s = shared.lock();
+                s.busy[w] = false;
+                match result {
+                    Err(e) => {
+                        s.error.get_or_insert(e);
+                        condvar.notify_all();
+                        return;
+                    }
+                    Ok(()) => {
+                        s.events.push(TraceEvent {
+                            worker: w,
+                            task,
+                            kernel: ctx.graph.task(task).kernel(),
+                            start,
+                            end,
+                        });
+                        s.remaining -= 1;
+                        let mut sched = scheduler.lock();
+                        for &succ in ctx.graph.successors(task) {
+                            s.indeg[succ.index()] -= 1;
+                            if s.indeg[succ.index()] == 0 {
+                                push_ready(succ, end, ctx, &mut **sched, &mut s);
+                            }
+                        }
+                        condvar.notify_all();
+                    }
+                }
+            });
+        }
+    });
+
+    let s = shared.into_inner();
+    if let Some(e) = s.error {
+        return Err(e);
+    }
+    assert_eq!(s.remaining, 0, "runtime exited with unfinished tasks");
+    let makespan = s.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO);
+    Ok(RtResult {
+        trace: Trace {
+            n_workers,
+            events: s.events,
+            transfers: Vec::new(),
+        },
+        makespan,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::schedule::DurationCheck;
+    use hetchol_linalg::generate::random_spd;
+    use hetchol_linalg::verify::factorization_residual;
+    use hetchol_sched::{Dmda, Dmdas, RandomScheduler};
+
+    fn run(
+        n_tiles: usize,
+        nb: usize,
+        n_workers: usize,
+        scheduler: &mut (dyn Scheduler + Send),
+    ) -> (f64, RtResult) {
+        let a = random_spd(n_tiles * nb, 123);
+        let mut m = TiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let r = execute(&mut m, &graph, scheduler, &profile, n_workers).unwrap();
+        (factorization_residual(&a, &m), r)
+    }
+
+    #[test]
+    fn parallel_factorization_is_correct_dmda() {
+        let (res, r) = run(5, 16, 4, &mut Dmda::new());
+        assert!(res < 1e-11, "residual {res}");
+        assert_eq!(r.trace.events.len(), 35);
+    }
+
+    #[test]
+    fn parallel_factorization_is_correct_dmdas() {
+        let (res, r) = run(6, 12, 3, &mut Dmdas::new());
+        assert!(res < 1e-11, "residual {res}");
+        assert_eq!(r.trace.events.len(), 56);
+    }
+
+    #[test]
+    fn parallel_factorization_is_correct_random() {
+        let (res, _) = run(5, 8, 4, &mut RandomScheduler::new(5));
+        assert!(res < 1e-11, "residual {res}");
+    }
+
+    #[test]
+    fn trace_is_structurally_valid() {
+        let n_tiles = 5;
+        let nb = 16;
+        let n_workers = 4;
+        let (_, r) = run(n_tiles, nb, n_workers, &mut Dmda::new());
+        let graph = TaskGraph::cholesky(n_tiles);
+        let platform = Platform::homogeneous(n_workers);
+        let profile = TimingProfile::mirage_homogeneous();
+        // Real durations differ from the synthetic profile: Loose check.
+        r.trace
+            .to_schedule()
+            .validate(&graph, &platform, &profile, DurationCheck::Loose)
+            .unwrap();
+        assert!(r.makespan > Time::ZERO);
+    }
+
+    #[test]
+    fn single_worker_executes_everything_in_order() {
+        let (res, r) = run(4, 8, 1, &mut Dmda::new());
+        assert!(res < 1e-11);
+        // One worker: events must not overlap.
+        let mut evs = r.trace.worker_events(0);
+        evs.sort_by_key(|e| e.start);
+        for pair in evs.windows(2) {
+            assert!(pair[1].start >= pair[0].end);
+        }
+    }
+
+    #[test]
+    fn indefinite_matrix_surfaces_error() {
+        let nb = 8;
+        let n_tiles = 3;
+        let a = random_spd(n_tiles * nb, 3);
+        let mut m = TiledMatrix::from_dense(&a, nb);
+        for v in m.tile_mut(0, 0).iter_mut() {
+            *v = -1.0;
+        }
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let err = execute(&mut m, &graph, &mut Dmda::new(), &profile, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            TiledCholeskyError::NotPositiveDefinite { k: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn threaded_lu_factorization_is_correct() {
+        use hetchol_linalg::full::FullTiledMatrix;
+        use hetchol_linalg::generate::random_diagonally_dominant;
+        use hetchol_linalg::lu::lu_residual;
+        let nb = 12;
+        let n_tiles = 5;
+        let a = random_diagonally_dominant(n_tiles * nb, 71);
+        let mut m = FullTiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::lu(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let r = execute_lu(&mut m, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
+        assert_eq!(r.trace.events.len(), graph.len());
+        let res = lu_residual(&a, &m);
+        assert!(res < 1e-11, "residual {res}");
+    }
+
+    #[test]
+    fn threaded_qr_factorization_is_correct() {
+        use hetchol_linalg::qr::QrMatrix;
+        use rand::{Rng, SeedableRng};
+        let nb = 8;
+        let n_tiles = 4;
+        let n = n_tiles * nb;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let a = hetchol_linalg::matrix::Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
+        let graph = TaskGraph::qr(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let (r, tiles, taus) =
+            execute_qr(&a, nb, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
+        assert_eq!(r.trace.events.len(), graph.len());
+        let qr = QrMatrix::from_parts(tiles, taus);
+        let res = qr.residual(&a);
+        assert!(res < 1e-11, "residual {res}");
+    }
+
+    #[test]
+    fn threaded_lu_zero_pivot_surfaces() {
+        use hetchol_linalg::full::FullTiledMatrix;
+        let nb = 4;
+        let n_tiles = 2;
+        // All-zero matrix: GETRF(0) hits a zero pivot immediately.
+        let mut m = FullTiledMatrix::zeros(n_tiles, nb);
+        let graph = TaskGraph::lu(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let err = execute_lu(&mut m, &graph, &mut Dmda::new(), &profile, 2).unwrap_err();
+        assert!(matches!(
+            err,
+            hetchol_linalg::lu::TiledLuError::ZeroPivot { k: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn all_workers_participate_on_wide_graphs() {
+        let (_, r) = run(8, 8, 4, &mut Dmda::new());
+        for w in 0..4 {
+            assert!(
+                !r.trace.worker_events(w).is_empty(),
+                "worker {w} never ran a task"
+            );
+        }
+    }
+}

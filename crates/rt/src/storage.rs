@@ -1,0 +1,366 @@
+//! Lock-per-tile matrix storage for parallel execution.
+//!
+//! Each tile carries its own `RwLock`. The DAG's dependency discipline
+//! already serialises conflicting accesses (a reader is never concurrent
+//! with a writer of the same tile — RAW and WAR edges guarantee it), so
+//! the locks are uncontended in practice; they exist to make the runtime
+//! safe Rust with zero `unsafe`, at a cost that is noise next to
+//! millisecond-scale kernels.
+
+use hetchol_core::task::TaskCoords;
+use hetchol_linalg::cholesky::TiledCholeskyError;
+use hetchol_linalg::full::FullTiledMatrix;
+use hetchol_linalg::lu::{
+    gemm_nn_update, getrf_nopiv_tile, trsm_left_lower_unit, trsm_right_upper, TiledLuError,
+};
+use hetchol_linalg::qr::TiledQrError;
+use hetchol_linalg::matrix::TiledMatrix;
+use hetchol_linalg::{gemm_update, potrf_tile, syrk_update, trsm_solve};
+use parking_lot::RwLock;
+
+/// A tiled lower-triangular matrix whose tiles are individually locked.
+pub struct LockedTiledMatrix {
+    n_tiles: usize,
+    nb: usize,
+    tiles: Vec<RwLock<Vec<f64>>>,
+}
+
+impl LockedTiledMatrix {
+    /// Move a [`TiledMatrix`] into locked storage.
+    pub fn from_tiled(m: &TiledMatrix) -> LockedTiledMatrix {
+        let n_tiles = m.n_tiles();
+        let nb = m.nb();
+        let mut tiles = Vec::with_capacity(n_tiles * (n_tiles + 1) / 2);
+        for i in 0..n_tiles {
+            for j in 0..=i {
+                tiles.push(RwLock::new(m.tile(i, j).to_vec()));
+            }
+        }
+        LockedTiledMatrix { n_tiles, nb, tiles }
+    }
+
+    /// Copy the tiles back into a plain [`TiledMatrix`].
+    pub fn to_tiled(&self) -> TiledMatrix {
+        let mut m = TiledMatrix::zeros(self.n_tiles, self.nb);
+        for i in 0..self.n_tiles {
+            for j in 0..=i {
+                m.tile_mut(i, j).copy_from_slice(&self.tile(i, j).read());
+            }
+        }
+        m
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
+    /// Tile size.
+    pub fn nb(&self) -> usize {
+        self.nb
+    }
+
+    #[inline]
+    fn tile(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
+        debug_assert!(col <= row && row < self.n_tiles);
+        &self.tiles[row * (row + 1) / 2 + col]
+    }
+
+    /// Execute one DAG task against the locked tiles. Thread-safe for any
+    /// execution order that respects the DAG's dependencies.
+    pub fn apply_task(&self, coords: TaskCoords) -> Result<(), TiledCholeskyError> {
+        let nb = self.nb;
+        match coords {
+            TaskCoords::Potrf { k } => {
+                let k = k as usize;
+                let mut akk = self.tile(k, k).write();
+                potrf_tile(&mut akk, nb).map_err(|e| TiledCholeskyError::NotPositiveDefinite {
+                    k,
+                    column: e.column,
+                })
+            }
+            TaskCoords::Trsm { k, i } => {
+                let (k, i) = (k as usize, i as usize);
+                let lkk = self.tile(k, k).read();
+                let mut aik = self.tile(i, k).write();
+                trsm_solve(&mut aik, &lkk, nb);
+                Ok(())
+            }
+            TaskCoords::Syrk { k, j } => {
+                let (k, j) = (k as usize, j as usize);
+                let ajk = self.tile(j, k).read();
+                let mut ajj = self.tile(j, j).write();
+                syrk_update(&mut ajj, &ajk, nb);
+                Ok(())
+            }
+            TaskCoords::Gemm { k, i, j } => {
+                let (k, i, j) = (k as usize, i as usize, j as usize);
+                let aik = self.tile(i, k).read();
+                let ajk = self.tile(j, k).read();
+                let mut aij = self.tile(i, j).write();
+                gemm_update(&mut aij, &aik, &ajk, nb);
+                Ok(())
+            }
+            _ => Err(TiledCholeskyError::WrongAlgorithm),
+        }
+    }
+}
+
+/// A full (square) tiled matrix with per-tile locks, for the LU runtime
+/// path (extension, DESIGN.md §8).
+pub struct LockedFullTiledMatrix {
+    n_tiles: usize,
+    nb: usize,
+    tiles: Vec<RwLock<Vec<f64>>>,
+}
+
+impl LockedFullTiledMatrix {
+    /// Move a [`FullTiledMatrix`] into locked storage.
+    pub fn from_full(m: &FullTiledMatrix) -> LockedFullTiledMatrix {
+        let n_tiles = m.n_tiles();
+        let nb = m.nb();
+        let mut tiles = Vec::with_capacity(n_tiles * n_tiles);
+        for i in 0..n_tiles {
+            for j in 0..n_tiles {
+                tiles.push(RwLock::new(m.tile(i, j).to_vec()));
+            }
+        }
+        LockedFullTiledMatrix { n_tiles, nb, tiles }
+    }
+
+    /// Copy the tiles back into a plain [`FullTiledMatrix`].
+    pub fn to_full(&self) -> FullTiledMatrix {
+        let mut m = FullTiledMatrix::zeros(self.n_tiles, self.nb);
+        for i in 0..self.n_tiles {
+            for j in 0..self.n_tiles {
+                m.tile_mut(i, j).copy_from_slice(&self.tile(i, j).read());
+            }
+        }
+        m
+    }
+
+    #[inline]
+    fn tile(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
+        debug_assert!(row < self.n_tiles && col < self.n_tiles);
+        &self.tiles[row * self.n_tiles + col]
+    }
+
+    /// Execute one LU DAG task against the locked tiles. Thread-safe for
+    /// any execution order respecting the DAG's dependencies.
+    pub fn apply_lu_task(&self, coords: TaskCoords) -> Result<(), TiledLuError> {
+        let nb = self.nb;
+        match coords {
+            TaskCoords::Getrf { k } => {
+                let k = k as usize;
+                let mut akk = self.tile(k, k).write();
+                getrf_nopiv_tile(&mut akk, nb)
+                    .map_err(|column| TiledLuError::ZeroPivot { k, column })
+            }
+            TaskCoords::LuTrsmRow { k, j } => {
+                let (k, j) = (k as usize, j as usize);
+                let lu = self.tile(k, k).read();
+                let mut b = self.tile(k, j).write();
+                trsm_left_lower_unit(&mut b, &lu, nb);
+                Ok(())
+            }
+            TaskCoords::LuTrsmCol { k, i } => {
+                let (k, i) = (k as usize, i as usize);
+                let lu = self.tile(k, k).read();
+                let mut b = self.tile(i, k).write();
+                trsm_right_upper(&mut b, &lu, nb);
+                Ok(())
+            }
+            TaskCoords::LuGemm { k, i, j } => {
+                let (k, i, j) = (k as usize, i as usize, j as usize);
+                let a = self.tile(i, k).read();
+                let b = self.tile(k, j).read();
+                let mut c = self.tile(i, j).write();
+                gemm_nn_update(&mut c, &a, &b, nb);
+                Ok(())
+            }
+            _ => Err(TiledLuError::WrongAlgorithm),
+        }
+    }
+}
+
+/// Reflector `τ` vectors keyed by the tile holding the matching `V`
+/// block, as produced by a finished QR run.
+pub type TauTable = Vec<((usize, usize), Vec<f64>)>;
+
+/// A QR-in-progress matrix with per-tile locks on both the tile data and
+/// the reflector `τ` vectors, for the threaded QR path.
+pub struct LockedQrMatrix {
+    n_tiles: usize,
+    nb: usize,
+    tiles: Vec<RwLock<Vec<f64>>>,
+    taus: Vec<RwLock<Vec<f64>>>,
+}
+
+impl LockedQrMatrix {
+    /// Move a dense matrix into locked QR storage.
+    pub fn from_dense(dense: &hetchol_linalg::matrix::Matrix, nb: usize) -> LockedQrMatrix {
+        let full = FullTiledMatrix::from_dense(dense, nb);
+        let n_tiles = full.n_tiles();
+        let mut tiles = Vec::with_capacity(n_tiles * n_tiles);
+        for i in 0..n_tiles {
+            for j in 0..n_tiles {
+                tiles.push(RwLock::new(full.tile(i, j).to_vec()));
+            }
+        }
+        LockedQrMatrix {
+            n_tiles,
+            nb,
+            tiles,
+            taus: (0..n_tiles * n_tiles)
+                .map(|_| RwLock::new(Vec::new()))
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn tile(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
+        &self.tiles[row * self.n_tiles + col]
+    }
+
+    #[inline]
+    fn tau(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
+        &self.taus[row * self.n_tiles + col]
+    }
+
+    /// Execute one QR DAG task against the locked tiles. Thread-safe for
+    /// any execution order respecting the DAG's dependencies.
+    pub fn apply_qr_task(&self, coords: TaskCoords) -> Result<(), TiledQrError> {
+        use hetchol_linalg::qr::{geqrt_tile, ormqr_apply, tsmqr_apply, tsqrt_tiles};
+        let nb = self.nb;
+        match coords {
+            TaskCoords::Geqrt { k } => {
+                let k = k as usize;
+                let mut akk = self.tile(k, k).write();
+                let taus = geqrt_tile(&mut akk, nb);
+                *self.tau(k, k).write() = taus;
+                Ok(())
+            }
+            TaskCoords::Ormqr { k, j } => {
+                let (k, j) = (k as usize, j as usize);
+                let taus = self.tau(k, k).read();
+                if taus.is_empty() {
+                    return Err(TiledQrError::MissingReflectors { row: k, col: k });
+                }
+                let vt = self.tile(k, k).read();
+                let mut c = self.tile(k, j).write();
+                ormqr_apply(&mut c, &vt, &taus, nb);
+                Ok(())
+            }
+            TaskCoords::Tsqrt { k, i } => {
+                let (k, i) = (k as usize, i as usize);
+                let mut r = self.tile(k, k).write();
+                let mut b = self.tile(i, k).write();
+                let taus = tsqrt_tiles(&mut r, &mut b, nb);
+                *self.tau(i, k).write() = taus;
+                Ok(())
+            }
+            TaskCoords::Tsmqr { k, i, j } => {
+                let (k, i, j) = (k as usize, i as usize, j as usize);
+                let taus = self.tau(i, k).read();
+                if taus.is_empty() {
+                    return Err(TiledQrError::MissingReflectors { row: i, col: k });
+                }
+                let vb = self.tile(i, k).read();
+                let mut c1 = self.tile(k, j).write();
+                let mut c2 = self.tile(i, j).write();
+                tsmqr_apply(&mut c1, &mut c2, &vb, &taus, nb);
+                Ok(())
+            }
+            _ => Err(TiledQrError::WrongAlgorithm),
+        }
+    }
+
+    /// Extract the factorization into an (unlocked) [`QrMatrix`]-equivalent
+    /// pair for verification: the tiles and the `τ` table.
+    pub fn into_parts(self) -> (FullTiledMatrix, TauTable) {
+        let mut m = FullTiledMatrix::zeros(self.n_tiles, self.nb);
+        for i in 0..self.n_tiles {
+            for j in 0..self.n_tiles {
+                m.tile_mut(i, j)
+                    .copy_from_slice(&self.tiles[i * self.n_tiles + j].read());
+            }
+        }
+        let mut taus = Vec::new();
+        for i in 0..self.n_tiles {
+            for j in 0..self.n_tiles {
+                let t = self.taus[i * self.n_tiles + j].read();
+                if !t.is_empty() {
+                    taus.push(((i, j), t.clone()));
+                }
+            }
+        }
+        (m, taus)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::dag::TaskGraph;
+    use hetchol_linalg::generate::random_spd;
+    use hetchol_linalg::verify::factorization_residual;
+
+    #[test]
+    fn round_trip_preserves_tiles() {
+        let a = random_spd(8, 3);
+        let m = TiledMatrix::from_dense(&a, 4);
+        let locked = LockedTiledMatrix::from_tiled(&m);
+        let back = locked.to_tiled();
+        for i in 0..2 {
+            for j in 0..=i {
+                assert_eq!(m.tile(i, j), back.tile(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_apply_matches_unlocked_path() {
+        let nb = 4;
+        let n_tiles = 4;
+        let a = random_spd(n_tiles * nb, 17);
+        let graph = TaskGraph::cholesky(n_tiles);
+
+        let locked = LockedTiledMatrix::from_tiled(&TiledMatrix::from_dense(&a, nb));
+        for t in graph.tasks() {
+            locked.apply_task(t.coords).unwrap();
+        }
+        let res = factorization_residual(&a, &locked.to_tiled());
+        assert!(res < 1e-12, "residual {res}");
+    }
+
+    #[test]
+    fn locked_full_lu_sequential_matches() {
+        use hetchol_linalg::generate::random_diagonally_dominant;
+        use hetchol_linalg::lu::lu_residual;
+        let nb = 4;
+        let n_tiles = 3;
+        let a = random_diagonally_dominant(n_tiles * nb, 8);
+        let graph = TaskGraph::lu(n_tiles);
+        let locked = LockedFullTiledMatrix::from_full(&FullTiledMatrix::from_dense(&a, nb));
+        for t in graph.tasks() {
+            locked.apply_lu_task(t.coords).unwrap();
+        }
+        let res = lu_residual(&a, &locked.to_full());
+        assert!(res < 1e-12, "residual {res}");
+    }
+
+    #[test]
+    fn potrf_error_propagates_with_step() {
+        let nb = 2;
+        let a = random_spd(4, 1);
+        let mut m = TiledMatrix::from_dense(&a, nb);
+        for v in m.tile_mut(0, 0).iter_mut() {
+            *v = 0.0;
+        }
+        let locked = LockedTiledMatrix::from_tiled(&m);
+        let err = locked
+            .apply_task(TaskCoords::Potrf { k: 0 })
+            .unwrap_err();
+        assert_eq!(err, TiledCholeskyError::NotPositiveDefinite { k: 0, column: 0 });
+    }
+}

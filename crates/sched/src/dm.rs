@@ -1,0 +1,228 @@
+//! StarPU's `dmda` and `dmdas` schedulers (paper Section V-A).
+//!
+//! Both assign each ready task to the worker with the *minimum estimated
+//! completion time*, combining the worker's queued work, the estimated
+//! data-transfer time to its memory node, and the calibrated execution
+//! time on its class. They differ only in queue discipline:
+//!
+//! * `dmda` — FIFO worker queues;
+//! * `dmdas` — queues sorted by HEFT-style priority: the bottom level of
+//!   the task (longest path to an exit task), computed with the fastest
+//!   execution time of each task among the resource types, exactly as the
+//!   paper describes.
+
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::platform::WorkerId;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::task::TaskId;
+
+/// Bottom-level priorities (nanoseconds, saturating into `i64`), using the
+/// fastest execution time of each task among the resource types.
+pub fn bottom_level_priorities(graph: &TaskGraph, profile: &TimingProfile) -> Vec<i64> {
+    graph
+        .bottom_levels(|t| profile.fastest_time(graph.task(t).kernel()))
+        .into_iter()
+        .map(|t| i64::try_from(t.as_nanos()).unwrap_or(i64::MAX))
+        .collect()
+}
+
+/// Pick the worker minimising the estimated completion time (ties broken
+/// towards the lowest worker id, like StarPU's deterministic iteration).
+fn min_completion_worker(
+    task: TaskId,
+    ctx: &SchedContext,
+    view: &dyn ExecutionView,
+) -> WorkerId {
+    ctx.platform
+        .workers()
+        .min_by_key(|&w| estimated_completion(task, w, ctx, view))
+        .expect("platform has at least one worker")
+}
+
+/// The `dmda` scheduler: minimum completion time, FIFO queues.
+#[derive(Default)]
+pub struct Dmda;
+
+impl Dmda {
+    /// Create a `dmda` scheduler.
+    pub fn new() -> Dmda {
+        Dmda
+    }
+}
+
+impl Scheduler for Dmda {
+    fn name(&self) -> &str {
+        "dmda"
+    }
+
+    fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
+        min_completion_worker(task, ctx, view)
+    }
+}
+
+/// The `dmdas` scheduler: minimum completion time, priority-sorted queues.
+#[derive(Default)]
+pub struct Dmdas {
+    priorities: Vec<i64>,
+}
+
+impl Dmdas {
+    /// Create a `dmdas` scheduler (priorities are computed in `init`).
+    pub fn new() -> Dmdas {
+        Dmdas {
+            priorities: Vec::new(),
+        }
+    }
+}
+
+impl Scheduler for Dmdas {
+    fn name(&self) -> &str {
+        "dmdas"
+    }
+
+    fn init(&mut self, ctx: &SchedContext) {
+        self.priorities = bottom_level_priorities(ctx.graph, ctx.profile);
+    }
+
+    fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
+        min_completion_worker(task, ctx, view)
+    }
+
+    fn priority(&self, task: TaskId, _ctx: &SchedContext) -> i64 {
+        self.priorities[task.index()]
+    }
+
+    fn sorted_queues(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::kernel::Kernel;
+    use hetchol_core::platform::Platform;
+    use hetchol_core::scheduler::StaticView;
+    use hetchol_core::task::TaskCoords;
+    use hetchol_core::time::Time;
+
+    fn ctx_fixture() -> (TaskGraph, Platform, TimingProfile) {
+        (
+            TaskGraph::cholesky(5),
+            Platform::mirage().without_comm(),
+            TimingProfile::mirage(),
+        )
+    }
+
+    #[test]
+    fn dmda_picks_idle_gpu_for_gemm() {
+        let (graph, platform, profile) = ctx_fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let gemm = graph.find(TaskCoords::Gemm { k: 0, i: 2, j: 1 }).unwrap();
+        let view = StaticView {
+            now: Time::ZERO,
+            available: vec![Time::ZERO; 12],
+        };
+        let mut dmda = Dmda::new();
+        let w = dmda.assign(gemm, &ctx, &view);
+        assert!(w >= 9, "GEMM belongs on an idle GPU, got worker {w}");
+    }
+
+    #[test]
+    fn dmda_avoids_loaded_gpus() {
+        let (graph, platform, profile) = ctx_fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let gemm = graph.find(TaskCoords::Gemm { k: 0, i: 2, j: 1 }).unwrap();
+        // GPUs busy for the next second; CPU GEMM takes 186 ms.
+        let mut available = vec![Time::ZERO; 12];
+        for a in available.iter_mut().skip(9) {
+            *a = Time::from_secs(1);
+        }
+        let view = StaticView {
+            now: Time::ZERO,
+            available,
+        };
+        let mut dmda = Dmda::new();
+        let w = dmda.assign(gemm, &ctx, &view);
+        assert!(w < 9, "loaded GPUs should lose to an idle CPU, got {w}");
+    }
+
+    #[test]
+    fn dmda_prefers_cpu_for_potrf_when_all_idle() {
+        // POTRF is only 2x faster on GPU; with everything idle the GPU still
+        // wins on raw time, so check the tie-breaking logic the other way:
+        // make GPUs just busy enough that the CPU finishes first.
+        let (graph, platform, profile) = ctx_fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let potrf = graph.find(TaskCoords::Potrf { k: 0 }).unwrap();
+        let mut available = vec![Time::ZERO; 12];
+        for a in available.iter_mut().skip(9) {
+            *a = Time::from_millis(40); // 40 + 29.5 > 59
+        }
+        let view = StaticView {
+            now: Time::ZERO,
+            available,
+        };
+        let w = Dmda::new().assign(potrf, &ctx, &view);
+        assert!(w < 9, "CPU finishes POTRF first here, got {w}");
+    }
+
+    #[test]
+    fn dmdas_priorities_follow_bottom_levels() {
+        let (graph, platform, profile) = ctx_fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut dmdas = Dmdas::new();
+        dmdas.init(&ctx);
+        assert!(dmdas.sorted_queues());
+        // The first POTRF heads the longest chain: maximal priority.
+        let potrf0 = graph.find(TaskCoords::Potrf { k: 0 }).unwrap();
+        let max_prio = graph
+            .tasks()
+            .iter()
+            .map(|t| dmdas.priority(t.id, &ctx))
+            .max()
+            .unwrap();
+        assert_eq!(dmdas.priority(potrf0, &ctx), max_prio);
+        // The last POTRF is an exit task: minimal bottom level among POTRFs.
+        let potrf_last = graph.find(TaskCoords::Potrf { k: 4 }).unwrap();
+        assert_eq!(
+            dmdas.priority(potrf_last, &ctx),
+            profile.fastest_time(Kernel::Potrf).as_nanos() as i64
+        );
+        // Priorities strictly decrease along every edge.
+        for (from, to) in graph.edges() {
+            assert!(dmdas.priority(from, &ctx) > dmdas.priority(to, &ctx));
+        }
+    }
+
+    #[test]
+    fn dmda_is_fifo_dmdas_is_sorted() {
+        assert!(!Dmda::new().sorted_queues());
+        assert!(Dmdas::new().sorted_queues());
+        let (graph, platform, profile) = ctx_fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        // dmda gives every task priority zero.
+        assert_eq!(Dmda::new().priority(TaskId(3), &ctx), 0);
+    }
+}

@@ -1,0 +1,258 @@
+//! Static-knowledge scheduling hints (paper Section V-C3).
+//!
+//! The paper improves on purely dynamic scheduling by injecting structural
+//! knowledge of the Cholesky DAG:
+//!
+//! * forcing GEMM and SYRK kernels onto GPUs (marginal gains — `dmda`
+//!   already sends most of them there);
+//! * forcing every TRSM at least `k` tiles below the diagonal onto CPUs
+//!   (Figure 9), which protects the GPU-critical diagonal chain and yields
+//!   the paper's best small/medium-matrix performance with `k ≈ 6–8`.
+//!
+//! Both are expressed with [`ForcedClass`]: a rule restricting some tasks
+//! to one resource class, delegating everything else (and the choice of
+//! worker *within* the class) to an inner dynamic scheduler.
+
+use hetchol_core::kernel::Kernel;
+use hetchol_core::platform::{ClassId, WorkerId};
+use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::task::{TaskCoords, TaskId};
+
+/// A scheduler wrapper that pins rule-matched tasks to a resource class.
+///
+/// Matched tasks go to the worker of the forced class with the minimum
+/// estimated completion time; unmatched tasks are delegated to the inner
+/// scheduler. Priorities and queue discipline are inherited from the inner
+/// scheduler so the hint composes with both `dmda` and `dmdas`.
+pub struct ForcedClass<S> {
+    inner: S,
+    name: String,
+    rule: Box<dyn Fn(TaskCoords) -> Option<ClassId> + Send>,
+}
+
+impl<S: Scheduler> ForcedClass<S> {
+    /// Wrap `inner` with a forcing `rule` (`Some(class)` pins the task).
+    pub fn new(
+        inner: S,
+        name: impl Into<String>,
+        rule: impl Fn(TaskCoords) -> Option<ClassId> + Send + 'static,
+    ) -> ForcedClass<S> {
+        ForcedClass {
+            inner,
+            name: name.into(),
+            rule: Box::new(rule),
+        }
+    }
+
+    /// The wrapped scheduler.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Scheduler> Scheduler for ForcedClass<S> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn init(&mut self, ctx: &SchedContext) {
+        self.inner.init(ctx);
+    }
+
+    fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
+        match (self.rule)(ctx.graph.task(task).coords) {
+            Some(class) => ctx
+                .platform
+                .workers_in_class(class)
+                .min_by_key(|&w| estimated_completion(task, w, ctx, view))
+                .expect("forced class has at least one worker"),
+            None => self.inner.assign(task, ctx, view),
+        }
+    }
+
+    fn priority(&self, task: TaskId, ctx: &SchedContext) -> i64 {
+        self.inner.priority(task, ctx)
+    }
+
+    fn sorted_queues(&self) -> bool {
+        self.inner.sorted_queues()
+    }
+}
+
+/// Marker constants for the Mirage class layout.
+pub const CPU_CLASS: ClassId = 0;
+/// GPU class index on two-class platforms built like [`hetchol_core::platform::Platform::mirage`].
+pub const GPU_CLASS: ClassId = 1;
+
+/// "GEMM and SYRK kernels are well suited to execute on GPUs" — force them
+/// there, delegate the rest (paper Section V-C3, first experiment).
+#[allow(non_snake_case)]
+pub fn GemmSyrkOnGpu<S: Scheduler>(inner: S) -> ForcedClass<S> {
+    ForcedClass::new(inner, "gemm-syrk-on-gpu", |coords| {
+        match coords.kernel() {
+            Kernel::Gemm | Kernel::Syrk => Some(GPU_CLASS),
+            _ => None,
+        }
+    })
+}
+
+/// The paper's triangle heuristic: every TRSM whose output tile lies at
+/// least `k_offset` tiles below the diagonal is forced onto the CPUs
+/// (Figure 9); the diagonal-adjacent TRSMs stay schedulable on GPUs to
+/// keep the critical chain fast. Best observed `k_offset` is 6–8.
+#[allow(non_snake_case)]
+pub fn TriangleTrsmOnCpu<S: Scheduler>(inner: S, k_offset: u32) -> ForcedClass<S> {
+    ForcedClass::new(
+        inner,
+        format!("triangle-trsm-cpu(k={k_offset})"),
+        move |coords| match coords {
+            TaskCoords::Trsm { .. } if coords.diagonal_offset() >= k_offset => Some(CPU_CLASS),
+            _ => None,
+        },
+    )
+}
+
+/// Render which TRSMs a given offset forces to CPUs, as an ASCII lower
+/// triangle (the textual analogue of the paper's Figure 9). `C` marks a
+/// forced TRSM tile, `g` a GPU-allowed TRSM tile, `P` the diagonal.
+pub fn render_forced_triangle(n_tiles: usize, k_offset: u32) -> String {
+    let mut out = String::new();
+    for i in 0..n_tiles as u32 {
+        for j in 0..=i {
+            out.push(if i == j {
+                'P'
+            } else if i - j >= k_offset {
+                'C'
+            } else {
+                'g'
+            });
+            out.push(' ');
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dm::{Dmda, Dmdas};
+    use hetchol_core::dag::TaskGraph;
+    use hetchol_core::platform::Platform;
+    use hetchol_core::profiles::TimingProfile;
+    use hetchol_core::scheduler::StaticView;
+    use hetchol_core::time::Time;
+
+    fn fixture() -> (TaskGraph, Platform, TimingProfile) {
+        (
+            TaskGraph::cholesky(10),
+            Platform::mirage().without_comm(),
+            TimingProfile::mirage(),
+        )
+    }
+
+    #[test]
+    fn triangle_rule_pins_far_trsms_to_cpu() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut s = TriangleTrsmOnCpu(Dmda::new(), 3);
+        s.init(&ctx);
+        let view = StaticView {
+            now: Time::ZERO,
+            available: vec![Time::ZERO; 12],
+        };
+        for t in graph.tasks() {
+            let w = s.assign(t.id, &ctx, &view);
+            if let TaskCoords::Trsm { k, i } = t.coords {
+                if i - k >= 3 {
+                    assert!(w < 9, "{} forced to CPU, got {w}", t.coords);
+                } else {
+                    // Near-diagonal TRSMs follow dmda: idle GPU wins.
+                    assert!(w >= 9, "{} should stay dynamic, got {w}", t.coords);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gemm_syrk_rule_pins_to_gpu_even_when_loaded() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut s = GemmSyrkOnGpu(Dmda::new());
+        s.init(&ctx);
+        // GPUs heavily loaded: dmda would fall back to CPUs, the hint not.
+        let mut available = vec![Time::ZERO; 12];
+        for a in available.iter_mut().skip(9) {
+            *a = Time::from_secs(10);
+        }
+        let view = StaticView {
+            now: Time::ZERO,
+            available,
+        };
+        for t in graph.tasks() {
+            let w = s.assign(t.id, &ctx, &view);
+            match t.kernel() {
+                Kernel::Gemm | Kernel::Syrk => assert!(w >= 9, "{}", t.coords),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn hint_inherits_inner_discipline() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut on_dmdas = TriangleTrsmOnCpu(Dmdas::new(), 6);
+        on_dmdas.init(&ctx);
+        assert!(on_dmdas.sorted_queues());
+        let entry = graph.entry_tasks()[0];
+        assert!(on_dmdas.priority(entry, &ctx) > 0);
+        let on_dmda = TriangleTrsmOnCpu(Dmda::new(), 6);
+        assert!(!on_dmda.sorted_queues());
+        assert!(on_dmda.name().contains("k=6"));
+    }
+
+    #[test]
+    fn offset_one_forces_all_offdiagonal_trsms() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut s = TriangleTrsmOnCpu(Dmda::new(), 1);
+        s.init(&ctx);
+        let view = StaticView {
+            now: Time::ZERO,
+            available: vec![Time::ZERO; 12],
+        };
+        for t in graph.tasks() {
+            if matches!(t.coords, TaskCoords::Trsm { .. }) {
+                assert!(s.assign(t.id, &ctx, &view) < 9, "{}", t.coords);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_rendering_matches_rule() {
+        let art = render_forced_triangle(5, 2);
+        let rows: Vec<&str> = art.lines().collect();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].trim(), "P");
+        assert_eq!(rows[1].trim(), "g P");
+        assert_eq!(rows[2].trim(), "C g P");
+        assert_eq!(rows[4].trim(), "C C C g P");
+    }
+}

@@ -1,0 +1,229 @@
+//! Injecting externally-computed schedules into the dynamic runtime.
+//!
+//! The paper (Sections V-C3 and VI-B) replays constraint-programming
+//! solutions through StarPU in two flavours:
+//!
+//! * **full injection** ([`ScheduleInjector`]): both the task→worker
+//!   mapping and the precise execution order are enforced — the paper
+//!   observes the replayed performance matches the CP objective within 1%;
+//! * **mapping-only injection** ([`MappingInjector`]): only the CPU/GPU
+//!   placement is kept, ordering is left to the dynamic scheduler — the
+//!   paper observes *no* improvement, showing the CP solution's value lies
+//!   in its precise ordering.
+
+use hetchol_core::platform::{ClassId, WorkerId};
+use hetchol_core::schedule::Schedule;
+use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::task::TaskId;
+
+/// Replay a complete schedule: fixed workers, fixed per-worker order.
+///
+/// Per-worker order is enforced *strictly*: a worker holds for its
+/// planned-next task even when other ready tasks sit in its queue
+/// (no backfilling), so a valid injected schedule replays with a makespan
+/// no worse than the plan's — the paper's <1% replay fidelity.
+pub struct ScheduleInjector {
+    workers: Vec<WorkerId>,
+    /// Higher = earlier: the negated start-order of the injected schedule.
+    priorities: Vec<i64>,
+    /// Planned task sequence of each worker, in start order.
+    plan: Vec<Vec<TaskId>>,
+    /// Next plan position per worker.
+    cursor: Vec<usize>,
+}
+
+impl ScheduleInjector {
+    /// Build an injector from an explicit schedule (one entry per task).
+    pub fn new(schedule: &Schedule) -> ScheduleInjector {
+        let n = schedule.len();
+        let mut workers = vec![0usize; n];
+        let mut priorities = vec![0i64; n];
+        // Rank entries by start time (ties by task id for determinism).
+        let mut order: Vec<_> = schedule.entries().to_vec();
+        order.sort_by_key(|e| (e.start, e.task));
+        let n_workers = order.iter().map(|e| e.worker + 1).max().unwrap_or(0);
+        let mut plan = vec![Vec::new(); n_workers];
+        for (rank, e) in order.iter().enumerate() {
+            workers[e.task.index()] = e.worker;
+            priorities[e.task.index()] = -(rank as i64);
+            plan[e.worker].push(e.task);
+        }
+        ScheduleInjector {
+            workers,
+            priorities,
+            cursor: vec![0; plan.len()],
+            plan,
+        }
+    }
+}
+
+impl Scheduler for ScheduleInjector {
+    fn name(&self) -> &str {
+        "inject-schedule"
+    }
+
+    fn assign(&mut self, task: TaskId, _ctx: &SchedContext, _view: &dyn ExecutionView) -> WorkerId {
+        self.workers[task.index()]
+    }
+
+    fn priority(&self, task: TaskId, _ctx: &SchedContext) -> i64 {
+        self.priorities[task.index()]
+    }
+
+    fn sorted_queues(&self) -> bool {
+        true
+    }
+
+    fn may_start(&mut self, task: TaskId, worker: WorkerId) -> bool {
+        self.plan
+            .get(worker)
+            .and_then(|p| p.get(self.cursor[worker]))
+            .is_some_and(|&next| next == task)
+    }
+
+    fn notify_start(&mut self, task: TaskId, worker: WorkerId) {
+        debug_assert_eq!(self.plan[worker].get(self.cursor[worker]), Some(&task));
+        self.cursor[worker] += 1;
+    }
+}
+
+/// Keep only the class placement of a schedule; order and worker choice
+/// within the class stay dynamic (minimum estimated completion, FIFO).
+pub struct MappingInjector {
+    classes: Vec<ClassId>,
+}
+
+impl MappingInjector {
+    /// Build from an explicit schedule, retaining each task's class.
+    pub fn new(schedule: &Schedule, ctx: &SchedContext) -> MappingInjector {
+        let mut classes = vec![0usize; schedule.len()];
+        for e in schedule.entries() {
+            classes[e.task.index()] = ctx.platform.class_of(e.worker);
+        }
+        MappingInjector { classes }
+    }
+
+    /// Build directly from a class-per-task vector.
+    pub fn from_classes(classes: Vec<ClassId>) -> MappingInjector {
+        MappingInjector { classes }
+    }
+}
+
+impl Scheduler for MappingInjector {
+    fn name(&self) -> &str {
+        "inject-mapping"
+    }
+
+    fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
+        ctx.platform
+            .workers_in_class(self.classes[task.index()])
+            .min_by_key(|&w| estimated_completion(task, w, ctx, view))
+            .expect("mapped class has at least one worker")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::dag::TaskGraph;
+    use hetchol_core::platform::Platform;
+    use hetchol_core::profiles::TimingProfile;
+    use hetchol_core::schedule::ScheduleEntry;
+    use hetchol_core::scheduler::StaticView;
+    use hetchol_core::time::Time;
+
+    fn fixture() -> (TaskGraph, Platform, TimingProfile) {
+        (
+            TaskGraph::cholesky(3),
+            Platform::mirage().without_comm(),
+            TimingProfile::mirage(),
+        )
+    }
+
+    /// A synthetic schedule placing everything sequentially on worker 2.
+    fn serial_schedule(graph: &TaskGraph, profile: &TimingProfile) -> Schedule {
+        let mut t = Time::ZERO;
+        Schedule::from_entries(
+            graph
+                .tasks()
+                .iter()
+                .map(|task| {
+                    let d = profile.time(task.kernel(), 0);
+                    let e = ScheduleEntry {
+                        task: task.id,
+                        worker: 2,
+                        start: t,
+                        end: t + d,
+                    };
+                    t += d;
+                    e
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn schedule_injector_reproduces_mapping_and_order() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let sched = serial_schedule(&graph, &profile);
+        let mut inj = ScheduleInjector::new(&sched);
+        let view = StaticView::default();
+        assert!(inj.sorted_queues());
+        for t in graph.tasks() {
+            assert_eq!(inj.assign(t.id, &ctx, &view), 2);
+        }
+        // Priorities strictly decrease in start order.
+        let entries = sched.entries();
+        for pair in entries.windows(2) {
+            assert!(inj.priority(pair[0].task, &ctx) > inj.priority(pair[1].task, &ctx));
+        }
+    }
+
+    #[test]
+    fn mapping_injector_keeps_class_not_worker() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let sched = serial_schedule(&graph, &profile); // all on CPU worker 2
+        let mut inj = MappingInjector::new(&sched, &ctx);
+        // CPU 2 loaded, CPU 5 idle: the injector may move within the class.
+        let mut available = vec![Time::ZERO; 12];
+        available[2] = Time::from_secs(1);
+        let view = StaticView {
+            now: Time::ZERO,
+            available,
+        };
+        let w = inj.assign(graph.entry_tasks()[0], &ctx, &view);
+        assert!(w < 9, "stays in CPU class");
+        assert_ne!(w, 2, "free to pick a less-loaded CPU");
+        assert!(!inj.sorted_queues(), "ordering stays dynamic");
+    }
+
+    #[test]
+    fn mapping_injector_from_classes() {
+        let (graph, platform, profile) = fixture();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let classes = vec![1usize; graph.len()];
+        let mut inj = MappingInjector::from_classes(classes);
+        let view = StaticView {
+            now: Time::ZERO,
+            available: vec![Time::ZERO; 12],
+        };
+        for t in graph.tasks() {
+            let w = inj.assign(t.id, &ctx, &view);
+            assert!(w >= 9, "class 1 = GPUs");
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # hetchol-sched
+//!
+//! The scheduling policies studied by the paper (Section V):
+//!
+//! * [`random::RandomScheduler`] — StarPU's `random`: workers drawn with
+//!   probability proportional to their class's average acceleration ratio.
+//! * [`dm::Dmda`] — StarPU's `dmda` (*deque model data aware*): minimum
+//!   estimated completion time, accounting for queued work and data
+//!   transfers; FIFO worker queues.
+//! * [`dm::Dmdas`] — StarPU's `dmdas`: `dmda` plus HEFT-style priorities
+//!   (bottom levels at fastest execution times) and priority-sorted worker
+//!   queues.
+//! * [`heft::heft_schedule`] — a classical static HEFT list scheduler,
+//!   used as the constraint-programming warm start and as a baseline.
+//! * [`hints`] — the paper's *static knowledge* hybrids (Section V-C3):
+//!   forcing GEMM/SYRK onto GPUs, and forcing TRSMs at least `k` tiles
+//!   below the diagonal onto CPUs (the "triangle" heuristic of Figures 9
+//!   to 11).
+//! * [`inject`] — replaying an externally computed schedule through the
+//!   dynamic runtime: full injection (mapping + order) and mapping-only
+//!   injection (Section VI-B).
+
+pub mod dm;
+pub mod eager;
+pub mod heft;
+pub mod hints;
+pub mod inject;
+pub mod random;
+
+pub use dm::{bottom_level_priorities, Dmda, Dmdas};
+pub use eager::EagerScheduler;
+pub use heft::heft_schedule;
+pub use hints::{ForcedClass, GemmSyrkOnGpu, TriangleTrsmOnCpu};
+pub use inject::{MappingInjector, ScheduleInjector};
+pub use random::RandomScheduler;

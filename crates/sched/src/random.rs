@@ -1,0 +1,140 @@
+//! StarPU's `random` scheduler.
+//!
+//! From the paper (Section V-A): *"The random scheduler assigns tasks
+//! randomly over all the computation resources. It uses an estimation of
+//! the relative performance of the resources as coefficients to balance
+//! the randomness, so that GPUs will be assigned more tasks, according to
+//! their average acceleration ratio."*
+//!
+//! It is deliberately oblivious to queue lengths, data placement and task
+//! affinity — the paper uses it as the representative of platform-aware
+//! but task-oblivious partitioning heuristics.
+
+use hetchol_core::platform::WorkerId;
+use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
+use hetchol_core::task::TaskId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Weighted-random worker selection.
+pub struct RandomScheduler {
+    rng: ChaCha8Rng,
+    /// Per-worker sampling weight (relative class speed), filled in `init`.
+    weights: Vec<f64>,
+    total_weight: f64,
+}
+
+impl RandomScheduler {
+    /// Create with a seed (runs are reproducible per seed).
+    pub fn new(seed: u64) -> RandomScheduler {
+        RandomScheduler {
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            weights: Vec::new(),
+            total_weight: 0.0,
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn name(&self) -> &str {
+        "random"
+    }
+
+    fn init(&mut self, ctx: &SchedContext) {
+        let class_speed = ctx.profile.relative_class_speeds(ctx.platform);
+        self.weights = ctx
+            .platform
+            .workers()
+            .map(|w| class_speed[ctx.platform.class_of(w)])
+            .collect();
+        self.total_weight = self.weights.iter().sum();
+        assert!(
+            self.total_weight > 0.0,
+            "platform must have at least one worker"
+        );
+    }
+
+    fn assign(&mut self, _task: TaskId, _ctx: &SchedContext, _view: &dyn ExecutionView) -> WorkerId {
+        // Roulette-wheel selection over worker weights.
+        let mut target = self.rng.gen::<f64>() * self.total_weight;
+        for (w, &weight) in self.weights.iter().enumerate() {
+            target -= weight;
+            if target <= 0.0 {
+                return w;
+            }
+        }
+        self.weights.len() - 1 // numerical fringe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::dag::TaskGraph;
+    use hetchol_core::platform::Platform;
+    use hetchol_core::profiles::TimingProfile;
+    use hetchol_core::scheduler::StaticView;
+
+    fn assign_many(seed: u64, n: usize) -> Vec<usize> {
+        let graph = TaskGraph::cholesky(4);
+        let platform = Platform::mirage();
+        let profile = TimingProfile::mirage();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut s = RandomScheduler::new(seed);
+        s.init(&ctx);
+        let view = StaticView::default();
+        let mut counts = vec![0usize; platform.n_workers()];
+        for _ in 0..n {
+            counts[s.assign(TaskId(0), &ctx, &view)] += 1;
+        }
+        counts
+    }
+
+    #[test]
+    fn gpus_receive_more_tasks_per_worker() {
+        let counts = assign_many(1, 30_000);
+        let cpu_mean = counts[..9].iter().sum::<usize>() as f64 / 9.0;
+        let gpu_mean = counts[9..].iter().sum::<usize>() as f64 / 3.0;
+        // The average acceleration ratio is ~6x.
+        assert!(
+            gpu_mean > 4.0 * cpu_mean,
+            "gpu {gpu_mean} vs cpu {cpu_mean}"
+        );
+        // ...but every worker still gets some tasks.
+        assert!(counts.iter().all(|&c| c > 0));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(assign_many(7, 100), assign_many(7, 100));
+        assert_ne!(assign_many(7, 100), assign_many(8, 100));
+    }
+
+    #[test]
+    fn homogeneous_is_roughly_uniform() {
+        let graph = TaskGraph::cholesky(4);
+        let platform = Platform::homogeneous(4);
+        let profile = TimingProfile::mirage_homogeneous();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let mut s = RandomScheduler::new(3);
+        s.init(&ctx);
+        let view = StaticView::default();
+        let mut counts = vec![0usize; 4];
+        let n = 40_000;
+        for _ in 0..n {
+            counts[s.assign(TaskId(0), &ctx, &view)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / n as f64;
+            assert!((0.23..0.27).contains(&frac), "{counts:?}");
+        }
+    }
+}

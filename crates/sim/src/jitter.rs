@@ -1,0 +1,109 @@
+//! Duration jitter for "actual execution" mode.
+//!
+//! Real runs differ from the calibrated model in two ways the paper's
+//! actual-vs-simulated figures make visible: a small systematic overhead
+//! per task (runtime bookkeeping) and run-to-run variance. We model the
+//! variance as a multiplicative log-normal factor `exp(σ·Z)`, clamped to
+//! ±3σ so a single sample can never produce an absurd duration.
+
+use hetchol_core::time::Time;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// Jitter model parameters.
+#[derive(Copy, Clone, Debug)]
+pub struct Jitter {
+    /// Relative standard deviation of the multiplicative factor
+    /// (0 disables jitter entirely).
+    pub sigma: f64,
+    /// Constant added to every task duration (runtime overhead).
+    pub overhead: Time,
+}
+
+impl Jitter {
+    /// No jitter, no overhead: deterministic simulation mode.
+    pub const NONE: Jitter = Jitter {
+        sigma: 0.0,
+        overhead: Time::ZERO,
+    };
+
+    /// Apply the model to a base duration.
+    pub fn apply(&self, base: Time, rng: &mut ChaCha8Rng) -> Time {
+        let jittered = if self.sigma > 0.0 {
+            let z = standard_normal(rng).clamp(-3.0, 3.0);
+            base.scale((self.sigma * z).exp())
+        } else {
+            base
+        };
+        jittered + self.overhead
+    }
+}
+
+/// One standard-normal sample via Box–Muller (avoids a `rand_distr`
+/// dependency for a single distribution).
+pub fn standard_normal(rng: &mut ChaCha8Rng) -> f64 {
+    loop {
+        let u1: f64 = rng.gen::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.gen::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_is_identity() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let base = Time::from_millis(104);
+        assert_eq!(Jitter::NONE.apply(base, &mut rng), base);
+    }
+
+    #[test]
+    fn overhead_is_added() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let j = Jitter {
+            sigma: 0.0,
+            overhead: Time::from_micros(200),
+        };
+        assert_eq!(
+            j.apply(Time::from_millis(10), &mut rng),
+            Time::from_millis(10) + Time::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn jitter_is_reproducible_and_bounded() {
+        let j = Jitter {
+            sigma: 0.02,
+            overhead: Time::ZERO,
+        };
+        let base = Time::from_millis(100);
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            let ta = j.apply(base, &mut a);
+            let tb = j.apply(base, &mut b);
+            assert_eq!(ta, tb, "same seed, same stream");
+            // exp(±3σ) with σ = 0.02 is within ±6.2%.
+            let ratio = ta.as_secs_f64() / base.as_secs_f64();
+            assert!((0.93..=1.07).contains(&ratio), "{ratio}");
+        }
+    }
+
+    #[test]
+    fn normal_samples_have_sane_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

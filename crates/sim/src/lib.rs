@@ -1,0 +1,36 @@
+//! # hetchol-sim
+//!
+//! A discrete-event simulator of a StarPU-like task runtime on a
+//! heterogeneous platform — the stand-in for the paper's StarPU + SimGrid
+//! stack (Section IV).
+//!
+//! The simulated runtime follows StarPU's push-model semantics:
+//!
+//! 1. When a task's dependencies complete it becomes *ready* and the
+//!    scheduler's `assign` hook picks a worker (this is where `dmda`-style
+//!    completion-time estimation happens).
+//! 2. The task joins that worker's queue — FIFO for `dmda`, sorted by
+//!    priority for `dmdas` — and its missing input tiles are *prefetched*
+//!    to the worker's memory node over the PCI link model (transfers
+//!    overlap other workers' computation, as the paper observes they do).
+//! 3. When the worker becomes idle it starts its next queued task as soon
+//!    as the task's data is resident, runs it for the calibrated duration
+//!    (optionally jittered in *actual-execution* mode), and completion
+//!    releases successors.
+//!
+//! Tile residency follows an MSI-style protocol: a write invalidates all
+//! other copies; reads replicate. PCI links are full-duplex FIFO queues
+//! with latency + bandwidth (a first-order version of SimGrid's fluid
+//! model).
+//!
+//! [`SimOptions`] selects between the paper's two modes:
+//! * *simulation mode* (default): deterministic, durations exactly `T_rt`;
+//! * *actual mode* ([`SimOptions::actual`]): per-task runtime overhead and
+//!   multiplicative duration jitter, reproducing the mean-shift and the
+//!   run-to-run variance of real executions (Figures 3, 6 and 11).
+
+pub mod data;
+pub mod engine;
+pub mod jitter;
+
+pub use engine::{simulate, SimOptions, SimResult};

@@ -1,0 +1,77 @@
+//! Explore the makespan bounds of Section III on arbitrary platforms:
+//! vary the GPU count and see how the area/mixed/critical-path bounds and
+//! the GEMM peak move.
+//!
+//! ```text
+//! cargo run --release --example bounds_explorer [n_tiles]
+//! ```
+
+use hetchol::bounds::BoundSet;
+use hetchol::core::platform::{CommModel, Platform, ResourceClass, ResourceKind};
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::time::Time;
+
+fn platform_with(cpus: usize, gpus: usize) -> Platform {
+    let mut classes = vec![ResourceClass {
+        name: "CPU".into(),
+        kind: ResourceKind::Cpu,
+        count: cpus,
+    }];
+    if gpus > 0 {
+        classes.push(ResourceClass {
+            name: "GPU".into(),
+            kind: ResourceKind::Gpu,
+            count: gpus,
+        });
+    }
+    Platform::new(
+        classes,
+        Some(CommModel {
+            latency: Time::from_micros(10),
+            bandwidth: 8.0e9,
+        }),
+    )
+}
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(16);
+
+    println!("== bounds for a {n}x{n}-tile Cholesky while varying the platform ==");
+    println!(
+        "{:>5} {:>5} {:>12} {:>12} {:>12} {:>12} {:>12}",
+        "CPUs", "GPUs", "crit.path", "area", "mixed", "gemm peak", "best(ms)"
+    );
+    for (cpus, gpus) in [
+        (9usize, 0usize),
+        (9, 1),
+        (9, 2),
+        (9, 3), // Mirage
+        (9, 6),
+        (36, 3),
+        (1, 3),
+    ] {
+        let platform = platform_with(cpus, gpus);
+        let profile = if gpus > 0 {
+            TimingProfile::mirage()
+        } else {
+            TimingProfile::mirage_homogeneous()
+        };
+        let set = BoundSet::compute(n, &platform, &profile);
+        println!(
+            "{cpus:>5} {gpus:>5} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.1}",
+            set.critical_path_gflops(),
+            set.area_gflops(),
+            set.mixed_gflops(),
+            set.gemm_peak,
+            set.best().as_millis_f64(),
+        );
+    }
+    println!(
+        "\n(GFLOP/s upper bounds; 'best' is the tightest makespan lower bound in ms.\n\
+         Note how the mixed bound saturates with extra GPUs once the POTRF chain binds —\n\
+         the effect the paper exploits for small matrices.)"
+    );
+}

@@ -1,0 +1,58 @@
+//! Scheduler shoot-out on the simulated Mirage machine: random vs dmda vs
+//! dmdas vs the triangle hint, against the mixed bound — the paper's
+//! Figure 7/10 story in one table.
+//!
+//! ```text
+//! cargo run --release --example scheduler_shootout [--comm]
+//! ```
+//! `--comm` enables the PCI model (default: communication-free, as the
+//! paper uses for bound comparisons).
+
+use hetchol::bounds::BoundSet;
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::scheduler::Scheduler;
+use hetchol::sched::{Dmda, Dmdas, RandomScheduler, TriangleTrsmOnCpu};
+use hetchol::sim::{simulate, SimOptions};
+
+fn main() {
+    let with_comm = std::env::args().any(|a| a == "--comm");
+    let platform = if with_comm {
+        Platform::mirage()
+    } else {
+        Platform::mirage().without_comm()
+    };
+    let profile = TimingProfile::mirage();
+
+    println!(
+        "== scheduler shoot-out on simulated Mirage ({}) ==",
+        if with_comm { "PCI modelled" } else { "comm-free" }
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14} {:>12} {:>8}",
+        "tiles", "random", "dmda", "dmdas", "triangle(k=7)", "mixed bound", "dmdas%"
+    );
+
+    for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let graph = TaskGraph::cholesky(n);
+        let run = |sched: &mut dyn Scheduler| -> f64 {
+            simulate(&graph, &platform, &profile, sched, &SimOptions::default())
+                .gflops(n, profile.nb())
+        };
+        // Average the stochastic scheduler over 5 seeds.
+        let random: f64 = (0..5)
+            .map(|s| run(&mut RandomScheduler::new(s)))
+            .sum::<f64>()
+            / 5.0;
+        let dmda = run(&mut Dmda::new());
+        let dmdas = run(&mut Dmdas::new());
+        let triangle = run(&mut TriangleTrsmOnCpu(Dmdas::new(), 7));
+        let bound = BoundSet::compute(n, &platform, &profile).mixed_gflops();
+        println!(
+            "{n:>6} {random:>10.1} {dmda:>10.1} {dmdas:>10.1} {triangle:>14.1} {bound:>12.1} {:>7.0}%",
+            100.0 * dmdas / bound
+        );
+    }
+    println!("\n(dmdas% = fraction of the mixed bound achieved by dmdas — the paper's gap)");
+}

@@ -1,0 +1,66 @@
+//! Render ASCII Gantt traces of simulated executions (the paper's
+//! Figure 12): compare where each scheduler leaves its GPUs idle.
+//!
+//! ```text
+//! cargo run --release --example trace_gantt [n_tiles] [width]
+//! ```
+
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::kernel::Kernel;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::scheduler::Scheduler;
+use hetchol::sched::{Dmda, Dmdas, TriangleTrsmOnCpu};
+use hetchol::sim::{simulate, SimOptions};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(8);
+    let width: usize = std::env::args()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(100);
+
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let graph = TaskGraph::cholesky(n);
+
+    let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("dmda", Box::new(Dmda::new())),
+        ("dmdas", Box::new(Dmdas::new())),
+        ("triangle k=7", Box::new(TriangleTrsmOnCpu(Dmdas::new(), 7))),
+    ];
+
+    for (name, sched) in schedulers.iter_mut() {
+        let r = simulate(&graph, &platform, &profile, sched.as_mut(), &SimOptions::default());
+        println!(
+            "== {name}: makespan {} ({:.1} GFLOP/s) ==",
+            r.makespan,
+            r.gflops(n, profile.nb())
+        );
+        print!("{}", r.trace.gantt_ascii(&platform, width));
+        println!(
+            "GPU idle: {:.1}%   CPU idle: {:.1}%",
+            r.trace.idle_fraction(9..12) * 100.0,
+            r.trace.idle_fraction(0..9) * 100.0
+        );
+        // Kernel mix per class.
+        for (label, workers) in [("CPUs", 0..9usize), ("GPUs", 9..12usize)] {
+            let mut by_kernel = [hetchol::core::time::Time::ZERO; Kernel::COUNT];
+            for w in workers {
+                let bk = r.trace.busy_by_kernel(w);
+                for (acc, b) in by_kernel.iter_mut().zip(bk) {
+                    *acc += b;
+                }
+            }
+            print!("{label} busy by kernel: ");
+            for k in Kernel::ALL {
+                print!("{}={} ", k.label(), by_kernel[k.index()]);
+            }
+            println!();
+        }
+        println!();
+    }
+}

@@ -1,0 +1,59 @@
+//! Sweep the triangle-TRSM offset `k` (paper Figures 9–11): for each
+//! matrix size, how does forcing TRSMs ≥ `k` tiles below the diagonal
+//! onto CPUs affect performance, and which `k` wins?
+//!
+//! ```text
+//! cargo run --release --example trsm_hint_sweep [n_tiles...]
+//! ```
+
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::scheduler::Scheduler;
+use hetchol::sched::hints::render_forced_triangle;
+use hetchol::sched::{Dmdas, TriangleTrsmOnCpu};
+use hetchol::sim::{simulate, SimOptions};
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> = std::env::args()
+            .skip(1)
+            .filter_map(|v| v.parse().ok())
+            .collect();
+        if args.is_empty() {
+            vec![8, 12, 16, 24]
+        } else {
+            args
+        }
+    };
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+
+    for &n in &sizes {
+        let graph = TaskGraph::cholesky(n);
+        let run = |sched: &mut dyn Scheduler| -> f64 {
+            simulate(&graph, &platform, &profile, sched, &SimOptions::default())
+                .gflops(n, profile.nb())
+        };
+        let dmdas = run(&mut Dmdas::new());
+        println!("== n = {n} tiles (dmdas baseline: {dmdas:.1} GFLOP/s) ==");
+        let mut best = (f64::MIN, 0u32);
+        for k in 1..n as u32 {
+            let g = run(&mut TriangleTrsmOnCpu(Dmdas::new(), k));
+            let marker = if g > dmdas { '+' } else { ' ' };
+            println!("  k = {k:>2}: {g:>8.1} GFLOP/s {marker}");
+            if g > best.0 {
+                best = (g, k);
+            }
+        }
+        println!(
+            "  best: k = {} with {:.1} GFLOP/s ({:+.1}% vs dmdas)\n",
+            best.1,
+            best.0,
+            100.0 * (best.0 - dmdas) / dmdas
+        );
+    }
+
+    println!("forced-TRSM map for n = 10, k = 3 (C = forced on CPU):");
+    print!("{}", render_forced_triangle(10, 3));
+}

@@ -1,0 +1,48 @@
+//! # hetchol — umbrella crate
+//!
+//! Reproduction of *"Bridging the Gap between Performance and Bounds of
+//! Cholesky Factorization on Heterogeneous Platforms"* (Agullo, Beaumont,
+//! Eyraud-Dubois, Herrmann, Kumar, Marchal, Thibault — HCW/IPDPS 2015).
+//!
+//! This crate re-exports the whole workspace behind a single dependency and
+//! hosts the runnable examples (`examples/`) and cross-crate integration
+//! tests (`tests/`). See the individual crates for the implementation:
+//!
+//! * [`hetchol_core`] (re-exported as [`core`]) — task graphs, platforms,
+//!   timing profiles, schedules, traces, metrics.
+//! * [`hetchol_linalg`] (as [`linalg`]) — real f64 tile kernels and the
+//!   numeric tiled Cholesky.
+//! * [`hetchol_rt`] (as [`rt`]) — a real multithreaded task runtime (actual
+//!   execution on host CPU cores).
+//! * [`hetchol_sim`] (as [`sim`]) — the discrete-event StarPU-like runtime
+//!   simulator with data-transfer modelling.
+//! * [`hetchol_sched`] (as [`sched`]) — dynamic schedulers (`random`,
+//!   `dmda`, `dmdas`) and static-hint hybrids.
+//! * [`hetchol_bounds`] (as [`bounds`]) — area / mixed / critical-path
+//!   bounds and the GEMM peak, on an in-repo simplex.
+//! * [`hetchol_cp`] (as [`cp`]) — CP-style branch-and-bound and
+//!   local-search schedule optimization.
+
+pub use hetchol_bounds as bounds;
+pub use hetchol_core as core;
+pub use hetchol_cp as cp;
+pub use hetchol_linalg as linalg;
+pub use hetchol_rt as rt;
+pub use hetchol_sched as sched;
+pub use hetchol_sim as sim;
+
+/// Convenient glob import for examples and downstream users.
+pub mod prelude {
+    pub use hetchol_core::{
+        dag::TaskGraph,
+        kernel::Kernel,
+        metrics::{gflops, Figure, Series},
+        platform::{CommModel, Platform, ResourceClass, ResourceKind},
+        profiles::TimingProfile,
+        schedule::{DurationCheck, Schedule},
+        scheduler::{SchedContext, Scheduler},
+        task::{TaskCoords, TaskId, Tile},
+        time::Time,
+        trace::Trace,
+    };
+}

@@ -1,0 +1,118 @@
+//! The constraint-programming experiments of Sections V-C3 and VI-B:
+//! replaying CP solutions through the dynamic runtime (full injection vs
+//! mapping-only injection).
+
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::schedule::DurationCheck;
+use hetchol::core::scheduler::SchedContext;
+use hetchol::cp::{optimize_from, optimize_schedule, CpOptions};
+use hetchol::sched::{Dmda, Dmdas, MappingInjector, ScheduleInjector};
+use hetchol::sim::{simulate, SimOptions};
+
+fn fixture(n: usize) -> (TaskGraph, Platform, TimingProfile) {
+    (
+        TaskGraph::cholesky(n),
+        Platform::mirage().without_comm(),
+        TimingProfile::mirage(),
+    )
+}
+
+#[test]
+fn cp_solution_replays_within_one_percent() {
+    // Paper: "we injected the exact schedule obtained from CP solution in
+    // the simulation and obtained almost equal (difference is less than 1%)
+    // performance".
+    for n in [4usize, 8] {
+        let (graph, platform, profile) = fixture(n);
+        let sol = optimize_schedule(&graph, &platform, &profile, &CpOptions::quick(1));
+        sol.schedule
+            .validate(&graph, &platform, &profile, DurationCheck::Exact)
+            .unwrap();
+        let mut inj = ScheduleInjector::new(&sol.schedule);
+        let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        let ratio = replay.makespan.as_secs_f64() / sol.makespan.as_secs_f64();
+        // The dynamic replay may compact idle gaps (<= 1.0) but must never
+        // be more than 1% slower.
+        assert!(
+            ratio < 1.01,
+            "n={n}: replay {} vs CP {} (ratio {ratio:.4})",
+            replay.makespan,
+            sol.makespan
+        );
+    }
+}
+
+#[test]
+fn cp_with_seeds_dominates_dynamic_schedulers() {
+    let n = 8;
+    let (graph, platform, profile) = fixture(n);
+    let mut dmdas = Dmdas::new();
+    let dmdas_run = simulate(&graph, &platform, &profile, &mut dmdas, &SimOptions::default());
+    let seed_schedule = dmdas_run.trace.to_schedule();
+    let sol = optimize_from(
+        &graph,
+        &platform,
+        &profile,
+        &[&seed_schedule],
+        &CpOptions::quick(3),
+    );
+    assert!(
+        sol.makespan <= dmdas_run.makespan,
+        "CP {} must not lose to its own seed {}",
+        sol.makespan,
+        dmdas_run.makespan
+    );
+}
+
+#[test]
+fn mapping_only_injection_does_not_help() {
+    // Paper Section VI-B: injecting only the CP mapping (not the order)
+    // performs like the plain dynamic schedulers — the value is in the
+    // precise ordering.
+    let n = 8;
+    let (graph, platform, profile) = fixture(n);
+    let sol = optimize_schedule(&graph, &platform, &profile, &CpOptions::quick(2));
+    let ctx = SchedContext {
+        graph: &graph,
+        platform: &platform,
+        profile: &profile,
+    };
+    let mut mapping = MappingInjector::new(&sol.schedule, &ctx);
+    let mapped = simulate(&graph, &platform, &profile, &mut mapping, &SimOptions::default());
+    let mut dmda = Dmda::new();
+    let dynamic = simulate(&graph, &platform, &profile, &mut dmda, &SimOptions::default());
+    // "did not improve the performance of the system compared to ... dmda
+    // and dmdas": allow it to be comparable, not dramatically better.
+    assert!(
+        mapped.makespan.as_secs_f64() > 0.95 * dynamic.makespan.as_secs_f64(),
+        "mapping-only {} vs dmda {} — mapping alone should not win big",
+        mapped.makespan,
+        dynamic.makespan
+    );
+    // And the run is still a valid execution.
+    mapped
+        .trace
+        .to_schedule()
+        .validate(&graph, &platform, &profile, DurationCheck::Exact)
+        .unwrap();
+}
+
+#[test]
+fn full_injection_respects_mapping_exactly() {
+    let n = 6;
+    let (graph, platform, profile) = fixture(n);
+    let sol = optimize_schedule(&graph, &platform, &profile, &CpOptions::quick(4));
+    let mut inj = ScheduleInjector::new(&sol.schedule);
+    let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+    let replayed = replay.trace.to_schedule();
+    for e in sol.schedule.entries() {
+        assert_eq!(
+            replayed.entry(e.task).unwrap().worker,
+            e.worker,
+            "task {} moved workers during replay",
+            e.task
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Property-based tests spanning the workspace: DAG invariants, bound
+//! dominance, simulator validity, numerical correctness — each for
+//! arbitrary problem sizes and seeds.
+
+use hetchol::bounds::BoundSet;
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::schedule::DurationCheck;
+use hetchol::core::task::TaskCoords;
+use hetchol::core::time::Time;
+use hetchol::linalg::matrix::TiledMatrix;
+use hetchol::linalg::{factorization_residual, random_spd, tiled_cholesky_in_place};
+use hetchol::sched::{Dmda, Dmdas, RandomScheduler, TriangleTrsmOnCpu};
+use hetchol::sim::{simulate, SimOptions};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Cholesky DAG has exactly the closed-form task counts, a single
+    /// entry/exit, and consistent adjacency for every size.
+    #[test]
+    fn dag_structure_invariants(n in 1usize..14) {
+        let g = TaskGraph::cholesky(n);
+        prop_assert_eq!(g.len(), hetchol::core::kernel::Kernel::total_cholesky_tasks(n));
+        prop_assert_eq!(g.entry_tasks().len(), 1);
+        prop_assert_eq!(g.exit_tasks().len(), 1);
+        // succ/pred symmetry
+        for (from, to) in g.edges() {
+            prop_assert!(g.predecessors(to).contains(&from));
+        }
+        // topological order covers everything exactly once
+        let order = g.topo_order();
+        prop_assert_eq!(order.len(), g.len());
+    }
+
+    /// Simulated makespans always dominate every lower bound, for any
+    /// scheduler and any seed.
+    #[test]
+    fn makespan_dominates_bounds(n in 1usize..10, seed in 0u64..50, which in 0u8..4) {
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(n);
+        let mut sched: Box<dyn hetchol::core::scheduler::Scheduler> = match which {
+            0 => Box::new(RandomScheduler::new(seed)),
+            1 => Box::new(Dmda::new()),
+            2 => Box::new(Dmdas::new()),
+            _ => Box::new(TriangleTrsmOnCpu(Dmdas::new(), (seed % 8) as u32 + 1)),
+        };
+        let r = simulate(&graph, &platform, &profile, sched.as_mut(), &SimOptions::default());
+        let bounds = BoundSet::compute(n, &platform, &profile);
+        prop_assert!(r.makespan >= bounds.best(),
+            "n={}, sched {}: {} < {}", n, which, r.makespan, bounds.best());
+        // And the trace is a valid schedule.
+        r.trace.to_schedule()
+            .validate(&graph, &platform, &profile, DurationCheck::Exact)
+            .unwrap();
+    }
+
+    /// The triangle hint always sends exactly the rule-matched TRSMs to
+    /// CPU workers, whatever the offset.
+    #[test]
+    fn triangle_hint_respected_in_full_runs(n in 2usize..10, k in 1u32..8) {
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(n);
+        let mut sched = TriangleTrsmOnCpu(Dmdas::new(), k);
+        let r = simulate(&graph, &platform, &profile, &mut sched, &SimOptions::default());
+        for e in &r.trace.events {
+            if let TaskCoords::Trsm { k: step, i } = graph.task(e.task).coords {
+                if i - step >= k {
+                    prop_assert!(e.worker < 9,
+                        "TRSM_{i}_{step} (offset {}) ran on worker {}", i - step, e.worker);
+                }
+            }
+        }
+    }
+
+    /// Real numerics: tiled Cholesky factors arbitrary random SPD
+    /// matrices to near machine precision.
+    #[test]
+    fn tiled_cholesky_factors_random_spd(n_tiles in 1usize..5, nb in 2usize..12, seed in 0u64..1000) {
+        let a = random_spd(n_tiles * nb, seed);
+        let mut m = TiledMatrix::from_dense(&a, nb);
+        tiled_cholesky_in_place(&mut m).unwrap();
+        let res = factorization_residual(&a, &m);
+        prop_assert!(res < 1e-10, "residual {res}");
+    }
+
+    /// Jittered (actual-mode) simulations stay within the ±3σ envelope of
+    /// the deterministic makespan plus overhead.
+    #[test]
+    fn actual_mode_stays_enveloped(n in 2usize..8, seed in 0u64..30) {
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(n);
+        let mut a = Dmda::new();
+        let det = simulate(&graph, &platform, &profile, &mut a, &SimOptions::default());
+        let mut b = Dmda::new();
+        let act = simulate(&graph, &platform, &profile, &mut b, &SimOptions::actual(seed));
+        let ratio = act.makespan.as_secs_f64() / det.makespan.as_secs_f64();
+        prop_assert!((0.8..1.25).contains(&ratio), "ratio {ratio}");
+    }
+
+    /// Bound dominance holds on arbitrary two-class platforms with random
+    /// worker counts.
+    #[test]
+    fn mixed_dominates_area_on_random_platforms(n in 1usize..8, cpus in 1usize..12, gpus in 0usize..5) {
+        use hetchol::core::platform::{ResourceClass, ResourceKind};
+        let mut classes = vec![ResourceClass { name: "CPU".into(), kind: ResourceKind::Cpu, count: cpus }];
+        if gpus > 0 {
+            classes.push(ResourceClass { name: "GPU".into(), kind: ResourceKind::Gpu, count: gpus });
+        }
+        let platform = Platform::new(classes, None);
+        let profile = if gpus > 0 { TimingProfile::mirage() } else { TimingProfile::mirage_homogeneous() };
+        let area = hetchol::bounds::area_bound(n, &platform, &profile);
+        let mixed = hetchol::bounds::mixed_bound(n, &platform, &profile);
+        // Both solved to a 0.01% gap independently.
+        prop_assert!(mixed.as_secs_f64() >= area.as_secs_f64() * 0.999,
+            "mixed {mixed} < area {area}");
+        prop_assert!(area > Time::ZERO);
+    }
+
+    /// LU and QR DAGs share the structural invariants: closed-form task
+    /// counts, acyclicity, adjacency symmetry — for any size.
+    #[test]
+    fn lu_qr_dag_invariants(n in 1usize..10) {
+        use hetchol::core::algorithm::Algorithm;
+        for algo in [Algorithm::Lu, Algorithm::Qr] {
+            let g = algo.graph(n);
+            prop_assert_eq!(g.len(), algo.total_tasks(n), "{} n={}", algo, n);
+            prop_assert_eq!(g.topo_order().len(), g.len());
+            for (from, to) in g.edges() {
+                prop_assert!(g.predecessors(to).contains(&from));
+            }
+            prop_assert_eq!(g.entry_tasks().len(), 1);
+        }
+    }
+
+    /// Real numerics for the extensions: LU-nopiv on diagonally dominant
+    /// matrices and Householder QR on arbitrary matrices, to near machine
+    /// precision for any tiling.
+    #[test]
+    fn lu_and_qr_numerics(n_tiles in 1usize..4, nb in 2usize..10, seed in 0u64..500) {
+        use hetchol::linalg::full::FullTiledMatrix;
+        use hetchol::linalg::qr::QrMatrix;
+        use hetchol::linalg::{lu_residual, random_diagonally_dominant, tiled_lu_in_place};
+        let n = n_tiles * nb;
+
+        let a = random_diagonally_dominant(n, seed);
+        let mut m = FullTiledMatrix::from_dense(&a, nb);
+        tiled_lu_in_place(&mut m).unwrap();
+        prop_assert!(lu_residual(&a, &m) < 1e-10);
+
+        // QR of a generic (possibly singular-ish) matrix still succeeds.
+        let b = {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            hetchol::linalg::matrix::Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0))
+        };
+        let mut qr = QrMatrix::from_dense(&b, nb);
+        qr.factorize().unwrap();
+        prop_assert!(qr.residual(&b) < 1e-10);
+    }
+
+    /// The schedule validator rejects tampered schedules: shifting any
+    /// single task earlier by one nanosecond must break *something* when
+    /// the task has a predecessor or a queue neighbour.
+    #[test]
+    fn validator_catches_tampering(n in 2usize..7, victim_seed in 0u64..100) {
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(n);
+        let mut sched = Dmdas::new();
+        let r = simulate(&graph, &platform, &profile, &mut sched, &SimOptions::default());
+        let schedule = r.trace.to_schedule();
+        // Pick a victim task that does not start at time zero.
+        let victims: Vec<_> = schedule.entries().iter()
+            .filter(|e| e.start > Time::ZERO)
+            .collect();
+        prop_assume!(!victims.is_empty());
+        let victim = victims[(victim_seed as usize) % victims.len()].task;
+        let mut entries = schedule.entries().to_vec();
+        let e = entries.iter_mut().find(|e| e.task == victim).unwrap();
+        // Stretch the duration backwards: keeps end, breaks duration check.
+        e.start -= Time::from_nanos(1);
+        let tampered = hetchol::core::schedule::Schedule::from_entries(entries);
+        prop_assert!(tampered
+            .validate(&graph, &platform, &profile, DurationCheck::Exact)
+            .is_err());
+    }
+}
