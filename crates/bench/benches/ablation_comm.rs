@@ -28,7 +28,13 @@ fn ablation(c: &mut Criterion) {
             latency: Time::from_micros(10),
             bandwidth: gbps * 1e9,
         });
-        let g = sim_gflops(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
+        let g = sim_gflops(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmda,
+            &SimOptions::default(),
+        );
         println!("{:>10.1}GB {g:>10.2}", gbps);
     }
 

@@ -13,7 +13,13 @@ fn ablation(c: &mut Criterion) {
 
     println!("# Ablation: triangle-TRSM offset k at n = 16 (simulated GFLOP/s)");
     println!("{:>6} {:>10}", "k", "GFLOP/s");
-    let dmdas = sim_gflops(16, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+    let dmdas = sim_gflops(
+        16,
+        &platform,
+        &profile,
+        SchedKind::Dmdas,
+        &SimOptions::default(),
+    );
     for k in 1..16u32 {
         let g = sim_gflops(
             16,

@@ -17,8 +17,20 @@ fn ablation(c: &mut Criterion) {
         "tiles", "dmda GF/s", "dmdas GF/s", "idle dmda", "idle dmdas"
     );
     for &n in &[4usize, 8, 12, 16, 24, 32] {
-        let a = sim_result(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
-        let b = sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+        let a = sim_result(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmda,
+            &SimOptions::default(),
+        );
+        let b = sim_result(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmdas,
+            &SimOptions::default(),
+        );
         println!(
             "{:>6} {:>12.2} {:>12.2} {:>9.1}% {:>9.1}%",
             n,
@@ -32,7 +44,15 @@ fn ablation(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_priorities");
     group.sample_size(10);
     group.bench_function("dmdas_n16", |b| {
-        b.iter(|| sim_result(16, &platform, &profile, SchedKind::Dmdas, &SimOptions::default()))
+        b.iter(|| {
+            sim_result(
+                16,
+                &platform,
+                &profile,
+                SchedKind::Dmdas,
+                &SimOptions::default(),
+            )
+        })
     });
     group.finish();
 }

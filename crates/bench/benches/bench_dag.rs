@@ -1,0 +1,44 @@
+//! Criterion benchmark of the CSR-backed task graph: construction cost of
+//! `TaskGraph::cholesky` (hazard walk + edge sort + CSR build) and
+//! successor-iteration throughput (one full sweep over every adjacency row,
+//! the hot loop of `DepTracker::release`), at n ∈ {16, 32, 64, 96} tiles.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetchol_core::dag::TaskGraph;
+
+fn bench_dag(c: &mut Criterion) {
+    let sizes = [16usize, 32, 64, 96];
+
+    let mut build = c.benchmark_group("dag_build");
+    build.sample_size(10);
+    for &n in &sizes {
+        let n_tasks = TaskGraph::cholesky(n).len() as u64;
+        build.throughput(Throughput::Elements(n_tasks));
+        build.bench_with_input(BenchmarkId::new("cholesky", n), &n, |b, &n| {
+            b.iter(|| TaskGraph::cholesky(black_box(n)))
+        });
+    }
+    build.finish();
+
+    let mut sweep = c.benchmark_group("dag_successors");
+    sweep.sample_size(10);
+    for &n in &sizes {
+        let graph = TaskGraph::cholesky(n);
+        sweep.throughput(Throughput::Elements(graph.n_edges() as u64));
+        sweep.bench_with_input(BenchmarkId::new("sweep", n), &graph, |b, graph| {
+            b.iter(|| {
+                let mut acc = 0usize;
+                for t in 0..graph.len() {
+                    for &s in graph.successors(hetchol_core::task::TaskId(t as u32)) {
+                        acc = acc.wrapping_add(s.index());
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, bench_dag);
+criterion_main!(benches);

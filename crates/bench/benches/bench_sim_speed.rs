@@ -18,11 +18,27 @@ fn bench_sim(c: &mut Criterion) {
         let profile = TimingProfile::mirage();
         group.throughput(Throughput::Elements(Kernel::total_cholesky_tasks(n) as u64));
         group.bench_with_input(BenchmarkId::new("dmda_with_comm", n), &n, |b, &n| {
-            b.iter(|| sim_result(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default()))
+            b.iter(|| {
+                sim_result(
+                    n,
+                    &platform,
+                    &profile,
+                    SchedKind::Dmda,
+                    &SimOptions::default(),
+                )
+            })
         });
         let no_comm = platform.without_comm();
         group.bench_with_input(BenchmarkId::new("dmdas_comm_free", n), &n, |b, &n| {
-            b.iter(|| sim_result(n, &no_comm, &profile, SchedKind::Dmdas, &SimOptions::default()))
+            b.iter(|| {
+                sim_result(
+                    n,
+                    &no_comm,
+                    &profile,
+                    SchedKind::Dmdas,
+                    &SimOptions::default(),
+                )
+            })
         });
     }
     group.finish();

@@ -64,10 +64,7 @@ fn die(msg: &str) -> ! {
 
 fn emit(fig: &Figure, args: &Args) {
     if args.json {
-        println!(
-            "{}",
-            serde_json::to_string_pretty(fig).expect("figures serialize")
-        );
+        println!("{}", fig.to_json());
     } else if args.csv {
         print!("{}", fig.to_csv());
         println!();
@@ -103,7 +100,11 @@ fn main() {
                 .get(1)
                 .and_then(|v| v.parse().ok())
                 .unwrap_or(10usize);
-            let k = args.rest.get(2).and_then(|v| v.parse().ok()).unwrap_or(3u32);
+            let k = args
+                .rest
+                .get(2)
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(3u32);
             print!("{}", bench::figure9(n, k));
         }
         "fig10" => emit(&bench::figure10(&cp_opts, 16), &args),
@@ -111,8 +112,14 @@ fn main() {
         "fig12" => print!("{}", bench::figure12()),
         "hint-gemmsyrk" => emit(&bench::figure_hint_gemmsyrk(), &args),
         "mapping-only" => emit(&bench::figure_mapping_only(&cp_opts, &[4, 8, 12]), &args),
-        "lu" => emit(&bench::figure_algo(hetchol_core::algorithm::Algorithm::Lu), &args),
-        "qr" => emit(&bench::figure_algo(hetchol_core::algorithm::Algorithm::Qr), &args),
+        "lu" => emit(
+            &bench::figure_algo(hetchol_core::algorithm::Algorithm::Lu),
+            &args,
+        ),
+        "qr" => emit(
+            &bench::figure_algo(hetchol_core::algorithm::Algorithm::Qr),
+            &args,
+        ),
         "sweep-k" => {
             let n = args
                 .rest

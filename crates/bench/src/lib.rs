@@ -15,8 +15,8 @@ use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::Scheduler;
 use hetchol_cp::{optimize_from, CpOptions};
 use hetchol_sched::{
-    Dmda, Dmdas, EagerScheduler, GemmSyrkOnGpu, MappingInjector, RandomScheduler,
-    ScheduleInjector, TriangleTrsmOnCpu,
+    Dmda, Dmdas, EagerScheduler, GemmSyrkOnGpu, MappingInjector, RandomScheduler, ScheduleInjector,
+    TriangleTrsmOnCpu,
 };
 use hetchol_sim::{simulate, SimOptions, SimResult};
 
@@ -149,8 +149,7 @@ pub fn figure_algo(algo: Algorithm) -> Figure {
                     .collect();
                 s.push_samples(n as f64, &samples);
             } else {
-                let r =
-                    sim_result_algo(algo, n, &platform, &profile, kind, &SimOptions::default());
+                let r = sim_result_algo(algo, n, &platform, &profile, kind, &SimOptions::default());
                 s.push(n as f64, algo.gflops(n, profile.nb(), r.makespan));
             }
         }
@@ -208,8 +207,7 @@ pub fn scheduler_series(
     for &n in sizes {
         let profile = profile_for(n);
         if actual_mode || kind.stochastic() {
-            let samples =
-                sim_gflops_samples(n, platform, &profile, kind, actual_mode, ACTUAL_RUNS);
+            let samples = sim_gflops_samples(n, platform, &profile, kind, actual_mode, ACTUAL_RUNS);
             s.push_samples(n as f64, &samples);
         } else {
             s.push(
@@ -293,7 +291,13 @@ pub fn figure4() -> Figure {
         "GFLOP/s",
     );
     for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
-        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+        fig.add(scheduler_series(
+            &platform,
+            &prof,
+            kind,
+            false,
+            &PAPER_SIZES,
+        ));
     }
     fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
     fig
@@ -310,7 +314,13 @@ pub fn figure5() -> Figure {
         "GFLOP/s",
     );
     for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
-        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+        fig.add(scheduler_series(
+            &platform,
+            &prof,
+            kind,
+            false,
+            &PAPER_SIZES,
+        ));
     }
     fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
     fig
@@ -344,7 +354,13 @@ pub fn figure7() -> Figure {
         "GFLOP/s",
     );
     for kind in [SchedKind::Random, SchedKind::Dmda, SchedKind::Dmdas] {
-        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+        fig.add(scheduler_series(
+            &platform,
+            &prof,
+            kind,
+            false,
+            &PAPER_SIZES,
+        ));
     }
     fig.add(mixed_bound_series(&platform, &prof, &PAPER_SIZES));
     fig
@@ -430,9 +446,15 @@ pub fn figure10(cp_opts: &CpOptions, cp_max_size: usize) -> Figure {
         // Seed the search with the schedules the dynamic runtime actually
         // produces (dmdas and the best triangle hint) — the analogue of the
         // paper seeding CP Optimizer with a HEFT solution.
-        let dmdas_seed = sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default())
-            .trace
-            .to_schedule();
+        let dmdas_seed = sim_result(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmdas,
+            &SimOptions::default(),
+        )
+        .trace
+        .to_schedule();
         let (_, best_k) = best_triangle_k(n, &platform, &profile, false);
         let tri_seed = sim_result(
             n,
@@ -443,13 +465,25 @@ pub fn figure10(cp_opts: &CpOptions, cp_max_size: usize) -> Figure {
         )
         .trace
         .to_schedule();
-        let sol = optimize_from(&graph, &platform, &profile, &[&dmdas_seed, &tri_seed], cp_opts);
+        let sol = optimize_from(
+            &graph,
+            &platform,
+            &profile,
+            &[&dmdas_seed, &tri_seed],
+            cp_opts,
+        );
         cp_theory.push(
             n as f64,
             hetchol_core::metrics::gflops(n, profile.nb(), sol.makespan),
         );
         let mut inj = ScheduleInjector::new(&sol.schedule);
-        let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        let replay = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut inj,
+            &SimOptions::default(),
+        );
         cp_sim.push(n as f64, replay.gflops(n, profile.nb()));
     }
     fig.add(cp_theory);
@@ -511,7 +545,13 @@ pub fn figure_hint_gemmsyrk() -> Figure {
         "GFLOP/s",
     );
     for kind in [SchedKind::Dmdas, SchedKind::GemmSyrkGpu] {
-        fig.add(scheduler_series(&platform, &prof, kind, false, &PAPER_SIZES));
+        fig.add(scheduler_series(
+            &platform,
+            &prof,
+            kind,
+            false,
+            &PAPER_SIZES,
+        ));
     }
     fig
 }
@@ -536,10 +576,15 @@ pub fn figure_mapping_only(cp_opts: &CpOptions, sizes: &[usize]) -> Figure {
         let graph = TaskGraph::cholesky(n);
         // Same seeding as Figure 10: the CP search starts from the dmdas
         // schedule, so its solution never loses to the dynamic scheduler.
-        let dmdas_seed =
-            sim_result(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default())
-                .trace
-                .to_schedule();
+        let dmdas_seed = sim_result(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmdas,
+            &SimOptions::default(),
+        )
+        .trace
+        .to_schedule();
         let sol = optimize_from(&graph, &platform, &profile, &[&dmdas_seed], cp_opts);
         let ctx = hetchol_core::scheduler::SchedContext {
             graph: &graph,
@@ -547,10 +592,22 @@ pub fn figure_mapping_only(cp_opts: &CpOptions, sizes: &[usize]) -> Figure {
             profile: &profile,
         };
         let mut inj = ScheduleInjector::new(&sol.schedule);
-        let r = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        let r = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut inj,
+            &SimOptions::default(),
+        );
         full.push(n as f64, r.gflops(n, profile.nb()));
         let mut map = MappingInjector::new(&sol.schedule, &ctx);
-        let r = simulate(&graph, &platform, &profile, &mut map, &SimOptions::default());
+        let r = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut map,
+            &SimOptions::default(),
+        );
         mapping.push(n as f64, r.gflops(n, profile.nb()));
     }
     fig.add(full);
@@ -630,7 +687,12 @@ pub fn kfactors() -> String {
     let _ = writeln!(out, "# Acceleration factors K(n) for the related platform");
     let _ = writeln!(out, "{:>8} {:>8}", "tiles", "K");
     for &n in &PAPER_SIZES {
-        let _ = writeln!(out, "{:>8} {:>8.2}", n, TimingProfile::acceleration_factor(n));
+        let _ = writeln!(
+            out,
+            "{:>8} {:>8.2}",
+            n,
+            TimingProfile::acceleration_factor(n)
+        );
     }
     out
 }
@@ -713,7 +775,13 @@ mod tests {
                     sim_gflops_samples(n, &platform, &profile, SchedKind::Random, false, 5);
                 samples.iter().sum::<f64>() / samples.len() as f64
             };
-            let dmda_g = sim_gflops(n, &platform, &profile, SchedKind::Dmda, &SimOptions::default());
+            let dmda_g = sim_gflops(
+                n,
+                &platform,
+                &profile,
+                SchedKind::Dmda,
+                &SimOptions::default(),
+            );
             let set = BoundSet::compute(n, &platform, &profile);
             assert!(dmda_g > rand_g, "n={n}: dmda {dmda_g} vs random {rand_g}");
             assert!(
@@ -729,7 +797,13 @@ mod tests {
         let platform = Platform::mirage().without_comm();
         let profile = TimingProfile::mirage();
         let n = 10;
-        let dmdas = sim_gflops(n, &platform, &profile, SchedKind::Dmdas, &SimOptions::default());
+        let dmdas = sim_gflops(
+            n,
+            &platform,
+            &profile,
+            SchedKind::Dmdas,
+            &SimOptions::default(),
+        );
         let (best, k) = best_triangle_k(n, &platform, &profile, false);
         assert!(
             best >= dmdas * 0.98,

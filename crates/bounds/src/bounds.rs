@@ -141,11 +141,7 @@ fn rounded_incumbent(
     Some(LpSolution { objective: l, x })
 }
 
-fn solve_bound_lp(
-    lp: &LinearProgram,
-    counts: &[usize; Kernel::COUNT],
-    n_classes: usize,
-) -> Time {
+fn solve_bound_lp(lp: &LinearProgram, counts: &[usize; Kernel::COUNT], n_classes: usize) -> Time {
     let n_int_vars = n_classes * Kernel::COUNT;
     let integer_vars: Vec<usize> = (0..n_int_vars).collect();
     let warm = rounded_incumbent(lp, counts, n_classes);

@@ -97,6 +97,16 @@ pub fn solve_ilp_gap(
                 nodes: 1,
             }
         }
+        // No verdict on the root relaxation: nothing can be claimed about
+        // the ILP either, so report the weakest valid lower bound.
+        LpOutcome::Error(_) => {
+            return IlpResult {
+                solution: None,
+                lower_bound: f64::NEG_INFINITY,
+                optimal: false,
+                nodes: 1,
+            }
+        }
     };
     let root_bound = root_sol.objective;
 
@@ -121,10 +131,17 @@ pub fn solve_ilp_gap(
         sub.constraints.extend(extra.iter().cloned());
         let sol = match solve_lp(&sub) {
             LpOutcome::Optimal(s) => s,
+            // Solver failure on a subproblem: its subtree was not explored,
+            // so the search is no longer exhaustive and the final bound must
+            // degrade to the root relaxation (as on node-budget exhaustion).
+            LpOutcome::Error(_) => {
+                exhausted = false;
+                continue;
+            }
             // Branching only tightens a feasible bounded problem, so
             // Unbounded cannot appear below a bounded root; Infeasible
             // prunes the node.
-            _ => continue,
+            LpOutcome::Infeasible | LpOutcome::Unbounded => continue,
         };
         if let Some(inc) = &incumbent {
             // Relative epsilon: subtrees that cannot improve the incumbent
@@ -265,7 +282,11 @@ mod tests {
         };
         let r = solve_ilp(&lp, &[0, 1], 1);
         assert!(!r.optimal);
-        assert!((r.lower_bound - 0.9 / 1.3).abs() < 1e-4, "{}", r.lower_bound);
+        assert!(
+            (r.lower_bound - 0.9 / 1.3).abs() < 1e-4,
+            "{}",
+            r.lower_bound
+        );
     }
 
     #[test]

@@ -23,4 +23,6 @@ pub use bounds::{
     mixed_bound, mixed_bound_algo, BoundSet,
 };
 pub use ilp::solve_ilp;
-pub use simplex::{solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation};
+pub use simplex::{
+    solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, SimplexError,
+};

@@ -66,6 +66,9 @@ pub enum LpOutcome {
     Infeasible,
     /// The objective is unbounded over the feasible region.
     Unbounded,
+    /// The solver gave up without a verdict (see [`SimplexError`]); the
+    /// instance may still be feasible and bounded.
+    Error(SimplexError),
 }
 
 impl LpOutcome {
@@ -77,6 +80,35 @@ impl LpOutcome {
         }
     }
 }
+
+/// Failure of the simplex iteration itself, as opposed to a verdict about
+/// the LP ([`LpOutcome::Infeasible`] / [`LpOutcome::Unbounded`]).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimplexError {
+    /// The pivot loop hit its iteration cap without reaching optimality.
+    /// Bland's rule makes cycling impossible in exact arithmetic, so this
+    /// signals either a pathologically large instance or floating-point
+    /// stalling — callers must treat the outcome as "no information".
+    MaxIterations {
+        /// The cap that was exhausted.
+        max_iters: usize,
+    },
+}
+
+impl std::fmt::Display for SimplexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimplexError::MaxIterations { max_iters } => {
+                write!(
+                    f,
+                    "simplex failed to converge within {max_iters} iterations"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimplexError {}
 
 const TOL: f64 = 1e-9;
 
@@ -120,16 +152,16 @@ impl Tableau {
         self.basis[row] = col;
     }
 
-    /// Run the simplex loop on the current objective row. Returns `false`
-    /// if the problem is unbounded in the direction of optimization.
-    fn optimize(&mut self, allowed_cols: usize) -> bool {
-        // Iteration cap as a cycling backstop on top of Bland's rule.
-        let max_iters = 50_000usize;
+    /// Run the simplex loop on the current objective row. `Ok(false)` means
+    /// the problem is unbounded in the direction of optimization;
+    /// `Err(MaxIterations)` means the pivot cap was exhausted without a
+    /// verdict.
+    fn optimize(&mut self, allowed_cols: usize, max_iters: usize) -> Result<bool, SimplexError> {
         for _ in 0..max_iters {
             // Bland's rule: entering column = lowest index with negative
             // reduced cost.
             let Some(col) = (0..allowed_cols).find(|&c| self.z[c] < -TOL) else {
-                return true; // optimal
+                return Ok(true); // optimal
             };
             // Ratio test; Bland tie-break on the basic variable index.
             let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
@@ -143,13 +175,17 @@ impl Tableau {
                 }
             }
             let Some((_, _, row)) = best else {
-                return false; // unbounded
+                return Ok(false); // unbounded
             };
             self.pivot(row, col);
         }
-        panic!("simplex failed to converge within {max_iters} iterations");
+        Err(SimplexError::MaxIterations { max_iters })
     }
 }
+
+/// Pivot cap per phase: a cycling backstop on top of Bland's rule, far above
+/// anything the bound LPs (≤ 9 variables) can need.
+const MAX_ITERS: usize = 50_000;
 
 /// Solve a linear program with the two-phase primal simplex method.
 pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
@@ -255,7 +291,10 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
                 }
             }
         }
-        let bounded = tab.optimize(n_cols);
+        let bounded = match tab.optimize(n_cols, MAX_ITERS) {
+            Ok(b) => b,
+            Err(e) => return LpOutcome::Error(e),
+        };
         debug_assert!(bounded, "phase-1 objective is bounded by construction");
         let phase1_obj = -tab.z[n_cols];
         if phase1_obj > 1e-7 {
@@ -292,8 +331,10 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
             }
         }
     }
-    if !tab.optimize(allowed) {
-        return LpOutcome::Unbounded;
+    match tab.optimize(allowed, MAX_ITERS) {
+        Ok(true) => {}
+        Ok(false) => return LpOutcome::Unbounded,
+        Err(e) => return LpOutcome::Error(e),
     }
 
     let mut x = vec![0.0; n];
@@ -302,12 +343,7 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
             x[b] = tab.rows[r][n_cols];
         }
     }
-    let objective: f64 = lp
-        .objective
-        .iter()
-        .zip(&x)
-        .map(|(c, v)| c * v)
-        .sum();
+    let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
     LpOutcome::Optimal(LpSolution { objective, x })
 }
 
@@ -521,6 +557,37 @@ mod tests {
             constraints: vec![Constraint::new(vec![1.0], Relation::Ge, 2.0)],
         };
         assert_opt(&solve_lp(&lp), 2.0, Some(&[2.0, 0.0, 0.0]));
+    }
+
+    #[test]
+    fn exhausted_pivot_budget_is_an_error_not_a_panic() {
+        // A tableau one pivot away from optimal, driven with a zero budget:
+        // the loop must report MaxIterations instead of panicking.
+        let mut tab = Tableau {
+            // x0 + s0 = 1 with s0 basic.
+            rows: vec![vec![1.0, 1.0, 1.0]],
+            // min -x0: entering column exists, so a pivot is required.
+            z: vec![-1.0, 0.0, 0.0],
+            basis: vec![1],
+            n_cols: 2,
+        };
+        assert_eq!(
+            tab.optimize(2, 0),
+            Err(SimplexError::MaxIterations { max_iters: 0 })
+        );
+        // With any budget at all the same tableau solves.
+        assert_eq!(tab.optimize(2, MAX_ITERS), Ok(true));
+    }
+
+    #[test]
+    fn simplex_error_display_and_outcome() {
+        let err = SimplexError::MaxIterations { max_iters: 7 };
+        assert_eq!(
+            err.to_string(),
+            "simplex failed to converge within 7 iterations"
+        );
+        let outcome = LpOutcome::Error(err);
+        assert!(outcome.optimal().is_none());
     }
 
     #[test]

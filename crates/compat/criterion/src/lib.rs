@@ -1,0 +1,347 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of criterion's API this workspace's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`] /
+//! [`BenchmarkGroup::bench_with_input`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Measurement is deliberately simple: each benchmark runs a short
+//! warm-up, then `sample_size` timed samples whose per-iteration batch
+//! count is calibrated so one sample takes roughly
+//! [`Criterion::target_sample_time`]. Median, mean, and min/max of the
+//! per-iteration times are printed. There is no statistical outlier
+//! analysis, plotting, or saved baselines — this harness exists so
+//! `cargo bench` works without network access.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimisation barrier under criterion's name.
+pub use std::hint::black_box;
+
+/// Benchmark identifier combining a function name and a parameter.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("area", 32)` renders as `area/32`.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Work performed per iteration, used to report throughput.
+#[derive(Copy, Clone, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    batch: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `batch` calls of `routine`, keeping each return value alive
+    /// through [`black_box`] so the work is not optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark's collected samples (per-iteration seconds).
+struct SampleStats {
+    per_iter: Vec<f64>,
+}
+
+impl SampleStats {
+    fn median(&mut self) -> f64 {
+        self.per_iter
+            .sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+        self.per_iter[self.per_iter.len() / 2]
+    }
+}
+
+fn format_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// A set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples per benchmark (minimum 2).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declare per-iteration work for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run a benchmark with no input parameter.
+    pub fn bench_function<I: Into<BenchmarkId>, R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut routine: R,
+    ) -> &mut Self {
+        let id = id.into();
+        self.run(&id.id, &mut |b| routine(b));
+        self
+    }
+
+    /// Run a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.run(&id.id, &mut |b| routine(b, input));
+        self
+    }
+
+    fn run(&mut self, id: &str, routine: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches_filter(&full) {
+            return;
+        }
+
+        // Calibrate: grow the batch until one sample takes long enough to
+        // time reliably, capped so tiny budgets still finish quickly.
+        let mut bencher = Bencher {
+            batch: 1,
+            elapsed: Duration::ZERO,
+        };
+        let target = self.criterion.target_sample_time;
+        loop {
+            routine(&mut bencher);
+            if bencher.elapsed >= target || bencher.batch >= 1 << 20 {
+                break;
+            }
+            let grow = if bencher.elapsed < target / 16 { 8 } else { 2 };
+            bencher.batch *= grow;
+        }
+
+        let mut stats = SampleStats {
+            per_iter: Vec::with_capacity(self.sample_size),
+        };
+        for _ in 0..self.sample_size {
+            routine(&mut bencher);
+            stats
+                .per_iter
+                .push(bencher.elapsed.as_secs_f64() / bencher.batch as f64);
+        }
+
+        let median = stats.median();
+        let lo = stats.per_iter[0];
+        let hi = stats.per_iter[stats.per_iter.len() - 1];
+        let mut line = format!(
+            "{full:<40} time: [{} {} {}]",
+            format_time(lo),
+            format_time(median),
+            format_time(hi)
+        );
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Elements(n) => (n as f64, "elem"),
+                Throughput::Bytes(n) => (n as f64, "B"),
+            };
+            line.push_str(&format!("  thrpt: {:.3e} {unit}/s", amount / median));
+        }
+        println!("{line}");
+    }
+
+    /// End the group (prints a separator, like upstream's report break).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    filter: Option<String>,
+    target_sample_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        // `cargo bench` invokes each harness=false binary with arguments
+        // such as `--bench` and an optional name filter; accept the
+        // filter, ignore the flags.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Criterion {
+            filter,
+            target_sample_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// How long one calibrated sample should take (default 20 ms).
+    pub fn target_sample_time(mut self, t: Duration) -> Criterion {
+        self.target_sample_time = t;
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+            criterion: self,
+        }
+    }
+
+    /// Top-level `bench_function` (no group).
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let group_name = id.to_string();
+        let mut group = BenchmarkGroup {
+            criterion: self,
+            name: group_name,
+            sample_size: 10,
+            throughput: None,
+        };
+        let mut routine = routine;
+        group.run("", &mut |b| routine(b));
+        self
+    }
+
+    fn matches_filter(&self, full_id: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_id.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Collect benchmark functions into a group runner, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        group.throughput(Throughput::Elements(64));
+        group.bench_with_input(BenchmarkId::new("sum", 64), &64u64, |b, &n| {
+            b.iter(|| (0..n).map(black_box).sum::<u64>())
+        });
+        group.bench_function("push", |b| {
+            b.iter(|| {
+                let mut v = Vec::new();
+                for i in 0..32 {
+                    v.push(i);
+                }
+                v
+            })
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_to_completion() {
+        let mut criterion = Criterion::default().target_sample_time(Duration::from_micros(200));
+        demo_bench(&mut criterion);
+    }
+
+    #[test]
+    fn benchmark_id_renders_function_and_parameter() {
+        assert_eq!(BenchmarkId::new("area", 32).to_string(), "area/32");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn bencher_measures_batches() {
+        let mut b = Bencher {
+            batch: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        assert_eq!(count, 100);
+        assert!(b.elapsed > Duration::ZERO);
+    }
+
+    criterion_group!(example_group, demo_bench);
+
+    #[test]
+    fn group_macro_produces_runner() {
+        // Smoke: the generated fn is callable (uses default Criterion).
+        example_group();
+    }
+}

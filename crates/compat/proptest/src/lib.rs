@@ -1,0 +1,387 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of proptest's surface this workspace uses: the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`), range
+//! strategies, tuple strategies, [`collection::vec`], [`array::uniform2`],
+//! and the `prop_assert!` / `prop_assert_eq!` macros.
+//!
+//! Differences from upstream, chosen for an offline, dependency-free
+//! build: cases are drawn from a ChaCha8 stream seeded deterministically
+//! from the test's name (so failures are reproducible run-to-run), and
+//! there is **no shrinking** — a failing case reports its inputs verbatim.
+
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+/// Strategies: value generators for property inputs.
+pub mod strategy {
+    use super::TestRng;
+    use rand::Rng as _;
+    use std::fmt::Debug;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of values of type `Self::Value`.
+    ///
+    /// Upstream proptest strategies carry shrinking machinery; here a
+    /// strategy is simply a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value: Debug;
+        /// Draw one value.
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// `Just`-style constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($s:ident . $idx:tt),+ );)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+        (A.0, B.1, C.2, D.3, E.4);
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng as _;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from a range.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    /// `vec(element, 1..6)`: vectors of 1 to 5 sampled elements.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Fixed-size-array strategies (`prop::array`).
+pub mod array {
+    use super::strategy::Strategy;
+    use super::TestRng;
+
+    /// Strategy for `[T; 2]` from one element strategy.
+    pub struct UniformArray2<S: Strategy>(S);
+
+    /// `uniform2(element)`: two independent samples as an array.
+    pub fn uniform2<S: Strategy>(element: S) -> UniformArray2<S> {
+        UniformArray2(element)
+    }
+
+    impl<S: Strategy> Strategy for UniformArray2<S> {
+        type Value = [S::Value; 2];
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            [self.0.sample(rng), self.0.sample(rng)]
+        }
+    }
+}
+
+/// Runner configuration (`proptest::test_runner`).
+pub mod test_runner {
+    /// How many cases each property runs.
+    #[derive(Copy, Clone, Debug)]
+    pub struct Config {
+        /// Number of random cases.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// Build a config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Config {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Config {
+            Config { cases: 64 }
+        }
+    }
+}
+
+/// Derive a per-test RNG from the test's name: failures reproduce
+/// deterministically across runs without any environment state.
+pub fn rng_for(test_name: &str) -> TestRng {
+    use rand::SeedableRng as _;
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// The macro surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as proptest_crate;
+    /// Upstream exposes strategy constructors under `prop::...`.
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Define property tests over sampled inputs.
+///
+/// Supports the upstream form used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn my_property(x in 0usize..10, v in prop::collection::vec(0f64..1.0, 1..4)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    $cfg,
+                    |__proptest_rng| {
+                        use $crate::strategy::Strategy as _;
+                        $(let $arg = ($strat).sample(__proptest_rng);)+
+                        let __proptest_inputs = format!(
+                            concat!($(stringify!($arg), " = {:?}; "),+),
+                            $(&$arg),+
+                        );
+                        let __proptest_result: ::std::result::Result<(), ::std::string::String> =
+                            (|| {
+                                $body
+                                ::std::result::Result::Ok(())
+                            })();
+                        (__proptest_inputs, __proptest_result)
+                    },
+                );
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::Config::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Execute one property over `cfg.cases` sampled cases (macro plumbing).
+pub fn run_property(
+    name: &str,
+    cfg: test_runner::Config,
+    mut case: impl FnMut(&mut TestRng) -> (String, Result<(), String>),
+) {
+    let mut rng = rng_for(name);
+    for i in 0..cfg.cases {
+        let (inputs, result) = case(&mut rng);
+        if let Err(msg) = result {
+            panic!(
+                "property {name} failed at case {i}/{}:\n  {msg}\n  inputs: {inputs}",
+                cfg.cases
+            );
+        }
+    }
+}
+
+/// Property assertion: fails the current case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                format!("assertion failed: {}", stringify!($cond)),
+            );
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Property equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} == {} ({:?} != {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err(format!(
+                "{} ({:?} != {:?})",
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Skip the current case when its sampled inputs don't satisfy a
+/// precondition. Upstream rejects-and-resamples; here the case simply
+/// passes vacuously, which preserves soundness (no false failures) at a
+/// small coverage cost.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Property inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left),
+                stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_sample_in_bounds(x in 3usize..17, y in -2.0f64..2.0, z in 0u8..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y));
+            prop_assert!(z <= 4);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec((0.1f64..1.0, 0u32..9), 1..6)) {
+            prop_assert!(!v.is_empty() && v.len() < 6);
+            for (f, i) in &v {
+                prop_assert!((0.1..1.0).contains(f));
+                prop_assert!(*i < 9);
+            }
+        }
+
+        #[test]
+        fn uniform2_yields_pairs(c in prop::array::uniform2(0.0f64..10.0)) {
+            prop_assert!(c.iter().all(|v| (0.0..10.0).contains(v)));
+            prop_assert_eq!(c.len(), 2);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_works(n in 1usize..5) {
+            prop_assert!(n >= 1, "n = {}", n);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property")]
+    fn failing_property_panics_with_inputs() {
+        crate::run_property("demo", crate::test_runner::Config::with_cases(3), |_rng| {
+            ("x = 1".to_string(), Err("boom".to_string()))
+        });
+    }
+
+    #[test]
+    fn named_rng_is_deterministic() {
+        use rand::RngCore as _;
+        let mut a = crate::rng_for("some::test");
+        let mut b = crate::rng_for("some::test");
+        let mut c = crate::rng_for("other::test");
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        assert_eq!(xs, (0..8).map(|_| b.next_u64()).collect::<Vec<_>>());
+        assert_ne!(xs, (0..8).map(|_| c.next_u64()).collect::<Vec<_>>());
+    }
+}

@@ -8,10 +8,9 @@
 use crate::dag::TaskGraph;
 use crate::kernel::Kernel;
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// A tiled one-sided factorization.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum Algorithm {
     /// The paper's subject: `A = L·Lᵀ` of an SPD matrix.
     Cholesky,

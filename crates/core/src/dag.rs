@@ -15,6 +15,54 @@ use crate::time::Time;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
+/// Compressed-sparse-row adjacency: the neighbours of task `i` are the
+/// slice `targets[offsets[i] .. offsets[i + 1]]`.
+///
+/// Two flat arenas replace per-task nested vectors: one cache-friendly
+/// allocation for all neighbour lists plus one for the row boundaries,
+/// instead of one heap allocation per task. Rows are sorted and
+/// deduplicated, exactly like the per-task lists they replace.
+#[derive(Clone, Debug, Default)]
+struct CsrAdjacency {
+    /// Row boundaries; `offsets.len() == n_rows + 1`, `offsets[0] == 0`.
+    offsets: Vec<u32>,
+    /// All neighbour lists, concatenated in row order.
+    targets: Vec<TaskId>,
+}
+
+impl CsrAdjacency {
+    /// Build from edge pairs sorted by `(row, target)` with no duplicates.
+    fn from_sorted_pairs(n_rows: usize, pairs: &[(TaskId, TaskId)]) -> CsrAdjacency {
+        let mut offsets = vec![0u32; n_rows + 1];
+        for &(row, _) in pairs {
+            offsets[row.index() + 1] += 1;
+        }
+        for i in 0..n_rows {
+            offsets[i + 1] += offsets[i];
+        }
+        let targets = pairs.iter().map(|&(_, t)| t).collect();
+        CsrAdjacency { offsets, targets }
+    }
+
+    /// The neighbour slice of row `i`.
+    #[inline]
+    fn row(&self, i: usize) -> &[TaskId] {
+        &self.targets[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Number of neighbours of row `i`.
+    #[inline]
+    fn degree(&self, i: usize) -> usize {
+        (self.offsets[i + 1] - self.offsets[i]) as usize
+    }
+
+    /// Total number of stored edges.
+    #[inline]
+    fn n_edges(&self) -> usize {
+        self.targets.len()
+    }
+}
+
 /// An immutable task graph with precomputed adjacency.
 #[derive(Clone, Debug)]
 pub struct TaskGraph {
@@ -22,10 +70,10 @@ pub struct TaskGraph {
     n: usize,
     /// Tasks in sequential-algorithm submission order.
     tasks: Vec<Task>,
-    /// Direct successors of each task (deduplicated, sorted).
-    succs: Vec<Vec<TaskId>>,
-    /// Direct predecessors of each task (deduplicated, sorted).
-    preds: Vec<Vec<TaskId>>,
+    /// Direct successors of each task (CSR; rows deduplicated, sorted).
+    succs: CsrAdjacency,
+    /// Direct predecessors of each task (CSR; rows deduplicated, sorted).
+    preds: CsrAdjacency,
     /// Map from coordinates to identifier.
     by_coords: HashMap<TaskCoords, TaskId>,
 }
@@ -140,45 +188,46 @@ impl TaskGraph {
         }
         let mut tile_state: HashMap<Tile, TileState> = HashMap::new();
 
-        let mut succs: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
-        let mut preds: Vec<Vec<TaskId>> = vec![Vec::new(); tasks.len()];
-        let add_edge = |succs: &mut Vec<Vec<TaskId>>,
-                            preds: &mut Vec<Vec<TaskId>>,
-                            from: TaskId,
-                            to: TaskId| {
-            if from != to {
-                succs[from.index()].push(to);
-                preds[to.index()].push(from);
-            }
-        };
-
+        // Collect raw (from, to) pairs, then sort + dedup once and pack
+        // both adjacency directions into CSR arenas.
+        let mut edge_pairs: Vec<(TaskId, TaskId)> = Vec::new();
         for t in &tasks {
             for access in t.coords.accesses() {
                 let st = tile_state.entry(access.tile).or_default();
                 if access.mode.is_write() {
                     // RAW/WAW on the previous writer.
                     if let Some(w) = st.last_writer {
-                        add_edge(&mut succs, &mut preds, w, t.id);
+                        if w != t.id {
+                            edge_pairs.push((w, t.id));
+                        }
                     }
                     // WAR on every reader since that write.
                     for &r in &st.readers_since_write {
-                        add_edge(&mut succs, &mut preds, r, t.id);
+                        if r != t.id {
+                            edge_pairs.push((r, t.id));
+                        }
                     }
                     st.last_writer = Some(t.id);
                     st.readers_since_write.clear();
                 } else {
                     if let Some(w) = st.last_writer {
-                        add_edge(&mut succs, &mut preds, w, t.id);
+                        if w != t.id {
+                            edge_pairs.push((w, t.id));
+                        }
                     }
                     st.readers_since_write.push(t.id);
                 }
             }
         }
 
-        for list in succs.iter_mut().chain(preds.iter_mut()) {
-            list.sort_unstable();
-            list.dedup();
+        edge_pairs.sort_unstable();
+        edge_pairs.dedup();
+        let succs = CsrAdjacency::from_sorted_pairs(tasks.len(), &edge_pairs);
+        for pair in &mut edge_pairs {
+            *pair = (pair.1, pair.0);
         }
+        edge_pairs.sort_unstable();
+        let preds = CsrAdjacency::from_sorted_pairs(tasks.len(), &edge_pairs);
 
         TaskGraph {
             n,
@@ -228,38 +277,40 @@ impl TaskGraph {
     /// Direct successors of a task.
     #[inline]
     pub fn successors(&self, id: TaskId) -> &[TaskId] {
-        &self.succs[id.index()]
+        self.succs.row(id.index())
     }
 
     /// Direct predecessors of a task.
     #[inline]
     pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
-        &self.preds[id.index()]
+        self.preds.row(id.index())
     }
 
     /// In-degree of each task (used to seed ready queues).
     pub fn indegrees(&self) -> Vec<usize> {
-        self.preds.iter().map(Vec::len).collect()
+        (0..self.len()).map(|i| self.preds.degree(i)).collect()
     }
 
     /// Total number of (deduplicated) edges.
     pub fn n_edges(&self) -> usize {
-        self.succs.iter().map(Vec::len).sum()
+        self.succs.n_edges()
     }
 
     /// Iterate all edges `(from, to)`.
     pub fn edges(&self) -> impl Iterator<Item = (TaskId, TaskId)> + '_ {
-        self.succs
-            .iter()
-            .enumerate()
-            .flat_map(|(i, ss)| ss.iter().map(move |&s| (TaskId(i as u32), s)))
+        (0..self.len()).flat_map(|i| {
+            self.succs
+                .row(i)
+                .iter()
+                .map(move |&s| (TaskId(i as u32), s))
+        })
     }
 
     /// Tasks with no predecessors.
     pub fn entry_tasks(&self) -> Vec<TaskId> {
         self.tasks
             .iter()
-            .filter(|t| self.preds[t.id.index()].is_empty())
+            .filter(|t| self.preds.degree(t.id.index()) == 0)
             .map(|t| t.id)
             .collect()
     }
@@ -268,7 +319,7 @@ impl TaskGraph {
     pub fn exit_tasks(&self) -> Vec<TaskId> {
         self.tasks
             .iter()
-            .filter(|t| self.succs[t.id.index()].is_empty())
+            .filter(|t| self.succs.degree(t.id.index()) == 0)
             .map(|t| t.id)
             .collect()
     }
@@ -473,9 +524,7 @@ mod tests {
             assert_eq!(exits.len(), 1, "n={n}");
             assert_eq!(
                 g.task(exits[0]).coords,
-                TaskCoords::Potrf {
-                    k: n as u32 - 1
-                }
+                TaskCoords::Potrf { k: n as u32 - 1 }
             );
         }
     }
@@ -501,11 +550,7 @@ mod tests {
         for n in 1..=16 {
             let g = TaskGraph::cholesky(n);
             let cp = g.critical_path(|_| Time::from_millis(1));
-            assert_eq!(
-                cp,
-                Time::from_millis(3 * n as u64 - 2),
-                "n={n}"
-            );
+            assert_eq!(cp, Time::from_millis(3 * n as u64 - 2), "n={n}");
         }
     }
 
@@ -571,10 +616,17 @@ mod tests {
         // Classic LU dependencies at n = 3.
         let g = TaskGraph::lu(3);
         let e = |a: TaskCoords, b: TaskCoords| {
-            g.successors(g.find(a).unwrap()).contains(&g.find(b).unwrap())
+            g.successors(g.find(a).unwrap())
+                .contains(&g.find(b).unwrap())
         };
-        assert!(e(TaskCoords::Getrf { k: 0 }, TaskCoords::LuTrsmRow { k: 0, j: 1 }));
-        assert!(e(TaskCoords::Getrf { k: 0 }, TaskCoords::LuTrsmCol { k: 0, i: 2 }));
+        assert!(e(
+            TaskCoords::Getrf { k: 0 },
+            TaskCoords::LuTrsmRow { k: 0, j: 1 }
+        ));
+        assert!(e(
+            TaskCoords::Getrf { k: 0 },
+            TaskCoords::LuTrsmCol { k: 0, i: 2 }
+        ));
         assert!(e(
             TaskCoords::LuTrsmRow { k: 0, j: 1 },
             TaskCoords::LuGemm { k: 0, i: 1, j: 1 }
@@ -595,12 +647,19 @@ mod tests {
         }
         let g = TaskGraph::qr(3);
         let e = |a: TaskCoords, b: TaskCoords| {
-            g.successors(g.find(a).unwrap()).contains(&g.find(b).unwrap())
+            g.successors(g.find(a).unwrap())
+                .contains(&g.find(b).unwrap())
         };
         // GEQRT(0) gates both its ORMQRs and the first TSQRT (RW chain on
         // the diagonal tile).
-        assert!(e(TaskCoords::Geqrt { k: 0 }, TaskCoords::Ormqr { k: 0, j: 1 }));
-        assert!(e(TaskCoords::Geqrt { k: 0 }, TaskCoords::Tsqrt { k: 0, i: 1 }));
+        assert!(e(
+            TaskCoords::Geqrt { k: 0 },
+            TaskCoords::Ormqr { k: 0, j: 1 }
+        ));
+        assert!(e(
+            TaskCoords::Geqrt { k: 0 },
+            TaskCoords::Tsqrt { k: 0, i: 1 }
+        ));
         // TSQRTs of one step serialise on the diagonal tile.
         assert!(e(
             TaskCoords::Tsqrt { k: 0, i: 1 },
@@ -624,10 +683,31 @@ mod tests {
         // strictly longer than Cholesky's 3n - 2 for n >= 3.
         for n in 3..=8usize {
             let qr = TaskGraph::qr(n).critical_path(|_| Time::from_millis(1));
-            let chol =
-                TaskGraph::cholesky(n).critical_path(|_| Time::from_millis(1));
+            let chol = TaskGraph::cholesky(n).critical_path(|_| Time::from_millis(1));
             assert!(qr > chol, "n={n}: qr {qr} chol {chol}");
         }
+    }
+
+    #[test]
+    fn csr_rows_are_sorted_dedup_and_mirror_each_other() {
+        let g = TaskGraph::cholesky(8);
+        let mut mirror = 0usize;
+        for t in g.tasks() {
+            let ss = g.successors(t.id);
+            assert!(ss.windows(2).all(|w| w[0] < w[1]), "row not sorted/dedup");
+            let ps = g.predecessors(t.id);
+            assert!(ps.windows(2).all(|w| w[0] < w[1]), "row not sorted/dedup");
+            for &s in ss {
+                assert!(g.predecessors(s).contains(&t.id));
+                mirror += 1;
+            }
+        }
+        assert_eq!(mirror, g.n_edges());
+        assert_eq!(
+            g.indegrees().iter().sum::<usize>(),
+            g.n_edges(),
+            "pred arena and succ arena must store the same edge set"
+        );
     }
 
     #[test]

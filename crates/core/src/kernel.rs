@@ -11,11 +11,10 @@
 //! QR brings the four tile-QR kernels of Buttari et al.:
 //! `GEQRT`/`TSQRT`/`ORMQR`/`TSMQR`.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// One tile kernel.
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Kernel {
     /// Cholesky factorization of a diagonal tile (`dpotrf`).
     Potrf,
@@ -275,9 +274,8 @@ mod tests {
     #[test]
     fn cholesky_counts_sum_identity() {
         for n in 0usize..40 {
-            let expected = n
-                + n * n.saturating_sub(1)
-                + n * n.saturating_sub(1) * n.saturating_sub(2) / 6;
+            let expected =
+                n + n * n.saturating_sub(1) + n * n.saturating_sub(1) * n.saturating_sub(2) / 6;
             assert_eq!(Kernel::total_cholesky_tasks(n), expected, "n={n}");
         }
     }

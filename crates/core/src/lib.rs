@@ -25,6 +25,10 @@
 //! * [`scheduler`] — the dynamic-scheduler interface shared by the
 //!   simulator (`hetchol-sim`) and the real runtime (`hetchol-rt`),
 //!   mirroring StarPU's push-model scheduling hooks.
+//! * [`exec`] — the shared execution core both engines are built on:
+//!   dependency tracking ([`exec::DepTracker`]), per-worker queues with
+//!   the `dmda`/`dmdas` insertion discipline ([`exec::WorkerQueues`]) and
+//!   trace recording ([`exec::TraceRecorder`]).
 //! * [`trace`] — per-worker execution traces (Figure 12 of the paper),
 //!   idle-time accounting and ASCII Gantt rendering.
 //! * [`metrics`] — GFLOP/s conversions and result-series containers used by
@@ -32,6 +36,7 @@
 
 pub mod algorithm;
 pub mod dag;
+pub mod exec;
 pub mod kernel;
 pub mod metrics;
 pub mod platform;
@@ -44,6 +49,7 @@ pub mod trace;
 
 pub use algorithm::Algorithm;
 pub use dag::TaskGraph;
+pub use exec::{DepTracker, TraceRecorder, WorkerQueues};
 pub use kernel::Kernel;
 pub use metrics::{Figure, Point, Series};
 pub use platform::{ClassId, CommModel, MemNode, Platform, ResourceClass, ResourceKind, WorkerId};

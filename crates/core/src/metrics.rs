@@ -6,7 +6,6 @@
 //! repeated runs, as in the paper's "10 runs" methodology).
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// Floating-point operations of the Cholesky factorization of an
 /// `N × N` matrix (element count, not tiles): `N³/3 + N²/2 + N/6`.
@@ -33,16 +32,13 @@ pub fn mean_std(values: &[f64]) -> (f64, f64) {
     if values.len() < 2 {
         return (mean, 0.0);
     }
-    let var = values
-        .iter()
-        .map(|v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / (values.len() - 1) as f64;
+    let var =
+        values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (values.len() - 1) as f64;
     (mean, var.sqrt())
 }
 
 /// One point of a plotted curve.
-#[derive(Copy, Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq)]
 pub struct Point {
     /// X coordinate (matrix size in tiles, in the paper's figures).
     pub x: f64,
@@ -53,7 +49,7 @@ pub struct Point {
 }
 
 /// One labelled curve of a figure.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Series {
     /// Curve label ("dmda", "mixed bound", ...).
     pub label: String,
@@ -111,7 +107,7 @@ impl Series {
 /// A figure: several curves sharing an x axis, renderable as an
 /// aligned-column table (the harness's textual stand-in for the paper's
 /// plots) or as CSV.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Figure {
     /// Figure title ("Figure 7: Heterogeneous unrelated simulated ...").
     pub title: String,
@@ -183,6 +179,76 @@ impl Figure {
             }
             out.push('\n');
         }
+        out
+    }
+
+    /// Render as pretty-printed JSON, mirroring the struct layout
+    /// (`{"title": ..., "series": [{"label": ..., "points": [...]}]}`).
+    ///
+    /// Hand-rolled: the only values needing escaping are the label and
+    /// axis strings, and all numbers are finite `f64`s (NaN/infinity are
+    /// emitted as `null`, as JSON requires).
+    pub fn to_json(&self) -> String {
+        use std::fmt::Write as _;
+
+        fn esc(s: &str, out: &mut String) {
+            out.push('"');
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    '\r' => out.push_str("\\r"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out.push('"');
+        }
+
+        fn num(v: f64, out: &mut String) {
+            if v.is_finite() {
+                let _ = write!(out, "{v}");
+            } else {
+                out.push_str("null");
+            }
+        }
+
+        let mut out = String::new();
+        out.push_str("{\n  \"title\": ");
+        esc(&self.title, &mut out);
+        out.push_str(",\n  \"x_label\": ");
+        esc(&self.x_label, &mut out);
+        out.push_str(",\n  \"y_label\": ");
+        esc(&self.y_label, &mut out);
+        out.push_str(",\n  \"series\": [");
+        for (i, s) in self.series.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str("    {\n      \"label\": ");
+            esc(&s.label, &mut out);
+            out.push_str(",\n      \"points\": [");
+            for (j, p) in s.points.iter().enumerate() {
+                out.push_str(if j == 0 { "\n" } else { ",\n" });
+                out.push_str("        { \"x\": ");
+                num(p.x, &mut out);
+                out.push_str(", \"mean\": ");
+                num(p.mean, &mut out);
+                out.push_str(", \"std\": ");
+                num(p.std, &mut out);
+                out.push_str(" }");
+            }
+            if !s.points.is_empty() {
+                out.push_str("\n      ");
+            }
+            out.push_str("]\n    }");
+        }
+        if !self.series.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
         out
     }
 
@@ -275,5 +341,24 @@ mod tests {
         let csv = fig.to_csv();
         assert!(csv.starts_with("tiles,dmda mean,dmda std,bound mean,bound std"));
         assert!(csv.contains("4,100,0,150,0"));
+    }
+
+    #[test]
+    fn figure_json() {
+        let mut fig = Figure::new("Demo \"quoted\"", "tiles", "GFLOP/s");
+        let mut a = Series::new("dmda");
+        a.push(4.0, 100.0);
+        a.push(8.0, 200.0);
+        fig.add(a);
+        let json = fig.to_json();
+        assert!(json.contains("\"title\": \"Demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"label\": \"dmda\""));
+        assert!(json.contains("{ \"x\": 4, \"mean\": 100, \"std\": 0 }"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        let opens = json.matches(['{', '[']).count();
+        let closes = json.matches(['}', ']']).count();
+        assert_eq!(opens, closes);
+        let empty = Figure::new("E", "x", "y").to_json();
+        assert!(empty.contains("\"series\": []"));
     }
 }

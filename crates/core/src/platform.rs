@@ -7,7 +7,6 @@
 //! latency/bandwidth [`CommModel`] (SimGrid-style fluid model, first order).
 
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// Index of a worker (a processing element) on the platform.
 pub type WorkerId = usize;
@@ -17,7 +16,7 @@ pub type ClassId = usize;
 pub type MemNode = usize;
 
 /// The broad kind of a resource class, which determines its memory topology.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum ResourceKind {
     /// A CPU core; shares the host memory node.
     Cpu,
@@ -26,7 +25,7 @@ pub enum ResourceKind {
 }
 
 /// A class of identical processing elements.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ResourceClass {
     /// Human-readable name ("CPU", "GPU", ...).
     pub name: String,
@@ -37,7 +36,7 @@ pub struct ResourceClass {
 }
 
 /// Latency + bandwidth model of one PCI direction.
-#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug)]
 pub struct CommModel {
     /// Per-message latency.
     pub latency: Time,

@@ -201,10 +201,7 @@ mod tests {
             let s = p.speedup(k, 1, 0);
             // GPU times are rounded to the nanosecond, so the ratio is exact
             // to ~1e-5.
-            assert!(
-                (s - MIRAGE_GPU_SPEEDUP[k.index()]).abs() < 1e-4,
-                "{k}: {s}"
-            );
+            assert!((s - MIRAGE_GPU_SPEEDUP[k.index()]).abs() < 1e-4, "{k}: {s}");
         }
     }
 
@@ -238,7 +235,10 @@ mod tests {
             "heterogeneous GEMM peak {hetero}"
         );
         let homog = TimingProfile::mirage_homogeneous().gemm_peak(&Platform::homogeneous(9));
-        assert!((80.0..92.0).contains(&homog), "homogeneous GEMM peak {homog}");
+        assert!(
+            (80.0..92.0).contains(&homog),
+            "homogeneous GEMM peak {homog}"
+        );
     }
 
     #[test]
@@ -255,7 +255,13 @@ mod tests {
         // The extension kernels should have CPU rates in the same ballpark
         // as the Cholesky BLAS3 kernels (4-10 GFLOP/s per Westmere core).
         let p = TimingProfile::mirage();
-        for k in [Kernel::Getrf, Kernel::Geqrt, Kernel::Tsqrt, Kernel::Ormqr, Kernel::Tsmqr] {
+        for k in [
+            Kernel::Getrf,
+            Kernel::Geqrt,
+            Kernel::Tsqrt,
+            Kernel::Ormqr,
+            Kernel::Tsmqr,
+        ] {
             let rate = p.gflops_rate(k, 0);
             assert!((3.0..11.0).contains(&rate), "{k}: {rate} GFLOP/s");
             // And GPU strictly faster than CPU on Mirage for every kernel.
@@ -286,7 +292,11 @@ mod tests {
         assert_eq!(speeds.len(), 2);
         assert!((speeds[0] - 1.0).abs() < 1e-9, "CPU is the slow class");
         // Mean of 1/(1/2 + 1/11 + 1/26 + 1/29)/4 ≈ 6.03.
-        assert!(speeds[1] > 5.0, "GPU should be >5x on average, got {}", speeds[1]);
+        assert!(
+            speeds[1] > 5.0,
+            "GPU should be >5x on average, got {}",
+            speeds[1]
+        );
         // Homogeneous: single class, weight 1.
         let ph = TimingProfile::mirage_homogeneous();
         let sh = ph.relative_class_speeds(&Platform::homogeneous(9));

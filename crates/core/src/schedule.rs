@@ -11,10 +11,9 @@ use crate::platform::{Platform, WorkerId};
 use crate::profiles::TimingProfile;
 use crate::task::TaskId;
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 
 /// Placement and timing of one task.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct ScheduleEntry {
     /// The task.
     pub task: TaskId,
@@ -27,7 +26,7 @@ pub struct ScheduleEntry {
 }
 
 /// A complete schedule: one entry per task, indexable by task id.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Schedule {
     entries: Vec<ScheduleEntry>,
 }
@@ -77,17 +76,28 @@ impl std::fmt::Display for ScheduleError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ScheduleError::WrongTaskSet { expected, found } => {
-                write!(f, "schedule has {found} entries, graph has {expected} tasks")
+                write!(
+                    f,
+                    "schedule has {found} entries, graph has {expected} tasks"
+                )
             }
             ScheduleError::BadWorker(t, w) => write!(f, "{t} assigned to nonexistent worker {w}"),
             ScheduleError::NegativeDuration(t) => write!(f, "{t} ends before it starts"),
-            ScheduleError::WrongDuration { task, got, expected } => {
+            ScheduleError::WrongDuration {
+                task,
+                got,
+                expected,
+            } => {
                 write!(f, "{task} runs for {got}, profile says {expected}")
             }
             ScheduleError::DependencyViolated { pred, succ } => {
                 write!(f, "{succ} starts before its predecessor {pred} ends")
             }
-            ScheduleError::WorkerOverlap { worker, first, second } => {
+            ScheduleError::WorkerOverlap {
+                worker,
+                first,
+                second,
+            } => {
                 write!(f, "worker {worker}: {second} overlaps {first}")
             }
         }

@@ -156,10 +156,7 @@ mod tests {
         assert_eq!(got, Time::from_millis(159));
         // GPU worker 9: available 100 ms + POTRF 29.5 ms.
         let got = estimated_completion(potrf, 9, &ctx, &view);
-        assert_eq!(
-            got,
-            Time::from_millis(100) + profile.time(Kernel::Potrf, 1)
-        );
+        assert_eq!(got, Time::from_millis(100) + profile.time(Kernel::Potrf, 1));
     }
 
     #[test]

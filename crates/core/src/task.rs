@@ -5,13 +5,10 @@
 //! builder and the simulator's data-transfer model both consume.
 
 use crate::kernel::Kernel;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Dense identifier of a task inside one [`crate::dag::TaskGraph`].
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct TaskId(pub u32);
 
 impl TaskId {
@@ -30,9 +27,7 @@ impl fmt::Display for TaskId {
 
 /// A tile `(row, col)` of the lower triangle of the tiled matrix
 /// (`row ≥ col`).
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize,
-)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct Tile {
     /// Tile row index.
     pub row: u32,
@@ -75,7 +70,7 @@ impl fmt::Display for Tile {
 }
 
 /// How a task touches a tile.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum AccessMode {
     /// Read-only access.
     Read,
@@ -94,7 +89,7 @@ impl AccessMode {
 }
 
 /// One data access of a task.
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub struct Access {
     /// Which tile is accessed.
     pub tile: Tile,
@@ -106,7 +101,7 @@ pub struct Access {
 /// factorizations: Cholesky (Algorithm 1 of the paper), LU without
 /// pivoting, or QR (the `Lu*`/`Qr*`-prefixed variants are the extension
 /// described in DESIGN.md §8).
-#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum TaskCoords {
     /// `POTRF(k)`: factor diagonal tile `A[k][k]`.
     Potrf {
@@ -206,9 +201,9 @@ impl TaskCoords {
     pub const fn kernel(self) -> Kernel {
         match self {
             TaskCoords::Potrf { .. } => Kernel::Potrf,
-            TaskCoords::Trsm { .. } | TaskCoords::LuTrsmRow { .. } | TaskCoords::LuTrsmCol { .. } => {
-                Kernel::Trsm
-            }
+            TaskCoords::Trsm { .. }
+            | TaskCoords::LuTrsmRow { .. }
+            | TaskCoords::LuTrsmCol { .. } => Kernel::Trsm,
             TaskCoords::Syrk { .. } => Kernel::Syrk,
             TaskCoords::Gemm { .. } | TaskCoords::LuGemm { .. } => Kernel::Gemm,
             TaskCoords::Getrf { .. } => Kernel::Getrf,
@@ -245,9 +240,9 @@ impl TaskCoords {
     #[inline]
     pub const fn output_tile(self) -> Tile {
         match self {
-            TaskCoords::Potrf { k }
-            | TaskCoords::Getrf { k }
-            | TaskCoords::Geqrt { k } => Tile::new(k, k),
+            TaskCoords::Potrf { k } | TaskCoords::Getrf { k } | TaskCoords::Geqrt { k } => {
+                Tile::new(k, k)
+            }
             TaskCoords::Trsm { k, i } | TaskCoords::LuTrsmCol { k, i } => Tile::new(i, k),
             TaskCoords::Syrk { j, .. } => Tile::new(j, j),
             TaskCoords::Gemm { i, j, .. } | TaskCoords::LuGemm { i, j, .. } => Tile::new(i, j),
@@ -406,7 +401,7 @@ impl fmt::Display for TaskCoords {
 }
 
 /// A fully-described task: identifier plus algorithmic coordinates.
-#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
 pub struct Task {
     /// Dense identifier within its graph.
     pub id: TaskId,
@@ -528,14 +523,20 @@ mod tests {
     fn lu_and_qr_kernels_map_correctly() {
         assert_eq!(TaskCoords::LuTrsmRow { k: 0, j: 1 }.kernel(), Kernel::Trsm);
         assert_eq!(TaskCoords::LuTrsmCol { k: 0, i: 1 }.kernel(), Kernel::Trsm);
-        assert_eq!(TaskCoords::LuGemm { k: 0, i: 1, j: 1 }.kernel(), Kernel::Gemm);
+        assert_eq!(
+            TaskCoords::LuGemm { k: 0, i: 1, j: 1 }.kernel(),
+            Kernel::Gemm
+        );
         assert_eq!(TaskCoords::Getrf { k: 0 }.kernel(), Kernel::Getrf);
         assert_eq!(TaskCoords::Tsqrt { k: 0, i: 1 }.kernel(), Kernel::Tsqrt);
     }
 
     #[test]
     fn display_matches_paper_naming() {
-        assert_eq!(TaskCoords::Gemm { k: 1, i: 4, j: 2 }.to_string(), "GEMM_4_2_1");
+        assert_eq!(
+            TaskCoords::Gemm { k: 1, i: 4, j: 2 }.to_string(),
+            "GEMM_4_2_1"
+        );
         assert_eq!(TaskCoords::Trsm { k: 0, i: 1 }.to_string(), "TRSM_1_0");
         assert_eq!(TaskCoords::Syrk { k: 2, j: 3 }.to_string(), "SYRK_3_2");
         assert_eq!(TaskCoords::Potrf { k: 4 }.to_string(), "POTRF_4");

@@ -7,7 +7,6 @@
 //! ~585 years, far beyond any simulated makespan, while kernel durations in
 //! the hundreds of microseconds keep full precision.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
@@ -18,10 +17,7 @@ use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 /// the paper builds on (makespans, bottom levels, completion-time estimates)
 /// freely mixes the two and the extra type safety of separating them buys
 /// little here.
-#[derive(
-    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
-#[serde(transparent)]
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Time(u64);
 
 impl Time {
@@ -153,11 +149,7 @@ impl Add for Time {
     type Output = Time;
     #[inline]
     fn add(self, rhs: Time) -> Time {
-        Time(
-            self.0
-                .checked_add(rhs.0)
-                .expect("Time addition overflowed"),
-        )
+        Time(self.0.checked_add(rhs.0).expect("Time addition overflowed"))
     }
 }
 

@@ -11,11 +11,10 @@ use crate::platform::{MemNode, Platform, WorkerId};
 use crate::schedule::{Schedule, ScheduleEntry};
 use crate::task::{TaskId, Tile};
 use crate::time::Time;
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 
 /// One executed task occurrence.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Worker that ran the task.
     pub worker: WorkerId,
@@ -30,7 +29,7 @@ pub struct TraceEvent {
 }
 
 /// One tile transfer between memory nodes.
-#[derive(Copy, Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct TransferEvent {
     /// The tile moved.
     pub tile: Tile,
@@ -45,7 +44,7 @@ pub struct TransferEvent {
 }
 
 /// A complete execution trace.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Trace {
     /// Number of workers on the platform the trace was recorded on.
     pub n_workers: usize,
@@ -58,7 +57,12 @@ pub struct Trace {
 impl Trace {
     /// Completion time of the last event (tasks and transfers).
     pub fn makespan(&self) -> Time {
-        let t = self.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO);
+        let t = self
+            .events
+            .iter()
+            .map(|e| e.end)
+            .max()
+            .unwrap_or(Time::ZERO);
         let x = self
             .transfers
             .iter()

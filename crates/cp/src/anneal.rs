@@ -80,8 +80,8 @@ pub fn anneal(
 
         let candidate = list_schedule(graph, platform, profile, &new_classes, &new_priorities);
         let cost = candidate.makespan().as_secs_f64();
-        let accept = cost <= current_cost
-            || rng.gen::<f64>() < ((current_cost - cost) / temperature).exp();
+        let accept =
+            cost <= current_cost || rng.gen::<f64>() < ((current_cost - cost) / temperature).exp();
         if accept {
             classes = new_classes;
             priorities = new_priorities;

@@ -322,6 +322,10 @@ mod tests {
         let out = branch_and_bound(&graph, &platform, &profile, cp, &CpOptions::default());
         assert!(out.proved_optimal);
         assert!(out.schedule.is_none());
-        assert!(out.nodes < 100, "pruning should kill the tree, {} nodes", out.nodes);
+        assert!(
+            out.nodes < 100,
+            "pruning should kill the tree, {} nodes",
+            out.nodes
+        );
     }
 }

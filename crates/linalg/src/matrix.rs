@@ -82,7 +82,13 @@ impl Matrix {
 
     /// Keep the lower triangle (including the diagonal), zero the rest.
     pub fn lower_triangle(&self) -> Matrix {
-        Matrix::from_fn(self.rows, self.cols, |r, c| if r >= c { self[(r, c)] } else { 0.0 })
+        Matrix::from_fn(self.rows, self.cols, |r, c| {
+            if r >= c {
+                self[(r, c)]
+            } else {
+                0.0
+            }
+        })
     }
 }
 
@@ -198,7 +204,10 @@ impl TiledMatrix {
 
     #[inline]
     fn idx(&self, row: usize, col: usize) -> usize {
-        debug_assert!(col <= row && row < self.n_tiles, "({row},{col}) not in lower triangle");
+        debug_assert!(
+            col <= row && row < self.n_tiles,
+            "({row},{col}) not in lower triangle"
+        );
         row * (row + 1) / 2 + col
     }
 

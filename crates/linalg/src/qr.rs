@@ -478,7 +478,11 @@ mod tests {
         }
         for i in 0..n_tiles {
             for j in 0..n_tiles {
-                assert_eq!(seq.tiles().tile(i, j), dag.tiles().tile(i, j), "tile ({i},{j})");
+                assert_eq!(
+                    seq.tiles().tile(i, j),
+                    dag.tiles().tile(i, j),
+                    "tile ({i},{j})"
+                );
             }
         }
         assert!(dag.residual(&a) < 1e-12);

@@ -1,14 +1,20 @@
-//! The parallel runtime: worker threads, dependency tracking, scheduler
-//! integration.
+//! The parallel runtime: worker threads over the shared execution core.
+//!
+//! Dependency tracking, queue insertion and the availability estimate all
+//! live in [`hetchol_core::exec`]; this module only supplies what is
+//! specific to real threads — wall-clock time, the worker thread loop,
+//! and error propagation from failing kernels. The single shared memory
+//! node means the engine uses the default (free, instantaneous)
+//! [`exec::EngineHooks`] data model.
 
 use crate::storage::LockedTiledMatrix;
 use hetchol_core::dag::TaskGraph;
-use hetchol_core::platform::{Platform, WorkerId};
+use hetchol_core::exec::{self, DepTracker, SingleNode, TraceRecorder, WorkerQueues};
+use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
-use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
-use hetchol_core::task::TaskId;
+use hetchol_core::scheduler::{SchedContext, Scheduler};
 use hetchol_core::time::Time;
-use hetchol_core::trace::{Trace, TraceEvent};
+use hetchol_core::trace::Trace;
 use hetchol_linalg::cholesky::TiledCholeskyError;
 use hetchol_linalg::matrix::TiledMatrix;
 use parking_lot::{Condvar, Mutex};
@@ -23,84 +29,12 @@ pub struct RtResult {
     pub makespan: Time,
 }
 
-#[derive(Copy, Clone)]
-struct Queued {
-    task: TaskId,
-    prio: i64,
-    seq: u64,
-}
-
+/// Engine state behind the runtime's single lock.
 struct Shared<E> {
-    indeg: Vec<usize>,
-    queues: Vec<Vec<Queued>>,
-    /// Estimated queued work per worker (for the completion-time view).
-    queued_exec: Vec<Time>,
-    /// Estimated end of each worker's running task.
-    est_busy_until: Vec<Time>,
-    busy: Vec<bool>,
-    remaining: usize,
-    seq: u64,
+    deps: DepTracker,
+    queues: WorkerQueues,
+    recorder: TraceRecorder,
     error: Option<E>,
-    events: Vec<TraceEvent>,
-}
-
-struct RtView<'a> {
-    now: Time,
-    avail: Vec<Time>,
-    _marker: std::marker::PhantomData<&'a ()>,
-}
-
-impl ExecutionView for RtView<'_> {
-    fn now(&self) -> Time {
-        self.now
-    }
-    fn worker_available_at(&self, w: WorkerId) -> Time {
-        self.avail[w]
-    }
-    fn transfer_estimate(&self, _task: TaskId, _w: WorkerId) -> Time {
-        Time::ZERO // single memory node: CPU-only runtime
-    }
-}
-
-fn push_ready<E>(
-    task: TaskId,
-    now: Time,
-    ctx: &SchedContext,
-    scheduler: &mut dyn Scheduler,
-    shared: &mut Shared<E>,
-) {
-    let avail: Vec<Time> = (0..shared.queues.len())
-        .map(|w| {
-            let base = if shared.busy[w] {
-                shared.est_busy_until[w].max(now)
-            } else {
-                now
-            };
-            base + shared.queued_exec[w]
-        })
-        .collect();
-    let view = RtView {
-        now,
-        avail,
-        _marker: std::marker::PhantomData,
-    };
-    let w = scheduler.assign(task, ctx, &view);
-    let entry = Queued {
-        task,
-        prio: scheduler.priority(task, ctx),
-        seq: shared.seq,
-    };
-    shared.seq += 1;
-    shared.queued_exec[w] += ctx
-        .profile
-        .time(ctx.graph.task(task).kernel(), ctx.platform.class_of(w));
-    let queue = &mut shared.queues[w];
-    if scheduler.sorted_queues() {
-        let pos = queue.partition_point(|q| (-q.prio, q.seq) <= (-entry.prio, entry.seq));
-        queue.insert(pos, entry);
-    } else {
-        queue.push(entry);
-    }
 }
 
 /// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
@@ -210,15 +144,10 @@ pub fn execute_with<E: Send>(
     scheduler.init(&ctx);
 
     let shared = Mutex::new(Shared::<E> {
-        indeg: graph.indegrees(),
-        queues: vec![Vec::new(); n_workers],
-        queued_exec: vec![Time::ZERO; n_workers],
-        est_busy_until: vec![Time::ZERO; n_workers],
-        busy: vec![false; n_workers],
-        remaining: graph.len(),
-        seq: 0,
+        deps: DepTracker::new(graph),
+        queues: WorkerQueues::new(n_workers),
+        recorder: TraceRecorder::new(n_workers, graph.len()),
         error: None,
-        events: Vec::with_capacity(graph.len()),
     });
     let condvar = Condvar::new();
     let t0 = Instant::now();
@@ -227,10 +156,15 @@ pub fn execute_with<E: Send>(
     {
         let mut s = shared.lock();
         let mut sched = scheduler.lock();
-        for t in graph.tasks() {
-            if s.indeg[t.id.index()] == 0 {
-                push_ready(t.id, Time::ZERO, &ctx, &mut **sched, &mut s);
-            }
+        for t in s.deps.initial_ready() {
+            exec::dispatch(
+                t,
+                Time::ZERO,
+                &ctx,
+                &mut **sched,
+                &mut s.queues,
+                &mut SingleNode,
+            );
         }
     }
 
@@ -245,26 +179,20 @@ pub fn execute_with<E: Send>(
                 let task = {
                     let mut s = shared.lock();
                     loop {
-                        if s.remaining == 0 || s.error.is_some() {
+                        if s.deps.is_done() || s.error.is_some() {
                             return;
                         }
                         // First startable task in this worker's queue (the
                         // `may_start` gate supports strict schedule replay).
-                        let pos = {
+                        let popped = {
                             let mut sched = scheduler.lock();
-                            (0..s.queues[w].len())
-                                .find(|&i| sched.may_start(s.queues[w][i].task, w))
+                            s.queues.pop_startable(w, |t| sched.may_start(t, w))
                         };
-                        if let Some(i) = pos {
-                            let q = s.queues[w].remove(i);
-                            scheduler.lock().notify_start(q.task, w);
+                        if let Some(entry) = popped {
+                            scheduler.lock().notify_start(entry.task, w);
                             let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                            let kernel = ctx.graph.task(q.task).kernel();
-                            let est = ctx.profile.time(kernel, ctx.platform.class_of(w));
-                            s.queued_exec[w] = s.queued_exec[w].saturating_sub(est);
-                            s.est_busy_until[w] = now + est;
-                            s.busy[w] = true;
-                            break q.task;
+                            s.queues.set_busy_until(w, now + entry.exec_estimate);
+                            break entry.task;
                         }
                         condvar.wait(&mut s);
                     }
@@ -275,7 +203,7 @@ pub fn execute_with<E: Send>(
                 let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
 
                 let mut s = shared.lock();
-                s.busy[w] = false;
+                s.queues.set_idle(w);
                 match result {
                     Err(e) => {
                         s.error.get_or_insert(e);
@@ -283,20 +211,18 @@ pub fn execute_with<E: Send>(
                         return;
                     }
                     Ok(()) => {
-                        s.events.push(TraceEvent {
-                            worker: w,
-                            task,
-                            kernel: ctx.graph.task(task).kernel(),
-                            start,
-                            end,
-                        });
-                        s.remaining -= 1;
+                        s.recorder.record(ctx.graph, w, task, start, end);
+                        let newly_ready = s.deps.release(ctx.graph, task);
                         let mut sched = scheduler.lock();
-                        for &succ in ctx.graph.successors(task) {
-                            s.indeg[succ.index()] -= 1;
-                            if s.indeg[succ.index()] == 0 {
-                                push_ready(succ, end, ctx, &mut **sched, &mut s);
-                            }
+                        for succ in newly_ready {
+                            exec::dispatch(
+                                succ,
+                                end,
+                                ctx,
+                                &mut **sched,
+                                &mut s.queues,
+                                &mut SingleNode,
+                            );
                         }
                         condvar.notify_all();
                     }
@@ -309,16 +235,9 @@ pub fn execute_with<E: Send>(
     if let Some(e) = s.error {
         return Err(e);
     }
-    assert_eq!(s.remaining, 0, "runtime exited with unfinished tasks");
-    let makespan = s.events.iter().map(|e| e.end).max().unwrap_or(Time::ZERO);
-    Ok(RtResult {
-        trace: Trace {
-            n_workers,
-            events: s.events,
-            transfers: Vec::new(),
-        },
-        makespan,
-    })
+    assert!(s.deps.is_done(), "runtime exited with unfinished tasks");
+    let (trace, makespan) = s.recorder.finish();
+    Ok(RtResult { trace, makespan })
 }
 
 #[cfg(test)]
@@ -438,8 +357,7 @@ mod tests {
         let a = hetchol_linalg::matrix::Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
         let graph = TaskGraph::qr(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let (r, tiles, taus) =
-            execute_qr(&a, nb, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
+        let (r, tiles, taus) = execute_qr(&a, nb, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
         assert_eq!(r.trace.events.len(), graph.len());
         let qr = QrMatrix::from_parts(tiles, taus);
         let res = qr.residual(&a);

@@ -13,8 +13,8 @@ use hetchol_linalg::full::FullTiledMatrix;
 use hetchol_linalg::lu::{
     gemm_nn_update, getrf_nopiv_tile, trsm_left_lower_unit, trsm_right_upper, TiledLuError,
 };
-use hetchol_linalg::qr::TiledQrError;
 use hetchol_linalg::matrix::TiledMatrix;
+use hetchol_linalg::qr::TiledQrError;
 use hetchol_linalg::{gemm_update, potrf_tile, syrk_update, trsm_solve};
 use parking_lot::RwLock;
 
@@ -358,9 +358,10 @@ mod tests {
             *v = 0.0;
         }
         let locked = LockedTiledMatrix::from_tiled(&m);
-        let err = locked
-            .apply_task(TaskCoords::Potrf { k: 0 })
-            .unwrap_err();
-        assert_eq!(err, TiledCholeskyError::NotPositiveDefinite { k: 0, column: 0 });
+        let err = locked.apply_task(TaskCoords::Potrf { k: 0 }).unwrap_err();
+        assert_eq!(
+            err,
+            TiledCholeskyError::NotPositiveDefinite { k: 0, column: 0 }
+        );
     }
 }

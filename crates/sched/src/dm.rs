@@ -29,11 +29,7 @@ pub fn bottom_level_priorities(graph: &TaskGraph, profile: &TimingProfile) -> Ve
 
 /// Pick the worker minimising the estimated completion time (ties broken
 /// towards the lowest worker id, like StarPU's deterministic iteration).
-fn min_completion_worker(
-    task: TaskId,
-    ctx: &SchedContext,
-    view: &dyn ExecutionView,
-) -> WorkerId {
+fn min_completion_worker(task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
     ctx.platform
         .workers()
         .min_by_key(|&w| estimated_completion(task, w, ctx, view))

@@ -30,11 +30,7 @@ use hetchol_core::time::Time;
 /// let s = heft_schedule(&graph, &platform, &profile);
 /// s.validate(&graph, &platform, &profile, DurationCheck::Exact).unwrap();
 /// ```
-pub fn heft_schedule(
-    graph: &TaskGraph,
-    platform: &Platform,
-    profile: &TimingProfile,
-) -> Schedule {
+pub fn heft_schedule(graph: &TaskGraph, platform: &Platform, profile: &TimingProfile) -> Schedule {
     let n_workers = platform.n_workers();
     assert!(n_workers > 0, "platform has no workers");
 
@@ -127,8 +123,7 @@ mod tests {
             .entries()
             .iter()
             .filter(|e| {
-                graph.task(e.task).kernel() == hetchol_core::kernel::Kernel::Gemm
-                    && e.worker >= 9
+                graph.task(e.task).kernel() == hetchol_core::kernel::Kernel::Gemm && e.worker >= 9
             })
             .count();
         let gemm_total = hetchol_core::kernel::Kernel::Gemm.count_in_cholesky(10);

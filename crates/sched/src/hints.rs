@@ -88,11 +88,9 @@ pub const GPU_CLASS: ClassId = 1;
 /// there, delegate the rest (paper Section V-C3, first experiment).
 #[allow(non_snake_case)]
 pub fn GemmSyrkOnGpu<S: Scheduler>(inner: S) -> ForcedClass<S> {
-    ForcedClass::new(inner, "gemm-syrk-on-gpu", |coords| {
-        match coords.kernel() {
-            Kernel::Gemm | Kernel::Syrk => Some(GPU_CLASS),
-            _ => None,
-        }
+    ForcedClass::new(inner, "gemm-syrk-on-gpu", |coords| match coords.kernel() {
+        Kernel::Gemm | Kernel::Syrk => Some(GPU_CLASS),
+        _ => None,
     })
 }
 

@@ -54,7 +54,12 @@ impl Scheduler for RandomScheduler {
         );
     }
 
-    fn assign(&mut self, _task: TaskId, _ctx: &SchedContext, _view: &dyn ExecutionView) -> WorkerId {
+    fn assign(
+        &mut self,
+        _task: TaskId,
+        _ctx: &SchedContext,
+        _view: &dyn ExecutionView,
+    ) -> WorkerId {
         // Roulette-wheel selection over worker weights.
         let mut target = self.rng.gen::<f64>() * self.total_weight;
         for (w, &weight) in self.weights.iter().enumerate() {

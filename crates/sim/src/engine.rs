@@ -1,15 +1,22 @@
-//! The discrete-event engine.
+//! The discrete-event engine, driving the shared execution core.
+//!
+//! Dependency tracking, queue insertion and the availability estimate all
+//! live in [`hetchol_core::exec`]; this module supplies what is specific
+//! to simulation — the virtual clock (a completion-event heap), duration
+//! jitter, and the tile residency + PCI link data model plugged in
+//! through [`exec::EngineHooks`].
 
 use crate::data::{Links, Residency};
 use crate::jitter::Jitter;
 use hetchol_core::dag::TaskGraph;
+use hetchol_core::exec::{self, DepTracker, EngineHooks, TraceRecorder, WorkerQueues};
 use hetchol_core::metrics;
 use hetchol_core::platform::{Platform, WorkerId};
 use hetchol_core::profiles::TimingProfile;
-use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
+use hetchol_core::scheduler::{SchedContext, Scheduler};
 use hetchol_core::task::TaskId;
 use hetchol_core::time::Time;
-use hetchol_core::trace::{Trace, TraceEvent};
+use hetchol_core::trace::{Trace, TransferEvent};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::cmp::Reverse;
@@ -69,43 +76,18 @@ impl SimResult {
 /// `(worker, task, start)` for trace recording.
 type EventHeap = BinaryHeap<Reverse<(Time, u64, WorkerId, TaskId, Time)>>;
 
-/// One entry of a worker queue.
-#[derive(Copy, Clone, Debug)]
-struct QueuedTask {
-    task: TaskId,
-    prio: i64,
-    seq: u64,
-    /// When the prefetched inputs will all be resident at the worker's node.
-    data_ready: Time,
-}
-
-#[derive(Clone, Debug, Default)]
-struct Worker {
-    /// Queue kept FIFO, or sorted by `(-prio, seq)` under `dmdas`.
-    queue: Vec<QueuedTask>,
-    busy: bool,
-    busy_until: Time,
-    /// Sum of nominal execution times of queued tasks (availability
-    /// estimate for the completion-time heuristic).
-    queued_exec: Time,
-}
-
-/// Scheduler-facing snapshot of the engine state.
-struct EngineView<'a> {
-    now: Time,
+/// The simulator's data model, plugged into the execution core: tile
+/// residency over memory nodes and PCI transfers over the link model.
+struct SimData<'a> {
     platform: &'a Platform,
     graph: &'a TaskGraph,
-    avail: Vec<Time>,
-    residency: &'a Residency,
+    residency: Residency,
+    links: Links,
+    /// Prefetch transfers recorded here, merged into the trace at the end.
+    transfers: Vec<TransferEvent>,
 }
 
-impl ExecutionView for EngineView<'_> {
-    fn now(&self) -> Time {
-        self.now
-    }
-    fn worker_available_at(&self, w: WorkerId) -> Time {
-        self.avail[w]
-    }
+impl EngineHooks for SimData<'_> {
     fn transfer_estimate(&self, task: TaskId, w: WorkerId) -> Time {
         let node = self.platform.node_of(w);
         let mut total = Time::ZERO;
@@ -116,6 +98,28 @@ impl ExecutionView for EngineView<'_> {
             }
         }
         total
+    }
+
+    /// Prefetch missing tiles to the assigned worker's node.
+    fn data_ready(&mut self, task: TaskId, w: WorkerId, now: Time) -> Time {
+        let node = self.platform.node_of(w);
+        let mut data_ready = now;
+        for access in self.graph.task(task).coords.accesses() {
+            if !self.residency.is_valid_at(access.tile, node) {
+                let src = self.residency.source_for(access.tile);
+                let end = self.links.transfer(
+                    self.platform,
+                    access.tile,
+                    src,
+                    node,
+                    now,
+                    &mut self.transfers,
+                );
+                self.residency.add_copy(access.tile, node);
+                data_ready = data_ready.max(end);
+            }
+        }
+        data_ready
     }
 }
 
@@ -162,197 +166,72 @@ pub fn simulate(
     scheduler.init(&ctx);
 
     let n_workers = platform.n_workers();
-    let mut workers: Vec<Worker> = vec![Worker::default(); n_workers];
-    let mut residency = Residency::new(platform.n_nodes());
-    let mut links = Links::new(platform.n_nodes());
-    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let mut indeg = graph.indegrees();
-    let mut trace = Trace {
-        n_workers,
-        ..Trace::default()
+    let mut deps = DepTracker::new(graph);
+    let mut queues = WorkerQueues::new(n_workers);
+    let mut recorder = TraceRecorder::new(n_workers, graph.len());
+    let mut data = SimData {
+        platform,
+        graph,
+        residency: Residency::new(platform.n_nodes()),
+        links: Links::new(platform.n_nodes()),
+        transfers: Vec::new(),
     };
+    let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
     let mut events: EventHeap = BinaryHeap::new();
-    let mut seq = 0u64;
-    let mut completed = 0usize;
+    let mut heap_seq = 0u64;
     let mut now = Time::ZERO;
 
-    // Push one ready task through the scheduler into a worker queue,
-    // issuing prefetch transfers for its missing inputs.
-    #[allow(clippy::too_many_arguments)]
-    fn push_ready(
-        task: TaskId,
-        now: Time,
-        ctx: &SchedContext,
-        scheduler: &mut dyn Scheduler,
-        workers: &mut [Worker],
-        residency: &mut Residency,
-        links: &mut Links,
-        trace: &mut Trace,
-        seq: &mut u64,
-    ) {
-        let avail: Vec<Time> = workers
-            .iter()
-            .map(|w| {
-                let base = if w.busy { w.busy_until.max(now) } else { now };
-                base + w.queued_exec
-            })
-            .collect();
-        let view = EngineView {
-            now,
-            platform: ctx.platform,
-            graph: ctx.graph,
-            avail,
-            residency,
-        };
-        let w = scheduler.assign(task, ctx, &view);
-        assert!(
-            w < workers.len(),
-            "scheduler assigned {task} to nonexistent worker {w}"
-        );
-        let prio = scheduler.priority(task, ctx);
-        let node = ctx.platform.node_of(w);
-
-        // Prefetch missing tiles to the worker's node.
-        let mut data_ready = now;
-        for access in ctx.graph.task(task).coords.accesses() {
-            if !residency.is_valid_at(access.tile, node) {
-                let src = residency.source_for(access.tile);
-                let end = links.transfer(
-                    ctx.platform,
-                    access.tile,
-                    src,
-                    node,
-                    now,
-                    &mut trace.transfers,
-                );
-                residency.add_copy(access.tile, node);
-                data_ready = data_ready.max(end);
-            }
-        }
-
-        let entry = QueuedTask {
-            task,
-            prio,
-            seq: *seq,
-            data_ready,
-        };
-        *seq += 1;
-        let worker = &mut workers[w];
-        worker.queued_exec +=
-            ctx.profile
-                .time(ctx.graph.task(task).kernel(), ctx.platform.class_of(w));
-        if scheduler.sorted_queues() {
-            // Highest priority first; FIFO among equals.
-            let pos = worker
-                .queue
-                .partition_point(|q| (-q.prio, q.seq) <= (-entry.prio, entry.seq));
-            worker.queue.insert(pos, entry);
-        } else {
-            worker.queue.push(entry);
-        }
-    }
-
     // Seed the initial ready set in submission order.
-    for t in graph.tasks() {
-        if indeg[t.id.index()] == 0 {
-            push_ready(
-                t.id,
-                now,
-                &ctx,
-                scheduler,
-                &mut workers,
-                &mut residency,
-                &mut links,
-                &mut trace,
-                &mut seq,
-            );
-        }
+    for t in deps.initial_ready() {
+        exec::dispatch(t, now, &ctx, scheduler, &mut queues, &mut data);
     }
 
     loop {
         // Dispatch: start the next startable queued task of every idle
         // worker (the `may_start` gate lets schedule injection hold a
         // worker for its planned-next task instead of backfilling).
-        // Index-based iteration: `scheduler.may_start` needs `&mut` while
-        // the worker list is borrowed.
-        #[allow(clippy::needless_range_loop)]
         for w in 0..n_workers {
-            if workers[w].busy || workers[w].queue.is_empty() {
+            if queues.is_busy(w) {
                 continue;
             }
-            let Some(pos) = (0..workers[w].queue.len())
-                .find(|&i| scheduler.may_start(workers[w].queue[i].task, w))
-            else {
+            let Some(entry) = queues.pop_startable(w, |t| scheduler.may_start(t, w)) else {
                 continue;
             };
-            let worker = &mut workers[w];
-            let q = worker.queue.remove(pos);
-            scheduler.notify_start(q.task, w);
-            let class = platform.class_of(w);
-            let kernel = graph.task(q.task).kernel();
-            let base = profile.time(kernel, class);
-            worker.queued_exec = worker.queued_exec.saturating_sub(base);
-            let start = now.max(q.data_ready);
-            let duration = opts.jitter.apply(base, &mut rng);
+            scheduler.notify_start(entry.task, w);
+            let start = now.max(entry.data_ready);
+            let duration = opts.jitter.apply(entry.exec_estimate, &mut rng);
             let end = start + duration;
-            worker.busy = true;
-            worker.busy_until = end;
-            events.push(Reverse((end, seq, w, q.task, start)));
-            seq += 1;
+            queues.set_busy_until(w, end);
+            events.push(Reverse((end, heap_seq, w, entry.task, start)));
+            heap_seq += 1;
         }
 
         let Some(Reverse((t_end, _, w, task, t_start))) = events.pop() else {
             break; // no task in flight: all queues empty
         };
         now = t_end;
-        let kernel = graph.task(task).kernel();
-        trace.events.push(TraceEvent {
-            worker: w,
-            task,
-            kernel,
-            start: t_start,
-            end: t_end,
-        });
-        completed += 1;
-        workers[w].busy = false;
+        recorder.record(graph, w, task, t_start, t_end);
+        queues.set_idle(w);
         // Each write invalidates every other copy of the written tile
         // (QR's TSQRT/TSMQR write two tiles; iterate the full write set).
         for access in graph.task(task).coords.accesses() {
             if access.mode.is_write() {
-                residency.write_at(access.tile, platform.node_of(w));
+                data.residency.write_at(access.tile, platform.node_of(w));
             }
         }
         // Release successors.
-        for &s in graph.successors(task) {
-            indeg[s.index()] -= 1;
-            if indeg[s.index()] == 0 {
-                push_ready(
-                    s,
-                    now,
-                    &ctx,
-                    scheduler,
-                    &mut workers,
-                    &mut residency,
-                    &mut links,
-                    &mut trace,
-                    &mut seq,
-                );
-            }
+        for s in deps.release(graph, task) {
+            exec::dispatch(s, now, &ctx, scheduler, &mut queues, &mut data);
         }
     }
 
-    assert_eq!(
-        completed,
-        graph.len(),
-        "simulation deadlocked: {completed}/{} tasks completed",
-        graph.len()
+    assert!(
+        deps.is_done(),
+        "simulation deadlocked: {} tasks incomplete",
+        deps.remaining()
     );
-    let makespan = trace
-        .events
-        .iter()
-        .map(|e| e.end)
-        .max()
-        .unwrap_or(Time::ZERO);
+    recorder.transfers_mut().append(&mut data.transfers);
+    let (trace, makespan) = recorder.finish();
     SimResult { trace, makespan }
 }
 
@@ -360,7 +239,7 @@ pub fn simulate(
 mod tests {
     use super::*;
     use hetchol_core::schedule::DurationCheck;
-    use hetchol_core::scheduler::estimated_completion;
+    use hetchol_core::scheduler::{estimated_completion, ExecutionView};
 
     /// Greedy earliest-completion scheduler used by engine tests (a
     /// miniature `dmda`; the real ones live in `hetchol-sched`).

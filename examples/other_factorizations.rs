@@ -8,11 +8,11 @@
 
 use hetchol::bounds::BoundSet;
 use hetchol::core::algorithm::Algorithm;
+use hetchol::core::dag::TaskGraph;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::linalg::full::FullTiledMatrix;
-use hetchol::core::dag::TaskGraph;
 use hetchol::linalg::qr::QrMatrix;
 use hetchol::linalg::{lu_residual, random_diagonally_dominant, tiled_lu_in_place};
 use hetchol::rt::{execute_lu, execute_qr};
@@ -44,9 +44,8 @@ fn main() {
         r.makespan,
         lu_residual(&a, &m2)
     );
-    let (r, tiles, taus) =
-        execute_qr(&a, nb, &TaskGraph::qr(n_tiles), &mut Dmdas::new(), &est, 4)
-            .expect("QR cannot fail numerically");
+    let (r, tiles, taus) = execute_qr(&a, nb, &TaskGraph::qr(n_tiles), &mut Dmdas::new(), &est, 4)
+        .expect("QR cannot fail numerically");
     let qr = QrMatrix::from_parts(tiles, taus);
     println!(
         "threaded QR on 4 workers: {} wall, residual {:.3e}\n",

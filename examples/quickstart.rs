@@ -59,9 +59,12 @@ fn main() {
 
     // 5. How good was that schedule? Compare with the homogeneous bounds.
     let platform = Platform::homogeneous(n_workers);
-    let bound_profile = TimingProfile::new(nb, vec![std::array::from_fn(|i| {
-        profile.time(hetchol::core::kernel::Kernel::from_index(i), 0)
-    })]);
+    let bound_profile = TimingProfile::new(
+        nb,
+        vec![std::array::from_fn(|i| {
+            profile.time(hetchol::core::kernel::Kernel::from_index(i), 0)
+        })],
+    );
     let bounds = BoundSet::compute(n_tiles, &platform, &bound_profile);
     println!(
         "\nbounds for this machine: mixed {:.2} GFLOP/s, critical path {:.2} GFLOP/s",

@@ -27,7 +27,11 @@ fn main() {
 
     println!(
         "== scheduler shoot-out on simulated Mirage ({}) ==",
-        if with_comm { "PCI modelled" } else { "comm-free" }
+        if with_comm {
+            "PCI modelled"
+        } else {
+            "comm-free"
+        }
     );
     println!(
         "{:>6} {:>10} {:>10} {:>10} {:>14} {:>12} {:>8}",

@@ -34,7 +34,13 @@ fn main() {
     ];
 
     for (name, sched) in schedulers.iter_mut() {
-        let r = simulate(&graph, &platform, &profile, sched.as_mut(), &SimOptions::default());
+        let r = simulate(
+            &graph,
+            &platform,
+            &profile,
+            sched.as_mut(),
+            &SimOptions::default(),
+        );
         println!(
             "== {name}: makespan {} ({:.1} GFLOP/s) ==",
             r.makespan,

@@ -27,7 +27,13 @@ fn lu_and_qr_simulations_validate_and_respect_bounds() {
                 Box::new(Dmdas::new()),
             ];
             for sched in schedulers.iter_mut() {
-                let r = simulate(&graph, &platform, &profile, sched.as_mut(), &SimOptions::default());
+                let r = simulate(
+                    &graph,
+                    &platform,
+                    &profile,
+                    sched.as_mut(),
+                    &SimOptions::default(),
+                );
                 r.trace
                     .to_schedule()
                     .validate(&graph, &platform, &profile, DurationCheck::Exact)
@@ -63,7 +69,10 @@ fn informed_schedulers_beat_baselines_on_lu_and_qr() {
         let eager = mk(&mut EagerScheduler::new());
         let dmda = mk(&mut Dmda::new());
         assert!(dmda < eager, "{algo}: dmda {dmda} vs eager {eager}");
-        assert!(dmda < 0.5 * random, "{algo}: dmda {dmda} vs random {random}");
+        assert!(
+            dmda < 0.5 * random,
+            "{algo}: dmda {dmda} vs random {random}"
+        );
     }
 }
 
@@ -98,7 +107,5 @@ fn qr_costs_more_flops_but_lower_rate() {
     let chol = BoundSet::compute_algo(Algorithm::Cholesky, n, &platform, &profile);
     let qr = BoundSet::compute_algo(Algorithm::Qr, n, &platform, &profile);
     assert!(qr.gemm_peak < chol.gemm_peak);
-    assert!(
-        Algorithm::Qr.flops(n * 960) > 3.9 * Algorithm::Cholesky.flops(n * 960)
-    );
+    assert!(Algorithm::Qr.flops(n * 960) > 3.9 * Algorithm::Cholesky.flops(n * 960));
 }

@@ -31,7 +31,13 @@ fn cp_solution_replays_within_one_percent() {
             .validate(&graph, &platform, &profile, DurationCheck::Exact)
             .unwrap();
         let mut inj = ScheduleInjector::new(&sol.schedule);
-        let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+        let replay = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut inj,
+            &SimOptions::default(),
+        );
         let ratio = replay.makespan.as_secs_f64() / sol.makespan.as_secs_f64();
         // The dynamic replay may compact idle gaps (<= 1.0) but must never
         // be more than 1% slower.
@@ -49,7 +55,13 @@ fn cp_with_seeds_dominates_dynamic_schedulers() {
     let n = 8;
     let (graph, platform, profile) = fixture(n);
     let mut dmdas = Dmdas::new();
-    let dmdas_run = simulate(&graph, &platform, &profile, &mut dmdas, &SimOptions::default());
+    let dmdas_run = simulate(
+        &graph,
+        &platform,
+        &profile,
+        &mut dmdas,
+        &SimOptions::default(),
+    );
     let seed_schedule = dmdas_run.trace.to_schedule();
     let sol = optimize_from(
         &graph,
@@ -80,9 +92,21 @@ fn mapping_only_injection_does_not_help() {
         profile: &profile,
     };
     let mut mapping = MappingInjector::new(&sol.schedule, &ctx);
-    let mapped = simulate(&graph, &platform, &profile, &mut mapping, &SimOptions::default());
+    let mapped = simulate(
+        &graph,
+        &platform,
+        &profile,
+        &mut mapping,
+        &SimOptions::default(),
+    );
     let mut dmda = Dmda::new();
-    let dynamic = simulate(&graph, &platform, &profile, &mut dmda, &SimOptions::default());
+    let dynamic = simulate(
+        &graph,
+        &platform,
+        &profile,
+        &mut dmda,
+        &SimOptions::default(),
+    );
     // "did not improve the performance of the system compared to ... dmda
     // and dmdas": allow it to be comparable, not dramatically better.
     assert!(
@@ -105,7 +129,13 @@ fn full_injection_respects_mapping_exactly() {
     let (graph, platform, profile) = fixture(n);
     let sol = optimize_schedule(&graph, &platform, &profile, &CpOptions::quick(4));
     let mut inj = ScheduleInjector::new(&sol.schedule);
-    let replay = simulate(&graph, &platform, &profile, &mut inj, &SimOptions::default());
+    let replay = simulate(
+        &graph,
+        &platform,
+        &profile,
+        &mut inj,
+        &SimOptions::default(),
+    );
     let replayed = replay.trace.to_schedule();
     for e in sol.schedule.entries() {
         assert_eq!(

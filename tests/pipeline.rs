@@ -83,7 +83,10 @@ fn informed_schedulers_dominate_random() {
             / 5.0;
         let dmda = run(n, &platform, &mut Dmda::new()).makespan.as_secs_f64();
         let dmdas = run(n, &platform, &mut Dmdas::new()).makespan.as_secs_f64();
-        assert!(dmda < 0.6 * random_mean, "n={n}: dmda {dmda} vs random {random_mean}");
+        assert!(
+            dmda < 0.6 * random_mean,
+            "n={n}: dmda {dmda} vs random {random_mean}"
+        );
         assert!(dmdas < 0.6 * random_mean, "n={n}");
     }
 }
