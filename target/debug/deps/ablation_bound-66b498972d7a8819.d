@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_bound-66b498972d7a8819.d: crates/bench/benches/ablation_bound.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_bound-66b498972d7a8819.rmeta: crates/bench/benches/ablation_bound.rs Cargo.toml
+
+crates/bench/benches/ablation_bound.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

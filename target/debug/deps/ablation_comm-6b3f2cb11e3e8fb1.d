@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_comm-6b3f2cb11e3e8fb1.d: crates/bench/benches/ablation_comm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_comm-6b3f2cb11e3e8fb1.rmeta: crates/bench/benches/ablation_comm.rs Cargo.toml
+
+crates/bench/benches/ablation_comm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_k-bfa4b580d5764908.d: crates/bench/benches/ablation_k.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_k-bfa4b580d5764908.rmeta: crates/bench/benches/ablation_k.rs Cargo.toml
+
+crates/bench/benches/ablation_k.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

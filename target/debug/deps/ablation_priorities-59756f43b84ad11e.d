@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_priorities-59756f43b84ad11e.d: crates/bench/benches/ablation_priorities.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_priorities-59756f43b84ad11e.rmeta: crates/bench/benches/ablation_priorities.rs Cargo.toml
+
+crates/bench/benches/ablation_priorities.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

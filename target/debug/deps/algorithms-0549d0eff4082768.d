@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/algorithms-0549d0eff4082768.d: tests/algorithms.rs
+
+/root/repo/target/debug/deps/algorithms-0549d0eff4082768: tests/algorithms.rs
+
+tests/algorithms.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/algorithms-b0637a13c1cd5807.d: tests/algorithms.rs Cargo.toml
+
+/root/repo/target/debug/deps/libalgorithms-b0637a13c1cd5807.rmeta: tests/algorithms.rs Cargo.toml
+
+tests/algorithms.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_bounds-63f30db4cd028c0e.d: crates/bench/benches/bench_bounds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_bounds-63f30db4cd028c0e.rmeta: crates/bench/benches/bench_bounds.rs Cargo.toml
+
+crates/bench/benches/bench_bounds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

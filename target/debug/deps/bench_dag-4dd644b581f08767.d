@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_dag-4dd644b581f08767.d: crates/bench/benches/bench_dag.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_dag-4dd644b581f08767.rmeta: crates/bench/benches/bench_dag.rs Cargo.toml
+
+crates/bench/benches/bench_dag.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_kernels-dae1fae2d5586708.d: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_kernels-dae1fae2d5586708.rmeta: crates/bench/benches/bench_kernels.rs Cargo.toml
+
+crates/bench/benches/bench_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_sim_speed-47ff2791d9ac05e7.d: crates/bench/benches/bench_sim_speed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_sim_speed-47ff2791d9ac05e7.rmeta: crates/bench/benches/bench_sim_speed.rs Cargo.toml
+
+crates/bench/benches/bench_sim_speed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

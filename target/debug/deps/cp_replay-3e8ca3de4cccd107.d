@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cp_replay-3e8ca3de4cccd107.d: tests/cp_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcp_replay-3e8ca3de4cccd107.rmeta: tests/cp_replay.rs Cargo.toml
+
+tests/cp_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cp_replay-b8c00386809f8182.d: tests/cp_replay.rs
+
+/root/repo/target/debug/deps/cp_replay-b8c00386809f8182: tests/cp_replay.rs
+
+tests/cp_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-1d821bd87c3af49c.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-1d821bd87c3af49c: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_engine-509654a28f43f6ad.d: tests/cross_engine.rs
+
+/root/repo/target/debug/deps/cross_engine-509654a28f43f6ad: tests/cross_engine.rs
+
+tests/cross_engine.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec_props-16ff2f57c067c542.d: crates/core/tests/exec_props.rs
+
+/root/repo/target/debug/deps/exec_props-16ff2f57c067c542: crates/core/tests/exec_props.rs
+
+crates/core/tests/exec_props.rs:

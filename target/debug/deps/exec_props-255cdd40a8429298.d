@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec_props-255cdd40a8429298.d: crates/core/tests/exec_props.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec_props-255cdd40a8429298.rmeta: crates/core/tests/exec_props.rs Cargo.toml
+
+crates/core/tests/exec_props.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetchol-79c461d37f3fcf03.d: src/lib.rs
+
+/root/repo/target/debug/deps/hetchol-79c461d37f3fcf03: src/lib.rs
+
+src/lib.rs:

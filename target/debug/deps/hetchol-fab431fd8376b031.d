@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetchol-fab431fd8376b031.d: src/lib.rs
+
+/root/repo/target/debug/deps/libhetchol-fab431fd8376b031.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libhetchol-fab431fd8376b031.rmeta: src/lib.rs
+
+src/lib.rs:

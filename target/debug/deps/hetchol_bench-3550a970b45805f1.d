@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetchol_bench-3550a970b45805f1.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_bench-3550a970b45805f1.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

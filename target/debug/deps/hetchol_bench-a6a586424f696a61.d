@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/hetchol_bench-a6a586424f696a61.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetchol_bench-a6a586424f696a61.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libhetchol_bench-a6a586424f696a61.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hetchol_bench-bc3a699ec4cd5161.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_bench-bc3a699ec4cd5161.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

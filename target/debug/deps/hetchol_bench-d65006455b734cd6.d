@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hetchol_bench-d65006455b734cd6.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/hetchol_bench-d65006455b734cd6: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetchol_bounds-5aab1f0c0831c641.d: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_bounds-5aab1f0c0831c641.rmeta: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs Cargo.toml
+
+crates/bounds/src/lib.rs:
+crates/bounds/src/bounds.rs:
+crates/bounds/src/ilp.rs:
+crates/bounds/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hetchol_bounds-78d31688fae509d5.d: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/debug/deps/hetchol_bounds-78d31688fae509d5: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+crates/bounds/src/lib.rs:
+crates/bounds/src/bounds.rs:
+crates/bounds/src/ilp.rs:
+crates/bounds/src/simplex.rs:

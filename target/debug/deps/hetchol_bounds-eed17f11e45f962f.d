@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetchol_bounds-eed17f11e45f962f.d: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/debug/deps/libhetchol_bounds-eed17f11e45f962f.rlib: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/debug/deps/libhetchol_bounds-eed17f11e45f962f.rmeta: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+crates/bounds/src/lib.rs:
+crates/bounds/src/bounds.rs:
+crates/bounds/src/ilp.rs:
+crates/bounds/src/simplex.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hetchol_core-1825bad041e01081.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/hetchol_core-1825bad041e01081: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/dag.rs:
+crates/core/src/exec.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/platform.rs:
+crates/core/src/profiles.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/task.rs:
+crates/core/src/time.rs:
+crates/core/src/trace.rs:

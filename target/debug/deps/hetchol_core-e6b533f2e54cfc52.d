@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/hetchol_core-e6b533f2e54cfc52.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_core-e6b533f2e54cfc52.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/dag.rs:
+crates/core/src/exec.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/platform.rs:
+crates/core/src/profiles.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/task.rs:
+crates/core/src/time.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hetchol_cp-0bd7c4b2d0d9a93c.d: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/debug/deps/hetchol_cp-0bd7c4b2d0d9a93c: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+crates/cp/src/lib.rs:
+crates/cp/src/anneal.rs:
+crates/cp/src/list.rs:
+crates/cp/src/search.rs:

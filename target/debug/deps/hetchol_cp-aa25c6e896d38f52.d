@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetchol_cp-aa25c6e896d38f52.d: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_cp-aa25c6e896d38f52.rmeta: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs Cargo.toml
+
+crates/cp/src/lib.rs:
+crates/cp/src/anneal.rs:
+crates/cp/src/list.rs:
+crates/cp/src/search.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

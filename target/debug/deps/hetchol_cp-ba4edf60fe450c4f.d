@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetchol_cp-ba4edf60fe450c4f.d: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/debug/deps/libhetchol_cp-ba4edf60fe450c4f.rlib: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/debug/deps/libhetchol_cp-ba4edf60fe450c4f.rmeta: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+crates/cp/src/lib.rs:
+crates/cp/src/anneal.rs:
+crates/cp/src/list.rs:
+crates/cp/src/search.rs:

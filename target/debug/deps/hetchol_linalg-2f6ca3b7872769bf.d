@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hetchol_linalg-2f6ca3b7872769bf.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+/root/repo/target/debug/deps/libhetchol_linalg-2f6ca3b7872769bf.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+/root/repo/target/debug/deps/libhetchol_linalg-2f6ca3b7872769bf.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/full.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/kernels.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/verify.rs:

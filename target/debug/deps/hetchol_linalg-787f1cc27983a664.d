@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hetchol_linalg-787f1cc27983a664.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+/root/repo/target/debug/deps/hetchol_linalg-787f1cc27983a664: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/full.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/kernels.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/verify.rs:

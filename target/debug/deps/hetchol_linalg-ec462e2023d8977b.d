@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/hetchol_linalg-ec462e2023d8977b.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_linalg-ec462e2023d8977b.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/full.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/kernels.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

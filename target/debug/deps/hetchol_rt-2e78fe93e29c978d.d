@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetchol_rt-2e78fe93e29c978d.d: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_rt-2e78fe93e29c978d.rmeta: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs Cargo.toml
+
+crates/rt/src/lib.rs:
+crates/rt/src/calibrate.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/storage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

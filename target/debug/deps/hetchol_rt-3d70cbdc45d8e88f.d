@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hetchol_rt-3d70cbdc45d8e88f.d: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/debug/deps/hetchol_rt-3d70cbdc45d8e88f: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/calibrate.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/storage.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetchol_rt-938f4c10dc3164f9.d: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/debug/deps/libhetchol_rt-938f4c10dc3164f9.rlib: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/debug/deps/libhetchol_rt-938f4c10dc3164f9.rmeta: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/calibrate.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/storage.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/hetchol_sched-481c9673bf6f7132.d: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+/root/repo/target/debug/deps/libhetchol_sched-481c9673bf6f7132.rlib: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+/root/repo/target/debug/deps/libhetchol_sched-481c9673bf6f7132.rmeta: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/eager.rs:
+crates/sched/src/heft.rs:
+crates/sched/src/hints.rs:
+crates/sched/src/inject.rs:
+crates/sched/src/random.rs:

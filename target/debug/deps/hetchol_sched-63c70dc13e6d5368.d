@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/hetchol_sched-63c70dc13e6d5368.d: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_sched-63c70dc13e6d5368.rmeta: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs Cargo.toml
+
+crates/sched/src/lib.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/eager.rs:
+crates/sched/src/heft.rs:
+crates/sched/src/hints.rs:
+crates/sched/src/inject.rs:
+crates/sched/src/random.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

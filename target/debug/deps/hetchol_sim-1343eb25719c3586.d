@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/hetchol_sim-1343eb25719c3586.d: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhetchol_sim-1343eb25719c3586.rmeta: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/jitter.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

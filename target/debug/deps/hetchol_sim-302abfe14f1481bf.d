@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/hetchol_sim-302abfe14f1481bf.d: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/debug/deps/libhetchol_sim-302abfe14f1481bf.rlib: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/debug/deps/libhetchol_sim-302abfe14f1481bf.rmeta: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/jitter.rs:

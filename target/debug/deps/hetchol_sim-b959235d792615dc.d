@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/hetchol_sim-b959235d792615dc.d: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/debug/deps/hetchol_sim-b959235d792615dc: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/jitter.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-ec25962a75d7519e.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-ec25962a75d7519e: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

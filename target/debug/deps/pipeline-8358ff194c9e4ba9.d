@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-8358ff194c9e4ba9.d: tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-8358ff194c9e4ba9.rmeta: tests/pipeline.rs Cargo.toml
+
+tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-e3533ed72129bc7f.d: tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-e3533ed72129bc7f: tests/pipeline.rs
+
+tests/pipeline.rs:

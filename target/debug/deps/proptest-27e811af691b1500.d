@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-27e811af691b1500.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27e811af691b1500.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-27e811af691b1500.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

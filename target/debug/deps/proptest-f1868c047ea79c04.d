@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-f1868c047ea79c04.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-f1868c047ea79c04: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

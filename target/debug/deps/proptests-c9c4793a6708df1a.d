@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c9c4793a6708df1a.d: tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c9c4793a6708df1a: tests/proptests.rs
+
+tests/proptests.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-57bd50ee126cd08e.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-57bd50ee126cd08e.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-57bd50ee126cd08e.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

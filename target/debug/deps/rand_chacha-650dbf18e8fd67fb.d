@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-650dbf18e8fd67fb.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/rand_chacha-650dbf18e8fd67fb: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

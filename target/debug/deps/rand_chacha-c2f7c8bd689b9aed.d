@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_chacha-c2f7c8bd689b9aed.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c2f7c8bd689b9aed.rlib: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-c2f7c8bd689b9aed.rmeta: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

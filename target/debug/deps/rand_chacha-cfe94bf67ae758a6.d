@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand_chacha-cfe94bf67ae758a6.d: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand_chacha-cfe94bf67ae758a6.rmeta: crates/compat/rand_chacha/src/lib.rs Cargo.toml
+
+crates/compat/rand_chacha/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

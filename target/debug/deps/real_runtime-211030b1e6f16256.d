@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/real_runtime-211030b1e6f16256.d: tests/real_runtime.rs
+
+/root/repo/target/debug/deps/real_runtime-211030b1e6f16256: tests/real_runtime.rs
+
+tests/real_runtime.rs:

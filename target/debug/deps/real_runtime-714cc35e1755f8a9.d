@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/real_runtime-714cc35e1755f8a9.d: tests/real_runtime.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreal_runtime-714cc35e1755f8a9.rmeta: tests/real_runtime.rs Cargo.toml
+
+tests/real_runtime.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

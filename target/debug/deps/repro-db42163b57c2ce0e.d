@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-db42163b57c2ce0e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-db42163b57c2ce0e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/bounds_explorer-53a4b4bfc1cdc4aa.d: examples/bounds_explorer.rs
+
+/root/repo/target/debug/examples/bounds_explorer-53a4b4bfc1cdc4aa: examples/bounds_explorer.rs
+
+examples/bounds_explorer.rs:

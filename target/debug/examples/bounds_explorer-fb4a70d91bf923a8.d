@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/bounds_explorer-fb4a70d91bf923a8.d: examples/bounds_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libbounds_explorer-fb4a70d91bf923a8.rmeta: examples/bounds_explorer.rs Cargo.toml
+
+examples/bounds_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

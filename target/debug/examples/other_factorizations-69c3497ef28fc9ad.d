@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/other_factorizations-69c3497ef28fc9ad.d: examples/other_factorizations.rs Cargo.toml
+
+/root/repo/target/debug/examples/libother_factorizations-69c3497ef28fc9ad.rmeta: examples/other_factorizations.rs Cargo.toml
+
+examples/other_factorizations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/other_factorizations-83a2e4fd26e8ecfc.d: examples/other_factorizations.rs
+
+/root/repo/target/debug/examples/other_factorizations-83a2e4fd26e8ecfc: examples/other_factorizations.rs
+
+examples/other_factorizations.rs:

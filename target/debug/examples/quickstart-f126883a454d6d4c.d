@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f126883a454d6d4c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f126883a454d6d4c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/scheduler_shootout-0a52a2f2b2bd1b51.d: examples/scheduler_shootout.rs
+
+/root/repo/target/debug/examples/scheduler_shootout-0a52a2f2b2bd1b51: examples/scheduler_shootout.rs
+
+examples/scheduler_shootout.rs:

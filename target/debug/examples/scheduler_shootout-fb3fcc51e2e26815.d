@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/scheduler_shootout-fb3fcc51e2e26815.d: examples/scheduler_shootout.rs Cargo.toml
+
+/root/repo/target/debug/examples/libscheduler_shootout-fb3fcc51e2e26815.rmeta: examples/scheduler_shootout.rs Cargo.toml
+
+examples/scheduler_shootout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

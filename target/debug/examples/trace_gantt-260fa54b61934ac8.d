@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trace_gantt-260fa54b61934ac8.d: examples/trace_gantt.rs
+
+/root/repo/target/debug/examples/trace_gantt-260fa54b61934ac8: examples/trace_gantt.rs
+
+examples/trace_gantt.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trace_gantt-4ce49daddfdbb963.d: examples/trace_gantt.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrace_gantt-4ce49daddfdbb963.rmeta: examples/trace_gantt.rs Cargo.toml
+
+examples/trace_gantt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

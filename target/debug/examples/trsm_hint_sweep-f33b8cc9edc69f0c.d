@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/trsm_hint_sweep-f33b8cc9edc69f0c.d: examples/trsm_hint_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrsm_hint_sweep-f33b8cc9edc69f0c.rmeta: examples/trsm_hint_sweep.rs Cargo.toml
+
+examples/trsm_hint_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

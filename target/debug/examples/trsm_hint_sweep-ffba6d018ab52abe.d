@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/trsm_hint_sweep-ffba6d018ab52abe.d: examples/trsm_hint_sweep.rs
+
+/root/repo/target/debug/examples/trsm_hint_sweep-ffba6d018ab52abe: examples/trsm_hint_sweep.rs
+
+examples/trsm_hint_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_bound-2441930935417ee3.d: crates/bench/benches/ablation_bound.rs
+
+/root/repo/target/release/deps/ablation_bound-2441930935417ee3: crates/bench/benches/ablation_bound.rs
+
+crates/bench/benches/ablation_bound.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_comm-202606d070ca2655.d: crates/bench/benches/ablation_comm.rs
+
+/root/repo/target/release/deps/ablation_comm-202606d070ca2655: crates/bench/benches/ablation_comm.rs
+
+crates/bench/benches/ablation_comm.rs:

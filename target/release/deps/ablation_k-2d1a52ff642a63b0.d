@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_k-2d1a52ff642a63b0.d: crates/bench/benches/ablation_k.rs
+
+/root/repo/target/release/deps/ablation_k-2d1a52ff642a63b0: crates/bench/benches/ablation_k.rs
+
+crates/bench/benches/ablation_k.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_priorities-41c34c7eded7f095.d: crates/bench/benches/ablation_priorities.rs
+
+/root/repo/target/release/deps/ablation_priorities-41c34c7eded7f095: crates/bench/benches/ablation_priorities.rs
+
+crates/bench/benches/ablation_priorities.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_bounds-4bf6f49db1a14877.d: crates/bench/benches/bench_bounds.rs
+
+/root/repo/target/release/deps/bench_bounds-4bf6f49db1a14877: crates/bench/benches/bench_bounds.rs
+
+crates/bench/benches/bench_bounds.rs:

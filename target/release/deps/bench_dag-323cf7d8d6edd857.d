@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_dag-323cf7d8d6edd857.d: crates/bench/benches/bench_dag.rs
+
+/root/repo/target/release/deps/bench_dag-323cf7d8d6edd857: crates/bench/benches/bench_dag.rs
+
+crates/bench/benches/bench_dag.rs:

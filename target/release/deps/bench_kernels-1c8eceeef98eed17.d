@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_kernels-1c8eceeef98eed17.d: crates/bench/benches/bench_kernels.rs
+
+/root/repo/target/release/deps/bench_kernels-1c8eceeef98eed17: crates/bench/benches/bench_kernels.rs
+
+crates/bench/benches/bench_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_sim_speed-bfeb94132628bc15.d: crates/bench/benches/bench_sim_speed.rs
+
+/root/repo/target/release/deps/bench_sim_speed-bfeb94132628bc15: crates/bench/benches/bench_sim_speed.rs
+
+crates/bench/benches/bench_sim_speed.rs:

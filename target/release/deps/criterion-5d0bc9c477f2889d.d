@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-5d0bc9c477f2889d.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-5d0bc9c477f2889d: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

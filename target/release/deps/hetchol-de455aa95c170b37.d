@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetchol-de455aa95c170b37.d: src/lib.rs
+
+/root/repo/target/release/deps/libhetchol-de455aa95c170b37.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libhetchol-de455aa95c170b37.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetchol-e59a180cb8c1af69.d: src/lib.rs
+
+/root/repo/target/release/deps/hetchol-e59a180cb8c1af69: src/lib.rs
+
+src/lib.rs:

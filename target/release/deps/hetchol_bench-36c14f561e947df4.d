@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hetchol_bench-36c14f561e947df4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/hetchol_bench-36c14f561e947df4: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/hetchol_bench-d920c4510f07e127.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetchol_bench-d920c4510f07e127.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libhetchol_bench-d920c4510f07e127.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hetchol_bounds-16622acb47df0b96.d: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/release/deps/hetchol_bounds-16622acb47df0b96: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+crates/bounds/src/lib.rs:
+crates/bounds/src/bounds.rs:
+crates/bounds/src/ilp.rs:
+crates/bounds/src/simplex.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetchol_bounds-d8bf48af0d586470.d: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/release/deps/libhetchol_bounds-d8bf48af0d586470.rlib: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+/root/repo/target/release/deps/libhetchol_bounds-d8bf48af0d586470.rmeta: crates/bounds/src/lib.rs crates/bounds/src/bounds.rs crates/bounds/src/ilp.rs crates/bounds/src/simplex.rs
+
+crates/bounds/src/lib.rs:
+crates/bounds/src/bounds.rs:
+crates/bounds/src/ilp.rs:
+crates/bounds/src/simplex.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/hetchol_core-82cc3544b4f1f6b0.d: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libhetchol_core-82cc3544b4f1f6b0.rlib: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs
+
+/root/repo/target/release/deps/libhetchol_core-82cc3544b4f1f6b0.rmeta: crates/core/src/lib.rs crates/core/src/algorithm.rs crates/core/src/dag.rs crates/core/src/exec.rs crates/core/src/kernel.rs crates/core/src/metrics.rs crates/core/src/platform.rs crates/core/src/profiles.rs crates/core/src/schedule.rs crates/core/src/scheduler.rs crates/core/src/task.rs crates/core/src/time.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/algorithm.rs:
+crates/core/src/dag.rs:
+crates/core/src/exec.rs:
+crates/core/src/kernel.rs:
+crates/core/src/metrics.rs:
+crates/core/src/platform.rs:
+crates/core/src/profiles.rs:
+crates/core/src/schedule.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/task.rs:
+crates/core/src/time.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hetchol_cp-14c72cbcc1363728.d: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/release/deps/hetchol_cp-14c72cbcc1363728: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+crates/cp/src/lib.rs:
+crates/cp/src/anneal.rs:
+crates/cp/src/list.rs:
+crates/cp/src/search.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetchol_cp-a435cc4af3de5836.d: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/release/deps/libhetchol_cp-a435cc4af3de5836.rlib: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+/root/repo/target/release/deps/libhetchol_cp-a435cc4af3de5836.rmeta: crates/cp/src/lib.rs crates/cp/src/anneal.rs crates/cp/src/list.rs crates/cp/src/search.rs
+
+crates/cp/src/lib.rs:
+crates/cp/src/anneal.rs:
+crates/cp/src/list.rs:
+crates/cp/src/search.rs:

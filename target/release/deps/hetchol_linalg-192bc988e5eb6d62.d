@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/hetchol_linalg-192bc988e5eb6d62.d: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+/root/repo/target/release/deps/libhetchol_linalg-192bc988e5eb6d62.rlib: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+/root/repo/target/release/deps/libhetchol_linalg-192bc988e5eb6d62.rmeta: crates/linalg/src/lib.rs crates/linalg/src/cholesky.rs crates/linalg/src/full.rs crates/linalg/src/generate.rs crates/linalg/src/kernels.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/verify.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/cholesky.rs:
+crates/linalg/src/full.rs:
+crates/linalg/src/generate.rs:
+crates/linalg/src/kernels.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/verify.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetchol_rt-bac56a437869b958.d: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/release/deps/libhetchol_rt-bac56a437869b958.rlib: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/release/deps/libhetchol_rt-bac56a437869b958.rmeta: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/calibrate.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/storage.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hetchol_rt-e3f4b2d4cb322ffd.d: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+/root/repo/target/release/deps/hetchol_rt-e3f4b2d4cb322ffd: crates/rt/src/lib.rs crates/rt/src/calibrate.rs crates/rt/src/runtime.rs crates/rt/src/storage.rs
+
+crates/rt/src/lib.rs:
+crates/rt/src/calibrate.rs:
+crates/rt/src/runtime.rs:
+crates/rt/src/storage.rs:

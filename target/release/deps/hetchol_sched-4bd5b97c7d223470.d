@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/hetchol_sched-4bd5b97c7d223470.d: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+/root/repo/target/release/deps/hetchol_sched-4bd5b97c7d223470: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/eager.rs:
+crates/sched/src/heft.rs:
+crates/sched/src/hints.rs:
+crates/sched/src/inject.rs:
+crates/sched/src/random.rs:

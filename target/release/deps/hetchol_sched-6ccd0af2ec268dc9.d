@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/hetchol_sched-6ccd0af2ec268dc9.d: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+/root/repo/target/release/deps/libhetchol_sched-6ccd0af2ec268dc9.rlib: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+/root/repo/target/release/deps/libhetchol_sched-6ccd0af2ec268dc9.rmeta: crates/sched/src/lib.rs crates/sched/src/dm.rs crates/sched/src/eager.rs crates/sched/src/heft.rs crates/sched/src/hints.rs crates/sched/src/inject.rs crates/sched/src/random.rs
+
+crates/sched/src/lib.rs:
+crates/sched/src/dm.rs:
+crates/sched/src/eager.rs:
+crates/sched/src/heft.rs:
+crates/sched/src/hints.rs:
+crates/sched/src/inject.rs:
+crates/sched/src/random.rs:

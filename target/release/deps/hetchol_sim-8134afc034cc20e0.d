@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/hetchol_sim-8134afc034cc20e0.d: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/release/deps/libhetchol_sim-8134afc034cc20e0.rlib: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/release/deps/libhetchol_sim-8134afc034cc20e0.rmeta: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/jitter.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/hetchol_sim-ca5e83852fa871a0.d: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+/root/repo/target/release/deps/hetchol_sim-ca5e83852fa871a0: crates/sim/src/lib.rs crates/sim/src/data.rs crates/sim/src/engine.rs crates/sim/src/jitter.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/data.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/jitter.rs:

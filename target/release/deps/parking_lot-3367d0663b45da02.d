@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-3367d0663b45da02.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3367d0663b45da02.rlib: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-3367d0663b45da02.rmeta: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parking_lot-e5e01478dd853001.d: crates/compat/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/parking_lot-e5e01478dd853001: crates/compat/parking_lot/src/lib.rs
+
+crates/compat/parking_lot/src/lib.rs:

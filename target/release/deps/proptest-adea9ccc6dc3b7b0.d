@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-adea9ccc6dc3b7b0.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-adea9ccc6dc3b7b0: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-ec56f4ab01c749ab.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ec56f4ab01c749ab.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-ec56f4ab01c749ab.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-25f0efb4f4db96dd.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-25f0efb4f4db96dd: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fa02b3b6a7c48c64.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fa02b3b6a7c48c64.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fa02b3b6a7c48c64.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

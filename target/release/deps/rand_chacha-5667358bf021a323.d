@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-5667358bf021a323.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-5667358bf021a323: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-f990532be4f28963.d: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-f990532be4f28963.rlib: crates/compat/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-f990532be4f28963.rmeta: crates/compat/rand_chacha/src/lib.rs
+
+crates/compat/rand_chacha/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-908022795e0d04a7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-908022795e0d04a7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

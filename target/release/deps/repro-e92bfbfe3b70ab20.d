@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-e92bfbfe3b70ab20.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-e92bfbfe3b70ab20: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

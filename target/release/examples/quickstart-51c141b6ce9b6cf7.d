@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-51c141b6ce9b6cf7.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-51c141b6ce9b6cf7: examples/quickstart.rs
+
+examples/quickstart.rs:
