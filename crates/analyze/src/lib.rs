@@ -1,0 +1,27 @@
+//! Static and dynamic analysis for the hetchol execution engines.
+//!
+//! Two tools live here (DESIGN.md §4):
+//!
+//! * **The linter** ([`Linter`]) — a diagnostic engine over schedules and
+//!   traces. Where `Schedule::validate` is a fail-fast referee, the linter
+//!   reports *every* finding with a stable rule id and severity
+//!   ([`Report`]), covering the structural rules plus bound consistency
+//!   (a makespan below a lower bound is an impossible result), hint
+//!   conformance, `dmda`/`dmdas` priority inversions, idle-gap anomalies
+//!   and replay divergence. Reports serialize to JSON for CI.
+//!
+//! * **The race checker** ([`explore`]) — a loom-lite interleaving
+//!   explorer that drives the real runtime's worker threads through every
+//!   (sleep-set-pruned) schedule of lock/wait/notify decisions, turning
+//!   lost wakeups into deterministic, reportable deadlocks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod lint;
+pub mod race;
+
+pub use diag::{Diagnostic, Report, Rule, Severity};
+pub use lint::{Linter, QueueDiscipline};
+pub use race::{explore, explore_runtime, Deadlock, ExploreConfig, ExploreReport, RoundRobin};

@@ -1,0 +1,510 @@
+//! The schedule/trace linter.
+//!
+//! [`Linter`] runs the full rule battery over a [`Schedule`] or a
+//! [`Trace`] and reports *all* findings (unlike `Schedule::validate`,
+//! which is fail-fast). The structural rules mirror the validator; the
+//! remaining rules need extra context the caller opts into:
+//!
+//! * bound consistency — give the linter a [`BoundSet`] and any makespan
+//!   *below* a lower bound is flagged as physically impossible;
+//! * hint conformance — declare the TRSM-triangle hint parameters and
+//!   off-class placements of pinned TRSMs are flagged;
+//! * queue discipline — declare `dmda` (FIFO) or `dmdas` (sorted) and the
+//!   trace's [`QueueEvent`] stream is audited for priority inversions;
+//! * idle gaps — workers idling over a startable queued task;
+//! * replay divergence — give the prescribed [`Schedule`] and the trace's
+//!   placements and per-worker orders are compared against the plan.
+
+use crate::diag::{Diagnostic, Report, Rule, Severity};
+use hetchol_bounds::BoundSet;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::platform::{ClassId, Platform};
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::schedule::{DurationCheck, Schedule};
+use hetchol_core::task::{TaskCoords, TaskId};
+use hetchol_core::time::Time;
+use hetchol_core::trace::Trace;
+
+/// Which per-worker queue discipline the engine was configured with — the
+/// paper's `dmda` (FIFO) versus `dmdas` (priority-sorted) distinction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum QueueDiscipline {
+    /// FIFO queues: same-worker start order must follow enqueue order.
+    Fifo,
+    /// Priority-sorted queues: an earlier-enqueued, higher-or-equal
+    /// priority task must not start after a lower-ranked one.
+    Sorted,
+}
+
+/// Relative slack applied to bound comparisons: the LP-based bounds carry
+/// ~1e-4 duality gaps, so only makespans *meaningfully* below a bound are
+/// impossible.
+const BOUND_REL_TOL: f64 = 1e-6;
+
+/// The diagnostic engine. Build with [`Linter::new`], opt into the
+/// context-dependent rules with the builder methods, then run
+/// [`Linter::lint_schedule`] or [`Linter::lint_trace`].
+pub struct Linter<'a> {
+    graph: &'a TaskGraph,
+    platform: &'a Platform,
+    profile: &'a TimingProfile,
+    duration_check: DurationCheck,
+    bounds: Option<BoundSet>,
+    trsm_cpu_hint: Option<(u32, ClassId)>,
+    queue_discipline: Option<QueueDiscipline>,
+    prescribed: Option<&'a Schedule>,
+    idle_gap_threshold: Time,
+}
+
+impl<'a> Linter<'a> {
+    /// A linter with only the structural rules armed, checking durations
+    /// exactly (the deterministic-simulation contract).
+    pub fn new(
+        graph: &'a TaskGraph,
+        platform: &'a Platform,
+        profile: &'a TimingProfile,
+    ) -> Linter<'a> {
+        Linter {
+            graph,
+            platform,
+            profile,
+            duration_check: DurationCheck::Exact,
+            bounds: None,
+            trsm_cpu_hint: None,
+            queue_discipline: None,
+            prescribed: None,
+            idle_gap_threshold: Time::from_micros(10),
+        }
+    }
+
+    /// Use `check` for the duration rule (`Loose` for wall-clock traces).
+    pub fn duration_check(mut self, check: DurationCheck) -> Self {
+        self.duration_check = check;
+        self
+    }
+
+    /// Arm the bound-consistency rules against `bounds`.
+    pub fn with_bounds(mut self, bounds: BoundSet) -> Self {
+        self.bounds = Some(bounds);
+        self
+    }
+
+    /// Arm hint conformance: every TRSM at least `k_offset` tiles below
+    /// the diagonal must run on a worker of `cpu_class`.
+    pub fn with_trsm_cpu_hint(mut self, k_offset: u32, cpu_class: ClassId) -> Self {
+        self.trsm_cpu_hint = Some((k_offset, cpu_class));
+        self
+    }
+
+    /// Arm priority-inversion detection for the given queue discipline.
+    pub fn with_queue_discipline(mut self, discipline: QueueDiscipline) -> Self {
+        self.queue_discipline = Some(discipline);
+        self
+    }
+
+    /// Arm replay-divergence detection against a prescribed schedule.
+    pub fn with_prescribed(mut self, schedule: &'a Schedule) -> Self {
+        self.prescribed = Some(schedule);
+        self
+    }
+
+    /// Only report idle gaps longer than `threshold` (absorbs wall-clock
+    /// scheduling latency on the real runtime; default 10 µs).
+    pub fn idle_gap_threshold(mut self, threshold: Time) -> Self {
+        self.idle_gap_threshold = threshold;
+        self
+    }
+
+    /// Lint a schedule: structural rules, bound consistency, and hint
+    /// conformance.
+    pub fn lint_schedule(&self, schedule: &Schedule) -> Report {
+        let mut diags = Vec::new();
+        self.check_structure(schedule, &mut diags);
+        let task_set_ok = !diags
+            .iter()
+            .any(|d| matches!(d.rule, Rule::TaskSetSize | Rule::TaskMisnumbered));
+        if task_set_ok {
+            // An incomplete schedule has an artificially small makespan;
+            // comparing it against bounds would produce phantom findings.
+            self.check_bounds(schedule, &mut diags);
+            self.check_hints(schedule, &mut diags);
+        }
+        finish(diags)
+    }
+
+    /// Lint a trace: everything [`Linter::lint_schedule`] checks on the
+    /// trace's derived schedule, plus the queue-discipline, idle-gap and
+    /// replay-divergence rules that need the raw event stream.
+    pub fn lint_trace(&self, trace: &Trace) -> Report {
+        let schedule = trace.to_schedule();
+        let mut report = self.lint_schedule(&schedule);
+        let mut diags = std::mem::take(&mut report.diagnostics);
+        self.check_priority_inversion(trace, &mut diags);
+        self.check_idle_gaps(trace, &mut diags);
+        if let Some(prescribed) = self.prescribed {
+            self.check_replay(trace, prescribed, &mut diags);
+        }
+        finish(diags)
+    }
+
+    /// The fail-fast validator's rules, exhaustively.
+    fn check_structure(&self, schedule: &Schedule, diags: &mut Vec<Diagnostic>) {
+        let entries = schedule.entries();
+        if entries.len() != self.graph.len() {
+            diags.push(Diagnostic {
+                rule: Rule::TaskSetSize,
+                severity: Severity::Error,
+                task: None,
+                worker: None,
+                message: format!(
+                    "schedule has {} entries, graph has {} tasks",
+                    entries.len(),
+                    self.graph.len()
+                ),
+            });
+            // Name the missing tasks so the report localizes the damage.
+            let mut present = vec![false; self.graph.len()];
+            for e in entries {
+                if let Some(slot) = present.get_mut(e.task.index()) {
+                    *slot = true;
+                }
+            }
+            for (idx, _) in present.iter().enumerate().filter(|(_, p)| !**p) {
+                let task = TaskId(idx as u32);
+                diags.push(Diagnostic {
+                    rule: Rule::TaskMisnumbered,
+                    severity: Severity::Error,
+                    task: Some(task),
+                    worker: None,
+                    message: format!("{task} is missing from the schedule"),
+                });
+            }
+        } else {
+            for (idx, e) in entries.iter().enumerate() {
+                if e.task.index() != idx {
+                    diags.push(Diagnostic {
+                        rule: Rule::TaskMisnumbered,
+                        severity: Severity::Error,
+                        task: Some(e.task),
+                        worker: None,
+                        message: format!(
+                            "slot {idx} of the sorted entries holds {}: a task is duplicated or missing",
+                            e.task
+                        ),
+                    });
+                }
+            }
+        }
+        for e in entries {
+            if e.worker >= self.platform.n_workers() {
+                diags.push(Diagnostic {
+                    rule: Rule::BadWorker,
+                    severity: Severity::Error,
+                    task: Some(e.task),
+                    worker: Some(e.worker),
+                    message: format!(
+                        "{} assigned to nonexistent worker {} (platform has {})",
+                        e.task,
+                        e.worker,
+                        self.platform.n_workers()
+                    ),
+                });
+                continue; // duration rules need a valid class
+            }
+            if e.end < e.start {
+                diags.push(Diagnostic {
+                    rule: Rule::NegativeDuration,
+                    severity: Severity::Error,
+                    task: Some(e.task),
+                    worker: Some(e.worker),
+                    message: format!(
+                        "{} ends at {} before it starts at {}",
+                        e.task, e.end, e.start
+                    ),
+                });
+                continue;
+            }
+            if self.duration_check == DurationCheck::Exact && e.task.index() < self.graph.len() {
+                let expected = self.profile.time(
+                    self.graph.task(e.task).kernel(),
+                    self.platform.class_of(e.worker),
+                );
+                let got = e.end - e.start;
+                if got != expected {
+                    diags.push(Diagnostic {
+                        rule: Rule::WrongDuration,
+                        severity: Severity::Error,
+                        task: Some(e.task),
+                        worker: Some(e.worker),
+                        message: format!(
+                            "{} runs for {got} on worker {}, profile says {expected}",
+                            e.task, e.worker
+                        ),
+                    });
+                }
+            }
+        }
+        for (pred, succ) in self.graph.edges() {
+            let (Some(ep), Some(es)) = (schedule.entry(pred), schedule.entry(succ)) else {
+                continue; // missing entries already flagged by the set rules
+            };
+            if es.start < ep.end {
+                diags.push(Diagnostic {
+                    rule: Rule::DependencyViolated,
+                    severity: Severity::Error,
+                    task: Some(succ),
+                    worker: Some(es.worker),
+                    message: format!(
+                        "{succ} starts at {} before its predecessor {pred} ends at {}",
+                        es.start, ep.end
+                    ),
+                });
+            }
+        }
+        let mut per_worker: Vec<Vec<usize>> = vec![Vec::new(); self.platform.n_workers()];
+        for (i, e) in entries.iter().enumerate() {
+            if e.worker < self.platform.n_workers() {
+                per_worker[e.worker].push(i);
+            }
+        }
+        for (worker, mut idxs) in per_worker.into_iter().enumerate() {
+            idxs.sort_by_key(|&i| (entries[i].start, entries[i].end));
+            for pair in idxs.windows(2) {
+                let (a, b) = (&entries[pair[0]], &entries[pair[1]]);
+                if b.start < a.end {
+                    diags.push(Diagnostic {
+                        rule: Rule::WorkerOverlap,
+                        severity: Severity::Error,
+                        task: Some(b.task),
+                        worker: Some(worker),
+                        message: format!(
+                            "worker {worker}: {} starting at {} overlaps {} ending at {}",
+                            b.task, b.start, a.task, a.end
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Makespan must not beat any lower bound — "better than bound" means
+    /// the schedule (or the bound) is wrong.
+    fn check_bounds(&self, schedule: &Schedule, diags: &mut Vec<Diagnostic>) {
+        let Some(bounds) = &self.bounds else { return };
+        let makespan = schedule.makespan();
+        let mut check = |rule: Rule, name: &str, bound: Time| {
+            let limit = bound.as_secs_f64() * (1.0 - BOUND_REL_TOL);
+            if makespan.as_secs_f64() < limit {
+                diags.push(Diagnostic {
+                    rule,
+                    severity: Severity::Error,
+                    task: None,
+                    worker: None,
+                    message: format!(
+                        "makespan {makespan} beats the {name} lower bound {bound}: impossible result"
+                    ),
+                });
+            }
+        };
+        check(Rule::BoundArea, "area", bounds.area);
+        check(Rule::BoundMixed, "mixed", bounds.mixed);
+        check(
+            Rule::BoundCriticalPath,
+            "critical-path",
+            bounds.critical_path,
+        );
+    }
+
+    /// Pinned TRSMs must sit on the forced class.
+    fn check_hints(&self, schedule: &Schedule, diags: &mut Vec<Diagnostic>) {
+        let Some((k_offset, cpu_class)) = self.trsm_cpu_hint else {
+            return;
+        };
+        for e in schedule.entries() {
+            if e.worker >= self.platform.n_workers() {
+                continue;
+            }
+            let coords = self.graph.task(e.task).coords;
+            let pinned =
+                matches!(coords, TaskCoords::Trsm { .. }) && coords.diagonal_offset() >= k_offset;
+            if pinned && self.platform.class_of(e.worker) != cpu_class {
+                diags.push(Diagnostic {
+                    rule: Rule::HintConformance,
+                    severity: Severity::Error,
+                    task: Some(e.task),
+                    worker: Some(e.worker),
+                    message: format!(
+                        "{coords} is {} tiles below the diagonal (hint pins offsets ≥ {k_offset} \
+                         to class {cpu_class}) but ran on worker {} of class {}",
+                        coords.diagonal_offset(),
+                        e.worker,
+                        self.platform.class_of(e.worker)
+                    ),
+                });
+            }
+        }
+    }
+
+    /// Audit per-worker start order against the dispatcher's queue-event
+    /// stream under the declared discipline.
+    fn check_priority_inversion(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+        let Some(discipline) = self.queue_discipline else {
+            return;
+        };
+        // (seq, prio, task, start) per worker, sorted by start time.
+        let mut per_worker: Vec<Vec<(u64, i64, TaskId, Time)>> = vec![Vec::new(); trace.n_workers];
+        for qe in &trace.queue_events {
+            let Some(ev) = trace.events.iter().find(|e| e.task == qe.task) else {
+                continue; // enqueued but never executed: set rules cover it
+            };
+            if qe.worker < trace.n_workers {
+                per_worker[qe.worker].push((qe.seq, qe.prio, qe.task, ev.start));
+            }
+        }
+        for (worker, mut evs) in per_worker.into_iter().enumerate() {
+            evs.sort_by_key(|&(seq, _, _, start)| (start, seq));
+            for (i, &(seq_b, prio_b, task_b, start_b)) in evs.iter().enumerate() {
+                // Find an earlier-started task that was enqueued after this
+                // one yet outranked it under the declared discipline.
+                let offender = evs[..i].iter().find(|&&(seq_a, prio_a, _, start_a)| {
+                    let enqueued_later = seq_a > seq_b;
+                    let outranked = match discipline {
+                        QueueDiscipline::Fifo => true,
+                        QueueDiscipline::Sorted => prio_b >= prio_a,
+                    };
+                    start_a < start_b && enqueued_later && outranked
+                });
+                if let Some(&(seq_a, prio_a, task_a, _)) = offender {
+                    diags.push(Diagnostic {
+                        rule: Rule::PriorityInversion,
+                        severity: Severity::Warning,
+                        task: Some(task_b),
+                        worker: Some(worker),
+                        message: format!(
+                            "worker {worker}: {task_b} (seq {seq_b}, prio {prio_b}) started after \
+                             {task_a} (seq {seq_a}, prio {prio_a}) despite outranking it under the \
+                             {} discipline",
+                            match discipline {
+                                QueueDiscipline::Fifo => "FIFO",
+                                QueueDiscipline::Sorted => "sorted",
+                            }
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    /// A worker idling across a gap while a startable task sat in its
+    /// queue is scheduling anomaly (or a deliberate `may_start` hold).
+    fn check_idle_gaps(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+        for worker in 0..trace.n_workers {
+            let evs = trace.worker_events(worker);
+            // Gaps: from t=0 to the first start, and between executions.
+            let mut gaps: Vec<(Time, Time)> = Vec::new();
+            let mut prev_end = Time::ZERO;
+            for e in &evs {
+                if e.start > prev_end {
+                    gaps.push((prev_end, e.start));
+                }
+                prev_end = prev_end.max(e.end);
+            }
+            for (g0, g1) in gaps {
+                if g1 - g0 <= self.idle_gap_threshold {
+                    continue;
+                }
+                for qe in &trace.queue_events {
+                    if qe.worker != worker || qe.at > g0 || qe.data_ready > g0 {
+                        continue;
+                    }
+                    let Some(ev) = trace.events.iter().find(|e| e.task == qe.task) else {
+                        continue;
+                    };
+                    if ev.start >= g1 {
+                        diags.push(Diagnostic {
+                            rule: Rule::IdleGap,
+                            severity: Severity::Warning,
+                            task: Some(qe.task),
+                            worker: Some(worker),
+                            message: format!(
+                                "worker {worker} idled over [{g0}, {g1}) while {} (enqueued at {}, \
+                                 data ready at {}) was startable in its queue",
+                                qe.task, qe.at, qe.data_ready
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    /// The trace must follow the prescribed schedule: same placements and
+    /// the same per-worker execution order.
+    fn check_replay(&self, trace: &Trace, prescribed: &Schedule, diags: &mut Vec<Diagnostic>) {
+        let mut diverged: Vec<TaskId> = Vec::new();
+        for ev in &trace.events {
+            let Some(plan) = prescribed.entry(ev.task) else {
+                diags.push(Diagnostic {
+                    rule: Rule::ReplayDivergence,
+                    severity: Severity::Error,
+                    task: Some(ev.task),
+                    worker: Some(ev.worker),
+                    message: format!(
+                        "{} executed but absent from the prescribed schedule",
+                        ev.task
+                    ),
+                });
+                continue;
+            };
+            if plan.worker != ev.worker {
+                diverged.push(ev.task);
+                diags.push(Diagnostic {
+                    rule: Rule::ReplayDivergence,
+                    severity: Severity::Error,
+                    task: Some(ev.task),
+                    worker: Some(ev.worker),
+                    message: format!(
+                        "{} ran on worker {} but the prescribed schedule places it on worker {}",
+                        ev.task, ev.worker, plan.worker
+                    ),
+                });
+            }
+        }
+        // Per-worker order, over correctly-placed tasks only.
+        for worker in 0..trace.n_workers {
+            let ran: Vec<TaskId> = trace
+                .worker_events(worker)
+                .iter()
+                .map(|e| e.task)
+                .filter(|t| !diverged.contains(t))
+                .collect();
+            let mut planned: Vec<(Time, TaskId)> = prescribed
+                .entries()
+                .iter()
+                .filter(|e| e.worker == worker && !diverged.contains(&e.task))
+                .map(|e| (e.start, e.task))
+                .collect();
+            planned.sort();
+            for (got, &(_, want)) in ran.iter().zip(planned.iter()) {
+                if *got != want {
+                    diags.push(Diagnostic {
+                        rule: Rule::ReplayDivergence,
+                        severity: Severity::Error,
+                        task: Some(*got),
+                        worker: Some(worker),
+                        message: format!(
+                            "worker {worker} ran {got} where the prescribed order expects {want}"
+                        ),
+                    });
+                    break; // one order diagnostic per worker
+                }
+            }
+        }
+    }
+}
+
+/// Stable output order: rule-catalog order first, discovery order within.
+fn finish(mut diags: Vec<Diagnostic>) -> Report {
+    diags.sort_by_key(|d| d.rule);
+    Report { diagnostics: diags }
+}

@@ -1,0 +1,382 @@
+//! Linter integration tests: clean engines lint clean, and every random
+//! corruption of a valid schedule produces a diagnostic naming the
+//! damaged task.
+
+use hetchol_analyze::{Linter, QueueDiscipline, Rule};
+use hetchol_bounds::BoundSet;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::schedule::{DurationCheck, Schedule, ScheduleEntry};
+use hetchol_core::task::{TaskCoords, TaskId};
+use hetchol_core::time::Time;
+use hetchol_core::trace::{QueueEvent, Trace, TraceEvent};
+use hetchol_sched::Dmdas;
+use hetchol_sim::{simulate, SimOptions};
+use proptest::prelude::*;
+
+/// A deterministic simulated run on the paper's Mirage platform.
+fn valid_run(n: usize) -> (TaskGraph, Platform, TimingProfile, Trace) {
+    let graph = TaskGraph::cholesky(n);
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let r = simulate(
+        &graph,
+        &platform,
+        &profile,
+        &mut Dmdas::new(),
+        &SimOptions::default(),
+    );
+    (graph, platform, profile, r.trace)
+}
+
+/// A serial schedule on `worker_of(idx)`: tasks run back-to-back in id
+/// (topological) order with exact profile durations, so only the rules a
+/// test deliberately arms can fire.
+fn serial_schedule(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    worker_of: impl Fn(usize) -> usize,
+) -> Schedule {
+    let mut t = Time::ZERO;
+    let mut entries = Vec::with_capacity(graph.len());
+    for idx in 0..graph.len() {
+        let task = TaskId(idx as u32);
+        let worker = worker_of(idx);
+        let dur = profile.time(graph.task(task).kernel(), platform.class_of(worker));
+        entries.push(ScheduleEntry {
+            task,
+            worker,
+            start: t,
+            end: t + dur,
+        });
+        t += dur;
+    }
+    Schedule::from_entries(entries)
+}
+
+fn trace_of(schedule: &Schedule, graph: &TaskGraph, n_workers: usize) -> Trace {
+    Trace {
+        n_workers,
+        events: schedule
+            .entries()
+            .iter()
+            .map(|e| TraceEvent {
+                worker: e.worker,
+                task: e.task,
+                kernel: graph.task(e.task).kernel(),
+                start: e.start,
+                end: e.end,
+            })
+            .collect(),
+        transfers: Vec::new(),
+        queue_events: Vec::new(),
+    }
+}
+
+#[test]
+fn simulated_traces_lint_clean_with_every_rule_armed() {
+    for n in 1..6 {
+        let (graph, platform, profile, trace) = valid_run(n);
+        let bounds = BoundSet::compute(n, &platform, &profile);
+        let prescribed = trace.to_schedule();
+        let report = Linter::new(&graph, &platform, &profile)
+            .with_bounds(bounds)
+            .with_queue_discipline(QueueDiscipline::Sorted)
+            .with_prescribed(&prescribed)
+            .lint_trace(&trace);
+        assert!(report.is_clean(), "n={n}: {}", report.to_json());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite: every random corruption of a valid schedule must be
+    /// caught, with a diagnostic naming the corrupted task.
+    #[test]
+    fn corrupted_schedules_are_caught(
+        n in 2usize..6,
+        kind in 0usize..4,
+        pick in 0usize..1000,
+        other in 0usize..1000,
+    ) {
+        let (graph, platform, profile, trace) = valid_run(n);
+        let mut entries = trace.to_schedule().entries().to_vec();
+        let i = pick % entries.len();
+        let corrupted = entries[i].task;
+        let mut also_named = None;
+        match kind {
+            0 => {
+                // Cross-class worker swap: Mirage CPU/GPU kernel times all
+                // differ, so the duration can no longer match the profile.
+                let cpu = platform
+                    .class_of(entries[i].worker) == 0;
+                entries[i].worker = if cpu { 9 } else { 0 };
+            }
+            1 => {
+                // Stretch the execution: wrong duration.
+                entries[i].end += Time::from_millis(1);
+            }
+            2 => {
+                // Drop the entry: the set rules must name the missing task.
+                entries.remove(i);
+            }
+            _ => {
+                // Pile the task onto another entry's worker and window.
+                let j = (i + 1 + other % (entries.len() - 1)) % entries.len();
+                also_named = Some(entries[j].task);
+                let worker = entries[j].worker;
+                let start = entries[j].start;
+                let dur = profile.time(
+                    graph.task(corrupted).kernel(),
+                    platform.class_of(worker),
+                );
+                entries[i].worker = worker;
+                entries[i].start = start;
+                entries[i].end = start + dur;
+            }
+        }
+        let schedule = Schedule::from_entries(entries);
+        let report = Linter::new(&graph, &platform, &profile).lint_schedule(&schedule);
+        prop_assert!(!report.is_clean(), "kind {kind} on {corrupted} went unnoticed");
+        let named = report.names_task(corrupted)
+            || also_named.is_some_and(|t| report.names_task(t));
+        prop_assert!(
+            named,
+            "kind {kind}: no diagnostic names {corrupted}: {}",
+            report.to_json()
+        );
+    }
+}
+
+#[test]
+fn golden_json_report() {
+    // The JSON format is a CI interface: lock it with a golden value.
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::homogeneous(2).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let mut entries = serial_schedule(&graph, &platform, &profile, |_| 0)
+        .entries()
+        .to_vec();
+    entries[3].worker = 99;
+    let schedule = Schedule::from_entries(entries);
+    let report = Linter::new(&graph, &platform, &profile).lint_schedule(&schedule);
+    assert_eq!(
+        report.to_json(),
+        "{\"errors\":1,\"warnings\":0,\"diagnostics\":[{\"rule\":\"bad-worker\",\
+         \"severity\":\"error\",\"task\":3,\"worker\":99,\
+         \"message\":\"t3 assigned to nonexistent worker 99 (platform has 2)\"}]}"
+    );
+}
+
+#[test]
+fn impossible_makespan_trips_the_bound_rules() {
+    let (graph, platform, profile, trace) = valid_run(4);
+    let bounds = BoundSet::compute(4, &platform, &profile);
+    // Compress the whole schedule 100×: still structurally consistent
+    // under Loose durations, but the makespan beats every lower bound.
+    let entries = trace
+        .to_schedule()
+        .entries()
+        .iter()
+        .map(|e| ScheduleEntry {
+            task: e.task,
+            worker: e.worker,
+            start: Time::from_nanos(e.start.as_nanos() / 100),
+            end: Time::from_nanos(e.end.as_nanos() / 100),
+        })
+        .collect();
+    let schedule = Schedule::from_entries(entries);
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .with_bounds(bounds)
+        .lint_schedule(&schedule);
+    for rule in [Rule::BoundArea, Rule::BoundMixed, Rule::BoundCriticalPath] {
+        assert!(
+            !report.by_rule(rule).is_empty(),
+            "{rule} did not fire: {}",
+            report.to_json()
+        );
+    }
+}
+
+#[test]
+fn off_class_pinned_trsm_trips_hint_conformance() {
+    let graph = TaskGraph::cholesky(4);
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    // Deepest TRSM: row 3, column 0 — three tiles below the diagonal.
+    let deep = (0..graph.len())
+        .map(|i| TaskId(i as u32))
+        .find(|&t| {
+            let c = graph.task(t).coords;
+            matches!(c, TaskCoords::Trsm { .. }) && c.diagonal_offset() >= 2
+        })
+        .expect("cholesky(4) has a deep TRSM");
+    // Serial and exactly-timed, with only the pinned TRSM on a GPU.
+    let schedule = serial_schedule(&graph, &platform, &profile, |idx| {
+        if idx == deep.index() {
+            9
+        } else {
+            0
+        }
+    });
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_trsm_cpu_hint(2, 0)
+        .lint_schedule(&schedule);
+    let hits = report.by_rule(Rule::HintConformance);
+    assert_eq!(hits.len(), 1, "{}", report.to_json());
+    assert_eq!(hits[0].task, Some(deep));
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.to_json());
+}
+
+#[test]
+fn queue_inversion_trips_priority_inversion() {
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::homogeneous(2).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let schedule = serial_schedule(&graph, &platform, &profile, |_| 0);
+    let mut trace = trace_of(&schedule, &graph, 2);
+    // The dispatcher enqueued t2 *before* t1 (seq 1 < 2) at equal
+    // priority, yet t1 started first: a sorted queue would never do that.
+    for (task, seq) in [(0u32, 0u64), (1, 2), (2, 1), (3, 3)] {
+        trace.queue_events.push(QueueEvent {
+            worker: 0,
+            task: TaskId(task),
+            prio: 0,
+            seq,
+            at: Time::ZERO,
+            data_ready: Time::ZERO,
+        });
+    }
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_queue_discipline(QueueDiscipline::Sorted)
+        .lint_trace(&trace);
+    let hits = report.by_rule(Rule::PriorityInversion);
+    assert_eq!(hits.len(), 1, "{}", report.to_json());
+    assert_eq!(hits[0].task, Some(TaskId(2)));
+    // FIFO is stricter: the same trace is also an inversion there.
+    let fifo = Linter::new(&graph, &platform, &profile)
+        .with_queue_discipline(QueueDiscipline::Fifo)
+        .lint_trace(&trace);
+    assert!(!fifo.by_rule(Rule::PriorityInversion).is_empty());
+}
+
+#[test]
+fn ignored_startable_task_trips_idle_gap() {
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::homogeneous(2).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    // t0 on worker 0; t1 parked on worker 1 but started 5 ms late even
+    // though it was enqueued and data-ready from t=0; t2, t3 follow.
+    let d = |t: u32| profile.time(graph.task(TaskId(t)).kernel(), 0);
+    let late = d(0) + Time::from_millis(5);
+    let mut t = late + d(1);
+    let mut entries = vec![
+        ScheduleEntry {
+            task: TaskId(0),
+            worker: 0,
+            start: Time::ZERO,
+            end: d(0),
+        },
+        ScheduleEntry {
+            task: TaskId(1),
+            worker: 1,
+            start: late,
+            end: late + d(1),
+        },
+    ];
+    for task in [TaskId(2), TaskId(3)] {
+        let dur = profile.time(graph.task(task).kernel(), 0);
+        entries.push(ScheduleEntry {
+            task,
+            worker: 0,
+            start: t,
+            end: t + dur,
+        });
+        t += dur;
+    }
+    let schedule = Schedule::from_entries(entries);
+    let mut trace = trace_of(&schedule, &graph, 2);
+    for e in schedule.entries() {
+        trace.queue_events.push(QueueEvent {
+            worker: e.worker,
+            task: e.task,
+            prio: 0,
+            seq: e.task.0 as u64,
+            // t1 was startable from t=0; the others only from their start.
+            at: if e.task == TaskId(1) {
+                Time::ZERO
+            } else {
+                e.start
+            },
+            data_ready: if e.task == TaskId(1) {
+                Time::ZERO
+            } else {
+                e.start
+            },
+        });
+    }
+    let report = Linter::new(&graph, &platform, &profile).lint_trace(&trace);
+    let hits = report.by_rule(Rule::IdleGap);
+    assert_eq!(hits.len(), 1, "{}", report.to_json());
+    assert_eq!(hits[0].task, Some(TaskId(1)));
+    assert_eq!(hits[0].worker, Some(1));
+    assert_eq!(report.diagnostics.len(), 1, "{}", report.to_json());
+    // A forgiving threshold silences the warning.
+    let quiet = Linter::new(&graph, &platform, &profile)
+        .idle_gap_threshold(Time::from_secs(1))
+        .lint_trace(&trace);
+    assert!(quiet.is_clean(), "{}", quiet.to_json());
+}
+
+#[test]
+fn off_plan_placement_trips_replay_divergence() {
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::homogeneous(2).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let executed = serial_schedule(&graph, &platform, &profile, |_| 0);
+    let trace = trace_of(&executed, &graph, 2);
+    // The plan wanted t1 on worker 1.
+    let mut planned = executed.entries().to_vec();
+    planned[1].worker = 1;
+    let prescribed = Schedule::from_entries(planned);
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_prescribed(&prescribed)
+        .lint_trace(&trace);
+    let hits = report.by_rule(Rule::ReplayDivergence);
+    assert_eq!(hits.len(), 1, "{}", report.to_json());
+    assert_eq!(hits[0].task, Some(TaskId(1)));
+    // Following the plan exactly lints clean.
+    let clean = Linter::new(&graph, &platform, &profile)
+        .with_prescribed(&executed)
+        .lint_trace(&trace);
+    assert!(clean.is_clean(), "{}", clean.to_json());
+}
+
+#[test]
+fn swapped_order_trips_replay_divergence() {
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::homogeneous(2).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let executed = serial_schedule(&graph, &platform, &profile, |_| 0);
+    let trace = trace_of(&executed, &graph, 2);
+    // Same placements, but the plan ordered t2 before t1 on worker 0.
+    let mut planned = executed.entries().to_vec();
+    let (s1, e1) = (planned[1].start, planned[1].end);
+    planned[1].start = planned[2].start;
+    planned[1].end = planned[2].end;
+    planned[2].start = s1;
+    planned[2].end = e1;
+    let prescribed = Schedule::from_entries(planned);
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_prescribed(&prescribed)
+        .lint_trace(&trace);
+    assert!(
+        !report.by_rule(Rule::ReplayDivergence).is_empty(),
+        "{}",
+        report.to_json()
+    );
+}

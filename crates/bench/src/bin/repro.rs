@@ -16,6 +16,8 @@
 //! repro mapping-only         # Section VI-B experiment
 //! repro sweep-k [n]          # makespan vs triangle offset k
 //!
+//! repro analyze              # lint both engines' traces (exit 1 on errors)
+//!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
 //! ```
 
@@ -26,6 +28,7 @@ use hetchol_cp::CpOptions;
 struct Args {
     csv: bool,
     json: bool,
+    analyze: bool,
     cp_budget: usize,
     rest: Vec<String>,
 }
@@ -33,6 +36,7 @@ struct Args {
 fn parse_args() -> Args {
     let mut csv = false;
     let mut json = false;
+    let mut analyze = false;
     let mut cp_budget = 30_000usize;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -40,6 +44,7 @@ fn parse_args() -> Args {
         match a.as_str() {
             "--csv" => csv = true,
             "--json" => json = true,
+            "--analyze" => analyze = true,
             "--cp-budget" => {
                 cp_budget = it
                     .next()
@@ -52,9 +57,22 @@ fn parse_args() -> Args {
     Args {
         csv,
         json,
+        analyze,
         cp_budget,
         rest,
     }
+}
+
+/// `repro --analyze` / `repro analyze`: lint both engines' traces with
+/// `hetchol-analyze` and exit nonzero on any error-severity finding.
+fn run_analyze(json: bool) -> ! {
+    let (report, errors) = bench::analyze(json);
+    print!("{report}");
+    if errors > 0 {
+        eprintln!("analyze: {errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
 }
 
 fn die(msg: &str) -> ! {
@@ -77,6 +95,9 @@ fn emit(fig: &Figure, args: &Args) {
 fn main() {
     let args = parse_args();
     let cmd = args.rest.first().map(String::as_str).unwrap_or("help");
+    if args.analyze || cmd == "analyze" {
+        run_analyze(args.json);
+    }
     let cp_opts = CpOptions {
         anneal_iters: args.cp_budget,
         node_limit: args.cp_budget,
@@ -151,7 +172,8 @@ fn main() {
                  subcommands: all table1 kfactors fig1 fig2 fig3 fig4 fig5 fig6 fig7 fig8\n\
                  \u{20}            fig9 [n k]  fig10  fig11  fig12  hint-gemmsyrk  mapping-only  sweep-k [n]\n\
                  \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
-                 flags: --csv  --json  --cp-budget <iters>"
+                 \u{20}            analyze  (lint both engines' traces; exit 1 on errors)\n\
+                 flags: --csv  --json  --analyze  --cp-budget <iters>"
             );
         }
         "all" => {

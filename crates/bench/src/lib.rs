@@ -741,6 +741,84 @@ pub fn figure9(n: usize, k: u32) -> String {
     )
 }
 
+/// `repro --analyze`: lint traces from both engines and report.
+///
+/// Simulated `dmda`/`dmdas` traces are held to the strictest contract —
+/// exact durations, bound consistency, and their queue discipline; the
+/// threaded runtime's wall-clock traces get the structural rules under
+/// [`DurationCheck::Loose`] with a generous idle-gap threshold. Returns
+/// the rendered report and the number of error-severity findings (the
+/// binary's exit code).
+pub fn analyze(json: bool) -> (String, usize) {
+    use hetchol_analyze::{Linter, QueueDiscipline};
+    use hetchol_core::schedule::DurationCheck;
+    use hetchol_core::time::Time;
+
+    let mut out = String::new();
+    let mut errors = 0;
+    let mut emit = |label: String, report: &hetchol_analyze::Report| {
+        errors += report.n_errors();
+        if json {
+            out.push_str(&format!(
+                "{{\"run\":\"{label}\",\"report\":{}}}\n",
+                report.to_json()
+            ));
+        } else {
+            out.push_str(&format!(
+                "{label}: {} error(s), {} warning(s)\n",
+                report.n_errors(),
+                report.n_warnings()
+            ));
+            for d in &report.diagnostics {
+                out.push_str(&format!("  {d}\n"));
+            }
+        }
+    };
+
+    // Simulated engine, paper platform.
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    for n in [4usize, 8] {
+        let graph = TaskGraph::cholesky(n);
+        let bounds = BoundSet::compute(n, &platform, &profile);
+        for (kind, discipline) in [
+            (SchedKind::Dmda, QueueDiscipline::Fifo),
+            (SchedKind::Dmdas, QueueDiscipline::Sorted),
+        ] {
+            let r = sim_result(n, &platform, &profile, kind, &SimOptions::default());
+            let report = Linter::new(&graph, &platform, &profile)
+                .with_bounds(bounds.clone())
+                .with_queue_discipline(discipline)
+                .lint_trace(&r.trace);
+            emit(format!("sim/{}/n={n}", kind.label()), &report);
+        }
+    }
+
+    // Threaded runtime, wall-clock timing: structural rules only.
+    for n in [2usize, 4] {
+        let graph = TaskGraph::cholesky(n);
+        let n_workers = 4;
+        let rt_platform = Platform::homogeneous(n_workers).without_comm();
+        let rt_profile = TimingProfile::mirage_homogeneous();
+        let mut scheduler = Dmda::new();
+        let r = hetchol_rt::execute_with(
+            |_| Ok::<(), std::convert::Infallible>(()),
+            &graph,
+            &mut scheduler,
+            &rt_profile,
+            n_workers,
+        )
+        .expect("no-op tasks cannot fail");
+        let report = Linter::new(&graph, &rt_platform, &rt_profile)
+            .duration_check(DurationCheck::Loose)
+            .idle_gap_threshold(Time::from_millis(50))
+            .lint_trace(&r.trace);
+        emit(format!("rt/dmda/n={n}"), &report);
+    }
+
+    (out, errors)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,9 +4,141 @@
 //! non-poisoning API (guards returned directly from `lock`, `Condvar::wait`
 //! taking `&mut MutexGuard`). Poisoned locks are recovered transparently —
 //! matching `parking_lot`, which has no poisoning at all.
+//!
+//! In addition the shim is *instrumentable*: the [`explore`] module lets a
+//! model checker (the `hetchol-analyze` interleaving explorer) interpose on
+//! every lock acquire/release, condvar wait and notify performed by threads
+//! that opted in via [`explore::checkin`]. With no hook installed a single
+//! relaxed atomic load is the only overhead.
 
 use std::ops::{Deref, DerefMut};
 use std::sync;
+
+pub mod explore {
+    //! Optional exploration hook for deterministic interleaving search.
+    //!
+    //! A model checker installs an [`ExploreHook`] with [`install`]; worker
+    //! threads that want to be *controlled* call [`checkin`] once at
+    //! startup. From then on every `Mutex::lock`, guard drop,
+    //! `Condvar::wait` and notify performed by a checked-in thread reports
+    //! to the hook — and, crucially, a controlled `Condvar::wait` never
+    //! touches the real condvar: the shim releases the real lock, parks the
+    //! thread inside [`ExploreHook::on_wait`] (where the explorer models
+    //! the wait and decides when — and whether — the thread resumes), then
+    //! reacquires the real lock. This gives the explorer full authority
+    //! over wakeup order, which is what makes lost-wakeup bugs observable
+    //! as model deadlocks instead of 60-second test hangs.
+    //!
+    //! The hook's blocking discipline (one running thread at a time, DFS
+    //! over decision points, sleep sets…) lives entirely in the installer;
+    //! the shim only guarantees the callback order below:
+    //!
+    //! * `on_lock(m)` is called **before** the real acquire — the hook must
+    //!   block until its model says `m` is free for this thread;
+    //! * `on_unlock(m)` is called **after** the real release;
+    //! * `on_wait(cv, m)` is called with the real lock **released**; when
+    //!   it returns the shim reacquires the real lock directly (no second
+    //!   `on_lock`) — the hook must model wait + reacquisition atomically;
+    //! * `on_notify(cv, all)` is called before the real notify (a no-op
+    //!   for controlled waiters, which never sleep on the real condvar);
+    //! * `on_thread_exit` fires from a TLS destructor when a checked-in
+    //!   thread terminates, however it terminates (return or unwind).
+    //!
+    //! Threads that never call [`checkin`] (e.g. the main thread) are
+    //! invisible to the hook and use the primitives at full speed.
+
+    use std::cell::{Cell, RefCell};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    /// Callbacks a model checker implements to control checked-in threads.
+    ///
+    /// Every method is invoked on the checked-in thread itself; methods
+    /// are allowed to block (that is the point) and to panic (the
+    /// explorer's abort path — the panic unwinds the worker thread).
+    pub trait ExploreHook: Send + Sync {
+        /// A worker thread registered itself under worker id `worker`.
+        fn on_checkin(&self, worker: usize);
+        /// The thread is about to acquire the mutex identified by `mutex`.
+        fn on_lock(&self, mutex: usize);
+        /// The thread released the mutex identified by `mutex`.
+        fn on_unlock(&self, mutex: usize);
+        /// The thread waits on `condvar`, having released `mutex`; return
+        /// once the model has woken the thread *and* re-granted `mutex`.
+        fn on_wait(&self, condvar: usize, mutex: usize);
+        /// The thread notified `condvar` (`all` distinguishes
+        /// `notify_all` from `notify_one`).
+        fn on_notify(&self, condvar: usize, all: bool);
+        /// The checked-in thread registered as `worker` is terminating.
+        /// Runs from a TLS destructor, so the hook must not rely on its
+        /// own thread-locals here — hence the explicit id.
+        fn on_thread_exit(&self, worker: usize);
+    }
+
+    static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static HOOK: StdMutex<Option<Arc<dyn ExploreHook>>> = StdMutex::new(None);
+
+    thread_local! {
+        static CONTROLLED: Cell<bool> = const { Cell::new(false) };
+        static EXIT_GUARD: RefCell<Option<ExitGuard>> = const { RefCell::new(None) };
+    }
+
+    struct ExitGuard(Arc<dyn ExploreHook>, usize);
+
+    impl Drop for ExitGuard {
+        fn drop(&mut self) {
+            let _ = CONTROLLED.try_with(|c| c.set(false));
+            self.0.on_thread_exit(self.1);
+        }
+    }
+
+    /// Install `hook` and start instrumenting checked-in threads.
+    ///
+    /// The registry is process-global: callers running under a test
+    /// harness must serialize sessions themselves.
+    pub fn install(hook: Arc<dyn ExploreHook>) {
+        *HOOK.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+        ACTIVE.store(true, Ordering::Release);
+    }
+
+    /// Remove the hook; threads checked in afterwards run uninstrumented.
+    pub fn uninstall() {
+        ACTIVE.store(false, Ordering::Release);
+        *HOOK.lock().unwrap_or_else(|e| e.into_inner()) = None;
+    }
+
+    /// Register the current thread as controlled worker `worker`.
+    ///
+    /// A no-op when no hook is installed, so runtimes can call it
+    /// unconditionally. Installs a TLS guard that reports thread exit.
+    pub fn checkin(worker: usize) {
+        if !ACTIVE.load(Ordering::Acquire) {
+            return;
+        }
+        let Some(hook) = HOOK.lock().unwrap_or_else(|e| e.into_inner()).clone() else {
+            return;
+        };
+        CONTROLLED.with(|c| c.set(true));
+        EXIT_GUARD.with(|g| *g.borrow_mut() = Some(ExitGuard(hook.clone(), worker)));
+        hook.on_checkin(worker);
+    }
+
+    /// The hook, iff one is installed *and* the current thread checked in.
+    pub(crate) fn current() -> Option<Arc<dyn ExploreHook>> {
+        if !ACTIVE.load(Ordering::Acquire) {
+            return None;
+        }
+        if !CONTROLLED.try_with(|c| c.get()).unwrap_or(false) {
+            return None;
+        }
+        HOOK.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// Stable identity of a sync object: its address.
+    pub(crate) fn addr<T: ?Sized>(x: &T) -> usize {
+        x as *const T as *const () as usize
+    }
+}
 
 /// A mutual-exclusion primitive (non-poisoning `lock` API).
 #[derive(Default, Debug)]
@@ -15,9 +147,12 @@ pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 /// RAII guard of a locked [`Mutex`].
 ///
 /// Holds the underlying std guard in an `Option` so [`Condvar::wait`] can
-/// move it through `std`'s by-value wait and put it back.
+/// move it through `std`'s by-value wait and put it back, plus a backref
+/// to the owning mutex so the exploration hook can identify the lock on
+/// release and reacquire it after a controlled wait.
 pub struct MutexGuard<'a, T: ?Sized> {
     inner: Option<sync::MutexGuard<'a, T>>,
+    owner: &'a Mutex<T>,
 }
 
 impl<T> Mutex<T> {
@@ -35,17 +170,30 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
+        if let Some(hook) = explore::current() {
+            // The hook blocks until its model grants this thread the lock;
+            // the real acquire below then succeeds without contention.
+            hook.on_lock(explore::addr(self));
+        }
         MutexGuard {
             inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+            owner: self,
         }
     }
 
     /// Try to acquire the lock without blocking.
+    ///
+    /// Not a schedule point for the exploration hook (the runtime under
+    /// test never uses it on controlled threads).
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Ok(g) => Some(MutexGuard {
+                inner: Some(g),
+                owner: self,
+            }),
             Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
                 inner: Some(e.into_inner()),
+                owner: self,
             }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
@@ -67,6 +215,21 @@ impl<T: ?Sized> Deref for MutexGuard<'_, T> {
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         self.inner.as_mut().expect("guard live outside wait")
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        let inner = self.inner.take();
+        let was_locked = inner.is_some();
+        drop(inner); // real release happens first…
+        if was_locked {
+            if let Some(hook) = explore::current() {
+                // …then the model release, so a thread the explorer
+                // schedules next never blocks on the real lock.
+                hook.on_unlock(explore::addr(self.owner));
+            }
+        }
     }
 }
 
@@ -117,17 +280,32 @@ impl Condvar {
     /// reacquiring the lock before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard live outside wait");
+        if let Some(hook) = explore::current() {
+            // Controlled wait: never sleep on the real condvar. Release
+            // the real lock, park inside the hook (which models the wait
+            // and the reacquisition), then retake the real lock directly.
+            drop(inner);
+            hook.on_wait(explore::addr(self), explore::addr(guard.owner));
+            guard.inner = Some(guard.owner.0.lock().unwrap_or_else(|e| e.into_inner()));
+            return;
+        }
         let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
         guard.inner = Some(reacquired);
     }
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
+        if let Some(hook) = explore::current() {
+            hook.on_notify(explore::addr(self), false);
+        }
         self.0.notify_one();
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) {
+        if let Some(hook) = explore::current() {
+            hook.on_notify(explore::addr(self), true);
+        }
         self.0.notify_all();
     }
 }

@@ -1,5 +1,5 @@
 //! Task graphs of the tiled factorizations (Figure 1 of the paper for
-//! Cholesky; LU and QR are the DESIGN.md §8 extension).
+//! Cholesky; LU and QR are the DESIGN.md §9 extension).
 //!
 //! Dependencies are derived *data-driven* from the per-task accesses of
 //! [`crate::task::TaskCoords::accesses`]: a read depends on the last writer
@@ -112,7 +112,7 @@ impl TaskGraph {
     }
 
     /// Build the task graph of the tiled LU factorization *without
-    /// pivoting* of an `n × n`-tile matrix (extension; see DESIGN.md §8).
+    /// pivoting* of an `n × n`-tile matrix (extension; see DESIGN.md §9).
     ///
     /// Per step `k`: `GETRF(k)`, then the row panel (`LuTrsmRow`), the
     /// column panel (`LuTrsmCol`), then the `(n-1-k)²` trailing `LuGemm`
@@ -138,7 +138,7 @@ impl TaskGraph {
 
     /// Build the task graph of the tiled QR factorization (flat-tree
     /// elimination, as in PLASMA's default) of an `n × n`-tile matrix
-    /// (extension; see DESIGN.md §8).
+    /// (extension; see DESIGN.md §9).
     ///
     /// Per step `k`: `GEQRT(k)`, the `ORMQR` row applications, then for
     /// each sub-diagonal row `i` a `TSQRT(k, i)` followed by its row of

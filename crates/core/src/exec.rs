@@ -25,7 +25,7 @@ use crate::platform::WorkerId;
 use crate::scheduler::{ExecutionView, SchedContext, Scheduler};
 use crate::task::TaskId;
 use crate::time::Time;
-use crate::trace::{Trace, TraceEvent, TransferEvent};
+use crate::trace::{QueueEvent, Trace, TraceEvent, TransferEvent};
 
 /// Indegree-based readiness tracking over a [`TaskGraph`].
 ///
@@ -180,7 +180,8 @@ impl WorkerQueues {
     }
 
     /// Append `task` to worker `w`'s queue — at the back for FIFO, or at
-    /// its `(-prio, seq)` rank for sorted queues.
+    /// its `(-prio, seq)` rank for sorted queues. Returns the global
+    /// enqueue sequence number assigned to the entry.
     pub fn enqueue(
         &mut self,
         w: WorkerId,
@@ -189,7 +190,7 @@ impl WorkerQueues {
         data_ready: Time,
         exec_estimate: Time,
         sorted: bool,
-    ) {
+    ) -> u64 {
         let entry = QueueEntry {
             task,
             prio,
@@ -207,6 +208,7 @@ impl WorkerQueues {
         } else {
             queue.push(entry);
         }
+        entry.seq
     }
 
     /// Remove and return the first entry of worker `w`'s queue that
@@ -311,14 +313,16 @@ impl<H: EngineHooks + ?Sized> ExecutionView for QueueView<'_, H> {
 
 /// Push one ready task through the scheduler into a worker queue: build
 /// the [`QueueView`], let the scheduler assign a worker, start the data
-/// prefetch via [`EngineHooks::data_ready`], and enqueue under the
-/// scheduler's queue discipline. Returns the chosen worker.
+/// prefetch via [`EngineHooks::data_ready`], enqueue under the
+/// scheduler's queue discipline, and log a [`QueueEvent`] so the linter
+/// can audit the decision post hoc. Returns the chosen worker.
 pub fn dispatch<H: EngineHooks + ?Sized>(
     task: TaskId,
     now: Time,
     ctx: &SchedContext,
     scheduler: &mut dyn Scheduler,
     queues: &mut WorkerQueues,
+    recorder: &mut TraceRecorder,
     hooks: &mut H,
 ) -> WorkerId {
     let w = {
@@ -334,7 +338,7 @@ pub fn dispatch<H: EngineHooks + ?Sized>(
         .profile
         .time(ctx.graph.task(task).kernel(), ctx.platform.class_of(w));
     let data_ready = hooks.data_ready(task, w, now);
-    queues.enqueue(
+    let seq = queues.enqueue(
         w,
         task,
         prio,
@@ -342,6 +346,14 @@ pub fn dispatch<H: EngineHooks + ?Sized>(
         exec_estimate,
         scheduler.sorted_queues(),
     );
+    recorder.record_enqueue(QueueEvent {
+        worker: w,
+        task,
+        prio,
+        seq,
+        at: now,
+        data_ready,
+    });
     w
 }
 
@@ -351,6 +363,7 @@ pub struct TraceRecorder {
     n_workers: usize,
     events: Vec<TraceEvent>,
     transfers: Vec<TransferEvent>,
+    queue_events: Vec<QueueEvent>,
 }
 
 impl TraceRecorder {
@@ -360,7 +373,13 @@ impl TraceRecorder {
             n_workers,
             events: Vec::with_capacity(n_tasks),
             transfers: Vec::new(),
+            queue_events: Vec::with_capacity(n_tasks),
         }
+    }
+
+    /// Record one dispatcher enqueue decision (called by [`dispatch`]).
+    pub fn record_enqueue(&mut self, event: QueueEvent) {
+        self.queue_events.push(event);
     }
 
     /// Record one completed task execution.
@@ -416,6 +435,7 @@ impl TraceRecorder {
                 n_workers: self.n_workers,
                 events: self.events,
                 transfers: self.transfers,
+                queue_events: self.queue_events,
             },
             makespan,
         )
@@ -557,6 +577,7 @@ mod tests {
             profile: &profile,
         };
         let mut queues = WorkerQueues::new(2);
+        let mut rec = TraceRecorder::new(2, graph.len());
         let entry = graph.entry_tasks()[0];
         let w = dispatch(
             entry,
@@ -564,6 +585,7 @@ mod tests {
             &ctx,
             &mut ToWorkerOne,
             &mut queues,
+            &mut rec,
             &mut SingleNode,
         );
         assert_eq!(w, 1);
@@ -572,6 +594,14 @@ mod tests {
         let e = q_pop(&mut queues, 1);
         assert_eq!(e.task, entry);
         assert_eq!(e.exec_estimate, profile.time(graph.task(entry).kernel(), 0));
+        // The enqueue decision was logged with the queue's seq and prio.
+        let (trace, _) = rec.finish();
+        assert_eq!(trace.queue_events.len(), 1);
+        let qe = trace.queue_events[0];
+        assert_eq!(qe.worker, 1);
+        assert_eq!(qe.task, entry);
+        assert_eq!(qe.prio, entry.0 as i64);
+        assert_eq!(qe.seq, 0);
     }
 
     fn q_pop(q: &mut WorkerQueues, w: WorkerId) -> QueueEntry {

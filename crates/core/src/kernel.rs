@@ -4,7 +4,7 @@
 //! SYRK / GEMM, Section II-A) and notes the same methodology applies to
 //! the other one-sided factorizations; this crate also carries the tiled
 //! LU (no pivoting) and tiled QR kernel sets so the bounds, schedulers
-//! and simulator can be exercised on them (see DESIGN.md §8, Extensions).
+//! and simulator can be exercised on them (see DESIGN.md §9, Extensions).
 //!
 //! LU reuses the BLAS3 `TRSM`/`GEMM` kernels (their cost per tile is the
 //! same as in Cholesky); only its diagonal factorization `GETRF` is new.

@@ -34,6 +34,8 @@
 //! * [`metrics`] — GFLOP/s conversions and result-series containers used by
 //!   the reproduction harness.
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod dag;
 pub mod exec;
@@ -58,4 +60,4 @@ pub use schedule::{DurationCheck, Schedule, ScheduleEntry, ScheduleError};
 pub use scheduler::{ExecutionView, SchedContext, Scheduler, StaticView};
 pub use task::{Access, AccessMode, Task, TaskCoords, TaskId, Tile};
 pub use time::Time;
-pub use trace::{Trace, TraceEvent, TransferEvent};
+pub use trace::{QueueEvent, Trace, TraceEvent, TransferEvent};

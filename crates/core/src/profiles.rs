@@ -26,9 +26,9 @@ pub const PAPER_TILE_SIZE: usize = 960;
 
 /// CPU-core kernel times (ms) at `nb = 960` backing the Mirage profile.
 /// The first four (Cholesky) are chosen to match realistic
-/// MKL-on-Westmere rates (GEMM ≈ 9.5 GFLOP/s per core) — see DESIGN.md §4.
+/// MKL-on-Westmere rates (GEMM ≈ 9.5 GFLOP/s per core) — see DESIGN.md §5.
 /// The LU/QR entries are flop-proportional extrapolations at slightly
-/// lower rates for the irregular kernels (extension, DESIGN.md §8).
+/// lower rates for the irregular kernels (extension, DESIGN.md §9).
 pub const MIRAGE_CPU_MS: [f64; Kernel::COUNT] = [
     59.0,  // POTRF
     104.0, // TRSM

@@ -41,6 +41,14 @@ pub enum ScheduleError {
         /// Entries found.
         found: usize,
     },
+    /// The entry count matches but the sorted entries are not the graph's
+    /// task ids `0..n` — some task is duplicated and another missing.
+    MisnumberedEntry {
+        /// The task id this slot of the sorted entries should hold.
+        expected: TaskId,
+        /// The task id actually found there.
+        found: TaskId,
+    },
     /// An entry references a worker outside the platform.
     BadWorker(TaskId, WorkerId),
     /// A task ends before it starts.
@@ -79,6 +87,12 @@ impl std::fmt::Display for ScheduleError {
                 write!(
                     f,
                     "schedule has {found} entries, graph has {expected} tasks"
+                )
+            }
+            ScheduleError::MisnumberedEntry { expected, found } => {
+                write!(
+                    f,
+                    "schedule slot for {expected} holds {found}: a task is duplicated or missing"
                 )
             }
             ScheduleError::BadWorker(t, w) => write!(f, "{t} assigned to nonexistent worker {w}"),
@@ -182,9 +196,9 @@ impl Schedule {
         for (idx, e) in self.entries.iter().enumerate() {
             // Sorted + complete => entry i must be task i.
             if e.task.index() != idx {
-                return Err(ScheduleError::WrongTaskSet {
-                    expected: graph.len(),
-                    found: self.entries.len(),
+                return Err(ScheduleError::MisnumberedEntry {
+                    expected: TaskId(idx as u32),
+                    found: e.task,
                 });
             }
             if e.worker >= platform.n_workers() {
@@ -290,10 +304,13 @@ mod tests {
         let mut s = sequential_n2(&g, &prof);
         let dup = s.entries[0];
         s.entries[1] = dup; // two entries for task 0, none for task 1
-        assert!(matches!(
+        assert_eq!(
             s.validate(&g, &p, &prof, DurationCheck::Exact),
-            Err(ScheduleError::WrongTaskSet { .. })
-        ));
+            Err(ScheduleError::MisnumberedEntry {
+                expected: TaskId(1),
+                found: TaskId(0),
+            })
+        );
     }
 
     #[test]

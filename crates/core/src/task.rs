@@ -100,7 +100,7 @@ pub struct Access {
 /// The algorithmic coordinates of a task in one of the supported tiled
 /// factorizations: Cholesky (Algorithm 1 of the paper), LU without
 /// pivoting, or QR (the `Lu*`/`Qr*`-prefixed variants are the extension
-/// described in DESIGN.md §8).
+/// described in DESIGN.md §9).
 #[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
 pub enum TaskCoords {
     /// `POTRF(k)`: factor diagonal tile `A[k][k]`.

@@ -43,6 +43,30 @@ pub struct TransferEvent {
     pub end: Time,
 }
 
+/// One task being pushed into a worker queue by the dispatcher.
+///
+/// Queue events carry the scheduler's `prio` and the global enqueue `seq`
+/// that [`crate::exec::WorkerQueues`] used, so post-hoc analysis (the
+/// `hetchol-analyze` linter) can audit queue discipline — e.g. detect a
+/// priority inversion on a `dmdas` sorted queue — without re-running the
+/// engine.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct QueueEvent {
+    /// Worker whose queue received the task.
+    pub worker: WorkerId,
+    /// The enqueued task.
+    pub task: TaskId,
+    /// Scheduler priority at enqueue time.
+    pub prio: i64,
+    /// Global enqueue sequence number (engine-wide, monotonically
+    /// increasing across all workers).
+    pub seq: u64,
+    /// Time the dispatcher pushed the task.
+    pub at: Time,
+    /// When the task's inputs were (estimated) resident at the worker.
+    pub data_ready: Time,
+}
+
 /// A complete execution trace.
 #[derive(Clone, Debug, Default)]
 pub struct Trace {
@@ -52,6 +76,8 @@ pub struct Trace {
     pub events: Vec<TraceEvent>,
     /// Tile transfers, in completion order.
     pub transfers: Vec<TransferEvent>,
+    /// Dispatcher enqueue events, in `seq` order.
+    pub queue_events: Vec<QueueEvent>,
 }
 
 impl Trace {
@@ -229,6 +255,7 @@ mod tests {
                 start: Time::ZERO,
                 end: Time::from_millis(2),
             }],
+            queue_events: Vec::new(),
         }
     }
 

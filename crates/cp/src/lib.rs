@@ -145,6 +145,19 @@ pub fn optimize_from(
         }
     }
 
+    // In debug builds, run the full linter over the winning schedule: a
+    // search bug (broken neighbor move, bad bound pruning) must surface
+    // here as a structured report, not as a silently-impossible result.
+    #[cfg(debug_assertions)]
+    {
+        let report = hetchol_analyze::Linter::new(graph, platform, profile).lint_schedule(&best);
+        debug_assert!(
+            report.is_clean(),
+            "optimizer produced an invalid schedule: {}",
+            report.to_json()
+        );
+    }
+
     CpSolution {
         makespan: best_makespan,
         schedule: best,

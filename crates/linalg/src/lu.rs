@@ -1,4 +1,4 @@
-//! Tiled LU factorization without pivoting (extension, DESIGN.md §8).
+//! Tiled LU factorization without pivoting (extension, DESIGN.md §9).
 //!
 //! `A = L·U` with `L` unit lower triangular and `U` upper triangular,
 //! computed in place over a [`FullTiledMatrix`]. No pivoting: callers must

@@ -1,4 +1,4 @@
-//! Tiled QR factorization numerics (extension, DESIGN.md §8).
+//! Tiled QR factorization numerics (extension, DESIGN.md §9).
 //!
 //! Flat-tree tile QR à la Buttari et al.: `GEQRT` factors a diagonal tile
 //! with Householder reflectors, `TSQRT` eliminates a sub-diagonal tile

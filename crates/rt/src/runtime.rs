@@ -68,7 +68,7 @@ pub fn execute(
 }
 
 /// Execute the LU DAG on a full tiled matrix with real threads
-/// (extension, DESIGN.md §8). Same contract as [`execute`].
+/// (extension, DESIGN.md §9). Same contract as [`execute`].
 pub fn execute_lu(
     matrix: &mut hetchol_linalg::full::FullTiledMatrix,
     graph: &TaskGraph,
@@ -93,7 +93,7 @@ pub fn execute_lu(
     Ok(result)
 }
 
-/// Execute the QR DAG with real threads (extension, DESIGN.md §8).
+/// Execute the QR DAG with real threads (extension, DESIGN.md §9).
 /// Returns the runtime trace plus the factored parts for verification via
 /// [`hetchol_linalg::qr::QrMatrix::from_parts`].
 pub fn execute_qr(
@@ -134,6 +134,50 @@ pub fn execute_with<E: Send>(
     profile: &TimingProfile,
     n_workers: usize,
 ) -> Result<RtResult, E> {
+    execute_with_inner(apply, graph, scheduler, profile, n_workers, false)
+}
+
+/// Seeded worker-loop faults for the race checker (`race-mutations`
+/// feature). Each flag reintroduces a classic concurrency bug so
+/// `hetchol-analyze`'s interleaving explorer can prove it would catch it.
+#[cfg(feature = "race-mutations")]
+#[derive(Copy, Clone, Debug, Default)]
+pub struct Mutations {
+    /// Skip the `notify_all` after dispatching successors — the classic
+    /// lost wakeup: a worker parked on the condvar never learns its queue
+    /// gained a task, and the run deadlocks under the right interleaving.
+    pub drop_release_notify: bool,
+}
+
+/// [`execute_with`] with seeded faults enabled — test-only surface for the
+/// race checker; never use outside the explorer's regression tests.
+#[cfg(feature = "race-mutations")]
+pub fn execute_with_mutated<E: Send>(
+    apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    mutations: Mutations,
+) -> Result<RtResult, E> {
+    execute_with_inner(
+        apply,
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+        mutations.drop_release_notify,
+    )
+}
+
+fn execute_with_inner<E: Send>(
+    apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    drop_release_notify: bool,
+) -> Result<RtResult, E> {
     assert!(n_workers > 0, "need at least one worker");
     let platform = Platform::homogeneous(n_workers);
     let ctx = SchedContext {
@@ -156,13 +200,20 @@ pub fn execute_with<E: Send>(
     {
         let mut s = shared.lock();
         let mut sched = scheduler.lock();
-        for t in s.deps.initial_ready() {
+        let Shared {
+            deps,
+            queues,
+            recorder,
+            ..
+        } = &mut *s;
+        for t in deps.initial_ready() {
             exec::dispatch(
                 t,
                 Time::ZERO,
                 &ctx,
                 &mut **sched,
-                &mut s.queues,
+                queues,
+                recorder,
                 &mut SingleNode,
             );
         }
@@ -175,56 +226,67 @@ pub fn execute_with<E: Send>(
             let apply = &apply;
             let ctx = &ctx;
             let scheduler = &scheduler;
-            scope.spawn(move || loop {
-                let task = {
+            scope.spawn(move || {
+                // Register with the (normally inert) interleaving explorer:
+                // gives this thread a stable identity across replayed runs.
+                parking_lot::explore::checkin(w);
+                loop {
+                    let task = {
+                        let mut s = shared.lock();
+                        loop {
+                            if s.deps.is_done() || s.error.is_some() {
+                                return;
+                            }
+                            // First startable task in this worker's queue (the
+                            // `may_start` gate supports strict schedule replay).
+                            let popped = {
+                                let mut sched = scheduler.lock();
+                                s.queues.pop_startable(w, |t| sched.may_start(t, w))
+                            };
+                            if let Some(entry) = popped {
+                                scheduler.lock().notify_start(entry.task, w);
+                                let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                                s.queues.set_busy_until(w, now + entry.exec_estimate);
+                                break entry.task;
+                            }
+                            condvar.wait(&mut s);
+                        }
+                    };
+
+                    let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                    let result = apply(ctx.graph.task(task).coords);
+                    let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+
                     let mut s = shared.lock();
-                    loop {
-                        if s.deps.is_done() || s.error.is_some() {
+                    s.queues.set_idle(w);
+                    match result {
+                        Err(e) => {
+                            s.error.get_or_insert(e);
+                            condvar.notify_all();
                             return;
                         }
-                        // First startable task in this worker's queue (the
-                        // `may_start` gate supports strict schedule replay).
-                        let popped = {
+                        Ok(()) => {
+                            s.recorder.record(ctx.graph, w, task, start, end);
+                            let newly_ready = s.deps.release(ctx.graph, task);
                             let mut sched = scheduler.lock();
-                            s.queues.pop_startable(w, |t| sched.may_start(t, w))
-                        };
-                        if let Some(entry) = popped {
-                            scheduler.lock().notify_start(entry.task, w);
-                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                            s.queues.set_busy_until(w, now + entry.exec_estimate);
-                            break entry.task;
+                            let Shared {
+                                queues, recorder, ..
+                            } = &mut *s;
+                            for succ in newly_ready {
+                                exec::dispatch(
+                                    succ,
+                                    end,
+                                    ctx,
+                                    &mut **sched,
+                                    queues,
+                                    recorder,
+                                    &mut SingleNode,
+                                );
+                            }
+                            if !drop_release_notify {
+                                condvar.notify_all();
+                            }
                         }
-                        condvar.wait(&mut s);
-                    }
-                };
-
-                let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                let result = apply(ctx.graph.task(task).coords);
-                let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-
-                let mut s = shared.lock();
-                s.queues.set_idle(w);
-                match result {
-                    Err(e) => {
-                        s.error.get_or_insert(e);
-                        condvar.notify_all();
-                        return;
-                    }
-                    Ok(()) => {
-                        s.recorder.record(ctx.graph, w, task, start, end);
-                        let newly_ready = s.deps.release(ctx.graph, task);
-                        let mut sched = scheduler.lock();
-                        for succ in newly_ready {
-                            exec::dispatch(
-                                succ,
-                                end,
-                                ctx,
-                                &mut **sched,
-                                &mut s.queues,
-                                &mut SingleNode,
-                            );
-                        }
-                        condvar.notify_all();
                     }
                 }
             });

@@ -107,7 +107,7 @@ impl LockedTiledMatrix {
 }
 
 /// A full (square) tiled matrix with per-tile locks, for the LU runtime
-/// path (extension, DESIGN.md §8).
+/// path (extension, DESIGN.md §9).
 pub struct LockedFullTiledMatrix {
     n_tiles: usize,
     nb: usize,

@@ -183,7 +183,15 @@ pub fn simulate(
 
     // Seed the initial ready set in submission order.
     for t in deps.initial_ready() {
-        exec::dispatch(t, now, &ctx, scheduler, &mut queues, &mut data);
+        exec::dispatch(
+            t,
+            now,
+            &ctx,
+            scheduler,
+            &mut queues,
+            &mut recorder,
+            &mut data,
+        );
     }
 
     loop {
@@ -221,7 +229,15 @@ pub fn simulate(
         }
         // Release successors.
         for s in deps.release(graph, task) {
-            exec::dispatch(s, now, &ctx, scheduler, &mut queues, &mut data);
+            exec::dispatch(
+                s,
+                now,
+                &ctx,
+                scheduler,
+                &mut queues,
+                &mut recorder,
+                &mut data,
+            );
         }
     }
 

@@ -22,7 +22,10 @@
 //!   bounds and the GEMM peak, on an in-repo simplex.
 //! * [`hetchol_cp`] (as [`cp`]) — CP-style branch-and-bound and
 //!   local-search schedule optimization.
+//! * [`hetchol_analyze`] (as [`analyze`]) — the schedule/trace linter and
+//!   the interleaving-exploring race checker (DESIGN.md §4).
 
+pub use hetchol_analyze as analyze;
 pub use hetchol_bounds as bounds;
 pub use hetchol_core as core;
 pub use hetchol_cp as cp;

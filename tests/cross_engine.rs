@@ -5,11 +5,14 @@
 //! order* — the rt with profiled estimates and real (no-op) execution, the
 //! sim with jitter off.
 
+use hetchol::analyze::Linter;
 use hetchol::core::dag::TaskGraph;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
+use hetchol::core::schedule::DurationCheck;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::core::task::TaskId;
+use hetchol::core::time::Time;
 use hetchol::core::trace::Trace;
 use hetchol::rt::execute_with;
 use hetchol::sched::{Dmda, Dmdas, ScheduleInjector};
@@ -123,4 +126,17 @@ fn injected_schedule_replays_same_per_worker_order_in_both_engines() {
         planned,
         "rt replay diverged from the injected plan"
     );
+
+    // Both legs must also pass the linter's replay-divergence rule against
+    // the injected plan — the structured form of the assertions above.
+    let sim_report = Linter::new(&graph, &platform, &profile)
+        .with_prescribed(&plan)
+        .lint_trace(&sim.trace);
+    assert!(sim_report.is_clean(), "sim: {}", sim_report.to_json());
+    let rt_report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .idle_gap_threshold(Time::from_millis(50))
+        .with_prescribed(&plan)
+        .lint_trace(&rt.trace);
+    assert_eq!(rt_report.n_errors(), 0, "rt: {}", rt_report.to_json());
 }
