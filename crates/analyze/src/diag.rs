@@ -45,6 +45,10 @@ pub enum Rule {
     IdleGap,
     /// A replayed trace deviates from its prescribed schedule.
     ReplayDivergence,
+    /// An observability span is internally inconsistent or disagrees with
+    /// the plain trace (phase timestamps out of order, span/event
+    /// mismatch, missing spans).
+    SpanConsistency,
 }
 
 impl Rule {
@@ -65,11 +69,12 @@ impl Rule {
             Rule::PriorityInversion => "priority-inversion",
             Rule::IdleGap => "idle-gap",
             Rule::ReplayDivergence => "replay-divergence",
+            Rule::SpanConsistency => "span-consistency",
         }
     }
 
     /// All rules, for catalog listings and coverage tests.
-    pub const ALL: [Rule; 14] = [
+    pub const ALL: [Rule; 15] = [
         Rule::TaskSetSize,
         Rule::TaskMisnumbered,
         Rule::BadWorker,
@@ -84,6 +89,7 @@ impl Rule {
         Rule::PriorityInversion,
         Rule::IdleGap,
         Rule::ReplayDivergence,
+        Rule::SpanConsistency,
     ];
 }
 

@@ -10,14 +10,23 @@
 //! * hint conformance — declare the TRSM-triangle hint parameters and
 //!   off-class placements of pinned TRSMs are flagged;
 //! * queue discipline — declare `dmda` (FIFO) or `dmdas` (sorted) and the
-//!   trace's [`QueueEvent`] stream is audited for priority inversions;
+//!   per-task dispatch records are audited for priority inversions;
 //! * idle gaps — workers idling over a startable queued task;
 //! * replay divergence — give the prescribed [`Schedule`] and the trace's
-//!   placements and per-worker orders are compared against the plan.
+//!   placements and per-worker orders are compared against the plan;
+//! * span consistency — give the run's [`ObsReport`] and its phase spans
+//!   are checked internally and against the plain trace.
+//!
+//! The queue-discipline and idle-gap rules consume per-task records
+//! `(seq, prio, queued, data_ready, start)`. With [`Linter::with_obs`]
+//! they read those straight from the structured [`ObsReport`] spans; with
+//! only a plain trace they reconstruct them by joining the dispatcher's
+//! `QueueEvent` stream against the execution events.
 
 use crate::diag::{Diagnostic, Report, Rule, Severity};
 use hetchol_bounds::BoundSet;
 use hetchol_core::dag::TaskGraph;
+use hetchol_core::obs::ObsReport;
 use hetchol_core::platform::{ClassId, Platform};
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::schedule::{DurationCheck, Schedule};
@@ -54,6 +63,19 @@ pub struct Linter<'a> {
     queue_discipline: Option<QueueDiscipline>,
     prescribed: Option<&'a Schedule>,
     idle_gap_threshold: Time,
+    obs: Option<&'a ObsReport>,
+}
+
+/// One task's dispatch-to-start record, the common input of the
+/// queue-discipline and idle-gap rules.
+#[derive(Copy, Clone, Debug)]
+struct TaskRecord {
+    seq: u64,
+    prio: i64,
+    task: TaskId,
+    queued: Time,
+    data_ready: Time,
+    start: Time,
 }
 
 impl<'a> Linter<'a> {
@@ -74,6 +96,7 @@ impl<'a> Linter<'a> {
             queue_discipline: None,
             prescribed: None,
             idle_gap_threshold: Time::from_micros(10),
+            obs: None,
         }
     }
 
@@ -115,6 +138,16 @@ impl<'a> Linter<'a> {
         self
     }
 
+    /// Feed the run's structured observability report: the
+    /// queue-discipline and idle-gap rules then read their per-task
+    /// records straight from the phase spans (strictly richer than the
+    /// `QueueEvent` reconstruction), and the span-consistency rule is
+    /// armed. An [`ObsReport`] from a disabled sink is ignored.
+    pub fn with_obs(mut self, obs: &'a ObsReport) -> Self {
+        self.obs = Some(obs);
+        self
+    }
+
     /// Lint a schedule: structural rules, bound consistency, and hint
     /// conformance.
     pub fn lint_schedule(&self, schedule: &Schedule) -> Report {
@@ -139,12 +172,56 @@ impl<'a> Linter<'a> {
         let schedule = trace.to_schedule();
         let mut report = self.lint_schedule(&schedule);
         let mut diags = std::mem::take(&mut report.diagnostics);
-        self.check_priority_inversion(trace, &mut diags);
-        self.check_idle_gaps(trace, &mut diags);
+        let records = self.task_records(trace);
+        self.check_priority_inversion(&records, &mut diags);
+        self.check_idle_gaps(trace, &records, &mut diags);
         if let Some(prescribed) = self.prescribed {
             self.check_replay(trace, prescribed, &mut diags);
         }
+        self.check_span_consistency(trace, &mut diags);
         finish(diags)
+    }
+
+    /// The per-worker dispatch records the queue-discipline and idle-gap
+    /// rules run on: read from the observability spans when armed, else
+    /// reconstructed by joining `QueueEvent`s with execution events.
+    /// Sorted by `(start, seq)` within each worker.
+    fn task_records(&self, trace: &Trace) -> Vec<Vec<TaskRecord>> {
+        let mut per_worker: Vec<Vec<TaskRecord>> = vec![Vec::new(); trace.n_workers];
+        if let Some(obs) = self.obs.filter(|o| o.enabled) {
+            for s in &obs.spans {
+                if s.worker < trace.n_workers {
+                    per_worker[s.worker].push(TaskRecord {
+                        seq: s.seq,
+                        prio: s.prio,
+                        task: s.task,
+                        queued: s.queued,
+                        data_ready: s.data_ready,
+                        start: s.start,
+                    });
+                }
+            }
+        } else {
+            for qe in &trace.queue_events {
+                let Some(ev) = trace.events.iter().find(|e| e.task == qe.task) else {
+                    continue; // enqueued but never executed: set rules cover it
+                };
+                if qe.worker < trace.n_workers {
+                    per_worker[qe.worker].push(TaskRecord {
+                        seq: qe.seq,
+                        prio: qe.prio,
+                        task: qe.task,
+                        queued: qe.at,
+                        data_ready: qe.data_ready,
+                        start: ev.start,
+                    });
+                }
+            }
+        }
+        for records in &mut per_worker {
+            records.sort_by_key(|r| (r.start, r.seq));
+        }
+        per_worker
     }
 
     /// The fail-fast validator's rules, exhaustively.
@@ -345,45 +422,40 @@ impl<'a> Linter<'a> {
         }
     }
 
-    /// Audit per-worker start order against the dispatcher's queue-event
-    /// stream under the declared discipline.
-    fn check_priority_inversion(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+    /// Audit per-worker start order against the dispatch records under
+    /// the declared discipline.
+    fn check_priority_inversion(&self, records: &[Vec<TaskRecord>], diags: &mut Vec<Diagnostic>) {
         let Some(discipline) = self.queue_discipline else {
             return;
         };
-        // (seq, prio, task, start) per worker, sorted by start time.
-        let mut per_worker: Vec<Vec<(u64, i64, TaskId, Time)>> = vec![Vec::new(); trace.n_workers];
-        for qe in &trace.queue_events {
-            let Some(ev) = trace.events.iter().find(|e| e.task == qe.task) else {
-                continue; // enqueued but never executed: set rules cover it
-            };
-            if qe.worker < trace.n_workers {
-                per_worker[qe.worker].push((qe.seq, qe.prio, qe.task, ev.start));
-            }
-        }
-        for (worker, mut evs) in per_worker.into_iter().enumerate() {
-            evs.sort_by_key(|&(seq, _, _, start)| (start, seq));
-            for (i, &(seq_b, prio_b, task_b, start_b)) in evs.iter().enumerate() {
+        for (worker, evs) in records.iter().enumerate() {
+            for (i, b) in evs.iter().enumerate() {
                 // Find an earlier-started task that was enqueued after this
                 // one yet outranked it under the declared discipline.
-                let offender = evs[..i].iter().find(|&&(seq_a, prio_a, _, start_a)| {
-                    let enqueued_later = seq_a > seq_b;
+                let offender = evs[..i].iter().find(|a| {
+                    let enqueued_later = a.seq > b.seq;
                     let outranked = match discipline {
                         QueueDiscipline::Fifo => true,
-                        QueueDiscipline::Sorted => prio_b >= prio_a,
+                        QueueDiscipline::Sorted => b.prio >= a.prio,
                     };
-                    start_a < start_b && enqueued_later && outranked
+                    a.start < b.start && enqueued_later && outranked
                 });
-                if let Some(&(seq_a, prio_a, task_a, _)) = offender {
+                if let Some(a) = offender {
                     diags.push(Diagnostic {
                         rule: Rule::PriorityInversion,
                         severity: Severity::Warning,
-                        task: Some(task_b),
+                        task: Some(b.task),
                         worker: Some(worker),
                         message: format!(
-                            "worker {worker}: {task_b} (seq {seq_b}, prio {prio_b}) started after \
-                             {task_a} (seq {seq_a}, prio {prio_a}) despite outranking it under the \
+                            "worker {worker}: {} (seq {}, prio {}) started after \
+                             {} (seq {}, prio {}) despite outranking it under the \
                              {} discipline",
+                            b.task,
+                            b.seq,
+                            b.prio,
+                            a.task,
+                            a.seq,
+                            a.prio,
                             match discipline {
                                 QueueDiscipline::Fifo => "FIFO",
                                 QueueDiscipline::Sorted => "sorted",
@@ -397,8 +469,13 @@ impl<'a> Linter<'a> {
 
     /// A worker idling across a gap while a startable task sat in its
     /// queue is scheduling anomaly (or a deliberate `may_start` hold).
-    fn check_idle_gaps(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
-        for worker in 0..trace.n_workers {
+    fn check_idle_gaps(
+        &self,
+        trace: &Trace,
+        records: &[Vec<TaskRecord>],
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        for (worker, worker_records) in records.iter().enumerate().take(trace.n_workers) {
             let evs = trace.worker_events(worker);
             // Gaps: from t=0 to the first start, and between executions.
             let mut gaps: Vec<(Time, Time)> = Vec::new();
@@ -413,27 +490,83 @@ impl<'a> Linter<'a> {
                 if g1 - g0 <= self.idle_gap_threshold {
                     continue;
                 }
-                for qe in &trace.queue_events {
-                    if qe.worker != worker || qe.at > g0 || qe.data_ready > g0 {
-                        continue;
+                for r in worker_records {
+                    if r.queued > g0 || r.data_ready > g0 {
+                        continue; // not yet startable when the gap opened
                     }
-                    let Some(ev) = trace.events.iter().find(|e| e.task == qe.task) else {
-                        continue;
-                    };
-                    if ev.start >= g1 {
+                    if r.start >= g1 {
                         diags.push(Diagnostic {
                             rule: Rule::IdleGap,
                             severity: Severity::Warning,
-                            task: Some(qe.task),
+                            task: Some(r.task),
                             worker: Some(worker),
                             message: format!(
                                 "worker {worker} idled over [{g0}, {g1}) while {} (enqueued at {}, \
                                  data ready at {}) was startable in its queue",
-                                qe.task, qe.at, qe.data_ready
+                                r.task, r.queued, r.data_ready
                             ),
                         });
                     }
                 }
+            }
+        }
+    }
+
+    /// The observability spans must be internally consistent and agree
+    /// with the plain trace (armed by [`Linter::with_obs`]).
+    fn check_span_consistency(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+        let Some(obs) = self.obs.filter(|o| o.enabled) else {
+            return;
+        };
+        if obs.spans.len() != trace.events.len() {
+            diags.push(Diagnostic {
+                rule: Rule::SpanConsistency,
+                severity: Severity::Error,
+                task: None,
+                worker: None,
+                message: format!(
+                    "observability recorded {} spans but the trace has {} executions",
+                    obs.spans.len(),
+                    trace.events.len()
+                ),
+            });
+        }
+        for s in &obs.spans {
+            if s.end < s.start || s.queued > s.start {
+                diags.push(Diagnostic {
+                    rule: Rule::SpanConsistency,
+                    severity: Severity::Error,
+                    task: Some(s.task),
+                    worker: Some(s.worker),
+                    message: format!(
+                        "{}: phase timestamps out of order (queued {}, start {}, end {})",
+                        s.task, s.queued, s.start, s.end
+                    ),
+                });
+                continue;
+            }
+            match trace.events.iter().find(|e| e.task == s.task) {
+                None => diags.push(Diagnostic {
+                    rule: Rule::SpanConsistency,
+                    severity: Severity::Error,
+                    task: Some(s.task),
+                    worker: Some(s.worker),
+                    message: format!("{} has a span but no trace event", s.task),
+                }),
+                Some(e) if (e.worker, e.start, e.end) != (s.worker, s.start, s.end) => {
+                    diags.push(Diagnostic {
+                        rule: Rule::SpanConsistency,
+                        severity: Severity::Error,
+                        task: Some(s.task),
+                        worker: Some(s.worker),
+                        message: format!(
+                            "{}: span (worker {}, [{}, {})) disagrees with trace event \
+                             (worker {}, [{}, {}))",
+                            s.task, s.worker, s.start, s.end, e.worker, e.start, e.end
+                        ),
+                    });
+                }
+                Some(_) => {}
             }
         }
     }

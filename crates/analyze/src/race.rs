@@ -11,13 +11,13 @@
 //! * the `parking_lot` compat shim reports every lock acquire/release,
 //!   condvar wait and notify of checked-in worker threads to an installed
 //!   [`parking_lot::explore::ExploreHook`];
-//! * the [`Session`] hook enforces a *cooperative* model — exactly one
+//! * the `Session` hook enforces a *cooperative* model — exactly one
 //!   worker thread runs at a time, each step spanning from one blocking
 //!   operation (checkin, lock acquire, condvar wait) to the next;
 //! * whenever every live thread is parked, the last parker picks which
 //!   thread runs next — replaying a prescribed prefix of choices, then
 //!   following a deterministic first-choice rule;
-//! * the driver ([`explore`]) runs the scenario repeatedly, depth-first
+//! * the driver ([`explore()`]) runs the scenario repeatedly, depth-first
 //!   over the tree of choices, pruning provably-equivalent branches with
 //!   sleep sets (two steps with disjoint sync-object footprints commute);
 //! * a state where no parked thread can make progress is a **deadlock** —
@@ -89,7 +89,7 @@ pub struct Deadlock {
     pub parked: Vec<(usize, String)>,
 }
 
-/// Outcome of one [`explore`] call.
+/// Outcome of one [`explore()`] call.
 #[derive(Clone, Debug, Default)]
 pub struct ExploreReport {
     /// Number of runs executed.
@@ -784,7 +784,7 @@ impl Scheduler for RoundRobin {
     }
 }
 
-/// Model-check `hetchol_rt::execute_with` on `graph` with `n_workers`
+/// Model-check `hetchol_rt::execute_workload` on `graph` with `n_workers`
 /// threads: explore the worker-loop interleavings with a no-op task body
 /// and the [`RoundRobin`] scheduler, asserting every run executes the
 /// whole DAG.
@@ -792,12 +792,14 @@ pub fn explore_runtime(graph: &TaskGraph, n_workers: usize, cfg: ExploreConfig) 
     let profile = TimingProfile::mirage_homogeneous();
     explore(n_workers, cfg, || {
         let mut sched = RoundRobin;
-        let r = hetchol_rt::execute_with(
-            |_| Ok::<(), std::convert::Infallible>(()),
+        let workload = hetchol_rt::FnWorkload(|_| Ok::<(), std::convert::Infallible>(()));
+        let r = hetchol_rt::execute_workload(
+            &workload,
             graph,
             &mut sched,
             &profile,
             n_workers,
+            hetchol_core::obs::ObsSink::disabled(),
         )
         .expect("no-op tasks cannot fail");
         assert_eq!(

@@ -12,7 +12,7 @@ use hetchol_core::task::{TaskCoords, TaskId};
 use hetchol_core::time::Time;
 use hetchol_core::trace::{QueueEvent, Trace, TraceEvent};
 use hetchol_sched::Dmdas;
-use hetchol_sim::{simulate, SimOptions};
+use hetchol_sim::{simulate_with, SimOptions};
 use proptest::prelude::*;
 
 /// A deterministic simulated run on the paper's Mirage platform.
@@ -20,12 +20,13 @@ fn valid_run(n: usize) -> (TaskGraph, Platform, TimingProfile, Trace) {
     let graph = TaskGraph::cholesky(n);
     let platform = Platform::mirage().without_comm();
     let profile = TimingProfile::mirage();
-    let r = simulate(
+    let r = simulate_with(
         &graph,
         &platform,
         &profile,
         &mut Dmdas::new(),
         &SimOptions::default(),
+        hetchol_core::obs::ObsSink::disabled(),
     );
     (graph, platform, profile, r.trace)
 }
@@ -379,4 +380,83 @@ fn swapped_order_trips_replay_divergence() {
         "{}",
         report.to_json()
     );
+}
+
+#[test]
+fn obs_armed_runs_lint_clean_with_every_rule() {
+    // The span-fed record path must agree with the QueueEvent
+    // reconstruction: an obs-armed simulated run lints clean under the
+    // full rule catalog, including span-consistency.
+    for n in [2, 4] {
+        let graph = TaskGraph::cholesky(n);
+        let platform = Platform::mirage().without_comm();
+        let profile = TimingProfile::mirage();
+        let r = simulate_with(
+            &graph,
+            &platform,
+            &profile,
+            &mut Dmdas::new(),
+            &SimOptions::default(),
+            hetchol_core::obs::ObsSink::enabled(),
+        );
+        let bounds = BoundSet::compute(n, &platform, &profile);
+        let prescribed = r.trace.to_schedule();
+        let report = Linter::new(&graph, &platform, &profile)
+            .with_bounds(bounds)
+            .with_queue_discipline(QueueDiscipline::Sorted)
+            .with_prescribed(&prescribed)
+            .with_obs(&r.obs)
+            .lint_trace(&r.trace);
+        assert!(report.is_clean(), "n={n}: {}", report.to_json());
+    }
+}
+
+#[test]
+fn tampered_trace_trips_span_consistency() {
+    let graph = TaskGraph::cholesky(2);
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let r = simulate_with(
+        &graph,
+        &platform,
+        &profile,
+        &mut Dmdas::new(),
+        &SimOptions::default(),
+        hetchol_core::obs::ObsSink::enabled(),
+    );
+    // Shift one execution: the span no longer matches the trace event.
+    let mut trace = r.trace.clone();
+    trace.events[1].start += Time::from_millis(1);
+    trace.events[1].end += Time::from_millis(1);
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_obs(&r.obs)
+        .lint_trace(&trace);
+    let hits = report.by_rule(Rule::SpanConsistency);
+    assert_eq!(hits.len(), 1, "{}", report.to_json());
+    assert_eq!(hits[0].task, Some(trace.events[1].task));
+    // Dropping an event entirely is a span-count mismatch plus a
+    // missing-event finding.
+    let mut short = r.trace.clone();
+    short.events.pop();
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_obs(&r.obs)
+        .lint_trace(&short);
+    assert!(
+        report.by_rule(Rule::SpanConsistency).len() >= 2,
+        "{}",
+        report.to_json()
+    );
+    // A disabled-sink report is ignored: no span rule fires.
+    let disabled = simulate_with(
+        &graph,
+        &platform,
+        &profile,
+        &mut Dmdas::new(),
+        &SimOptions::default(),
+        hetchol_core::obs::ObsSink::disabled(),
+    );
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_obs(&disabled.obs)
+        .lint_trace(&trace);
+    assert!(report.by_rule(Rule::SpanConsistency).is_empty());
 }

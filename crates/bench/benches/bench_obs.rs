@@ -1,0 +1,53 @@
+//! Criterion benchmark of the observability layer's overhead: the same
+//! simulated run with the no-op (disabled) sink vs the recording
+//! (enabled) sink. The disabled sink is one `Option` branch per hook, so
+//! its column is the engine's baseline cost; the enabled column prices
+//! span/counter recording (but not export, which is off the hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::kernel::Kernel;
+use hetchol_core::obs::ObsSink;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_sched::Dmdas;
+use hetchol_sim::{simulate_with, SimOptions};
+
+fn bench_obs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observability");
+    group.sample_size(10);
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    for &n in &[8usize, 16, 32] {
+        let graph = TaskGraph::cholesky(n);
+        group.throughput(Throughput::Elements(Kernel::total_cholesky_tasks(n) as u64));
+        group.bench_with_input(BenchmarkId::new("sim_obs_disabled", n), &n, |b, _| {
+            b.iter(|| {
+                simulate_with(
+                    &graph,
+                    &platform,
+                    &profile,
+                    &mut Dmdas::new(),
+                    &SimOptions::default(),
+                    ObsSink::disabled(),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sim_obs_enabled", n), &n, |b, _| {
+            b.iter(|| {
+                simulate_with(
+                    &graph,
+                    &platform,
+                    &profile,
+                    &mut Dmdas::new(),
+                    &SimOptions::default(),
+                    ObsSink::enabled(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs);
+criterion_main!(benches);

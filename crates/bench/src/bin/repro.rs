@@ -17,8 +17,12 @@
 //! repro sweep-k [n]          # makespan vs triangle offset k
 //!
 //! repro analyze              # lint both engines' traces (exit 1 on errors)
+//! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
+//! Add `--obs-out <dir>` to any subcommand to also run one instrumented
+//! reference workload per engine and write observability artifacts
+//! (Chrome trace, utilization report, summary JSON) into `<dir>`.
 //! ```
 
 use hetchol_bench as bench;
@@ -30,6 +34,7 @@ struct Args {
     json: bool,
     analyze: bool,
     cp_budget: usize,
+    obs_out: Option<std::path::PathBuf>,
     rest: Vec<String>,
 }
 
@@ -38,6 +43,7 @@ fn parse_args() -> Args {
     let mut json = false;
     let mut analyze = false;
     let mut cp_budget = 30_000usize;
+    let mut obs_out = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -51,6 +57,12 @@ fn parse_args() -> Args {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--cp-budget needs an integer"));
             }
+            "--obs-out" => {
+                obs_out = Some(std::path::PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| die("--obs-out needs a directory")),
+                ));
+            }
             _ => rest.push(a),
         }
     }
@@ -59,6 +71,7 @@ fn parse_args() -> Args {
         json,
         analyze,
         cp_budget,
+        obs_out,
         rest,
     }
 }
@@ -73,6 +86,44 @@ fn run_analyze(json: bool) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0)
+}
+
+/// `repro obs-check <file...>`: schema-validate Chrome-trace JSON files
+/// (the golden checker CI runs against `--obs-out` artifacts).
+fn run_obs_check(files: &[String]) -> ! {
+    if files.is_empty() {
+        die("obs-check needs at least one trace file");
+    }
+    let mut bad = 0usize;
+    for f in files {
+        let text = match std::fs::read_to_string(f) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("{f}: unreadable: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        match hetchol_core::obs::validate_chrome_trace(&text) {
+            Ok(n) => println!("{f}: ok ({n} events)"),
+            Err(e) => {
+                eprintln!("{f}: INVALID: {e}");
+                bad += 1;
+            }
+        }
+    }
+    std::process::exit(if bad > 0 { 1 } else { 0 })
+}
+
+fn run_obs_dump(dir: &std::path::Path) {
+    match bench::obs_dump(dir) {
+        Ok(paths) => {
+            for p in paths {
+                println!("obs: wrote {}", p.display());
+            }
+        }
+        Err(e) => die(&format!("--obs-out {}: {e}", dir.display())),
+    }
 }
 
 fn die(msg: &str) -> ! {
@@ -95,6 +146,13 @@ fn emit(fig: &Figure, args: &Args) {
 fn main() {
     let args = parse_args();
     let cmd = args.rest.first().map(String::as_str).unwrap_or("help");
+    if cmd == "obs-check" {
+        run_obs_check(&args.rest[1..]);
+    }
+    // Observability artifacts ride along with any subcommand.
+    if let Some(dir) = &args.obs_out {
+        run_obs_dump(dir);
+    }
     if args.analyze || cmd == "analyze" {
         run_analyze(args.json);
     }
@@ -173,7 +231,8 @@ fn main() {
                  \u{20}            fig9 [n k]  fig10  fig11  fig12  hint-gemmsyrk  mapping-only  sweep-k [n]\n\
                  \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
                  \u{20}            analyze  (lint both engines' traces; exit 1 on errors)\n\
-                 flags: --csv  --json  --analyze  --cp-budget <iters>"
+                 \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
+                 flags: --csv  --json  --analyze  --cp-budget <iters>  --obs-out <dir>"
             );
         }
         "all" => {

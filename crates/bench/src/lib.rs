@@ -10,6 +10,7 @@ use hetchol_bounds::BoundSet;
 use hetchol_core::algorithm::Algorithm;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::metrics::{Figure, Series};
+use hetchol_core::obs::ObsSink;
 use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::Scheduler;
@@ -18,7 +19,7 @@ use hetchol_sched::{
     Dmda, Dmdas, EagerScheduler, GemmSyrkOnGpu, MappingInjector, RandomScheduler, ScheduleInjector,
     TriangleTrsmOnCpu,
 };
-use hetchol_sim::{simulate, SimOptions, SimResult};
+use hetchol_sim::{simulate_with, SimOptions, SimResult};
 
 /// The matrix sizes (in 960-tiles) of every plot in the paper.
 pub const PAPER_SIZES: [usize; 8] = [4, 8, 12, 16, 20, 24, 28, 32];
@@ -97,7 +98,14 @@ pub fn sim_result(
 ) -> SimResult {
     let graph = TaskGraph::cholesky(n);
     let mut scheduler = kind.build(opts.seed);
-    simulate(&graph, platform, profile, scheduler.as_mut(), opts)
+    simulate_with(
+        &graph,
+        platform,
+        profile,
+        scheduler.as_mut(),
+        opts,
+        ObsSink::disabled(),
+    )
 }
 
 /// Run one simulation of any supported factorization.
@@ -111,7 +119,14 @@ pub fn sim_result_algo(
 ) -> SimResult {
     let graph = algo.graph(n);
     let mut scheduler = kind.build(opts.seed);
-    simulate(&graph, platform, profile, scheduler.as_mut(), opts)
+    simulate_with(
+        &graph,
+        platform,
+        profile,
+        scheduler.as_mut(),
+        opts,
+        ObsSink::disabled(),
+    )
 }
 
 /// The paper's methodology applied to another factorization (its stated
@@ -477,12 +492,13 @@ pub fn figure10(cp_opts: &CpOptions, cp_max_size: usize) -> Figure {
             hetchol_core::metrics::gflops(n, profile.nb(), sol.makespan),
         );
         let mut inj = ScheduleInjector::new(&sol.schedule);
-        let replay = simulate(
+        let replay = simulate_with(
             &graph,
             &platform,
             &profile,
             &mut inj,
             &SimOptions::default(),
+            ObsSink::disabled(),
         );
         cp_sim.push(n as f64, replay.gflops(n, profile.nb()));
     }
@@ -592,21 +608,23 @@ pub fn figure_mapping_only(cp_opts: &CpOptions, sizes: &[usize]) -> Figure {
             profile: &profile,
         };
         let mut inj = ScheduleInjector::new(&sol.schedule);
-        let r = simulate(
+        let r = simulate_with(
             &graph,
             &platform,
             &profile,
             &mut inj,
             &SimOptions::default(),
+            ObsSink::disabled(),
         );
         full.push(n as f64, r.gflops(n, profile.nb()));
         let mut map = MappingInjector::new(&sol.schedule, &ctx);
-        let r = simulate(
+        let r = simulate_with(
             &graph,
             &platform,
             &profile,
             &mut map,
             &SimOptions::default(),
+            ObsSink::disabled(),
         );
         mapping.push(n as f64, r.gflops(n, profile.nb()));
     }
@@ -746,7 +764,8 @@ pub fn figure9(n: usize, k: u32) -> String {
 /// Simulated `dmda`/`dmdas` traces are held to the strictest contract —
 /// exact durations, bound consistency, and their queue discipline; the
 /// threaded runtime's wall-clock traces get the structural rules under
-/// [`DurationCheck::Loose`] with a generous idle-gap threshold. Returns
+/// [`DurationCheck::Loose`](hetchol_core::schedule::DurationCheck) with a
+/// generous idle-gap threshold. Returns
 /// the rendered report and the number of error-severity findings (the
 /// binary's exit code).
 pub fn analyze(json: bool) -> (String, usize) {
@@ -775,7 +794,9 @@ pub fn analyze(json: bool) -> (String, usize) {
         }
     };
 
-    // Simulated engine, paper platform.
+    // Simulated engine, paper platform. Runs are obs-instrumented so the
+    // linter reads its task records from the structured spans and the
+    // span-consistency rule is armed.
     let platform = Platform::mirage().without_comm();
     let profile = TimingProfile::mirage();
     for n in [4usize, 8] {
@@ -785,10 +806,19 @@ pub fn analyze(json: bool) -> (String, usize) {
             (SchedKind::Dmda, QueueDiscipline::Fifo),
             (SchedKind::Dmdas, QueueDiscipline::Sorted),
         ] {
-            let r = sim_result(n, &platform, &profile, kind, &SimOptions::default());
+            let mut scheduler = kind.build(0);
+            let r = simulate_with(
+                &graph,
+                &platform,
+                &profile,
+                scheduler.as_mut(),
+                &SimOptions::default(),
+                ObsSink::enabled(),
+            );
             let report = Linter::new(&graph, &platform, &profile)
                 .with_bounds(bounds.clone())
                 .with_queue_discipline(discipline)
+                .with_obs(&r.obs)
                 .lint_trace(&r.trace);
             emit(format!("sim/{}/n={n}", kind.label()), &report);
         }
@@ -801,22 +831,89 @@ pub fn analyze(json: bool) -> (String, usize) {
         let rt_platform = Platform::homogeneous(n_workers).without_comm();
         let rt_profile = TimingProfile::mirage_homogeneous();
         let mut scheduler = Dmda::new();
-        let r = hetchol_rt::execute_with(
-            |_| Ok::<(), std::convert::Infallible>(()),
+        let workload = hetchol_rt::FnWorkload(|_| Ok::<(), std::convert::Infallible>(()));
+        let r = hetchol_rt::execute_workload(
+            &workload,
             &graph,
             &mut scheduler,
             &rt_profile,
             n_workers,
+            ObsSink::enabled(),
         )
         .expect("no-op tasks cannot fail");
         let report = Linter::new(&graph, &rt_platform, &rt_profile)
             .duration_check(DurationCheck::Loose)
             .idle_gap_threshold(Time::from_millis(50))
+            .with_obs(&r.obs)
             .lint_trace(&r.trace);
         emit(format!("rt/dmda/n={n}"), &report);
     }
 
     (out, errors)
+}
+
+/// `repro --obs-out <dir>`: run one instrumented reference workload per
+/// engine and write the observability artifacts — Chrome-trace JSON
+/// (`chrome://tracing` / Perfetto), a per-worker utilization report, and
+/// the machine-readable summary — into `dir`. Every Chrome trace is
+/// schema-validated before being reported. Returns the written paths.
+pub fn obs_dump(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf>> {
+    use hetchol_core::obs::{validate_chrome_trace, ObsReport};
+
+    std::fs::create_dir_all(dir)?;
+    let mut written = Vec::new();
+    let mut dump = |stem: &str, obs: &ObsReport| -> std::io::Result<()> {
+        let chrome = obs.to_chrome_trace();
+        validate_chrome_trace(&chrome).map_err(std::io::Error::other)?;
+        for (ext, body) in [
+            ("trace.json", chrome),
+            ("util.txt", obs.utilization_report()),
+            ("summary.json", obs.summary_json()),
+        ] {
+            let path = dir.join(format!("{stem}.{ext}"));
+            std::fs::write(&path, body)?;
+            written.push(path);
+        }
+        Ok(())
+    };
+
+    // Simulated engine on the full Mirage platform (with communication,
+    // so the traces carry transfer segments).
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    let graph = TaskGraph::cholesky(8);
+    for kind in [SchedKind::Dmda, SchedKind::Dmdas] {
+        let mut scheduler = kind.build(0);
+        let r = simulate_with(
+            &graph,
+            &platform,
+            &profile,
+            scheduler.as_mut(),
+            &SimOptions::default(),
+            ObsSink::enabled(),
+        );
+        dump(
+            &format!("sim_{}_n8", kind.label().replace(' ', "_")),
+            &r.obs,
+        )?;
+    }
+
+    // Threaded runtime: a no-op Cholesky DAG on 4 host threads.
+    let graph = TaskGraph::cholesky(4);
+    let mut scheduler = Dmdas::new();
+    let workload = hetchol_rt::FnWorkload(|_| Ok::<(), std::convert::Infallible>(()));
+    let r = hetchol_rt::execute_workload(
+        &workload,
+        &graph,
+        &mut scheduler,
+        &TimingProfile::mirage_homogeneous(),
+        4,
+        ObsSink::enabled(),
+    )
+    .expect("no-op tasks cannot fail");
+    dump("rt_dmdas_n4", &r.obs)?;
+
+    Ok(written)
 }
 
 #[cfg(test)]

@@ -21,6 +21,7 @@
 //!   common [`Trace`].
 
 use crate::dag::TaskGraph;
+use crate::obs::{ObsReport, ObsSink};
 use crate::platform::WorkerId;
 use crate::scheduler::{ExecutionView, SchedContext, Scheduler};
 use crate::task::TaskId;
@@ -221,12 +222,31 @@ impl WorkerQueues {
     pub fn pop_startable(
         &mut self,
         w: WorkerId,
-        mut may_start: impl FnMut(TaskId) -> bool,
+        may_start: impl FnMut(TaskId) -> bool,
     ) -> Option<QueueEntry> {
+        self.pop_startable_indexed(w, may_start).map(|(e, _)| e)
+    }
+
+    /// Like [`WorkerQueues::pop_startable`], additionally returning how
+    /// many gated entries ahead of the dequeued one were bypassed — a
+    /// nonzero count is a *backfill* start, which the observability layer
+    /// counts per worker.
+    pub fn pop_startable_indexed(
+        &mut self,
+        w: WorkerId,
+        mut may_start: impl FnMut(TaskId) -> bool,
+    ) -> Option<(QueueEntry, usize)> {
         let pos = (0..self.queues[w].len()).find(|&i| may_start(self.queues[w][i].task))?;
         let entry = self.queues[w].remove(pos);
         self.queued_exec[w] = self.queued_exec[w].saturating_sub(entry.exec_estimate);
-        Some(entry)
+        Some((entry, pos))
+    }
+
+    /// Current number of queued entries on worker `w` (a gauge the
+    /// observability layer samples at enqueue time).
+    #[inline]
+    pub fn depth(&self, w: WorkerId) -> usize {
+        self.queues[w].len()
     }
 
     /// Mark worker `w` busy until (an estimate of) `until`.
@@ -346,35 +366,57 @@ pub fn dispatch<H: EngineHooks + ?Sized>(
         exec_estimate,
         scheduler.sorted_queues(),
     );
-    recorder.record_enqueue(QueueEvent {
+    let event = QueueEvent {
         worker: w,
         task,
         prio,
         seq,
         at: now,
         data_ready,
-    });
+    };
+    recorder
+        .obs
+        .on_dispatch(ctx.graph.task(task).kernel(), &event, queues.depth(w));
+    recorder.record_enqueue(event);
     w
 }
 
-/// Event sink shared by the engines, producing the common [`Trace`].
-#[derive(Clone, Debug)]
+/// Event sink shared by the engines, producing the common [`Trace`] and,
+/// when an [`ObsSink`] was handed in at construction, the structured
+/// [`ObsReport`].
+#[derive(Debug)]
 pub struct TraceRecorder {
     n_workers: usize,
     events: Vec<TraceEvent>,
     transfers: Vec<TransferEvent>,
     queue_events: Vec<QueueEvent>,
+    obs: ObsSink,
 }
 
 impl TraceRecorder {
-    /// Empty recorder for `n_workers` workers, sized for `n_tasks` events.
+    /// Empty recorder for `n_workers` workers, sized for `n_tasks` events,
+    /// with observability disabled.
     pub fn new(n_workers: usize, n_tasks: usize) -> TraceRecorder {
+        TraceRecorder::with_obs(n_workers, n_tasks, ObsSink::disabled())
+    }
+
+    /// Empty recorder feeding `obs` alongside the plain trace.
+    pub fn with_obs(n_workers: usize, n_tasks: usize, mut obs: ObsSink) -> TraceRecorder {
+        obs.prepare(n_workers, n_tasks);
         TraceRecorder {
             n_workers,
             events: Vec::with_capacity(n_tasks),
             transfers: Vec::new(),
             queue_events: Vec::with_capacity(n_tasks),
+            obs,
         }
+    }
+
+    /// The observability sink, for engine-specific counters (condvar
+    /// wakeups, backfill pops) that the shared core cannot see itself.
+    #[inline]
+    pub fn obs_mut(&mut self) -> &mut ObsSink {
+        &mut self.obs
     }
 
     /// Record one dispatcher enqueue decision (called by [`dispatch`]).
@@ -391,10 +433,12 @@ impl TraceRecorder {
         start: Time,
         end: Time,
     ) {
+        let kernel = graph.task(task).kernel();
+        self.obs.on_exec(task, kernel, worker, start, end);
         self.events.push(TraceEvent {
             worker,
             task,
-            kernel: graph.task(task).kernel(),
+            kernel,
             start,
             end,
         });
@@ -427,9 +471,18 @@ impl TraceRecorder {
             .unwrap_or(Time::ZERO)
     }
 
-    /// Finalize into the common trace plus its makespan.
+    /// Finalize into the common trace plus its makespan, discarding any
+    /// observability record (see [`TraceRecorder::finish_with_obs`]).
     pub fn finish(self) -> (Trace, Time) {
+        let (trace, makespan, _) = self.finish_with_obs();
+        (trace, makespan)
+    }
+
+    /// Finalize into the common trace, its makespan, and the structured
+    /// observability report (empty when the sink was disabled).
+    pub fn finish_with_obs(self) -> (Trace, Time, ObsReport) {
         let makespan = self.makespan();
+        let obs = self.obs.finish(self.n_workers, &self.transfers);
         (
             Trace {
                 n_workers: self.n_workers,
@@ -438,6 +491,7 @@ impl TraceRecorder {
                 queue_events: self.queue_events,
             },
             makespan,
+            obs,
         )
     }
 }

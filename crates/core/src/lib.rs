@@ -31,6 +31,11 @@
 //!   trace recording ([`exec::TraceRecorder`]).
 //! * [`trace`] — per-worker execution traces (Figure 12 of the paper),
 //!   idle-time accounting and ASCII Gantt rendering.
+//! * [`obs`] — structured observability: per-task phase spans
+//!   ([`obs::TaskSpan`]), the lock-cheap counter registry
+//!   ([`obs::ObsCounters`]) and the Chrome-trace / utilization / summary
+//!   exporters, recorded by both engines through the shared core when an
+//!   [`obs::ObsSink`] is enabled at run construction.
 //! * [`metrics`] — GFLOP/s conversions and result-series containers used by
 //!   the reproduction harness.
 
@@ -41,6 +46,7 @@ pub mod dag;
 pub mod exec;
 pub mod kernel;
 pub mod metrics;
+pub mod obs;
 pub mod platform;
 pub mod profiles;
 pub mod schedule;
@@ -54,6 +60,7 @@ pub use dag::TaskGraph;
 pub use exec::{DepTracker, TraceRecorder, WorkerQueues};
 pub use kernel::Kernel;
 pub use metrics::{Figure, Point, Series};
+pub use obs::{validate_chrome_trace, ObsCounters, ObsReport, ObsSink, TaskSpan, WorkerPhases};
 pub use platform::{ClassId, CommModel, MemNode, Platform, ResourceClass, ResourceKind, WorkerId};
 pub use profiles::TimingProfile;
 pub use schedule::{DurationCheck, Schedule, ScheduleEntry, ScheduleError};

@@ -1,0 +1,1142 @@
+//! Structured observability: per-task phase spans, engine counters, and
+//! exporters (Chrome trace JSON, per-worker utilization report, summary).
+//!
+//! The paper's whole diagnostic method is trace-driven — Figure 12's
+//! per-worker Gantt views are what reveal *why* `dmda`/`dmdas` leave GPU
+//! idle time. The plain [`crate::trace::Trace`] records *what executed
+//! when*; this module records *why the rest of the time was lost*: for
+//! every task a [`TaskSpan`] with its phase segments
+//! (submitted → queued → data-transfer → executing → retired), and a
+//! lock-cheap counter registry ([`ObsCounters`]: dispatches per
+//! kernel × worker, queue depths, backfill pops, condvar wakeups, transfer
+//! totals).
+//!
+//! Both engines emit spans from the one shared code path: the dispatcher
+//! ([`crate::exec::dispatch`]) opens a span when it enqueues a ready task
+//! and [`crate::exec::TraceRecorder::record`] closes it at retirement, so
+//! the simulator and the threaded runtime cannot drift apart in what they
+//! report.
+//!
+//! Observability is **zero-cost when disabled**: an [`ObsSink`] is either
+//! a no-op (`ObsSink::disabled()`, the default — one branch per hook) or
+//! an owned recording state (`ObsSink::enabled()`), selected once at run
+//! construction.
+
+use crate::kernel::Kernel;
+use crate::platform::WorkerId;
+use crate::task::TaskId;
+use crate::time::Time;
+use crate::trace::{QueueEvent, TransferEvent};
+use std::fmt::Write as _;
+
+/// One task's life cycle through the engine, as phase timestamps.
+///
+/// The phases partition the span's wall interval `[queued, end)`:
+///
+/// * **submitted / queued** at `queued` — in both engines a task is pushed
+///   through the dispatcher the moment its last dependency retires, so
+///   submission and enqueue coincide;
+/// * **data transfer** over `[queued, min(data_ready, start))` — the
+///   prefetch of missing input tiles (empty on the shared-memory runtime);
+/// * **queue wait** over the rest of `[queued, start)` — the task sat
+///   startable in its worker's queue;
+/// * **executing** over `[start, end)`;
+/// * **retired** at `end`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct TaskSpan {
+    /// The task.
+    pub task: TaskId,
+    /// Its kernel (denormalised, like [`crate::trace::TraceEvent`]).
+    pub kernel: Kernel,
+    /// Worker that ran it.
+    pub worker: WorkerId,
+    /// Scheduler priority at enqueue time.
+    pub prio: i64,
+    /// Global enqueue sequence number.
+    pub seq: u64,
+    /// Dispatch/enqueue instant (== submission instant, see above).
+    pub queued: Time,
+    /// When the task's inputs were (estimated) resident at the worker.
+    pub data_ready: Time,
+    /// Execution start.
+    pub start: Time,
+    /// Execution end (retirement).
+    pub end: Time,
+}
+
+impl TaskSpan {
+    /// Duration of the data-transfer segment `[queued, min(data_ready, start))`.
+    pub fn transfer_wait(&self) -> Time {
+        self.data_ready.min(self.start).saturating_sub(self.queued)
+    }
+
+    /// Duration of the queue-wait segment (time startable but not started).
+    pub fn queue_wait(&self) -> Time {
+        self.start
+            .saturating_sub(self.queued)
+            .saturating_sub(self.transfer_wait())
+    }
+
+    /// Duration of the executing segment.
+    pub fn exec(&self) -> Time {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// The lock-cheap counter/gauge registry.
+///
+/// All counters are plain integers bumped while the caller already holds
+/// whatever synchronisation the engine uses (the simulator is single
+/// threaded; the runtime's hooks all run under its one state lock), so
+/// recording never adds a lock acquisition of its own.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ObsCounters {
+    /// Tasks dispatched per worker × kernel, flattened as
+    /// `worker * Kernel::COUNT + kernel.index()`.
+    pub dispatched: Vec<u64>,
+    /// High-water queue depth per worker (gauge, sampled at every enqueue).
+    pub max_queue_depth: Vec<u64>,
+    /// Pops that bypassed a gated queue head per worker (the backfill /
+    /// out-of-head-order starts that schedule injection permits).
+    pub backfills: Vec<u64>,
+    /// Condvar wakeups per worker (threaded runtime only; zero in the
+    /// simulator, which has no parked threads).
+    pub wakeups: Vec<u64>,
+    /// Number of tile transfers performed.
+    pub transfers: u64,
+    /// Total wall/virtual time spent in transfers.
+    pub transfer_time: Time,
+    /// Total bytes moved by transfers (tile size is an engine concern;
+    /// engines that do not track bytes leave this zero).
+    pub transfer_bytes: u64,
+}
+
+impl ObsCounters {
+    fn sized(n_workers: usize) -> ObsCounters {
+        ObsCounters {
+            dispatched: vec![0; n_workers * Kernel::COUNT],
+            max_queue_depth: vec![0; n_workers],
+            backfills: vec![0; n_workers],
+            wakeups: vec![0; n_workers],
+            ..ObsCounters::default()
+        }
+    }
+
+    /// Tasks dispatched to `worker` with kernel `k`.
+    pub fn dispatched(&self, worker: WorkerId, k: Kernel) -> u64 {
+        self.dispatched
+            .get(worker * Kernel::COUNT + k.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total tasks dispatched across all workers and kernels.
+    pub fn total_dispatched(&self) -> u64 {
+        self.dispatched.iter().sum()
+    }
+}
+
+/// A task's in-flight recording slot.
+#[derive(Copy, Clone, Debug)]
+struct SpanSlot {
+    kernel: Kernel,
+    worker: WorkerId,
+    prio: i64,
+    seq: u64,
+    queued: Time,
+    data_ready: Time,
+    start: Time,
+    end: Time,
+    dispatched: bool,
+    executed: bool,
+}
+
+impl Default for SpanSlot {
+    fn default() -> SpanSlot {
+        SpanSlot {
+            kernel: Kernel::Potrf,
+            worker: 0,
+            prio: 0,
+            seq: 0,
+            queued: Time::ZERO,
+            data_ready: Time::ZERO,
+            start: Time::ZERO,
+            end: Time::ZERO,
+            dispatched: false,
+            executed: false,
+        }
+    }
+}
+
+/// Recording state behind an enabled [`ObsSink`].
+#[derive(Clone, Debug, Default)]
+struct ObsState {
+    n_workers: usize,
+    slots: Vec<SpanSlot>,
+    counters: ObsCounters,
+}
+
+impl ObsState {
+    fn slot(&mut self, task: TaskId) -> &mut SpanSlot {
+        let idx = task.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, SpanSlot::default);
+        }
+        &mut self.slots[idx]
+    }
+}
+
+/// The observability event sink both engines feed through the shared
+/// execution core. Either a no-op ([`ObsSink::disabled`], the default) or
+/// an owned recording state ([`ObsSink::enabled`]); the choice is made
+/// once, at run construction, so the disabled path costs one branch per
+/// hook and allocates nothing.
+#[derive(Debug, Default)]
+pub struct ObsSink(Option<Box<ObsState>>);
+
+impl ObsSink {
+    /// The no-op sink: every hook is a single `None` check.
+    pub fn disabled() -> ObsSink {
+        ObsSink(None)
+    }
+
+    /// A recording sink. Sized lazily by the engine's trace recorder.
+    pub fn enabled() -> ObsSink {
+        ObsSink(Some(Box::default()))
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Size the registry for the run (called by the trace recorder).
+    pub(crate) fn prepare(&mut self, n_workers: usize, n_tasks: usize) {
+        if let Some(s) = &mut self.0 {
+            s.n_workers = n_workers;
+            s.slots = vec![SpanSlot::default(); n_tasks];
+            s.counters = ObsCounters::sized(n_workers);
+        }
+    }
+
+    /// Open a span: the dispatcher enqueued `event.task` (called by
+    /// [`crate::exec::dispatch`] right after the queue insert).
+    pub(crate) fn on_dispatch(&mut self, kernel: Kernel, event: &QueueEvent, queue_depth: usize) {
+        if let Some(s) = &mut self.0 {
+            let idx = event.worker * Kernel::COUNT + kernel.index();
+            if let Some(c) = s.counters.dispatched.get_mut(idx) {
+                *c += 1;
+            }
+            if let Some(d) = s.counters.max_queue_depth.get_mut(event.worker) {
+                *d = (*d).max(queue_depth as u64);
+            }
+            let slot = s.slot(event.task);
+            slot.kernel = kernel;
+            slot.worker = event.worker;
+            slot.prio = event.prio;
+            slot.seq = event.seq;
+            slot.queued = event.at;
+            slot.data_ready = event.data_ready;
+            slot.dispatched = true;
+        }
+    }
+
+    /// Close a span: `task` executed over `[start, end)` on `worker`.
+    pub(crate) fn on_exec(
+        &mut self,
+        task: TaskId,
+        kernel: Kernel,
+        worker: WorkerId,
+        start: Time,
+        end: Time,
+    ) {
+        if let Some(s) = &mut self.0 {
+            let slot = s.slot(task);
+            slot.kernel = kernel;
+            slot.worker = worker;
+            slot.start = start;
+            slot.end = end;
+            slot.executed = true;
+        }
+    }
+
+    /// Count one condvar wakeup of `worker` (threaded runtime).
+    #[inline]
+    pub fn count_wakeup(&mut self, worker: WorkerId) {
+        if let Some(s) = &mut self.0 {
+            if let Some(c) = s.counters.wakeups.get_mut(worker) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Count one pop that bypassed `skipped` gated entries ahead of it in
+    /// `worker`'s queue (a backfill start).
+    #[inline]
+    pub fn count_backfill(&mut self, worker: WorkerId, skipped: usize) {
+        if skipped == 0 {
+            return;
+        }
+        if let Some(s) = &mut self.0 {
+            if let Some(c) = s.counters.backfills.get_mut(worker) {
+                *c += 1;
+            }
+        }
+    }
+
+    /// Finalize into a report, folding the engine's transfer log into the
+    /// counters. A disabled sink yields the empty report.
+    pub(crate) fn finish(self, n_workers: usize, transfers: &[TransferEvent]) -> ObsReport {
+        let Some(mut s) = self.0 else {
+            return ObsReport::empty(n_workers);
+        };
+        s.counters.transfers = transfers.len() as u64;
+        s.counters.transfer_time = transfers.iter().map(|t| t.end - t.start).sum();
+        let mut spans: Vec<TaskSpan> = s
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.executed)
+            .map(|(idx, slot)| TaskSpan {
+                task: TaskId(idx as u32),
+                kernel: slot.kernel,
+                worker: slot.worker,
+                prio: slot.prio,
+                seq: slot.seq,
+                // A span closed without a dispatch (a recorder fed
+                // directly, as some tests do) degenerates to exec-only.
+                queued: if slot.dispatched {
+                    slot.queued
+                } else {
+                    slot.start
+                },
+                data_ready: if slot.dispatched {
+                    slot.data_ready
+                } else {
+                    slot.start
+                },
+                start: slot.start,
+                end: slot.end,
+            })
+            .collect();
+        spans.sort_by_key(|sp| (sp.start, sp.seq));
+        ObsReport {
+            n_workers,
+            enabled: true,
+            spans,
+            counters: s.counters,
+        }
+    }
+}
+
+/// Per-worker phase accounting over the run's makespan.
+///
+/// The four buckets partition the worker's timeline exactly:
+/// `exec + transfer_wait + queue_wait + idle == makespan`.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerPhases {
+    /// The worker.
+    pub worker: WorkerId,
+    /// Time executing tasks.
+    pub exec: Time,
+    /// Gap time attributable to waiting for the next task's data.
+    pub transfer_wait: Time,
+    /// Gap time while the next-started task sat startable in the queue.
+    pub queue_wait: Time,
+    /// Gap time with no dispatched next task (true starvation).
+    pub idle: Time,
+}
+
+impl WorkerPhases {
+    /// Sum of all four buckets (equals the report makespan).
+    pub fn total(&self) -> Time {
+        self.exec + self.transfer_wait + self.queue_wait + self.idle
+    }
+}
+
+/// The finalized observability record of one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ObsReport {
+    /// Number of workers on the run's platform.
+    pub n_workers: usize,
+    /// Whether the run actually recorded (a disabled sink reports `false`,
+    /// with everything else empty).
+    pub enabled: bool,
+    /// One span per executed task, sorted by `(start, seq)`.
+    pub spans: Vec<TaskSpan>,
+    /// The counter registry.
+    pub counters: ObsCounters,
+}
+
+impl ObsReport {
+    /// The empty (observability-disabled) report.
+    pub fn empty(n_workers: usize) -> ObsReport {
+        ObsReport {
+            n_workers,
+            ..ObsReport::default()
+        }
+    }
+
+    /// Span of `task`, if it executed.
+    pub fn span(&self, task: TaskId) -> Option<&TaskSpan> {
+        self.spans.iter().find(|s| s.task == task)
+    }
+
+    /// Latest span end (zero when empty).
+    pub fn makespan(&self) -> Time {
+        self.spans.iter().map(|s| s.end).max().unwrap_or(Time::ZERO)
+    }
+
+    /// Spans of one worker, in start order.
+    pub fn worker_spans(&self, worker: WorkerId) -> Vec<&TaskSpan> {
+        self.spans.iter().filter(|s| s.worker == worker).collect()
+    }
+
+    /// Partition every worker's timeline into exec / transfer-wait /
+    /// queue-wait / idle (see [`WorkerPhases`]). Each gap between
+    /// executions is attributed by what the *next started* task on that
+    /// worker was doing: not yet dispatched → `idle`; dispatched but its
+    /// data in flight → `transfer_wait`; startable → `queue_wait`.
+    pub fn worker_phases(&self) -> Vec<WorkerPhases> {
+        let makespan = self.makespan();
+        (0..self.n_workers)
+            .map(|worker| {
+                let spans = self.worker_spans(worker);
+                let mut p = WorkerPhases {
+                    worker,
+                    ..WorkerPhases::default()
+                };
+                let mut cursor = Time::ZERO;
+                for s in &spans {
+                    if s.start > cursor {
+                        // Attribute the gap [cursor, s.start).
+                        let queued_at = s.queued.clamp(cursor, s.start);
+                        let ready_at = s.data_ready.max(s.queued).clamp(queued_at, s.start);
+                        p.idle += queued_at - cursor;
+                        p.transfer_wait += ready_at - queued_at;
+                        p.queue_wait += s.start - ready_at;
+                    }
+                    p.exec += s.end.saturating_sub(s.start.max(cursor));
+                    cursor = cursor.max(s.end);
+                }
+                p.idle += makespan.saturating_sub(cursor);
+                p
+            })
+            .collect()
+    }
+
+    /// Export as Chrome trace-event JSON (`chrome://tracing` /
+    /// [Perfetto](https://ui.perfetto.dev) "JSON array format").
+    ///
+    /// Every event is a complete (`"ph":"X"`) slice or a counter sample
+    /// (`"ph":"C"`), and always carries the full key set
+    /// `ph, ts, dur, pid, tid, name, args` — the schema
+    /// [`validate_chrome_trace`] pins. Timestamps are microseconds, `tid`
+    /// is the worker id, and per-task `args` carry task id, phase, prio
+    /// and enqueue seq.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::from("{\"traceEvents\":[");
+        let mut first = true;
+        let mut event = |out: &mut String,
+                         ph: &str,
+                         ts: Time,
+                         dur: Time,
+                         tid: usize,
+                         name: &str,
+                         args: &str| {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            let _ = write!(
+                out,
+                "\n{{\"ph\":\"{ph}\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{tid},\"name\":",
+                micros(ts),
+                micros(dur)
+            );
+            escape_into(name, out);
+            let _ = write!(out, ",\"args\":{{{args}}}}}");
+        };
+        for s in &self.spans {
+            let base = format!(
+                "\"task\":{},\"kernel\":\"{}\",\"prio\":{},\"seq\":{}",
+                s.task.index(),
+                s.kernel.label(),
+                s.prio,
+                s.seq
+            );
+            let transfer = s.transfer_wait();
+            let queue = s.queue_wait();
+            if !transfer.is_zero() {
+                event(
+                    &mut out,
+                    "X",
+                    s.queued,
+                    transfer,
+                    s.worker,
+                    &format!("{} #{} [transfer]", s.kernel.label(), s.task.index()),
+                    &format!("{base},\"phase\":\"transfer\""),
+                );
+            }
+            if !queue.is_zero() {
+                event(
+                    &mut out,
+                    "X",
+                    s.queued + transfer,
+                    queue,
+                    s.worker,
+                    &format!("{} #{} [queued]", s.kernel.label(), s.task.index()),
+                    &format!("{base},\"phase\":\"queued\""),
+                );
+            }
+            event(
+                &mut out,
+                "X",
+                s.start,
+                s.exec(),
+                s.worker,
+                &format!("{} #{}", s.kernel.label(), s.task.index()),
+                &format!("{base},\"phase\":\"exec\""),
+            );
+        }
+        for (name, values) in [
+            ("wakeups", &self.counters.wakeups),
+            ("backfills", &self.counters.backfills),
+            ("max_queue_depth", &self.counters.max_queue_depth),
+        ] {
+            for (w, &v) in values.iter().enumerate() {
+                if v > 0 {
+                    event(
+                        &mut out,
+                        "C",
+                        Time::ZERO,
+                        Time::ZERO,
+                        w,
+                        name,
+                        &format!("\"value\":{v}"),
+                    );
+                }
+            }
+        }
+        if !first {
+            out.push('\n');
+        }
+        out.push_str("],\"displayTimeUnit\":\"ms\"}");
+        out
+    }
+
+    /// Render the per-worker utilization / idle-histogram text report —
+    /// the numeric companion to the ASCII Gantt of
+    /// [`crate::trace::Trace::gantt_ascii`].
+    pub fn utilization_report(&self) -> String {
+        let makespan = self.makespan();
+        let mut out = String::new();
+        let _ = writeln!(out, "# per-worker phase accounting (makespan {makespan})");
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} {:>9} {:>9} {:>9} {:>6} {:>6} {:>8} {:>8} {:>5}",
+            "worker",
+            "exec%",
+            "transfer%",
+            "queued%",
+            "idle%",
+            "tasks",
+            "wakeup",
+            "backfill",
+            "disp",
+            "maxq"
+        );
+        let pct = |t: Time| {
+            if makespan.is_zero() {
+                0.0
+            } else {
+                100.0 * t.as_secs_f64() / makespan.as_secs_f64()
+            }
+        };
+        for p in self.worker_phases() {
+            let w = p.worker;
+            let _ = writeln!(
+                out,
+                "{:>6} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>6} {:>6} {:>8} {:>8} {:>5}",
+                w,
+                pct(p.exec),
+                pct(p.transfer_wait),
+                pct(p.queue_wait),
+                pct(p.idle),
+                self.worker_spans(w).len(),
+                self.counters.wakeups.get(w).copied().unwrap_or(0),
+                self.counters.backfills.get(w).copied().unwrap_or(0),
+                Kernel::ALL
+                    .iter()
+                    .map(|&k| self.counters.dispatched(w, k))
+                    .sum::<u64>(),
+                self.counters.max_queue_depth.get(w).copied().unwrap_or(0),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "transfers: {} ({} total)",
+            self.counters.transfers, self.counters.transfer_time
+        );
+        // Idle-gap histogram over all inter-execution gaps.
+        const BUCKETS: [(&str, u64); 5] = [
+            ("<100us", 100_000),
+            ("<1ms", 1_000_000),
+            ("<10ms", 10_000_000),
+            ("<100ms", 100_000_000),
+            (">=100ms", u64::MAX),
+        ];
+        let mut counts = [0u64; BUCKETS.len()];
+        for worker in 0..self.n_workers {
+            let mut cursor = Time::ZERO;
+            for s in self.worker_spans(worker) {
+                if s.start > cursor {
+                    let gap = (s.start - cursor).as_nanos();
+                    let b = BUCKETS.iter().position(|&(_, lim)| gap < lim).unwrap_or(4);
+                    counts[b] += 1;
+                }
+                cursor = cursor.max(s.end);
+            }
+        }
+        let _ = write!(out, "idle-gap histogram:");
+        for (i, (label, _)) in BUCKETS.iter().enumerate() {
+            let _ = write!(out, "  {label}: {}", counts[i]);
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Machine-readable summary JSON: makespan, per-worker phase
+    /// accounting, and the counter registry (hand-rolled, like
+    /// [`crate::metrics::Figure::to_json`]).
+    pub fn summary_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"makespan_ns\":{},\"n_workers\":{},\"n_spans\":{},\"workers\":[",
+            self.makespan().as_nanos(),
+            self.n_workers,
+            self.spans.len()
+        );
+        for (i, p) in self.worker_phases().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"worker\":{},\"exec_ns\":{},\"transfer_wait_ns\":{},\"queue_wait_ns\":{},\
+                 \"idle_ns\":{},\"tasks\":{},\"wakeups\":{},\"backfills\":{},\"max_queue_depth\":{}}}",
+                p.worker,
+                p.exec.as_nanos(),
+                p.transfer_wait.as_nanos(),
+                p.queue_wait.as_nanos(),
+                p.idle.as_nanos(),
+                self.worker_spans(p.worker).len(),
+                self.counters.wakeups.get(p.worker).copied().unwrap_or(0),
+                self.counters.backfills.get(p.worker).copied().unwrap_or(0),
+                self.counters
+                    .max_queue_depth
+                    .get(p.worker)
+                    .copied()
+                    .unwrap_or(0),
+            );
+        }
+        let _ = write!(
+            out,
+            "],\"transfers\":{},\"transfer_ns\":{}}}",
+            self.counters.transfers,
+            self.counters.transfer_time.as_nanos()
+        );
+        out
+    }
+}
+
+/// Nanoseconds → microsecond JSON number (Chrome's native unit), emitted
+/// without float noise: integral values print bare, the rest with the
+/// exact sub-microsecond remainder.
+fn micros(t: Time) -> String {
+    let ns = t.as_nanos();
+    if ns.is_multiple_of(1_000) {
+        format!("{}", ns / 1_000)
+    } else {
+        format!("{}.{:03}", ns / 1_000, ns % 1_000)
+    }
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Chrome-trace schema checker
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value — just enough structure for the schema checker to
+/// genuinely *load* an exported trace rather than pattern-match strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in key order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (strict: one value, nothing trailing).
+pub fn parse_json(text: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|&c| c as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.pos))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unchanged.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|e| e.to_string())?;
+                    let c = s.chars().next().expect("non-empty by construction");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// The keys every exported trace event must carry — the pinned schema.
+pub const CHROME_EVENT_KEYS: [&str; 7] = ["ph", "ts", "dur", "pid", "tid", "name", "args"];
+
+/// Validate a Chrome-trace JSON document against the pinned schema:
+/// a top-level object with a `traceEvents` array whose every element
+/// carries all of [`CHROME_EVENT_KEYS`] with the right types (`ph`/`name`
+/// strings, `ts`/`dur`/`pid`/`tid` finite non-negative numbers, `args` an
+/// object). Returns the number of events.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = parse_json(text)?;
+    let events = doc.get("traceEvents").ok_or("missing key `traceEvents`")?;
+    let JsonValue::Arr(events) = events else {
+        return Err("`traceEvents` is not an array".into());
+    };
+    for (i, ev) in events.iter().enumerate() {
+        for key in CHROME_EVENT_KEYS {
+            let v = ev
+                .get(key)
+                .ok_or_else(|| format!("event {i}: missing key `{key}`"))?;
+            let ok = match key {
+                "ph" | "name" => matches!(v, JsonValue::Str(_)),
+                "args" => matches!(v, JsonValue::Obj(_)),
+                _ => matches!(v, JsonValue::Num(n) if n.is_finite() && *n >= 0.0),
+            };
+            if !ok {
+                return Err(format!("event {i}: key `{key}` has the wrong type"));
+            }
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        task: u32,
+        worker: usize,
+        queued: u64,
+        data_ready: u64,
+        start: u64,
+        end: u64,
+    ) -> TaskSpan {
+        TaskSpan {
+            task: TaskId(task),
+            kernel: Kernel::Gemm,
+            worker,
+            prio: 0,
+            seq: task as u64,
+            queued: Time::from_millis(queued),
+            data_ready: Time::from_millis(data_ready),
+            start: Time::from_millis(start),
+            end: Time::from_millis(end),
+        }
+    }
+
+    fn demo_report() -> ObsReport {
+        let mut counters = ObsCounters::sized(2);
+        counters.wakeups[1] = 3;
+        counters.max_queue_depth[0] = 2;
+        ObsReport {
+            n_workers: 2,
+            enabled: true,
+            // worker 0: idle [0,2), transfer [2,4), queue [4,5), exec [5,10)
+            // worker 1: exec [0,8), idle [8,10)
+            spans: vec![span(1, 1, 0, 0, 0, 8), span(0, 0, 2, 4, 5, 10)],
+            counters,
+        }
+    }
+
+    #[test]
+    fn span_phase_segments_partition_the_span() {
+        let s = span(0, 0, 2, 4, 5, 10);
+        assert_eq!(s.transfer_wait(), Time::from_millis(2));
+        assert_eq!(s.queue_wait(), Time::from_millis(1));
+        assert_eq!(s.exec(), Time::from_millis(5));
+        assert_eq!(
+            s.transfer_wait() + s.queue_wait() + s.exec(),
+            s.end - s.queued
+        );
+        // Data that arrives only after start clamps to the start.
+        let late = span(0, 0, 0, 7, 5, 10);
+        assert_eq!(late.transfer_wait(), Time::from_millis(5));
+        assert_eq!(late.queue_wait(), Time::ZERO);
+    }
+
+    #[test]
+    fn worker_phases_partition_the_makespan() {
+        let r = demo_report();
+        let phases = r.worker_phases();
+        assert_eq!(r.makespan(), Time::from_millis(10));
+        for p in &phases {
+            assert_eq!(p.total(), r.makespan(), "worker {}", p.worker);
+        }
+        assert_eq!(phases[0].idle, Time::from_millis(2));
+        assert_eq!(phases[0].transfer_wait, Time::from_millis(2));
+        assert_eq!(phases[0].queue_wait, Time::from_millis(1));
+        assert_eq!(phases[0].exec, Time::from_millis(5));
+        assert_eq!(phases[1].exec, Time::from_millis(8));
+        assert_eq!(phases[1].idle, Time::from_millis(2));
+    }
+
+    #[test]
+    fn disabled_sink_reports_empty() {
+        let mut sink = ObsSink::disabled();
+        assert!(!sink.is_enabled());
+        sink.prepare(4, 10);
+        sink.count_wakeup(0);
+        sink.count_backfill(0, 1);
+        let r = sink.finish(4, &[]);
+        assert!(!r.enabled);
+        assert!(r.spans.is_empty());
+        assert_eq!(r, ObsReport::empty(4));
+    }
+
+    #[test]
+    fn enabled_sink_records_spans_and_counters() {
+        let mut sink = ObsSink::enabled();
+        sink.prepare(2, 2);
+        let qe = QueueEvent {
+            worker: 1,
+            task: TaskId(0),
+            prio: 7,
+            seq: 0,
+            at: Time::from_millis(1),
+            data_ready: Time::from_millis(3),
+        };
+        sink.on_dispatch(Kernel::Trsm, &qe, 1);
+        sink.on_exec(
+            TaskId(0),
+            Kernel::Trsm,
+            1,
+            Time::from_millis(4),
+            Time::from_millis(9),
+        );
+        sink.count_wakeup(1);
+        sink.count_backfill(1, 2);
+        sink.count_backfill(1, 0); // not a backfill
+        let r = sink.finish(2, &[]);
+        assert!(r.enabled);
+        assert_eq!(r.spans.len(), 1);
+        let s = r.span(TaskId(0)).unwrap();
+        assert_eq!(s.worker, 1);
+        assert_eq!(s.prio, 7);
+        assert_eq!(s.queued, Time::from_millis(1));
+        assert_eq!(s.data_ready, Time::from_millis(3));
+        assert_eq!(s.exec(), Time::from_millis(5));
+        assert_eq!(r.counters.dispatched(1, Kernel::Trsm), 1);
+        assert_eq!(r.counters.total_dispatched(), 1);
+        assert_eq!(r.counters.wakeups[1], 1);
+        assert_eq!(r.counters.backfills[1], 1);
+        assert_eq!(r.counters.max_queue_depth[1], 1);
+    }
+
+    #[test]
+    fn chrome_trace_validates_against_pinned_schema() {
+        let r = demo_report();
+        let json = r.to_chrome_trace();
+        let n = validate_chrome_trace(&json).expect("schema-valid");
+        // worker-0 span: transfer + queued + exec; worker-1 span: exec;
+        // plus two counter events (wakeups, max_queue_depth).
+        assert_eq!(n, 6);
+        // The document genuinely loads.
+        let doc = parse_json(&json).unwrap();
+        let JsonValue::Arr(evs) = doc.get("traceEvents").unwrap() else {
+            panic!("traceEvents not an array");
+        };
+        assert!(evs
+            .iter()
+            .any(|e| e.get("name") == Some(&JsonValue::Str("GEMM #0 [transfer]".into()))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e.get("args").unwrap().get("phase"),
+                              Some(JsonValue::Str(p)) if p == "exec")));
+    }
+
+    #[test]
+    fn chrome_trace_of_empty_report_is_valid() {
+        assert_eq!(
+            validate_chrome_trace(&ObsReport::empty(3).to_chrome_trace()),
+            Ok(0)
+        );
+    }
+
+    #[test]
+    fn validator_rejects_broken_documents() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\":7}").is_err());
+        // An event missing `dur` must be rejected.
+        let bad = "{\"traceEvents\":[{\"ph\":\"X\",\"ts\":0,\"pid\":0,\"tid\":0,\
+                    \"name\":\"x\",\"args\":{}}]}";
+        let err = validate_chrome_trace(bad).unwrap_err();
+        assert!(err.contains("dur"), "{err}");
+        // Wrong type: ph must be a string.
+        let bad = "{\"traceEvents\":[{\"ph\":3,\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0,\
+                    \"name\":\"x\",\"args\":{}}]}";
+        assert!(validate_chrome_trace(bad).is_err());
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json("{\"a\": [1, -2.5e1, \"q\\\"\\u0041\", null, true, {}]}").unwrap();
+        let JsonValue::Arr(items) = v.get("a").unwrap() else {
+            panic!()
+        };
+        assert_eq!(items[0], JsonValue::Num(1.0));
+        assert_eq!(items[1], JsonValue::Num(-25.0));
+        assert_eq!(items[2], JsonValue::Str("q\"A".into()));
+        assert_eq!(items[3], JsonValue::Null);
+        assert_eq!(items[4], JsonValue::Bool(true));
+        assert!(parse_json("{\"a\":1} trailing").is_err());
+        assert!(parse_json("[1,]").is_err());
+    }
+
+    #[test]
+    fn utilization_report_and_summary_json() {
+        let r = demo_report();
+        let text = r.utilization_report();
+        assert!(text.contains("phase accounting"));
+        assert!(text.contains("idle-gap histogram"));
+        let summary = r.summary_json();
+        let doc = parse_json(&summary).expect("summary is valid JSON");
+        assert_eq!(doc.get("makespan_ns"), Some(&JsonValue::Num(10_000_000.0)));
+        let JsonValue::Arr(workers) = doc.get("workers").unwrap() else {
+            panic!()
+        };
+        assert_eq!(workers.len(), 2);
+        // Phase accounting in the summary sums to the makespan.
+        for w in workers {
+            let ns = |k: &str| match w.get(k) {
+                Some(JsonValue::Num(n)) => *n,
+                _ => panic!("missing {k}"),
+            };
+            assert_eq!(
+                ns("exec_ns") + ns("transfer_wait_ns") + ns("queue_wait_ns") + ns("idle_ns"),
+                10_000_000.0
+            );
+        }
+    }
+
+    #[test]
+    fn micros_formatting_is_exact() {
+        assert_eq!(micros(Time::from_millis(1)), "1000");
+        assert_eq!(micros(Time::from_nanos(1_500)), "1.500");
+        assert_eq!(micros(Time::from_nanos(999)), "0.999");
+        assert_eq!(micros(Time::ZERO), "0");
+    }
+}

@@ -18,13 +18,19 @@
 //! standing in for StarPU's automatic calibration (paper Section IV-A).
 //!
 //! Beyond the paper's Cholesky scope, the engine is generic over the task
-//! executor ([`execute_with`]): [`execute_lu`] and [`execute_qr`] run the
-//! extension factorizations on the same real-thread machinery.
+//! executor: [`execute_workload`] runs any [`Workload`] — the three
+//! factorizations ship as ready-made implementations
+//! ([`CholeskyWorkload`], [`LuWorkload`], [`QrWorkload`]) and ad-hoc
+//! closures wrap in [`FnWorkload`] — on the same real-thread machinery.
 
 pub mod calibrate;
 pub mod runtime;
 pub mod storage;
+pub mod workload;
 
 pub use calibrate::calibrate_profile;
-pub use runtime::{execute, execute_lu, execute_qr, execute_with, RtResult};
+#[allow(deprecated)]
+pub use runtime::{execute, execute_lu, execute_qr, execute_with};
+pub use runtime::{execute_workload, RtResult};
 pub use storage::{LockedFullTiledMatrix, LockedTiledMatrix};
+pub use workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};

@@ -7,9 +7,10 @@
 //! node means the engine uses the default (free, instantaneous)
 //! [`exec::EngineHooks`] data model.
 
-use crate::storage::LockedTiledMatrix;
+use crate::workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::exec::{self, DepTracker, SingleNode, TraceRecorder, WorkerQueues};
+use hetchol_core::obs::{ObsReport, ObsSink};
 use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::{SchedContext, Scheduler};
@@ -27,6 +28,9 @@ pub struct RtResult {
     pub trace: Trace,
     /// Wall-clock makespan.
     pub makespan: Time,
+    /// Structured observability record (empty unless the run was given an
+    /// enabled [`ObsSink`]).
+    pub obs: ObsReport,
 }
 
 /// Engine state behind the runtime's single lock.
@@ -37,12 +41,37 @@ struct Shared<E> {
     error: Option<E>,
 }
 
-/// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
+/// Run `graph` on `n_workers` real threads, executing each task through
+/// `workload` — the runtime's one generic entry.
 ///
 /// `profile` supplies the execution-time *estimates* the scheduler reasons
-/// with (from [`crate::calibrate_profile`] or a synthetic profile);
-/// the actual durations are whatever the host delivers. On success the
-/// factor overwrites `matrix` and the wall-clock trace is returned.
+/// with (from [`crate::calibrate_profile`] or a synthetic profile); the
+/// actual durations are whatever the host delivers. `obs` selects
+/// structured observability: [`ObsSink::disabled`] (free) or
+/// [`ObsSink::enabled`] to collect per-task phase spans plus condvar
+/// wakeup / backfill counters in [`RtResult::obs`].
+///
+/// The workload's `apply` is called concurrently for DAG-independent
+/// tasks; the ready-made workloads ([`CholeskyWorkload`], [`LuWorkload`],
+/// [`QrWorkload`]) make that safe with per-tile locking. The caller keeps
+/// ownership of the workload and extracts results from it afterwards
+/// (e.g. [`CholeskyWorkload::into_matrix`]).
+pub fn execute_workload<W: Workload + ?Sized>(
+    workload: &W,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    obs: ObsSink,
+) -> Result<RtResult, W::Error> {
+    execute_with_inner(workload, graph, scheduler, profile, n_workers, obs, false)
+}
+
+/// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `execute_workload` with `CholeskyWorkload` (or the `hetchol::Run` facade)"
+)]
 pub fn execute(
     matrix: &mut TiledMatrix,
     graph: &TaskGraph,
@@ -55,20 +84,25 @@ pub fn execute(
         matrix.n_tiles(),
         "graph and matrix disagree on tile count"
     );
-    let locked = LockedTiledMatrix::from_tiled(matrix);
-    let result = execute_with(
-        |coords| locked.apply_task(coords),
+    let workload = CholeskyWorkload::new(matrix);
+    let result = execute_workload(
+        &workload,
         graph,
         scheduler,
         profile,
         n_workers,
+        ObsSink::disabled(),
     )?;
-    *matrix = locked.to_tiled();
+    *matrix = workload.into_matrix();
     Ok(result)
 }
 
 /// Execute the LU DAG on a full tiled matrix with real threads
-/// (extension, DESIGN.md §9). Same contract as [`execute`].
+/// (extension, DESIGN.md §9).
+#[deprecated(
+    since = "0.4.0",
+    note = "use `execute_workload` with `LuWorkload` (or the `hetchol::Run` facade)"
+)]
 pub fn execute_lu(
     matrix: &mut hetchol_linalg::full::FullTiledMatrix,
     graph: &TaskGraph,
@@ -81,21 +115,26 @@ pub fn execute_lu(
         matrix.n_tiles(),
         "graph and matrix disagree on tile count"
     );
-    let locked = crate::storage::LockedFullTiledMatrix::from_full(matrix);
-    let result = execute_with(
-        |coords| locked.apply_lu_task(coords),
+    let workload = LuWorkload::new(matrix);
+    let result = execute_workload(
+        &workload,
         graph,
         scheduler,
         profile,
         n_workers,
+        ObsSink::disabled(),
     )?;
-    *matrix = locked.to_full();
+    *matrix = workload.into_matrix();
     Ok(result)
 }
 
 /// Execute the QR DAG with real threads (extension, DESIGN.md §9).
 /// Returns the runtime trace plus the factored parts for verification via
 /// [`hetchol_linalg::qr::QrMatrix::from_parts`].
+#[deprecated(
+    since = "0.4.0",
+    note = "use `execute_workload` with `QrWorkload` (or the `hetchol::Run` facade)"
+)]
 pub fn execute_qr(
     dense: &hetchol_linalg::matrix::Matrix,
     nb: usize,
@@ -111,22 +150,25 @@ pub fn execute_qr(
     ),
     hetchol_linalg::qr::TiledQrError,
 > {
-    let locked = crate::storage::LockedQrMatrix::from_dense(dense, nb);
-    let result = execute_with(
-        |coords| locked.apply_qr_task(coords),
+    let workload = QrWorkload::new(dense, nb);
+    let result = execute_workload(
+        &workload,
         graph,
         scheduler,
         profile,
         n_workers,
+        ObsSink::disabled(),
     )?;
-    let (tiles, taus) = locked.into_parts();
+    let (tiles, taus) = workload.into_parts();
     Ok((result, tiles, taus))
 }
 
 /// Run an arbitrary task graph on `n_workers` real threads, executing each
-/// task via `apply` (which must be safe to call concurrently for tasks
-/// that are independent in the DAG — the per-tile locking of
-/// [`crate::storage`] provides exactly that).
+/// task via the closure `apply`.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `execute_workload` with `FnWorkload` (or the `hetchol::Run` facade)"
+)]
 pub fn execute_with<E: Send>(
     apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
     graph: &TaskGraph,
@@ -134,7 +176,14 @@ pub fn execute_with<E: Send>(
     profile: &TimingProfile,
     n_workers: usize,
 ) -> Result<RtResult, E> {
-    execute_with_inner(apply, graph, scheduler, profile, n_workers, false)
+    execute_workload(
+        &FnWorkload(apply),
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+        ObsSink::disabled(),
+    )
 }
 
 /// Seeded worker-loop faults for the race checker (`race-mutations`
@@ -149,8 +198,8 @@ pub struct Mutations {
     pub drop_release_notify: bool,
 }
 
-/// [`execute_with`] with seeded faults enabled — test-only surface for the
-/// race checker; never use outside the explorer's regression tests.
+/// [`execute_workload`] with seeded faults enabled — test-only surface for
+/// the race checker; never use outside the explorer's regression tests.
 #[cfg(feature = "race-mutations")]
 pub fn execute_with_mutated<E: Send>(
     apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
@@ -161,23 +210,25 @@ pub fn execute_with_mutated<E: Send>(
     mutations: Mutations,
 ) -> Result<RtResult, E> {
     execute_with_inner(
-        apply,
+        &FnWorkload(apply),
         graph,
         scheduler,
         profile,
         n_workers,
+        ObsSink::disabled(),
         mutations.drop_release_notify,
     )
 }
 
-fn execute_with_inner<E: Send>(
-    apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
+fn execute_with_inner<W: Workload + ?Sized>(
+    workload: &W,
     graph: &TaskGraph,
     scheduler: &mut (dyn Scheduler + Send),
     profile: &TimingProfile,
     n_workers: usize,
+    obs: ObsSink,
     drop_release_notify: bool,
-) -> Result<RtResult, E> {
+) -> Result<RtResult, W::Error> {
     assert!(n_workers > 0, "need at least one worker");
     let platform = Platform::homogeneous(n_workers);
     let ctx = SchedContext {
@@ -187,10 +238,10 @@ fn execute_with_inner<E: Send>(
     };
     scheduler.init(&ctx);
 
-    let shared = Mutex::new(Shared::<E> {
+    let shared = Mutex::new(Shared::<W::Error> {
         deps: DepTracker::new(graph),
         queues: WorkerQueues::new(n_workers),
-        recorder: TraceRecorder::new(n_workers, graph.len()),
+        recorder: TraceRecorder::with_obs(n_workers, graph.len(), obs),
         error: None,
     });
     let condvar = Condvar::new();
@@ -223,7 +274,6 @@ fn execute_with_inner<E: Send>(
         for w in 0..n_workers {
             let shared = &shared;
             let condvar = &condvar;
-            let apply = &apply;
             let ctx = &ctx;
             let scheduler = &scheduler;
             scope.spawn(move || {
@@ -241,20 +291,22 @@ fn execute_with_inner<E: Send>(
                             // `may_start` gate supports strict schedule replay).
                             let popped = {
                                 let mut sched = scheduler.lock();
-                                s.queues.pop_startable(w, |t| sched.may_start(t, w))
+                                s.queues.pop_startable_indexed(w, |t| sched.may_start(t, w))
                             };
-                            if let Some(entry) = popped {
+                            if let Some((entry, skipped)) = popped {
+                                s.recorder.obs_mut().count_backfill(w, skipped);
                                 scheduler.lock().notify_start(entry.task, w);
                                 let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
                                 s.queues.set_busy_until(w, now + entry.exec_estimate);
                                 break entry.task;
                             }
                             condvar.wait(&mut s);
+                            s.recorder.obs_mut().count_wakeup(w);
                         }
                     };
 
                     let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                    let result = apply(ctx.graph.task(task).coords);
+                    let result = workload.apply(ctx.graph.task(task).coords);
                     let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
 
                     let mut s = shared.lock();
@@ -298,8 +350,12 @@ fn execute_with_inner<E: Send>(
         return Err(e);
     }
     assert!(s.deps.is_done(), "runtime exited with unfinished tasks");
-    let (trace, makespan) = s.recorder.finish();
-    Ok(RtResult { trace, makespan })
+    let (trace, makespan, obs) = s.recorder.finish_with_obs();
+    Ok(RtResult {
+        trace,
+        makespan,
+        obs,
+    })
 }
 
 #[cfg(test)]
@@ -317,11 +373,20 @@ mod tests {
         scheduler: &mut (dyn Scheduler + Send),
     ) -> (f64, RtResult) {
         let a = random_spd(n_tiles * nb, 123);
-        let mut m = TiledMatrix::from_dense(&a, nb);
+        let m = TiledMatrix::from_dense(&a, nb);
         let graph = TaskGraph::cholesky(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let r = execute(&mut m, &graph, scheduler, &profile, n_workers).unwrap();
-        (factorization_residual(&a, &m), r)
+        let workload = CholeskyWorkload::new(&m);
+        let r = execute_workload(
+            &workload,
+            &graph,
+            scheduler,
+            &profile,
+            n_workers,
+            ObsSink::disabled(),
+        )
+        .unwrap();
+        (factorization_residual(&a, &workload.into_matrix()), r)
     }
 
     #[test]
@@ -384,7 +449,15 @@ mod tests {
         }
         let graph = TaskGraph::cholesky(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let err = execute(&mut m, &graph, &mut Dmda::new(), &profile, 2).unwrap_err();
+        let err = execute_workload(
+            &CholeskyWorkload::new(&m),
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            2,
+            ObsSink::disabled(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             TiledCholeskyError::NotPositiveDefinite { k: 0, .. }
@@ -399,12 +472,21 @@ mod tests {
         let nb = 12;
         let n_tiles = 5;
         let a = random_diagonally_dominant(n_tiles * nb, 71);
-        let mut m = FullTiledMatrix::from_dense(&a, nb);
+        let m = FullTiledMatrix::from_dense(&a, nb);
         let graph = TaskGraph::lu(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let r = execute_lu(&mut m, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
+        let workload = LuWorkload::new(&m);
+        let r = execute_workload(
+            &workload,
+            &graph,
+            &mut Dmdas::new(),
+            &profile,
+            4,
+            ObsSink::disabled(),
+        )
+        .unwrap();
         assert_eq!(r.trace.events.len(), graph.len());
-        let res = lu_residual(&a, &m);
+        let res = lu_residual(&a, &workload.into_matrix());
         assert!(res < 1e-11, "residual {res}");
     }
 
@@ -419,8 +501,18 @@ mod tests {
         let a = hetchol_linalg::matrix::Matrix::from_fn(n, n, |_, _| rng.gen_range(-1.0..1.0));
         let graph = TaskGraph::qr(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let (r, tiles, taus) = execute_qr(&a, nb, &graph, &mut Dmdas::new(), &profile, 4).unwrap();
+        let workload = QrWorkload::new(&a, nb);
+        let r = execute_workload(
+            &workload,
+            &graph,
+            &mut Dmdas::new(),
+            &profile,
+            4,
+            ObsSink::disabled(),
+        )
+        .unwrap();
         assert_eq!(r.trace.events.len(), graph.len());
+        let (tiles, taus) = workload.into_parts();
         let qr = QrMatrix::from_parts(tiles, taus);
         let res = qr.residual(&a);
         assert!(res < 1e-11, "residual {res}");
@@ -432,14 +524,57 @@ mod tests {
         let nb = 4;
         let n_tiles = 2;
         // All-zero matrix: GETRF(0) hits a zero pivot immediately.
-        let mut m = FullTiledMatrix::zeros(n_tiles, nb);
+        let m = FullTiledMatrix::zeros(n_tiles, nb);
         let graph = TaskGraph::lu(n_tiles);
         let profile = TimingProfile::mirage_homogeneous();
-        let err = execute_lu(&mut m, &graph, &mut Dmda::new(), &profile, 2).unwrap_err();
+        let err = execute_workload(
+            &LuWorkload::new(&m),
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            2,
+            ObsSink::disabled(),
+        )
+        .unwrap_err();
         assert!(matches!(
             err,
             hetchol_linalg::lu::TiledLuError::ZeroPivot { k: 0, .. }
         ));
+    }
+
+    #[test]
+    fn obs_records_spans_and_phase_accounting_sums() {
+        let nb = 8;
+        let n_tiles = 6;
+        let n_workers = 3;
+        let a = random_spd(n_tiles * nb, 9);
+        let m = TiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let workload = CholeskyWorkload::new(&m);
+        let r = execute_workload(
+            &workload,
+            &graph,
+            &mut Dmdas::new(),
+            &profile,
+            n_workers,
+            ObsSink::enabled(),
+        )
+        .unwrap();
+        assert!(r.obs.enabled);
+        assert_eq!(r.obs.spans.len(), graph.len());
+        assert_eq!(r.obs.makespan(), r.makespan);
+        assert_eq!(r.obs.counters.total_dispatched(), graph.len() as u64);
+        // Shared memory: no transfer phase anywhere.
+        assert_eq!(r.obs.counters.transfers, 0);
+        for s in &r.obs.spans {
+            assert_eq!(s.transfer_wait(), Time::ZERO, "{s:?}");
+            assert!(s.queued <= s.start, "{s:?}");
+        }
+        // The four phase buckets partition every worker's timeline.
+        for p in r.obs.worker_phases() {
+            assert_eq!(p.total(), r.makespan, "worker {}", p.worker);
+        }
     }
 
     #[test]

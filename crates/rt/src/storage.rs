@@ -128,6 +128,11 @@ impl LockedFullTiledMatrix {
         LockedFullTiledMatrix { n_tiles, nb, tiles }
     }
 
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.n_tiles
+    }
+
     /// Copy the tiles back into a plain [`FullTiledMatrix`].
     pub fn to_full(&self) -> FullTiledMatrix {
         let mut m = FullTiledMatrix::zeros(self.n_tiles, self.nb);
@@ -275,7 +280,8 @@ impl LockedQrMatrix {
         }
     }
 
-    /// Extract the factorization into an (unlocked) [`QrMatrix`]-equivalent
+    /// Extract the factorization into an (unlocked)
+    /// [`QrMatrix`](hetchol_linalg::qr::QrMatrix)-equivalent
     /// pair for verification: the tiles and the `τ` table.
     pub fn into_parts(self) -> (FullTiledMatrix, TauTable) {
         let mut m = FullTiledMatrix::zeros(self.n_tiles, self.nb);

@@ -1,0 +1,165 @@
+//! The [`Workload`] abstraction: what the runtime's worker threads
+//! actually run for each task.
+//!
+//! The engine loop is factorization-agnostic — it only needs a way to
+//! execute one task's kernel given its coordinates. A [`Workload`]
+//! packages that (the tile storage plus the kernel mapping), so the
+//! runtime has one generic entry
+//! ([`crate::runtime::execute_workload`]) instead of one copy-pasted
+//! wrapper per factorization. The three factorizations ship as ready-made
+//! implementations ([`CholeskyWorkload`], [`LuWorkload`], [`QrWorkload`]);
+//! ad-hoc closures are wrapped with [`FnWorkload`].
+
+use crate::storage::{LockedFullTiledMatrix, LockedQrMatrix, LockedTiledMatrix, TauTable};
+use hetchol_core::task::TaskCoords;
+use hetchol_linalg::cholesky::TiledCholeskyError;
+use hetchol_linalg::full::FullTiledMatrix;
+use hetchol_linalg::lu::TiledLuError;
+use hetchol_linalg::matrix::{Matrix, TiledMatrix};
+use hetchol_linalg::qr::TiledQrError;
+
+/// One task-execution strategy for the threaded runtime.
+///
+/// `apply` is called from worker threads concurrently for tasks that are
+/// independent in the DAG; implementations must make exactly that safe
+/// (the per-tile locking of [`crate::storage`] does).
+pub trait Workload: Sync {
+    /// The kernel-level failure an execution can surface (e.g. a
+    /// non-positive-definite pivot). The first error aborts the run.
+    type Error: Send;
+
+    /// Execute the task at `coords`.
+    fn apply(&self, coords: TaskCoords) -> Result<(), Self::Error>;
+}
+
+/// Adapter making any `Fn(TaskCoords) -> Result<(), E> + Sync` closure a
+/// [`Workload`].
+pub struct FnWorkload<F>(pub F);
+
+impl<E: Send, F: Fn(TaskCoords) -> Result<(), E> + Sync> Workload for FnWorkload<F> {
+    type Error = E;
+
+    #[inline]
+    fn apply(&self, coords: TaskCoords) -> Result<(), E> {
+        (self.0)(coords)
+    }
+}
+
+/// The tiled Cholesky factorization as a workload: real `hetchol-linalg`
+/// kernels over lock-per-tile lower-triangular storage.
+///
+/// ```
+/// use hetchol_core::dag::TaskGraph;
+/// use hetchol_core::obs::ObsSink;
+/// use hetchol_core::profiles::TimingProfile;
+/// use hetchol_linalg::matrix::TiledMatrix;
+/// use hetchol_linalg::{factorization_residual, random_spd};
+/// use hetchol_rt::{execute_workload, CholeskyWorkload};
+/// use hetchol_sched::Dmdas;
+///
+/// let nb = 8;
+/// let a = random_spd(2 * nb, 42);
+/// let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
+/// let graph = TaskGraph::cholesky(workload.n_tiles());
+/// let r = execute_workload(
+///     &workload,
+///     &graph,
+///     &mut Dmdas::new(),
+///     &TimingProfile::mirage_homogeneous(),
+///     2,
+///     ObsSink::disabled(),
+/// )
+/// .unwrap();
+/// assert_eq!(r.trace.events.len(), graph.len());
+/// assert!(factorization_residual(&a, &workload.into_matrix()) < 1e-10);
+/// ```
+pub struct CholeskyWorkload {
+    locked: LockedTiledMatrix,
+}
+
+impl CholeskyWorkload {
+    /// Stage `matrix` (copied into locked storage) for factorization.
+    pub fn new(matrix: &TiledMatrix) -> CholeskyWorkload {
+        CholeskyWorkload {
+            locked: LockedTiledMatrix::from_tiled(matrix),
+        }
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.locked.n_tiles()
+    }
+
+    /// Extract the (factored) matrix back out of locked storage.
+    pub fn into_matrix(self) -> TiledMatrix {
+        self.locked.to_tiled()
+    }
+}
+
+impl Workload for CholeskyWorkload {
+    type Error = TiledCholeskyError;
+
+    fn apply(&self, coords: TaskCoords) -> Result<(), TiledCholeskyError> {
+        self.locked.apply_task(coords)
+    }
+}
+
+/// The tiled LU factorization (no pivoting) as a workload.
+pub struct LuWorkload {
+    locked: LockedFullTiledMatrix,
+}
+
+impl LuWorkload {
+    /// Stage `matrix` (copied into locked storage) for factorization.
+    pub fn new(matrix: &FullTiledMatrix) -> LuWorkload {
+        LuWorkload {
+            locked: LockedFullTiledMatrix::from_full(matrix),
+        }
+    }
+
+    /// Matrix order in tiles.
+    pub fn n_tiles(&self) -> usize {
+        self.locked.n_tiles()
+    }
+
+    /// Extract the (factored) matrix back out of locked storage.
+    pub fn into_matrix(self) -> FullTiledMatrix {
+        self.locked.to_full()
+    }
+}
+
+impl Workload for LuWorkload {
+    type Error = TiledLuError;
+
+    fn apply(&self, coords: TaskCoords) -> Result<(), TiledLuError> {
+        self.locked.apply_lu_task(coords)
+    }
+}
+
+/// The tiled QR factorization as a workload.
+pub struct QrWorkload {
+    locked: LockedQrMatrix,
+}
+
+impl QrWorkload {
+    /// Stage `dense` at tile size `nb` for factorization.
+    pub fn new(dense: &Matrix, nb: usize) -> QrWorkload {
+        QrWorkload {
+            locked: LockedQrMatrix::from_dense(dense, nb),
+        }
+    }
+
+    /// Extract the factorization: the tiles and the `τ` table, for
+    /// verification via [`hetchol_linalg::qr::QrMatrix::from_parts`].
+    pub fn into_parts(self) -> (FullTiledMatrix, TauTable) {
+        self.locked.into_parts()
+    }
+}
+
+impl Workload for QrWorkload {
+    type Error = TiledQrError;
+
+    fn apply(&self, coords: TaskCoords) -> Result<(), TiledQrError> {
+        self.locked.apply_qr_task(coords)
+    }
+}

@@ -11,6 +11,7 @@ use crate::jitter::Jitter;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::exec::{self, DepTracker, EngineHooks, TraceRecorder, WorkerQueues};
 use hetchol_core::metrics;
+use hetchol_core::obs::{ObsReport, ObsSink};
 use hetchol_core::platform::{Platform, WorkerId};
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::{SchedContext, Scheduler};
@@ -62,6 +63,9 @@ pub struct SimResult {
     pub trace: Trace,
     /// Completion time of the last task.
     pub makespan: Time,
+    /// Structured observability record (empty unless the run was given an
+    /// enabled [`ObsSink`]).
+    pub obs: ObsReport,
 }
 
 impl SimResult {
@@ -123,16 +127,21 @@ impl EngineHooks for SimData<'_> {
     }
 }
 
-/// Simulate one execution of `graph` on `platform` under `scheduler`.
+/// Simulate one execution of `graph` on `platform` under `scheduler`,
+/// feeding the structured observability sink `obs`.
 ///
 /// The returned trace always passes the common schedule validator; with
-/// [`Jitter::NONE`] it passes the *exact*-duration check.
+/// [`Jitter::NONE`] it passes the *exact*-duration check. Pass
+/// [`ObsSink::disabled`] (free) or [`ObsSink::enabled`] to additionally
+/// collect per-task phase spans and engine counters in
+/// [`SimResult::obs`].
 ///
 /// ```
+/// use hetchol_core::obs::ObsSink;
 /// use hetchol_core::{dag::TaskGraph, platform::Platform, profiles::TimingProfile};
 /// use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
 /// use hetchol_core::task::TaskId;
-/// use hetchol_sim::{simulate, SimOptions};
+/// use hetchol_sim::{simulate_with, SimOptions};
 ///
 /// // A minimal dmda-style scheduler: minimum estimated completion time.
 /// struct Greedy;
@@ -148,15 +157,18 @@ impl EngineHooks for SimData<'_> {
 /// let graph = TaskGraph::cholesky(8);
 /// let platform = Platform::mirage();
 /// let profile = TimingProfile::mirage();
-/// let result = simulate(&graph, &platform, &profile, &mut Greedy, &SimOptions::default());
+/// let result = simulate_with(&graph, &platform, &profile, &mut Greedy,
+///                            &SimOptions::default(), ObsSink::enabled());
 /// assert!(result.gflops(8, profile.nb()) > 100.0); // GPUs are pulling weight
+/// assert_eq!(result.obs.spans.len(), graph.len()); // every task has a span
 /// ```
-pub fn simulate(
+pub fn simulate_with(
     graph: &TaskGraph,
     platform: &Platform,
     profile: &TimingProfile,
     scheduler: &mut dyn Scheduler,
     opts: &SimOptions,
+    obs: ObsSink,
 ) -> SimResult {
     let ctx = SchedContext {
         graph,
@@ -168,7 +180,7 @@ pub fn simulate(
     let n_workers = platform.n_workers();
     let mut deps = DepTracker::new(graph);
     let mut queues = WorkerQueues::new(n_workers);
-    let mut recorder = TraceRecorder::new(n_workers, graph.len());
+    let mut recorder = TraceRecorder::with_obs(n_workers, graph.len(), obs);
     let mut data = SimData {
         platform,
         graph,
@@ -202,9 +214,12 @@ pub fn simulate(
             if queues.is_busy(w) {
                 continue;
             }
-            let Some(entry) = queues.pop_startable(w, |t| scheduler.may_start(t, w)) else {
+            let Some((entry, skipped)) =
+                queues.pop_startable_indexed(w, |t| scheduler.may_start(t, w))
+            else {
                 continue;
             };
+            recorder.obs_mut().count_backfill(w, skipped);
             scheduler.notify_start(entry.task, w);
             let start = now.max(entry.data_ready);
             let duration = opts.jitter.apply(entry.exec_estimate, &mut rng);
@@ -247,8 +262,34 @@ pub fn simulate(
         deps.remaining()
     );
     recorder.transfers_mut().append(&mut data.transfers);
-    let (trace, makespan) = recorder.finish();
-    SimResult { trace, makespan }
+    let (trace, makespan, obs) = recorder.finish_with_obs();
+    SimResult {
+        trace,
+        makespan,
+        obs,
+    }
+}
+
+/// Simulate one execution with observability disabled.
+#[deprecated(
+    since = "0.4.0",
+    note = "use `simulate_with` (or the `hetchol::Run` facade) instead"
+)]
+pub fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_with(
+        graph,
+        platform,
+        profile,
+        scheduler,
+        opts,
+        ObsSink::disabled(),
+    )
 }
 
 #[cfg(test)]
@@ -256,6 +297,24 @@ mod tests {
     use super::*;
     use hetchol_core::schedule::DurationCheck;
     use hetchol_core::scheduler::{estimated_completion, ExecutionView};
+
+    /// Tests drive the primary entry (shadows the deprecated glob import).
+    fn simulate(
+        graph: &TaskGraph,
+        platform: &Platform,
+        profile: &TimingProfile,
+        scheduler: &mut dyn Scheduler,
+        opts: &SimOptions,
+    ) -> SimResult {
+        simulate_with(
+            graph,
+            platform,
+            profile,
+            scheduler,
+            opts,
+            ObsSink::disabled(),
+        )
+    }
 
     /// Greedy earliest-completion scheduler used by engine tests (a
     /// miniature `dmda`; the real ones live in `hetchol-sched`).
@@ -524,6 +583,51 @@ mod tests {
             })
             .sum();
         assert_eq!(r.trace.total_busy(), total);
+    }
+
+    #[test]
+    fn obs_spans_cover_all_tasks_and_phases_sum_to_makespan() {
+        let platform = Platform::mirage();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(8);
+        let r = simulate_with(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::enabled(),
+        );
+        assert!(r.obs.enabled);
+        assert_eq!(r.obs.spans.len(), graph.len());
+        assert_eq!(r.obs.makespan(), r.makespan);
+        // Spans agree with the plain trace, and data transfers show up as
+        // transfer-wait on some span (comm is on).
+        for s in &r.obs.spans {
+            let e = r.trace.events.iter().find(|e| e.task == s.task).unwrap();
+            assert_eq!((e.worker, e.start, e.end), (s.worker, s.start, s.end));
+            assert!(s.queued <= s.start, "queued after start: {s:?}");
+        }
+        assert_eq!(r.obs.counters.transfers, r.trace.transfers.len() as u64);
+        assert!(r.obs.counters.transfers > 0);
+        // The phase partition covers every worker's full timeline.
+        for p in r.obs.worker_phases() {
+            assert_eq!(p.total(), r.makespan, "worker {}", p.worker);
+        }
+        // Dispatch counters cover every task, and the simulator never
+        // parks threads.
+        assert_eq!(r.obs.counters.total_dispatched(), graph.len() as u64);
+        assert!(r.obs.counters.wakeups.iter().all(|&w| w == 0));
+        // The disabled sink reports nothing but runs identically.
+        let off = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+        );
+        assert!(!off.obs.enabled);
+        assert_eq!(off.trace.events, r.trace.events);
     }
 
     #[test]

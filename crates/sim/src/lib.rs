@@ -33,4 +33,6 @@ pub mod data;
 pub mod engine;
 pub mod jitter;
 
-pub use engine::{simulate, SimOptions, SimResult};
+#[allow(deprecated)]
+pub use engine::simulate;
+pub use engine::{simulate_with, SimOptions, SimResult};

@@ -9,15 +9,17 @@
 use hetchol::bounds::BoundSet;
 use hetchol::core::algorithm::Algorithm;
 use hetchol::core::dag::TaskGraph;
+use hetchol::core::obs::ObsSink;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::linalg::full::FullTiledMatrix;
 use hetchol::linalg::qr::QrMatrix;
 use hetchol::linalg::{lu_residual, random_diagonally_dominant, tiled_lu_in_place};
-use hetchol::rt::{execute_lu, execute_qr};
+use hetchol::rt::{LuWorkload, QrWorkload};
 use hetchol::sched::{Dmda, Dmdas, EagerScheduler};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions};
+use hetchol::Run;
 
 fn main() {
     // 1. Real numeric LU on a diagonally dominant matrix (sequential).
@@ -34,18 +36,30 @@ fn main() {
         lu_residual(&a, &m)
     );
 
-    // 1b. The same LU and a QR, this time on real worker threads.
+    // 1b. The same LU and a QR, this time on real worker threads via the
+    // run facade and the generic workload entry.
     let est = TimingProfile::mirage_homogeneous();
-    let mut m2 = FullTiledMatrix::from_dense(&a, nb);
-    let r = execute_lu(&mut m2, &TaskGraph::lu(n_tiles), &mut Dmdas::new(), &est, 4)
+    let lu = LuWorkload::new(&FullTiledMatrix::from_dense(&a, nb));
+    let r = Run::new(&TaskGraph::lu(n_tiles))
+        .scheduler(Dmdas::new())
+        .profile(est.clone())
+        .workers(4)
+        .execute(&lu)
         .expect("stable by construction");
+    let m2 = lu.into_matrix();
     println!(
         "threaded LU on 4 workers: {} wall, residual {:.3e}",
         r.makespan,
         lu_residual(&a, &m2)
     );
-    let (r, tiles, taus) = execute_qr(&a, nb, &TaskGraph::qr(n_tiles), &mut Dmdas::new(), &est, 4)
+    let qr_workload = QrWorkload::new(&a, nb);
+    let r = Run::new(&TaskGraph::qr(n_tiles))
+        .scheduler(Dmdas::new())
+        .profile(est.clone())
+        .workers(4)
+        .execute(&qr_workload)
         .expect("QR cannot fail numerically");
+    let (tiles, taus) = qr_workload.into_parts();
     let qr = QrMatrix::from_parts(tiles, taus);
     println!(
         "threaded QR on 4 workers: {} wall, residual {:.3e}\n",
@@ -65,7 +79,14 @@ fn main() {
         for n in [4usize, 8, 16, 24, 32] {
             let graph = algo.graph(n);
             let run = |sched: &mut dyn Scheduler| {
-                let r = simulate(&graph, &platform, &profile, sched, &SimOptions::default());
+                let r = simulate_with(
+                    &graph,
+                    &platform,
+                    &profile,
+                    sched,
+                    &SimOptions::default(),
+                    ObsSink::disabled(),
+                );
                 algo.gflops(n, profile.nb(), r.makespan)
             };
             let eager = run(&mut EagerScheduler::new());

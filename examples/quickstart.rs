@@ -6,13 +6,11 @@
 //! ```
 
 use hetchol::bounds::BoundSet;
-use hetchol::core::dag::TaskGraph;
 use hetchol::core::metrics;
-use hetchol::core::platform::Platform;
-use hetchol::core::profiles::TimingProfile;
 use hetchol::linalg::matrix::TiledMatrix;
 use hetchol::linalg::{factorization_residual, random_spd, solve_with_factor};
-use hetchol::rt::{calibrate_profile, execute};
+use hetchol::prelude::*;
+use hetchol::rt::calibrate_profile;
 use hetchol::sched::Dmdas;
 
 fn main() {
@@ -34,7 +32,7 @@ fn main() {
 
     // 2. Build the problem and the task graph.
     let a = random_spd(n, 42);
-    let mut m = TiledMatrix::from_dense(&a, nb);
+    let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
     let graph = TaskGraph::cholesky(n_tiles);
     println!(
         "\ntask graph: {} tasks, {} edges",
@@ -42,14 +40,21 @@ fn main() {
         graph.n_edges()
     );
 
-    // 3. Factorize on real threads with the dmdas scheduler.
-    let mut scheduler = Dmdas::new();
-    let result = execute(&mut m, &graph, &mut scheduler, &profile, n_workers)
+    // 3. Factorize on real threads with the dmdas scheduler, recording
+    // structured observability spans along the way.
+    let result = Run::new(&graph)
+        .scheduler(Dmdas::new())
+        .profile(profile.clone())
+        .workers(n_workers)
+        .obs(ObsSink::enabled())
+        .execute(&workload)
         .expect("matrix is SPD by construction");
     let gflops = metrics::gflops(n_tiles, nb, result.makespan);
     println!("factorized in {} ({gflops:.2} GFLOP/s)", result.makespan);
+    print!("{}", result.obs.utilization_report());
 
     // 4. Verify: residual and a linear solve.
+    let m = workload.into_matrix();
     let residual = factorization_residual(&a, &m);
     println!("residual |A - LL^T|_F / |A|_F = {residual:.3e}");
     assert!(residual < 1e-9, "factorization failed verification");

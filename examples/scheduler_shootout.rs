@@ -14,7 +14,7 @@ use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::sched::{Dmda, Dmdas, RandomScheduler, TriangleTrsmOnCpu};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions};
 
 fn main() {
     let with_comm = std::env::args().any(|a| a == "--comm");
@@ -41,8 +41,15 @@ fn main() {
     for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
         let graph = TaskGraph::cholesky(n);
         let run = |sched: &mut dyn Scheduler| -> f64 {
-            simulate(&graph, &platform, &profile, sched, &SimOptions::default())
-                .gflops(n, profile.nb())
+            simulate_with(
+                &graph,
+                &platform,
+                &profile,
+                sched,
+                &SimOptions::default(),
+                hetchol::core::obs::ObsSink::disabled(),
+            )
+            .gflops(n, profile.nb())
         };
         // Average the stochastic scheduler over 5 seeds.
         let random: f64 = (0..5)

@@ -1,17 +1,18 @@
 //! Render ASCII Gantt traces of simulated executions (the paper's
-//! Figure 12): compare where each scheduler leaves its GPUs idle.
+//! Figure 12): compare where each scheduler leaves its GPUs idle, with
+//! the observability layer's per-worker phase accounting alongside.
 //!
 //! ```text
-//! cargo run --release --example trace_gantt [n_tiles] [width]
+//! cargo run --release --example trace_gantt [n_tiles] [width] [trace-dir]
 //! ```
+//!
+//! When `trace-dir` is given, each run's Chrome-trace JSON is written
+//! there — open it in `chrome://tracing` or Perfetto.
 
-use hetchol::core::dag::TaskGraph;
 use hetchol::core::kernel::Kernel;
-use hetchol::core::platform::Platform;
-use hetchol::core::profiles::TimingProfile;
-use hetchol::core::scheduler::Scheduler;
+use hetchol::prelude::*;
 use hetchol::sched::{Dmda, Dmdas, TriangleTrsmOnCpu};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::Run;
 
 fn main() {
     let n: usize = std::env::args()
@@ -22,25 +23,24 @@ fn main() {
         .nth(2)
         .and_then(|v| v.parse().ok())
         .unwrap_or(100);
+    let trace_dir = std::env::args().nth(3).map(std::path::PathBuf::from);
 
     let platform = Platform::mirage().without_comm();
     let profile = TimingProfile::mirage();
     let graph = TaskGraph::cholesky(n);
 
-    let mut schedulers: Vec<(&str, Box<dyn Scheduler>)> = vec![
+    let schedulers: Vec<(&str, Box<dyn Scheduler + Send>)> = vec![
         ("dmda", Box::new(Dmda::new())),
         ("dmdas", Box::new(Dmdas::new())),
         ("triangle k=7", Box::new(TriangleTrsmOnCpu(Dmdas::new(), 7))),
     ];
 
-    for (name, sched) in schedulers.iter_mut() {
-        let r = simulate(
-            &graph,
-            &platform,
-            &profile,
-            sched.as_mut(),
-            &SimOptions::default(),
-        );
+    for (name, sched) in schedulers {
+        let r = Run::new(&graph)
+            .scheduler_boxed(sched)
+            .profile(profile.clone())
+            .obs(ObsSink::enabled())
+            .simulate(&platform, &SimOptions::default());
         println!(
             "== {name}: makespan {} ({:.1} GFLOP/s) ==",
             r.makespan,
@@ -54,7 +54,7 @@ fn main() {
         );
         // Kernel mix per class.
         for (label, workers) in [("CPUs", 0..9usize), ("GPUs", 9..12usize)] {
-            let mut by_kernel = [hetchol::core::time::Time::ZERO; Kernel::COUNT];
+            let mut by_kernel = [Time::ZERO; Kernel::COUNT];
             for w in workers {
                 let bk = r.trace.busy_by_kernel(w);
                 for (acc, b) in by_kernel.iter_mut().zip(bk) {
@@ -66,6 +66,14 @@ fn main() {
                 print!("{}={} ", k.label(), by_kernel[k.index()]);
             }
             println!();
+        }
+        // Structured phase accounting from the observability layer.
+        print!("{}", r.obs.utilization_report());
+        if let Some(dir) = &trace_dir {
+            std::fs::create_dir_all(dir).expect("create trace dir");
+            let path = dir.join(format!("gantt_{}.trace.json", name.replace(' ', "_")));
+            std::fs::write(&path, r.obs.to_chrome_trace()).expect("write trace");
+            println!("chrome trace: {}", path.display());
         }
         println!();
     }

@@ -12,7 +12,7 @@ use hetchol::core::profiles::TimingProfile;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::sched::hints::render_forced_triangle;
 use hetchol::sched::{Dmdas, TriangleTrsmOnCpu};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions};
 
 fn main() {
     let sizes: Vec<usize> = {
@@ -32,8 +32,15 @@ fn main() {
     for &n in &sizes {
         let graph = TaskGraph::cholesky(n);
         let run = |sched: &mut dyn Scheduler| -> f64 {
-            simulate(&graph, &platform, &profile, sched, &SimOptions::default())
-                .gflops(n, profile.nb())
+            simulate_with(
+                &graph,
+                &platform,
+                &profile,
+                sched,
+                &SimOptions::default(),
+                hetchol::core::obs::ObsSink::disabled(),
+            )
+            .gflops(n, profile.nb())
         };
         let dmdas = run(&mut Dmdas::new());
         println!("== n = {n} tiles (dmdas baseline: {dmdas:.1} GFLOP/s) ==");

@@ -25,6 +25,11 @@
 //! * [`hetchol_analyze`] (as [`analyze`]) — the schedule/trace linter and
 //!   the interleaving-exploring race checker (DESIGN.md §4).
 
+//!
+//! The crate itself hosts the [`Run`] builder facade (`src/run.rs`): one
+//! configuration path into either engine, with observability attached at
+//! construction.
+
 pub use hetchol_analyze as analyze;
 pub use hetchol_bounds as bounds;
 pub use hetchol_core as core;
@@ -34,8 +39,20 @@ pub use hetchol_rt as rt;
 pub use hetchol_sched as sched;
 pub use hetchol_sim as sim;
 
-/// Convenient glob import for examples and downstream users.
+pub mod run;
+
+pub use run::Run;
+
+/// Convenient glob import for examples and downstream users: core
+/// vocabulary types, the [`Run`] facade with both engines' option/result
+/// types, the [`Workload`](hetchol_rt::Workload) family, and the
+/// observability layer.
+///
+/// Every item here appears in at least one doctest — see [`Run`],
+/// [`crate::core::obs`], and the per-type docs.
 pub mod prelude {
+    pub use crate::run::Run;
+    pub use hetchol_core::obs::{ObsReport, ObsSink, TaskSpan, WorkerPhases};
     pub use hetchol_core::{
         dag::TaskGraph,
         kernel::Kernel,
@@ -48,4 +65,8 @@ pub mod prelude {
         time::Time,
         trace::Trace,
     };
+    pub use hetchol_rt::{
+        CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, RtResult, Workload,
+    };
+    pub use hetchol_sim::{SimOptions, SimResult};
 }

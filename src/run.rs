@@ -1,0 +1,136 @@
+//! The unified run facade: one builder over both engines.
+//!
+//! [`Run`] gathers everything a run needs — the task graph, a scheduler,
+//! a timing profile, a worker count, and an observability sink — and then
+//! dispatches to either engine from the same configuration:
+//!
+//! * [`Run::simulate`] drives the discrete-event simulator
+//!   ([`hetchol_sim::simulate_with`]) on a [`Platform`];
+//! * [`Run::execute`] drives the real multithreaded runtime
+//!   ([`hetchol_rt::execute_workload`]) on a [`Workload`].
+//!
+//! Both paths share the execution core (`hetchol-core::exec`), so a
+//! facade run is *bit-identical* to calling the engine directly with the
+//! same arguments (golden-tested in `tests/cross_engine.rs`).
+//!
+//! ```
+//! use hetchol::prelude::*;
+//!
+//! let graph = TaskGraph::cholesky(6);
+//! let result = Run::new(&graph)
+//!     .scheduler(hetchol::sched::Dmdas::new())
+//!     .profile(TimingProfile::mirage())
+//!     .obs(ObsSink::enabled())
+//!     .simulate(&Platform::mirage(), &SimOptions::default());
+//! assert_eq!(result.obs.spans.len(), graph.len());
+//! ```
+
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::obs::ObsSink;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_core::scheduler::Scheduler;
+use hetchol_rt::{RtResult, Workload};
+use hetchol_sim::{SimOptions, SimResult};
+
+/// Builder facade over both engines; see the [module docs](self).
+///
+/// Defaults: [`hetchol_sched::Dmdas`], [`TimingProfile::mirage`],
+/// 4 workers (threaded runtime only — the simulator takes its worker
+/// count from the [`Platform`]), observability disabled.
+pub struct Run<'a> {
+    graph: &'a TaskGraph,
+    scheduler: Box<dyn Scheduler + Send + 'a>,
+    profile: TimingProfile,
+    workers: usize,
+    obs: ObsSink,
+}
+
+impl<'a> Run<'a> {
+    /// Start configuring a run of `graph` with the defaults above.
+    pub fn new(graph: &'a TaskGraph) -> Self {
+        Run {
+            graph,
+            scheduler: Box::new(hetchol_sched::Dmdas::new()),
+            profile: TimingProfile::mirage(),
+            workers: 4,
+            obs: ObsSink::disabled(),
+        }
+    }
+
+    /// Use `scheduler` instead of the default `dmdas`.
+    pub fn scheduler(mut self, scheduler: impl Scheduler + Send + 'a) -> Self {
+        self.scheduler = Box::new(scheduler);
+        self
+    }
+
+    /// Use an already-boxed scheduler (e.g. one selected at runtime).
+    pub fn scheduler_boxed(mut self, scheduler: Box<dyn Scheduler + Send + 'a>) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Use `profile` for kernel timing estimates (both engines) and
+    /// durations (simulator).
+    pub fn profile(mut self, profile: TimingProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Number of real worker threads for [`Run::execute`]. Ignored by
+    /// [`Run::simulate`], which sizes itself from the platform.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n;
+        self
+    }
+
+    /// Attach an observability sink ([`ObsSink::enabled`] records spans
+    /// and counters; the default disabled sink costs nothing).
+    pub fn obs(mut self, obs: ObsSink) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Run the discrete-event simulator on `platform`.
+    pub fn simulate(mut self, platform: &Platform, opts: &SimOptions) -> SimResult {
+        hetchol_sim::simulate_with(
+            self.graph,
+            platform,
+            &self.profile,
+            self.scheduler.as_mut(),
+            opts,
+            self.obs,
+        )
+    }
+
+    /// Run `workload` on real threads via the task runtime.
+    ///
+    /// ```
+    /// use hetchol::prelude::*;
+    ///
+    /// let graph = TaskGraph::cholesky(4);
+    /// let workload = FnWorkload(|_: TaskCoords| Ok::<(), std::convert::Infallible>(()));
+    /// let result: RtResult = Run::new(&graph)
+    ///     .profile(TimingProfile::mirage_homogeneous())
+    ///     .workers(2)
+    ///     .obs(ObsSink::enabled())
+    ///     .execute(&workload)
+    ///     .unwrap();
+    /// let report: ObsReport = result.obs;
+    /// let spans: &[TaskSpan] = &report.spans;
+    /// assert_eq!(spans.len(), graph.len());
+    /// // Per worker, the phase accounting partitions the makespan.
+    /// let phases: Vec<WorkerPhases> = report.worker_phases();
+    /// assert!(phases.iter().all(|p| p.total() == report.makespan()));
+    /// ```
+    pub fn execute<W: Workload + ?Sized>(mut self, workload: &W) -> Result<RtResult, W::Error> {
+        hetchol_rt::execute_workload(
+            workload,
+            self.graph,
+            self.scheduler.as_mut(),
+            &self.profile,
+            self.workers,
+            self.obs,
+        )
+    }
+}

@@ -3,6 +3,7 @@
 
 use hetchol::bounds::BoundSet;
 use hetchol::core::algorithm::Algorithm;
+use hetchol::core::dag::TaskGraph;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::schedule::DurationCheck;
@@ -10,7 +11,25 @@ use hetchol::core::scheduler::Scheduler;
 use hetchol::linalg::full::FullTiledMatrix;
 use hetchol::linalg::{lu_residual, random_diagonally_dominant, tiled_lu_in_place};
 use hetchol::sched::{Dmda, Dmdas, EagerScheduler, RandomScheduler};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions, SimResult};
+
+/// Uninstrumented simulation (the observability sink stays disabled).
+fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    sched: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_with(
+        graph,
+        platform,
+        profile,
+        sched,
+        opts,
+        hetchol::core::obs::ObsSink::disabled(),
+    )
+}
 
 #[test]
 fn lu_and_qr_simulations_validate_and_respect_bounds() {

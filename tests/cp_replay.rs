@@ -7,9 +7,28 @@ use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::schedule::DurationCheck;
 use hetchol::core::scheduler::SchedContext;
+use hetchol::core::scheduler::Scheduler;
 use hetchol::cp::{optimize_from, optimize_schedule, CpOptions};
 use hetchol::sched::{Dmda, Dmdas, MappingInjector, ScheduleInjector};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions, SimResult};
+
+/// Uninstrumented simulation (the observability sink stays disabled).
+fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    sched: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_with(
+        graph,
+        platform,
+        profile,
+        sched,
+        opts,
+        hetchol::core::obs::ObsSink::disabled(),
+    )
+}
 
 fn fixture(n: usize) -> (TaskGraph, Platform, TimingProfile) {
     (

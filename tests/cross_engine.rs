@@ -3,10 +3,13 @@
 //! execution core (`hetchol_core::exec`), so on a DAG whose scheduling
 //! decisions are timing-independent they must produce the *same task-start
 //! order* — the rt with profiled estimates and real (no-op) execution, the
-//! sim with jitter off.
+//! sim with jitter off. The [`hetchol::Run`] facade is a pure
+//! configuration layer over the same entry points, so facade runs must be
+//! bit-identical to direct engine calls.
 
 use hetchol::analyze::Linter;
 use hetchol::core::dag::TaskGraph;
+use hetchol::core::obs::ObsSink;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::schedule::DurationCheck;
@@ -14,9 +17,10 @@ use hetchol::core::scheduler::Scheduler;
 use hetchol::core::task::TaskId;
 use hetchol::core::time::Time;
 use hetchol::core::trace::Trace;
-use hetchol::rt::execute_with;
+use hetchol::rt::{execute_workload, FnWorkload};
 use hetchol::sched::{Dmda, Dmdas, ScheduleInjector};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions};
+use hetchol::Run;
 
 /// Task ids in start order (stable on equal timestamps, which preserves
 /// the engines' completion-order event recording).
@@ -50,12 +54,13 @@ fn single_worker_start_order_is_identical_across_engines() {
     let schedulers: Vec<Box<dyn Scheduler + Send>> =
         vec![Box::new(Dmda::new()), Box::new(Dmdas::new())];
     for mut sched in schedulers {
-        let sim = simulate(
+        let sim = simulate_with(
             &graph,
             &platform,
             &profile,
             sched.as_mut(),
             &SimOptions::default(),
+            ObsSink::disabled(),
         );
         let sim_order = start_order(&sim.trace);
 
@@ -65,8 +70,16 @@ fn single_worker_start_order_is_identical_across_engines() {
         } else {
             Box::new(Dmdas::new())
         };
-        let rt = execute_with(|_| Ok::<(), ()>(()), &graph, rt_sched.as_mut(), &profile, 1)
-            .expect("no-op tasks cannot fail");
+        let workload = FnWorkload(|_| Ok::<(), ()>(()));
+        let rt = execute_workload(
+            &workload,
+            &graph,
+            rt_sched.as_mut(),
+            &profile,
+            1,
+            ObsSink::disabled(),
+        )
+        .expect("no-op tasks cannot fail");
         let rt_order = start_order(&rt.trace);
 
         assert_eq!(sim_order.len(), graph.len(), "{}", sched.name());
@@ -92,33 +105,37 @@ fn injected_schedule_replays_same_per_worker_order_in_both_engines() {
 
     // Plan: a deterministic simulated dmdas run on the same platform.
     let mut planner = Dmdas::new();
-    let plan_run = simulate(
+    let plan_run = simulate_with(
         &graph,
         &platform,
         &profile,
         &mut planner,
         &SimOptions::default(),
+        ObsSink::disabled(),
     );
     let plan = plan_run.trace.to_schedule();
     let planned = per_worker_order(&plan_run.trace, n_workers);
 
     let mut sim_inject = ScheduleInjector::new(&plan);
-    let sim = simulate(
+    let sim = simulate_with(
         &graph,
         &platform,
         &profile,
         &mut sim_inject,
         &SimOptions::default(),
+        ObsSink::disabled(),
     );
     assert_eq!(per_worker_order(&sim.trace, n_workers), planned);
 
     let mut rt_inject = ScheduleInjector::new(&plan);
-    let rt = execute_with(
-        |_| Ok::<(), ()>(()),
+    let workload = FnWorkload(|_| Ok::<(), ()>(()));
+    let rt = execute_workload(
+        &workload,
         &graph,
         &mut rt_inject,
         &profile,
         n_workers,
+        ObsSink::disabled(),
     )
     .expect("no-op tasks cannot fail");
     assert_eq!(
@@ -139,4 +156,71 @@ fn injected_schedule_replays_same_per_worker_order_in_both_engines() {
         .with_prescribed(&plan)
         .lint_trace(&rt.trace);
     assert_eq!(rt_report.n_errors(), 0, "rt: {}", rt_report.to_json());
+}
+
+/// The facade adds no behaviour: a `Run::simulate` is bit-identical to
+/// the direct `simulate_with` call it wraps — same events, transfers,
+/// queue events, makespan, and observability spans.
+#[test]
+fn facade_simulate_is_identical_to_direct_call() {
+    let graph = TaskGraph::cholesky(6);
+    let platform = Platform::mirage();
+    let profile = TimingProfile::mirage();
+    let opts = SimOptions::default();
+
+    let mut direct_sched = Dmdas::new();
+    let direct = simulate_with(
+        &graph,
+        &platform,
+        &profile,
+        &mut direct_sched,
+        &opts,
+        ObsSink::enabled(),
+    );
+    let facade = Run::new(&graph)
+        .scheduler(Dmdas::new())
+        .profile(profile.clone())
+        .obs(ObsSink::enabled())
+        .simulate(&platform, &opts);
+
+    assert_eq!(facade.makespan, direct.makespan);
+    assert_eq!(facade.trace.events, direct.trace.events);
+    assert_eq!(facade.trace.transfers, direct.trace.transfers);
+    assert_eq!(facade.trace.queue_events, direct.trace.queue_events);
+    assert_eq!(facade.obs.spans, direct.obs.spans);
+}
+
+/// `Run::execute` wraps `execute_workload`: wall-clock timestamps differ
+/// between runs, but on a single worker the start order is fully
+/// determined, so facade and direct runs must agree on it.
+#[test]
+fn facade_execute_matches_direct_call_start_order() {
+    let graph = TaskGraph::cholesky(4);
+    let profile = TimingProfile::mirage_homogeneous();
+    let workload = FnWorkload(|_| Ok::<(), ()>(()));
+
+    let mut direct_sched = Dmdas::new();
+    let direct = execute_workload(
+        &workload,
+        &graph,
+        &mut direct_sched,
+        &profile,
+        1,
+        ObsSink::disabled(),
+    )
+    .expect("no-op tasks cannot fail");
+    let facade = Run::new(&graph)
+        .scheduler(Dmdas::new())
+        .profile(profile.clone())
+        .workers(1)
+        .obs(ObsSink::enabled())
+        .execute(&workload)
+        .expect("no-op tasks cannot fail");
+
+    assert_eq!(start_order(&facade.trace), start_order(&direct.trace));
+    assert_eq!(facade.obs.spans.len(), graph.len());
+    assert!(
+        direct.obs.spans.is_empty(),
+        "disabled sink must record nothing"
+    );
 }

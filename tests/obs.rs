@@ -1,0 +1,119 @@
+//! Observability acceptance tests: the Chrome-trace JSON schema is a CI
+//! interface (golden-pinned here), and the per-worker phase accounting
+//! must partition the makespan exactly on *both* engines.
+
+use hetchol::core::obs::{parse_json, validate_chrome_trace, JsonValue, CHROME_EVENT_KEYS};
+use hetchol::core::time::Time;
+use hetchol::prelude::*;
+use hetchol::sched::{Dmda, Dmdas};
+
+fn sim_report(n: usize) -> ObsReport {
+    Run::new(&TaskGraph::cholesky(n))
+        .scheduler(Dmdas::new())
+        .profile(TimingProfile::mirage())
+        .obs(ObsSink::enabled())
+        .simulate(&Platform::mirage(), &SimOptions::default())
+        .obs
+}
+
+fn rt_report(n: usize, workers: usize) -> ObsReport {
+    let workload = FnWorkload(|_: TaskCoords| Ok::<(), std::convert::Infallible>(()));
+    Run::new(&TaskGraph::cholesky(n))
+        .scheduler(Dmda::new())
+        .profile(TimingProfile::mirage_homogeneous())
+        .workers(workers)
+        .obs(ObsSink::enabled())
+        .execute(&workload)
+        .expect("no-op tasks cannot fail")
+        .obs
+}
+
+/// Golden schema: every event object in the exported Chrome trace carries
+/// exactly the pinned key set, `ts`/`dur` are numbers, and the document
+/// shape is `{"traceEvents": [...], "displayTimeUnit": "ms"}`.
+#[test]
+fn chrome_trace_schema_is_golden() {
+    assert_eq!(
+        CHROME_EVENT_KEYS,
+        ["ph", "ts", "dur", "pid", "tid", "name", "args"]
+    );
+    for report in [sim_report(6), rt_report(4, 3)] {
+        let text = report.to_chrome_trace();
+        let n_events = validate_chrome_trace(&text).expect("schema-valid");
+        assert!(n_events > 0);
+
+        // Re-check the pinned shape independently of the validator.
+        let doc = parse_json(&text).expect("well-formed JSON");
+        assert_eq!(
+            doc.get("displayTimeUnit"),
+            Some(&JsonValue::Str("ms".to_string()))
+        );
+        let JsonValue::Arr(events) = doc.get("traceEvents").expect("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        assert_eq!(events.len(), n_events);
+        let mut exec_events = 0;
+        for ev in events {
+            let JsonValue::Obj(fields) = ev else {
+                panic!("every event must be an object");
+            };
+            assert_eq!(fields.len(), CHROME_EVENT_KEYS.len());
+            for key in CHROME_EVENT_KEYS {
+                assert!(ev.get(key).is_some(), "event missing key {key}");
+            }
+            assert!(matches!(ev.get("ts"), Some(JsonValue::Num(_))));
+            assert!(matches!(ev.get("dur"), Some(JsonValue::Num(_))));
+            if ev.get("ph") == Some(&JsonValue::Str("X".to_string())) {
+                exec_events += 1;
+            }
+        }
+        assert!(exec_events > 0, "trace must carry duration events");
+    }
+}
+
+/// Acceptance: per worker, `exec + transfer_wait + queue_wait + idle`
+/// sums to the makespan exactly — on the simulator (with communication)
+/// and on the threaded runtime (wall-clock).
+#[test]
+fn phase_accounting_partitions_makespan_on_both_engines() {
+    for (label, report) in [("sim", sim_report(8)), ("rt", rt_report(5, 4))] {
+        let makespan = report.makespan();
+        assert!(makespan > Time::ZERO, "{label}");
+        let phases = report.worker_phases();
+        assert_eq!(phases.len(), report.n_workers, "{label}");
+        for p in &phases {
+            assert_eq!(
+                p.total(),
+                makespan,
+                "{label}: worker {} phases {:?} do not partition the makespan {makespan}",
+                p.worker,
+                p
+            );
+        }
+        // Every task contributed exactly one span with ordered phases.
+        for s in &report.spans {
+            assert!(s.queued <= s.start && s.start <= s.end, "{label}: {s:?}");
+        }
+    }
+}
+
+/// The summary JSON (consumed by `hetchol-analyze` tooling) parses and
+/// carries the headline counters.
+#[test]
+fn summary_json_is_machine_readable() {
+    let report = sim_report(6);
+    let doc = parse_json(&report.summary_json()).expect("well-formed JSON");
+    for key in [
+        "n_workers",
+        "n_spans",
+        "makespan_ns",
+        "workers",
+        "transfers",
+    ] {
+        assert!(doc.get(key).is_some(), "summary missing {key}");
+    }
+    assert_eq!(
+        doc.get("n_spans"),
+        Some(&JsonValue::Num(report.spans.len() as f64))
+    );
+}

@@ -9,7 +9,25 @@ use hetchol::core::profiles::TimingProfile;
 use hetchol::core::schedule::DurationCheck;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::sched::{Dmda, Dmdas, GemmSyrkOnGpu, RandomScheduler, TriangleTrsmOnCpu};
-use hetchol::sim::{simulate, SimOptions, SimResult};
+use hetchol::sim::{simulate_with, SimOptions, SimResult};
+
+/// Uninstrumented simulation (the observability sink stays disabled).
+fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    sched: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_with(
+        graph,
+        platform,
+        profile,
+        sched,
+        opts,
+        hetchol::core::obs::ObsSink::disabled(),
+    )
+}
 
 fn run(n: usize, platform: &Platform, sched: &mut dyn Scheduler) -> SimResult {
     let graph = TaskGraph::cholesky(n);

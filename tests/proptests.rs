@@ -12,8 +12,26 @@ use hetchol::core::time::Time;
 use hetchol::linalg::matrix::TiledMatrix;
 use hetchol::linalg::{factorization_residual, random_spd, tiled_cholesky_in_place};
 use hetchol::sched::{Dmda, Dmdas, RandomScheduler, TriangleTrsmOnCpu};
-use hetchol::sim::{simulate, SimOptions};
+use hetchol::sim::{simulate_with, SimOptions, SimResult};
 use proptest::prelude::*;
+
+/// Uninstrumented simulation (the observability sink stays disabled).
+fn simulate(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    sched: &mut dyn hetchol::core::scheduler::Scheduler,
+    opts: &SimOptions,
+) -> SimResult {
+    simulate_with(
+        graph,
+        platform,
+        profile,
+        sched,
+        opts,
+        hetchol::core::obs::ObsSink::disabled(),
+    )
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

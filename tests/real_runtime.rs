@@ -3,13 +3,14 @@
 //! numerically — the homogeneous "actual execution" leg of the paper.
 
 use hetchol::core::dag::TaskGraph;
+use hetchol::core::obs::ObsSink;
 use hetchol::core::platform::Platform;
 use hetchol::core::profiles::TimingProfile;
 use hetchol::core::schedule::DurationCheck;
 use hetchol::core::scheduler::Scheduler;
 use hetchol::linalg::matrix::TiledMatrix;
 use hetchol::linalg::{factorization_residual, random_spd};
-use hetchol::rt::{calibrate_profile, execute};
+use hetchol::rt::{calibrate_profile, execute_workload, CholeskyWorkload};
 use hetchol::sched::{Dmda, Dmdas, RandomScheduler, TriangleTrsmOnCpu};
 
 fn factorize_with(
@@ -19,12 +20,20 @@ fn factorize_with(
     workers: usize,
 ) -> f64 {
     let a = random_spd(n_tiles * nb, 99);
-    let mut m = TiledMatrix::from_dense(&a, nb);
+    let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
     let graph = TaskGraph::cholesky(n_tiles);
     let profile = TimingProfile::mirage_homogeneous();
-    let r = execute(&mut m, &graph, sched, &profile, workers).unwrap();
+    let r = execute_workload(
+        &workload,
+        &graph,
+        sched,
+        &profile,
+        workers,
+        ObsSink::disabled(),
+    )
+    .unwrap();
     assert_eq!(r.trace.events.len(), graph.len());
-    factorization_residual(&a, &m)
+    factorization_residual(&a, &workload.into_matrix())
 }
 
 #[test]
@@ -49,11 +58,19 @@ fn real_trace_validates_and_accounts_time() {
     let nb = 24;
     let workers = 3;
     let a = random_spd(n_tiles * nb, 5);
-    let mut m = TiledMatrix::from_dense(&a, nb);
+    let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
     let graph = TaskGraph::cholesky(n_tiles);
     let profile = TimingProfile::mirage_homogeneous();
     let mut sched = Dmdas::new();
-    let r = execute(&mut m, &graph, &mut sched, &profile, workers).unwrap();
+    let r = execute_workload(
+        &workload,
+        &graph,
+        &mut sched,
+        &profile,
+        workers,
+        ObsSink::enabled(),
+    )
+    .unwrap();
     let platform = Platform::homogeneous(workers);
     r.trace
         .to_schedule()
@@ -66,6 +83,17 @@ fn real_trace_validates_and_accounts_time() {
             "worker {w} time accounting"
         );
     }
+    // The obs layer's finer partition agrees with the coarse one above:
+    // exec + (transfer_wait + queue_wait + idle) == makespan per worker.
+    for p in r.obs.worker_phases() {
+        assert_eq!(
+            p.total(),
+            r.makespan,
+            "worker {} phase accounting",
+            p.worker
+        );
+        assert_eq!(p.exec, r.trace.busy_time(p.worker), "worker {}", p.worker);
+    }
 }
 
 #[test]
@@ -76,11 +104,19 @@ fn calibrated_profile_drives_the_runtime() {
     let profile = calibrate_profile(nb, 3);
     let n_tiles = 5;
     let a = random_spd(n_tiles * nb, 21);
-    let mut m = TiledMatrix::from_dense(&a, nb);
+    let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
     let graph = TaskGraph::cholesky(n_tiles);
     let mut sched = Dmdas::new();
-    let r = execute(&mut m, &graph, &mut sched, &profile, 4).unwrap();
-    assert!(factorization_residual(&a, &m) < 1e-11);
+    let r = execute_workload(
+        &workload,
+        &graph,
+        &mut sched,
+        &profile,
+        4,
+        ObsSink::disabled(),
+    )
+    .unwrap();
+    assert!(factorization_residual(&a, &workload.into_matrix()) < 1e-11);
     assert!(r.makespan > hetchol::core::time::Time::ZERO);
 }
 
@@ -96,10 +132,18 @@ fn repeated_runs_stay_numerically_identical_per_schedule_shape() {
 
     let mut factors = Vec::new();
     for _ in 0..2 {
-        let mut m = TiledMatrix::from_dense(&a, nb);
+        let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
         let mut sched = Dmda::new();
-        execute(&mut m, &graph, &mut sched, &profile, 4).unwrap();
-        factors.push(m);
+        execute_workload(
+            &workload,
+            &graph,
+            &mut sched,
+            &profile,
+            4,
+            ObsSink::disabled(),
+        )
+        .unwrap();
+        factors.push(workload.into_matrix());
     }
     let mut m_seq = TiledMatrix::from_dense(&a, nb);
     hetchol::linalg::tiled_cholesky_in_place(&mut m_seq).unwrap();
