@@ -49,6 +49,11 @@ pub enum Rule {
     /// the plain trace (phase timestamps out of order, span/event
     /// mismatch, missing spans).
     SpanConsistency,
+    /// A bound verdict rests on f64 arithmetic only: either no exact
+    /// certificate was supplied for the armed bounds, or the supplied one
+    /// was rejected by the independent checker. Bound findings without
+    /// this warning are CONFIRMED in exact rational arithmetic.
+    UncertifiedBound,
 }
 
 impl Rule {
@@ -70,11 +75,12 @@ impl Rule {
             Rule::IdleGap => "idle-gap",
             Rule::ReplayDivergence => "replay-divergence",
             Rule::SpanConsistency => "span-consistency",
+            Rule::UncertifiedBound => "uncertified-bound",
         }
     }
 
     /// All rules, for catalog listings and coverage tests.
-    pub const ALL: [Rule; 15] = [
+    pub const ALL: [Rule; 16] = [
         Rule::TaskSetSize,
         Rule::TaskMisnumbered,
         Rule::BadWorker,
@@ -90,6 +96,7 @@ impl Rule {
         Rule::IdleGap,
         Rule::ReplayDivergence,
         Rule::SpanConsistency,
+        Rule::UncertifiedBound,
     ];
 }
 

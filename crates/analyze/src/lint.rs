@@ -24,7 +24,8 @@
 //! `QueueEvent` stream against the execution events.
 
 use crate::diag::{Diagnostic, Report, Rule, Severity};
-use hetchol_bounds::BoundSet;
+use hetchol_bounds::cert::{Rat, VerifiedBounds};
+use hetchol_bounds::{BoundSet, CertifiedBoundSet};
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::obs::ObsReport;
 use hetchol_core::platform::{ClassId, Platform};
@@ -59,6 +60,7 @@ pub struct Linter<'a> {
     profile: &'a TimingProfile,
     duration_check: DurationCheck,
     bounds: Option<BoundSet>,
+    certified: Option<CertifiedBoundSet>,
     trsm_cpu_hint: Option<(u32, ClassId)>,
     queue_discipline: Option<QueueDiscipline>,
     prescribed: Option<&'a Schedule>,
@@ -92,6 +94,7 @@ impl<'a> Linter<'a> {
             profile,
             duration_check: DurationCheck::Exact,
             bounds: None,
+            certified: None,
             trsm_cpu_hint: None,
             queue_discipline: None,
             prescribed: None,
@@ -106,9 +109,23 @@ impl<'a> Linter<'a> {
         self
     }
 
-    /// Arm the bound-consistency rules against `bounds`.
+    /// Arm the bound-consistency rules against `bounds`, comparing in f64
+    /// with `BOUND_REL_TOL` slack. Any bound finding is accompanied by
+    /// an [`Rule::UncertifiedBound`] warning — use
+    /// [`Linter::with_certified_bounds`] for exact verdicts.
     pub fn with_bounds(mut self, bounds: BoundSet) -> Self {
         self.bounds = Some(bounds);
+        self
+    }
+
+    /// Arm the bound-consistency rules against exactly-certified bounds.
+    /// The certificates are re-verified by the independent checker at lint
+    /// time; when they hold, bound verdicts are issued in exact rational
+    /// arithmetic (CONFIRMED errors, or FLOAT-SLOP warnings when only the
+    /// tolerant f64 comparison fires). A rejected certificate downgrades
+    /// to the f64 path with an [`Rule::UncertifiedBound`] warning.
+    pub fn with_certified_bounds(mut self, certified: CertifiedBoundSet) -> Self {
+        self.certified = Some(certified);
         self
     }
 
@@ -366,9 +383,38 @@ impl<'a> Linter<'a> {
 
     /// Makespan must not beat any lower bound — "better than bound" means
     /// the schedule (or the bound) is wrong.
+    ///
+    /// With [`Linter::with_certified_bounds`] and a checker-accepted
+    /// certificate the verdicts are exact; otherwise the f64 comparison
+    /// applies and any finding is flagged [`Rule::UncertifiedBound`].
     fn check_bounds(&self, schedule: &Schedule, diags: &mut Vec<Diagnostic>) {
-        let Some(bounds) = &self.bounds else { return };
+        let bounds = match (&self.certified, &self.bounds) {
+            (Some(c), _) => &c.set,
+            (None, Some(b)) => b,
+            (None, None) => return,
+        };
         let makespan = schedule.makespan();
+
+        if let Some(certified) = &self.certified {
+            match certified.verify(self.platform, self.profile) {
+                Ok(verified) => {
+                    self.check_bounds_exact(makespan, bounds, &verified, diags);
+                    return;
+                }
+                Err(reject) => diags.push(Diagnostic {
+                    rule: Rule::UncertifiedBound,
+                    severity: Severity::Warning,
+                    task: None,
+                    worker: None,
+                    message: format!(
+                        "bound certificate rejected by the independent checker ({reject}); \
+                         bound verdicts fall back to f64 arithmetic"
+                    ),
+                }),
+            }
+        }
+
+        let before = diags.len();
         let mut check = |rule: Rule, name: &str, bound: Time| {
             let limit = bound.as_secs_f64() * (1.0 - BOUND_REL_TOL);
             if makespan.as_secs_f64() < limit {
@@ -390,6 +436,76 @@ impl<'a> Linter<'a> {
             "critical-path",
             bounds.critical_path,
         );
+        if diags.len() > before && self.certified.is_none() {
+            diags.push(Diagnostic {
+                rule: Rule::UncertifiedBound,
+                severity: Severity::Warning,
+                task: None,
+                worker: None,
+                message: "bound verdicts above rest on f64 arithmetic only; certify the \
+                          bounds (BoundSet::certify) for an exact-rational confirmation"
+                    .to_string(),
+            });
+        }
+    }
+
+    /// Exact bound verdicts, available once the certificate checker has
+    /// accepted the supplied certificates. The makespan is integer
+    /// nanoseconds, so comparisons against the verified rational bounds
+    /// (and the integer critical-path bound) are exact: violations are
+    /// CONFIRMED errors, and makespans the tolerant f64 comparison would
+    /// flag but the exact one does not are FLOAT-SLOP warnings.
+    fn check_bounds_exact(
+        &self,
+        makespan: Time,
+        bounds: &BoundSet,
+        verified: &VerifiedBounds,
+        diags: &mut Vec<Diagnostic>,
+    ) {
+        let mk = Rat::from_nanos(makespan.as_nanos());
+        let mut check = |rule: Rule, name: &str, fbound: Time, exact: &Rat| {
+            if mk < *exact {
+                diags.push(Diagnostic {
+                    rule,
+                    severity: Severity::Error,
+                    task: None,
+                    worker: None,
+                    message: format!(
+                        "makespan {makespan} beats the {name} lower bound {fbound}: impossible \
+                         result [CONFIRMED by exact-rational certificate, bound = {exact} s]"
+                    ),
+                });
+            } else if makespan.as_secs_f64() < fbound.as_secs_f64() * (1.0 - BOUND_REL_TOL) {
+                diags.push(Diagnostic {
+                    rule,
+                    severity: Severity::Warning,
+                    task: None,
+                    worker: None,
+                    message: format!(
+                        "f64 comparison flags makespan {makespan} as beating the {name} lower \
+                         bound {fbound}, but the exact certificate (bound = {exact} s) does not \
+                         confirm the violation [FLOAT-SLOP]"
+                    ),
+                });
+            }
+        };
+        check(Rule::BoundArea, "area", bounds.area, &verified.area);
+        check(Rule::BoundMixed, "mixed", bounds.mixed, &verified.mixed);
+        // The critical-path bound is computed in integer nanoseconds and
+        // needs no LP certificate: the comparison is already exact.
+        if makespan < bounds.critical_path {
+            diags.push(Diagnostic {
+                rule: Rule::BoundCriticalPath,
+                severity: Severity::Error,
+                task: None,
+                worker: None,
+                message: format!(
+                    "makespan {makespan} beats the critical-path lower bound {}: impossible \
+                     result [CONFIRMED in integer nanoseconds]",
+                    bounds.critical_path
+                ),
+            });
+        }
     }
 
     /// Pinned TRSMs must sit on the forced class.

@@ -460,3 +460,136 @@ fn tampered_trace_trips_span_consistency() {
         .lint_trace(&trace);
     assert!(report.by_rule(Rule::SpanConsistency).is_empty());
 }
+
+// --- Certified bound verdicts -------------------------------------------
+
+use hetchol_analyze::Severity;
+
+/// Certify the mirage bounds for `n` (panics are test failures).
+fn certified(
+    n: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> hetchol_bounds::CertifiedBoundSet {
+    BoundSet::compute(n, platform, profile)
+        .certify(platform, profile)
+        .expect("certify")
+}
+
+#[test]
+fn certified_bounds_lint_clean_on_valid_runs() {
+    for n in 1..5 {
+        let (graph, platform, profile, trace) = valid_run(n);
+        let report = Linter::new(&graph, &platform, &profile)
+            .with_certified_bounds(certified(n, &platform, &profile))
+            .lint_trace(&trace);
+        assert!(report.is_clean(), "n={n}: {}", report.to_json());
+    }
+}
+
+#[test]
+fn certified_bound_violations_are_confirmed_errors() {
+    let (graph, platform, profile, trace) = valid_run(4);
+    let entries = trace
+        .to_schedule()
+        .entries()
+        .iter()
+        .map(|e| ScheduleEntry {
+            task: e.task,
+            worker: e.worker,
+            start: Time::from_nanos(e.start.as_nanos() / 100),
+            end: Time::from_nanos(e.end.as_nanos() / 100),
+        })
+        .collect();
+    let schedule = Schedule::from_entries(entries);
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .with_certified_bounds(certified(4, &platform, &profile))
+        .lint_schedule(&schedule);
+    for rule in [Rule::BoundArea, Rule::BoundMixed, Rule::BoundCriticalPath] {
+        let diags = report.by_rule(rule);
+        assert!(
+            !diags.is_empty(),
+            "{rule} did not fire: {}",
+            report.to_json()
+        );
+        assert!(
+            diags
+                .iter()
+                .all(|d| d.severity == Severity::Error && d.message.contains("CONFIRMED")),
+            "{rule} not CONFIRMED: {}",
+            report.to_json()
+        );
+    }
+    // Exact verdicts in hand: no uncertified-bound hedge.
+    assert!(report.by_rule(Rule::UncertifiedBound).is_empty());
+}
+
+#[test]
+fn float_only_violations_downgrade_to_float_slop_warnings() {
+    // Inflate the *stored f64* area bound past the (valid) makespan while
+    // leaving the exact certificate intact: the tolerant f64 comparison
+    // now flags the run, the exact one exonerates it.
+    let (graph, platform, profile, trace) = valid_run(3);
+    let schedule = trace.to_schedule();
+    let mut cert = certified(3, &platform, &profile);
+    cert.set.area = Time::from_secs_f64(schedule.makespan().as_secs_f64() * 1.01);
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_certified_bounds(cert)
+        .lint_schedule(&schedule);
+    let diags = report.by_rule(Rule::BoundArea);
+    assert_eq!(diags.len(), 1, "{}", report.to_json());
+    assert_eq!(diags[0].severity, Severity::Warning);
+    assert!(
+        diags[0].message.contains("FLOAT-SLOP"),
+        "{}",
+        diags[0].message
+    );
+    assert_eq!(report.n_errors(), 0, "{}", report.to_json());
+}
+
+#[test]
+fn rejected_certificates_fall_back_with_an_uncertified_warning() {
+    let (graph, platform, profile, trace) = valid_run(3);
+    let mut cert = certified(3, &platform, &profile);
+    // Corrupt the embedded LP: the independent checker must refuse it.
+    let rhs = &mut cert.area.lp.rows[0].rhs;
+    *rhs = rhs.checked_add(hetchol_bounds::Rat::ONE).unwrap();
+    let report = Linter::new(&graph, &platform, &profile)
+        .with_certified_bounds(cert)
+        .lint_trace(&trace);
+    let diags = report.by_rule(Rule::UncertifiedBound);
+    assert_eq!(diags.len(), 1, "{}", report.to_json());
+    assert!(
+        diags[0].message.contains("rejected"),
+        "{}",
+        diags[0].message
+    );
+    // The valid run still passes the f64 fallback: warning only.
+    assert_eq!(report.n_errors(), 0, "{}", report.to_json());
+}
+
+#[test]
+fn uncertified_float_bound_findings_carry_a_warning() {
+    let (graph, platform, profile, trace) = valid_run(4);
+    let bounds = BoundSet::compute(4, &platform, &profile);
+    let entries = trace
+        .to_schedule()
+        .entries()
+        .iter()
+        .map(|e| ScheduleEntry {
+            task: e.task,
+            worker: e.worker,
+            start: Time::from_nanos(e.start.as_nanos() / 100),
+            end: Time::from_nanos(e.end.as_nanos() / 100),
+        })
+        .collect();
+    let schedule = Schedule::from_entries(entries);
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .with_bounds(bounds)
+        .lint_schedule(&schedule);
+    let diags = report.by_rule(Rule::UncertifiedBound);
+    assert_eq!(diags.len(), 1, "{}", report.to_json());
+    assert!(diags[0].message.contains("f64"), "{}", diags[0].message);
+}

@@ -17,6 +17,7 @@
 //! repro sweep-k [n]          # makespan vs triangle offset k
 //!
 //! repro analyze              # lint both engines' traces (exit 1 on errors)
+//! repro certify              # exact-certify the paper grid's bounds (exit 1 on failures)
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
@@ -83,6 +84,19 @@ fn run_analyze(json: bool) -> ! {
     print!("{report}");
     if errors > 0 {
         eprintln!("analyze: {errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
+/// `repro certify`: build exact rational certificates for every LP/ILP
+/// bound on the paper grid, run them through the independent checker, and
+/// exit nonzero if any bound could not be certified.
+fn run_certify(json: bool) -> ! {
+    let (report, failures) = bench::certify_report(json);
+    print!("{report}");
+    if failures > 0 {
+        eprintln!("certify: {failures} bound(s) failed certification");
         std::process::exit(1);
     }
     std::process::exit(0)
@@ -155,6 +169,9 @@ fn main() {
     }
     if args.analyze || cmd == "analyze" {
         run_analyze(args.json);
+    }
+    if cmd == "certify" {
+        run_certify(args.json);
     }
     let cp_opts = CpOptions {
         anneal_iters: args.cp_budget,
@@ -231,6 +248,7 @@ fn main() {
                  \u{20}            fig9 [n k]  fig10  fig11  fig12  hint-gemmsyrk  mapping-only  sweep-k [n]\n\
                  \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
                  \u{20}            analyze  (lint both engines' traces; exit 1 on errors)\n\
+                 \u{20}            certify  (exact-certify the paper grid's bounds; exit 1 on failures)\n\
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
                  flags: --csv  --json  --analyze  --cp-budget <iters>  --obs-out <dir>"
             );

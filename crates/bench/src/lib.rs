@@ -796,12 +796,15 @@ pub fn analyze(json: bool) -> (String, usize) {
 
     // Simulated engine, paper platform. Runs are obs-instrumented so the
     // linter reads its task records from the structured spans and the
-    // span-consistency rule is armed.
+    // span-consistency rule is armed. Bounds are armed with their exact
+    // certificates, so any bound verdict is CONFIRMED rather than f64-only
+    // (certification failure falls back to the float bounds).
     let platform = Platform::mirage().without_comm();
     let profile = TimingProfile::mirage();
     for n in [4usize, 8] {
         let graph = TaskGraph::cholesky(n);
         let bounds = BoundSet::compute(n, &platform, &profile);
+        let certified = bounds.certify(&platform, &profile).ok();
         for (kind, discipline) in [
             (SchedKind::Dmda, QueueDiscipline::Fifo),
             (SchedKind::Dmdas, QueueDiscipline::Sorted),
@@ -815,8 +818,12 @@ pub fn analyze(json: bool) -> (String, usize) {
                 &SimOptions::default(),
                 ObsSink::enabled(),
             );
-            let report = Linter::new(&graph, &platform, &profile)
-                .with_bounds(bounds.clone())
+            let linter = Linter::new(&graph, &platform, &profile);
+            let linter = match &certified {
+                Some(c) => linter.with_certified_bounds(c.clone()),
+                None => linter.with_bounds(bounds.clone()),
+            };
+            let report = linter
                 .with_queue_discipline(discipline)
                 .with_obs(&r.obs)
                 .lint_trace(&r.trace);
@@ -850,6 +857,107 @@ pub fn analyze(json: bool) -> (String, usize) {
     }
 
     (out, errors)
+}
+
+/// The `repro certify` grid: both reference platforms × all three
+/// factorizations × the paper sizes.
+pub const CERTIFY_SIZES: [usize; 4] = [4, 8, 12, 16];
+
+/// `repro certify`: certify the LP/ILP bounds of the paper grid in exact
+/// rational arithmetic and run every certificate through the independent
+/// checker. Returns the rendered report (JSON lines or aligned text) and
+/// the number of failures (the binary's exit code): a failure is a bound
+/// whose certificate could not be built or was rejected by the checker.
+pub fn certify_report(json: bool) -> (String, usize) {
+    use std::fmt::Write as _;
+
+    let grids: [(&str, Platform, TimingProfile); 2] = [
+        (
+            "mirage",
+            Platform::mirage().without_comm(),
+            TimingProfile::mirage(),
+        ),
+        (
+            "cpu-only",
+            Platform::homogeneous(9),
+            TimingProfile::mirage_homogeneous(),
+        ),
+    ];
+    let mut out = String::new();
+    if !json {
+        let _ = writeln!(
+            out,
+            "# Exact bound certification (area + mixed, independent checker)"
+        );
+        let _ = writeln!(
+            out,
+            "{:>9} {:>9} {:>4} {:>9} {:>13} {:>13} {:>7} {:>9}",
+            "platform", "algo", "n", "status", "area (s)", "mixed (s)", "leaves", "tree"
+        );
+    }
+    let mut failures = 0;
+    for (pname, platform, profile) in &grids {
+        for algo in [Algorithm::Cholesky, Algorithm::Lu, Algorithm::Qr] {
+            for n in CERTIFY_SIZES {
+                let set = BoundSet::compute_algo(algo, n, platform, profile);
+                let outcome = set
+                    .certify(platform, profile)
+                    .map_err(|e| e.to_string())
+                    .and_then(|cert| {
+                        cert.verify(platform, profile)
+                            .map(|v| (cert, v))
+                            .map_err(|e| e.to_string())
+                    });
+                let algo_name = algo.label().to_lowercase();
+                match outcome {
+                    Ok((cert, verified)) => {
+                        let n_leaves = cert.area.leaves.len() + cert.mixed.leaves.len();
+                        let complete = cert.area.tree_complete && cert.mixed.tree_complete;
+                        if json {
+                            let _ = writeln!(
+                                out,
+                                "{{\"platform\":\"{pname}\",\"algo\":\"{algo_name}\",\"n\":{n},\
+                                 \"status\":\"verified\",\"area\":\"{}\",\"mixed\":\"{}\",\
+                                 \"area_secs\":{},\"mixed_secs\":{},\"leaves\":{n_leaves},\
+                                 \"tree_complete\":{complete}}}",
+                                verified.area,
+                                verified.mixed,
+                                verified.area.to_f64(),
+                                verified.mixed.to_f64(),
+                            );
+                        } else {
+                            let _ = writeln!(
+                                out,
+                                "{pname:>9} {algo_name:>9} {n:>4} {:>9} {:>13.6} {:>13.6} \
+                                 {n_leaves:>7} {:>9}",
+                                "verified",
+                                verified.area.to_f64(),
+                                verified.mixed.to_f64(),
+                                if complete { "complete" } else { "root-only" },
+                            );
+                        }
+                    }
+                    Err(why) => {
+                        failures += 1;
+                        if json {
+                            let _ = writeln!(
+                                out,
+                                "{{\"platform\":\"{pname}\",\"algo\":\"{algo_name}\",\"n\":{n},\
+                                 \"status\":\"failed\",\"reason\":\"{why}\"}}",
+                            );
+                        } else {
+                            let _ = writeln!(
+                                out,
+                                "{pname:>9} {algo_name:>9} {n:>4} {:>9}  {why}",
+                                "FAILED"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (out, failures)
 }
 
 /// `repro --obs-out <dir>`: run one instrumented reference workload per

@@ -13,8 +13,11 @@
 //!   its fastest resource.
 //! * **GEMM peak** — the classical aggregate-GFLOP/s ceiling.
 
+use crate::cert::rat::CertError;
+use crate::cert::{certify_bounds, CertifiedBoundSet};
 use crate::ilp::solve_ilp_gap;
 use crate::simplex::{solve_lp, Constraint, LinearProgram, LpSolution, Relation};
+use crate::tol;
 use hetchol_core::algorithm::Algorithm;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::kernel::Kernel;
@@ -24,13 +27,22 @@ use hetchol_core::time::Time;
 
 /// Node budget for the branch-and-bound; the paper's LPs close in a handful
 /// of nodes, so this is a safety backstop rather than a tuning knob.
-const NODE_LIMIT: usize = 600;
+pub(crate) const NODE_LIMIT: usize = 600;
+
+/// Relative optimality gap for the bound ILPs: far below anything visible
+/// in a GFLOP/s plot, and the reported bound stays valid regardless (the
+/// search returns the tightest pruned relaxation, never the
+/// possibly-suboptimal incumbent).
+pub(crate) const BOUND_REL_GAP: f64 = 1e-4;
 
 /// Build the area-bound (I)LP from per-kernel task counts. Variable
 /// layout: `n_rt` at `r * Kernel::COUNT + t` (class-major), makespan `l`
 /// (seconds) last. Kernels with zero count contribute fixed-zero
-/// variables, so one layout serves every algorithm.
-fn area_lp(
+/// variables, so one layout serves every algorithm. Row layout:
+/// `Kernel::COUNT` equality (task-count) rows in `Kernel::ALL` order, then
+/// one `≤` (class-capacity) row per resource class — the exact-rational
+/// builders in `cert` mirror this layout one-to-one.
+pub(crate) fn area_lp(
     counts: &[usize; Kernel::COUNT],
     platform: &Platform,
     profile: &TimingProfile,
@@ -78,7 +90,7 @@ fn area_lp(
 /// fractional parts, then take the smallest `l` satisfying every
 /// constraint. This incumbent lets branch-and-bound prune the wide,
 /// near-degenerate plateaus these LPs exhibit.
-fn rounded_incumbent(
+pub(crate) fn rounded_incumbent(
     lp: &LinearProgram,
     counts: &[usize; Kernel::COUNT],
     n_classes: usize,
@@ -132,23 +144,54 @@ fn rounded_incumbent(
             .map(|(i, &v)| v * x[i])
             .sum();
         match c.rel {
-            Relation::Le if cl < -1e-12 => l = l.max((s - c.rhs) / -cl),
-            Relation::Ge if cl > 1e-12 => l = l.max((c.rhs - s) / cl),
+            Relation::Le if cl < 0.0 && tol::nonzero_coeff(cl) => l = l.max((s - c.rhs) / -cl),
+            Relation::Ge if cl > 0.0 && tol::nonzero_coeff(cl) => l = l.max((c.rhs - s) / cl),
             _ => {}
         }
     }
     x[l_var] = l;
-    Some(LpSolution { objective: l, x })
+    Some(LpSolution {
+        objective: l,
+        x,
+        duals: Vec::new(),
+    })
+}
+
+/// Build the mixed-bound (I)LP: the area LP plus the diagonal-chain row
+/// `l - Σ_r n_rD·T_rD ≥ (n-1)·Σ_chain T*_k` appended last.
+pub(crate) fn mixed_lp(
+    algo: Algorithm,
+    n_tiles: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> LinearProgram {
+    let counts = algo.counts(n_tiles);
+    let mut lp = area_lp(&counts, platform, profile);
+    let n_classes = platform.n_classes();
+    let l_var = n_classes * Kernel::COUNT;
+
+    let diag = algo.diag_kernel();
+    let chain_tail: f64 = (n_tiles as f64 - 1.0)
+        * algo
+            .chain_kernels()
+            .iter()
+            .map(|&k| profile.fastest_time(k).as_secs_f64())
+            .sum::<f64>();
+    let mut coeffs = vec![0.0; lp.n_vars];
+    for r in 0..n_classes {
+        coeffs[r * Kernel::COUNT + diag.index()] = -profile.time(diag, r).as_secs_f64();
+    }
+    coeffs[l_var] = 1.0;
+    lp.constraints
+        .push(Constraint::new(coeffs, Relation::Ge, chain_tail));
+    lp
 }
 
 fn solve_bound_lp(lp: &LinearProgram, counts: &[usize; Kernel::COUNT], n_classes: usize) -> Time {
     let n_int_vars = n_classes * Kernel::COUNT;
     let integer_vars: Vec<usize> = (0..n_int_vars).collect();
     let warm = rounded_incumbent(lp, counts, n_classes);
-    // A 0.01% optimality gap: far below anything visible in a GFLOP/s plot,
-    // and the reported bound stays valid regardless (the search returns the
-    // tightest pruned relaxation, never the possibly-suboptimal incumbent).
-    let result = solve_ilp_gap(lp, &integer_vars, NODE_LIMIT, warm, 1e-4);
+    let result = solve_ilp_gap(lp, &integer_vars, NODE_LIMIT, warm, BOUND_REL_GAP);
     // `lower_bound` is a valid makespan lower bound whether or not the
     // search closed (it degrades to the LP relaxation).
     Time::from_secs_f64(result.lower_bound.max(0.0))
@@ -190,27 +233,8 @@ pub fn mixed_bound_algo(
         return Time::ZERO;
     }
     let counts = algo.counts(n_tiles);
-    let mut lp = area_lp(&counts, platform, profile);
-    let n_classes = platform.n_classes();
-    let l_var = n_classes * Kernel::COUNT;
-
-    // l - Σ_r n_rD·T_rD ≥ (n-1)·Σ_chain T*_k
-    let diag = algo.diag_kernel();
-    let chain_tail: f64 = (n_tiles as f64 - 1.0)
-        * algo
-            .chain_kernels()
-            .iter()
-            .map(|&k| profile.fastest_time(k).as_secs_f64())
-            .sum::<f64>();
-    let mut coeffs = vec![0.0; lp.n_vars];
-    for r in 0..n_classes {
-        coeffs[r * Kernel::COUNT + diag.index()] = -profile.time(diag, r).as_secs_f64();
-    }
-    coeffs[l_var] = 1.0;
-    lp.constraints
-        .push(Constraint::new(coeffs, Relation::Ge, chain_tail));
-
-    solve_bound_lp(&lp, &counts, n_classes)
+    let lp = mixed_lp(algo, n_tiles, platform, profile);
+    solve_bound_lp(&lp, &counts, platform.n_classes())
 }
 
 /// The paper's **mixed bound** for an `n_tiles × n_tiles` Cholesky.
@@ -320,6 +344,24 @@ impl BoundSet {
     /// Performance upper bound (GFLOP/s) from the mixed bound.
     pub fn mixed_gflops(&self) -> f64 {
         self.algo.gflops(self.n_tiles, self.nb, self.mixed)
+    }
+
+    /// Certify this set's area and mixed bounds with exact rational LP
+    /// duality certificates (the critical-path bound is already exact
+    /// integer-nanosecond arithmetic and needs none).
+    ///
+    /// The returned [`CertifiedBoundSet`] replays the branch-and-bound tree
+    /// of each bound in exact arithmetic and carries one dual (or Farkas)
+    /// certificate per leaf; its `verify` method hands everything to the
+    /// solver-independent checker. Errors mean *no exact statement could be
+    /// produced* (overflow, pivot budget), never that the f64 bound is
+    /// wrong — callers degrade to the uncertified value.
+    pub fn certify(
+        &self,
+        platform: &Platform,
+        profile: &TimingProfile,
+    ) -> Result<CertifiedBoundSet, CertError> {
+        certify_bounds(self.clone(), platform, profile)
     }
 
     /// The tightest makespan lower bound in the set.

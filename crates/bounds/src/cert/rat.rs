@@ -1,0 +1,394 @@
+//! Overflow-checked exact rational arithmetic on `i128` numerators and
+//! denominators.
+//!
+//! This is deliberately *not* a general bignum: the certified bound LPs are
+//! built from integer-nanosecond kernel times (denominator `10^9`, reduced
+//! by gcd), so every quantity the solver and checker touch fits easily in
+//! `i128` after cross-reduction. Rather than silently wrapping or promoting,
+//! every operation is checked and an [`CertError::Overflow`] is reported —
+//! a certificate that cannot be computed exactly is *no certificate*, never
+//! a wrong one.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Failure of exact certificate construction or checking arithmetic.
+///
+/// None of these mean "the bound is wrong": they mean no exact statement
+/// could be produced, and callers must degrade to the uncertified f64 path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertError {
+    /// An exact numerator or denominator left the `i128` range. The module
+    /// has no bignum promotion by design (offline, dependency-free); the
+    /// error is explicit instead.
+    Overflow,
+    /// A zero denominator or division by an exact zero.
+    DivisionByZero,
+    /// The exact simplex exceeded its pivot budget. Bland's rule makes
+    /// cycling impossible in exact arithmetic, so this only guards
+    /// pathologically large instances.
+    PivotLimit,
+    /// A leaf LP was unbounded below; the bound LPs are bounded by
+    /// construction (`l ≥ 0` with positive times), so this indicates a
+    /// malformed problem rather than a property of the paper's bounds.
+    Unbounded,
+    /// Every branch-and-bound leaf was infeasible: the integer program has
+    /// no solution, so there is no finite bound to certify.
+    Infeasible,
+    /// A float could not be represented exactly (non-finite input).
+    NotRepresentable,
+}
+
+impl fmt::Display for CertError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertError::Overflow => write!(f, "exact arithmetic overflowed i128"),
+            CertError::DivisionByZero => write!(f, "exact division by zero"),
+            CertError::PivotLimit => write!(f, "exact simplex exceeded its pivot budget"),
+            CertError::Unbounded => write!(f, "exact LP is unbounded"),
+            CertError::Infeasible => write!(f, "integer program is infeasible"),
+            CertError::NotRepresentable => write!(f, "value is not exactly representable"),
+        }
+    }
+}
+
+impl std::error::Error for CertError {}
+
+/// An exact rational `num/den` with `den > 0`, always gcd-reduced.
+///
+/// Equality and ordering are exact; `PartialEq`/`Eq` can be derived because
+/// the representation is canonical.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i128,
+    den: i128,
+}
+
+fn gcd(mut a: i128, mut b: i128) -> i128 {
+    // Plain Euclid on magnitudes; inputs are pre-checked to be < i128::MAX
+    // in magnitude so `abs` cannot overflow.
+    a = a.abs();
+    b = b.abs();
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a
+}
+
+impl Rat {
+    /// Exact zero.
+    pub const ZERO: Rat = Rat { num: 0, den: 1 };
+    /// Exact one.
+    pub const ONE: Rat = Rat { num: 1, den: 1 };
+
+    /// Build `num/den` in canonical form (`den > 0`, reduced).
+    pub fn new(num: i128, den: i128) -> Result<Rat, CertError> {
+        if den == 0 {
+            return Err(CertError::DivisionByZero);
+        }
+        // i128::MIN has no magnitude in-range; reject rather than wrap.
+        if num == i128::MIN || den == i128::MIN {
+            return Err(CertError::Overflow);
+        }
+        let sign = if (num < 0) != (den < 0) { -1 } else { 1 };
+        let (num, den) = (num.abs(), den.abs());
+        let g = gcd(num, den);
+        Ok(Rat {
+            num: sign * (num / g),
+            den: den / g,
+        })
+    }
+
+    /// Exact integer.
+    pub fn from_int(v: i64) -> Rat {
+        Rat {
+            num: v as i128,
+            den: 1,
+        }
+    }
+
+    /// Exact seconds from an integer nanosecond count (the repo's `Time`
+    /// representation), i.e. `ns / 10^9`.
+    pub fn from_nanos(ns: u64) -> Rat {
+        Rat::new(ns as i128, 1_000_000_000).expect("10^9 denominator is valid")
+    }
+
+    /// Exact value of a finite f64 (every finite f64 is a dyadic rational).
+    /// Fails with [`CertError::NotRepresentable`] on NaN/infinity and with
+    /// [`CertError::Overflow`] when the dyadic form exceeds `i128`.
+    pub fn try_from_f64(v: f64) -> Result<Rat, CertError> {
+        if !v.is_finite() {
+            return Err(CertError::NotRepresentable);
+        }
+        let mut scaled = v;
+        let mut den: i128 = 1;
+        while scaled.fract() != 0.0 {
+            scaled *= 2.0;
+            den = den.checked_mul(2).ok_or(CertError::Overflow)?;
+        }
+        if scaled.abs() >= i128::MAX as f64 {
+            return Err(CertError::Overflow);
+        }
+        Rat::new(scaled as i128, den)
+    }
+
+    /// Numerator (canonical form).
+    pub fn num(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator (canonical form, always positive).
+    pub fn den(&self) -> i128 {
+        self.den
+    }
+
+    /// `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Nearest f64 (for reporting only; never used in verification).
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Exact negation.
+    pub fn checked_neg(self) -> Result<Rat, CertError> {
+        Ok(Rat {
+            num: self.num.checked_neg().ok_or(CertError::Overflow)?,
+            den: self.den,
+        })
+    }
+
+    /// Exact sum. Cross-reduces by `gcd(den, den)` first to delay overflow.
+    pub fn checked_add(self, o: Rat) -> Result<Rat, CertError> {
+        let g = gcd(self.den, o.den);
+        let (da, db) = (self.den / g, o.den / g);
+        let l = self.num.checked_mul(db).ok_or(CertError::Overflow)?;
+        let r = o.num.checked_mul(da).ok_or(CertError::Overflow)?;
+        let num = l.checked_add(r).ok_or(CertError::Overflow)?;
+        let den = self.den.checked_mul(db).ok_or(CertError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Exact difference.
+    pub fn checked_sub(self, o: Rat) -> Result<Rat, CertError> {
+        self.checked_add(o.checked_neg()?)
+    }
+
+    /// Exact product. Cross-reduces `num/den'` and `num'/den` first.
+    pub fn checked_mul(self, o: Rat) -> Result<Rat, CertError> {
+        let g1 = gcd(self.num, o.den);
+        let g2 = gcd(o.num, self.den);
+        let (g1, g2) = (g1.max(1), g2.max(1));
+        let num = (self.num / g1)
+            .checked_mul(o.num / g2)
+            .ok_or(CertError::Overflow)?;
+        let den = (self.den / g2)
+            .checked_mul(o.den / g1)
+            .ok_or(CertError::Overflow)?;
+        Rat::new(num, den)
+    }
+
+    /// Exact quotient.
+    pub fn checked_div(self, o: Rat) -> Result<Rat, CertError> {
+        if o.is_zero() {
+            return Err(CertError::DivisionByZero);
+        }
+        self.checked_mul(Rat {
+            num: o.den * o.num.signum(),
+            den: o.num.abs(),
+        })
+    }
+}
+
+/// Exact comparison of `an/ad` vs `bn/bd` (`ad, bd > 0`, `an, bn ≥ 0`)
+/// without cross-multiplying: compare integer parts, then recurse on the
+/// reciprocals of the fractional remainders (the continued-fraction
+/// expansion). Terminates because the denominators strictly shrink.
+fn cmp_nonneg(an: i128, ad: i128, bn: i128, bd: i128) -> Ordering {
+    let (qa, qb) = (an / ad, bn / bd);
+    if qa != qb {
+        return qa.cmp(&qb);
+    }
+    let (ra, rb) = (an % ad, bn % bd);
+    match (ra == 0, rb == 0) {
+        (true, true) => Ordering::Equal,
+        (true, false) => Ordering::Less,
+        (false, true) => Ordering::Greater,
+        // fa = ra/ad and fb = rb/bd are in (0,1); fa < fb ⟺ ad/ra > bd/rb.
+        (false, false) => cmp_nonneg(bd, rb, ad, ra),
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Rat) -> Ordering {
+        // Sign fast paths keep the recursion on non-negative operands.
+        match (self.num.signum(), other.num.signum()) {
+            (a, b) if a != b => return a.cmp(&b),
+            (0, 0) => return Ordering::Equal,
+            _ => {}
+        }
+        if self.num >= 0 {
+            cmp_nonneg(self.num, self.den, other.num, other.den)
+        } else {
+            cmp_nonneg(-other.num, other.den, -self.num, self.den)
+        }
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Rat) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn r(n: i128, d: i128) -> Rat {
+        Rat::new(n, d).unwrap()
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, -7), Rat::ZERO);
+        assert_eq!(r(6, 3).to_string(), "2");
+        assert_eq!(r(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = r(1, 3);
+        let b = r(1, 6);
+        assert_eq!(a.checked_add(b).unwrap(), r(1, 2));
+        assert_eq!(a.checked_sub(b).unwrap(), b);
+        assert_eq!(a.checked_mul(b).unwrap(), r(1, 18));
+        assert_eq!(a.checked_div(b).unwrap(), r(2, 1));
+        assert_eq!(a.checked_neg().unwrap(), r(-1, 3));
+    }
+
+    #[test]
+    fn explicit_errors() {
+        assert_eq!(Rat::new(1, 0), Err(CertError::DivisionByZero));
+        assert_eq!(
+            r(1, 2).checked_div(Rat::ZERO),
+            Err(CertError::DivisionByZero)
+        );
+        let huge = r(i128::MAX, 1);
+        assert_eq!(huge.checked_add(Rat::ONE), Err(CertError::Overflow));
+        assert_eq!(huge.checked_mul(r(2, 1)), Err(CertError::Overflow));
+        assert_eq!(
+            Rat::try_from_f64(f64::NAN),
+            Err(CertError::NotRepresentable)
+        );
+        assert_eq!(
+            Rat::try_from_f64(f64::INFINITY),
+            Err(CertError::NotRepresentable)
+        );
+    }
+
+    #[test]
+    fn nanos_and_dyadic_conversions() {
+        assert_eq!(Rat::from_nanos(500_000_000), r(1, 2));
+        assert_eq!(Rat::from_nanos(0), Rat::ZERO);
+        assert_eq!(Rat::try_from_f64(0.25).unwrap(), r(1, 4));
+        assert_eq!(Rat::try_from_f64(-3.0).unwrap(), r(-3, 1));
+        // 0.1 is not exactly 1/10 in binary: the dyadic expansion is exact.
+        let tenth = Rat::try_from_f64(0.1).unwrap();
+        assert_ne!(tenth, r(1, 10));
+        assert_eq!(tenth.to_f64(), 0.1);
+    }
+
+    #[test]
+    fn comparison_survives_cross_multiplication_overflow() {
+        // Denominators near 2^63: naive cross-multiplication would overflow
+        // i128; the continued-fraction comparison must not.
+        let big = 1i128 << 100;
+        let a = r(big + 1, big);
+        let b = r(big + 2, big + 1);
+        // (big+1)/big > (big+2)/(big+1)  ⟺  (big+1)^2 > big(big+2)  (true).
+        assert_eq!(a.cmp(&b), Ordering::Greater);
+        assert_eq!(b.cmp(&a), Ordering::Less);
+        assert_eq!(a.cmp(&a), Ordering::Equal);
+        assert!(r(-1, big) < r(1, big + 1));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        #[test]
+        fn cmp_matches_f64_on_small_rationals(
+            an in -1000i64..1000, ad in 1i64..1000,
+            bn in -1000i64..1000, bd in 1i64..1000,
+        ) {
+            let a = r(an as i128, ad as i128);
+            let b = r(bn as i128, bd as i128);
+            let exact = a.cmp(&b);
+            let float = (an as f64 / ad as f64)
+                .partial_cmp(&(bn as f64 / bd as f64))
+                .unwrap();
+            // f64 is exact for these magnitudes only when the quotients are
+            // distinguishable; equality is exact in both.
+            if a != b {
+                prop_assert_eq!(exact, float);
+            } else {
+                prop_assert_eq!(exact, Ordering::Equal);
+            }
+        }
+
+        #[test]
+        fn field_axioms_hold(
+            an in -100i64..100, ad in 1i64..100,
+            bn in -100i64..100, bd in 1i64..100,
+        ) {
+            let a = r(an as i128, ad as i128);
+            let b = r(bn as i128, bd as i128);
+            prop_assert_eq!(
+                a.checked_add(b).unwrap(),
+                b.checked_add(a).unwrap()
+            );
+            prop_assert_eq!(
+                a.checked_sub(b).unwrap().checked_add(b).unwrap(),
+                a
+            );
+            prop_assert_eq!(
+                a.checked_mul(b).unwrap(),
+                b.checked_mul(a).unwrap()
+            );
+            if !b.is_zero() {
+                prop_assert_eq!(
+                    a.checked_div(b).unwrap().checked_mul(b).unwrap(),
+                    a
+                );
+            }
+        }
+    }
+}

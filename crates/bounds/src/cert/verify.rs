@@ -1,0 +1,391 @@
+//! The independent certificate checker.
+//!
+//! This module deliberately shares no code with the exact solver
+//! ([`super::xlp`]) or the builder-side LP construction in `cert/mod.rs`:
+//! it rebuilds the LP from the platform/profile ground truth with its own
+//! code, walks the branch tree with its own cover check, and validates
+//! every leaf proof by evaluating rational inequalities only. A bug in the
+//! solver (or in the builder) therefore cannot self-certify — the two
+//! implementations would have to agree on the wrong answer independently.
+//!
+//! Keep it that way: do NOT "deduplicate" this file against the builder.
+
+use super::rat::{CertError, Rat};
+use super::xlp::{RatLp, RatRow};
+use super::{BoundCertificate, LeafVerdict};
+use crate::ilp::BranchStep;
+use crate::simplex::Relation;
+use hetchol_core::algorithm::Algorithm;
+use hetchol_core::kernel::Kernel;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+
+/// Why the checker refused a certificate.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CertReject {
+    /// A certificate was presented for the wrong bound kind.
+    WrongKind,
+    /// The embedded LP differs from the one rebuilt from ground truth
+    /// (wrong coefficient, rhs, relation, or shape).
+    LpMismatch,
+    /// The branch tree's leaves do not partition the integer search space.
+    BadTree(String),
+    /// A specific leaf proof failed (index + reason).
+    BadLeaf {
+        /// Index into `cert.leaves`.
+        leaf: usize,
+        /// Human-readable description of the failed check.
+        reason: String,
+    },
+    /// The claimed bound is not the minimum of the verified leaf bounds.
+    WrongBound,
+    /// Exact arithmetic overflowed while evaluating the certificate.
+    Arithmetic(CertError),
+}
+
+impl std::fmt::Display for CertReject {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CertReject::WrongKind => write!(f, "certificate is for the wrong bound kind"),
+            CertReject::LpMismatch => {
+                write!(f, "embedded LP does not match the ground-truth rebuild")
+            }
+            CertReject::BadTree(why) => write!(f, "branch tree is not a cover: {why}"),
+            CertReject::BadLeaf { leaf, reason } => {
+                write!(f, "leaf {leaf} proof rejected: {reason}")
+            }
+            CertReject::WrongBound => {
+                write!(f, "claimed bound is not the minimum over verified leaves")
+            }
+            CertReject::Arithmetic(e) => write!(f, "exact arithmetic failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CertReject {}
+
+impl From<CertError> for CertReject {
+    fn from(e: CertError) -> Self {
+        CertReject::Arithmetic(e)
+    }
+}
+
+/// Rebuild the exact bound LP from ground truth — the checker's own
+/// implementation, intentionally written independently of
+/// [`super::exact_bound_lp`].
+fn rebuild_lp(
+    mixed: bool,
+    algo: Algorithm,
+    n_tiles: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> Result<RatLp, CertError> {
+    let classes = platform.classes();
+    let n_assign = classes.len() * Kernel::COUNT;
+    let n_vars = n_assign + 1;
+
+    let mut rows: Vec<RatRow> = Vec::new();
+
+    // Count rows: for each kernel type, the per-class assignments sum to
+    // the algorithm's task count. Column j = r * COUNT + t encodes
+    // (class r, kernel t); the makespan variable sits at column n_assign.
+    let counts = algo.counts(n_tiles);
+    for (ti, t) in Kernel::ALL.iter().enumerate() {
+        let coeffs = (0..n_vars)
+            .map(|j| {
+                if j < n_assign && j % Kernel::COUNT == t.index() {
+                    Rat::ONE
+                } else {
+                    Rat::ZERO
+                }
+            })
+            .collect();
+        rows.push(RatRow {
+            coeffs,
+            rel: Relation::Eq,
+            rhs: Rat::from_int(counts[ti] as i64),
+        });
+    }
+
+    // Capacity rows: class r's assigned work fits in l across its workers,
+    // Σ_t T_rt·n_rt − M_r·l ≤ 0, with T_rt taken from the integer-ns times.
+    for (r, class) in classes.iter().enumerate() {
+        let mut coeffs = vec![Rat::ZERO; n_vars];
+        for (j, c) in coeffs.iter_mut().enumerate().take(n_assign) {
+            if j / Kernel::COUNT == r {
+                let t = Kernel::ALL[j % Kernel::COUNT];
+                *c = Rat::from_nanos(profile.time(t, r).as_nanos());
+            }
+        }
+        coeffs[n_assign] = Rat::ZERO.checked_sub(Rat::from_int(class.count as i64))?;
+        rows.push(RatRow {
+            coeffs,
+            rel: Relation::Le,
+            rhs: Rat::ZERO,
+        });
+    }
+
+    // Mixed bound only: l − Σ_r T_r,diag·n_r,diag ≥ (n−1)·Σ_chain min_r T.
+    if mixed {
+        let diag = algo.diag_kernel();
+        let mut tail = Rat::ZERO;
+        for &k in algo.chain_kernels() {
+            tail = tail.checked_add(Rat::from_nanos(profile.fastest_time(k).as_nanos()))?;
+        }
+        let mut coeffs = vec![Rat::ZERO; n_vars];
+        for r in 0..classes.len() {
+            let t = Rat::from_nanos(profile.time(diag, r).as_nanos());
+            coeffs[r * Kernel::COUNT + diag.index()] = Rat::ZERO.checked_sub(t)?;
+        }
+        coeffs[n_assign] = Rat::ONE;
+        rows.push(RatRow {
+            coeffs,
+            rel: Relation::Ge,
+            rhs: Rat::from_int(n_tiles as i64 - 1).checked_mul(tail)?,
+        });
+    }
+
+    let objective = (0..n_vars)
+        .map(|j| if j == n_assign { Rat::ONE } else { Rat::ZERO })
+        .collect();
+    Ok(RatLp {
+        n_vars,
+        objective,
+        rows,
+    })
+}
+
+/// Check that a set of branch paths partitions the integer search space.
+///
+/// A valid (sub)tree is either a single leaf reached by an empty remaining
+/// path, or every remaining path starts by splitting one shared variable
+/// `v` into `v ≤ k` / `v ≥ k+1` — which covers all integer values of `v`
+/// precisely because `v` is integer-constrained (`v < n_int_vars`); a
+/// split on the continuous makespan variable would leave fractional values
+/// uncovered and is rejected.
+fn cover_rec(paths: &[&[BranchStep]], n_int_vars: usize) -> Result<(), String> {
+    if paths.is_empty() {
+        return Err("a subtree has no covering leaf (truncated certificate?)".into());
+    }
+    if paths.iter().any(|p| p.is_empty()) {
+        return if paths.len() == 1 {
+            Ok(())
+        } else {
+            Err("a leaf overlaps another leaf's subtree".into())
+        };
+    }
+    let first = paths[0][0];
+    let (var, bound) = if first.ge {
+        (first.var, first.bound - 1)
+    } else {
+        (first.var, first.bound)
+    };
+    if var >= n_int_vars {
+        return Err(format!(
+            "branch on variable {var} which is not integer-constrained"
+        ));
+    }
+    let mut le: Vec<&[BranchStep]> = Vec::new();
+    let mut ge: Vec<&[BranchStep]> = Vec::new();
+    for p in paths {
+        let s = p[0];
+        if s.var != var {
+            return Err(format!(
+                "sibling leaves branch on different variables ({} vs {var})",
+                s.var
+            ));
+        }
+        if !s.ge && s.bound == bound {
+            le.push(&p[1..]);
+        } else if s.ge && s.bound == bound + 1 {
+            ge.push(&p[1..]);
+        } else {
+            return Err(format!(
+                "branch bounds on variable {var} are not complementary"
+            ));
+        }
+    }
+    if le.is_empty() || ge.is_empty() {
+        return Err(format!(
+            "one side of the split on variable {var} is uncovered"
+        ));
+    }
+    cover_rec(&le, n_int_vars)?;
+    cover_rec(&ge, n_int_vars)
+}
+
+/// The rows of one leaf's LP: the root rows plus one bound row per branch
+/// step (the checker's own materialisation).
+fn leaf_rows(root: &RatLp, path: &[BranchStep]) -> Vec<RatRow> {
+    let mut rows = root.rows.clone();
+    for s in path {
+        let mut coeffs = vec![Rat::ZERO; root.n_vars];
+        coeffs[s.var] = Rat::ONE;
+        rows.push(RatRow {
+            coeffs,
+            rel: if s.ge { Relation::Ge } else { Relation::Le },
+            rhs: Rat::from_int(s.bound),
+        });
+    }
+    rows
+}
+
+/// Exact dot product, or an arithmetic rejection.
+fn dot(a: &[Rat], b: &[Rat]) -> Result<Rat, CertError> {
+    let mut acc = Rat::ZERO;
+    for (x, y) in a.iter().zip(b) {
+        acc = acc.checked_add(x.checked_mul(*y)?)?;
+    }
+    Ok(acc)
+}
+
+/// Verify one leaf's duality (or Farkas) proof against its exact rows.
+/// Returns the certified leaf lower bound, or `None` for a proven-empty
+/// leaf (which contributes `+∞` to the tree minimum).
+fn check_leaf(lp: &RatLp, rows: &[RatRow], verdict: &LeafVerdict) -> Result<Option<Rat>, String> {
+    let arith = |e: CertError| format!("exact arithmetic failed: {e}");
+    match verdict {
+        LeafVerdict::Bounded { x, y, dual_obj } => {
+            // Primal witness: right shape, non-negative, satisfies rows.
+            if x.len() != lp.n_vars {
+                return Err(format!("primal witness has {} entries", x.len()));
+            }
+            if x.iter().any(|v| v.is_negative()) {
+                return Err("primal witness has a negative entry".into());
+            }
+            for (i, row) in rows.iter().enumerate() {
+                let lhs = dot(&row.coeffs, x).map_err(arith)?;
+                let ok = match row.rel {
+                    Relation::Le => lhs <= row.rhs,
+                    Relation::Ge => lhs >= row.rhs,
+                    Relation::Eq => lhs == row.rhs,
+                };
+                if !ok {
+                    return Err(format!("primal witness violates row {i}"));
+                }
+            }
+            // Dual signs: for a minimisation, multipliers on ≤ rows must
+            // be ≤ 0 and on ≥ rows ≥ 0 (equality rows are free).
+            if y.len() != rows.len() {
+                return Err(format!("dual vector has {} entries", y.len()));
+            }
+            for (i, (yi, row)) in y.iter().zip(rows).enumerate() {
+                let ok = match row.rel {
+                    Relation::Le => !yi.is_positive(),
+                    Relation::Ge => !yi.is_negative(),
+                    Relation::Eq => true,
+                };
+                if !ok {
+                    return Err(format!("dual multiplier {i} has the wrong sign"));
+                }
+            }
+            // Dual feasibility: Aᵀy ≤ c componentwise.
+            for j in 0..lp.n_vars {
+                let mut aty = Rat::ZERO;
+                for (yi, row) in y.iter().zip(rows) {
+                    aty = aty
+                        .checked_add(yi.checked_mul(row.coeffs[j]).map_err(arith)?)
+                        .map_err(arith)?;
+                }
+                if aty > lp.objective[j] {
+                    return Err(format!("dual infeasible at column {j}"));
+                }
+            }
+            // The claimed bound is exactly y·b, and weak duality holds.
+            let rhs: Vec<Rat> = rows.iter().map(|r| r.rhs).collect();
+            let yb = dot(y, &rhs).map_err(arith)?;
+            if yb != *dual_obj {
+                return Err("claimed dual objective is not y·b".into());
+            }
+            let cx = dot(&lp.objective, x).map_err(arith)?;
+            if *dual_obj > cx {
+                return Err("weak duality violated (y·b > c·x)".into());
+            }
+            Ok(Some(*dual_obj))
+        }
+        LeafVerdict::Infeasible { farkas } => {
+            // Farkas: same sign pattern as a dual vector, Aᵀw ≤ 0, and
+            // w·b > 0 — together impossible for any feasible x ≥ 0.
+            if farkas.len() != rows.len() {
+                return Err(format!("Farkas vector has {} entries", farkas.len()));
+            }
+            for (i, (wi, row)) in farkas.iter().zip(rows).enumerate() {
+                let ok = match row.rel {
+                    Relation::Le => !wi.is_positive(),
+                    Relation::Ge => !wi.is_negative(),
+                    Relation::Eq => true,
+                };
+                if !ok {
+                    return Err(format!("Farkas multiplier {i} has the wrong sign"));
+                }
+            }
+            for j in 0..lp.n_vars {
+                let mut atw = Rat::ZERO;
+                for (wi, row) in farkas.iter().zip(rows) {
+                    atw = atw
+                        .checked_add(wi.checked_mul(row.coeffs[j]).map_err(arith)?)
+                        .map_err(arith)?;
+                }
+                if atw.is_positive() {
+                    return Err(format!("Farkas combination is positive at column {j}"));
+                }
+            }
+            let rhs: Vec<Rat> = rows.iter().map(|r| r.rhs).collect();
+            let wb = dot(farkas, &rhs).map_err(arith)?;
+            if !wb.is_positive() {
+                return Err("Farkas product w·b is not positive".into());
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Verify a [`BoundCertificate`] against the ground truth it claims to
+/// bound. On success returns the exact bound the checker itself derived
+/// (equal, by the final check, to `cert.bound`).
+pub fn verify_certificate(
+    cert: &BoundCertificate,
+    algo: Algorithm,
+    n_tiles: usize,
+    platform: &Platform,
+    profile: &TimingProfile,
+) -> Result<Rat, CertReject> {
+    // 1. The LP in the certificate must be the ground-truth LP.
+    let rebuilt = rebuild_lp(
+        cert.kind == super::BoundKind::Mixed,
+        algo,
+        n_tiles,
+        platform,
+        profile,
+    )?;
+    if rebuilt != cert.lp {
+        return Err(CertReject::LpMismatch);
+    }
+
+    // 2. The leaves must partition the integer search space.
+    let n_int_vars = platform.n_classes() * Kernel::COUNT;
+    let paths: Vec<&[BranchStep]> = cert.leaves.iter().map(|l| l.path.as_slice()).collect();
+    cover_rec(&paths, n_int_vars).map_err(CertReject::BadTree)?;
+
+    // 3. Every leaf proof must hold against its own exact rows.
+    let mut best: Option<Rat> = None;
+    for (i, leaf) in cert.leaves.iter().enumerate() {
+        let rows = leaf_rows(&cert.lp, &leaf.path);
+        match check_leaf(&cert.lp, &rows, &leaf.verdict) {
+            Ok(Some(b)) => {
+                best = Some(match best {
+                    Some(cur) if cur <= b => cur,
+                    _ => b,
+                });
+            }
+            Ok(None) => {}
+            Err(reason) => return Err(CertReject::BadLeaf { leaf: i, reason }),
+        }
+    }
+
+    // 4. The claimed bound must be exactly the minimum over the leaves.
+    match best {
+        Some(b) if b == cert.bound => Ok(b),
+        _ => Err(CertReject::WrongBound),
+    }
+}

@@ -5,6 +5,7 @@
 //! branch-and-bound over the LP relaxation solves these instantly.
 
 use crate::simplex::{solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation};
+use crate::tol;
 
 /// Result of a branch-and-bound run on a minimization ILP.
 #[derive(Clone, Debug)]
@@ -21,15 +22,43 @@ pub struct IlpResult {
     pub nodes: usize,
 }
 
-const INT_TOL: f64 = 1e-6;
+/// One branching decision on the path from the root to a leaf:
+/// `x_var ≤ bound` (`ge == false`) or `x_var ≥ bound` (`ge == true`).
+///
+/// The bound is an exact integer so that replaying the branch in exact
+/// arithmetic (the `cert` module) carries no float ambiguity.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchStep {
+    /// The integral variable branched on.
+    pub var: usize,
+    /// `false`: `x_var ≤ bound`; `true`: `x_var ≥ bound`.
+    pub ge: bool,
+    /// The integral branch bound.
+    pub bound: i64,
+}
+
+/// The shape of a finished branch-and-bound search: every leaf's branching
+/// path from the root. When `complete`, the leaves partition the integer
+/// search space (each split covers all integers via `x ≤ k ∨ x ≥ k+1`), so
+/// `min` over the leaves' LP relaxation optima is a valid ILP lower bound —
+/// this is exactly what the certificate checker re-verifies.
+#[derive(Clone, Debug, Default)]
+pub struct BranchTrace {
+    /// Whether every subtree was explored to a leaf (no node budget hit, no
+    /// LP solver failure). When `false` only the root relaxation may be
+    /// trusted, and `leaves` must not be used as a cover.
+    pub complete: bool,
+    /// The branching path of each leaf, in exploration order. A pruned,
+    /// infeasible, or integral node is a leaf; an empty path is the root.
+    pub leaves: Vec<Vec<BranchStep>>,
+}
 
 fn most_fractional(x: &[f64], integer_vars: &[usize]) -> Option<(usize, f64)> {
     integer_vars
         .iter()
         .filter_map(|&i| {
             let v = x[i];
-            let frac = (v - v.round()).abs();
-            if frac > INT_TOL {
+            if !tol::integral(v) {
                 // Distance from 0.5 fractional part, smaller = more fractional.
                 let dist = ((v - v.floor()) - 0.5).abs();
                 Some((i, v, dist))
@@ -76,59 +105,101 @@ pub fn solve_ilp_gap(
     warm_start: Option<LpSolution>,
     rel_gap: f64,
 ) -> IlpResult {
+    solve_ilp_traced(lp, integer_vars, node_limit, warm_start, rel_gap).0
+}
+
+/// Materialise one branching step as an LP constraint.
+fn step_constraint(step: BranchStep, n_vars: usize) -> Constraint {
+    let mut coeffs = vec![0.0; n_vars];
+    coeffs[step.var] = 1.0;
+    let rel = if step.ge { Relation::Ge } else { Relation::Le };
+    Constraint::new(coeffs, rel, step.bound as f64)
+}
+
+/// [`solve_ilp_gap`] that additionally records the branch-and-bound tree:
+/// the branching path of every leaf visited. The numerical result is
+/// identical to the untraced search (same node order, same pruning); the
+/// trace is what lets the `cert` module re-certify each leaf exactly.
+pub fn solve_ilp_traced(
+    lp: &LinearProgram,
+    integer_vars: &[usize],
+    node_limit: usize,
+    warm_start: Option<LpSolution>,
+    rel_gap: f64,
+) -> (IlpResult, BranchTrace) {
     assert!(lp.minimize, "solve_ilp only supports minimization");
 
     let root = solve_lp(lp);
     let root_sol = match root {
         LpOutcome::Optimal(s) => s,
         LpOutcome::Infeasible => {
-            return IlpResult {
-                solution: None,
-                lower_bound: f64::INFINITY,
-                optimal: true,
-                nodes: 1,
-            }
+            return (
+                IlpResult {
+                    solution: None,
+                    lower_bound: f64::INFINITY,
+                    optimal: true,
+                    nodes: 1,
+                },
+                // The root is the only leaf; the exact re-check will find
+                // the same infeasibility and certify it via Farkas.
+                BranchTrace {
+                    complete: true,
+                    leaves: vec![Vec::new()],
+                },
+            );
         }
         LpOutcome::Unbounded => {
-            return IlpResult {
-                solution: None,
-                lower_bound: f64::NEG_INFINITY,
-                optimal: false,
-                nodes: 1,
-            }
+            return (
+                IlpResult {
+                    solution: None,
+                    lower_bound: f64::NEG_INFINITY,
+                    optimal: false,
+                    nodes: 1,
+                },
+                BranchTrace::default(),
+            );
         }
         // No verdict on the root relaxation: nothing can be claimed about
         // the ILP either, so report the weakest valid lower bound.
         LpOutcome::Error(_) => {
-            return IlpResult {
-                solution: None,
-                lower_bound: f64::NEG_INFINITY,
-                optimal: false,
-                nodes: 1,
-            }
+            return (
+                IlpResult {
+                    solution: None,
+                    lower_bound: f64::NEG_INFINITY,
+                    optimal: false,
+                    nodes: 1,
+                },
+                BranchTrace::default(),
+            );
         }
     };
     let root_bound = root_sol.objective;
 
-    // DFS over subproblems; each node carries the extra branching
-    // constraints. Depth-first keeps memory trivial and finds incumbents
-    // fast, which the pruning then exploits.
-    let mut stack: Vec<Vec<Constraint>> = vec![Vec::new()];
+    // DFS over subproblems; each node carries its branching path, from
+    // which the extra constraints are materialised. Depth-first keeps
+    // memory trivial and finds incumbents fast, which the pruning then
+    // exploits.
+    let mut stack: Vec<Vec<BranchStep>> = vec![Vec::new()];
     let mut incumbent: Option<LpSolution> = warm_start;
     let mut nodes = 0usize;
     let mut exhausted = true;
+    let mut trace = BranchTrace {
+        complete: true,
+        leaves: Vec::new(),
+    };
     // Tightest relaxation value among subtrees pruned by the epsilon test;
     // `min(incumbent, pruned_floor)` is always a valid lower bound.
     let mut pruned_floor = f64::INFINITY;
 
-    while let Some(extra) = stack.pop() {
+    while let Some(path) = stack.pop() {
         if nodes >= node_limit {
             exhausted = false;
             break;
         }
         nodes += 1;
         let mut sub = lp.clone();
-        sub.constraints.extend(extra.iter().cloned());
+        sub.constraints
+            .extend(path.iter().map(|&s| step_constraint(s, lp.n_vars)));
         let sol = match solve_lp(&sub) {
             LpOutcome::Optimal(s) => s,
             // Solver failure on a subproblem: its subtree was not explored,
@@ -139,9 +210,17 @@ pub fn solve_ilp_gap(
                 continue;
             }
             // Branching only tightens a feasible bounded problem, so
-            // Unbounded cannot appear below a bounded root; Infeasible
-            // prunes the node.
-            LpOutcome::Infeasible | LpOutcome::Unbounded => continue,
+            // Unbounded cannot appear below a bounded root (the node is
+            // skipped and the trace voided); Infeasible prunes the node and
+            // is a certifiable leaf.
+            LpOutcome::Infeasible => {
+                trace.leaves.push(path);
+                continue;
+            }
+            LpOutcome::Unbounded => {
+                trace.complete = false;
+                continue;
+            }
         };
         if let Some(inc) = &incumbent {
             // Relative epsilon: subtrees that cannot improve the incumbent
@@ -149,6 +228,7 @@ pub fn solve_ilp_gap(
             let eps = 1e-9f64.max(rel_gap * inc.objective.abs());
             if sol.objective >= inc.objective - eps {
                 pruned_floor = pruned_floor.min(sol.objective);
+                trace.leaves.push(path);
                 continue; // dominated subtree
             }
         }
@@ -160,14 +240,21 @@ pub fn solve_ilp_gap(
                     s.x[i] = s.x[i].round();
                 }
                 incumbent = Some(s);
+                trace.leaves.push(path);
             }
             Some((var, value)) => {
-                let mut le = extra.clone();
-                let mut coeffs = vec![0.0; lp.n_vars];
-                coeffs[var] = 1.0;
-                le.push(Constraint::new(coeffs.clone(), Relation::Le, value.floor()));
-                let mut ge = extra;
-                ge.push(Constraint::new(coeffs, Relation::Ge, value.ceil()));
+                let mut le = path.clone();
+                le.push(BranchStep {
+                    var,
+                    ge: false,
+                    bound: value.floor() as i64,
+                });
+                let mut ge = path;
+                ge.push(BranchStep {
+                    var,
+                    ge: true,
+                    bound: value.ceil() as i64,
+                });
                 // Push the "floor" branch last so it is explored first:
                 // rounding down work assignments tends to be feasible.
                 stack.push(ge);
@@ -181,12 +268,16 @@ pub fn solve_ilp_gap(
         (Some(_), false) | (None, false) => (root_bound, false),
         (None, true) => (pruned_floor, true), // integer-infeasible unless pruned
     };
-    IlpResult {
-        solution: incumbent,
-        lower_bound,
-        optimal,
-        nodes,
-    }
+    trace.complete &= exhausted;
+    (
+        IlpResult {
+            solution: incumbent,
+            lower_bound,
+            optimal,
+            nodes,
+        },
+        trace,
+    )
 }
 
 #[cfg(test)]
@@ -287,6 +378,40 @@ mod tests {
             "{}",
             r.lower_bound
         );
+    }
+
+    #[test]
+    fn trace_records_a_complementary_leaf_cover() {
+        // The integrality-gap instance branches at least once; the trace
+        // must be complete, contain every leaf, and each sibling pair must
+        // complement (`≤ k` / `≥ k+1` on the same variable).
+        let lp = LinearProgram {
+            n_vars: 3,
+            objective: vec![0.0, 0.0, 1.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0, 0.0], Relation::Eq, 3.0),
+                Constraint::new(vec![1.0, 0.0, -1.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.0, 0.3, -1.0], Relation::Le, 0.0),
+            ],
+        };
+        let (r, trace) = solve_ilp_traced(&lp, &[0, 1], 1000, None, 1e-7);
+        assert!(r.optimal && trace.complete);
+        assert!(trace.leaves.len() >= 2, "instance must branch");
+        // First steps of the two subtrees complement each other.
+        let firsts: Vec<BranchStep> = trace
+            .leaves
+            .iter()
+            .filter_map(|p| p.first().copied())
+            .collect();
+        let le = firsts.iter().find(|s| !s.ge).expect("a ≤ branch");
+        let ge = firsts.iter().find(|s| s.ge).expect("a ≥ branch");
+        assert_eq!(le.var, ge.var);
+        assert_eq!(ge.bound, le.bound + 1);
+        // The traced result is the same as the untraced one.
+        let plain = solve_ilp_gap(&lp, &[0, 1], 1000, None, 1e-7);
+        assert_eq!(plain.lower_bound, r.lower_bound);
+        assert_eq!(plain.nodes, r.nodes);
     }
 
     #[test]

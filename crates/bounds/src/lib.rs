@@ -5,24 +5,39 @@
 //!
 //! * [`simplex`] — a dense two-phase primal simplex LP solver (the paper's
 //!   LPs have at most `|kernels| × |classes| + 1 = 9` variables, so a
-//!   textbook implementation solves them exactly and instantly).
+//!   textbook implementation solves them exactly and instantly). The
+//!   solver exports dual multipliers from its final tableau.
 //! * [`ilp`] — branch-and-bound on top of the LP relaxation, restoring the
-//!   paper's integrality requirement `n_rt ∈ ℕ`.
+//!   paper's integrality requirement `n_rt ∈ ℕ`, with an optional trace of
+//!   the explored branch tree for certification.
 //! * [`bounds`] — the **area bound** (work conservation per resource
 //!   class), the **mixed bound** (area + the POTRF/TRSM/SYRK critical
 //!   chain), the **critical-path bound** and the **GEMM peak**, plus the
 //!   conversion of each into a GFLOP/s performance upper bound
 //!   (Figure 2 of the paper).
+//! * [`cert`] — exact-arithmetic certification: rational LP duality
+//!   certificates for the area/mixed bounds and an independent checker
+//!   that re-verifies them without trusting the solver.
+//! * [`tol`] — the crate's single home for f64 tolerances.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod bounds;
+pub mod cert;
 pub mod ilp;
 pub mod simplex;
+pub mod tol;
 
 pub use bounds::{
     area_bound, area_bound_algo, critical_path_bound, gemm_peak_gflops, kernel_peak_gflops,
     mixed_bound, mixed_bound_algo, BoundSet,
 };
-pub use ilp::solve_ilp;
+pub use cert::{
+    certify_bound, certify_bounds, verify_certificate, BoundCertificate, BoundKind, CertError,
+    CertReject, CertifiedBoundSet, LeafCert, LeafVerdict, Rat, RatLp, RatRow, VerifiedBounds,
+};
+pub use ilp::{solve_ilp, solve_ilp_traced, BranchStep, BranchTrace};
 pub use simplex::{
     solve_lp, Constraint, LinearProgram, LpOutcome, LpSolution, Relation, SimplexError,
 };

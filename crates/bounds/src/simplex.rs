@@ -2,8 +2,12 @@
 //!
 //! Solves `min/max c·x` subject to linear constraints (`≤`, `=`, `≥`) and
 //! `x ≥ 0`. Designed for the paper's bound LPs — a handful of variables and
-//! constraints — so clarity and numerical robustness (Bland's rule, explicit
-//! tolerances) win over sparse-matrix sophistication.
+//! constraints — so clarity and numerical robustness (Bland's rule, the
+//! shared [`crate::tol`] tolerances) win over sparse-matrix sophistication.
+//! Optimal solutions carry the dual multipliers read off the final tableau,
+//! which is what the exact certification layer cross-checks.
+
+use crate::tol;
 
 /// Relation of a linear constraint.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -19,8 +23,10 @@ pub enum Relation {
 /// One linear constraint over the LP's variables.
 #[derive(Clone, Debug)]
 pub struct Constraint {
-    /// Coefficient of each variable (length = `n_vars`; shorter vectors are
-    /// implicitly zero-padded).
+    /// Coefficient of each variable. Length must be at most `n_vars`:
+    /// shorter vectors are implicitly zero-padded, and *longer* vectors are
+    /// rejected by [`solve_lp`] (they used to be silently truncated, which
+    /// hid misindexed LP builders).
     pub coeffs: Vec<f64>,
     /// Constraint relation.
     pub rel: Relation,
@@ -55,6 +61,14 @@ pub struct LpSolution {
     pub objective: f64,
     /// Optimal variable values.
     pub x: Vec<f64>,
+    /// Dual multipliers, one per constraint, read off the final tableau.
+    ///
+    /// At the optimum `objective ≈ duals · rhs` (strong duality). For a
+    /// minimization, `duals[i] ≤ 0` on `≤` rows and `≥ 0` on `≥` rows
+    /// (free on `=`); for a maximization the signs are reversed. Empty for
+    /// hand-constructed solutions (e.g. warm starts) that never went
+    /// through [`solve_lp`].
+    pub duals: Vec<f64>,
 }
 
 /// Result of solving an LP.
@@ -110,8 +124,6 @@ impl std::fmt::Display for SimplexError {
 
 impl std::error::Error for SimplexError {}
 
-const TOL: f64 = 1e-9;
-
 /// Dense simplex tableau with explicit basis bookkeeping.
 struct Tableau {
     /// `rows × (n_cols + 1)`; the last column is the RHS.
@@ -127,7 +139,7 @@ struct Tableau {
 impl Tableau {
     fn pivot(&mut self, row: usize, col: usize) {
         let piv = self.rows[row][col];
-        debug_assert!(piv.abs() > TOL, "pivot on ~zero element");
+        debug_assert!(tol::nonzero_pivot(piv), "pivot on ~zero element");
         let inv = 1.0 / piv;
         for v in self.rows[row].iter_mut() {
             *v *= inv;
@@ -160,13 +172,13 @@ impl Tableau {
         for _ in 0..max_iters {
             // Bland's rule: entering column = lowest index with negative
             // reduced cost.
-            let Some(col) = (0..allowed_cols).find(|&c| self.z[c] < -TOL) else {
+            let Some(col) = (0..allowed_cols).find(|&c| tol::improving(self.z[c])) else {
                 return Ok(true); // optimal
             };
             // Ratio test; Bland tie-break on the basic variable index.
             let mut best: Option<(f64, usize, usize)> = None; // (ratio, basis var, row)
             for (r, row) in self.rows.iter().enumerate() {
-                if row[col] > TOL {
+                if tol::positive_pivot(row[col]) {
                     let ratio = row[self.n_cols] / row[col];
                     let key = (ratio, self.basis[r]);
                     if best.is_none_or(|(br, bb, _)| key < (br, bb)) {
@@ -188,24 +200,41 @@ impl Tableau {
 const MAX_ITERS: usize = 50_000;
 
 /// Solve a linear program with the two-phase primal simplex method.
+///
+/// # Panics
+/// Panics if any constraint's coefficient vector (or the objective) is
+/// longer than `lp.n_vars`: extra coefficients cannot be attached to any
+/// variable, so such an LP is a builder bug, not a solvable instance.
 pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
     let n = lp.n_vars;
     let m = lp.constraints.len();
+    assert!(
+        lp.objective.len() <= n,
+        "objective has {} coefficients for {} variables",
+        lp.objective.len(),
+        n
+    );
 
     // Normalise rows to have rhs >= 0 and count auxiliary columns.
     struct Row {
         coeffs: Vec<f64>,
         rel: Relation,
         rhs: f64,
+        /// Negated during normalisation: the reported dual is un-flipped.
+        flipped: bool,
     }
     let rows_in: Vec<Row> = lp
         .constraints
         .iter()
-        .map(|c| {
+        .enumerate()
+        .map(|(ci, c)| {
+            assert!(
+                c.coeffs.len() <= n,
+                "constraint {ci} has {} coefficients for {n} variables",
+                c.coeffs.len()
+            );
             let mut coeffs = vec![0.0; n];
-            for (i, &v) in c.coeffs.iter().enumerate().take(n) {
-                coeffs[i] = v;
-            }
+            coeffs[..c.coeffs.len()].copy_from_slice(&c.coeffs);
             if c.rhs < 0.0 {
                 let rel = match c.rel {
                     Relation::Le => Relation::Ge,
@@ -216,12 +245,14 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
                     coeffs: coeffs.iter().map(|v| -v).collect(),
                     rel,
                     rhs: -c.rhs,
+                    flipped: true,
                 }
             } else {
                 Row {
                     coeffs,
                     rel: c.rel,
                     rhs: c.rhs,
+                    flipped: false,
                 }
             }
         })
@@ -244,6 +275,14 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
         n_cols,
     };
 
+    // Where each row's dual multiplier lives in the final z-row:
+    // y_i = sign · z[col] for the normalised row, un-flipped afterwards.
+    struct DualSlot {
+        col: usize,
+        sign: f64,
+        flipped: bool,
+    }
+    let mut slots: Vec<DualSlot> = Vec::with_capacity(m);
     let mut next_slack = n;
     let mut next_art = n + n_slack;
     let mut art_cols = Vec::new();
@@ -255,10 +294,22 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
             Relation::Le => {
                 row[next_slack] = 1.0;
                 tab.basis.push(next_slack);
+                // z[slack] = 0 - y·e_i  ⟹  y_i = -z[slack].
+                slots.push(DualSlot {
+                    col: next_slack,
+                    sign: -1.0,
+                    flipped: r.flipped,
+                });
                 next_slack += 1;
             }
             Relation::Ge => {
                 row[next_slack] = -1.0;
+                // z[surplus] = 0 - y·(-e_i)  ⟹  y_i = +z[surplus].
+                slots.push(DualSlot {
+                    col: next_slack,
+                    sign: 1.0,
+                    flipped: r.flipped,
+                });
                 next_slack += 1;
                 row[next_art] = 1.0;
                 tab.basis.push(next_art);
@@ -269,6 +320,12 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
                 row[next_art] = 1.0;
                 tab.basis.push(next_art);
                 art_cols.push(next_art);
+                // Phase-2 cost of the artificial is 0: z[art] = -y·e_i.
+                slots.push(DualSlot {
+                    col: next_art,
+                    sign: -1.0,
+                    flipped: r.flipped,
+                });
                 next_art += 1;
             }
         }
@@ -297,13 +354,13 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
         };
         debug_assert!(bounded, "phase-1 objective is bounded by construction");
         let phase1_obj = -tab.z[n_cols];
-        if phase1_obj > 1e-7 {
+        if !tol::phase1_feasible(phase1_obj) {
             return LpOutcome::Infeasible;
         }
         // Drive any artificial still in the basis out (degenerate case).
         for r in 0..tab.rows.len() {
             if art_cols.contains(&tab.basis[r]) {
-                if let Some(col) = (0..n + n_slack).find(|&c| tab.rows[r][c].abs() > TOL) {
+                if let Some(col) = (0..n + n_slack).find(|&c| tol::nonzero_pivot(tab.rows[r][c])) {
                     tab.pivot(r, col);
                 } else {
                     // Redundant constraint row: harmless, leave the
@@ -343,8 +400,22 @@ pub fn solve_lp(lp: &LinearProgram) -> LpOutcome {
             x[b] = tab.rows[r][n_cols];
         }
     }
+    // Duals from the final reduced costs; `sign` converts back from the
+    // internal minimisation so that `objective ≈ duals · rhs` holds for the
+    // user's stated objective sense.
+    let duals: Vec<f64> = slots
+        .iter()
+        .map(|s| {
+            let y = s.sign * tab.z[s.col];
+            sign * if s.flipped { -y } else { y }
+        })
+        .collect();
     let objective: f64 = lp.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
-    LpOutcome::Optimal(LpSolution { objective, x })
+    LpOutcome::Optimal(LpSolution {
+        objective,
+        x,
+        duals,
+    })
 }
 
 #[cfg(test)]
@@ -545,6 +616,128 @@ mod tests {
             ],
         };
         assert_opt(&solve_lp(&lp), 0.0, None);
+    }
+
+    /// Validate the exported duals against the stated LP: sign conventions,
+    /// dual feasibility `Aᵀy ≤ c` (≥ for maximization), strong duality.
+    fn assert_duals_certify(lp: &LinearProgram, sol: &LpSolution) {
+        assert_eq!(sol.duals.len(), lp.constraints.len());
+        let sense = if lp.minimize { 1.0 } else { -1.0 };
+        for (c, &y) in lp.constraints.iter().zip(&sol.duals) {
+            match c.rel {
+                Relation::Le => assert!(sense * y <= 1e-9, "≤ row dual sign: {y}"),
+                Relation::Ge => assert!(sense * y >= -1e-9, "≥ row dual sign: {y}"),
+                Relation::Eq => {}
+            }
+        }
+        for j in 0..lp.n_vars {
+            let col: f64 = lp
+                .constraints
+                .iter()
+                .zip(&sol.duals)
+                .map(|(c, &y)| c.coeffs.get(j).copied().unwrap_or(0.0) * y)
+                .sum();
+            let cj = lp.objective.get(j).copied().unwrap_or(0.0);
+            assert!(
+                sense * (col - cj) <= 1e-6,
+                "dual infeasible at var {j}: {col} vs {cj}"
+            );
+        }
+        let yb: f64 = lp
+            .constraints
+            .iter()
+            .zip(&sol.duals)
+            .map(|(c, &y)| c.rhs * y)
+            .sum();
+        assert!(
+            (yb - sol.objective).abs() < 1e-6,
+            "strong duality: y·b = {yb} vs obj {}",
+            sol.objective
+        );
+    }
+
+    #[test]
+    fn duals_certify_min_and_max_optima() {
+        // min 2x + 3y s.t. x + y ≥ 10, x ≤ 8, y ≤ 8.
+        let min_lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![2.0, 3.0],
+            minimize: true,
+            constraints: vec![
+                Constraint::new(vec![1.0, 1.0], Relation::Ge, 10.0),
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 8.0),
+                Constraint::new(vec![0.0, 1.0], Relation::Le, 8.0),
+            ],
+        };
+        let sol = solve_lp(&min_lp);
+        assert_duals_certify(&min_lp, sol.optimal().unwrap());
+
+        // The textbook max: shadow prices are (0, 3/2, 1).
+        let max_lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![3.0, 5.0],
+            minimize: false,
+            constraints: vec![
+                Constraint::new(vec![1.0, 0.0], Relation::Le, 4.0),
+                Constraint::new(vec![0.0, 2.0], Relation::Le, 12.0),
+                Constraint::new(vec![3.0, 2.0], Relation::Le, 18.0),
+            ],
+        };
+        let sol = solve_lp(&max_lp);
+        let s = sol.optimal().unwrap();
+        assert_duals_certify(&max_lp, s);
+        for (got, want) in s.duals.iter().zip([0.0, 1.5, 1.0]) {
+            assert!((got - want).abs() < 1e-9, "duals {:?}", s.duals);
+        }
+    }
+
+    #[test]
+    fn duals_unflip_normalised_rows() {
+        // min x s.t. -x ≤ -4: the row is negated internally; the reported
+        // dual must certify the ORIGINAL orientation (y ≤ 0 on ≤, y·b = 4).
+        let lp = LinearProgram {
+            n_vars: 1,
+            objective: vec![1.0],
+            minimize: true,
+            constraints: vec![Constraint::new(vec![-1.0], Relation::Le, -4.0)],
+        };
+        let sol = solve_lp(&lp);
+        let s = sol.optimal().unwrap();
+        assert_duals_certify(&lp, s);
+        assert!((s.duals[0] + 1.0).abs() < 1e-9, "duals {:?}", s.duals);
+    }
+
+    #[test]
+    fn blands_rule_survives_chvatal_cycling_instance() {
+        // Chvátal's classic cycling LP: the largest-coefficient entering
+        // rule cycles forever through degenerate pivots at the origin;
+        // Bland's rule provably terminates. Optimum 1 at (1, 0, 1, 0).
+        let lp = LinearProgram {
+            n_vars: 4,
+            objective: vec![10.0, -57.0, -9.0, -24.0],
+            minimize: false,
+            constraints: vec![
+                Constraint::new(vec![0.5, -5.5, -2.5, 9.0], Relation::Le, 0.0),
+                Constraint::new(vec![0.5, -1.5, -0.5, 1.0], Relation::Le, 0.0),
+                Constraint::new(vec![1.0, 0.0, 0.0, 0.0], Relation::Le, 1.0),
+            ],
+        };
+        assert_opt(&solve_lp(&lp), 1.0, Some(&[1.0, 0.0, 1.0, 0.0]));
+        assert_duals_certify(&lp, solve_lp(&lp).optimal().unwrap());
+    }
+
+    #[test]
+    #[should_panic(expected = "3 coefficients for 2 variables")]
+    fn overlong_coefficient_vectors_are_rejected() {
+        // A third coefficient for a 2-variable LP would previously be
+        // silently dropped; it must now be a loud builder error.
+        let lp = LinearProgram {
+            n_vars: 2,
+            objective: vec![1.0, 1.0],
+            minimize: true,
+            constraints: vec![Constraint::new(vec![1.0, 1.0, 7.0], Relation::Ge, 2.0)],
+        };
+        let _ = solve_lp(&lp);
     }
 
     #[test]

@@ -1,0 +1,95 @@
+//! The floating-point tolerances of the LP/ILP stack, in one place.
+//!
+//! The f64 simplex and branch-and-bound previously scattered ad-hoc
+//! epsilons (`1e-9`, `1e-7`, `1e-6`, `1e-12`) through their pivot loops.
+//! They are consolidated here with their *meaning* attached, so every
+//! comparison in `simplex.rs` / `ilp.rs` / `bounds.rs` names the tolerance
+//! it relies on. Certified verdicts never use these: the `cert` module
+//! re-verifies every bound in exact rational arithmetic.
+
+/// Pivot tolerance: a tableau entry within `PIVOT_TOL` of zero is treated
+/// as zero when selecting entering/leaving columns. This is the classical
+/// anti-noise guard for dense f64 simplex; Bland's rule handles the
+/// degeneracy, `PIVOT_TOL` handles the rounding.
+pub const PIVOT_TOL: f64 = 1e-9;
+
+/// Phase-1 feasibility threshold: the artificial-variable objective of a
+/// feasible LP is exactly zero in exact arithmetic, so anything above this
+/// (looser than `PIVOT_TOL` to absorb accumulated elimination error) is a
+/// genuine infeasibility verdict.
+pub const PHASE1_FEAS_TOL: f64 = 1e-7;
+
+/// Integrality tolerance of the branch-and-bound: a relaxation value
+/// within `INT_TOL` of an integer is accepted as integral (and rounded).
+pub const INT_TOL: f64 = 1e-6;
+
+/// Structural-zero tolerance: coefficients read back from an LP that are
+/// this close to zero are treated as absent (used when inverting the
+/// makespan column of the area LP in the rounding heuristic).
+pub const COEFF_TOL: f64 = 1e-12;
+
+/// `v` is a strictly negative reduced cost (an improving entering column).
+#[inline]
+pub fn improving(v: f64) -> bool {
+    v < -PIVOT_TOL
+}
+
+/// `v` is usable as a (positive) ratio-test denominator.
+#[inline]
+pub fn positive_pivot(v: f64) -> bool {
+    v > PIVOT_TOL
+}
+
+/// `v` is numerically nonzero at pivot precision.
+#[inline]
+pub fn nonzero_pivot(v: f64) -> bool {
+    v.abs() > PIVOT_TOL
+}
+
+/// `v` is integral at branch-and-bound precision.
+#[inline]
+pub fn integral(v: f64) -> bool {
+    (v - v.round()).abs() <= INT_TOL
+}
+
+/// A phase-1 objective this small certifies (floating-point) feasibility.
+#[inline]
+pub fn phase1_feasible(obj: f64) -> bool {
+    obj <= PHASE1_FEAS_TOL
+}
+
+/// `v` is a structurally present (nonzero) coefficient.
+#[inline]
+pub fn nonzero_coeff(v: f64) -> bool {
+    v.abs() > COEFF_TOL
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thresholds_are_ordered() {
+        // The stack depends on this ordering: structural zero < pivot noise
+        // < phase-1 slack < integrality fuzz.
+        const { assert!(COEFF_TOL < PIVOT_TOL) };
+        const { assert!(PIVOT_TOL < PHASE1_FEAS_TOL) };
+        const { assert!(PHASE1_FEAS_TOL < INT_TOL) };
+    }
+
+    #[test]
+    fn helpers_agree_with_constants() {
+        assert!(improving(-1e-8));
+        assert!(!improving(-1e-10));
+        assert!(positive_pivot(1e-8));
+        assert!(!positive_pivot(1e-10));
+        assert!(nonzero_pivot(-1e-8));
+        assert!(!nonzero_pivot(1e-10));
+        assert!(integral(3.0000004));
+        assert!(!integral(3.4));
+        assert!(phase1_feasible(5e-8));
+        assert!(!phase1_feasible(1e-6));
+        assert!(nonzero_coeff(1e-11));
+        assert!(!nonzero_coeff(1e-13));
+    }
+}
