@@ -54,6 +54,10 @@ pub enum Rule {
     /// was rejected by the independent checker. Bound findings without
     /// this warning are CONFIRMED in exact rational arithmetic.
     UncertifiedBound,
+    /// A fault-recovery invariant broke: a task executed on a worker at or
+    /// after that worker's recorded death, or a failed attempt was neither
+    /// retried to success on a then-live worker nor recorded as aborted.
+    RecoveryConsistency,
 }
 
 impl Rule {
@@ -76,11 +80,12 @@ impl Rule {
             Rule::ReplayDivergence => "replay-divergence",
             Rule::SpanConsistency => "span-consistency",
             Rule::UncertifiedBound => "uncertified-bound",
+            Rule::RecoveryConsistency => "recovery-consistency",
         }
     }
 
     /// All rules, for catalog listings and coverage tests.
-    pub const ALL: [Rule; 16] = [
+    pub const ALL: [Rule; 17] = [
         Rule::TaskSetSize,
         Rule::TaskMisnumbered,
         Rule::BadWorker,
@@ -97,6 +102,7 @@ impl Rule {
         Rule::ReplayDivergence,
         Rule::SpanConsistency,
         Rule::UncertifiedBound,
+        Rule::RecoveryConsistency,
     ];
 }
 

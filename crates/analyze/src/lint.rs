@@ -196,6 +196,7 @@ impl<'a> Linter<'a> {
             self.check_replay(trace, prescribed, &mut diags);
         }
         self.check_span_consistency(trace, &mut diags);
+        self.check_recovery_consistency(trace, &mut diags);
         finish(diags)
     }
 
@@ -683,6 +684,85 @@ impl<'a> Linter<'a> {
                     });
                 }
                 Some(_) => {}
+            }
+        }
+    }
+
+    /// Fault-recovery invariants over the trace's fault-event stream
+    /// (a no-op on fault-free traces, so the rule is always armed):
+    ///
+    /// 1. no task executes on a worker at or after that worker's recorded
+    ///    death — a dead worker's queue must have been re-dispatched, not
+    ///    drained by the corpse;
+    /// 2. every failed attempt is eventually answered: a later successful
+    ///    execution of the task on a worker still alive at that start, or
+    ///    an explicit abort record. A failure that just vanishes means the
+    ///    engine dropped a task on the floor.
+    fn check_recovery_consistency(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+        use hetchol_core::fault::FaultEventKind;
+        if trace.fault_events.is_empty() {
+            return;
+        }
+        let mut death: Vec<Option<Time>> = vec![None; trace.n_workers];
+        for fe in &trace.fault_events {
+            if let FaultEventKind::WorkerDied { worker } = fe.kind {
+                if worker < trace.n_workers && death[worker].is_none() {
+                    death[worker] = Some(fe.at);
+                }
+            }
+        }
+        for e in &trace.events {
+            if let Some(&Some(died)) = death.get(e.worker) {
+                if e.start >= died {
+                    diags.push(Diagnostic {
+                        rule: Rule::RecoveryConsistency,
+                        severity: Severity::Error,
+                        task: Some(e.task),
+                        worker: Some(e.worker),
+                        message: format!(
+                            "{} started at {} on worker {}, which died at {died}",
+                            e.task, e.start, e.worker
+                        ),
+                    });
+                }
+            }
+        }
+        let aborted: std::collections::BTreeSet<TaskId> = trace
+            .fault_events
+            .iter()
+            .filter_map(|fe| match fe.kind {
+                FaultEventKind::Aborted { task, .. } => Some(task),
+                _ => None,
+            })
+            .collect();
+        let mut unanswered: Vec<TaskId> = Vec::new();
+        for fe in &trace.fault_events {
+            let FaultEventKind::AttemptFailed { task, .. } = fe.kind else {
+                continue;
+            };
+            if aborted.contains(&task) || unanswered.contains(&task) {
+                continue;
+            }
+            let recovered = trace.events.iter().any(|e| {
+                e.task == task
+                    && e.start >= fe.at
+                    && death
+                        .get(e.worker)
+                        .is_none_or(|d| d.is_none_or(|died| e.start < died))
+            });
+            if !recovered {
+                unanswered.push(task);
+                diags.push(Diagnostic {
+                    rule: Rule::RecoveryConsistency,
+                    severity: Severity::Error,
+                    task: Some(task),
+                    worker: None,
+                    message: format!(
+                        "{task} failed an attempt at {} but was neither retried to success \
+                         on a live worker nor recorded as aborted",
+                        fe.at
+                    ),
+                });
             }
         }
     }

@@ -73,6 +73,7 @@ fn trace_of(schedule: &Schedule, graph: &TaskGraph, n_workers: usize) -> Trace {
             .collect(),
         transfers: Vec::new(),
         queue_events: Vec::new(),
+        fault_events: Vec::new(),
     }
 }
 
@@ -592,4 +593,115 @@ fn uncertified_float_bound_findings_carry_a_warning() {
     let diags = report.by_rule(Rule::UncertifiedBound);
     assert_eq!(diags.len(), 1, "{}", report.to_json());
     assert!(diags[0].message.contains("f64"), "{}", diags[0].message);
+}
+
+// ---------------------------------------------------------------------------
+// Rule 17 (recovery-consistency) golden tests
+// ---------------------------------------------------------------------------
+
+/// A degraded-but-recovered simulated run: worker 1 dies mid-schedule.
+fn degraded_run() -> (TaskGraph, Platform, TimingProfile, Trace) {
+    use hetchol_core::fault::{FaultPlan, RetryPolicy};
+    let graph = TaskGraph::cholesky(4);
+    let platform = Platform::homogeneous(3).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let plan = FaultPlan::new().kill_worker(1, 6);
+    let r = hetchol_sim::simulate_resilient(
+        &graph,
+        &platform,
+        &profile,
+        &mut Dmdas::new(),
+        &SimOptions::default(),
+        hetchol_core::obs::ObsSink::disabled(),
+        &plan,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    (graph, platform, profile, r.trace)
+}
+
+#[test]
+fn clean_recovery_passes_the_recovery_consistency_rule() {
+    let (graph, platform, profile, trace) = degraded_run();
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .lint_trace(&trace);
+    assert!(
+        report.by_rule(Rule::RecoveryConsistency).is_empty(),
+        "{}",
+        report.to_json()
+    );
+    assert_eq!(report.n_errors(), 0, "{}", report.to_json());
+}
+
+#[test]
+fn execution_after_a_recorded_death_is_flagged() {
+    use hetchol_core::fault::FaultEventKind;
+    let (graph, platform, profile, mut trace) = degraded_run();
+    let died_at = trace
+        .fault_events
+        .iter()
+        .find_map(|fe| match fe.kind {
+            FaultEventKind::WorkerDied { worker: 1 } => Some(fe.at),
+            _ => None,
+        })
+        .expect("the plan kills worker 1");
+    // Seed the violation: teleport one post-death execution onto the
+    // corpse, as a buggy engine draining a dead worker's queue would.
+    let ev = trace
+        .events
+        .iter_mut()
+        .find(|e| e.start >= died_at)
+        .expect("work continues after the death");
+    ev.worker = 1;
+    let bad_task = ev.task;
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .lint_trace(&trace);
+    let diags = report.by_rule(Rule::RecoveryConsistency);
+    assert!(
+        diags
+            .iter()
+            .any(|d| d.task == Some(bad_task) && d.worker == Some(1)),
+        "{}",
+        report.to_json()
+    );
+}
+
+#[test]
+fn a_failed_attempt_with_no_retry_or_abort_is_flagged() {
+    use hetchol_core::fault::{FaultEvent, FaultEventKind, FaultKind};
+    let (graph, platform, profile, mut trace) = valid_run(3);
+    let makespan = trace.events.iter().map(|e| e.end).max().unwrap();
+    let task = trace.events.last().unwrap().task;
+    // A failure recorded after the task's only execution, with no abort:
+    // the engine lost track of the task.
+    trace.fault_events.push(FaultEvent {
+        at: makespan,
+        kind: FaultEventKind::AttemptFailed {
+            task,
+            worker: 0,
+            attempt: 1,
+            fault: FaultKind::Transient,
+        },
+    });
+    let report = Linter::new(&graph, &platform, &profile).lint_trace(&trace);
+    let diags = report.by_rule(Rule::RecoveryConsistency);
+    assert!(
+        diags.iter().any(|d| d.task == Some(task)),
+        "{}",
+        report.to_json()
+    );
+    // An explicit abort record answers the failure: the rule stands down.
+    trace.fault_events.push(FaultEvent {
+        at: makespan,
+        kind: FaultEventKind::Aborted { task, attempts: 1 },
+    });
+    let report = Linter::new(&graph, &platform, &profile).lint_trace(&trace);
+    assert!(
+        report.by_rule(Rule::RecoveryConsistency).is_empty(),
+        "{}",
+        report.to_json()
+    );
 }

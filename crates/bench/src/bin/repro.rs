@@ -17,6 +17,7 @@
 //! repro sweep-k [n]          # makespan vs triangle offset k
 //!
 //! repro analyze              # lint both engines' traces (exit 1 on errors)
+//! repro chaos [--seed N]     # seeded fault-injection matrix over both engines (exit 1 on failures)
 //! repro certify              # exact-certify the paper grid's bounds (exit 1 on failures)
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //!
@@ -35,6 +36,7 @@ struct Args {
     json: bool,
     analyze: bool,
     cp_budget: usize,
+    seed: u64,
     obs_out: Option<std::path::PathBuf>,
     rest: Vec<String>,
 }
@@ -44,6 +46,7 @@ fn parse_args() -> Args {
     let mut json = false;
     let mut analyze = false;
     let mut cp_budget = 30_000usize;
+    let mut seed = 42u64;
     let mut obs_out = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
@@ -57,6 +60,12 @@ fn parse_args() -> Args {
                     .next()
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| die("--cp-budget needs an integer"));
+            }
+            "--seed" => {
+                seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
             }
             "--obs-out" => {
                 obs_out = Some(std::path::PathBuf::from(
@@ -72,6 +81,7 @@ fn parse_args() -> Args {
         json,
         analyze,
         cp_budget,
+        seed,
         obs_out,
         rest,
     }
@@ -84,6 +94,19 @@ fn run_analyze(json: bool) -> ! {
     print!("{report}");
     if errors > 0 {
         eprintln!("analyze: {errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
+/// `repro chaos`: run the seeded fault-injection matrix through both
+/// engines — outcome classification, recovery lint (rule 17) and numeric
+/// verification per scenario — and exit nonzero if any scenario fails.
+fn run_chaos(seed: u64, json: bool) -> ! {
+    let (report, failures) = bench::chaos(seed, json);
+    print!("{report}");
+    if failures > 0 {
+        eprintln!("chaos: {failures} failed scenario(s)");
         std::process::exit(1);
     }
     std::process::exit(0)
@@ -173,6 +196,9 @@ fn main() {
     if cmd == "certify" {
         run_certify(args.json);
     }
+    if cmd == "chaos" {
+        run_chaos(args.seed, args.json);
+    }
     let cp_opts = CpOptions {
         anneal_iters: args.cp_budget,
         node_limit: args.cp_budget,
@@ -248,9 +274,10 @@ fn main() {
                  \u{20}            fig9 [n k]  fig10  fig11  fig12  hint-gemmsyrk  mapping-only  sweep-k [n]\n\
                  \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
                  \u{20}            analyze  (lint both engines' traces; exit 1 on errors)\n\
+                 \u{20}            chaos [--seed N]  (fault-injection matrix over both engines; exit 1 on failures)\n\
                  \u{20}            certify  (exact-certify the paper grid's bounds; exit 1 on failures)\n\
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
-                 flags: --csv  --json  --analyze  --cp-budget <iters>  --obs-out <dir>"
+                 flags: --csv  --json  --analyze  --cp-budget <iters>  --seed <n>  --obs-out <dir>"
             );
         }
         "all" => {

@@ -859,6 +859,305 @@ pub fn analyze(json: bool) -> (String, usize) {
     (out, errors)
 }
 
+/// `repro chaos`: the seeded fault-injection matrix over both engines.
+///
+/// Every scenario runs a fault plan through the resilient entry points and
+/// checks three things:
+///
+/// 1. **classification** — the [`hetchol_core::fault::RunOutcome`] matches
+///    the scenario's expectation (a killed worker degrades, an exhausted
+///    retry budget fails);
+/// 2. **consistency** — the trace passes the linter with zero
+///    error-severity findings, which in particular arms rule 17
+///    (`recovery-consistency`: nothing executes on a dead worker, every
+///    failure is answered);
+/// 3. **numerics** — for recovered runs, replaying the trace's kernel
+///    sequence against a real SPD matrix factorizes it correctly
+///    (residual < 1e-10), and the rt legs verify their own factor.
+///
+/// Cross-engine legs run the *identical* plan through the simulator and
+/// the threaded runtime and require the same outcome classification.
+/// Returns the rendered report and the number of failed scenarios.
+pub fn chaos(seed: u64, json: bool) -> (String, usize) {
+    use hetchol_analyze::Linter;
+    use hetchol_core::fault::{FailureCause, FaultPlan, RetryPolicy, RunOutcome};
+    use hetchol_core::schedule::DurationCheck;
+    use hetchol_linalg::matrix::TiledMatrix;
+    use hetchol_linalg::{factorization_residual, random_spd};
+    use hetchol_rt::LockedTiledMatrix;
+    use hetchol_sim::simulate_resilient;
+    use std::fmt::Write as _;
+
+    /// Replay a recovered trace's kernel sequence (by start time — the
+    /// order the engine actually committed work) on a real SPD matrix.
+    fn replay_residual(n: usize, graph: &TaskGraph, trace: &hetchol_core::trace::Trace) -> f64 {
+        let nb = 8;
+        let a = random_spd(n * nb, 4242);
+        let locked = LockedTiledMatrix::from_tiled(&TiledMatrix::from_dense(&a, nb));
+        let mut events = trace.events.clone();
+        events.sort_by_key(|e| (e.start, e.end));
+        for e in &events {
+            locked
+                .apply_task(graph.task(e.task).coords)
+                .expect("a recovered trace replays cleanly on an SPD matrix");
+        }
+        factorization_residual(&a, &locked.to_tiled())
+    }
+
+    struct Leg {
+        name: String,
+        outcome: String,
+        residual: Option<f64>,
+        lint_errors: usize,
+        ok: bool,
+        detail: String,
+    }
+    let mut legs: Vec<Leg> = Vec::new();
+
+    // --- Simulated engine: seeded plans over the paper platform --------
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    for n in 4usize..=8 {
+        let graph = TaskGraph::cholesky(n);
+        for kind in [SchedKind::Dmda, SchedKind::Dmdas] {
+            let leg_seed = seed
+                .wrapping_mul(31)
+                .wrapping_add(n as u64)
+                .wrapping_add(if kind == SchedKind::Dmdas { 1 << 32 } else { 0 });
+            let plan = FaultPlan::seeded(leg_seed, graph.len(), platform.n_workers());
+            let mut scheduler = kind.build(0);
+            let r = simulate_resilient(
+                &graph,
+                &platform,
+                &profile,
+                scheduler.as_mut(),
+                &SimOptions::default(),
+                ObsSink::disabled(),
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .expect("the seeded plan never kills all workers");
+            let report = Linter::new(&graph, &platform, &profile)
+                .duration_check(DurationCheck::Loose)
+                .lint_trace(&r.trace);
+            let residual = replay_residual(n, &graph, &r.trace);
+            let ok = r.outcome.is_success() && report.n_errors() == 0 && residual < 1e-10;
+            legs.push(Leg {
+                name: format!("sim/seeded/{}/n={n}", kind.label()),
+                outcome: r.outcome.label().to_string(),
+                residual: Some(residual),
+                lint_errors: report.n_errors(),
+                ok,
+                detail: if ok {
+                    String::new()
+                } else {
+                    format!("outcome {:?}, {}", r.outcome, report.to_json())
+                },
+            });
+        }
+    }
+
+    // --- Simulated engine: a targeted GPU death on Mirage --------------
+    {
+        let n = 6;
+        let graph = TaskGraph::cholesky(n);
+        let plan = FaultPlan::new().kill_worker(9, 6);
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Dmdas::new(),
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .expect("one death out of twelve workers is survivable");
+        let report = Linter::new(&graph, &platform, &profile)
+            .duration_check(DurationCheck::Loose)
+            .lint_trace(&r.trace);
+        let residual = replay_residual(n, &graph, &r.trace);
+        let degraded_right = matches!(
+            &r.outcome,
+            RunOutcome::Degraded { lost_workers, .. } if lost_workers == &[9]
+        );
+        let ok = degraded_right && report.n_errors() == 0 && residual < 1e-10;
+        legs.push(Leg {
+            name: "sim/gpu-death/dmdas/n=6".to_string(),
+            outcome: r.outcome.label().to_string(),
+            residual: Some(residual),
+            lint_errors: report.n_errors(),
+            ok,
+            detail: if ok {
+                String::new()
+            } else {
+                format!("outcome {:?}, {}", r.outcome, report.to_json())
+            },
+        });
+    }
+
+    // --- Simulated engine: a straggler is slow, not wrong ---------------
+    {
+        let n = 5;
+        let graph = TaskGraph::cholesky(n);
+        let plan = FaultPlan::new().straggler(0, 4.0);
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Dmdas::new(),
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .expect("a straggler kills nobody");
+        let report = Linter::new(&graph, &platform, &profile)
+            .duration_check(DurationCheck::Loose)
+            .lint_trace(&r.trace);
+        let residual = replay_residual(n, &graph, &r.trace);
+        let ok = r.outcome == RunOutcome::Completed && report.n_errors() == 0 && residual < 1e-10;
+        legs.push(Leg {
+            name: "sim/straggler/dmdas/n=5".to_string(),
+            outcome: r.outcome.label().to_string(),
+            residual: Some(residual),
+            lint_errors: report.n_errors(),
+            ok,
+            detail: if ok {
+                String::new()
+            } else {
+                format!("outcome {:?}, {}", r.outcome, report.to_json())
+            },
+        });
+    }
+
+    // --- Cross-engine: the identical plan through sim and rt ------------
+    // Same platform shape (the rt is homogeneous by construction), same
+    // plan, same retry policy: the outcome *classification* must agree.
+    {
+        let n = 4;
+        let n_workers = 3;
+        let graph = TaskGraph::cholesky(n);
+        let rt_profile = TimingProfile::mirage_homogeneous();
+        let rt_platform = Platform::homogeneous(n_workers).without_comm();
+        let cases: [(&str, FaultPlan, RetryPolicy); 2] = [
+            (
+                "kill-worker",
+                FaultPlan::new().kill_worker(1, 6),
+                RetryPolicy::default(),
+            ),
+            (
+                "retry-exhaustion",
+                FaultPlan::new().transient(graph.entry_tasks()[0], 99),
+                RetryPolicy {
+                    max_attempts: 3,
+                    ..RetryPolicy::default()
+                },
+            ),
+        ];
+        for (case, plan, policy) in cases {
+            let sim = simulate_resilient(
+                &graph,
+                &rt_platform,
+                &rt_profile,
+                &mut Dmdas::new(),
+                &SimOptions::default(),
+                ObsSink::disabled(),
+                &plan,
+                &policy,
+            )
+            .expect("two of three workers survive");
+
+            let nb = 8;
+            let a = random_spd(n * nb, 77);
+            let workload = hetchol_rt::CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
+            let rt = hetchol_rt::execute_resilient(
+                &workload,
+                &graph,
+                &mut Dmdas::new(),
+                &rt_profile,
+                n_workers,
+                ObsSink::disabled(),
+                &plan,
+                &policy,
+            )
+            .expect("two of three workers survive");
+
+            let classification_agrees = sim.outcome.label() == rt.outcome.label();
+            let (expect_label, residual, numerics_ok) = match case {
+                "kill-worker" => {
+                    let res = factorization_residual(&a, &workload.into_matrix());
+                    ("degraded", Some(res), res < 1e-10)
+                }
+                _ => {
+                    let failed_right = matches!(
+                        &rt.outcome,
+                        RunOutcome::Failed {
+                            cause: FailureCause::RetriesExhausted { .. }
+                        }
+                    );
+                    ("failed", None, failed_right)
+                }
+            };
+            let ok = classification_agrees && sim.outcome.label() == expect_label && numerics_ok;
+            legs.push(Leg {
+                name: format!("cross/{case}/n={n}"),
+                outcome: format!("sim={} rt={}", sim.outcome.label(), rt.outcome.label()),
+                residual,
+                lint_errors: 0,
+                ok,
+                detail: if ok {
+                    String::new()
+                } else {
+                    format!("sim {:?}, rt {:?}", sim.outcome, rt.outcome)
+                },
+            });
+        }
+    }
+
+    // --- Render ----------------------------------------------------------
+    let mut out = String::new();
+    let failures = legs.iter().filter(|l| !l.ok).count();
+    if json {
+        for l in &legs {
+            let _ = writeln!(
+                out,
+                "{{\"scenario\":\"{}\",\"outcome\":\"{}\",\"residual\":{},\
+                 \"lint_errors\":{},\"ok\":{}}}",
+                l.name,
+                l.outcome,
+                l.residual
+                    .map_or("null".to_string(), |r| format!("{r:.3e}")),
+                l.lint_errors,
+                l.ok
+            );
+        }
+    } else {
+        let _ = writeln!(out, "# Chaos matrix (seed {seed})");
+        let _ = writeln!(
+            out,
+            "{:<28} {:>22} {:>10} {:>6} {:>6}",
+            "scenario", "outcome", "residual", "lint", "status"
+        );
+        for l in &legs {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>22} {:>10} {:>6} {:>6}",
+                l.name,
+                l.outcome,
+                l.residual.map_or("-".to_string(), |r| format!("{r:.1e}")),
+                l.lint_errors,
+                if l.ok { "ok" } else { "FAIL" }
+            );
+            if !l.ok {
+                let _ = writeln!(out, "    {}", l.detail);
+            }
+        }
+        let _ = writeln!(out, "{} scenario(s), {failures} failure(s)", legs.len());
+    }
+    (out, failures)
+}
+
 /// The `repro certify` grid: both reference platforms × all three
 /// factorizations × the paper sizes.
 pub const CERTIFY_SIZES: [usize; 4] = [4, 8, 12, 16];

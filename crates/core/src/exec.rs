@@ -21,6 +21,7 @@
 //!   common [`Trace`].
 
 use crate::dag::TaskGraph;
+use crate::fault::FaultEvent;
 use crate::obs::{ObsReport, ObsSink};
 use crate::platform::WorkerId;
 use crate::scheduler::{ExecutionView, SchedContext, Scheduler};
@@ -273,6 +274,14 @@ impl WorkerQueues {
     pub fn has_queued(&self, w: WorkerId) -> bool {
         !self.queues[w].is_empty()
     }
+
+    /// Remove and return every queued entry of worker `w`, zeroing its
+    /// queued-work estimate — the recovery path when `w` dies and its
+    /// owned tasks must be re-dispatched onto the survivors.
+    pub fn drain_worker(&mut self, w: WorkerId) -> Vec<QueueEntry> {
+        self.queued_exec[w] = Time::ZERO;
+        std::mem::take(&mut self.queues[w])
+    }
 }
 
 /// Engine-specific hooks consulted while dispatching a ready task.
@@ -317,6 +326,13 @@ impl<'a, H: EngineHooks + ?Sized> QueueView<'a, H> {
             hooks,
         }
     }
+
+    /// A view over a pre-built availability vector (the resilient
+    /// dispatcher patches dead workers to a far-future sentinel before
+    /// handing the view to the scheduler).
+    pub fn with_availability(now: Time, avail: Vec<Time>, hooks: &'a H) -> QueueView<'a, H> {
+        QueueView { now, avail, hooks }
+    }
 }
 
 impl<H: EngineHooks + ?Sized> ExecutionView for QueueView<'_, H> {
@@ -345,19 +361,109 @@ pub fn dispatch<H: EngineHooks + ?Sized>(
     recorder: &mut TraceRecorder,
     hooks: &mut H,
 ) -> WorkerId {
-    let w = {
-        let view = QueueView::new(queues, now, hooks);
+    dispatch_inner(
+        task,
+        now,
+        ctx,
+        scheduler,
+        queues,
+        recorder,
+        hooks,
+        None,
+        Time::ZERO,
+    )
+    .expect("dispatch without a death mask always assigns")
+}
+
+/// Availability sentinel for dead workers: far enough in the future that
+/// completion-time heuristics never prefer a dead worker, but small enough
+/// that the strict `Time` additions inside schedulers (availability +
+/// transfer + execution estimates) cannot overflow, which `Time::MAX`
+/// would.
+const DEAD_AVAILABILITY: Time = Time::from_secs(86_400 * 365);
+
+/// [`dispatch`] with recovery inputs: workers flagged in `dead` are never
+/// assigned (their availability is patched to a far-future sentinel, and
+/// an assignment to one — e.g. by a static scheduler unaware of deaths —
+/// is overridden to the best live worker), and `extra_delay` postpones the
+/// entry's data-ready instant (the retry backoff). Returns `None` iff no
+/// live worker exists.
+#[allow(clippy::too_many_arguments)]
+pub fn dispatch_resilient<H: EngineHooks + ?Sized>(
+    task: TaskId,
+    now: Time,
+    ctx: &SchedContext,
+    scheduler: &mut dyn Scheduler,
+    queues: &mut WorkerQueues,
+    recorder: &mut TraceRecorder,
+    hooks: &mut H,
+    dead: &[bool],
+    extra_delay: Time,
+) -> Option<WorkerId> {
+    dispatch_inner(
+        task,
+        now,
+        ctx,
+        scheduler,
+        queues,
+        recorder,
+        hooks,
+        Some(dead),
+        extra_delay,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch_inner<H: EngineHooks + ?Sized>(
+    task: TaskId,
+    now: Time,
+    ctx: &SchedContext,
+    scheduler: &mut dyn Scheduler,
+    queues: &mut WorkerQueues,
+    recorder: &mut TraceRecorder,
+    hooks: &mut H,
+    dead: Option<&[bool]>,
+    extra_delay: Time,
+) -> Option<WorkerId> {
+    let is_dead = |w: WorkerId| dead.is_some_and(|d| d.get(w).copied().unwrap_or(false));
+    let mut w = {
+        let mut avail = queues.availability(now);
+        if dead.is_some() {
+            for (v, a) in avail.iter_mut().enumerate() {
+                if is_dead(v) {
+                    *a = DEAD_AVAILABILITY;
+                }
+            }
+        }
+        let view = QueueView::with_availability(now, avail, hooks);
         scheduler.assign(task, ctx, &view)
     };
     assert!(
         w < queues.n_workers(),
         "scheduler assigned {task} to nonexistent worker {w}"
     );
+    if is_dead(w) {
+        // The scheduler ignored the sentinel (e.g. a static mapping).
+        // Recovery overrides it: the live worker with the earliest
+        // estimated completion takes the task.
+        w = (0..queues.n_workers())
+            .filter(|&v| !is_dead(v))
+            .min_by_key(|&v| {
+                (
+                    queues
+                        .worker_available_at(v, now)
+                        .saturating_add(hooks.transfer_estimate(task, v)),
+                    v,
+                )
+            })?;
+    }
     let prio = scheduler.priority(task, ctx);
     let exec_estimate = ctx
         .profile
         .time(ctx.graph.task(task).kernel(), ctx.platform.class_of(w));
-    let data_ready = hooks.data_ready(task, w, now);
+    let data_ready = hooks
+        .data_ready(task, w, now)
+        .max(now.saturating_add(extra_delay));
     let seq = queues.enqueue(
         w,
         task,
@@ -378,7 +484,7 @@ pub fn dispatch<H: EngineHooks + ?Sized>(
         .obs
         .on_dispatch(ctx.graph.task(task).kernel(), &event, queues.depth(w));
     recorder.record_enqueue(event);
-    w
+    Some(w)
 }
 
 /// Event sink shared by the engines, producing the common [`Trace`] and,
@@ -390,6 +496,7 @@ pub struct TraceRecorder {
     events: Vec<TraceEvent>,
     transfers: Vec<TransferEvent>,
     queue_events: Vec<QueueEvent>,
+    fault_events: Vec<FaultEvent>,
     obs: ObsSink,
 }
 
@@ -408,8 +515,15 @@ impl TraceRecorder {
             events: Vec::with_capacity(n_tasks),
             transfers: Vec::new(),
             queue_events: Vec::with_capacity(n_tasks),
+            fault_events: Vec::new(),
             obs,
         }
+    }
+
+    /// Append fault/recovery events (a resilient engine folds its
+    /// [`crate::fault::FaultState`] log in before finishing).
+    pub fn record_faults(&mut self, events: Vec<FaultEvent>) {
+        self.fault_events.extend(events);
     }
 
     /// The observability sink, for engine-specific counters (condvar
@@ -489,6 +603,7 @@ impl TraceRecorder {
                 events: self.events,
                 transfers: self.transfers,
                 queue_events: self.queue_events,
+                fault_events: self.fault_events,
             },
             makespan,
             obs,

@@ -29,6 +29,10 @@
 //!   dependency tracking ([`exec::DepTracker`]), per-worker queues with
 //!   the `dmda`/`dmdas` insertion discipline ([`exec::WorkerQueues`]) and
 //!   trace recording ([`exec::TraceRecorder`]).
+//! * [`fault`] — seeded, deterministic fault injection ([`fault::FaultPlan`])
+//!   and the recovery vocabulary ([`fault::RetryPolicy`],
+//!   [`fault::RunOutcome`], the [`fault::FaultEvent`] audit log) shared by
+//!   both engines' resilient entry points.
 //! * [`trace`] — per-worker execution traces (Figure 12 of the paper),
 //!   idle-time accounting and ASCII Gantt rendering.
 //! * [`obs`] — structured observability: per-task phase spans
@@ -44,6 +48,7 @@
 pub mod algorithm;
 pub mod dag;
 pub mod exec;
+pub mod fault;
 pub mod kernel;
 pub mod metrics;
 pub mod obs;
@@ -58,9 +63,15 @@ pub mod trace;
 pub use algorithm::Algorithm;
 pub use dag::TaskGraph;
 pub use exec::{DepTracker, TraceRecorder, WorkerQueues};
+pub use fault::{
+    ConfigError, FailureCause, Fault, FaultEvent, FaultEventKind, FaultKind, FaultPlan, FaultState,
+    RetryPolicy, RunOutcome,
+};
 pub use kernel::Kernel;
 pub use metrics::{Figure, Point, Series};
-pub use obs::{validate_chrome_trace, ObsCounters, ObsReport, ObsSink, TaskSpan, WorkerPhases};
+pub use obs::{
+    validate_chrome_trace, FailedAttempt, ObsCounters, ObsReport, ObsSink, TaskSpan, WorkerPhases,
+};
 pub use platform::{ClassId, CommModel, MemNode, Platform, ResourceClass, ResourceKind, WorkerId};
 pub use profiles::TimingProfile;
 pub use schedule::{DurationCheck, Schedule, ScheduleEntry, ScheduleError};

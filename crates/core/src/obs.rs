@@ -109,6 +109,13 @@ pub struct ObsCounters {
     /// Total bytes moved by transfers (tile size is an engine concern;
     /// engines that do not track bytes leave this zero).
     pub transfer_bytes: u64,
+    /// Failed task attempts (injected or watchdog-converted), resilient
+    /// runs only.
+    pub failures: u64,
+    /// Attempts re-dispatched after a failure.
+    pub retries: u64,
+    /// Workers permanently lost during the run.
+    pub workers_lost: u64,
 }
 
 impl ObsCounters {
@@ -134,6 +141,28 @@ impl ObsCounters {
     pub fn total_dispatched(&self) -> u64 {
         self.dispatched.iter().sum()
     }
+}
+
+/// One failed task attempt, as the observability layer records it —
+/// rendered as a `[retrying]` slice in the Chrome trace.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct FailedAttempt {
+    /// The task whose attempt failed.
+    pub task: TaskId,
+    /// Its kernel.
+    pub kernel: Kernel,
+    /// Worker that owned the attempt.
+    pub worker: WorkerId,
+    /// Attempt start (== end for attempts that never occupied the worker).
+    pub start: Time,
+    /// When the failure was recorded.
+    pub end: Time,
+    /// 1-based attempt number.
+    pub attempt: u32,
+    /// Failure-kind label (`transient` / `numerical` / `timeout` /
+    /// `worker-lost`; a string so this module stays decoupled from
+    /// [`crate::fault`]).
+    pub kind: &'static str,
 }
 
 /// A task's in-flight recording slot.
@@ -174,6 +203,8 @@ struct ObsState {
     n_workers: usize,
     slots: Vec<SpanSlot>,
     counters: ObsCounters,
+    failed: Vec<FailedAttempt>,
+    deaths: Vec<(WorkerId, Time)>,
 }
 
 impl ObsState {
@@ -260,6 +291,49 @@ impl ObsSink {
         }
     }
 
+    /// Record one failed attempt of `task` (resilient runs; called by the
+    /// engines when an injected or watchdog failure fires).
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_attempt_failed(
+        &mut self,
+        task: TaskId,
+        kernel: Kernel,
+        worker: WorkerId,
+        start: Time,
+        end: Time,
+        attempt: u32,
+        kind: &'static str,
+    ) {
+        if let Some(s) = &mut self.0 {
+            s.counters.failures += 1;
+            s.failed.push(FailedAttempt {
+                task,
+                kernel,
+                worker,
+                start,
+                end,
+                attempt,
+                kind,
+            });
+        }
+    }
+
+    /// Count one retry re-dispatch.
+    #[inline]
+    pub fn count_retry(&mut self) {
+        if let Some(s) = &mut self.0 {
+            s.counters.retries += 1;
+        }
+    }
+
+    /// Record the permanent loss of `worker` at `at`.
+    pub fn count_worker_lost(&mut self, worker: WorkerId, at: Time) {
+        if let Some(s) = &mut self.0 {
+            s.counters.workers_lost += 1;
+            s.deaths.push((worker, at));
+        }
+    }
+
     /// Count one condvar wakeup of `worker` (threaded runtime).
     #[inline]
     pub fn count_wakeup(&mut self, worker: WorkerId) {
@@ -325,6 +399,8 @@ impl ObsSink {
             enabled: true,
             spans,
             counters: s.counters,
+            failed_attempts: s.failed,
+            worker_deaths: s.deaths,
         }
     }
 }
@@ -366,6 +442,10 @@ pub struct ObsReport {
     pub spans: Vec<TaskSpan>,
     /// The counter registry.
     pub counters: ObsCounters,
+    /// Failed attempts (resilient runs only), in recording order.
+    pub failed_attempts: Vec<FailedAttempt>,
+    /// Permanent worker losses as `(worker, death instant)` pairs.
+    pub worker_deaths: Vec<(WorkerId, Time)>,
 }
 
 impl ObsReport {
@@ -499,6 +579,35 @@ impl ObsReport {
                 &format!("{base},\"phase\":\"exec\""),
             );
         }
+        for a in &self.failed_attempts {
+            event(
+                &mut out,
+                "X",
+                a.start,
+                a.end.saturating_sub(a.start),
+                a.worker,
+                &format!("{} #{} [retrying]", a.kernel.label(), a.task.index()),
+                &format!(
+                    "\"task\":{},\"kernel\":\"{}\",\"phase\":\"retrying\",\
+                     \"attempt\":{},\"fault\":\"{}\"",
+                    a.task.index(),
+                    a.kernel.label(),
+                    a.attempt,
+                    a.kind
+                ),
+            );
+        }
+        for &(w, at) in &self.worker_deaths {
+            event(
+                &mut out,
+                "i",
+                at,
+                Time::ZERO,
+                w,
+                "worker lost",
+                &format!("\"worker\":{w},\"phase\":\"worker-lost\""),
+            );
+        }
         for (name, values) in [
             ("wakeups", &self.counters.wakeups),
             ("backfills", &self.counters.backfills),
@@ -578,6 +687,13 @@ impl ObsReport {
             "transfers: {} ({} total)",
             self.counters.transfers, self.counters.transfer_time
         );
+        if self.counters.failures > 0 || self.counters.workers_lost > 0 {
+            let _ = writeln!(
+                out,
+                "faults: {} failed attempts, {} retries, {} workers lost",
+                self.counters.failures, self.counters.retries, self.counters.workers_lost
+            );
+        }
         // Idle-gap histogram over all inter-execution gaps.
         const BUCKETS: [(&str, u64); 5] = [
             ("<100us", 100_000),
@@ -643,9 +759,13 @@ impl ObsReport {
         }
         let _ = write!(
             out,
-            "],\"transfers\":{},\"transfer_ns\":{}}}",
+            "],\"transfers\":{},\"transfer_ns\":{},\"failures\":{},\"retries\":{},\
+             \"workers_lost\":{}}}",
             self.counters.transfers,
-            self.counters.transfer_time.as_nanos()
+            self.counters.transfer_time.as_nanos(),
+            self.counters.failures,
+            self.counters.retries,
+            self.counters.workers_lost
         );
         out
     }
@@ -958,6 +1078,8 @@ mod tests {
             // worker 1: exec [0,8), idle [8,10)
             spans: vec![span(1, 1, 0, 0, 0, 8), span(0, 0, 2, 4, 5, 10)],
             counters,
+            failed_attempts: Vec::new(),
+            worker_deaths: Vec::new(),
         }
     }
 

@@ -6,6 +6,7 @@
 //! trace container, busy/idle accounting, conversion to a [`Schedule`] for
 //! validation, and an ASCII Gantt renderer.
 
+use crate::fault::FaultEvent;
 use crate::kernel::Kernel;
 use crate::platform::{MemNode, Platform, WorkerId};
 use crate::schedule::{Schedule, ScheduleEntry};
@@ -78,6 +79,10 @@ pub struct Trace {
     pub transfers: Vec<TransferEvent>,
     /// Dispatcher enqueue events, in `seq` order.
     pub queue_events: Vec<QueueEvent>,
+    /// Fault-injection/recovery events (worker deaths, failed attempts,
+    /// retries, aborts), empty for fault-free runs. Linter rule 17 audits
+    /// [`Trace::events`] against this log.
+    pub fault_events: Vec<FaultEvent>,
 }
 
 impl Trace {
@@ -256,6 +261,7 @@ mod tests {
                 end: Time::from_millis(2),
             }],
             queue_events: Vec::new(),
+            fault_events: Vec::new(),
         }
     }
 

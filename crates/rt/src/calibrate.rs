@@ -13,19 +13,57 @@ use hetchol_linalg::generate::random_spd;
 use hetchol_linalg::{gemm_update, potrf_tile, syrk_update, trsm_solve};
 use std::time::Instant;
 
+/// Why a calibration run could not produce a profile.
+///
+/// Calibration used to panic on these; they are ordinary configuration or
+/// numerical conditions a caller can report, so they are typed instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CalibrationError {
+    /// `reps == 0`: no samples means no median.
+    NoRepetitions,
+    /// The generated calibration matrix failed the POTRF kernel — the
+    /// random SPD generator produced a tile that is not numerically
+    /// positive definite at this size (pivot `column` went non-positive).
+    NotSpd { nb: usize, column: usize },
+}
+
+impl std::fmt::Display for CalibrationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CalibrationError::NoRepetitions => {
+                write!(f, "calibration needs at least one repetition")
+            }
+            CalibrationError::NotSpd { nb, column } => write!(
+                f,
+                "calibration matrix at tile size {nb} is not positive definite \
+                 (pivot column {column})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CalibrationError {}
+
 fn median(mut samples: Vec<f64>) -> f64 {
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+    // total_cmp: Instant-derived durations are finite, but a total order
+    // costs nothing and removes the panic path entirely.
+    samples.sort_by(f64::total_cmp);
     samples[samples.len() / 2]
 }
 
 /// Measure the four kernels at tile size `nb` on the current host and
 /// build a single-class (CPU) [`TimingProfile`].
-pub fn calibrate_profile(nb: usize, reps: usize) -> TimingProfile {
-    assert!(reps > 0, "need at least one repetition");
+pub fn calibrate_profile(nb: usize, reps: usize) -> Result<TimingProfile, CalibrationError> {
+    if reps == 0 {
+        return Err(CalibrationError::NoRepetitions);
+    }
     let spd = random_spd(nb, 42);
     let factored = {
         let mut f = spd.data().to_vec();
-        potrf_tile(&mut f, nb).expect("calibration matrix is SPD");
+        potrf_tile(&mut f, nb).map_err(|e| CalibrationError::NotSpd {
+            nb,
+            column: e.column,
+        })?;
         f
     };
     let generic = random_spd(nb, 43).data().to_vec();
@@ -41,7 +79,10 @@ pub fn calibrate_profile(nb: usize, reps: usize) -> TimingProfile {
             let t0 = Instant::now();
             match kernel {
                 Kernel::Potrf => {
-                    potrf_tile(&mut a, nb).expect("calibration matrix is SPD");
+                    potrf_tile(&mut a, nb).map_err(|e| CalibrationError::NotSpd {
+                        nb,
+                        column: e.column,
+                    })?;
                 }
                 Kernel::Trsm => trsm_solve(&mut c, &factored, nb),
                 Kernel::Syrk => syrk_update(&mut c, &generic2, nb),
@@ -63,7 +104,7 @@ pub fn calibrate_profile(nb: usize, reps: usize) -> TimingProfile {
                 Time::from_secs_f64(kernel.flops(nb) / gemm_rate).max(Time::from_nanos(1));
         }
     }
-    TimingProfile::new(nb, vec![times])
+    Ok(TimingProfile::new(nb, vec![times]))
 }
 
 #[cfg(test)]
@@ -72,7 +113,7 @@ mod tests {
 
     #[test]
     fn calibration_produces_positive_ordered_times() {
-        let p = calibrate_profile(48, 5);
+        let p = calibrate_profile(48, 5).unwrap();
         for k in Kernel::ALL {
             assert!(p.time(k, 0) > Time::ZERO, "{k}");
         }
@@ -83,8 +124,16 @@ mod tests {
 
     #[test]
     fn calibration_respects_tile_size() {
-        let p = calibrate_profile(32, 3);
+        let p = calibrate_profile(32, 3).unwrap();
         assert_eq!(p.nb(), 32);
         assert_eq!(p.n_classes(), 1);
+    }
+
+    #[test]
+    fn zero_repetitions_is_a_typed_error() {
+        assert_eq!(
+            calibrate_profile(16, 0).unwrap_err(),
+            CalibrationError::NoRepetitions
+        );
     }
 }

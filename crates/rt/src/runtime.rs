@@ -9,17 +9,21 @@
 
 use crate::workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};
 use hetchol_core::dag::TaskGraph;
-use hetchol_core::exec::{self, DepTracker, SingleNode, TraceRecorder, WorkerQueues};
+use hetchol_core::exec::{self, DepTracker, QueueEntry, SingleNode, TraceRecorder, WorkerQueues};
+use hetchol_core::fault::{
+    ConfigError, FailureCause, FaultKind, FaultPlan, FaultState, RetryPolicy, RunOutcome,
+};
 use hetchol_core::obs::{ObsReport, ObsSink};
-use hetchol_core::platform::Platform;
+use hetchol_core::platform::{Platform, WorkerId};
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::{SchedContext, Scheduler};
+use hetchol_core::task::TaskId;
 use hetchol_core::time::Time;
 use hetchol_core::trace::Trace;
 use hetchol_linalg::cholesky::TiledCholeskyError;
 use hetchol_linalg::matrix::TiledMatrix;
 use parking_lot::{Condvar, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Result of one real execution.
 #[derive(Clone, Debug)]
@@ -31,6 +35,10 @@ pub struct RtResult {
     /// Structured observability record (empty unless the run was given an
     /// enabled [`ObsSink`]).
     pub obs: ObsReport,
+    /// How the run ended. Always [`RunOutcome::Completed`] for the
+    /// fault-free entry points; [`execute_resilient`] reports `Degraded`
+    /// or `Failed` when the fault plan forced recovery.
+    pub outcome: RunOutcome,
 }
 
 /// Engine state behind the runtime's single lock.
@@ -39,6 +47,25 @@ struct Shared<E> {
     queues: WorkerQueues,
     recorder: TraceRecorder,
     error: Option<E>,
+    /// Fault-injection/recovery driver; `None` on the fault-free paths.
+    faults: Option<FaultState>,
+    /// First hard failure of a resilient run (the fault-mode counterpart
+    /// of `error`, which stays reserved for fail-fast kernel errors).
+    failed: Option<FailureCause>,
+}
+
+/// What a worker decided to do with a popped queue entry (decided under
+/// the shared lock, executed outside it).
+enum Work {
+    /// Run the kernel: the task, the data-ready instant to respect (the
+    /// retry backoff; `Time::ZERO` when immediate), and the straggler
+    /// slowdown factor to model after the kernel returns.
+    Run(TaskId, Time, f64),
+    /// The attempt fails without running the kernel (injection replaces
+    /// execution): the task, the failure kind, and — for watchdog
+    /// timeouts — how long the attempt occupies the worker before the
+    /// verdict.
+    Fail(TaskId, FaultKind, Option<Time>),
 }
 
 /// Run `graph` on `n_workers` real threads, executing each task through
@@ -64,7 +91,54 @@ pub fn execute_workload<W: Workload + ?Sized>(
     n_workers: usize,
     obs: ObsSink,
 ) -> Result<RtResult, W::Error> {
-    execute_with_inner(workload, graph, scheduler, profile, n_workers, obs, false)
+    execute_with_inner(
+        workload, graph, scheduler, profile, n_workers, obs, false, None,
+    )
+}
+
+/// [`execute_workload`] under fault injection: `plan`'s faults fire on
+/// real worker threads (deaths keyed to the engine-wide task-start count,
+/// injected kernel failures, straggler slowdowns) and the runtime recovers
+/// per `policy` — capped-backoff retries, re-queuing a dead worker's tasks
+/// onto the survivors, the modeled-duration watchdog. Instead of
+/// propagating errors, the verdict lands in [`RtResult::outcome`]; real
+/// kernel errors are *not* retried (a genuine numerical failure fails
+/// identically anywhere) and fold into
+/// [`FailureCause::Kernel`]. Impossible configurations (zero workers, a
+/// plan killing every worker) are rejected up front.
+///
+/// The same plan replayed on the simulator yields the same outcome
+/// classification — worker deaths trigger on progress (global start
+/// count), not on clocks, which the two engines never agree on.
+#[allow(clippy::too_many_arguments)]
+pub fn execute_resilient<W: Workload + ?Sized>(
+    workload: &W,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    obs: ObsSink,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<RtResult, ConfigError> {
+    if n_workers == 0 {
+        return Err(ConfigError::ZeroWorkers);
+    }
+    if plan.kills_all_workers(n_workers) {
+        return Err(ConfigError::PlanKillsAllWorkers { n_workers });
+    }
+    let faults = FaultState::new(plan, *policy, graph.len(), n_workers);
+    let r = execute_with_inner(
+        workload,
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+        obs,
+        false,
+        Some(faults),
+    );
+    Ok(r.unwrap_or_else(|_| unreachable!("resilient runs fold errors into the outcome")))
 }
 
 /// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
@@ -169,7 +243,7 @@ pub fn execute_qr(
     since = "0.4.0",
     note = "use `execute_workload` with `FnWorkload` (or the `hetchol::Run` facade)"
 )]
-pub fn execute_with<E: Send>(
+pub fn execute_with<E: Send + std::fmt::Debug>(
     apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
     graph: &TaskGraph,
     scheduler: &mut (dyn Scheduler + Send),
@@ -201,7 +275,7 @@ pub struct Mutations {
 /// [`execute_workload`] with seeded faults enabled — test-only surface for
 /// the race checker; never use outside the explorer's regression tests.
 #[cfg(feature = "race-mutations")]
-pub fn execute_with_mutated<E: Send>(
+pub fn execute_with_mutated<E: Send + std::fmt::Debug>(
     apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
     graph: &TaskGraph,
     scheduler: &mut (dyn Scheduler + Send),
@@ -217,9 +291,132 @@ pub fn execute_with_mutated<E: Send>(
         n_workers,
         ObsSink::disabled(),
         mutations.drop_release_notify,
+        None,
     )
 }
 
+/// Mark every non-busy doomed worker dead and re-dispatch its queued
+/// tasks onto the survivors (called under the shared lock whenever the
+/// death mask may have changed: after a start, after a completion, before
+/// the initial dispatch). Busy doomed workers are skipped — their
+/// in-flight kernel completes (completed work is never discarded) and
+/// they die right after recording it.
+fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Scheduler, now: Time) {
+    let Shared {
+        queues,
+        recorder,
+        faults,
+        failed,
+        ..
+    } = s;
+    let Some(f) = faults.as_mut() else { return };
+    for v in f.doomed_workers() {
+        if queues.is_busy(v) {
+            continue;
+        }
+        f.mark_dead(v, now);
+        recorder.obs_mut().count_worker_lost(v, now);
+        for entry in queues.drain_worker(v) {
+            let landed = exec::dispatch_resilient(
+                entry.task,
+                now,
+                ctx,
+                sched,
+                queues,
+                recorder,
+                &mut SingleNode,
+                f.dead(),
+                Time::ZERO,
+            );
+            if landed.is_none() {
+                failed.get_or_insert(FailureCause::AllWorkersLost);
+                return;
+            }
+        }
+    }
+}
+
+/// Worker `w`'s death came due while it sat idle: it dies *instead of*
+/// starting the entry it just popped. The popped task is charged a
+/// lost-worker attempt (retried on a survivor with backoff, or aborted on
+/// budget exhaustion) and the rest of the queue drains onto the
+/// survivors.
+fn die_at_pop<E>(
+    s: &mut Shared<E>,
+    ctx: &SchedContext,
+    sched: &mut dyn Scheduler,
+    w: WorkerId,
+    entry: QueueEntry,
+    now: Time,
+) {
+    let Shared {
+        queues,
+        recorder,
+        faults,
+        failed,
+        ..
+    } = s;
+    let f = faults.as_mut().expect("die_at_pop outside fault mode");
+    f.mark_dead(w, now);
+    recorder.obs_mut().count_worker_lost(w, now);
+    let (attempt, _) = f.begin_attempt(entry.task);
+    recorder.obs_mut().on_attempt_failed(
+        entry.task,
+        ctx.graph.task(entry.task).kernel(),
+        w,
+        now,
+        now,
+        attempt,
+        FaultKind::WorkerLost.label(),
+    );
+    match f.record_failure(entry.task, w, FaultKind::WorkerLost, now) {
+        Some(backoff) => {
+            recorder.obs_mut().count_retry();
+            let landed = exec::dispatch_resilient(
+                entry.task,
+                now,
+                ctx,
+                sched,
+                queues,
+                recorder,
+                &mut SingleNode,
+                f.dead(),
+                backoff,
+            );
+            if landed.is_none() {
+                failed.get_or_insert(FailureCause::AllWorkersLost);
+                return;
+            }
+        }
+        None => {
+            failed.get_or_insert(FailureCause::RetriesExhausted {
+                task: entry.task,
+                attempts: f.attempts_of(entry.task),
+                kind: FaultKind::WorkerLost,
+            });
+            return;
+        }
+    }
+    for e in queues.drain_worker(w) {
+        let landed = exec::dispatch_resilient(
+            e.task,
+            now,
+            ctx,
+            sched,
+            queues,
+            recorder,
+            &mut SingleNode,
+            f.dead(),
+            Time::ZERO,
+        );
+        if landed.is_none() {
+            failed.get_or_insert(FailureCause::AllWorkersLost);
+            return;
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn execute_with_inner<W: Workload + ?Sized>(
     workload: &W,
     graph: &TaskGraph,
@@ -228,6 +425,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
     n_workers: usize,
     obs: ObsSink,
     drop_release_notify: bool,
+    faults: Option<FaultState>,
 ) -> Result<RtResult, W::Error> {
     assert!(n_workers > 0, "need at least one worker");
     let platform = Platform::homogeneous(n_workers);
@@ -243,6 +441,8 @@ fn execute_with_inner<W: Workload + ?Sized>(
         queues: WorkerQueues::new(n_workers),
         recorder: TraceRecorder::with_obs(n_workers, graph.len(), obs),
         error: None,
+        faults,
+        failed: None,
     });
     let condvar = Condvar::new();
     let t0 = Instant::now();
@@ -251,22 +451,48 @@ fn execute_with_inner<W: Workload + ?Sized>(
     {
         let mut s = shared.lock();
         let mut sched = scheduler.lock();
+        // Workers doomed from the very start (`after_starts: 0`) die
+        // before the initial dispatch can consider them.
+        reap_doomed(&mut s, &ctx, &mut **sched, Time::ZERO);
+        let initial = s.deps.initial_ready();
         let Shared {
-            deps,
             queues,
             recorder,
+            faults,
+            failed,
             ..
         } = &mut *s;
-        for t in deps.initial_ready() {
-            exec::dispatch(
-                t,
-                Time::ZERO,
-                &ctx,
-                &mut **sched,
-                queues,
-                recorder,
-                &mut SingleNode,
-            );
+        for t in initial {
+            match faults.as_mut() {
+                None => {
+                    exec::dispatch(
+                        t,
+                        Time::ZERO,
+                        &ctx,
+                        &mut **sched,
+                        queues,
+                        recorder,
+                        &mut SingleNode,
+                    );
+                }
+                Some(f) => {
+                    let landed = exec::dispatch_resilient(
+                        t,
+                        Time::ZERO,
+                        &ctx,
+                        &mut **sched,
+                        queues,
+                        recorder,
+                        &mut SingleNode,
+                        f.dead(),
+                        Time::ZERO,
+                    );
+                    if landed.is_none() {
+                        failed.get_or_insert(FailureCause::AllWorkersLost);
+                        break;
+                    }
+                }
+            }
         }
     }
 
@@ -281,10 +507,13 @@ fn execute_with_inner<W: Workload + ?Sized>(
                 // gives this thread a stable identity across replayed runs.
                 parking_lot::explore::checkin(w);
                 loop {
-                    let task = {
+                    let work = {
                         let mut s = shared.lock();
                         loop {
-                            if s.deps.is_done() || s.error.is_some() {
+                            if s.deps.is_done() || s.error.is_some() || s.failed.is_some() {
+                                return;
+                            }
+                            if s.faults.as_ref().is_some_and(|f| f.is_dead(w)) {
                                 return;
                             }
                             // First startable task in this worker's queue (the
@@ -294,49 +523,224 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                 s.queues.pop_startable_indexed(w, |t| sched.may_start(t, w))
                             };
                             if let Some((entry, skipped)) = popped {
+                                let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                                if s.faults.as_ref().is_some_and(|f| f.death_due(w)) {
+                                    let mut sched = scheduler.lock();
+                                    die_at_pop(&mut s, ctx, &mut **sched, w, entry, now);
+                                    condvar.notify_all();
+                                    return;
+                                }
                                 s.recorder.obs_mut().count_backfill(w, skipped);
                                 scheduler.lock().notify_start(entry.task, w);
-                                let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                                let work = match s.faults.as_mut() {
+                                    None => Work::Run(entry.task, Time::ZERO, 1.0),
+                                    Some(f) => {
+                                        let (_, mut injected) = f.begin_attempt(entry.task);
+                                        let slow = f.slowdown(w);
+                                        let mut occupancy = None;
+                                        if injected.is_none() {
+                                            if let Some(limit) = f.policy().watchdog {
+                                                // The watchdog judges the *modeled*
+                                                // duration (estimate × straggler
+                                                // factor), exactly as the simulator
+                                                // does, so verdicts agree across
+                                                // engines. A genuinely hung safe-Rust
+                                                // kernel cannot be preempted; see
+                                                // DESIGN.md §12.
+                                                let predicted = if slow != 1.0 {
+                                                    entry.exec_estimate.scale(slow)
+                                                } else {
+                                                    entry.exec_estimate
+                                                };
+                                                if predicted > limit {
+                                                    injected = Some(FaultKind::Timeout);
+                                                    occupancy = Some(limit);
+                                                }
+                                            }
+                                        }
+                                        f.on_start();
+                                        match injected {
+                                            Some(kind) => Work::Fail(entry.task, kind, occupancy),
+                                            None => Work::Run(entry.task, entry.data_ready, slow),
+                                        }
+                                    }
+                                };
                                 s.queues.set_busy_until(w, now + entry.exec_estimate);
-                                break entry.task;
+                                // This start may have pushed another worker's
+                                // death threshold over; reap while still
+                                // holding the lock so it cannot start anything.
+                                if s.faults.is_some() {
+                                    let mut sched = scheduler.lock();
+                                    reap_doomed(&mut s, ctx, &mut **sched, now);
+                                }
+                                break work;
                             }
                             condvar.wait(&mut s);
                             s.recorder.obs_mut().count_wakeup(w);
                         }
                     };
 
-                    let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                    let result = workload.apply(ctx.graph.task(task).coords);
-                    let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-
-                    let mut s = shared.lock();
-                    s.queues.set_idle(w);
-                    match result {
-                        Err(e) => {
-                            s.error.get_or_insert(e);
-                            condvar.notify_all();
-                            return;
-                        }
-                        Ok(()) => {
-                            s.recorder.record(ctx.graph, w, task, start, end);
-                            let newly_ready = s.deps.release(ctx.graph, task);
+                    match work {
+                        Work::Fail(task, kind, occupancy) => {
+                            let fail_start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            if let Some(limit) = occupancy {
+                                // A timed-out attempt occupies the worker
+                                // for the watchdog limit (the kernel is
+                                // never run — injection replaces execution).
+                                std::thread::sleep(Duration::from_nanos(limit.as_nanos()));
+                            }
+                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let mut s = shared.lock();
+                            s.queues.set_idle(w);
                             let mut sched = scheduler.lock();
-                            let Shared {
-                                queues, recorder, ..
-                            } = &mut *s;
-                            for succ in newly_ready {
-                                exec::dispatch(
-                                    succ,
-                                    end,
-                                    ctx,
-                                    &mut **sched,
+                            {
+                                let Shared {
                                     queues,
                                     recorder,
-                                    &mut SingleNode,
+                                    faults,
+                                    failed,
+                                    ..
+                                } = &mut *s;
+                                let f = faults.as_mut().expect("injected failure needs fault mode");
+                                let attempt = f.attempts_of(task);
+                                recorder.obs_mut().on_attempt_failed(
+                                    task,
+                                    ctx.graph.task(task).kernel(),
+                                    w,
+                                    fail_start,
+                                    now,
+                                    attempt,
+                                    kind.label(),
                                 );
+                                match f.record_failure(task, w, kind, now) {
+                                    Some(backoff) => {
+                                        recorder.obs_mut().count_retry();
+                                        let landed = exec::dispatch_resilient(
+                                            task,
+                                            now,
+                                            ctx,
+                                            &mut **sched,
+                                            queues,
+                                            recorder,
+                                            &mut SingleNode,
+                                            f.dead(),
+                                            backoff,
+                                        );
+                                        if landed.is_none() {
+                                            failed.get_or_insert(FailureCause::AllWorkersLost);
+                                        }
+                                    }
+                                    None => {
+                                        failed.get_or_insert(FailureCause::RetriesExhausted {
+                                            task,
+                                            attempts: f.attempts_of(task),
+                                            kind,
+                                        });
+                                    }
+                                }
                             }
-                            if !drop_release_notify {
-                                condvar.notify_all();
+                            reap_doomed(&mut s, ctx, &mut **sched, now);
+                            condvar.notify_all();
+                        }
+                        Work::Run(task, data_ready, slowdown) => {
+                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            if data_ready > now {
+                                // Retry backoff: the re-dispatch pushed the
+                                // entry's data-ready instant into the future.
+                                std::thread::sleep(Duration::from_nanos(
+                                    (data_ready - now).as_nanos(),
+                                ));
+                            }
+                            let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let result = workload.apply(ctx.graph.task(task).coords);
+                            if slowdown > 1.0 {
+                                // Model the straggler: stretch the attempt's
+                                // wall time by the slowdown factor.
+                                let elapsed = Time::from_secs_f64(t0.elapsed().as_secs_f64())
+                                    .saturating_sub(start);
+                                std::thread::sleep(Duration::from_nanos(
+                                    elapsed.scale(slowdown - 1.0).as_nanos(),
+                                ));
+                            }
+                            let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+
+                            let mut s = shared.lock();
+                            s.queues.set_idle(w);
+                            match result {
+                                Err(e) => {
+                                    if s.faults.is_some() {
+                                        // Real kernel errors are not retried:
+                                        // a genuine numerical failure fails
+                                        // identically on any worker.
+                                        let detail = format!("{e:?}");
+                                        s.failed
+                                            .get_or_insert(FailureCause::Kernel { task, detail });
+                                    } else {
+                                        s.error.get_or_insert(e);
+                                    }
+                                    condvar.notify_all();
+                                    return;
+                                }
+                                Ok(()) => {
+                                    s.recorder.record(ctx.graph, w, task, start, end);
+                                    let newly_ready = s.deps.release(ctx.graph, task);
+                                    let mut sched = scheduler.lock();
+                                    {
+                                        let Shared {
+                                            queues,
+                                            recorder,
+                                            faults,
+                                            failed,
+                                            ..
+                                        } = &mut *s;
+                                        match faults.as_mut() {
+                                            None => {
+                                                for succ in newly_ready {
+                                                    exec::dispatch(
+                                                        succ,
+                                                        end,
+                                                        ctx,
+                                                        &mut **sched,
+                                                        queues,
+                                                        recorder,
+                                                        &mut SingleNode,
+                                                    );
+                                                }
+                                            }
+                                            Some(f) => {
+                                                for succ in newly_ready {
+                                                    let landed = exec::dispatch_resilient(
+                                                        succ,
+                                                        end,
+                                                        ctx,
+                                                        &mut **sched,
+                                                        queues,
+                                                        recorder,
+                                                        &mut SingleNode,
+                                                        f.dead(),
+                                                        Time::ZERO,
+                                                    );
+                                                    if landed.is_none() {
+                                                        failed.get_or_insert(
+                                                            FailureCause::AllWorkersLost,
+                                                        );
+                                                        break;
+                                                    }
+                                                }
+                                            }
+                                        }
+                                    }
+                                    // Covers this worker's own death-after-
+                                    // completion: it is idle now, so a due
+                                    // threshold reaps it here and the loop's
+                                    // `is_dead` check retires the thread.
+                                    if s.faults.is_some() {
+                                        reap_doomed(&mut s, ctx, &mut **sched, end);
+                                    }
+                                    if !drop_release_notify {
+                                        condvar.notify_all();
+                                    }
+                                }
                             }
                         }
                     }
@@ -346,16 +750,33 @@ fn execute_with_inner<W: Workload + ?Sized>(
     });
 
     let s = shared.into_inner();
-    if let Some(e) = s.error {
-        return Err(e);
+    match s.faults {
+        None => {
+            if let Some(e) = s.error {
+                return Err(e);
+            }
+            assert!(s.deps.is_done(), "runtime exited with unfinished tasks");
+            let (trace, makespan, obs) = s.recorder.finish_with_obs();
+            Ok(RtResult {
+                trace,
+                makespan,
+                obs,
+                outcome: RunOutcome::Completed,
+            })
+        }
+        Some(mut f) => {
+            let outcome = f.classify(s.deps.is_done(), s.failed, s.deps.remaining());
+            let mut recorder = s.recorder;
+            recorder.record_faults(f.take_events());
+            let (trace, makespan, obs) = recorder.finish_with_obs();
+            Ok(RtResult {
+                trace,
+                makespan,
+                obs,
+                outcome,
+            })
+        }
     }
-    assert!(s.deps.is_done(), "runtime exited with unfinished tasks");
-    let (trace, makespan, obs) = s.recorder.finish_with_obs();
-    Ok(RtResult {
-        trace,
-        makespan,
-        obs,
-    })
 }
 
 #[cfg(test)]
@@ -575,6 +996,218 @@ mod tests {
         for p in r.obs.worker_phases() {
             assert_eq!(p.total(), r.makespan, "worker {}", p.worker);
         }
+    }
+
+    #[test]
+    fn resilient_run_with_empty_plan_completes_with_correct_factorization() {
+        let nb = 8;
+        let n_tiles = 4;
+        let a = random_spd(n_tiles * nb, 17);
+        let m = TiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let workload = CholeskyWorkload::new(&m);
+        let r = execute_resilient(
+            &workload,
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            3,
+            ObsSink::disabled(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.trace.events.len(), graph.len());
+        assert!(r.trace.fault_events.is_empty());
+        assert!(factorization_residual(&a, &workload.into_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn killing_a_worker_mid_run_degrades_but_factorization_stays_correct() {
+        let nb = 8;
+        let n_tiles = 4;
+        let a = random_spd(n_tiles * nb, 29);
+        let m = TiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let workload = CholeskyWorkload::new(&m);
+        let plan = FaultPlan::new().kill_worker(1, 6);
+        let r = execute_resilient(
+            &workload,
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            3,
+            ObsSink::enabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(r.outcome, RunOutcome::Degraded { ref lost_workers, .. }
+                     if lost_workers == &[1]),
+            "outcome: {:?}",
+            r.outcome
+        );
+        // All tasks executed, none on worker 1 at or after its death.
+        assert_eq!(r.trace.events.len(), graph.len());
+        let death = r
+            .trace
+            .fault_events
+            .iter()
+            .find_map(|e| match e.kind {
+                hetchol_core::fault::FaultEventKind::WorkerDied { worker: 1 } => Some(e.at),
+                _ => None,
+            })
+            .expect("death recorded");
+        for e in &r.trace.events {
+            assert!(
+                e.worker != 1 || e.start < death,
+                "task {} ran on the dead worker",
+                e.task
+            );
+        }
+        assert_eq!(r.obs.counters.workers_lost, 1);
+        assert!(factorization_residual(&a, &workload.into_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn transient_failures_retry_and_the_run_degrades_gracefully() {
+        let nb = 8;
+        let n_tiles = 4;
+        let a = random_spd(n_tiles * nb, 31);
+        let m = TiledMatrix::from_dense(&a, nb);
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let workload = CholeskyWorkload::new(&m);
+        let first = graph.entry_tasks()[0];
+        let plan = FaultPlan::new().transient(first, 2).corrupt_tile(TaskId(3));
+        let r = execute_resilient(
+            &workload,
+            &graph,
+            &mut Dmdas::new(),
+            &profile,
+            3,
+            ObsSink::enabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(r.outcome, RunOutcome::Degraded { ref lost_workers, retries: 3 }
+                     if lost_workers.is_empty()),
+            "outcome: {:?}",
+            r.outcome
+        );
+        assert_eq!(r.obs.counters.failures, 3);
+        assert_eq!(r.obs.failed_attempts.len(), 3);
+        assert!(factorization_residual(&a, &workload.into_matrix()) < 1e-10);
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_with_the_final_kind() {
+        let graph = TaskGraph::cholesky(3);
+        let profile = TimingProfile::mirage_homogeneous();
+        let first = graph.entry_tasks()[0];
+        let plan = FaultPlan::new().transient(first, 99);
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            backoff_base: Time::from_micros(10),
+            ..RetryPolicy::default()
+        };
+        let workload = FnWorkload(|_| Ok::<(), String>(()));
+        let r = execute_resilient(
+            &workload,
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            2,
+            ObsSink::disabled(),
+            &plan,
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Failed {
+                cause: FailureCause::RetriesExhausted {
+                    task: first,
+                    attempts: 2,
+                    kind: FaultKind::Transient,
+                }
+            }
+        );
+    }
+
+    #[test]
+    fn real_kernel_errors_are_not_retried_in_fault_mode() {
+        let nb = 8;
+        let n_tiles = 3;
+        let a = random_spd(n_tiles * nb, 3);
+        let mut m = TiledMatrix::from_dense(&a, nb);
+        for v in m.tile_mut(0, 0).iter_mut() {
+            *v = -1.0;
+        }
+        let graph = TaskGraph::cholesky(n_tiles);
+        let profile = TimingProfile::mirage_homogeneous();
+        let r = execute_resilient(
+            &CholeskyWorkload::new(&m),
+            &graph,
+            &mut Dmda::new(),
+            &profile,
+            2,
+            ObsSink::disabled(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        match r.outcome {
+            RunOutcome::Failed {
+                cause: FailureCause::Kernel { task, ref detail },
+            } => {
+                assert_eq!(task, graph.entry_tasks()[0]);
+                assert!(detail.contains("NotPositiveDefinite"), "detail: {detail}");
+            }
+            other => panic!("expected a kernel failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn impossible_configurations_are_rejected_up_front() {
+        let graph = TaskGraph::cholesky(2);
+        let profile = TimingProfile::mirage_homogeneous();
+        let workload = FnWorkload(|_| Ok::<(), String>(()));
+        assert_eq!(
+            execute_resilient(
+                &workload,
+                &graph,
+                &mut Dmda::new(),
+                &profile,
+                0,
+                ObsSink::disabled(),
+                &FaultPlan::none(),
+                &RetryPolicy::default(),
+            )
+            .unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        let killer = FaultPlan::new().kill_worker(0, 0).kill_worker(1, 2);
+        assert_eq!(
+            execute_resilient(
+                &workload,
+                &graph,
+                &mut Dmda::new(),
+                &profile,
+                2,
+                ObsSink::disabled(),
+                &killer,
+                &RetryPolicy::default(),
+            )
+            .unwrap_err(),
+            ConfigError::PlanKillsAllWorkers { n_workers: 2 }
+        );
     }
 
     #[test]

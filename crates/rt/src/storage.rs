@@ -62,7 +62,15 @@ impl LockedTiledMatrix {
 
     #[inline]
     fn tile(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
-        debug_assert!(col <= row && row < self.n_tiles);
+        // A full assert, not debug_assert: with col > row the triangular
+        // index `row*(row+1)/2 + col` can still land in bounds and silently
+        // alias a *different* tile, corrupting the factorization instead of
+        // panicking. Cheap next to a kernel call.
+        assert!(
+            col <= row && row < self.n_tiles,
+            "tile ({row},{col}) outside the lower triangle of a {0}x{0} tiled matrix",
+            self.n_tiles
+        );
         &self.tiles[row * (row + 1) / 2 + col]
     }
 
@@ -146,7 +154,14 @@ impl LockedFullTiledMatrix {
 
     #[inline]
     fn tile(&self, row: usize, col: usize) -> &RwLock<Vec<f64>> {
-        debug_assert!(row < self.n_tiles && col < self.n_tiles);
+        // Full assert (see LockedTiledMatrix::tile): an out-of-range `col`
+        // with a small `row` stays in bounds of the flat vector and would
+        // alias another tile rather than panic.
+        assert!(
+            row < self.n_tiles && col < self.n_tiles,
+            "tile ({row},{col}) outside a {0}x{0} tiled matrix",
+            self.n_tiles
+        );
         &self.tiles[row * self.n_tiles + col]
     }
 

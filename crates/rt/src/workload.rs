@@ -26,7 +26,9 @@ use hetchol_linalg::qr::TiledQrError;
 pub trait Workload: Sync {
     /// The kernel-level failure an execution can surface (e.g. a
     /// non-positive-definite pivot). The first error aborts the run.
-    type Error: Send;
+    /// `Debug` so the resilient entry point can fold it into
+    /// [`hetchol_core::fault::FailureCause::Kernel`].
+    type Error: Send + std::fmt::Debug;
 
     /// Execute the task at `coords`.
     fn apply(&self, coords: TaskCoords) -> Result<(), Self::Error>;
@@ -36,7 +38,9 @@ pub trait Workload: Sync {
 /// [`Workload`].
 pub struct FnWorkload<F>(pub F);
 
-impl<E: Send, F: Fn(TaskCoords) -> Result<(), E> + Sync> Workload for FnWorkload<F> {
+impl<E: Send + std::fmt::Debug, F: Fn(TaskCoords) -> Result<(), E> + Sync> Workload
+    for FnWorkload<F>
+{
     type Error = E;
 
     #[inline]

@@ -10,6 +10,9 @@ use crate::data::{Links, Residency};
 use crate::jitter::Jitter;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::exec::{self, DepTracker, EngineHooks, TraceRecorder, WorkerQueues};
+use hetchol_core::fault::{
+    ConfigError, FailureCause, FaultKind, FaultPlan, FaultState, RetryPolicy, RunOutcome,
+};
 use hetchol_core::metrics;
 use hetchol_core::obs::{ObsReport, ObsSink};
 use hetchol_core::platform::{Platform, WorkerId};
@@ -66,6 +69,10 @@ pub struct SimResult {
     /// Structured observability record (empty unless the run was given an
     /// enabled [`ObsSink`]).
     pub obs: ObsReport,
+    /// How the run ended. Always [`RunOutcome::Completed`] for the
+    /// fault-free entry points; [`simulate_resilient`] reports `Degraded`
+    /// or `Failed` when the fault plan forced recovery.
+    pub outcome: RunOutcome,
 }
 
 impl SimResult {
@@ -77,8 +84,12 @@ impl SimResult {
 }
 
 /// Pending completion events: min-heap on `(finish time, seq)`, carrying
-/// `(worker, task, start)` for trace recording.
-type EventHeap = BinaryHeap<Reverse<(Time, u64, WorkerId, TaskId, Time)>>;
+/// `(worker, task, start, injected failure)` for trace recording. The
+/// failure outcome of an attempt is decided at *start* (push) time and
+/// carried in the event, so the virtual clock sees failures exactly when
+/// the attempt would have ended; `seq` is unique, so the trailing fields
+/// never influence heap order.
+type EventHeap = BinaryHeap<Reverse<(Time, u64, WorkerId, TaskId, Time, Option<FaultKind>)>>;
 
 /// The simulator's data model, plugged into the execution core: tile
 /// residency over memory nodes and PCI transfers over the link model.
@@ -170,6 +181,134 @@ pub fn simulate_with(
     opts: &SimOptions,
     obs: ObsSink,
 ) -> SimResult {
+    sim_run(graph, platform, profile, scheduler, opts, obs, None)
+}
+
+/// Simulate one execution under fault injection: `plan`'s faults fire
+/// deterministically (worker deaths on the global start count, transient
+/// and numerical kernel failures, straggler slowdowns) and the engine
+/// recovers per `policy` — capped-backoff retries, re-queuing a dead
+/// worker's tasks onto the survivors, the modeled-duration watchdog. The
+/// verdict is [`SimResult::outcome`]; impossible configurations (no
+/// workers, a plan that kills every worker) are rejected up front.
+///
+/// An empty plan reproduces [`simulate_with`] bit for bit.
+///
+/// ```
+/// use hetchol_core::fault::{FaultPlan, RetryPolicy, RunOutcome};
+/// use hetchol_core::obs::ObsSink;
+/// use hetchol_core::{dag::TaskGraph, platform::Platform, profiles::TimingProfile};
+/// use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+/// use hetchol_core::task::TaskId;
+/// use hetchol_sim::{simulate_resilient, SimOptions};
+///
+/// struct Greedy;
+/// impl Scheduler for Greedy {
+///     fn name(&self) -> &str { "greedy" }
+///     fn assign(&mut self, t: TaskId, ctx: &SchedContext, v: &dyn ExecutionView) -> usize {
+///         ctx.platform.workers()
+///             .min_by_key(|&w| estimated_completion(t, w, ctx, v))
+///             .unwrap()
+///     }
+/// }
+///
+/// let graph = TaskGraph::cholesky(4);
+/// let platform = Platform::homogeneous(3);
+/// let profile = TimingProfile::mirage_homogeneous();
+/// // Worker 1 dies after the 6th task start, mid-factorization.
+/// let plan = FaultPlan::new().kill_worker(1, 6);
+/// let r = simulate_resilient(&graph, &platform, &profile, &mut Greedy,
+///                            &SimOptions::default(), ObsSink::disabled(),
+///                            &plan, &RetryPolicy::default()).unwrap();
+/// assert!(matches!(r.outcome, RunOutcome::Degraded { ref lost_workers, .. }
+///                  if lost_workers == &[1]));
+/// assert_eq!(r.trace.events.len(), graph.len()); // every task still ran
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_resilient(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+    obs: ObsSink,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<SimResult, ConfigError> {
+    let n_workers = platform.n_workers();
+    if n_workers == 0 {
+        return Err(ConfigError::ZeroWorkers);
+    }
+    if plan.kills_all_workers(n_workers) {
+        return Err(ConfigError::PlanKillsAllWorkers { n_workers });
+    }
+    let mut faults = FaultState::new(plan, *policy, graph.len(), n_workers);
+    Ok(sim_run(
+        graph,
+        platform,
+        profile,
+        scheduler,
+        opts,
+        obs,
+        Some(&mut faults),
+    ))
+}
+
+/// Mark every non-busy doomed worker dead and re-dispatch its queued
+/// tasks onto the survivors. Busy doomed workers are skipped: their
+/// in-flight attempt completes (completed work is never discarded) and
+/// they die at the next sweep. Returns a hard failure iff a drained task
+/// found no live worker to land on.
+fn reap_doomed(
+    now: Time,
+    ctx: &SchedContext,
+    scheduler: &mut dyn Scheduler,
+    queues: &mut WorkerQueues,
+    recorder: &mut TraceRecorder,
+    data: &mut SimData,
+    f: &mut FaultState,
+) -> Option<FailureCause> {
+    for w in f.doomed_workers() {
+        if queues.is_busy(w) {
+            continue;
+        }
+        f.mark_dead(w, now);
+        recorder.obs_mut().count_worker_lost(w, now);
+        for entry in queues.drain_worker(w) {
+            let landed = exec::dispatch_resilient(
+                entry.task,
+                now,
+                ctx,
+                scheduler,
+                queues,
+                recorder,
+                data,
+                f.dead(),
+                Time::ZERO,
+            );
+            if landed.is_none() {
+                return Some(FailureCause::AllWorkersLost);
+            }
+        }
+    }
+    None
+}
+
+/// The engine proper, shared by the fault-free and resilient entry
+/// points. With `faults == None` this is exactly the historical
+/// simulation loop (including its deadlock assertion); with a
+/// [`FaultState`] it injects failures at attempt start, reaps doomed
+/// workers whenever they are idle, and classifies the run instead of
+/// panicking.
+fn sim_run(
+    graph: &TaskGraph,
+    platform: &Platform,
+    profile: &TimingProfile,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+    obs: ObsSink,
+    mut faults: Option<&mut FaultState>,
+) -> SimResult {
     let ctx = SchedContext {
         graph,
         platform,
@@ -192,26 +331,84 @@ pub fn simulate_with(
     let mut events: EventHeap = BinaryHeap::new();
     let mut heap_seq = 0u64;
     let mut now = Time::ZERO;
+    let mut abort: Option<FailureCause> = None;
 
-    // Seed the initial ready set in submission order.
-    for t in deps.initial_ready() {
-        exec::dispatch(
-            t,
+    // Workers doomed from the very start (`after_starts: 0`) die before
+    // the initial dispatch sees them.
+    if let Some(f) = faults.as_deref_mut() {
+        abort = reap_doomed(
             now,
             &ctx,
             scheduler,
             &mut queues,
             &mut recorder,
             &mut data,
+            f,
         );
     }
 
-    loop {
+    // Seed the initial ready set in submission order.
+    if abort.is_none() {
+        for t in deps.initial_ready() {
+            match faults.as_deref_mut() {
+                None => {
+                    exec::dispatch(
+                        t,
+                        now,
+                        &ctx,
+                        scheduler,
+                        &mut queues,
+                        &mut recorder,
+                        &mut data,
+                    );
+                }
+                Some(f) => {
+                    let landed = exec::dispatch_resilient(
+                        t,
+                        now,
+                        &ctx,
+                        scheduler,
+                        &mut queues,
+                        &mut recorder,
+                        &mut data,
+                        f.dead(),
+                        Time::ZERO,
+                    );
+                    if landed.is_none() {
+                        abort = Some(FailureCause::AllWorkersLost);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    'main: while abort.is_none() {
+        // Reap any deaths the previous iteration's starts made due (and
+        // workers whose in-flight attempt just completed while doomed).
+        if let Some(f) = faults.as_deref_mut() {
+            if let Some(cause) = reap_doomed(
+                now,
+                &ctx,
+                scheduler,
+                &mut queues,
+                &mut recorder,
+                &mut data,
+                f,
+            ) {
+                abort = Some(cause);
+                break 'main;
+            }
+        }
+
         // Dispatch: start the next startable queued task of every idle
         // worker (the `may_start` gate lets schedule injection hold a
         // worker for its planned-next task instead of backfilling).
         for w in 0..n_workers {
             if queues.is_busy(w) {
+                continue;
+            }
+            if faults.as_deref().is_some_and(|f| f.is_dead(w)) {
                 continue;
             }
             let Some((entry, skipped)) =
@@ -222,19 +419,111 @@ pub fn simulate_with(
             recorder.obs_mut().count_backfill(w, skipped);
             scheduler.notify_start(entry.task, w);
             let start = now.max(entry.data_ready);
-            let duration = opts.jitter.apply(entry.exec_estimate, &mut rng);
+            let mut duration = opts.jitter.apply(entry.exec_estimate, &mut rng);
+            let mut injected: Option<FaultKind> = None;
+            if let Some(f) = faults.as_deref_mut() {
+                let (_, inj) = f.begin_attempt(entry.task);
+                injected = inj;
+                let slow = f.slowdown(w);
+                if slow != 1.0 {
+                    duration = duration.scale(slow);
+                }
+                if injected.is_none() {
+                    if let Some(limit) = f.policy().watchdog {
+                        // Decide on the *modeled* duration (calibrated
+                        // estimate × straggler factor), never on jitter —
+                        // the runtime decides on the same model, so the
+                        // verdicts agree across engines.
+                        let predicted = if slow != 1.0 {
+                            entry.exec_estimate.scale(slow)
+                        } else {
+                            entry.exec_estimate
+                        };
+                        if predicted > limit {
+                            injected = Some(FaultKind::Timeout);
+                            duration = limit;
+                        }
+                    }
+                }
+                f.on_start();
+            }
             let end = start + duration;
             queues.set_busy_until(w, end);
-            events.push(Reverse((end, heap_seq, w, entry.task, start)));
+            events.push(Reverse((end, heap_seq, w, entry.task, start, injected)));
             heap_seq += 1;
+            // This start may have pushed a death threshold over; doomed
+            // idle workers must not start anything afterwards.
+            if let Some(f) = faults.as_deref_mut() {
+                if let Some(cause) = reap_doomed(
+                    now,
+                    &ctx,
+                    scheduler,
+                    &mut queues,
+                    &mut recorder,
+                    &mut data,
+                    f,
+                ) {
+                    abort = Some(cause);
+                    break 'main;
+                }
+            }
         }
 
-        let Some(Reverse((t_end, _, w, task, t_start))) = events.pop() else {
+        let Some(Reverse((t_end, _, w, task, t_start, injected))) = events.pop() else {
             break; // no task in flight: all queues empty
         };
         now = t_end;
-        recorder.record(graph, w, task, t_start, t_end);
         queues.set_idle(w);
+
+        if let Some(kind) = injected {
+            // The attempt failed (injection replaced execution, so no
+            // tile state to unwind): log it, then retry with backoff or
+            // abort the run on budget exhaustion.
+            let f = faults
+                .as_deref_mut()
+                .expect("injected failure without fault state");
+            let attempt = f.attempts_of(task);
+            recorder.obs_mut().on_attempt_failed(
+                task,
+                graph.task(task).kernel(),
+                w,
+                t_start,
+                t_end,
+                attempt,
+                kind.label(),
+            );
+            match f.record_failure(task, w, kind, now) {
+                Some(backoff) => {
+                    recorder.obs_mut().count_retry();
+                    let landed = exec::dispatch_resilient(
+                        task,
+                        now,
+                        &ctx,
+                        scheduler,
+                        &mut queues,
+                        &mut recorder,
+                        &mut data,
+                        f.dead(),
+                        backoff,
+                    );
+                    if landed.is_none() {
+                        abort = Some(FailureCause::AllWorkersLost);
+                        break 'main;
+                    }
+                }
+                None => {
+                    abort = Some(FailureCause::RetriesExhausted {
+                        task,
+                        attempts: f.attempts_of(task),
+                        kind,
+                    });
+                    break 'main;
+                }
+            }
+            continue 'main;
+        }
+
+        recorder.record(graph, w, task, t_start, t_end);
         // Each write invalidates every other copy of the written tile
         // (QR's TSQRT/TSMQR write two tiles; iterate the full write set).
         for access in graph.task(task).coords.accesses() {
@@ -244,29 +533,61 @@ pub fn simulate_with(
         }
         // Release successors.
         for s in deps.release(graph, task) {
-            exec::dispatch(
-                s,
-                now,
-                &ctx,
-                scheduler,
-                &mut queues,
-                &mut recorder,
-                &mut data,
-            );
+            match faults.as_deref_mut() {
+                None => {
+                    exec::dispatch(
+                        s,
+                        now,
+                        &ctx,
+                        scheduler,
+                        &mut queues,
+                        &mut recorder,
+                        &mut data,
+                    );
+                }
+                Some(f) => {
+                    let landed = exec::dispatch_resilient(
+                        s,
+                        now,
+                        &ctx,
+                        scheduler,
+                        &mut queues,
+                        &mut recorder,
+                        &mut data,
+                        f.dead(),
+                        Time::ZERO,
+                    );
+                    if landed.is_none() {
+                        abort = Some(FailureCause::AllWorkersLost);
+                        break 'main;
+                    }
+                }
+            }
         }
     }
 
-    assert!(
-        deps.is_done(),
-        "simulation deadlocked: {} tasks incomplete",
-        deps.remaining()
-    );
+    let outcome = match faults {
+        None => {
+            assert!(
+                deps.is_done(),
+                "simulation deadlocked: {} tasks incomplete",
+                deps.remaining()
+            );
+            RunOutcome::Completed
+        }
+        Some(f) => {
+            let outcome = f.classify(deps.is_done(), abort, deps.remaining());
+            recorder.record_faults(f.take_events());
+            outcome
+        }
+    };
     recorder.transfers_mut().append(&mut data.transfers);
     let (trace, makespan, obs) = recorder.finish_with_obs();
     SimResult {
         trace,
         makespan,
         obs,
+        outcome,
     }
 }
 
@@ -628,6 +949,296 @@ mod tests {
         );
         assert!(!off.obs.enabled);
         assert_eq!(off.trace.events, r.trace.events);
+    }
+
+    #[test]
+    fn empty_fault_plan_reproduces_fault_free_run_bit_for_bit() {
+        let platform = Platform::mirage();
+        let profile = TimingProfile::mirage();
+        let graph = TaskGraph::cholesky(8);
+        let plain = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+        );
+        let resilient = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &FaultPlan::none(),
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(resilient.outcome, RunOutcome::Completed);
+        assert_eq!(resilient.trace.events, plain.trace.events);
+        assert_eq!(resilient.trace.queue_events, plain.trace.queue_events);
+        assert_eq!(resilient.makespan, plain.makespan);
+        assert!(resilient.trace.fault_events.is_empty());
+    }
+
+    #[test]
+    fn killing_one_worker_mid_run_degrades_but_completes() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(4);
+        let plan = FaultPlan::new().kill_worker(1, 6);
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::enabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(r.outcome, RunOutcome::Degraded { ref lost_workers, .. }
+                     if lost_workers == &[1]),
+            "outcome: {:?}",
+            r.outcome
+        );
+        // Every task still executed exactly once, none on the dead worker
+        // after its death.
+        assert_eq!(r.trace.events.len(), graph.len());
+        let death = r
+            .trace
+            .fault_events
+            .iter()
+            .find_map(|e| match e.kind {
+                hetchol_core::fault::FaultEventKind::WorkerDied { worker: 1 } => Some(e.at),
+                _ => None,
+            })
+            .expect("death recorded");
+        for e in &r.trace.events {
+            assert!(
+                e.worker != 1 || e.start < death,
+                "task {} started on the dead worker at {} (death {})",
+                e.task,
+                e.start,
+                death
+            );
+        }
+        assert_eq!(r.obs.counters.workers_lost, 1);
+        assert_eq!(r.obs.worker_deaths.len(), 1);
+    }
+
+    #[test]
+    fn killing_worker_from_the_start_never_runs_anything_on_it() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(4);
+        let plan = FaultPlan::new().kill_worker(0, 0);
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(r.outcome.is_success());
+        assert_eq!(r.trace.events.len(), graph.len());
+        assert!(r.trace.events.iter().all(|e| e.worker != 0));
+    }
+
+    #[test]
+    fn transient_failure_retries_with_backoff_and_completes() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(4);
+        let first = graph.entry_tasks()[0];
+        let plan = FaultPlan::new().transient(first, 2);
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::enabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert!(
+            matches!(r.outcome, RunOutcome::Degraded { ref lost_workers, retries: 2 }
+                     if lost_workers.is_empty()),
+            "outcome: {:?}",
+            r.outcome
+        );
+        assert_eq!(r.trace.events.len(), graph.len());
+        assert_eq!(r.obs.counters.failures, 2);
+        assert_eq!(r.obs.counters.retries, 2);
+        assert_eq!(r.obs.failed_attempts.len(), 2);
+        // The third (successful) attempt respects the second backoff:
+        // base × 2 after two failures.
+        let policy = RetryPolicy::default();
+        let succeeded = r.trace.events.iter().find(|e| e.task == first).unwrap();
+        let second_fail_end = r.obs.failed_attempts[1].end;
+        assert!(succeeded.start >= second_fail_end + policy.backoff(2));
+    }
+
+    #[test]
+    fn retry_exhaustion_fails_the_run_with_cause() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(4);
+        let first = graph.entry_tasks()[0];
+        let plan = FaultPlan::new().transient(first, 99);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Greedy,
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &policy,
+        )
+        .unwrap();
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Failed {
+                cause: FailureCause::RetriesExhausted {
+                    task: first,
+                    attempts: 3,
+                    kind: FaultKind::Transient,
+                }
+            }
+        );
+        assert!(!r.outcome.is_success());
+    }
+
+    #[test]
+    fn straggler_slows_worker_and_watchdog_times_it_out() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(4);
+        // A 100× straggler everywhere-assigned serial worker: without a
+        // watchdog the run completes, just slower.
+        let plan = FaultPlan::new().straggler(0, 100.0);
+        let slow = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Serial,
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &RetryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(slow.outcome, RunOutcome::Completed);
+        let clean = simulate(
+            &graph,
+            &platform,
+            &profile,
+            &mut Serial,
+            &SimOptions::default(),
+        );
+        assert!(slow.makespan > clean.makespan.scale(50.0));
+        // With a watchdog below the slowed duration every attempt times
+        // out, and the retry budget runs dry on worker 0 (Serial pins all
+        // work there, so there is no live escape).
+        let policy = RetryPolicy {
+            watchdog: Some(Time::from_micros(10)),
+            max_attempts: 2,
+            ..RetryPolicy::default()
+        };
+        let r = simulate_resilient(
+            &graph,
+            &platform,
+            &profile,
+            &mut Serial,
+            &SimOptions::default(),
+            ObsSink::disabled(),
+            &plan,
+            &policy,
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                r.outcome,
+                RunOutcome::Failed {
+                    cause: FailureCause::RetriesExhausted {
+                        kind: FaultKind::Timeout,
+                        ..
+                    }
+                }
+            ),
+            "outcome: {:?}",
+            r.outcome
+        );
+    }
+
+    #[test]
+    fn impossible_configurations_are_rejected_up_front() {
+        let profile = TimingProfile::mirage_homogeneous();
+        let graph = TaskGraph::cholesky(2);
+        let none = Platform::homogeneous(0);
+        assert_eq!(
+            simulate_resilient(
+                &graph,
+                &none,
+                &profile,
+                &mut Greedy,
+                &SimOptions::default(),
+                ObsSink::disabled(),
+                &FaultPlan::none(),
+                &RetryPolicy::default(),
+            )
+            .unwrap_err(),
+            ConfigError::ZeroWorkers
+        );
+        let two = Platform::homogeneous(2);
+        let killer = FaultPlan::new().kill_worker(0, 0).kill_worker(1, 3);
+        assert_eq!(
+            simulate_resilient(
+                &graph,
+                &two,
+                &profile,
+                &mut Greedy,
+                &SimOptions::default(),
+                ObsSink::disabled(),
+                &killer,
+                &RetryPolicy::default(),
+            )
+            .unwrap_err(),
+            ConfigError::PlanKillsAllWorkers { n_workers: 2 }
+        );
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic_in_sim() {
+        let (platform, profile) = homog();
+        let graph = TaskGraph::cholesky(5);
+        let plan = FaultPlan::seeded(42, graph.len(), platform.n_workers());
+        let run = |sched: &mut dyn Scheduler| {
+            simulate_resilient(
+                &graph,
+                &platform,
+                &profile,
+                sched,
+                &SimOptions::default(),
+                ObsSink::disabled(),
+                &plan,
+                &RetryPolicy::default(),
+            )
+            .unwrap()
+        };
+        let a = run(&mut Greedy);
+        let b = run(&mut Greedy);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.trace.events, b.trace.events);
+        assert_eq!(a.trace.fault_events, b.trace.fault_events);
     }
 
     #[test]

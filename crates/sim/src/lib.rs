@@ -35,4 +35,4 @@ pub mod jitter;
 
 #[allow(deprecated)]
 pub use engine::simulate;
-pub use engine::{simulate_with, SimOptions, SimResult};
+pub use engine::{simulate_resilient, simulate_with, SimOptions, SimResult};

@@ -24,7 +24,7 @@ fn main() {
     println!("matrix: {n} x {n} ({n_tiles} x {n_tiles} tiles of {nb}), {n_workers} workers\n");
 
     // 1. Calibrate kernel times on this host (StarPU-style).
-    let profile = calibrate_profile(nb, 5);
+    let profile = calibrate_profile(nb, 5).expect("host calibration failed");
     println!("calibrated kernel times (per {nb}x{nb} tile):");
     for k in hetchol::core::kernel::Kernel::ALL {
         println!("  {:>5}: {}", k.label(), profile.time(k, 0));

@@ -52,6 +52,9 @@ pub use run::Run;
 /// [`crate::core::obs`], and the per-type docs.
 pub mod prelude {
     pub use crate::run::Run;
+    pub use hetchol_core::fault::{
+        ConfigError, FailureCause, FaultKind, FaultPlan, RetryPolicy, RunOutcome,
+    };
     pub use hetchol_core::obs::{ObsReport, ObsSink, TaskSpan, WorkerPhases};
     pub use hetchol_core::{
         dag::TaskGraph,

@@ -13,6 +13,13 @@
 //! facade run is *bit-identical* to calling the engine directly with the
 //! same arguments (golden-tested in `tests/cross_engine.rs`).
 //!
+//! Fault injection rides on the same builder: [`Run::faults`] attaches a
+//! [`FaultPlan`] and [`Run::retry`] a [`RetryPolicy`]; [`Run::try_simulate`]
+//! and [`Run::try_execute`] then return typed [`ConfigError`]s for
+//! impossible configurations (zero workers, a plan that kills every
+//! worker) instead of hanging or panicking, and the results carry a
+//! structured [`RunOutcome`](hetchol_core::fault::RunOutcome).
+//!
 //! ```
 //! use hetchol::prelude::*;
 //!
@@ -26,6 +33,7 @@
 //! ```
 
 use hetchol_core::dag::TaskGraph;
+use hetchol_core::fault::{ConfigError, FaultPlan, RetryPolicy};
 use hetchol_core::obs::ObsSink;
 use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
@@ -44,6 +52,8 @@ pub struct Run<'a> {
     profile: TimingProfile,
     workers: usize,
     obs: ObsSink,
+    faults: FaultPlan,
+    retry: RetryPolicy,
 }
 
 impl<'a> Run<'a> {
@@ -55,6 +65,8 @@ impl<'a> Run<'a> {
             profile: TimingProfile::mirage(),
             workers: 4,
             obs: ObsSink::disabled(),
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -91,15 +103,82 @@ impl<'a> Run<'a> {
         self
     }
 
+    /// Inject `plan` into the run (both engines). An empty plan — the
+    /// default — leaves the engines on their fault-free fast path,
+    /// bit-identical to not calling this at all.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
+    /// Respond to injected failures with `policy` (attempt budget,
+    /// exponential backoff, optional watchdog). Only consulted when a
+    /// fault plan is attached.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
+        self
+    }
+
     /// Run the discrete-event simulator on `platform`.
-    pub fn simulate(mut self, platform: &Platform, opts: &SimOptions) -> SimResult {
-        hetchol_sim::simulate_with(
+    ///
+    /// With a fault plan attached this delegates to the resilient engine;
+    /// an impossible configuration panics — use [`Run::try_simulate`] for
+    /// a typed [`ConfigError`] instead.
+    pub fn simulate(self, platform: &Platform, opts: &SimOptions) -> SimResult {
+        self.try_simulate(platform, opts)
+            .unwrap_or_else(|e| panic!("impossible run configuration: {e}"))
+    }
+
+    /// Like [`Run::simulate`], but impossible configurations (zero
+    /// workers, a plan killing every worker) come back as a
+    /// [`ConfigError`].
+    ///
+    /// ```
+    /// use hetchol::prelude::*;
+    ///
+    /// let graph = TaskGraph::cholesky(4);
+    /// let plan = FaultPlan::new().kill_worker(1, 6);
+    /// let r = Run::new(&graph)
+    ///     .profile(TimingProfile::mirage_homogeneous())
+    ///     .faults(plan)
+    ///     .try_simulate(&Platform::homogeneous(3), &SimOptions::default())
+    ///     .unwrap();
+    /// assert_eq!(r.outcome.label(), "degraded");
+    ///
+    /// let kills_all = FaultPlan::new().kill_worker(0, 0).kill_worker(1, 0);
+    /// let err = Run::new(&graph)
+    ///     .faults(kills_all)
+    ///     .try_simulate(&Platform::homogeneous(2), &SimOptions::default())
+    ///     .unwrap_err();
+    /// assert!(matches!(err, ConfigError::PlanKillsAllWorkers { .. }));
+    /// ```
+    pub fn try_simulate(
+        mut self,
+        platform: &Platform,
+        opts: &SimOptions,
+    ) -> Result<SimResult, ConfigError> {
+        if self.faults.is_empty() {
+            if platform.n_workers() == 0 {
+                return Err(ConfigError::ZeroWorkers);
+            }
+            return Ok(hetchol_sim::simulate_with(
+                self.graph,
+                platform,
+                &self.profile,
+                self.scheduler.as_mut(),
+                opts,
+                self.obs,
+            ));
+        }
+        hetchol_sim::simulate_resilient(
             self.graph,
             platform,
             &self.profile,
             self.scheduler.as_mut(),
             opts,
             self.obs,
+            &self.faults,
+            &self.retry,
         )
     }
 
@@ -124,6 +203,17 @@ impl<'a> Run<'a> {
     /// assert!(phases.iter().all(|p| p.total() == report.makespan()));
     /// ```
     pub fn execute<W: Workload + ?Sized>(mut self, workload: &W) -> Result<RtResult, W::Error> {
+        if !self.faults.is_empty() {
+            let r = self
+                .try_execute(workload)
+                .unwrap_or_else(|e| panic!("impossible run configuration: {e}"));
+            return Ok(r);
+        }
+        assert!(
+            self.workers > 0,
+            "impossible run configuration: {}",
+            ConfigError::ZeroWorkers
+        );
         hetchol_rt::execute_workload(
             workload,
             self.graph,
@@ -131,6 +221,29 @@ impl<'a> Run<'a> {
             &self.profile,
             self.workers,
             self.obs,
+        )
+    }
+
+    /// Run `workload` through the resilient runtime: the attached fault
+    /// plan is injected, failures are retried per the policy, and kernel
+    /// errors are folded into the result's
+    /// [`RunOutcome`](hetchol_core::fault::RunOutcome) instead of aborting
+    /// the run. Impossible configurations come back as [`ConfigError`]s
+    /// — including `workers == 0`, which would make the legacy path hang
+    /// forever waiting for threads that don't exist.
+    pub fn try_execute<W: Workload + ?Sized>(
+        mut self,
+        workload: &W,
+    ) -> Result<RtResult, ConfigError> {
+        hetchol_rt::execute_resilient(
+            workload,
+            self.graph,
+            self.scheduler.as_mut(),
+            &self.profile,
+            self.workers,
+            self.obs,
+            &self.faults,
+            &self.retry,
         )
     }
 }

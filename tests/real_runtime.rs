@@ -101,7 +101,7 @@ fn calibrated_profile_drives_the_runtime() {
     // Calibrate on the host, then use the calibrated profile for
     // scheduling estimates — the full StarPU-style loop.
     let nb = 32;
-    let profile = calibrate_profile(nb, 3);
+    let profile = calibrate_profile(nb, 3).unwrap();
     let n_tiles = 5;
     let a = random_spd(n_tiles * nb, 21);
     let workload = CholeskyWorkload::new(&TiledMatrix::from_dense(&a, nb));
