@@ -1,6 +1,6 @@
 //! A loom-lite interleaving explorer for the threaded runtime.
 //!
-//! The real runtime (`hetchol_rt::execute_with`) synchronizes its worker
+//! The real runtime (`hetchol_rt::execute_workload`) synchronizes its worker
 //! threads with one mutex-protected state block and one condvar. Bugs in
 //! that protocol — a missed `notify_all` after dispatching successors, a
 //! double release in the dependency tracker — are interleaving-dependent:
@@ -636,7 +636,7 @@ static SESSION_LOCK: StdMutex<()> = StdMutex::new(());
 
 /// Explore the interleavings of `run_once`, a scenario that spawns exactly
 /// `n_workers` threads which check in via `parking_lot::explore::checkin`
-/// (as `hetchol_rt::execute_with` does) and asserts its own postconditions.
+/// (as `hetchol_rt::execute_workload` does) and asserts its own postconditions.
 ///
 /// Runs the scenario repeatedly under depth-first control of every
 /// lock/wait/notify decision point until the (sleep-set-pruned) tree is

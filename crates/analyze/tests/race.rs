@@ -1,6 +1,6 @@
 //! Model-checking the threaded runtime's worker protocol.
 //!
-//! These tests run the *real* `hetchol_rt::execute_with` worker threads
+//! These tests run the *real* `hetchol_rt::execute_workload` worker threads
 //! under the interleaving explorer. They live in their own integration
 //! binary because the exploration hook registry is process-global; the
 //! explorer serializes sessions internally, so the tests may still run on

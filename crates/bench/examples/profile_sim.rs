@@ -1,0 +1,35 @@
+//! Scratch profiling driver: repeatedly simulate the n=32 dmda sweep so a
+//! sampling profiler can see the engine's hot path.
+
+use hetchol_bench::SchedKind;
+use hetchol_core::dag::TaskGraph;
+use hetchol_core::obs::ObsSink;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use hetchol_sim::{simulate_with, SimOptions};
+
+fn main() {
+    let kind = if std::env::args().any(|a| a == "dmdas") {
+        SchedKind::Dmdas
+    } else {
+        SchedKind::Dmda
+    };
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    let graph = TaskGraph::cholesky(32);
+    let opts = SimOptions::default();
+    let mut total = 0u64;
+    for _ in 0..2000 {
+        let mut s = kind.build(0);
+        let r = simulate_with(
+            &graph,
+            &platform,
+            &profile,
+            s.as_mut(),
+            &opts,
+            ObsSink::disabled(),
+        );
+        total = total.wrapping_add(r.makespan.as_nanos());
+    }
+    println!("{total}");
+}

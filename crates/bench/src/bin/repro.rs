@@ -20,6 +20,8 @@
 //! repro chaos [--seed N]     # seeded fault-injection matrix over both engines (exit 1 on failures)
 //! repro certify              # exact-certify the paper grid's bounds (exit 1 on failures)
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
+//! repro bench [--quick]      # execution-core throughput matrix (BENCH_sim_throughput.json)
+//! repro bench-check <fresh> <committed>  # schema + >30% regression gate (exit 1 on failures)
 //!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
 //! Add `--obs-out <dir>` to any subcommand to also run one instrumented
@@ -35,6 +37,7 @@ struct Args {
     csv: bool,
     json: bool,
     analyze: bool,
+    quick: bool,
     cp_budget: usize,
     seed: u64,
     obs_out: Option<std::path::PathBuf>,
@@ -45,6 +48,7 @@ fn parse_args() -> Args {
     let mut csv = false;
     let mut json = false;
     let mut analyze = false;
+    let mut quick = false;
     let mut cp_budget = 30_000usize;
     let mut seed = 42u64;
     let mut obs_out = None;
@@ -55,6 +59,7 @@ fn parse_args() -> Args {
             "--csv" => csv = true,
             "--json" => json = true,
             "--analyze" => analyze = true,
+            "--quick" => quick = true,
             "--cp-budget" => {
                 cp_budget = it
                     .next()
@@ -80,6 +85,7 @@ fn parse_args() -> Args {
         csv,
         json,
         analyze,
+        quick,
         cp_budget,
         seed,
         obs_out,
@@ -152,6 +158,38 @@ fn run_obs_check(files: &[String]) -> ! {
     std::process::exit(if bad > 0 { 1 } else { 0 })
 }
 
+/// `repro bench [--quick] [--json]`: run the execution-core throughput
+/// matrix (DESIGN.md §13). `--json` emits the `hetchol-bench/v1` document
+/// committed as `BENCH_sim_throughput.json`.
+fn run_bench(json: bool, quick: bool) -> ! {
+    let report = bench::bench_report(quick);
+    if json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.to_table());
+    }
+    std::process::exit(0)
+}
+
+/// `repro bench-check <fresh.json> <committed.json>`: schema-validate both
+/// documents and exit nonzero if any arena-engine cell regressed by more
+/// than 30% against the committed baseline.
+fn run_bench_check(files: &[String]) -> ! {
+    let [fresh, committed] = files else {
+        die("bench-check needs exactly two files: <fresh.json> <committed.json>");
+    };
+    let read = |path: &String| {
+        std::fs::read_to_string(path).unwrap_or_else(|e| die(&format!("{path}: unreadable: {e}")))
+    };
+    let (report, failures) = bench::bench_check(&read(fresh), &read(committed));
+    print!("{report}");
+    if failures > 0 {
+        eprintln!("bench-check: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
+}
+
 fn run_obs_dump(dir: &std::path::Path) {
     match bench::obs_dump(dir) {
         Ok(paths) => {
@@ -198,6 +236,12 @@ fn main() {
     }
     if cmd == "chaos" {
         run_chaos(args.seed, args.json);
+    }
+    if cmd == "bench" {
+        run_bench(args.json, args.quick);
+    }
+    if cmd == "bench-check" {
+        run_bench_check(&args.rest[1..]);
     }
     let cp_opts = CpOptions {
         anneal_iters: args.cp_budget,
@@ -277,7 +321,9 @@ fn main() {
                  \u{20}            chaos [--seed N]  (fault-injection matrix over both engines; exit 1 on failures)\n\
                  \u{20}            certify  (exact-certify the paper grid's bounds; exit 1 on failures)\n\
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
-                 flags: --csv  --json  --analyze  --cp-budget <iters>  --seed <n>  --obs-out <dir>"
+                 \u{20}            bench [--quick]  (execution-core throughput matrix; --json for the committed schema)\n\
+                 \u{20}            bench-check <fresh> <committed>  (schema + regression gate; exit 1 on failures)\n\
+                 flags: --csv  --json  --analyze  --quick  --cp-budget <iters>  --seed <n>  --obs-out <dir>"
             );
         }
         "all" => {

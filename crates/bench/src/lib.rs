@@ -6,6 +6,10 @@
 //! binary renders as an aligned table or CSV — the textual equivalent of
 //! the paper's plots.
 
+pub mod perf;
+
+pub use perf::{bench_check, bench_report, BenchReport};
+
 use hetchol_bounds::BoundSet;
 use hetchol_core::algorithm::Algorithm;
 use hetchol_core::dag::TaskGraph;

@@ -10,7 +10,7 @@
 //! correctness check of the access lists.
 
 use crate::kernel::Kernel;
-use crate::task::{Task, TaskCoords, TaskId, Tile};
+use crate::task::{Access, Task, TaskCoords, TaskId, Tile};
 use crate::time::Time;
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -76,6 +76,14 @@ pub struct TaskGraph {
     preds: CsrAdjacency,
     /// Map from coordinates to identifier.
     by_coords: HashMap<TaskCoords, TaskId>,
+    /// All task accesses, flattened (CSR with `acc_off`): engines read
+    /// these on every scheduler estimate, so they are materialized once
+    /// here instead of allocating a `Vec` per [`TaskCoords::accesses`]
+    /// call on the hot path (DESIGN.md §13).
+    accesses: Vec<Access>,
+    /// CSR offsets into `accesses`; task `t` owns
+    /// `accesses[acc_off[t]..acc_off[t + 1]]`.
+    acc_off: Vec<u32>,
 }
 
 impl TaskGraph {
@@ -180,6 +188,16 @@ impl TaskGraph {
             assert!(prior.is_none(), "duplicate task {:?}", t.coords);
         }
 
+        // Flatten every task's accesses once; dependency derivation below
+        // and the engines' residency hooks both read from this arena.
+        let mut accesses: Vec<Access> = Vec::new();
+        let mut acc_off = Vec::with_capacity(tasks.len() + 1);
+        acc_off.push(0u32);
+        for t in &tasks {
+            accesses.extend(t.coords.accesses());
+            acc_off.push(accesses.len() as u32);
+        }
+
         // Per-tile data hazard state.
         #[derive(Default, Clone)]
         struct TileState {
@@ -192,7 +210,9 @@ impl TaskGraph {
         // both adjacency directions into CSR arenas.
         let mut edge_pairs: Vec<(TaskId, TaskId)> = Vec::new();
         for t in &tasks {
-            for access in t.coords.accesses() {
+            for access in
+                &accesses[acc_off[t.id.index()] as usize..acc_off[t.id.index() + 1] as usize]
+            {
                 let st = tile_state.entry(access.tile).or_default();
                 if access.mode.is_write() {
                     // RAW/WAW on the previous writer.
@@ -235,7 +255,17 @@ impl TaskGraph {
             succs,
             preds,
             by_coords,
+            accesses,
+            acc_off,
         }
+    }
+
+    /// All data accesses of a task, from the precomputed arena — the
+    /// allocation-free equivalent of [`TaskCoords::accesses`] for hot
+    /// paths (the simulator reads this per (ready task × worker) pair).
+    #[inline]
+    pub fn accesses_of(&self, t: TaskId) -> &[Access] {
+        &self.accesses[self.acc_off[t.index()] as usize..self.acc_off[t.index() + 1] as usize]
     }
 
     /// Matrix order in tiles.
@@ -372,16 +402,20 @@ impl TaskGraph {
     /// the `dmdas` priorities and the critical-path bound (Sections III-C
     /// and V-A).
     pub fn bottom_levels(&self, mut duration: impl FnMut(TaskId) -> Time) -> Vec<Time> {
-        let order = self.topo_order();
+        // Hazard edges always point from a lower to a higher submission
+        // id, so descending id order visits every successor before its
+        // predecessors — no need to materialise a topological order (the
+        // result is identical for any valid one).
         let mut bl = vec![Time::ZERO; self.len()];
-        for &id in order.iter().rev() {
+        for idx in (0..self.len()).rev() {
+            let id = TaskId(idx as u32);
             let tail = self
                 .successors(id)
                 .iter()
                 .map(|s| bl[s.index()])
                 .max()
                 .unwrap_or(Time::ZERO);
-            bl[id.index()] = duration(id) + tail;
+            bl[idx] = duration(id) + tail;
         }
         bl
     }

@@ -1,4 +1,4 @@
-//! The shared execution core.
+//! The shared execution core, laid out data-oriented (DESIGN.md §13).
 //!
 //! The discrete-event simulator (`hetchol-sim`) and the real threaded
 //! runtime (`hetchol-rt`) drive the same scheduling machinery: indegree
@@ -10,13 +10,19 @@
 //! wall clock) and in their data model (tile residency and PCI transfers
 //! versus shared memory).
 //!
-//! The three components:
+//! The hot-path state lives in flat structure-of-arrays vectors indexed by
+//! the `u32` inside [`TaskId`] — the typed handle — so a steady-state
+//! dispatch/retire cycle performs no heap allocation:
 //!
-//! * [`DepTracker`] — per-task indegrees plus a release API
-//!   (`release(task) -> newly ready successors`);
-//! * [`WorkerQueues`] — per-worker task queues, queued-work accounting and
-//!   the availability estimate, with [`dispatch`] pushing one ready task
-//!   through a [`Scheduler`] into the right queue;
+//! * [`DepTracker`] — the task arena: per-task dependency counters,
+//!   lifecycle [`TaskPhase`] bytes and assigned-worker ids, with a release
+//!   API ([`DepTracker::release_into`]) that writes newly ready successors
+//!   into a caller-reused scratch vector;
+//! * [`WorkerQueues`] — per-worker ring-buffer queues ([`VecDeque`], so
+//!   capacity is reused and a head pop is O(1)), queued-work accounting
+//!   and the availability estimate, with [`dispatch`] pushing one ready
+//!   task through a [`Scheduler`] into the right queue via a reused
+//!   availability scratch buffer;
 //! * [`TraceRecorder`] — the event sink both engines feed, producing the
 //!   common [`Trace`].
 
@@ -28,37 +34,81 @@ use crate::scheduler::{ExecutionView, SchedContext, Scheduler};
 use crate::task::TaskId;
 use crate::time::Time;
 use crate::trace::{QueueEvent, Trace, TraceEvent, TransferEvent};
+use std::collections::VecDeque;
 
-/// Indegree-based readiness tracking over a [`TaskGraph`].
+/// Sentinel in the arena's assigned-worker column: no worker yet.
+const NO_WORKER: u32 = u32::MAX;
+
+/// Lifecycle phase of a task — one byte per task in the arena.
+///
+/// Phases move forward through `Waiting → Ready → Queued → Running →
+/// Retired`, except under fault recovery, where a failed attempt or a dead
+/// worker's drained queue drops a task back to `Queued` on re-dispatch.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum TaskPhase {
+    /// Unsatisfied dependencies remain.
+    Waiting = 0,
+    /// Every dependency completed; not yet through the dispatcher.
+    Ready = 1,
+    /// Assigned to a worker, sitting in its queue.
+    Queued = 2,
+    /// Popped by its worker; executing (or in flight, in the simulator).
+    Running = 3,
+    /// Completed and released.
+    Retired = 4,
+}
+
+/// Indegree-based readiness tracking over a [`TaskGraph`], stored as a
+/// flat structure-of-arrays task arena addressed by [`TaskId`].
 ///
 /// Seed the engine with [`DepTracker::initial_ready`], then call
-/// [`DepTracker::release`] each time a task completes; it returns the
+/// [`DepTracker::release_into`] each time a task completes; it writes the
 /// successors that just became ready, in successor order (ascending
-/// [`TaskId`], which is submission order).
+/// [`TaskId`], which is submission order), into a scratch vector the
+/// engine reuses across calls — the per-release allocation of the old
+/// tracker is gone. The engines also feed the arena's phase and
+/// assigned-worker columns ([`DepTracker::note_queued`],
+/// [`DepTracker::note_started`]), which double as cheap engine-bug
+/// tripwires (double release, release with unsatisfied dependencies).
 #[derive(Clone, Debug)]
 pub struct DepTracker {
-    /// Unsatisfied predecessor count per task.
-    indeg: Vec<usize>,
-    /// Guards against double release of a task (an engine bug).
-    released: Vec<bool>,
+    /// Unsatisfied predecessor count per task (SoA column, `u32`).
+    dep_count: Vec<u32>,
+    /// Lifecycle phase per task (SoA column, one byte).
+    phase: Vec<TaskPhase>,
+    /// Assigned worker per task (SoA column; [`NO_WORKER`] until queued).
+    assigned: Vec<u32>,
     /// Tasks not yet released.
-    remaining: usize,
+    remaining: u32,
 }
 
 impl DepTracker {
     /// Start tracking `graph` with all tasks unexecuted.
     pub fn new(graph: &TaskGraph) -> DepTracker {
+        let dep_count: Vec<u32> = graph.indegrees().iter().map(|&d| d as u32).collect();
+        let phase = dep_count
+            .iter()
+            .map(|&d| {
+                if d == 0 {
+                    TaskPhase::Ready
+                } else {
+                    TaskPhase::Waiting
+                }
+            })
+            .collect();
         DepTracker {
-            indeg: graph.indegrees(),
-            released: vec![false; graph.len()],
-            remaining: graph.len(),
+            phase,
+            assigned: vec![NO_WORKER; dep_count.len()],
+            remaining: dep_count.len() as u32,
+            dep_count,
         }
     }
 
     /// Tasks ready before anything has run (the graph's entry tasks), in
     /// submission order.
     pub fn initial_ready(&self) -> Vec<TaskId> {
-        self.indeg
+        self.dep_count
             .iter()
             .enumerate()
             .filter(|&(_, &d)| d == 0)
@@ -66,37 +116,77 @@ impl DepTracker {
             .collect()
     }
 
-    /// Record that `task` completed and return the successors whose last
-    /// unsatisfied dependency it was, in ascending id order.
+    /// Record that `task` completed and append the successors whose last
+    /// unsatisfied dependency it was to `out` (cleared first), in
+    /// ascending id order. The caller keeps `out` across calls, so the
+    /// steady state allocates nothing.
     ///
     /// # Panics
     /// Panics if `task` is released twice or still has unsatisfied
     /// predecessors — both are engine bugs, not data-dependent conditions.
-    pub fn release(&mut self, graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
-        assert!(
-            !std::mem::replace(&mut self.released[task.index()], true),
-            "{task} released twice"
-        );
+    pub fn release_into(&mut self, graph: &TaskGraph, task: TaskId, out: &mut Vec<TaskId>) {
+        out.clear();
+        let i = task.index();
+        assert!(self.phase[i] != TaskPhase::Retired, "{task} released twice");
         assert_eq!(
-            self.indeg[task.index()],
-            0,
+            self.dep_count[i], 0,
             "{task} released with unsatisfied dependencies"
         );
+        self.phase[i] = TaskPhase::Retired;
         self.remaining -= 1;
-        let mut newly_ready = Vec::new();
         for &s in graph.successors(task) {
-            self.indeg[s.index()] -= 1;
-            if self.indeg[s.index()] == 0 {
-                newly_ready.push(s);
+            let j = s.index();
+            self.dep_count[j] -= 1;
+            if self.dep_count[j] == 0 {
+                self.phase[j] = TaskPhase::Ready;
+                out.push(s);
             }
         }
-        newly_ready
+    }
+
+    /// Allocating convenience wrapper over [`DepTracker::release_into`]
+    /// (tests and cold paths; the engines reuse a scratch vector instead).
+    pub fn release(&mut self, graph: &TaskGraph, task: TaskId) -> Vec<TaskId> {
+        let mut out = Vec::new();
+        self.release_into(graph, task, &mut out);
+        out
+    }
+
+    /// Record in the arena that `task` was assigned to `worker`'s queue
+    /// (called by the engines right after [`dispatch`] lands the task; a
+    /// retried or re-queued task may be noted more than once).
+    #[inline]
+    pub fn note_queued(&mut self, task: TaskId, worker: WorkerId) {
+        self.phase[task.index()] = TaskPhase::Queued;
+        self.assigned[task.index()] = worker as u32;
+    }
+
+    /// Record in the arena that `task`'s worker popped it and started the
+    /// attempt.
+    #[inline]
+    pub fn note_started(&mut self, task: TaskId) {
+        self.phase[task.index()] = TaskPhase::Running;
+    }
+
+    /// Current lifecycle phase of `task`.
+    #[inline]
+    pub fn phase(&self, task: TaskId) -> TaskPhase {
+        self.phase[task.index()]
+    }
+
+    /// Worker `task` was last queued on, if it reached the dispatcher.
+    #[inline]
+    pub fn assigned_worker(&self, task: TaskId) -> Option<WorkerId> {
+        match self.assigned[task.index()] {
+            NO_WORKER => None,
+            w => Some(w as WorkerId),
+        }
     }
 
     /// Number of tasks not yet released.
     #[inline]
     pub fn remaining(&self) -> usize {
-        self.remaining
+        self.remaining as usize
     }
 
     /// `true` once every task has been released.
@@ -127,8 +217,11 @@ pub struct QueueEntry {
 
 /// Per-worker task queues with the queued-work availability estimate.
 ///
-/// Queues are FIFO, or kept sorted by `(-priority, seq)` when the
-/// scheduler asks for sorted queues — the `dmda` versus `dmdas`
+/// Each queue is a ring buffer ([`VecDeque`]): the common pop — the head
+/// entry, once the `may_start` gate admits it — is O(1) and never shifts
+/// the remaining entries, and the buffer's capacity is reused across the
+/// whole run. Queues are FIFO, or kept sorted by `(-priority, seq)` when
+/// the scheduler asks for sorted queues — the `dmda` versus `dmdas`
 /// distinction of the paper (Section V-A). The availability estimate for
 /// a worker is *end of its running task* (clamped to now) *plus the
 /// nominal work already queued on it*, which is exactly what the
@@ -136,24 +229,30 @@ pub struct QueueEntry {
 /// [`ExecutionView::worker_available_at`].
 #[derive(Clone, Debug)]
 pub struct WorkerQueues {
-    queues: Vec<Vec<QueueEntry>>,
-    /// Sum of nominal execution times of queued tasks, per worker.
-    queued_exec: Vec<Time>,
+    queues: Vec<VecDeque<QueueEntry>>,
+    /// Per-worker availability inputs, packed as `(effective busy-until,
+    /// queued nominal work)` so the completion-time scan touches one pair
+    /// per worker. The first element is the running task's estimated end
+    /// while busy and `Time::ZERO` when idle — `max(effective, now)`
+    /// yields exactly the old `if busy { busy_until.max(now) } else
+    /// { now }` in either state.
+    avail_parts: Vec<(Time, Time)>,
     busy: Vec<bool>,
-    /// (Estimated) end of the running task; meaningful while busy.
-    busy_until: Vec<Time>,
     seq: u64,
+    /// Reused buffer behind [`dispatch`]'s availability snapshot, so the
+    /// steady state performs no per-dispatch allocation.
+    avail_scratch: Vec<Time>,
 }
 
 impl WorkerQueues {
     /// Empty queues for `n_workers` workers.
     pub fn new(n_workers: usize) -> WorkerQueues {
         WorkerQueues {
-            queues: vec![Vec::new(); n_workers],
-            queued_exec: vec![Time::ZERO; n_workers],
+            queues: vec![VecDeque::with_capacity(32); n_workers],
+            avail_parts: vec![(Time::ZERO, Time::ZERO); n_workers],
             busy: vec![false; n_workers],
-            busy_until: vec![Time::ZERO; n_workers],
             seq: 0,
+            avail_scratch: Vec::with_capacity(n_workers),
         }
     }
 
@@ -166,19 +265,28 @@ impl WorkerQueues {
     /// Earliest estimated time worker `w` could start a task appended now.
     #[inline]
     pub fn worker_available_at(&self, w: WorkerId, now: Time) -> Time {
-        let base = if self.busy[w] {
-            self.busy_until[w].max(now)
-        } else {
-            now
-        };
-        base + self.queued_exec[w]
+        let (eff_until, queued) = self.avail_parts[w];
+        eff_until.max(now) + queued
     }
 
-    /// The availability estimate of every worker at `now`.
+    /// Write the availability estimate of every worker at `now` into
+    /// `out` (cleared first). Reusing `out` across calls keeps the
+    /// dispatch path allocation-free.
+    pub fn fill_availability(&self, now: Time, out: &mut Vec<Time>) {
+        out.clear();
+        out.reserve(self.avail_parts.len());
+        for w in 0..self.avail_parts.len() {
+            out.push(self.worker_available_at(w, now));
+        }
+    }
+
+    /// The availability estimate of every worker at `now`, freshly
+    /// allocated (tests and cold paths; [`dispatch`] reuses a scratch
+    /// buffer instead).
     pub fn availability(&self, now: Time) -> Vec<Time> {
-        (0..self.n_workers())
-            .map(|w| self.worker_available_at(w, now))
-            .collect()
+        let mut out = Vec::new();
+        self.fill_availability(now, &mut out);
+        out
     }
 
     /// Append `task` to worker `w`'s queue — at the back for FIFO, or at
@@ -201,14 +309,14 @@ impl WorkerQueues {
             exec_estimate,
         };
         self.seq += 1;
-        self.queued_exec[w] += exec_estimate;
+        self.avail_parts[w].1 += exec_estimate;
         let queue = &mut self.queues[w];
         if sorted {
             // Highest priority first; FIFO among equals.
             let pos = queue.partition_point(|q| (-q.prio, q.seq) <= (-entry.prio, entry.seq));
             queue.insert(pos, entry);
         } else {
-            queue.push(entry);
+            queue.push_back(entry);
         }
         entry.seq
     }
@@ -232,14 +340,23 @@ impl WorkerQueues {
     /// many gated entries ahead of the dequeued one were bypassed — a
     /// nonzero count is a *backfill* start, which the observability layer
     /// counts per worker.
+    ///
+    /// The ungated common case pops the ring's head in O(1); a gated pop
+    /// removes from the middle, shifting whichever side of the ring is
+    /// shorter.
     pub fn pop_startable_indexed(
         &mut self,
         w: WorkerId,
         mut may_start: impl FnMut(TaskId) -> bool,
     ) -> Option<(QueueEntry, usize)> {
-        let pos = (0..self.queues[w].len()).find(|&i| may_start(self.queues[w][i].task))?;
-        let entry = self.queues[w].remove(pos);
-        self.queued_exec[w] = self.queued_exec[w].saturating_sub(entry.exec_estimate);
+        let queue = &mut self.queues[w];
+        let pos = (0..queue.len()).find(|&i| may_start(queue[i].task))?;
+        let entry = if pos == 0 {
+            queue.pop_front().expect("found index 0 in a nonempty ring")
+        } else {
+            queue.remove(pos).expect("found index within the ring")
+        };
+        self.avail_parts[w].1 = self.avail_parts[w].1.saturating_sub(entry.exec_estimate);
         Some((entry, pos))
     }
 
@@ -254,13 +371,14 @@ impl WorkerQueues {
     #[inline]
     pub fn set_busy_until(&mut self, w: WorkerId, until: Time) {
         self.busy[w] = true;
-        self.busy_until[w] = until;
+        self.avail_parts[w].0 = until;
     }
 
     /// Mark worker `w` idle.
     #[inline]
     pub fn set_idle(&mut self, w: WorkerId) {
         self.busy[w] = false;
+        self.avail_parts[w].0 = Time::ZERO;
     }
 
     /// Whether worker `w` is currently running a task.
@@ -275,12 +393,12 @@ impl WorkerQueues {
         !self.queues[w].is_empty()
     }
 
-    /// Remove and return every queued entry of worker `w`, zeroing its
-    /// queued-work estimate — the recovery path when `w` dies and its
-    /// owned tasks must be re-dispatched onto the survivors.
+    /// Remove and return every queued entry of worker `w` in queue order,
+    /// zeroing its queued-work estimate — the recovery path when `w` dies
+    /// and its owned tasks must be re-dispatched onto the survivors.
     pub fn drain_worker(&mut self, w: WorkerId) -> Vec<QueueEntry> {
-        self.queued_exec[w] = Time::ZERO;
-        std::mem::take(&mut self.queues[w])
+        self.avail_parts[w].1 = Time::ZERO;
+        self.queues[w].drain(..).collect()
     }
 }
 
@@ -310,27 +428,19 @@ impl EngineHooks for SingleNode {}
 
 /// The [`ExecutionView`] both engines present to schedulers: current
 /// time, the [`WorkerQueues`] availability estimate frozen at dispatch
-/// time, and the engine's transfer estimator.
+/// time (borrowed from the dispatcher's reused scratch buffer), and the
+/// engine's transfer estimator.
 pub struct QueueView<'a, H: EngineHooks + ?Sized> {
     now: Time,
-    avail: Vec<Time>,
+    avail: &'a [Time],
     hooks: &'a H,
 }
 
 impl<'a, H: EngineHooks + ?Sized> QueueView<'a, H> {
-    /// Snapshot `queues`' availability at `now`.
-    pub fn new(queues: &WorkerQueues, now: Time, hooks: &'a H) -> QueueView<'a, H> {
-        QueueView {
-            now,
-            avail: queues.availability(now),
-            hooks,
-        }
-    }
-
-    /// A view over a pre-built availability vector (the resilient
+    /// A view over a pre-built availability slice (the resilient
     /// dispatcher patches dead workers to a far-future sentinel before
     /// handing the view to the scheduler).
-    pub fn with_availability(now: Time, avail: Vec<Time>, hooks: &'a H) -> QueueView<'a, H> {
+    pub fn with_availability(now: Time, avail: &'a [Time], hooks: &'a H) -> QueueView<'a, H> {
         QueueView { now, avail, hooks }
     }
 }
@@ -341,6 +451,31 @@ impl<H: EngineHooks + ?Sized> ExecutionView for QueueView<'_, H> {
     }
     fn worker_available_at(&self, w: WorkerId) -> Time {
         self.avail[w]
+    }
+    fn transfer_estimate(&self, task: TaskId, w: WorkerId) -> Time {
+        self.hooks.transfer_estimate(task, w)
+    }
+}
+
+/// Lazy [`ExecutionView`] for the fault-free dispatch path: availability
+/// is computed per query straight from the live queues instead of being
+/// frozen into a scratch buffer first. The completion-time scan reads
+/// each worker exactly once, so laziness returns the same values while
+/// skipping a 1-per-worker store/load round trip per dispatched task.
+/// (The resilient path still freezes [`QueueView`]'s slice — it must
+/// patch dead workers to a sentinel before the scheduler looks.)
+struct LiveQueueView<'a, H: EngineHooks + ?Sized> {
+    now: Time,
+    queues: &'a WorkerQueues,
+    hooks: &'a H,
+}
+
+impl<H: EngineHooks + ?Sized> ExecutionView for LiveQueueView<'_, H> {
+    fn now(&self) -> Time {
+        self.now
+    }
+    fn worker_available_at(&self, w: WorkerId) -> Time {
+        self.queues.worker_available_at(w, self.now)
     }
     fn transfer_estimate(&self, task: TaskId, w: WorkerId) -> Time {
         self.hooks.transfer_estimate(task, w)
@@ -426,17 +561,33 @@ fn dispatch_inner<H: EngineHooks + ?Sized>(
     extra_delay: Time,
 ) -> Option<WorkerId> {
     let is_dead = |w: WorkerId| dead.is_some_and(|d| d.get(w).copied().unwrap_or(false));
-    let mut w = {
-        let mut avail = queues.availability(now);
-        if dead.is_some() {
-            for (v, a) in avail.iter_mut().enumerate() {
-                if is_dead(v) {
-                    *a = DEAD_AVAILABILITY;
-                }
+    let mut w = if dead.is_none() {
+        // Fault-free fast path: no sentinel patching needed, so the
+        // scheduler reads availability lazily from the live queues.
+        let view = LiveQueueView {
+            now,
+            queues,
+            hooks: &*hooks,
+        };
+        scheduler.assign(task, ctx, &view)
+    } else {
+        // Freeze availability into the reused scratch buffer (taken out
+        // of `queues` so the scheduler's view can borrow it while
+        // `queues` stays untouched), then hand it back — no allocation
+        // in the steady state.
+        let mut avail = std::mem::take(&mut queues.avail_scratch);
+        queues.fill_availability(now, &mut avail);
+        for (v, a) in avail.iter_mut().enumerate() {
+            if is_dead(v) {
+                *a = DEAD_AVAILABILITY;
             }
         }
-        let view = QueueView::with_availability(now, avail, hooks);
-        scheduler.assign(task, ctx, &view)
+        let w = {
+            let view = QueueView::with_availability(now, &avail, hooks);
+            scheduler.assign(task, ctx, &view)
+        };
+        queues.avail_scratch = avail;
+        w
     };
     assert!(
         w < queues.n_workers(),
@@ -534,11 +685,13 @@ impl TraceRecorder {
     }
 
     /// Record one dispatcher enqueue decision (called by [`dispatch`]).
+    #[inline]
     pub fn record_enqueue(&mut self, event: QueueEvent) {
         self.queue_events.push(event);
     }
 
     /// Record one completed task execution.
+    #[inline]
     pub fn record(
         &mut self,
         graph: &TaskGraph,
@@ -636,6 +789,29 @@ mod tests {
     }
 
     #[test]
+    fn dep_tracker_arena_tracks_phases_and_assignment() {
+        let graph = TaskGraph::cholesky(3);
+        let mut deps = DepTracker::new(&graph);
+        let entry = graph.entry_tasks()[0];
+        assert_eq!(deps.phase(entry), TaskPhase::Ready);
+        assert_eq!(deps.assigned_worker(entry), None);
+        let blocked = graph.exit_tasks()[0];
+        assert_eq!(deps.phase(blocked), TaskPhase::Waiting);
+        deps.note_queued(entry, 2);
+        assert_eq!(deps.phase(entry), TaskPhase::Queued);
+        assert_eq!(deps.assigned_worker(entry), Some(2));
+        deps.note_started(entry);
+        assert_eq!(deps.phase(entry), TaskPhase::Running);
+        let mut scratch = Vec::new();
+        deps.release_into(&graph, entry, &mut scratch);
+        assert_eq!(deps.phase(entry), TaskPhase::Retired);
+        // Every newly ready successor flipped to Ready in the arena.
+        for &s in &scratch {
+            assert_eq!(deps.phase(s), TaskPhase::Ready);
+        }
+    }
+
+    #[test]
     #[should_panic(expected = "released twice")]
     fn dep_tracker_rejects_double_release() {
         let graph = TaskGraph::cholesky(2);
@@ -678,6 +854,72 @@ mod tests {
         let order: Vec<TaskId> =
             std::iter::from_fn(|| q.pop_startable(0, |_| true).map(|e| e.task)).collect();
         assert_eq!(order, [TaskId(0), TaskId(1), TaskId(2)]);
+    }
+
+    /// Regression for the ring-buffer migration: against a model running
+    /// the pre-refactor `Vec` insert/remove code verbatim, a long random
+    /// mix of enqueues (with deliberate priority ties) and gated pops must
+    /// yield the identical dequeue sequence, FIFO and sorted alike.
+    #[test]
+    fn ring_queue_order_matches_pre_refactor_vec_model() {
+        // Tiny deterministic LCG; no RNG dependency in hetchol-core.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        for sorted in [false, true] {
+            let mut q = WorkerQueues::new(1);
+            let mut model: Vec<QueueEntry> = Vec::new();
+            let mut next_id = 0u32;
+            let mut popped = Vec::new();
+            let mut popped_model = Vec::new();
+            for _ in 0..4000 {
+                let r = next();
+                if r % 3 < 2 {
+                    // Enqueue; a 4-value priority range forces many ties,
+                    // which must break by global seq.
+                    let prio = ((r >> 8) % 4) as i64;
+                    let task = TaskId(next_id);
+                    next_id += 1;
+                    let seq = q.enqueue(0, task, prio, Time::ZERO, Time::from_micros(1), sorted);
+                    let entry = QueueEntry {
+                        task,
+                        prio,
+                        seq,
+                        data_ready: Time::ZERO,
+                        exec_estimate: Time::from_micros(1),
+                    };
+                    if sorted {
+                        let pos =
+                            model.partition_point(|m| (-m.prio, m.seq) <= (-entry.prio, entry.seq));
+                        model.insert(pos, entry);
+                    } else {
+                        model.push(entry);
+                    }
+                } else {
+                    // Pop, sometimes through a gate that rejects every
+                    // fifth task id (exercises the mid-ring removal path).
+                    let gated = r % 2 == 0;
+                    let admit = |t: TaskId| !gated || !t.0.is_multiple_of(5);
+                    if let Some(e) = q.pop_startable(0, admit) {
+                        popped.push(e.task);
+                    }
+                    if let Some(pos) = (0..model.len()).find(|&i| admit(model[i].task)) {
+                        popped_model.push(model.remove(pos).task);
+                    }
+                }
+            }
+            while let Some(e) = q.pop_startable(0, |_| true) {
+                popped.push(e.task);
+            }
+            while !model.is_empty() {
+                popped_model.push(model.remove(0).task);
+            }
+            assert_eq!(popped, popped_model, "sorted={sorted}");
+        }
     }
 
     #[test]
@@ -781,7 +1023,9 @@ mod tests {
     fn queue_view_freezes_availability() {
         let mut q = WorkerQueues::new(2);
         q.enqueue(0, TaskId(0), 0, Time::ZERO, Time::from_millis(3), false);
-        let view = QueueView::new(&q, Time::from_millis(2), &SingleNode);
+        let mut avail = Vec::new();
+        q.fill_availability(Time::from_millis(2), &mut avail);
+        let view = QueueView::with_availability(Time::from_millis(2), &avail, &SingleNode);
         assert_eq!(view.now(), Time::from_millis(2));
         assert_eq!(view.worker_available_at(0), Time::from_millis(5));
         assert_eq!(view.worker_available_at(1), Time::from_millis(2));

@@ -252,7 +252,8 @@ impl ObsSink {
 
     /// Open a span: the dispatcher enqueued `event.task` (called by
     /// [`crate::exec::dispatch`] right after the queue insert).
-    pub(crate) fn on_dispatch(&mut self, kernel: Kernel, event: &QueueEvent, queue_depth: usize) {
+    #[inline]
+    pub fn on_dispatch(&mut self, kernel: Kernel, event: &QueueEvent, queue_depth: usize) {
         if let Some(s) = &mut self.0 {
             let idx = event.worker * Kernel::COUNT + kernel.index();
             if let Some(c) = s.counters.dispatched.get_mut(idx) {
@@ -273,7 +274,8 @@ impl ObsSink {
     }
 
     /// Close a span: `task` executed over `[start, end)` on `worker`.
-    pub(crate) fn on_exec(
+    #[inline]
+    pub fn on_exec(
         &mut self,
         task: TaskId,
         kernel: Kernel,
@@ -294,6 +296,7 @@ impl ObsSink {
     /// Record one failed attempt of `task` (resilient runs; called by the
     /// engines when an injected or watchdog failure fires).
     #[allow(clippy::too_many_arguments)]
+    #[inline]
     pub fn on_attempt_failed(
         &mut self,
         task: TaskId,
@@ -327,6 +330,7 @@ impl ObsSink {
     }
 
     /// Record the permanent loss of `worker` at `at`.
+    #[inline]
     pub fn count_worker_lost(&mut self, worker: WorkerId, at: Time) {
         if let Some(s) = &mut self.0 {
             s.counters.workers_lost += 1;

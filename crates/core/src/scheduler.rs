@@ -43,6 +43,43 @@ pub trait ExecutionView {
     /// worker `w`'s memory node (zero when communications are disabled or
     /// all data is already resident).
     fn transfer_estimate(&self, task: TaskId, w: WorkerId) -> Time;
+
+    /// The worker in `workers` minimising [`estimated_completion`], ties
+    /// broken towards the lowest id (StarPU's deterministic iteration
+    /// order). `None` iff `workers` is empty.
+    ///
+    /// Arithmetic and tie-breaking are identical to calling
+    /// [`estimated_completion`] per worker under `min_by_key`; this exists
+    /// as a trait default so that `dyn ExecutionView` callers cross the
+    /// vtable once per *assignment* instead of twice per *worker* — the
+    /// body is monomorphised against the concrete view, so the engine's
+    /// transfer-estimate hook inlines into the scan (DESIGN.md §13). The
+    /// per-task invariants (kernel, `now`) are hoisted out of the loop.
+    fn min_completion_worker(
+        &self,
+        task: TaskId,
+        ctx: &SchedContext,
+        workers: std::ops::Range<WorkerId>,
+    ) -> Option<WorkerId> {
+        let kernel = ctx.graph.task(task).kernel();
+        let now = self.now();
+        let mut best: Option<(Time, WorkerId)> = None;
+        // Workers are grouped by class, so one cached profile lookup
+        // serves each contiguous class run.
+        let mut cached = (usize::MAX, Time::ZERO);
+        for w in workers {
+            let class = ctx.platform.class_of(w);
+            if class != cached.0 {
+                cached = (class, ctx.profile.time(kernel, class));
+            }
+            let avail = self.worker_available_at(w).max(now);
+            let done = avail + self.transfer_estimate(task, w) + cached.1;
+            if best.is_none_or(|(b, _)| done < b) {
+                best = Some((done, w));
+            }
+        }
+        best.map(|(_, w)| w)
+    }
 }
 
 /// A dynamic scheduling policy.

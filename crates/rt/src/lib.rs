@@ -29,8 +29,6 @@ pub mod storage;
 pub mod workload;
 
 pub use calibrate::{calibrate_profile, CalibrationError};
-#[allow(deprecated)]
-pub use runtime::{execute, execute_lu, execute_qr, execute_with};
 pub use runtime::{execute_resilient, execute_workload, RtResult};
 pub use storage::{LockedFullTiledMatrix, LockedTiledMatrix};
 pub use workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};

@@ -7,7 +7,7 @@
 //! node means the engine uses the default (free, instantaneous)
 //! [`exec::EngineHooks`] data model.
 
-use crate::workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};
+use crate::workload::Workload;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::exec::{self, DepTracker, QueueEntry, SingleNode, TraceRecorder, WorkerQueues};
 use hetchol_core::fault::{
@@ -20,8 +20,6 @@ use hetchol_core::scheduler::{SchedContext, Scheduler};
 use hetchol_core::task::TaskId;
 use hetchol_core::time::Time;
 use hetchol_core::trace::Trace;
-use hetchol_linalg::cholesky::TiledCholeskyError;
-use hetchol_linalg::matrix::TiledMatrix;
 use parking_lot::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -46,6 +44,9 @@ struct Shared<E> {
     deps: DepTracker,
     queues: WorkerQueues,
     recorder: TraceRecorder,
+    /// Scratch for [`DepTracker::release_into`], reused across releases so
+    /// completing a task allocates nothing under the lock.
+    ready: Vec<TaskId>,
     error: Option<E>,
     /// Fault-injection/recovery driver; `None` on the fault-free paths.
     faults: Option<FaultState>,
@@ -79,10 +80,11 @@ enum Work {
 /// wakeup / backfill counters in [`RtResult::obs`].
 ///
 /// The workload's `apply` is called concurrently for DAG-independent
-/// tasks; the ready-made workloads ([`CholeskyWorkload`], [`LuWorkload`],
-/// [`QrWorkload`]) make that safe with per-tile locking. The caller keeps
-/// ownership of the workload and extracts results from it afterwards
-/// (e.g. [`CholeskyWorkload::into_matrix`]).
+/// tasks; the ready-made workloads ([`crate::workload::CholeskyWorkload`],
+/// [`crate::workload::LuWorkload`], [`crate::workload::QrWorkload`]) make
+/// that safe with per-tile locking. The caller keeps ownership of the
+/// workload and extracts results from it afterwards (e.g.
+/// [`crate::workload::CholeskyWorkload::into_matrix`]).
 pub fn execute_workload<W: Workload + ?Sized>(
     workload: &W,
     graph: &TaskGraph,
@@ -141,125 +143,6 @@ pub fn execute_resilient<W: Workload + ?Sized>(
     Ok(r.unwrap_or_else(|_| unreachable!("resilient runs fold errors into the outcome")))
 }
 
-/// Execute the Cholesky DAG on `matrix` with `n_workers` real threads.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `execute_workload` with `CholeskyWorkload` (or the `hetchol::Run` facade)"
-)]
-pub fn execute(
-    matrix: &mut TiledMatrix,
-    graph: &TaskGraph,
-    scheduler: &mut (dyn Scheduler + Send),
-    profile: &TimingProfile,
-    n_workers: usize,
-) -> Result<RtResult, TiledCholeskyError> {
-    assert_eq!(
-        graph.n_tiles(),
-        matrix.n_tiles(),
-        "graph and matrix disagree on tile count"
-    );
-    let workload = CholeskyWorkload::new(matrix);
-    let result = execute_workload(
-        &workload,
-        graph,
-        scheduler,
-        profile,
-        n_workers,
-        ObsSink::disabled(),
-    )?;
-    *matrix = workload.into_matrix();
-    Ok(result)
-}
-
-/// Execute the LU DAG on a full tiled matrix with real threads
-/// (extension, DESIGN.md §9).
-#[deprecated(
-    since = "0.4.0",
-    note = "use `execute_workload` with `LuWorkload` (or the `hetchol::Run` facade)"
-)]
-pub fn execute_lu(
-    matrix: &mut hetchol_linalg::full::FullTiledMatrix,
-    graph: &TaskGraph,
-    scheduler: &mut (dyn Scheduler + Send),
-    profile: &TimingProfile,
-    n_workers: usize,
-) -> Result<RtResult, hetchol_linalg::lu::TiledLuError> {
-    assert_eq!(
-        graph.n_tiles(),
-        matrix.n_tiles(),
-        "graph and matrix disagree on tile count"
-    );
-    let workload = LuWorkload::new(matrix);
-    let result = execute_workload(
-        &workload,
-        graph,
-        scheduler,
-        profile,
-        n_workers,
-        ObsSink::disabled(),
-    )?;
-    *matrix = workload.into_matrix();
-    Ok(result)
-}
-
-/// Execute the QR DAG with real threads (extension, DESIGN.md §9).
-/// Returns the runtime trace plus the factored parts for verification via
-/// [`hetchol_linalg::qr::QrMatrix::from_parts`].
-#[deprecated(
-    since = "0.4.0",
-    note = "use `execute_workload` with `QrWorkload` (or the `hetchol::Run` facade)"
-)]
-pub fn execute_qr(
-    dense: &hetchol_linalg::matrix::Matrix,
-    nb: usize,
-    graph: &TaskGraph,
-    scheduler: &mut (dyn Scheduler + Send),
-    profile: &TimingProfile,
-    n_workers: usize,
-) -> Result<
-    (
-        RtResult,
-        hetchol_linalg::full::FullTiledMatrix,
-        crate::storage::TauTable,
-    ),
-    hetchol_linalg::qr::TiledQrError,
-> {
-    let workload = QrWorkload::new(dense, nb);
-    let result = execute_workload(
-        &workload,
-        graph,
-        scheduler,
-        profile,
-        n_workers,
-        ObsSink::disabled(),
-    )?;
-    let (tiles, taus) = workload.into_parts();
-    Ok((result, tiles, taus))
-}
-
-/// Run an arbitrary task graph on `n_workers` real threads, executing each
-/// task via the closure `apply`.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `execute_workload` with `FnWorkload` (or the `hetchol::Run` facade)"
-)]
-pub fn execute_with<E: Send + std::fmt::Debug>(
-    apply: impl Fn(hetchol_core::task::TaskCoords) -> Result<(), E> + Sync,
-    graph: &TaskGraph,
-    scheduler: &mut (dyn Scheduler + Send),
-    profile: &TimingProfile,
-    n_workers: usize,
-) -> Result<RtResult, E> {
-    execute_workload(
-        &FnWorkload(apply),
-        graph,
-        scheduler,
-        profile,
-        n_workers,
-        ObsSink::disabled(),
-    )
-}
-
 /// Seeded worker-loop faults for the race checker (`race-mutations`
 /// feature). Each flag reintroduces a classic concurrency bug so
 /// `hetchol-analyze`'s interleaving explorer can prove it would catch it.
@@ -284,7 +167,7 @@ pub fn execute_with_mutated<E: Send + std::fmt::Debug>(
     mutations: Mutations,
 ) -> Result<RtResult, E> {
     execute_with_inner(
-        &FnWorkload(apply),
+        &crate::workload::FnWorkload(apply),
         graph,
         scheduler,
         profile,
@@ -303,6 +186,7 @@ pub fn execute_with_mutated<E: Send + std::fmt::Debug>(
 /// they die right after recording it.
 fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Scheduler, now: Time) {
     let Shared {
+        deps,
         queues,
         recorder,
         faults,
@@ -328,9 +212,12 @@ fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Schedul
                 f.dead(),
                 Time::ZERO,
             );
-            if landed.is_none() {
-                failed.get_or_insert(FailureCause::AllWorkersLost);
-                return;
+            match landed {
+                Some(u) => deps.note_queued(entry.task, u),
+                None => {
+                    failed.get_or_insert(FailureCause::AllWorkersLost);
+                    return;
+                }
             }
         }
     }
@@ -350,6 +237,7 @@ fn die_at_pop<E>(
     now: Time,
 ) {
     let Shared {
+        deps,
         queues,
         recorder,
         faults,
@@ -383,9 +271,12 @@ fn die_at_pop<E>(
                 f.dead(),
                 backoff,
             );
-            if landed.is_none() {
-                failed.get_or_insert(FailureCause::AllWorkersLost);
-                return;
+            match landed {
+                Some(u) => deps.note_queued(entry.task, u),
+                None => {
+                    failed.get_or_insert(FailureCause::AllWorkersLost);
+                    return;
+                }
             }
         }
         None => {
@@ -409,9 +300,12 @@ fn die_at_pop<E>(
             f.dead(),
             Time::ZERO,
         );
-        if landed.is_none() {
-            failed.get_or_insert(FailureCause::AllWorkersLost);
-            return;
+        match landed {
+            Some(u) => deps.note_queued(e.task, u),
+            None => {
+                failed.get_or_insert(FailureCause::AllWorkersLost);
+                return;
+            }
         }
     }
 }
@@ -440,6 +334,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
         deps: DepTracker::new(graph),
         queues: WorkerQueues::new(n_workers),
         recorder: TraceRecorder::with_obs(n_workers, graph.len(), obs),
+        ready: Vec::new(),
         error: None,
         faults,
         failed: None,
@@ -456,6 +351,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
         reap_doomed(&mut s, &ctx, &mut **sched, Time::ZERO);
         let initial = s.deps.initial_ready();
         let Shared {
+            deps,
             queues,
             recorder,
             faults,
@@ -465,7 +361,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
         for t in initial {
             match faults.as_mut() {
                 None => {
-                    exec::dispatch(
+                    let u = exec::dispatch(
                         t,
                         Time::ZERO,
                         &ctx,
@@ -474,6 +370,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
                         recorder,
                         &mut SingleNode,
                     );
+                    deps.note_queued(t, u);
                 }
                 Some(f) => {
                     let landed = exec::dispatch_resilient(
@@ -487,9 +384,12 @@ fn execute_with_inner<W: Workload + ?Sized>(
                         f.dead(),
                         Time::ZERO,
                     );
-                    if landed.is_none() {
-                        failed.get_or_insert(FailureCause::AllWorkersLost);
-                        break;
+                    match landed {
+                        Some(u) => deps.note_queued(t, u),
+                        None => {
+                            failed.get_or_insert(FailureCause::AllWorkersLost);
+                            break;
+                        }
                     }
                 }
             }
@@ -530,6 +430,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                     condvar.notify_all();
                                     return;
                                 }
+                                s.deps.note_started(entry.task);
                                 s.recorder.obs_mut().count_backfill(w, skipped);
                                 scheduler.lock().notify_start(entry.task, w);
                                 let work = match s.faults.as_mut() {
@@ -595,6 +496,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
                             let mut sched = scheduler.lock();
                             {
                                 let Shared {
+                                    deps,
                                     queues,
                                     recorder,
                                     faults,
@@ -626,8 +528,11 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                             f.dead(),
                                             backoff,
                                         );
-                                        if landed.is_none() {
-                                            failed.get_or_insert(FailureCause::AllWorkersLost);
+                                        match landed {
+                                            Some(u) => deps.note_queued(task, u),
+                                            None => {
+                                                failed.get_or_insert(FailureCause::AllWorkersLost);
+                                            }
                                         }
                                     }
                                     None => {
@@ -683,20 +588,24 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                 }
                                 Ok(()) => {
                                     s.recorder.record(ctx.graph, w, task, start, end);
-                                    let newly_ready = s.deps.release(ctx.graph, task);
                                     let mut sched = scheduler.lock();
                                     {
                                         let Shared {
+                                            deps,
                                             queues,
                                             recorder,
+                                            ready,
                                             faults,
                                             failed,
                                             ..
                                         } = &mut *s;
+                                        // Release into the shared scratch:
+                                        // no allocation under the lock.
+                                        deps.release_into(ctx.graph, task, ready);
                                         match faults.as_mut() {
                                             None => {
-                                                for succ in newly_ready {
-                                                    exec::dispatch(
+                                                for &succ in ready.iter() {
+                                                    let u = exec::dispatch(
                                                         succ,
                                                         end,
                                                         ctx,
@@ -705,10 +614,11 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                                         recorder,
                                                         &mut SingleNode,
                                                     );
+                                                    deps.note_queued(succ, u);
                                                 }
                                             }
                                             Some(f) => {
-                                                for succ in newly_ready {
+                                                for &succ in ready.iter() {
                                                     let landed = exec::dispatch_resilient(
                                                         succ,
                                                         end,
@@ -720,11 +630,14 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                                         f.dead(),
                                                         Time::ZERO,
                                                     );
-                                                    if landed.is_none() {
-                                                        failed.get_or_insert(
-                                                            FailureCause::AllWorkersLost,
-                                                        );
-                                                        break;
+                                                    match landed {
+                                                        Some(u) => deps.note_queued(succ, u),
+                                                        None => {
+                                                            failed.get_or_insert(
+                                                                FailureCause::AllWorkersLost,
+                                                            );
+                                                            break;
+                                                        }
                                                     }
                                                 }
                                             }
@@ -782,8 +695,11 @@ fn execute_with_inner<W: Workload + ?Sized>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload};
     use hetchol_core::schedule::DurationCheck;
+    use hetchol_linalg::cholesky::TiledCholeskyError;
     use hetchol_linalg::generate::random_spd;
+    use hetchol_linalg::matrix::TiledMatrix;
     use hetchol_linalg::verify::factorization_residual;
     use hetchol_sched::{Dmda, Dmdas, RandomScheduler};
 

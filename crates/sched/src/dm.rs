@@ -14,7 +14,7 @@
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::platform::WorkerId;
 use hetchol_core::profiles::TimingProfile;
-use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
 use hetchol_core::task::TaskId;
 
 /// Bottom-level priorities (nanoseconds, saturating into `i64`), using the
@@ -30,9 +30,7 @@ pub fn bottom_level_priorities(graph: &TaskGraph, profile: &TimingProfile) -> Ve
 /// Pick the worker minimising the estimated completion time (ties broken
 /// towards the lowest worker id, like StarPU's deterministic iteration).
 fn min_completion_worker(task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
-    ctx.platform
-        .workers()
-        .min_by_key(|&w| estimated_completion(task, w, ctx, view))
+    view.min_completion_worker(task, ctx, ctx.platform.workers())
         .expect("platform has at least one worker")
 }
 

@@ -15,7 +15,7 @@
 
 use hetchol_core::kernel::Kernel;
 use hetchol_core::platform::{ClassId, WorkerId};
-use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
 use hetchol_core::task::{TaskCoords, TaskId};
 
 /// A scheduler wrapper that pins rule-matched tasks to a resource class.
@@ -61,10 +61,8 @@ impl<S: Scheduler> Scheduler for ForcedClass<S> {
 
     fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
         match (self.rule)(ctx.graph.task(task).coords) {
-            Some(class) => ctx
-                .platform
-                .workers_in_class(class)
-                .min_by_key(|&w| estimated_completion(task, w, ctx, view))
+            Some(class) => view
+                .min_completion_worker(task, ctx, ctx.platform.workers_in_class(class))
                 .expect("forced class has at least one worker"),
             None => self.inner.assign(task, ctx, view),
         }

@@ -13,7 +13,7 @@
 
 use hetchol_core::platform::{ClassId, WorkerId};
 use hetchol_core::schedule::Schedule;
-use hetchol_core::scheduler::{estimated_completion, ExecutionView, SchedContext, Scheduler};
+use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
 use hetchol_core::task::TaskId;
 
 /// Replay a complete schedule: fixed workers, fixed per-worker order.
@@ -115,10 +115,12 @@ impl Scheduler for MappingInjector {
     }
 
     fn assign(&mut self, task: TaskId, ctx: &SchedContext, view: &dyn ExecutionView) -> WorkerId {
-        ctx.platform
-            .workers_in_class(self.classes[task.index()])
-            .min_by_key(|&w| estimated_completion(task, w, ctx, view))
-            .expect("mapped class has at least one worker")
+        view.min_completion_worker(
+            task,
+            ctx,
+            ctx.platform.workers_in_class(self.classes[task.index()]),
+        )
+        .expect("mapped class has at least one worker")
     }
 }
 

@@ -4,44 +4,65 @@ use hetchol_core::platform::{MemNode, Platform};
 use hetchol_core::task::Tile;
 use hetchol_core::time::Time;
 use hetchol_core::trace::TransferEvent;
-use std::collections::HashMap;
 
 /// Which memory nodes hold a valid copy of each tile.
 ///
 /// The protocol is MSI without the S/E distinction: a completed write
 /// leaves exactly one valid copy (at the writer's node); a read replicates
 /// the tile to the reader's node without invalidating others.
+///
+/// Data-oriented layout (DESIGN.md §13): one `u64` validity bitmask per
+/// tile in a flat `dim × dim` vector indexed by `row * dim + col`. The
+/// scheduler's completion estimator reads this for every (ready task ×
+/// worker) pair, so the lookup must be a load, not a hash — the
+/// `HashMap`-keyed predecessor (frozen in `crate::reference`) spent more
+/// time hashing tile coordinates than simulating.
 #[derive(Clone, Debug)]
 pub struct Residency {
-    /// Bitmask of valid nodes per tile; absent tiles are valid at the host
-    /// only (node 0), which is where the matrix starts.
-    valid: HashMap<Tile, u64>,
+    /// Validity bitmask per tile, `1` (host only) initially.
+    valid: Vec<u64>,
+    /// Tiles per matrix side; the flat index stride.
+    dim: u32,
     n_nodes: usize,
 }
 
 impl Residency {
-    /// All tiles initially resident in host memory.
-    pub fn new(n_nodes: usize) -> Residency {
+    /// All tiles of a `dim × dim`-tile matrix initially resident in host
+    /// memory (node 0).
+    pub fn new(n_nodes: usize, dim: usize) -> Residency {
         assert!(n_nodes <= 64, "residency bitmask supports up to 64 nodes");
         Residency {
-            valid: HashMap::new(),
+            valid: vec![1; dim * dim],
+            dim: dim as u32,
             n_nodes,
         }
     }
 
-    fn mask(&self, tile: Tile) -> u64 {
-        *self.valid.get(&tile).unwrap_or(&1) // default: host only
+    /// Flat index of a tile — usable with the `*_idx` accessors when the
+    /// caller has precomputed indices (the engine's access table).
+    #[inline]
+    pub fn index_of(&self, tile: Tile) -> usize {
+        debug_assert!(tile.row < self.dim && tile.col < self.dim);
+        (tile.row * self.dim + tile.col) as usize
     }
 
-    /// Is the tile valid at `node`?
-    pub fn is_valid_at(&self, tile: Tile, node: MemNode) -> bool {
-        self.mask(tile) & (1 << node) != 0
+    /// The raw validity bitmask at a flat index.
+    #[inline]
+    pub fn mask_at(&self, idx: usize) -> u64 {
+        self.valid[idx]
     }
 
-    /// A node currently holding the tile, preferring the host (node 0):
-    /// host-sourced transfers need a single PCI hop.
-    pub fn source_for(&self, tile: Tile) -> MemNode {
-        let m = self.mask(tile);
+    /// Is the tile at flat index `idx` valid at `node`?
+    #[inline]
+    pub fn is_valid_idx(&self, idx: usize, node: MemNode) -> bool {
+        self.valid[idx] & (1 << node) != 0
+    }
+
+    /// A node currently holding the tile at `idx`, preferring the host
+    /// (node 0): host-sourced transfers need a single PCI hop.
+    #[inline]
+    pub fn source_for_idx(&self, idx: usize) -> MemNode {
+        let m = self.valid[idx];
         debug_assert!(m != 0, "a tile must be valid somewhere");
         if m & 1 != 0 {
             return 0;
@@ -49,18 +70,39 @@ impl Residency {
         m.trailing_zeros() as usize
     }
 
-    /// Record that a copy of `tile` now exists at `node` (read
+    /// Record that a copy of the tile at `idx` now exists at `node` (read
     /// replication).
-    pub fn add_copy(&mut self, tile: Tile, node: MemNode) {
+    #[inline]
+    pub fn add_copy_idx(&mut self, idx: usize, node: MemNode) {
         debug_assert!(node < self.n_nodes);
-        let m = self.mask(tile) | (1 << node);
-        self.valid.insert(tile, m);
+        self.valid[idx] |= 1 << node;
     }
 
     /// Record a write at `node`: all other copies become invalid.
-    pub fn write_at(&mut self, tile: Tile, node: MemNode) {
+    #[inline]
+    pub fn write_at_idx(&mut self, idx: usize, node: MemNode) {
         debug_assert!(node < self.n_nodes);
-        self.valid.insert(tile, 1 << node);
+        self.valid[idx] = 1 << node;
+    }
+
+    /// Is the tile valid at `node`?
+    pub fn is_valid_at(&self, tile: Tile, node: MemNode) -> bool {
+        self.is_valid_idx(self.index_of(tile), node)
+    }
+
+    /// Tile-keyed [`Residency::source_for_idx`].
+    pub fn source_for(&self, tile: Tile) -> MemNode {
+        self.source_for_idx(self.index_of(tile))
+    }
+
+    /// Tile-keyed [`Residency::add_copy_idx`].
+    pub fn add_copy(&mut self, tile: Tile, node: MemNode) {
+        self.add_copy_idx(self.index_of(tile), node);
+    }
+
+    /// Tile-keyed [`Residency::write_at_idx`].
+    pub fn write_at(&mut self, tile: Tile, node: MemNode) {
+        self.write_at_idx(self.index_of(tile), node);
     }
 
     /// Number of memory nodes.
@@ -172,7 +214,7 @@ mod tests {
 
     #[test]
     fn residency_starts_at_host() {
-        let r = Residency::new(4);
+        let r = Residency::new(4, 8);
         let t = Tile::new(3, 1);
         assert!(r.is_valid_at(t, 0));
         assert!(!r.is_valid_at(t, 2));
@@ -181,7 +223,7 @@ mod tests {
 
     #[test]
     fn read_replicates_write_invalidates() {
-        let mut r = Residency::new(4);
+        let mut r = Residency::new(4, 8);
         let t = Tile::new(2, 2);
         r.add_copy(t, 2);
         assert!(r.is_valid_at(t, 0));

@@ -2,11 +2,19 @@
 //!
 //! Dependency tracking, queue insertion and the availability estimate all
 //! live in [`hetchol_core::exec`]; this module supplies what is specific
-//! to simulation — the virtual clock (a completion-event heap), duration
-//! jitter, and the tile residency + PCI link data model plugged in
-//! through [`exec::EngineHooks`].
+//! to simulation — the virtual clock (a [`CalendarQueue`] of typed
+//! completion [`crate::events::Event`]s), duration jitter, and the tile
+//! residency + PCI link data model plugged in through
+//! [`exec::EngineHooks`].
+//!
+//! The loop body is monomorphised over a `const RESILIENT: bool`: the
+//! fault-free instantiation contains no fault-injection branches at all,
+//! so resilience plumbing costs the fast path nothing (the frozen
+//! pre-refactor engine in [`crate::reference`] is the behavioural oracle
+//! for both instantiations).
 
 use crate::data::{Links, Residency};
+use crate::events::CalendarQueue;
 use crate::jitter::Jitter;
 use hetchol_core::dag::TaskGraph;
 use hetchol_core::exec::{self, DepTracker, EngineHooks, TraceRecorder, WorkerQueues};
@@ -23,8 +31,6 @@ use hetchol_core::time::Time;
 use hetchol_core::trace::{Trace, TransferEvent};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Simulation options.
 #[derive(Copy, Clone, Debug)]
@@ -83,16 +89,16 @@ impl SimResult {
     }
 }
 
-/// Pending completion events: min-heap on `(finish time, seq)`, carrying
-/// `(worker, task, start, injected failure)` for trace recording. The
-/// failure outcome of an attempt is decided at *start* (push) time and
-/// carried in the event, so the virtual clock sees failures exactly when
-/// the attempt would have ended; `seq` is unique, so the trailing fields
-/// never influence heap order.
-type EventHeap = BinaryHeap<Reverse<(Time, u64, WorkerId, TaskId, Time, Option<FaultKind>)>>;
-
 /// The simulator's data model, plugged into the execution core: tile
 /// residency over memory nodes and PCI transfers over the link model.
+///
+/// Data-oriented layout (DESIGN.md §13): task accesses are flattened once
+/// at construction into a CSR table of precomputed flat tile indices, and
+/// single-hop transfer estimates are precomputed per platform. The hooks —
+/// called for every (ready task × worker) pair by `dmda`-style schedulers —
+/// then reduce to array walks over the flat [`Residency`] bitmasks, with
+/// no hashing and no allocation. The `HashMap`-plus-`Vec`-per-call
+/// predecessor is frozen in [`crate::reference`] as the benchmark baseline.
 struct SimData<'a> {
     platform: &'a Platform,
     graph: &'a TaskGraph,
@@ -100,16 +106,75 @@ struct SimData<'a> {
     links: Links,
     /// Prefetch transfers recorded here, merged into the trace at the end.
     transfers: Vec<TransferEvent>,
+    /// Contention-free one-hop transfer estimate (`Time::ZERO` comm-free).
+    hop1: Time,
+    /// Two-hop (device→host→device) estimate.
+    hop2: Time,
+    /// The platform has no communication model at all. Residency then
+    /// never influences any output — estimates are zero and
+    /// [`Links::transfer`] completes instantly without logging — so every
+    /// hook can return immediately instead of walking the access table.
+    comm_free: bool,
+}
+
+impl<'a> SimData<'a> {
+    /// Fresh data model: every tile resident only at main memory.
+    fn new(platform: &'a Platform, graph: &'a TaskGraph) -> SimData<'a> {
+        SimData {
+            platform,
+            graph,
+            residency: Residency::new(platform.n_nodes(), graph.n_tiles()),
+            links: Links::new(platform.n_nodes()),
+            transfers: Vec::new(),
+            hop1: Links::estimate(platform, 0, 1),
+            hop2: Links::estimate(platform, 1, 2),
+            comm_free: platform.comm().is_none(),
+        }
+    }
+
+    /// Apply `task`'s writes, executed on worker `w`, to tile residency:
+    /// each write invalidates every other copy of the written tile (QR's
+    /// TSQRT/TSMQR write two tiles; iterate the full write set).
+    fn invalidate_writes(&mut self, task: TaskId, w: WorkerId) {
+        if self.comm_free {
+            return;
+        }
+        let node = self.platform.node_of(w);
+        for access in self.graph.accesses_of(task) {
+            if access.mode.is_write() {
+                self.residency
+                    .write_at_idx(self.residency.index_of(access.tile), node);
+            }
+        }
+    }
+
+    /// Move the accumulated prefetch transfers into the trace.
+    fn merge_transfers(&mut self, recorder: &mut TraceRecorder) {
+        recorder.transfers_mut().append(&mut self.transfers);
+    }
 }
 
 impl EngineHooks for SimData<'_> {
+    #[inline]
     fn transfer_estimate(&self, task: TaskId, w: WorkerId) -> Time {
+        // Comm-free platform: every estimate is zero, and the scheduler
+        // asks for one per (ready task × worker) pair.
+        if self.hop1 == Time::ZERO {
+            return Time::ZERO;
+        }
         let node = self.platform.node_of(w);
         let mut total = Time::ZERO;
-        for access in self.graph.task(task).coords.accesses() {
-            if !self.residency.is_valid_at(access.tile, node) {
-                let src = self.residency.source_for(access.tile);
-                total += Links::estimate(self.platform, src, node);
+        for access in self.graph.accesses_of(task) {
+            let mask = self.residency.mask_at(self.residency.index_of(access.tile));
+            if mask & (1 << node) == 0 {
+                // Source preference mirrors `Residency::source_for_idx`:
+                // the host when it holds a copy, else the lowest node.
+                let src_is_host = mask & 1 != 0;
+                total += if src_is_host || node == 0 {
+                    self.hop1
+                } else {
+                    self.hop2
+                };
             }
         }
         total
@@ -117,11 +182,15 @@ impl EngineHooks for SimData<'_> {
 
     /// Prefetch missing tiles to the assigned worker's node.
     fn data_ready(&mut self, task: TaskId, w: WorkerId, now: Time) -> Time {
+        if self.comm_free {
+            return now;
+        }
         let node = self.platform.node_of(w);
         let mut data_ready = now;
-        for access in self.graph.task(task).coords.accesses() {
-            if !self.residency.is_valid_at(access.tile, node) {
-                let src = self.residency.source_for(access.tile);
+        for access in self.graph.accesses_of(task) {
+            let idx = self.residency.index_of(access.tile);
+            if !self.residency.is_valid_idx(idx, node) {
+                let src = self.residency.source_for_idx(idx);
                 let end = self.links.transfer(
                     self.platform,
                     access.tile,
@@ -130,7 +199,7 @@ impl EngineHooks for SimData<'_> {
                     now,
                     &mut self.transfers,
                 );
-                self.residency.add_copy(access.tile, node);
+                self.residency.add_copy_idx(idx, node);
                 data_ready = data_ready.max(end);
             }
         }
@@ -181,7 +250,7 @@ pub fn simulate_with(
     opts: &SimOptions,
     obs: ObsSink,
 ) -> SimResult {
-    sim_run(graph, platform, profile, scheduler, opts, obs, None)
+    sim_run::<false>(graph, platform, profile, scheduler, opts, obs, None)
 }
 
 /// Simulate one execution under fault injection: `plan`'s faults fire
@@ -243,7 +312,7 @@ pub fn simulate_resilient(
         return Err(ConfigError::PlanKillsAllWorkers { n_workers });
     }
     let mut faults = FaultState::new(plan, *policy, graph.len(), n_workers);
-    Ok(sim_run(
+    Ok(sim_run::<true>(
         graph,
         platform,
         profile,
@@ -259,10 +328,12 @@ pub fn simulate_resilient(
 /// in-flight attempt completes (completed work is never discarded) and
 /// they die at the next sweep. Returns a hard failure iff a drained task
 /// found no live worker to land on.
+#[allow(clippy::too_many_arguments)]
 fn reap_doomed(
     now: Time,
     ctx: &SchedContext,
     scheduler: &mut dyn Scheduler,
+    deps: &mut DepTracker,
     queues: &mut WorkerQueues,
     recorder: &mut TraceRecorder,
     data: &mut SimData,
@@ -286,21 +357,24 @@ fn reap_doomed(
                 f.dead(),
                 Time::ZERO,
             );
-            if landed.is_none() {
-                return Some(FailureCause::AllWorkersLost);
+            match landed {
+                Some(v) => deps.note_queued(entry.task, v),
+                None => return Some(FailureCause::AllWorkersLost),
             }
         }
     }
     None
 }
 
-/// The engine proper, shared by the fault-free and resilient entry
-/// points. With `faults == None` this is exactly the historical
-/// simulation loop (including its deadlock assertion); with a
-/// [`FaultState`] it injects failures at attempt start, reaps doomed
-/// workers whenever they are idle, and classifies the run instead of
-/// panicking.
-fn sim_run(
+/// The engine proper, monomorphised over the resilience mode.
+///
+/// `RESILIENT == false` (`faults` must be `None`) is exactly the
+/// historical simulation loop, including its deadlock assertion — and the
+/// compiler sees no fault branches in that instantiation at all. With
+/// `RESILIENT == true` the provided [`FaultState`] injects failures at
+/// attempt start, doomed workers are reaped whenever idle, and the run is
+/// classified instead of panicking.
+fn sim_run<const RESILIENT: bool>(
     graph: &TaskGraph,
     platform: &Platform,
     profile: &TimingProfile,
@@ -309,6 +383,7 @@ fn sim_run(
     obs: ObsSink,
     mut faults: Option<&mut FaultState>,
 ) -> SimResult {
+    debug_assert_eq!(RESILIENT, faults.is_some());
     let ctx = SchedContext {
         graph,
         platform,
@@ -320,26 +395,24 @@ fn sim_run(
     let mut deps = DepTracker::new(graph);
     let mut queues = WorkerQueues::new(n_workers);
     let mut recorder = TraceRecorder::with_obs(n_workers, graph.len(), obs);
-    let mut data = SimData {
-        platform,
-        graph,
-        residency: Residency::new(platform.n_nodes()),
-        links: Links::new(platform.n_nodes()),
-        transfers: Vec::new(),
-    };
+    let mut data = SimData::new(platform, graph);
     let mut rng = ChaCha8Rng::seed_from_u64(opts.seed);
-    let mut events: EventHeap = BinaryHeap::new();
-    let mut heap_seq = 0u64;
+    let mut events = CalendarQueue::new();
+    // Newly ready successors land here; reused across releases so the
+    // steady state allocates nothing.
+    let mut ready = Vec::new();
     let mut now = Time::ZERO;
     let mut abort: Option<FailureCause> = None;
 
     // Workers doomed from the very start (`after_starts: 0`) die before
     // the initial dispatch sees them.
-    if let Some(f) = faults.as_deref_mut() {
+    if RESILIENT {
+        let f = faults.as_deref_mut().expect("resilient run has faults");
         abort = reap_doomed(
             now,
             &ctx,
             scheduler,
+            &mut deps,
             &mut queues,
             &mut recorder,
             &mut data,
@@ -350,35 +423,37 @@ fn sim_run(
     // Seed the initial ready set in submission order.
     if abort.is_none() {
         for t in deps.initial_ready() {
-            match faults.as_deref_mut() {
-                None => {
-                    exec::dispatch(
-                        t,
-                        now,
-                        &ctx,
-                        scheduler,
-                        &mut queues,
-                        &mut recorder,
-                        &mut data,
-                    );
-                }
-                Some(f) => {
-                    let landed = exec::dispatch_resilient(
-                        t,
-                        now,
-                        &ctx,
-                        scheduler,
-                        &mut queues,
-                        &mut recorder,
-                        &mut data,
-                        f.dead(),
-                        Time::ZERO,
-                    );
-                    if landed.is_none() {
+            if RESILIENT {
+                let f = faults.as_deref_mut().expect("resilient run has faults");
+                let landed = exec::dispatch_resilient(
+                    t,
+                    now,
+                    &ctx,
+                    scheduler,
+                    &mut queues,
+                    &mut recorder,
+                    &mut data,
+                    f.dead(),
+                    Time::ZERO,
+                );
+                match landed {
+                    Some(w) => deps.note_queued(t, w),
+                    None => {
                         abort = Some(FailureCause::AllWorkersLost);
                         break;
                     }
                 }
+            } else {
+                let w = exec::dispatch(
+                    t,
+                    now,
+                    &ctx,
+                    scheduler,
+                    &mut queues,
+                    &mut recorder,
+                    &mut data,
+                );
+                deps.note_queued(t, w);
             }
         }
     }
@@ -386,11 +461,13 @@ fn sim_run(
     'main: while abort.is_none() {
         // Reap any deaths the previous iteration's starts made due (and
         // workers whose in-flight attempt just completed while doomed).
-        if let Some(f) = faults.as_deref_mut() {
+        if RESILIENT {
+            let f = faults.as_deref_mut().expect("resilient run has faults");
             if let Some(cause) = reap_doomed(
                 now,
                 &ctx,
                 scheduler,
+                &mut deps,
                 &mut queues,
                 &mut recorder,
                 &mut data,
@@ -408,7 +485,7 @@ fn sim_run(
             if queues.is_busy(w) {
                 continue;
             }
-            if faults.as_deref().is_some_and(|f| f.is_dead(w)) {
+            if RESILIENT && faults.as_deref().is_some_and(|f| f.is_dead(w)) {
                 continue;
             }
             let Some((entry, skipped)) =
@@ -416,12 +493,14 @@ fn sim_run(
             else {
                 continue;
             };
+            deps.note_started(entry.task);
             recorder.obs_mut().count_backfill(w, skipped);
             scheduler.notify_start(entry.task, w);
             let start = now.max(entry.data_ready);
             let mut duration = opts.jitter.apply(entry.exec_estimate, &mut rng);
             let mut injected: Option<FaultKind> = None;
-            if let Some(f) = faults.as_deref_mut() {
+            if RESILIENT {
+                let f = faults.as_deref_mut().expect("resilient run has faults");
                 let (_, inj) = f.begin_attempt(entry.task);
                 injected = inj;
                 let slow = f.slowdown(w);
@@ -449,15 +528,16 @@ fn sim_run(
             }
             let end = start + duration;
             queues.set_busy_until(w, end);
-            events.push(Reverse((end, heap_seq, w, entry.task, start, injected)));
-            heap_seq += 1;
+            events.push(end, w, entry.task, start, injected);
             // This start may have pushed a death threshold over; doomed
             // idle workers must not start anything afterwards.
-            if let Some(f) = faults.as_deref_mut() {
+            if RESILIENT {
+                let f = faults.as_deref_mut().expect("resilient run has faults");
                 if let Some(cause) = reap_doomed(
                     now,
                     &ctx,
                     scheduler,
+                    &mut deps,
                     &mut queues,
                     &mut recorder,
                     &mut data,
@@ -469,119 +549,118 @@ fn sim_run(
             }
         }
 
-        let Some(Reverse((t_end, _, w, task, t_start, injected))) = events.pop() else {
+        let Some(event) = events.pop() else {
             break; // no task in flight: all queues empty
         };
-        now = t_end;
+        let (w, task) = (event.worker, event.task);
+        now = event.at;
         queues.set_idle(w);
 
-        if let Some(kind) = injected {
-            // The attempt failed (injection replaced execution, so no
-            // tile state to unwind): log it, then retry with backoff or
-            // abort the run on budget exhaustion.
-            let f = faults
-                .as_deref_mut()
-                .expect("injected failure without fault state");
-            let attempt = f.attempts_of(task);
-            recorder.obs_mut().on_attempt_failed(
-                task,
-                graph.task(task).kernel(),
-                w,
-                t_start,
-                t_end,
-                attempt,
-                kind.label(),
-            );
-            match f.record_failure(task, w, kind, now) {
-                Some(backoff) => {
-                    recorder.obs_mut().count_retry();
-                    let landed = exec::dispatch_resilient(
-                        task,
-                        now,
-                        &ctx,
-                        scheduler,
-                        &mut queues,
-                        &mut recorder,
-                        &mut data,
-                        f.dead(),
-                        backoff,
-                    );
-                    if landed.is_none() {
-                        abort = Some(FailureCause::AllWorkersLost);
+        if RESILIENT {
+            if let Some(kind) = event.injected {
+                // The attempt failed (injection replaced execution, so no
+                // tile state to unwind): log it, then retry with backoff
+                // or abort the run on budget exhaustion.
+                let f = faults.as_deref_mut().expect("resilient run has faults");
+                let attempt = f.attempts_of(task);
+                recorder.obs_mut().on_attempt_failed(
+                    task,
+                    graph.task(task).kernel(),
+                    w,
+                    event.start,
+                    event.at,
+                    attempt,
+                    kind.label(),
+                );
+                match f.record_failure(task, w, kind, now) {
+                    Some(backoff) => {
+                        recorder.obs_mut().count_retry();
+                        let landed = exec::dispatch_resilient(
+                            task,
+                            now,
+                            &ctx,
+                            scheduler,
+                            &mut queues,
+                            &mut recorder,
+                            &mut data,
+                            f.dead(),
+                            backoff,
+                        );
+                        match landed {
+                            Some(v) => deps.note_queued(task, v),
+                            None => {
+                                abort = Some(FailureCause::AllWorkersLost);
+                                break 'main;
+                            }
+                        }
+                    }
+                    None => {
+                        abort = Some(FailureCause::RetriesExhausted {
+                            task,
+                            attempts: f.attempts_of(task),
+                            kind,
+                        });
                         break 'main;
                     }
                 }
-                None => {
-                    abort = Some(FailureCause::RetriesExhausted {
-                        task,
-                        attempts: f.attempts_of(task),
-                        kind,
-                    });
-                    break 'main;
-                }
+                continue 'main;
             }
-            continue 'main;
         }
 
-        recorder.record(graph, w, task, t_start, t_end);
-        // Each write invalidates every other copy of the written tile
-        // (QR's TSQRT/TSMQR write two tiles; iterate the full write set).
-        for access in graph.task(task).coords.accesses() {
-            if access.mode.is_write() {
-                data.residency.write_at(access.tile, platform.node_of(w));
-            }
-        }
-        // Release successors.
-        for s in deps.release(graph, task) {
-            match faults.as_deref_mut() {
-                None => {
-                    exec::dispatch(
-                        s,
-                        now,
-                        &ctx,
-                        scheduler,
-                        &mut queues,
-                        &mut recorder,
-                        &mut data,
-                    );
-                }
-                Some(f) => {
-                    let landed = exec::dispatch_resilient(
-                        s,
-                        now,
-                        &ctx,
-                        scheduler,
-                        &mut queues,
-                        &mut recorder,
-                        &mut data,
-                        f.dead(),
-                        Time::ZERO,
-                    );
-                    if landed.is_none() {
+        recorder.record(graph, w, task, event.start, event.at);
+        data.invalidate_writes(task, w);
+        // Release successors into the reused scratch, then dispatch them.
+        deps.release_into(graph, task, &mut ready);
+        for &s in ready.iter() {
+            if RESILIENT {
+                let f = faults.as_deref_mut().expect("resilient run has faults");
+                let landed = exec::dispatch_resilient(
+                    s,
+                    now,
+                    &ctx,
+                    scheduler,
+                    &mut queues,
+                    &mut recorder,
+                    &mut data,
+                    f.dead(),
+                    Time::ZERO,
+                );
+                match landed {
+                    Some(v) => deps.note_queued(s, v),
+                    None => {
                         abort = Some(FailureCause::AllWorkersLost);
                         break 'main;
                     }
                 }
+            } else {
+                let v = exec::dispatch(
+                    s,
+                    now,
+                    &ctx,
+                    scheduler,
+                    &mut queues,
+                    &mut recorder,
+                    &mut data,
+                );
+                deps.note_queued(s, v);
             }
         }
     }
 
-    let outcome = match faults {
-        None => {
-            assert!(
-                deps.is_done(),
-                "simulation deadlocked: {} tasks incomplete",
-                deps.remaining()
-            );
-            RunOutcome::Completed
-        }
-        Some(f) => {
-            let outcome = f.classify(deps.is_done(), abort, deps.remaining());
-            recorder.record_faults(f.take_events());
-            outcome
-        }
+    let outcome = if RESILIENT {
+        let f = faults.as_mut().expect("resilient run has faults");
+        let outcome = f.classify(deps.is_done(), abort, deps.remaining());
+        recorder.record_faults(f.take_events());
+        outcome
+    } else {
+        assert!(
+            deps.is_done(),
+            "simulation deadlocked: {} tasks incomplete",
+            deps.remaining()
+        );
+        RunOutcome::Completed
     };
-    recorder.transfers_mut().append(&mut data.transfers);
+    data.merge_transfers(&mut recorder);
     let (trace, makespan, obs) = recorder.finish_with_obs();
     SimResult {
         trace,
@@ -591,35 +670,13 @@ fn sim_run(
     }
 }
 
-/// Simulate one execution with observability disabled.
-#[deprecated(
-    since = "0.4.0",
-    note = "use `simulate_with` (or the `hetchol::Run` facade) instead"
-)]
-pub fn simulate(
-    graph: &TaskGraph,
-    platform: &Platform,
-    profile: &TimingProfile,
-    scheduler: &mut dyn Scheduler,
-    opts: &SimOptions,
-) -> SimResult {
-    simulate_with(
-        graph,
-        platform,
-        profile,
-        scheduler,
-        opts,
-        ObsSink::disabled(),
-    )
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use hetchol_core::schedule::DurationCheck;
     use hetchol_core::scheduler::{estimated_completion, ExecutionView};
 
-    /// Tests drive the primary entry (shadows the deprecated glob import).
+    /// Engine tests drive the primary entry with observability off.
     fn simulate(
         graph: &TaskGraph,
         platform: &Platform,

@@ -1,0 +1,280 @@
+//! The simulator's virtual clock: a typed completion [`Event`] and the
+//! calendar (bucketed) priority queue that orders them.
+//!
+//! The engine used to advance time through a
+//! `BinaryHeap<Reverse<(Time, u64, WorkerId, TaskId, Time, Option<FaultKind>)>>`
+//! — an opaque 6-tuple ordered by its first two fields, paying a
+//! log-depth sift on every push and pop. A discrete-event simulator's
+//! access pattern is far friendlier than the general case: timestamps are
+//! popped monotonically, pushes are always at or after the current clock,
+//! and only a handful of events (one per busy worker) are pending at any
+//! instant. A calendar queue (Brown, CACM 1988) exploits exactly this:
+//! events hash into a ring of time buckets by their integer-nanosecond
+//! timestamp, so push is O(1) and pop scans forward from the current
+//! clock's bucket. See DESIGN.md §13 for the bucket-sizing discussion.
+//!
+//! Both operations reuse bucket capacity — after warm-up the queue
+//! performs no steady-state allocation.
+
+use hetchol_core::fault::FaultKind;
+use hetchol_core::platform::WorkerId;
+use hetchol_core::task::TaskId;
+use hetchol_core::time::Time;
+
+/// One pending attempt completion, replacing the old heap's 6-tuple.
+///
+/// The failure outcome of an attempt is decided at *start* (push) time
+/// and carried in the event, so the virtual clock sees failures exactly
+/// when the attempt would have ended.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// When the attempt completes — the primary ordering key.
+    pub at: Time,
+    /// Push order; unique, so `(at, seq)` is a total order and FIFO
+    /// breaks completion-time ties exactly as the old heap did.
+    pub seq: u64,
+    /// Worker running the attempt.
+    pub worker: WorkerId,
+    /// The task being attempted.
+    pub task: TaskId,
+    /// When the attempt started (recorded in the trace on completion).
+    pub start: Time,
+    /// Failure injected into this attempt, if any.
+    pub injected: Option<FaultKind>,
+}
+
+/// Number of buckets in the ring (power of two).
+const N_BUCKETS: usize = 64;
+/// log2 of the bucket width in nanoseconds: 2^22 ns ≈ 4.2 ms. Tile
+/// kernels under the paper's calibration run for roughly 2–60 ms, so the
+/// next completion is typically a handful of buckets ahead and always
+/// well inside one ring rotation (64 × 4.2 ms ≈ 268 ms); a narrower
+/// bucket (e.g. 2^18) puts the next event beyond the ring and forces the
+/// sparse-horizon global scan on almost every pop.
+const BUCKET_SHIFT: u32 = 22;
+
+/// A calendar queue over [`Event`]s, popping in ascending `(at, seq)`
+/// order — bit-compatible with the `BinaryHeap` it replaced.
+///
+/// Invariant (maintained by the engine, checked in debug builds): every
+/// push carries `at >=` the timestamp of the last pop. That makes the
+/// last-popped timestamp a true lower bound on the queue's contents, so
+/// pop can start its bucket scan there instead of searching globally.
+#[derive(Debug)]
+pub struct CalendarQueue {
+    /// The bucket ring; an event with timestamp `t` lives in bucket
+    /// `(t >> BUCKET_SHIFT) % N_BUCKETS`. Buckets are unordered; pop
+    /// scans the (short) candidate bucket for its minimum.
+    buckets: Vec<Vec<Event>>,
+    /// Bit `b` set iff `buckets[b]` is nonempty — pop skips empty
+    /// buckets with a rotate + `trailing_zeros` instead of 64 loads.
+    occupied: u64,
+    /// Total pending events.
+    len: usize,
+    /// Lower bound on every pending timestamp (ns): the last pop.
+    floor_ns: u64,
+    /// Next push sequence number.
+    seq: u64,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        CalendarQueue::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with the clock at zero.
+    pub fn new() -> CalendarQueue {
+        CalendarQueue {
+            buckets: (0..N_BUCKETS).map(|_| Vec::with_capacity(4)).collect(),
+            occupied: 0,
+            len: 0,
+            floor_ns: 0,
+            seq: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn bucket_of(at: Time) -> usize {
+        ((at.as_nanos() >> BUCKET_SHIFT) as usize) & (N_BUCKETS - 1)
+    }
+
+    /// Schedule a completion at `at`, assigning the next sequence number
+    /// (push order — the FIFO tie-break among equal timestamps).
+    pub fn push(
+        &mut self,
+        at: Time,
+        worker: WorkerId,
+        task: TaskId,
+        start: Time,
+        injected: Option<FaultKind>,
+    ) {
+        debug_assert!(
+            at.as_nanos() >= self.floor_ns,
+            "event at {at} pushed before the clock floor"
+        );
+        let event = Event {
+            at,
+            seq: self.seq,
+            worker,
+            task,
+            start,
+            injected,
+        };
+        self.seq += 1;
+        let b = Self::bucket_of(at);
+        self.buckets[b].push(event);
+        self.occupied |= 1 << b;
+        self.len += 1;
+    }
+
+    /// Remove and return the minimum pending event by `(at, seq)`.
+    ///
+    /// Scans buckets forward from the clock floor's bucket; an event only
+    /// counts for bucket `b` if its timestamp's *epoch* (timestamp
+    /// divided by bucket width) matches — events a full ring rotation or
+    /// more ahead wait their turn. If one whole rotation finds nothing
+    /// (every pending event is > `N_BUCKETS` bucket-widths ahead — a
+    /// sparse horizon), falls back to a global scan. Either way the
+    /// result is the true minimum, and the floor advances to it.
+    pub fn pop(&mut self) -> Option<Event> {
+        if self.len == 0 {
+            return None;
+        }
+        let day = self.floor_ns >> BUCKET_SHIFT;
+        let start = (day as u32) & (N_BUCKETS as u32 - 1);
+        // Occupied buckets at rotation offsets from `day`'s bucket; bit k
+        // of the rotated mask is bucket `(day + k) % N_BUCKETS`.
+        let mut mask = self.occupied.rotate_right(start);
+        while mask != 0 {
+            let k = mask.trailing_zeros() as u64;
+            mask &= mask - 1;
+            let b = ((day + k) as usize) & (N_BUCKETS - 1);
+            let mut best: Option<(usize, Time, u64)> = None;
+            for (i, e) in self.buckets[b].iter().enumerate() {
+                if e.at.as_nanos() >> BUCKET_SHIFT != day + k {
+                    continue; // different epoch: not this rotation
+                }
+                if best.is_none_or(|(_, at, seq)| (e.at, e.seq) < (at, seq)) {
+                    best = Some((i, e.at, e.seq));
+                }
+            }
+            if let Some((i, _, _)) = best {
+                return Some(self.take(b, i));
+            }
+        }
+        // Sparse horizon: nothing within a rotation of the floor.
+        let (b, i) = self
+            .buckets
+            .iter()
+            .enumerate()
+            .flat_map(|(b, bucket)| bucket.iter().enumerate().map(move |(i, e)| (b, i, e)))
+            .min_by_key(|&(_, _, e)| (e.at, e.seq))
+            .map(|(b, i, _)| (b, i))
+            .expect("len > 0 means some bucket is nonempty");
+        Some(self.take(b, i))
+    }
+
+    /// Remove event `i` of bucket `b` (order within a bucket is
+    /// irrelevant, so `swap_remove`) and advance the floor to it.
+    fn take(&mut self, b: usize, i: usize) -> Event {
+        let event = self.buckets[b].swap_remove(i);
+        if self.buckets[b].is_empty() {
+            self.occupied &= !(1 << b);
+        }
+        self.len -= 1;
+        self.floor_ns = event.at.as_nanos();
+        event
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    fn ev_key(e: &Event) -> (Time, u64) {
+        (e.at, e.seq)
+    }
+
+    #[test]
+    fn pops_in_at_then_seq_order() {
+        let mut q = CalendarQueue::new();
+        let t = Time::from_micros;
+        q.push(t(500), 0, TaskId(0), Time::ZERO, None);
+        q.push(t(100), 1, TaskId(1), Time::ZERO, None);
+        q.push(t(100), 2, TaskId(2), Time::ZERO, None);
+        q.push(t(900), 3, TaskId(3), Time::ZERO, None);
+        let order: Vec<WorkerId> = std::iter::from_fn(|| q.pop()).map(|e| e.worker).collect();
+        assert_eq!(order, [1, 2, 0, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn handles_sparse_horizons_beyond_one_rotation() {
+        let mut q = CalendarQueue::new();
+        // Far beyond N_BUCKETS bucket-widths from the zero floor.
+        let far = Time::from_secs(3600);
+        let near = Time::from_secs(3599);
+        q.push(far, 0, TaskId(0), Time::ZERO, None);
+        q.push(near, 1, TaskId(1), Time::ZERO, None);
+        assert_eq!(q.pop().unwrap().worker, 1);
+        assert_eq!(q.pop().unwrap().worker, 0);
+        assert!(q.pop().is_none());
+    }
+
+    /// The replacement contract: against a `BinaryHeap` running the old
+    /// ordering, a long random interleaving of monotone-clock pushes and
+    /// pops (with many timestamp ties) must pop identically.
+    #[test]
+    fn matches_binary_heap_under_monotone_interleaving() {
+        let mut state = 0x0123_4567_89AB_CDEFu64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut heap_seq = 0u64;
+        let mut now = Time::ZERO;
+        for round in 0..20_000u32 {
+            if next() % 3 < 2 || heap.is_empty() {
+                // Push at now + a mixed-scale delay; coarse quantisation
+                // forces frequent equal timestamps.
+                let delay_us = match next() % 4 {
+                    0 => 0,
+                    1 => next() % 8 * 100,
+                    2 => next() % 64 * 250,
+                    _ => next() % 4 * 100_000,
+                };
+                let at = now + Time::from_micros(delay_us);
+                q.push(at, 0, TaskId(round), Time::ZERO, None);
+                heap.push(Reverse((at, heap_seq)));
+                heap_seq += 1;
+            } else {
+                let got = q.pop().map(|e| ev_key(&e));
+                let want = heap.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want, "round {round}");
+                now = want.unwrap().0;
+            }
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            assert_eq!(q.pop().map(|e| ev_key(&e)), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
+}

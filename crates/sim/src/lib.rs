@@ -31,8 +31,10 @@
 
 pub mod data;
 pub mod engine;
+pub mod events;
 pub mod jitter;
 
-#[allow(deprecated)]
-pub use engine::simulate;
+#[doc(hidden)]
+pub mod reference;
+
 pub use engine::{simulate_resilient, simulate_with, SimOptions, SimResult};

@@ -1,0 +1,202 @@
+//! Arena-vs-reference engine equivalence (DESIGN.md §13).
+//!
+//! The data-oriented execution core (`hetchol-sim`'s arena engine: SoA
+//! dependency tracker, ring-buffer worker queues, calendar event queue,
+//! flat residency bitmasks) must be *bitwise indistinguishable* from the
+//! frozen pre-refactor engine kept in `hetchol::sim::reference`. These
+//! property tests drive both engines over random platforms × schedulers ×
+//! seeds — with and without jitter, with and without communications, with
+//! and without fault injection — and require identical traces, start
+//! orders, observability reports and run-outcome classifications. Any
+//! divergence is a bug in the refactor, never an acceptable drift.
+
+use hetchol::core::dag::TaskGraph;
+use hetchol::core::fault::{FaultPlan, RetryPolicy};
+use hetchol::core::obs::ObsSink;
+use hetchol::core::platform::Platform;
+use hetchol::core::profiles::TimingProfile;
+use hetchol::core::scheduler::Scheduler;
+use hetchol::core::task::TaskId;
+use hetchol::core::time::Time;
+use hetchol::core::trace::Trace;
+use hetchol::sched::{Dmda, Dmdas, RandomScheduler};
+use hetchol::sim::reference::{simulate_reference, simulate_resilient_reference};
+use hetchol::sim::{simulate_resilient, simulate_with, SimOptions, SimResult};
+use proptest::prelude::*;
+
+/// The platform grid the properties sample from.
+fn platform_for(which: u8) -> Platform {
+    match which {
+        0 => Platform::mirage(),
+        1 => Platform::mirage().without_comm(),
+        2 => Platform::homogeneous(1),
+        _ => Platform::homogeneous(3),
+    }
+}
+
+/// A fresh scheduler of the sampled kind (schedulers are stateful, so
+/// each engine leg gets its own instance).
+fn scheduler_for(which: u8, seed: u64) -> Box<dyn Scheduler> {
+    match which {
+        0 => Box::new(Dmda::new()),
+        1 => Box::new(Dmdas::new()),
+        _ => Box::new(RandomScheduler::new(seed)),
+    }
+}
+
+/// Task ids in start order, ties broken by task id — the ISSUE's "same
+/// start order" check, stated independently of trace event ordering.
+fn start_order(trace: &Trace) -> Vec<TaskId> {
+    let mut events: Vec<_> = trace.events.iter().collect();
+    events.sort_by_key(|e| (e.start, e.task));
+    events.iter().map(|e| e.task).collect()
+}
+
+/// Assert every observable output of the two runs is identical.
+fn assert_bitwise_equal(arena: &SimResult, reference: &SimResult) -> Result<(), String> {
+    prop_assert_eq!(arena.makespan, reference.makespan, "makespan diverged");
+    prop_assert_eq!(&arena.trace.events, &reference.trace.events, "task events");
+    prop_assert_eq!(
+        &arena.trace.transfers,
+        &reference.trace.transfers,
+        "transfers"
+    );
+    prop_assert_eq!(
+        &arena.trace.queue_events,
+        &reference.trace.queue_events,
+        "queue events"
+    );
+    prop_assert_eq!(
+        &arena.trace.fault_events,
+        &reference.trace.fault_events,
+        "fault events"
+    );
+    prop_assert_eq!(
+        start_order(&arena.trace),
+        start_order(&reference.trace),
+        "start order"
+    );
+    prop_assert_eq!(&arena.outcome, &reference.outcome, "run outcome");
+    prop_assert_eq!(&arena.obs, &reference.obs, "observability report");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fault-free runs: for random platforms × schedulers × seeds, with
+    /// and without duration jitter, the arena engine reproduces the
+    /// reference engine bit for bit — trace, start order, makespan and
+    /// the structured observability report (whose per-worker phases must
+    /// also partition the makespan in both engines).
+    #[test]
+    fn arena_engine_is_bitwise_identical_to_reference(
+        n in 1usize..12,
+        plat in 0u8..4,
+        sched in 0u8..3,
+        seed in 0u64..50,
+        jittered in 0u8..2,
+    ) {
+        let graph = TaskGraph::cholesky(n);
+        let platform = platform_for(plat);
+        let profile = TimingProfile::mirage();
+        let opts = if jittered == 1 {
+            SimOptions::actual(seed)
+        } else {
+            SimOptions { seed, ..SimOptions::default() }
+        };
+
+        let mut s1 = scheduler_for(sched, seed);
+        let arena = simulate_with(
+            &graph, &platform, &profile, s1.as_mut(), &opts, ObsSink::enabled(),
+        );
+        let mut s2 = scheduler_for(sched, seed);
+        let reference = simulate_reference(
+            &graph, &platform, &profile, s2.as_mut(), &opts, ObsSink::enabled(),
+        );
+        assert_bitwise_equal(&arena, &reference)?;
+
+        // The shared makespan partition invariant holds for both.
+        for r in [&arena, &reference] {
+            for p in r.obs.worker_phases() {
+                prop_assert_eq!(
+                    p.total(),
+                    r.obs.makespan(),
+                    "worker {} phases do not partition the makespan",
+                    p.worker
+                );
+            }
+        }
+    }
+
+    /// Chaos leg: under seeded fault plans the resilient entry points of
+    /// both engines classify the run identically (Completed / Degraded /
+    /// Failed with the same recovery details) and log identical fault
+    /// events.
+    #[test]
+    fn resilient_outcome_classification_is_identical(
+        n in 1usize..10,
+        plat in 0u8..4,
+        sched in 0u8..3,
+        seed in 0u64..50,
+    ) {
+        let graph = TaskGraph::cholesky(n);
+        let platform = platform_for(plat);
+        let profile = TimingProfile::mirage();
+        let opts = SimOptions { seed, ..SimOptions::default() };
+        let plan = FaultPlan::seeded(seed, graph.len(), platform.n_workers());
+        let policy = RetryPolicy::default();
+
+        let mut s1 = scheduler_for(sched, seed);
+        let arena = simulate_resilient(
+            &graph, &platform, &profile, s1.as_mut(), &opts, ObsSink::enabled(),
+            &plan, &policy,
+        )
+        .expect("valid configuration");
+        let mut s2 = scheduler_for(sched, seed);
+        let reference = simulate_resilient_reference(
+            &graph, &platform, &profile, s2.as_mut(), &opts, ObsSink::enabled(),
+            &plan, &policy,
+        )
+        .expect("valid configuration");
+
+        assert_bitwise_equal(&arena, &reference)?;
+    }
+}
+
+/// A long deterministic sweep pinning the headline configuration of the
+/// committed benchmark: every paper size on the comm-free Mirage, both
+/// dmda and dmdas, must agree on the makespan exactly.
+#[test]
+fn paper_sweep_makespans_agree_exactly() {
+    let platform = Platform::mirage().without_comm();
+    let profile = TimingProfile::mirage();
+    for n in [4usize, 8, 12, 16, 20, 24, 28, 32] {
+        let graph = TaskGraph::cholesky(n);
+        for sched in 0u8..2 {
+            let mut s1 = scheduler_for(sched, 0);
+            let arena = simulate_with(
+                &graph,
+                &platform,
+                &profile,
+                s1.as_mut(),
+                &SimOptions::default(),
+                ObsSink::disabled(),
+            );
+            let mut s2 = scheduler_for(sched, 0);
+            let reference = simulate_reference(
+                &graph,
+                &platform,
+                &profile,
+                s2.as_mut(),
+                &SimOptions::default(),
+                ObsSink::disabled(),
+            );
+            assert_eq!(
+                arena.makespan, reference.makespan,
+                "n={n} scheduler {sched}: makespan diverged"
+            );
+            assert!(arena.makespan > Time::ZERO);
+        }
+    }
+}
