@@ -58,6 +58,10 @@ pub enum Rule {
     /// after that worker's recorded death, or a failed attempt was neither
     /// retried to success on a then-live worker nor recorded as aborted.
     RecoveryConsistency,
+    /// A trace replayed from a model-checker witness reproduces the
+    /// violated invariant (CONFIRMED), or fails to (the witness is stale
+    /// or the replay diverged — a warning).
+    McWitness,
 }
 
 impl Rule {
@@ -81,11 +85,12 @@ impl Rule {
             Rule::SpanConsistency => "span-consistency",
             Rule::UncertifiedBound => "uncertified-bound",
             Rule::RecoveryConsistency => "recovery-consistency",
+            Rule::McWitness => "mc-witness",
         }
     }
 
     /// All rules, for catalog listings and coverage tests.
-    pub const ALL: [Rule; 17] = [
+    pub const ALL: [Rule; 18] = [
         Rule::TaskSetSize,
         Rule::TaskMisnumbered,
         Rule::BadWorker,
@@ -103,6 +108,7 @@ impl Rule {
         Rule::SpanConsistency,
         Rule::UncertifiedBound,
         Rule::RecoveryConsistency,
+        Rule::McWitness,
     ];
 }
 

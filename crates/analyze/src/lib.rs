@@ -14,14 +14,24 @@
 //!   explorer that drives the real runtime's worker threads through every
 //!   (sleep-set-pruned) schedule of lock/wait/notify decisions, turning
 //!   lost wakeups into deterministic, reportable deadlocks.
+//!
+//! * **The model checker** ([`mc`]) — a source-DPOR upgrade of the race
+//!   checker that also explores fault nondeterminism (worker deaths,
+//!   transient task failures), checks recovery invariants at every
+//!   quiescent state, and serializes minimized, replayable witnesses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
 pub mod lint;
+pub mod mc;
 pub mod race;
 
 pub use diag::{Diagnostic, Report, Rule, Severity};
 pub use lint::{Linter, QueueDiscipline};
+pub use mc::{
+    check_recovery, explore_dpor, explore_runtime_dpor, replay_witness, resilient_runner,
+    trace_invariants, Invariant, McReport, RecoveryScenario, Replay, Violation, Witness,
+};
 pub use race::{explore, explore_runtime, Deadlock, ExploreConfig, ExploreReport, RoundRobin};

@@ -24,9 +24,11 @@
 //! `QueueEvent` stream against the execution events.
 
 use crate::diag::{Diagnostic, Report, Rule, Severity};
+use crate::mc::Invariant;
 use hetchol_bounds::cert::{Rat, VerifiedBounds};
 use hetchol_bounds::{BoundSet, CertifiedBoundSet};
 use hetchol_core::dag::TaskGraph;
+use hetchol_core::fault::RunOutcome;
 use hetchol_core::obs::ObsReport;
 use hetchol_core::platform::{ClassId, Platform};
 use hetchol_core::profiles::TimingProfile;
@@ -66,6 +68,7 @@ pub struct Linter<'a> {
     prescribed: Option<&'a Schedule>,
     idle_gap_threshold: Time,
     obs: Option<&'a ObsReport>,
+    mc_witness: Option<(Invariant, RunOutcome)>,
 }
 
 /// One task's dispatch-to-start record, the common input of the
@@ -100,6 +103,7 @@ impl<'a> Linter<'a> {
             prescribed: None,
             idle_gap_threshold: Time::from_micros(10),
             obs: None,
+            mc_witness: None,
         }
     }
 
@@ -165,6 +169,19 @@ impl<'a> Linter<'a> {
         self
     }
 
+    /// Arm rule 18 (`mc-witness`): the trace being linted was replayed
+    /// from a model-checker witness recording a violation of `invariant`,
+    /// and the replay classified the run as `outcome`. The rule re-runs
+    /// the invariant engine ([`crate::mc::trace_invariants`]) over the
+    /// trace: reproducing the recorded invariant is flagged **CONFIRMED**
+    /// (an error — the witnessed bug is real in this build); a trace that
+    /// checks clean, or violates a *different* invariant, gets a warning
+    /// (stale witness or divergent replay).
+    pub fn with_mc_witness(mut self, invariant: Invariant, outcome: RunOutcome) -> Self {
+        self.mc_witness = Some((invariant, outcome));
+        self
+    }
+
     /// Lint a schedule: structural rules, bound consistency, and hint
     /// conformance.
     pub fn lint_schedule(&self, schedule: &Schedule) -> Report {
@@ -197,6 +214,7 @@ impl<'a> Linter<'a> {
         }
         self.check_span_consistency(trace, &mut diags);
         self.check_recovery_consistency(trace, &mut diags);
+        self.check_mc_witness(trace, &mut diags);
         finish(diags)
     }
 
@@ -764,6 +782,47 @@ impl<'a> Linter<'a> {
                     ),
                 });
             }
+        }
+    }
+
+    /// Rule 18 (`mc-witness`), armed via [`Linter::with_mc_witness`]: the
+    /// trace was replayed from a model-checker witness. Re-run the model
+    /// checker's invariant engine over the replayed trace and compare with
+    /// the invariant the witness recorded. Reproducing it is an *error*
+    /// labelled CONFIRMED — the model-checked bug is real in this build.
+    /// A clean trace, or a different invariant, downgrades to a warning:
+    /// the witness is stale (fixed bug) or the replay diverged.
+    fn check_mc_witness(&self, trace: &Trace, diags: &mut Vec<Diagnostic>) {
+        let Some((expected, outcome)) = &self.mc_witness else {
+            return;
+        };
+        let violations = crate::mc::trace_invariants(self.graph, trace, outcome);
+        match violations.iter().find(|v| v.invariant == *expected) {
+            Some(v) => diags.push(Diagnostic {
+                rule: Rule::McWitness,
+                severity: Severity::Error,
+                task: None,
+                worker: None,
+                message: format!(
+                    "CONFIRMED: replayed witness reproduces {expected}: {}",
+                    v.detail
+                ),
+            }),
+            None => diags.push(Diagnostic {
+                rule: Rule::McWitness,
+                severity: Severity::Warning,
+                task: None,
+                worker: None,
+                message: match violations.first() {
+                    Some(other) => format!(
+                        "replayed witness violated {} instead of the recorded {expected}",
+                        other.invariant
+                    ),
+                    None => format!(
+                        "replayed witness did not reproduce {expected}: the trace checks clean"
+                    ),
+                },
+            }),
         }
     }
 

@@ -34,7 +34,7 @@ use hetchol_core::platform::WorkerId;
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::{ExecutionView, SchedContext, Scheduler};
 use hetchol_core::task::TaskId;
-use parking_lot::explore::{self, ExploreHook};
+use parking_lot::explore::{self, ExploreHook, SyncEvent};
 use std::cell::Cell;
 use std::collections::HashMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -42,14 +42,14 @@ use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex};
 
 /// Panic payload used to tear a run down after a verdict (deadlock found,
 /// step cap hit, replay divergence). The driver's panic hook swallows it.
-const ABORT_MSG: &str = "hetchol-analyze explorer abort";
+pub(crate) const ABORT_MSG: &str = "hetchol-analyze explorer abort";
 
 /// The payload `std::thread::scope` panics with when a child panicked; the
 /// child's own payload was already captured by the panic hook, so this
 /// secondary message must never overwrite it.
-const SCOPE_MSG: &str = "a scoped thread panicked";
+pub(crate) const SCOPE_MSG: &str = "a scoped thread panicked";
 
-fn lock_of<'a, T>(m: &'a StdMutex<T>) -> std::sync::MutexGuard<'a, T> {
+pub(crate) fn lock_of<'a, T>(m: &'a StdMutex<T>) -> std::sync::MutexGuard<'a, T> {
     m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
@@ -118,6 +118,31 @@ thread_local! {
     /// Which controlled worker the current thread is (explorer-side
     /// identity, set at checkin).
     static WORKER: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The kind of synchronization operation a step performed on an object —
+/// recorded in step footprints so a driver can compute happens-before
+/// (the DPOR driver in [`crate::mc`]) while the sleep-set independence
+/// check keeps comparing objects only.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) enum OpKind {
+    /// The step was granted a mutex (including re-acquire after a wakeup).
+    Acquire,
+    /// The step released a mutex (guard drop, or entering a wait).
+    Release,
+    /// The step entered a condvar wait.
+    Wait,
+    /// The step notified a condvar.
+    Notify,
+}
+
+/// One sync operation in a step's footprint: which object, and how.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub(crate) struct Op {
+    /// Normalized (first-appearance) id of the sync object.
+    pub(crate) obj: u64,
+    /// What the step did to it.
+    pub(crate) kind: OpKind,
 }
 
 /// What a parked thread is blocked on.
@@ -214,16 +239,16 @@ struct ThreadState {
 
 /// One decision point, as recorded for the driver.
 #[derive(Clone, Debug)]
-struct TrailEntry {
+pub(crate) struct TrailEntry {
     /// Workers that were enabled, ascending.
-    enabled: Vec<usize>,
+    pub(crate) enabled: Vec<usize>,
     /// The worker that ran.
-    chosen: usize,
-    /// Sync objects the chosen step touched (granted + released +
-    /// notified), for independence checks.
-    footprint: Vec<u64>,
+    pub(crate) chosen: usize,
+    /// Sync operations the chosen step performed (grant + releases +
+    /// notifies), in order, for independence and happens-before checks.
+    pub(crate) footprint: Vec<Op>,
     /// Sleep set in effect at this state (fresh decisions only).
-    sleep: Vec<(usize, Vec<u64>)>,
+    pub(crate) sleep: Vec<(usize, Vec<Op>)>,
 }
 
 struct Inner {
@@ -237,8 +262,8 @@ struct Inner {
     prefix: Vec<usize>,
     pos: usize,
     /// Sleep set seeded at the branch point (last prefix decision).
-    seed_sleep: Vec<(usize, Vec<u64>)>,
-    sleep: Vec<(usize, Vec<u64>)>,
+    seed_sleep: Vec<(usize, Vec<Op>)>,
+    sleep: Vec<(usize, Vec<Op>)>,
     trail: Vec<TrailEntry>,
     /// Address → small id, by first appearance (stable across replays of
     /// an identical prefix, even though stack addresses are not).
@@ -257,17 +282,20 @@ impl Inner {
         *self.obj_ids.entry(addr).or_insert(next)
     }
 
-    /// Append `o` to the running step's footprint and wake sleepers whose
-    /// step is dependent on it.
-    fn touch(&mut self, o: u64) {
+    /// Append an operation on `o` to the running step's footprint and wake
+    /// sleepers whose step is dependent on it. Sleep-set independence is
+    /// object-overlap only — the op kind is recorded for the DPOR driver's
+    /// finer happens-before model, not consumed here.
+    fn touch(&mut self, o: u64, kind: OpKind) {
         if self.aborting {
             return;
         }
         if let Some(step) = self.trail.last_mut() {
-            step.footprint.push(o);
+            step.footprint.push(Op { obj: o, kind });
         }
         if self.use_sleep {
-            self.sleep.retain(|(_, fp)| !fp.contains(&o));
+            self.sleep
+                .retain(|(_, fp)| !fp.iter().any(|op| op.obj == o));
         }
     }
 
@@ -354,7 +382,7 @@ impl Inner {
             Pending::Start => {}
             Pending::Lock(m) | Pending::Wake(m) => {
                 self.owner.insert(m, chosen);
-                self.touch(m);
+                self.touch(m, OpKind::Acquire);
             }
             Pending::Wait { .. } => unreachable!("a waiting thread is never enabled"),
         }
@@ -365,16 +393,21 @@ impl Inner {
 }
 
 /// The installed hook: cooperative scheduling over real threads.
-struct Session {
+///
+/// Shared between the sleep-set DFS driver ([`explore()`]) and the DPOR
+/// driver in [`crate::mc`] — the session only enforces the cooperative
+/// model and records the trail; which branches get explored is entirely
+/// the driver's business.
+pub(crate) struct Session {
     inner: StdMutex<Inner>,
     gates: Vec<Gate>,
-    /// Signaled by [`ExploreHook::on_thread_exit`]; [`Session::drain`]
-    /// waits on it between runs.
+    /// Signaled by the thread-exit event; [`Session::drain`] waits on it
+    /// between runs.
     exit_cv: StdCondvar,
 }
 
 impl Session {
-    fn new(n_workers: usize, cfg: &ExploreConfig) -> Session {
+    pub(crate) fn new(n_workers: usize, cfg: &ExploreConfig) -> Session {
         Session {
             inner: StdMutex::new(Inner {
                 n_workers,
@@ -409,9 +442,9 @@ impl Session {
     /// Wait until every controlled thread of the finished run has reported
     /// its exit. `std::thread::scope` unblocks when the worker *closures*
     /// return, which is before the TLS destructor that fires
-    /// `on_thread_exit` — without this barrier a straggling exit from run
+    /// the exit event — without this barrier a straggling exit from run
     /// N could corrupt the freshly reset state of run N+1.
-    fn drain(&self) {
+    pub(crate) fn drain(&self) {
         let mut inner = lock_of(&self.inner);
         while inner.threads.iter().any(|t| t.alive) {
             let (g, _) = self
@@ -424,7 +457,7 @@ impl Session {
 
     /// Prepare for the next run: replay `prefix`, then search with the
     /// given sleep set armed at the branch point.
-    fn reset(&self, prefix: Vec<usize>, seed_sleep: Vec<(usize, Vec<u64>)>) {
+    pub(crate) fn reset(&self, prefix: Vec<usize>, seed_sleep: Vec<(usize, Vec<Op>)>) {
         let mut inner = lock_of(&self.inner);
         inner.checked_in = 0;
         for t in &mut inner.threads {
@@ -453,7 +486,7 @@ impl Session {
 
     /// Harvest the run's outcome: (trail, deadlock, capped, failure).
     #[allow(clippy::type_complexity)]
-    fn take_outcome(
+    pub(crate) fn take_outcome(
         &self,
     ) -> (
         Vec<TrailEntry>,
@@ -494,6 +527,21 @@ impl Session {
 }
 
 impl ExploreHook for Session {
+    fn on_event(&self, event: SyncEvent) {
+        match event {
+            SyncEvent::Checkin { worker } => self.on_checkin(worker),
+            SyncEvent::Acquire { mutex } => self.on_lock(mutex),
+            SyncEvent::Release { mutex } => self.on_unlock(mutex),
+            SyncEvent::Wait { condvar, mutex } => self.on_wait(condvar, mutex),
+            SyncEvent::Notify { condvar, all } => self.on_notify(condvar, all),
+            SyncEvent::ThreadExit { worker } => self.on_thread_exit(worker),
+        }
+    }
+}
+
+/// Per-event handlers; each runs on the checked-in thread that produced
+/// the event, and may park it (that is how the cooperative model works).
+impl Session {
     fn on_checkin(&self, worker: usize) {
         WORKER.with(|c| c.set(Some(worker)));
         let wakes = {
@@ -539,7 +587,7 @@ impl ExploreHook for Session {
         }
         let m = inner.obj(mutex);
         inner.owner.remove(&m);
-        inner.touch(m);
+        inner.touch(m, OpKind::Release);
         // No decision here: the thread keeps running until its next park.
     }
 
@@ -554,8 +602,8 @@ impl ExploreHook for Session {
             // The shim already released the real lock; mirror that in the
             // model, as part of the step that is ending.
             inner.owner.remove(&m);
-            inner.touch(m);
-            inner.touch(cv);
+            inner.touch(m, OpKind::Release);
+            inner.touch(cv, OpKind::Wait);
             (cv, m)
         };
         self.park_at(w, Pending::Wait { cv, mutex: m });
@@ -572,7 +620,7 @@ impl ExploreHook for Session {
             return;
         }
         let cv = inner.obj(condvar);
-        inner.touch(cv);
+        inner.touch(cv, OpKind::Notify);
         let waiters: Vec<usize> = (0..inner.n_workers)
             .filter(|&t| {
                 inner.threads[t].alive
@@ -617,6 +665,78 @@ impl ExploreHook for Session {
 }
 
 // ---------------------------------------------------------------------------
+// Session teardown guard
+// ---------------------------------------------------------------------------
+
+/// RAII setup/teardown for one exploration: installs the session as the
+/// compat shim's explore hook and swaps in a panic hook that swallows the
+/// explorer's own teardown panics while capturing the first *real* panic
+/// message of each run (a worker assertion, a DepTracker double-release…)
+/// — `std::thread::scope` rethrows only a generic payload, so the hook is
+/// where the real message is visible.
+///
+/// Both hooks are process-global state; restoring them in `Drop` (rather
+/// than at the driver's tail) guarantees every exit path — first finding,
+/// step-cap abort, replay divergence, an unexpected driver panic —
+/// reinstates whatever panic hook the caller had installed.
+type PanicHook = Box<dyn Fn(&panic::PanicHookInfo<'_>) + Send + Sync + 'static>;
+
+pub(crate) struct SessionGuard {
+    captured: Arc<StdMutex<Option<String>>>,
+    prev: Option<PanicHook>,
+}
+
+impl SessionGuard {
+    /// Install `session` and the capturing panic hook.
+    pub(crate) fn install(session: Arc<Session>) -> SessionGuard {
+        explore::install(session);
+        let captured: Arc<StdMutex<Option<String>>> = Arc::new(StdMutex::new(None));
+        let prev = panic::take_hook();
+        {
+            let captured = captured.clone();
+            panic::set_hook(Box::new(move |info| {
+                let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
+                    (*s).to_string()
+                } else if let Some(s) = info.payload().downcast_ref::<String>() {
+                    s.clone()
+                } else {
+                    "non-string panic payload".to_string()
+                };
+                if msg.contains(ABORT_MSG) || msg.contains(SCOPE_MSG) {
+                    return;
+                }
+                let mut slot = captured.lock().unwrap_or_else(|e| e.into_inner());
+                slot.get_or_insert(msg);
+            }));
+        }
+        SessionGuard {
+            captured,
+            prev: Some(prev),
+        }
+    }
+
+    /// Forget any message captured so far (called before each run).
+    pub(crate) fn clear(&self) {
+        *lock_of(&self.captured) = None;
+    }
+
+    /// Take the first real panic message of the current run, if any.
+    pub(crate) fn take_panic(&self) -> Option<String> {
+        lock_of(&self.captured).take()
+    }
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        let _ = panic::take_hook();
+        if let Some(prev) = self.prev.take() {
+            panic::set_hook(prev);
+        }
+        explore::uninstall();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The DFS driver
 // ---------------------------------------------------------------------------
 
@@ -625,14 +745,14 @@ struct Frame {
     enabled: Vec<usize>,
     /// Choices already explored from this state, with the footprint each
     /// step had when executed.
-    explored: Vec<(usize, Vec<u64>)>,
+    explored: Vec<(usize, Vec<Op>)>,
     /// Sleep set in effect when this state was first reached.
-    sleep: Vec<(usize, Vec<u64>)>,
+    sleep: Vec<(usize, Vec<Op>)>,
 }
 
 /// Serializes explorations: the hook registry and the panic hook are
 /// process-global.
-static SESSION_LOCK: StdMutex<()> = StdMutex::new(());
+pub(crate) static SESSION_LOCK: StdMutex<()> = StdMutex::new(());
 
 /// Explore the interleavings of `run_once`, a scenario that spawns exactly
 /// `n_workers` threads which check in via `parking_lot::explore::checkin`
@@ -646,46 +766,22 @@ pub fn explore(n_workers: usize, cfg: ExploreConfig, mut run_once: impl FnMut())
     assert!(n_workers > 0, "need at least one controlled thread");
     let _serial = lock_of(&SESSION_LOCK);
     let session = Arc::new(Session::new(n_workers, &cfg));
-    explore::install(session.clone());
-
-    // Swallow the explorer's own teardown panics and remember the first
-    // *real* panic message of each run (a worker assertion, a DepTracker
-    // double-release…) — `std::thread::scope` rethrows only a generic
-    // payload, so the hook is where the real message is visible.
-    let captured: Arc<StdMutex<Option<String>>> = Arc::new(StdMutex::new(None));
-    let prev_hook = panic::take_hook();
-    {
-        let captured = captured.clone();
-        panic::set_hook(Box::new(move |info| {
-            let msg = if let Some(s) = info.payload().downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = info.payload().downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "non-string panic payload".to_string()
-            };
-            if msg.contains(ABORT_MSG) || msg.contains(SCOPE_MSG) {
-                return;
-            }
-            let mut slot = captured.lock().unwrap_or_else(|e| e.into_inner());
-            slot.get_or_insert(msg);
-        }));
-    }
+    let guard = SessionGuard::install(session.clone());
 
     let mut report = ExploreReport::default();
     let mut frames: Vec<Frame> = Vec::new();
     let mut prefix: Vec<usize> = Vec::new();
-    let mut seed: Vec<(usize, Vec<u64>)> = Vec::new();
+    let mut seed: Vec<(usize, Vec<Op>)> = Vec::new();
 
     loop {
         session.reset(prefix.clone(), seed.clone());
-        *lock_of(&captured) = None;
+        guard.clear();
         let outcome = panic::catch_unwind(AssertUnwindSafe(&mut run_once));
         session.drain();
         let run_index = report.schedules_run;
         report.schedules_run += 1;
         let (trail, deadlocked, capped, failure) = session.take_outcome();
-        let panic_msg = lock_of(&captured).take();
+        let panic_msg = guard.take_panic();
 
         if outcome.is_err() || failure.is_some() {
             if let Some(msg) = failure.or(panic_msg) {
@@ -756,9 +852,7 @@ pub fn explore(n_workers: usize, cfg: ExploreConfig, mut run_once: impl FnMut())
         frames.truncate(d + 1);
     }
 
-    let _ = panic::take_hook();
-    panic::set_hook(prev_hook);
-    explore::uninstall();
+    drop(guard); // restore the caller's panic hook, uninstall the session
     report
 }
 

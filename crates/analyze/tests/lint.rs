@@ -705,3 +705,102 @@ fn a_failed_attempt_with_no_retry_or_abort_is_flagged() {
         report.to_json()
     );
 }
+
+// ---------------------------------------------------------------------------
+// Rule 18 (mc-witness) golden tests
+// ---------------------------------------------------------------------------
+
+/// Like [`degraded_run`], but also returns the engine's own outcome
+/// classification so the mc-witness rule can re-check it.
+fn degraded_run_with_outcome() -> (
+    TaskGraph,
+    Platform,
+    TimingProfile,
+    Trace,
+    hetchol_core::fault::RunOutcome,
+) {
+    use hetchol_core::fault::{FaultPlan, RetryPolicy};
+    let graph = TaskGraph::cholesky(4);
+    let platform = Platform::homogeneous(3).without_comm();
+    let profile = TimingProfile::mirage_homogeneous();
+    let plan = FaultPlan::new().kill_worker(1, 6);
+    let r = hetchol_sim::simulate_resilient(
+        &graph,
+        &platform,
+        &profile,
+        &mut Dmdas::new(),
+        &SimOptions::default(),
+        hetchol_core::obs::ObsSink::disabled(),
+        &plan,
+        &RetryPolicy::default(),
+    )
+    .unwrap();
+    assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    (graph, platform, profile, r.trace, r.outcome)
+}
+
+#[test]
+fn reproduced_mc_witness_is_a_confirmed_error() {
+    use hetchol_analyze::Invariant;
+    use hetchol_core::fault::FaultEventKind;
+    let (graph, platform, profile, mut trace, outcome) = degraded_run_with_outcome();
+    let died_at = trace
+        .fault_events
+        .iter()
+        .find_map(|fe| match fe.kind {
+            FaultEventKind::WorkerDied { worker: 1 } => Some(fe.at),
+            _ => None,
+        })
+        .expect("the plan kills worker 1");
+    // Seed the witnessed bug: one post-death execution on the corpse.
+    let ev = trace
+        .events
+        .iter_mut()
+        .find(|e| e.start >= died_at)
+        .expect("work continues after the death");
+    ev.worker = 1;
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .with_mc_witness(Invariant::NoExecAfterDeath, outcome)
+        .lint_trace(&trace);
+    let diags = report.by_rule(Rule::McWitness);
+    assert_eq!(diags.len(), 1, "{}", report.to_json());
+    assert_eq!(
+        diags[0].severity,
+        hetchol_analyze::Severity::Error,
+        "{}",
+        report.to_json()
+    );
+    assert!(
+        diags[0].message.starts_with("CONFIRMED"),
+        "{}",
+        diags[0].message
+    );
+}
+
+#[test]
+fn stale_mc_witness_downgrades_to_a_warning() {
+    use hetchol_analyze::Invariant;
+    // The trace is the engine's own (correct) recovery: the recorded
+    // violation does not reproduce, so the witness is stale — warn, don't
+    // fail the build over a fixed bug.
+    let (graph, platform, profile, trace, outcome) = degraded_run_with_outcome();
+    let report = Linter::new(&graph, &platform, &profile)
+        .duration_check(DurationCheck::Loose)
+        .with_mc_witness(Invariant::NoExecAfterDeath, outcome)
+        .lint_trace(&trace);
+    let diags = report.by_rule(Rule::McWitness);
+    assert_eq!(diags.len(), 1, "{}", report.to_json());
+    assert_eq!(
+        diags[0].severity,
+        hetchol_analyze::Severity::Warning,
+        "{}",
+        report.to_json()
+    );
+    assert!(
+        diags[0].message.contains("did not reproduce"),
+        "{}",
+        diags[0].message
+    );
+    assert_eq!(report.n_errors(), 0, "{}", report.to_json());
+}

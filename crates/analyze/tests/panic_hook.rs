@@ -1,0 +1,45 @@
+//! The explorer swaps the process-global panic hook for the duration of a
+//! session; a user-installed hook must survive every exploration exit
+//! path. Kept in its own test binary: integration tests in one binary run
+//! concurrently, and another test's live exploration would race the
+//! assertions on the global hook.
+
+use hetchol_analyze::{explore_runtime, explore_runtime_dpor, ExploreConfig};
+use hetchol_core::dag::TaskGraph;
+use std::panic;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+#[test]
+fn user_panic_hook_survives_explorations() {
+    let hits = Arc::new(AtomicUsize::new(0));
+    {
+        let hits = hits.clone();
+        panic::set_hook(Box::new(move |_| {
+            hits.fetch_add(1, Ordering::SeqCst);
+        }));
+    }
+
+    // One sleep-set exploration and one DPOR exploration, both clean, plus
+    // a bounded one (early exit via the schedule budget): every path must
+    // restore the hook on the way out.
+    let graph = TaskGraph::cholesky(2);
+    assert!(explore_runtime(&graph, 2, ExploreConfig::default()).is_clean());
+    assert!(explore_runtime_dpor(&graph, 2, ExploreConfig::default()).is_clean());
+    let bounded = ExploreConfig {
+        max_schedules: 1,
+        ..ExploreConfig::default()
+    };
+    assert!(!explore_runtime(&graph, 2, bounded).complete);
+
+    // Our hook must be back in place: a caught panic goes through it.
+    let before = hits.load(Ordering::SeqCst);
+    let _ = panic::catch_unwind(|| panic!("probe"));
+    let after = hits.load(Ordering::SeqCst);
+    let _ = panic::take_hook(); // restore the default for other tests
+    assert_eq!(
+        after,
+        before + 1,
+        "the user-installed panic hook was not restored after exploration"
+    );
+}

@@ -90,6 +90,7 @@ fn lost_wakeup_mutation_is_detected() {
             2,
             Mutations {
                 drop_release_notify: true,
+                ..Default::default()
             },
         )
         .expect("no-op tasks cannot fail");

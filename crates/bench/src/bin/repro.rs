@@ -18,6 +18,9 @@
 //!
 //! repro analyze              # lint both engines' traces (exit 1 on errors)
 //! repro chaos [--seed N]     # seeded fault-injection matrix over both engines (exit 1 on failures)
+//! repro mc [--workers N] [--tiles N] [--faults] [--mutate <bug>] [--compare-pruning]
+//!          [--witness-out <file>] [--replay <witness.json>]
+//!                            # DPOR model checking of the resilient runtime (exit 1 on violations)
 //! repro certify              # exact-certify the paper grid's bounds (exit 1 on failures)
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //! repro bench [--quick]      # execution-core throughput matrix (BENCH_sim_throughput.json)
@@ -41,6 +44,8 @@ struct Args {
     cp_budget: usize,
     seed: u64,
     obs_out: Option<std::path::PathBuf>,
+    mc: bench::McOptions,
+    replay: Option<std::path::PathBuf>,
     rest: Vec<String>,
 }
 
@@ -52,6 +57,8 @@ fn parse_args() -> Args {
     let mut cp_budget = 30_000usize;
     let mut seed = 42u64;
     let mut obs_out = None;
+    let mut mc = bench::McOptions::default();
+    let mut replay = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -78,9 +85,38 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--obs-out needs a directory")),
                 ));
             }
+            "--workers" => {
+                mc.n_workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--workers needs an integer"));
+            }
+            "--tiles" => {
+                mc.n_tiles = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--tiles needs an integer"));
+            }
+            "--faults" => mc.faults = true,
+            "--compare-pruning" => mc.compare_pruning = true,
+            "--mutate" => {
+                mc.mutate = Some(it.next().unwrap_or_else(|| die("--mutate needs a name")));
+            }
+            "--witness-out" => {
+                mc.witness_out = Some(std::path::PathBuf::from(
+                    it.next()
+                        .unwrap_or_else(|| die("--witness-out needs a file")),
+                ));
+            }
+            "--replay" => {
+                replay = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--replay needs a file")),
+                ));
+            }
             _ => rest.push(a),
         }
     }
+    mc.json = json;
     Args {
         csv,
         json,
@@ -89,6 +125,8 @@ fn parse_args() -> Args {
         cp_budget,
         seed,
         obs_out,
+        mc,
+        replay,
         rest,
     }
 }
@@ -116,6 +154,26 @@ fn run_chaos(seed: u64, json: bool) -> ! {
         std::process::exit(1);
     }
     std::process::exit(0)
+}
+
+/// `repro mc`: exhaustively model-check the resilient runtime with the
+/// DPOR explorer (DESIGN.md §14) and exit nonzero on any invariant
+/// violation; `--replay <witness.json>` re-runs a stored witness instead
+/// and exits nonzero when it no longer reproduces.
+fn run_mc(opts: &bench::McOptions, replay: Option<&std::path::Path>, json: bool) -> ! {
+    let (report, code) = match replay {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(&format!("{}: unreadable: {e}", path.display())));
+            bench::mc_replay(&text, json)
+        }
+        None => bench::mc(opts),
+    };
+    print!("{report}");
+    if code > 0 {
+        eprintln!("mc: verification failed");
+    }
+    std::process::exit(i32::try_from(code.min(2)).expect("code ≤ 2"))
 }
 
 /// `repro certify`: build exact rational certificates for every LP/ILP
@@ -237,6 +295,9 @@ fn main() {
     if cmd == "chaos" {
         run_chaos(args.seed, args.json);
     }
+    if cmd == "mc" {
+        run_mc(&args.mc, args.replay.as_deref(), args.json);
+    }
     if cmd == "bench" {
         run_bench(args.json, args.quick);
     }
@@ -319,6 +380,9 @@ fn main() {
                  \u{20}            lu  qr   (extension: same methodology on LU / QR)\n\
                  \u{20}            analyze  (lint both engines' traces; exit 1 on errors)\n\
                  \u{20}            chaos [--seed N]  (fault-injection matrix over both engines; exit 1 on failures)\n\
+                 \u{20}            mc [--workers N] [--tiles N] [--faults] [--mutate <bug>] [--compare-pruning]\n\
+                 \u{20}               [--witness-out <file>] [--replay <witness.json>]\n\
+                 \u{20}               (DPOR model checking of the resilient runtime; exit 1 on violations)\n\
                  \u{20}            certify  (exact-certify the paper grid's bounds; exit 1 on failures)\n\
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
                  \u{20}            bench [--quick]  (execution-core throughput matrix; --json for the committed schema)\n\

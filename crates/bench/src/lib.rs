@@ -1327,6 +1327,353 @@ pub fn obs_dump(dir: &std::path::Path) -> std::io::Result<Vec<std::path::PathBuf
     Ok(written)
 }
 
+/// Options for `repro mc` (see [`mc`]).
+#[derive(Clone, Debug)]
+pub struct McOptions {
+    /// Cholesky tile count of the model-checked scenario.
+    pub n_tiles: usize,
+    /// Runtime worker-thread count.
+    pub n_workers: usize,
+    /// Also explore the fault-decision space: every single worker death
+    /// and every single transient, each under every interleaving.
+    pub faults: bool,
+    /// Seeded-bug runner (`skip-dead-requeue` or `drop-release-notify`);
+    /// `None` model-checks the stock runtime.
+    pub mutate: Option<String>,
+    /// Also run the sleep-set baseline on the fault-free tree and print
+    /// the branch-count comparison (verdicts must agree).
+    pub compare_pruning: bool,
+    /// Write a found witness (replayable JSON) to this path.
+    pub witness_out: Option<std::path::PathBuf>,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+}
+
+impl Default for McOptions {
+    fn default() -> McOptions {
+        McOptions {
+            n_tiles: 2,
+            n_workers: 2,
+            faults: false,
+            mutate: None,
+            compare_pruning: false,
+            witness_out: None,
+            json: false,
+        }
+    }
+}
+
+/// A boxed scenario runner for [`mc`]: one deterministic resilient run
+/// under a given fault plan.
+type McRunner = Box<
+    dyn FnMut(
+        &hetchol_core::fault::FaultPlan,
+    ) -> Result<hetchol_rt::RtResult, hetchol_core::fault::ConfigError>,
+>;
+
+/// Build the runner `repro mc` model-checks: the stock resilient runtime,
+/// or one of the seeded-bug variants when `mutation` names one.
+fn mc_runner(n_tiles: usize, n_workers: usize, mutation: Option<&str>) -> Result<McRunner, String> {
+    use hetchol_core::fault::RetryPolicy;
+    use hetchol_rt::runtime::{execute_resilient_mutated, Mutations};
+    let mutations = match mutation {
+        None => {
+            return Ok(Box::new(hetchol_analyze::resilient_runner(
+                n_tiles, n_workers,
+            )))
+        }
+        Some("skip-dead-requeue") => Mutations {
+            skip_dead_requeue: true,
+            ..Default::default()
+        },
+        Some("drop-release-notify") => Mutations {
+            drop_release_notify: true,
+            ..Default::default()
+        },
+        Some(other) => {
+            return Err(format!(
+                "unknown mutation `{other}` (try `skip-dead-requeue` or `drop-release-notify`)"
+            ))
+        }
+    };
+    let graph = TaskGraph::cholesky(n_tiles);
+    let profile = TimingProfile::mirage_homogeneous();
+    let policy = RetryPolicy::default();
+    Ok(Box::new(move |plan| {
+        let mut sched = hetchol_analyze::race::RoundRobin;
+        let workload = hetchol_rt::FnWorkload(|_| Ok::<(), std::convert::Infallible>(()));
+        execute_resilient_mutated(
+            &workload, &graph, &mut sched, &profile, n_workers, plan, &policy, mutations,
+        )
+    }))
+}
+
+/// `repro mc`: exhaustively model-check the resilient runtime with the
+/// DPOR explorer — every thread interleaving, and with `--faults` every
+/// single-fault plan — checking the recovery invariant catalog at every
+/// quiescent state (DESIGN.md §14).
+///
+/// A found violation is minimized into a replayable witness, immediately
+/// replayed to confirm determinism, fed to the linter (rule 18,
+/// `mc-witness`) when the replay yields a trace, and optionally written
+/// to `--witness-out`. Returns the rendered report and the exit code
+/// (nonzero on violations, runner failures, or a pruning mismatch).
+pub fn mc(opts: &McOptions) -> (String, usize) {
+    use hetchol_analyze::race::{explore_runtime, ExploreConfig};
+    use hetchol_analyze::{check_recovery, explore_runtime_dpor, RecoveryScenario};
+    use hetchol_core::fault::FaultPlan;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let mut errors = 0usize;
+    let graph = TaskGraph::cholesky(opts.n_tiles);
+    let cfg = ExploreConfig::default();
+
+    if !opts.json {
+        let _ = writeln!(
+            out,
+            "# Model checking: cholesky({}) ({} tasks) on {} workers{}{}",
+            opts.n_tiles,
+            graph.len(),
+            opts.n_workers,
+            if opts.faults {
+                ", fault space armed"
+            } else {
+                ""
+            },
+            match &opts.mutate {
+                Some(m) => format!(", seeded mutation `{m}`"),
+                None => String::new(),
+            },
+        );
+    }
+
+    // Pruning comparison runs on the stock fault-free tree — the claim is
+    // about the explorer, not the scenario under test.
+    let mut compare = None;
+    if opts.compare_pruning {
+        let sleep = explore_runtime(&graph, opts.n_workers, cfg);
+        let dpor = explore_runtime_dpor(&graph, opts.n_workers, cfg);
+        let agree = sleep.is_clean() == dpor.is_clean() && sleep.complete == dpor.complete;
+        if !agree {
+            errors += 1;
+        }
+        if !opts.json {
+            let _ = writeln!(
+                out,
+                "pruning: sleep-set baseline {} branches, DPOR {} branches ({}; verdicts {})",
+                sleep.schedules_run,
+                dpor.schedules_run,
+                if dpor.schedules_run < sleep.schedules_run {
+                    "DPOR strictly fewer"
+                } else {
+                    "no reduction"
+                },
+                if agree { "agree" } else { "DISAGREE" },
+            );
+        }
+        compare = Some((sleep.schedules_run, dpor.schedules_run, agree));
+    }
+
+    let scenario = RecoveryScenario {
+        n_tiles: opts.n_tiles,
+        n_workers: opts.n_workers,
+        mutation: opts.mutate.clone(),
+    };
+    let space = if opts.faults {
+        FaultPlan::choice_space(graph.len(), opts.n_workers)
+    } else {
+        vec![FaultPlan::none()]
+    };
+    let runner = match mc_runner(opts.n_tiles, opts.n_workers, opts.mutate.as_deref()) {
+        Ok(r) => r,
+        Err(e) => return (format!("error: {e}\n"), 2),
+    };
+    let report = check_recovery(&scenario, &space, cfg, runner);
+    if !report.is_clean() {
+        errors += 1;
+    }
+
+    // A found witness must replay deterministically; when the replay
+    // completes with a trace, rule 18 re-checks it through the linter.
+    let mut replay_line = String::new();
+    if let Some(w) = &report.witness {
+        let runner = mc_runner(opts.n_tiles, opts.n_workers, w.mutation.as_deref())
+            .expect("witness mutation label was validated above");
+        let replay = hetchol_analyze::replay_witness(w, cfg, runner);
+        let _ = write!(
+            replay_line,
+            "replay: {}",
+            if replay.reproduced {
+                "reproduced deterministically"
+            } else {
+                "DID NOT reproduce"
+            }
+        );
+        if !replay.reproduced {
+            errors += 1;
+        }
+        if let Some(r) = &replay.result {
+            let platform = Platform::homogeneous(opts.n_workers).without_comm();
+            let profile = TimingProfile::mirage_homogeneous();
+            let lint = hetchol_analyze::Linter::new(&graph, &platform, &profile)
+                .duration_check(hetchol_core::schedule::DurationCheck::Loose)
+                .with_mc_witness(w.invariant, r.outcome.clone())
+                .lint_trace(&r.trace);
+            let confirmed = lint
+                .by_rule(hetchol_analyze::Rule::McWitness)
+                .iter()
+                .any(|d| d.message.starts_with("CONFIRMED"));
+            let _ = write!(
+                replay_line,
+                "; linter rule 18: {}",
+                if confirmed {
+                    "CONFIRMED"
+                } else {
+                    "not confirmed"
+                }
+            );
+        }
+        if let Some(path) = &opts.witness_out {
+            match std::fs::write(path, w.to_json()) {
+                Ok(()) => {
+                    let _ = write!(replay_line, "; witness written to {}", path.display());
+                }
+                Err(e) => {
+                    errors += 1;
+                    let _ = write!(replay_line, "; FAILED to write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+
+    if opts.json {
+        let _ = write!(
+            out,
+            "{{\"tiles\":{},\"workers\":{},\"plans\":{},\"schedules_run\":{},\"exhausted\":{}",
+            opts.n_tiles, opts.n_workers, report.plans, report.schedules_run, report.exhausted
+        );
+        if let Some((sleep, dpor, agree)) = compare {
+            let _ = write!(
+                out,
+                ",\"compare_pruning\":{{\"sleep_set\":{sleep},\"dpor\":{dpor},\"verdicts_agree\":{agree}}}"
+            );
+        }
+        match &report.witness {
+            Some(w) => {
+                let _ = write!(out, ",\"witness\":{}", w.to_json());
+            }
+            None => {
+                let _ = write!(out, ",\"witness\":null");
+            }
+        }
+        let _ = writeln!(out, ",\"failures\":{}}}", report.failures.len());
+    } else {
+        let _ = writeln!(
+            out,
+            "explored {} fault plan(s), {} branch(es) total, exhausted: {}",
+            report.plans, report.schedules_run, report.exhausted
+        );
+        for f in &report.failures {
+            let _ = writeln!(out, "FAILURE: {f}");
+        }
+        match &report.witness {
+            Some(w) => {
+                let plan = if w.plan.is_empty() {
+                    "no faults".to_string()
+                } else {
+                    w.plan
+                        .faults()
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" + ")
+                };
+                let _ = writeln!(
+                    out,
+                    "VIOLATION: {} under [{plan}]\n  {}\n  minimized choice prefix: {:?}",
+                    w.invariant, w.detail, w.choices
+                );
+                let _ = writeln!(out, "{replay_line}");
+            }
+            None => {
+                let _ = writeln!(out, "no invariant violations");
+            }
+        }
+    }
+    (out, errors)
+}
+
+/// `repro mc --replay <witness.json>`: deterministically re-run a stored
+/// witness and verify it still reproduces its recorded invariant
+/// violation. Returns the rendered report and the exit code (nonzero when
+/// the witness fails to reproduce).
+pub fn mc_replay(text: &str, json: bool) -> (String, usize) {
+    use hetchol_analyze::race::ExploreConfig;
+    use hetchol_analyze::Witness;
+    use std::fmt::Write as _;
+
+    let witness = match Witness::from_json(text) {
+        Ok(w) => w,
+        Err(e) => return (format!("error: bad witness: {e}\n"), 2),
+    };
+    let runner = match mc_runner(
+        witness.n_tiles,
+        witness.n_workers,
+        witness.mutation.as_deref(),
+    ) {
+        Ok(r) => r,
+        Err(e) => return (format!("error: {e}\n"), 2),
+    };
+    let replay = hetchol_analyze::replay_witness(&witness, ExploreConfig::default(), runner);
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"invariant\":\"{}\",\"reproduced\":{},\"observed\":{}}}",
+            witness.invariant,
+            replay.reproduced,
+            match &replay.observed {
+                Some(v) => format!("\"{}\"", v.invariant),
+                None => "null".to_string(),
+            }
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "witness: {} on cholesky({}) × {} workers{}",
+            witness.invariant,
+            witness.n_tiles,
+            witness.n_workers,
+            match &witness.mutation {
+                Some(m) => format!(" (mutation `{m}`)"),
+                None => String::new(),
+            }
+        );
+        match (&replay.observed, &replay.error) {
+            (Some(v), _) => {
+                let _ = writeln!(out, "replay observed: {}\n  {}", v.invariant, v.detail);
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(out, "replay errored: {e}");
+            }
+            (None, None) => {
+                let _ = writeln!(out, "replay observed: clean run");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if replay.reproduced {
+                "REPRODUCED: the recorded violation is real in this build"
+            } else {
+                "NOT reproduced (fixed bug, or a stale/divergent witness)"
+            }
+        );
+    }
+    (out, usize::from(!replay.reproduced))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

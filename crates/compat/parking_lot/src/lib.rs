@@ -21,28 +21,40 @@ pub mod explore {
     //! threads that want to be *controlled* call [`checkin`] once at
     //! startup. From then on every `Mutex::lock`, guard drop,
     //! `Condvar::wait` and notify performed by a checked-in thread reports
-    //! to the hook — and, crucially, a controlled `Condvar::wait` never
-    //! touches the real condvar: the shim releases the real lock, parks the
-    //! thread inside [`ExploreHook::on_wait`] (where the explorer models
-    //! the wait and decides when — and whether — the thread resumes), then
+    //! a kind-tagged [`SyncEvent`] to the hook — and, crucially, a
+    //! controlled `Condvar::wait` never touches the real condvar: the shim
+    //! releases the real lock, parks the thread inside the hook's
+    //! [`SyncEvent::Wait`] handling (where the explorer models the wait
+    //! and decides when — and whether — the thread resumes), then
     //! reacquires the real lock. This gives the explorer full authority
     //! over wakeup order, which is what makes lost-wakeup bugs observable
     //! as model deadlocks instead of 60-second test hangs.
     //!
-    //! The hook's blocking discipline (one running thread at a time, DFS
-    //! over decision points, sleep sets…) lives entirely in the installer;
-    //! the shim only guarantees the callback order below:
+    //! The single-event-stream shape (rather than one method per
+    //! operation) is what lets a hook feed the events straight into a
+    //! happens-before model: a DPOR explorer keeps one vector clock per
+    //! thread and per sync object and joins them on each event, so the
+    //! event must carry the operation kind and the object identities
+    //! together.
     //!
-    //! * `on_lock(m)` is called **before** the real acquire — the hook must
-    //!   block until its model says `m` is free for this thread;
-    //! * `on_unlock(m)` is called **after** the real release;
-    //! * `on_wait(cv, m)` is called with the real lock **released**; when
-    //!   it returns the shim reacquires the real lock directly (no second
-    //!   `on_lock`) — the hook must model wait + reacquisition atomically;
-    //! * `on_notify(cv, all)` is called before the real notify (a no-op
-    //!   for controlled waiters, which never sleep on the real condvar);
-    //! * `on_thread_exit` fires from a TLS destructor when a checked-in
-    //!   thread terminates, however it terminates (return or unwind).
+    //! The hook's blocking discipline (one running thread at a time, DFS
+    //! over decision points, sleep sets or DPOR…) lives entirely in the
+    //! installer; the shim only guarantees the delivery order below:
+    //!
+    //! * [`SyncEvent::Acquire`] is delivered **before** the real acquire —
+    //!   the hook must block until its model says the mutex is free for
+    //!   this thread;
+    //! * [`SyncEvent::Release`] is delivered **after** the real release;
+    //! * [`SyncEvent::Wait`] is delivered with the real lock **released**;
+    //!   when the hook returns the shim reacquires the real lock directly
+    //!   (no second `Acquire` event) — the hook must model wait +
+    //!   reacquisition atomically;
+    //! * [`SyncEvent::Notify`] is delivered before the real notify (a
+    //!   no-op for controlled waiters, which never sleep on the real
+    //!   condvar);
+    //! * [`SyncEvent::ThreadExit`] fires from a TLS destructor when a
+    //!   checked-in thread terminates, however it terminates (return or
+    //!   unwind).
     //!
     //! Threads that never call [`checkin`] (e.g. the main thread) are
     //! invisible to the hook and use the primitives at full speed.
@@ -51,28 +63,64 @@ pub mod explore {
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Mutex as StdMutex};
 
-    /// Callbacks a model checker implements to control checked-in threads.
+    /// One synchronization operation performed by a checked-in thread.
     ///
-    /// Every method is invoked on the checked-in thread itself; methods
-    /// are allowed to block (that is the point) and to panic (the
-    /// explorer's abort path — the panic unwinds the worker thread).
-    pub trait ExploreHook: Send + Sync {
+    /// Sync objects are identified by their stable address (see the
+    /// `addr` helper); the enum carries exactly the metadata a
+    /// happens-before model needs: which objects were touched and how.
+    #[derive(Copy, Clone, Debug, PartialEq, Eq)]
+    pub enum SyncEvent {
         /// A worker thread registered itself under worker id `worker`.
-        fn on_checkin(&self, worker: usize);
-        /// The thread is about to acquire the mutex identified by `mutex`.
-        fn on_lock(&self, mutex: usize);
-        /// The thread released the mutex identified by `mutex`.
-        fn on_unlock(&self, mutex: usize);
-        /// The thread waits on `condvar`, having released `mutex`; return
-        /// once the model has woken the thread *and* re-granted `mutex`.
-        fn on_wait(&self, condvar: usize, mutex: usize);
+        Checkin {
+            /// The runtime-chosen worker id for this thread.
+            worker: usize,
+        },
+        /// The thread is about to acquire `mutex`.
+        Acquire {
+            /// Identity of the mutex being acquired.
+            mutex: usize,
+        },
+        /// The thread released `mutex`.
+        Release {
+            /// Identity of the mutex that was released.
+            mutex: usize,
+        },
+        /// The thread waits on `condvar`, having released `mutex`; the
+        /// hook returns once the model has woken the thread *and*
+        /// re-granted `mutex`.
+        Wait {
+            /// Identity of the condvar being waited on.
+            condvar: usize,
+            /// Identity of the mutex released for the wait's duration.
+            mutex: usize,
+        },
         /// The thread notified `condvar` (`all` distinguishes
         /// `notify_all` from `notify_one`).
-        fn on_notify(&self, condvar: usize, all: bool);
+        Notify {
+            /// Identity of the notified condvar.
+            condvar: usize,
+            /// `true` for `notify_all`, `false` for `notify_one`.
+            all: bool,
+        },
         /// The checked-in thread registered as `worker` is terminating.
-        /// Runs from a TLS destructor, so the hook must not rely on its
-        /// own thread-locals here — hence the explicit id.
-        fn on_thread_exit(&self, worker: usize);
+        /// Delivered from a TLS destructor, so the hook must not rely on
+        /// its own thread-locals here — hence the explicit id.
+        ThreadExit {
+            /// The worker id the exiting thread checked in under.
+            worker: usize,
+        },
+    }
+
+    /// The callback a model checker implements to control checked-in
+    /// threads.
+    ///
+    /// `on_event` is invoked on the checked-in thread itself; it is
+    /// allowed to block (that is the point) and to panic (the explorer's
+    /// abort path — the panic unwinds the worker thread).
+    pub trait ExploreHook: Send + Sync {
+        /// A checked-in thread performed the synchronization operation
+        /// `event`. See the module docs for the delivery-order contract.
+        fn on_event(&self, event: SyncEvent);
     }
 
     static ACTIVE: AtomicBool = AtomicBool::new(false);
@@ -88,7 +136,7 @@ pub mod explore {
     impl Drop for ExitGuard {
         fn drop(&mut self) {
             let _ = CONTROLLED.try_with(|c| c.set(false));
-            self.0.on_thread_exit(self.1);
+            self.0.on_event(SyncEvent::ThreadExit { worker: self.1 });
         }
     }
 
@@ -120,7 +168,7 @@ pub mod explore {
         };
         CONTROLLED.with(|c| c.set(true));
         EXIT_GUARD.with(|g| *g.borrow_mut() = Some(ExitGuard(hook.clone(), worker)));
-        hook.on_checkin(worker);
+        hook.on_event(SyncEvent::Checkin { worker });
     }
 
     /// The hook, iff one is installed *and* the current thread checked in.
@@ -173,7 +221,9 @@ impl<T: ?Sized> Mutex<T> {
         if let Some(hook) = explore::current() {
             // The hook blocks until its model grants this thread the lock;
             // the real acquire below then succeeds without contention.
-            hook.on_lock(explore::addr(self));
+            hook.on_event(explore::SyncEvent::Acquire {
+                mutex: explore::addr(self),
+            });
         }
         MutexGuard {
             inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
@@ -227,7 +277,9 @@ impl<T: ?Sized> Drop for MutexGuard<'_, T> {
             if let Some(hook) = explore::current() {
                 // …then the model release, so a thread the explorer
                 // schedules next never blocks on the real lock.
-                hook.on_unlock(explore::addr(self.owner));
+                hook.on_event(explore::SyncEvent::Release {
+                    mutex: explore::addr(self.owner),
+                });
             }
         }
     }
@@ -285,7 +337,10 @@ impl Condvar {
             // the real lock, park inside the hook (which models the wait
             // and the reacquisition), then retake the real lock directly.
             drop(inner);
-            hook.on_wait(explore::addr(self), explore::addr(guard.owner));
+            hook.on_event(explore::SyncEvent::Wait {
+                condvar: explore::addr(self),
+                mutex: explore::addr(guard.owner),
+            });
             guard.inner = Some(guard.owner.0.lock().unwrap_or_else(|e| e.into_inner()));
             return;
         }
@@ -296,7 +351,10 @@ impl Condvar {
     /// Wake one waiter.
     pub fn notify_one(&self) {
         if let Some(hook) = explore::current() {
-            hook.on_notify(explore::addr(self), false);
+            hook.on_event(explore::SyncEvent::Notify {
+                condvar: explore::addr(self),
+                all: false,
+            });
         }
         self.0.notify_one();
     }
@@ -304,7 +362,10 @@ impl Condvar {
     /// Wake all waiters.
     pub fn notify_all(&self) {
         if let Some(hook) = explore::current() {
-            hook.on_notify(explore::addr(self), true);
+            hook.on_event(explore::SyncEvent::Notify {
+                condvar: explore::addr(self),
+                all: true,
+            });
         }
         self.0.notify_all();
     }

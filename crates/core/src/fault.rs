@@ -240,6 +240,38 @@ impl FaultPlan {
         }
         plan
     }
+
+    /// Enumerate the model checker's fault-decision space for a run of
+    /// `n_tasks` tasks on `n_workers` workers: the empty plan, every
+    /// single permanent worker death, and every single one-shot transient
+    /// task failure.
+    ///
+    /// This is the driver-side injection API: because both engines key
+    /// worker deaths to *progress* (the engine-wide task-start count) and
+    /// transients to task identity — never to clocks — "the driver fires
+    /// a fault at this exploration step" is observationally equivalent to
+    /// "the run was configured with the plan naming that progress point".
+    /// A death fired while `k` tasks have started is exactly
+    /// `kill_worker(w, k)`; a transient fired at a task's attempt is
+    /// exactly `transient(t, 1)`. The fault choice tree therefore
+    /// collapses to this finite plan list, and exhausting every plan ×
+    /// every interleaving covers every fault point within the budget of
+    /// one fault per run. Plans that would kill the whole platform are
+    /// excluded (the engines reject them up front).
+    pub fn choice_space(n_tasks: usize, n_workers: usize) -> Vec<FaultPlan> {
+        let mut space = vec![FaultPlan::none()];
+        if n_workers > 1 {
+            for w in 0..n_workers {
+                for k in 0..n_tasks as u32 {
+                    space.push(FaultPlan::new().kill_worker(w, k));
+                }
+            }
+        }
+        for t in 0..n_tasks as u32 {
+            space.push(FaultPlan::new().transient(TaskId(t), 1));
+        }
+        space
+    }
 }
 
 /// One step of the splitmix64 stream — small, well-mixed, and dependency
@@ -910,5 +942,24 @@ mod tests {
         );
         assert!(FaultPlan::new().kill_worker(0, 0).kills_all_workers(1));
         assert!(!FaultPlan::new().kill_worker(0, 0).kills_all_workers(2));
+    }
+
+    #[test]
+    fn choice_space_enumerates_every_single_fault_point() {
+        // none + 2 workers × 4 kill thresholds + 4 transients.
+        let space = FaultPlan::choice_space(4, 2);
+        assert_eq!(space.len(), 1 + 2 * 4 + 4);
+        assert!(space[0].is_empty());
+        // Every plan is accepted by the engines' up-front validation.
+        for plan in &space {
+            assert!(!plan.kills_all_workers(2), "{plan:?}");
+        }
+        // Single-worker platforms get no death plans (nothing survives).
+        let solo = FaultPlan::choice_space(3, 1);
+        assert_eq!(solo.len(), 1 + 3);
+        assert!(solo.iter().all(|p| !p
+            .faults()
+            .iter()
+            .any(|f| matches!(f, Fault::WorkerDeath { .. }))));
     }
 }

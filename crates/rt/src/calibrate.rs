@@ -24,7 +24,12 @@ pub enum CalibrationError {
     /// The generated calibration matrix failed the POTRF kernel — the
     /// random SPD generator produced a tile that is not numerically
     /// positive definite at this size (pivot `column` went non-positive).
-    NotSpd { nb: usize, column: usize },
+    NotSpd {
+        /// Tile size of the failing calibration matrix.
+        nb: usize,
+        /// Column whose pivot went non-positive.
+        column: usize,
+    },
 }
 
 impl std::fmt::Display for CalibrationError {

@@ -23,12 +23,15 @@
 //! ([`CholeskyWorkload`], [`LuWorkload`], [`QrWorkload`]) and ad-hoc
 //! closures wrap in [`FnWorkload`] — on the same real-thread machinery.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod calibrate;
 pub mod runtime;
 pub mod storage;
 pub mod workload;
 
 pub use calibrate::{calibrate_profile, CalibrationError};
-pub use runtime::{execute_resilient, execute_workload, RtResult};
+pub use runtime::{execute_resilient, execute_resilient_controlled, execute_workload, RtResult};
 pub use storage::{LockedFullTiledMatrix, LockedTiledMatrix};
 pub use workload::{CholeskyWorkload, FnWorkload, LuWorkload, QrWorkload, Workload};

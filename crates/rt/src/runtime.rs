@@ -21,7 +21,48 @@ use hetchol_core::task::TaskId;
 use hetchol_core::time::Time;
 use hetchol_core::trace::Trace;
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+/// The runtime's notion of "now".
+///
+/// The real entry points read the wall clock; the model-checking entry
+/// points ([`execute_resilient_controlled`] with `deterministic: true`)
+/// use a logical clock instead — a monotone counter whose reads are
+/// serialized by the interleaving explorer's one-thread-at-a-time model,
+/// so every replay of a thread schedule observes the *same* sequence of
+/// timestamps. That removes the runtime's one genuine wall-clock hazard:
+/// the dead-worker re-dispatch override picks the survivor with the
+/// smallest availability estimate *at `now`*, which under the wall clock
+/// can differ between a run and its replay.
+enum Clock {
+    /// Wall-clock time relative to execution start.
+    Wall(Instant),
+    /// Deterministic logical time: each read ticks the counter by 1 ns.
+    Logical(AtomicU64),
+}
+
+impl Clock {
+    fn wall() -> Clock {
+        Clock::Wall(Instant::now())
+    }
+
+    fn now(&self) -> Time {
+        match self {
+            Clock::Wall(t0) => Time::from_secs_f64(t0.elapsed().as_secs_f64()),
+            Clock::Logical(c) => Time::from_nanos(c.fetch_add(1, Ordering::Relaxed) + 1),
+        }
+    }
+
+    /// `true` when time is logical — real sleeps (retry backoff, straggler
+    /// stretch, watchdog occupancy) are skipped: under a logical clock
+    /// only the *ordering* of events is meaningful, and sleeping would
+    /// reintroduce the host scheduler as a hidden source of
+    /// nondeterminism.
+    fn is_logical(&self) -> bool {
+        matches!(self, Clock::Logical(_))
+    }
+}
 
 /// Result of one real execution.
 #[derive(Clone, Debug)]
@@ -94,7 +135,7 @@ pub fn execute_workload<W: Workload + ?Sized>(
     obs: ObsSink,
 ) -> Result<RtResult, W::Error> {
     execute_with_inner(
-        workload, graph, scheduler, profile, n_workers, obs, false, None,
+        workload, graph, scheduler, profile, n_workers, obs, false, false, false, None,
     )
 }
 
@@ -129,6 +170,35 @@ pub fn execute_resilient<W: Workload + ?Sized>(
     if plan.kills_all_workers(n_workers) {
         return Err(ConfigError::PlanKillsAllWorkers { n_workers });
     }
+    execute_resilient_controlled(
+        workload, graph, scheduler, profile, n_workers, obs, plan, policy, false,
+    )
+}
+
+/// [`execute_resilient`] with an explicit time source: `deterministic:
+/// true` swaps the wall clock for a logical clock and skips every real
+/// sleep, making the run's behaviour a pure function of the thread
+/// schedule — the instrumentation point the model checker
+/// (`hetchol-analyze::mc`) executes the resilient path through. With
+/// `deterministic: false` this *is* [`execute_resilient`].
+#[allow(clippy::too_many_arguments)]
+pub fn execute_resilient_controlled<W: Workload + ?Sized>(
+    workload: &W,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    obs: ObsSink,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    deterministic: bool,
+) -> Result<RtResult, ConfigError> {
+    if n_workers == 0 {
+        return Err(ConfigError::ZeroWorkers);
+    }
+    if plan.kills_all_workers(n_workers) {
+        return Err(ConfigError::PlanKillsAllWorkers { n_workers });
+    }
     let faults = FaultState::new(plan, *policy, graph.len(), n_workers);
     let r = execute_with_inner(
         workload,
@@ -138,6 +208,8 @@ pub fn execute_resilient<W: Workload + ?Sized>(
         n_workers,
         obs,
         false,
+        false,
+        deterministic,
         Some(faults),
     );
     Ok(r.unwrap_or_else(|_| unreachable!("resilient runs fold errors into the outcome")))
@@ -153,6 +225,11 @@ pub struct Mutations {
     /// lost wakeup: a worker parked on the condvar never learns its queue
     /// gained a task, and the run deadlocks under the right interleaving.
     pub drop_release_notify: bool,
+    /// Mark a doomed worker dead but drop its queued tasks instead of
+    /// re-dispatching them onto the survivors — a recovery-protocol bug:
+    /// stranded tasks never run, their successors never release, and the
+    /// survivors wait forever once a death catches a non-empty queue.
+    pub skip_dead_requeue: bool,
 }
 
 /// [`execute_workload`] with seeded faults enabled — test-only surface for
@@ -174,8 +251,48 @@ pub fn execute_with_mutated<E: Send + std::fmt::Debug>(
         n_workers,
         ObsSink::disabled(),
         mutations.drop_release_notify,
+        mutations.skip_dead_requeue,
+        false,
         None,
     )
+}
+
+/// [`execute_resilient_controlled`] with seeded faults enabled — the
+/// model checker's mutation surface (`race-mutations` feature); never use
+/// outside `hetchol-analyze`'s regression tests. Always deterministic
+/// (logical clock), since its sole purpose is exploration.
+#[cfg(feature = "race-mutations")]
+#[allow(clippy::too_many_arguments)]
+pub fn execute_resilient_mutated<W: Workload + ?Sized>(
+    workload: &W,
+    graph: &TaskGraph,
+    scheduler: &mut (dyn Scheduler + Send),
+    profile: &TimingProfile,
+    n_workers: usize,
+    plan: &FaultPlan,
+    policy: &RetryPolicy,
+    mutations: Mutations,
+) -> Result<RtResult, ConfigError> {
+    if n_workers == 0 {
+        return Err(ConfigError::ZeroWorkers);
+    }
+    if plan.kills_all_workers(n_workers) {
+        return Err(ConfigError::PlanKillsAllWorkers { n_workers });
+    }
+    let faults = FaultState::new(plan, *policy, graph.len(), n_workers);
+    let r = execute_with_inner(
+        workload,
+        graph,
+        scheduler,
+        profile,
+        n_workers,
+        ObsSink::disabled(),
+        mutations.drop_release_notify,
+        mutations.skip_dead_requeue,
+        true,
+        Some(faults),
+    );
+    Ok(r.unwrap_or_else(|_| unreachable!("resilient runs fold errors into the outcome")))
 }
 
 /// Mark every non-busy doomed worker dead and re-dispatch its queued
@@ -184,7 +301,18 @@ pub fn execute_with_mutated<E: Send + std::fmt::Debug>(
 /// the initial dispatch). Busy doomed workers are skipped — their
 /// in-flight kernel completes (completed work is never discarded) and
 /// they die right after recording it.
-fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Scheduler, now: Time) {
+///
+/// `skip_dead_requeue` is the seeded recovery bug for the model checker
+/// (always `false` in production): the worker is marked dead but its
+/// queue is silently dropped instead of re-dispatched, so any task
+/// stranded there never runs and the survivors wait forever.
+fn reap_doomed<E>(
+    s: &mut Shared<E>,
+    ctx: &SchedContext,
+    sched: &mut dyn Scheduler,
+    now: Time,
+    skip_dead_requeue: bool,
+) {
     let Shared {
         deps,
         queues,
@@ -201,6 +329,9 @@ fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Schedul
         f.mark_dead(v, now);
         recorder.obs_mut().count_worker_lost(v, now);
         for entry in queues.drain_worker(v) {
+            if skip_dead_requeue {
+                continue; // seeded bug: strand the dead worker's queue
+            }
             let landed = exec::dispatch_resilient(
                 entry.task,
                 now,
@@ -228,6 +359,10 @@ fn reap_doomed<E>(s: &mut Shared<E>, ctx: &SchedContext, sched: &mut dyn Schedul
 /// lost-worker attempt (retried on a survivor with backoff, or aborted on
 /// budget exhaustion) and the rest of the queue drains onto the
 /// survivors.
+///
+/// `skip_dead_requeue` seeds the same recovery bug as in [`reap_doomed`]:
+/// the popped task is still retried (its attempt was already charged) but
+/// the rest of the dead worker's queue is dropped.
 fn die_at_pop<E>(
     s: &mut Shared<E>,
     ctx: &SchedContext,
@@ -235,6 +370,7 @@ fn die_at_pop<E>(
     w: WorkerId,
     entry: QueueEntry,
     now: Time,
+    skip_dead_requeue: bool,
 ) {
     let Shared {
         deps,
@@ -289,6 +425,9 @@ fn die_at_pop<E>(
         }
     }
     for e in queues.drain_worker(w) {
+        if skip_dead_requeue {
+            continue; // seeded bug: strand the dead worker's queue
+        }
         let landed = exec::dispatch_resilient(
             e.task,
             now,
@@ -319,6 +458,8 @@ fn execute_with_inner<W: Workload + ?Sized>(
     n_workers: usize,
     obs: ObsSink,
     drop_release_notify: bool,
+    skip_dead_requeue: bool,
+    deterministic: bool,
     faults: Option<FaultState>,
 ) -> Result<RtResult, W::Error> {
     assert!(n_workers > 0, "need at least one worker");
@@ -340,7 +481,11 @@ fn execute_with_inner<W: Workload + ?Sized>(
         failed: None,
     });
     let condvar = Condvar::new();
-    let t0 = Instant::now();
+    let clock = if deterministic {
+        Clock::Logical(AtomicU64::new(0))
+    } else {
+        Clock::wall()
+    };
     let scheduler = Mutex::new(scheduler);
 
     {
@@ -348,7 +493,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
         let mut sched = scheduler.lock();
         // Workers doomed from the very start (`after_starts: 0`) die
         // before the initial dispatch can consider them.
-        reap_doomed(&mut s, &ctx, &mut **sched, Time::ZERO);
+        reap_doomed(&mut s, &ctx, &mut **sched, Time::ZERO, skip_dead_requeue);
         let initial = s.deps.initial_ready();
         let Shared {
             deps,
@@ -402,6 +547,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
             let condvar = &condvar;
             let ctx = &ctx;
             let scheduler = &scheduler;
+            let clock = &clock;
             scope.spawn(move || {
                 // Register with the (normally inert) interleaving explorer:
                 // gives this thread a stable identity across replayed runs.
@@ -423,10 +569,18 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                 s.queues.pop_startable_indexed(w, |t| sched.may_start(t, w))
                             };
                             if let Some((entry, skipped)) = popped {
-                                let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                                let now = clock.now();
                                 if s.faults.as_ref().is_some_and(|f| f.death_due(w)) {
                                     let mut sched = scheduler.lock();
-                                    die_at_pop(&mut s, ctx, &mut **sched, w, entry, now);
+                                    die_at_pop(
+                                        &mut s,
+                                        ctx,
+                                        &mut **sched,
+                                        w,
+                                        entry,
+                                        now,
+                                        skip_dead_requeue,
+                                    );
                                     condvar.notify_all();
                                     return;
                                 }
@@ -472,7 +626,7 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                 // holding the lock so it cannot start anything.
                                 if s.faults.is_some() {
                                     let mut sched = scheduler.lock();
-                                    reap_doomed(&mut s, ctx, &mut **sched, now);
+                                    reap_doomed(&mut s, ctx, &mut **sched, now, skip_dead_requeue);
                                 }
                                 break work;
                             }
@@ -483,14 +637,16 @@ fn execute_with_inner<W: Workload + ?Sized>(
 
                     match work {
                         Work::Fail(task, kind, occupancy) => {
-                            let fail_start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let fail_start = clock.now();
                             if let Some(limit) = occupancy {
-                                // A timed-out attempt occupies the worker
-                                // for the watchdog limit (the kernel is
-                                // never run — injection replaces execution).
-                                std::thread::sleep(Duration::from_nanos(limit.as_nanos()));
+                                if !clock.is_logical() {
+                                    // A timed-out attempt occupies the worker
+                                    // for the watchdog limit (the kernel is
+                                    // never run — injection replaces execution).
+                                    std::thread::sleep(Duration::from_nanos(limit.as_nanos()));
+                                }
                             }
-                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let now = clock.now();
                             let mut s = shared.lock();
                             s.queues.set_idle(w);
                             let mut sched = scheduler.lock();
@@ -544,30 +700,29 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                     }
                                 }
                             }
-                            reap_doomed(&mut s, ctx, &mut **sched, now);
+                            reap_doomed(&mut s, ctx, &mut **sched, now, skip_dead_requeue);
                             condvar.notify_all();
                         }
                         Work::Run(task, data_ready, slowdown) => {
-                            let now = Time::from_secs_f64(t0.elapsed().as_secs_f64());
-                            if data_ready > now {
+                            let now = clock.now();
+                            if data_ready > now && !clock.is_logical() {
                                 // Retry backoff: the re-dispatch pushed the
                                 // entry's data-ready instant into the future.
                                 std::thread::sleep(Duration::from_nanos(
                                     (data_ready - now).as_nanos(),
                                 ));
                             }
-                            let start = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let start = clock.now();
                             let result = workload.apply(ctx.graph.task(task).coords);
-                            if slowdown > 1.0 {
+                            if slowdown > 1.0 && !clock.is_logical() {
                                 // Model the straggler: stretch the attempt's
                                 // wall time by the slowdown factor.
-                                let elapsed = Time::from_secs_f64(t0.elapsed().as_secs_f64())
-                                    .saturating_sub(start);
+                                let elapsed = clock.now().saturating_sub(start);
                                 std::thread::sleep(Duration::from_nanos(
                                     elapsed.scale(slowdown - 1.0).as_nanos(),
                                 ));
                             }
-                            let end = Time::from_secs_f64(t0.elapsed().as_secs_f64());
+                            let end = clock.now();
 
                             let mut s = shared.lock();
                             s.queues.set_idle(w);
@@ -648,7 +803,13 @@ fn execute_with_inner<W: Workload + ?Sized>(
                                     // threshold reaps it here and the loop's
                                     // `is_dead` check retires the thread.
                                     if s.faults.is_some() {
-                                        reap_doomed(&mut s, ctx, &mut **sched, end);
+                                        reap_doomed(
+                                            &mut s,
+                                            ctx,
+                                            &mut **sched,
+                                            end,
+                                            skip_dead_requeue,
+                                        );
                                     }
                                     if !drop_release_notify {
                                         condvar.notify_all();

@@ -20,6 +20,9 @@
 //!   dynamic runtime: full injection (mapping + order) and mapping-only
 //!   injection (Section VI-B).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod dm;
 pub mod eager;
 pub mod heft;

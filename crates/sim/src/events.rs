@@ -277,4 +277,58 @@ mod tests {
         }
         assert!(q.pop().is_none());
     }
+
+    /// Wrap-boundary property: timestamps that are exact multiples of the
+    /// full ring rotation (64 × 2^22 ns = 268 435 456 ns) hash into the
+    /// *same* bucket as the floor but belong to a different epoch, and
+    /// ±1 ns around those multiples straddles both the epoch check and the
+    /// bucket hash. A sign error in the epoch comparison (`>>` vs `%`, or
+    /// an off-by-one in `day + k`) pops a rotation-ahead event early, or
+    /// strands the sparse-horizon fallback. Every mix of such events must
+    /// still pop in exact `(at, seq)` heap order.
+    #[test]
+    fn wrap_boundary_timestamps_match_binary_heap() {
+        const ROTATION_NS: u64 = (N_BUCKETS as u64) << BUCKET_SHIFT;
+        assert_eq!(ROTATION_NS, 268_435_456, "ring geometry changed");
+        let mut state = 0xDEAD_BEEF_CAFE_F00Du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut q = CalendarQueue::new();
+        let mut heap: BinaryHeap<Reverse<(Time, u64)>> = BinaryHeap::new();
+        let mut heap_seq = 0u64;
+        let mut now_ns = 0u64;
+        for round in 0..20_000u32 {
+            if next() % 3 < 2 || heap.is_empty() {
+                // Delays concentrated on rotation and bucket boundaries:
+                // 0, 1, or several full rotations, one bucket width, and
+                // ±1 ns jitter around each — exactly the timestamps a
+                // wrap bug misfiles. Repeats produce timestamp ties.
+                let base = match next() % 6 {
+                    0 => 0,
+                    1 => ROTATION_NS,
+                    2 => ROTATION_NS - 1,
+                    3 => (next() % 4) * ROTATION_NS + 1,
+                    4 => 1u64 << BUCKET_SHIFT,
+                    _ => ROTATION_NS - (1u64 << BUCKET_SHIFT),
+                };
+                let at = Time::from_nanos(now_ns + base + next() % 2);
+                q.push(at, 0, TaskId(round), Time::ZERO, None);
+                heap.push(Reverse((at, heap_seq)));
+                heap_seq += 1;
+            } else {
+                let got = q.pop().map(|e| ev_key(&e));
+                let want = heap.pop().map(|Reverse(k)| k);
+                assert_eq!(got, want, "round {round}");
+                now_ns = want.unwrap().0.as_nanos();
+            }
+        }
+        while let Some(Reverse(want)) = heap.pop() {
+            assert_eq!(q.pop().map(|e| ev_key(&e)), Some(want));
+        }
+        assert!(q.pop().is_none());
+    }
 }

@@ -29,6 +29,9 @@
 //!   multiplicative duration jitter, reproducing the mean-shift and the
 //!   run-to-run variance of real executions (Figures 3, 6 and 11).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod data;
 pub mod engine;
 pub mod events;
