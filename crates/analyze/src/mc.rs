@@ -39,6 +39,7 @@ use hetchol_core::dag::TaskGraph;
 use hetchol_core::fault::{
     ConfigError, FailureCause, Fault, FaultEventKind, FaultKind, FaultPlan, RetryPolicy, RunOutcome,
 };
+use hetchol_core::json::{parse_json, JsonValue};
 use hetchol_core::obs::ObsSink;
 use hetchol_core::platform::WorkerId;
 use hetchol_core::profiles::TimingProfile;
@@ -712,20 +713,12 @@ pub struct Witness {
     pub schedules_explored: usize,
 }
 
+/// The shared [`hetchol_core::json`] escaper, minus the surrounding quotes
+/// (this emitter's format strings supply their own).
 fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    let mut quoted = String::with_capacity(s.len() + 2);
+    hetchol_core::json::escape_into(s, &mut quoted);
+    quoted[1..quoted.len() - 1].to_string()
 }
 
 impl Witness {
@@ -786,7 +779,7 @@ impl Witness {
 
     /// Parse a witness serialized by [`Witness::to_json`].
     pub fn from_json(text: &str) -> Result<Witness, String> {
-        let v = Json::parse(text)?;
+        let v = parse_json(text)?;
         let version = v.field("version")?.as_u64()? as u32;
         if version != 1 {
             return Err(format!("unsupported witness version {version}"));
@@ -795,8 +788,8 @@ impl Witness {
         let n_tiles = scenario.field("n_tiles")?.as_u64()? as usize;
         let n_workers = scenario.field("n_workers")?.as_u64()? as usize;
         let mutation = match scenario.field("mutation")? {
-            Json::Null => None,
-            Json::Str(s) => Some(s.clone()),
+            JsonValue::Null => None,
+            JsonValue::Str(s) => Some(s.clone()),
             other => return Err(format!("mutation must be a string or null, got {other:?}")),
         };
         let mut plan = FaultPlan::new();
@@ -858,239 +851,6 @@ impl Witness {
         })
     }
 }
-
-// ---------------------------------------------------------------------------
-// A minimal JSON reader (the workspace has no serde — see compat/README)
-// ---------------------------------------------------------------------------
-
-/// A parsed JSON value. Only what the witness format needs.
-#[derive(Clone, Debug, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let mut p = JsonParser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        };
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(format!("trailing garbage at byte {}", p.pos));
-        }
-        Ok(v)
-    }
-
-    fn field(&self, key: &str) -> Result<&Json, String> {
-        match self {
-            Json::Obj(fields) => fields
-                .iter()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v)
-                .ok_or_else(|| format!("missing field {key:?}")),
-            other => Err(format!(
-                "expected an object with field {key:?}, got {other:?}"
-            )),
-        }
-    }
-
-    fn as_u64(&self) -> Result<u64, String> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => Ok(*n as u64),
-            other => Err(format!("expected a non-negative integer, got {other:?}")),
-        }
-    }
-
-    fn as_f64(&self) -> Result<f64, String> {
-        match self {
-            Json::Num(n) => Ok(*n),
-            other => Err(format!("expected a number, got {other:?}")),
-        }
-    }
-
-    fn as_str(&self) -> Result<&str, String> {
-        match self {
-            Json::Str(s) => Ok(s),
-            other => Err(format!("expected a string, got {other:?}")),
-        }
-    }
-
-    fn as_arr(&self) -> Result<&[Json], String> {
-        match self {
-            Json::Arr(items) => Ok(items),
-            other => Err(format!("expected an array, got {other:?}")),
-        }
-    }
-}
-
-struct JsonParser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl JsonParser<'_> {
-    fn skip_ws(&mut self) {
-        while let Some(b) = self.bytes.get(self.pos) {
-            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn eat(&mut self, lit: &str) -> Result<(), String> {
-        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
-            self.pos += lit.len();
-            Ok(())
-        } else {
-            Err(format!("expected {lit:?} at byte {}", self.pos))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        self.skip_ws();
-        match self.peek() {
-            Some(b'n') => self.eat("null").map(|()| Json::Null),
-            Some(b't') => self.eat("true").map(|()| Json::Bool(true)),
-            Some(b'f') => self.eat("false").map(|()| Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => {
-                self.pos += 1;
-                let mut items = Vec::new();
-                self.skip_ws();
-                if self.peek() == Some(b']') {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
-                    }
-                }
-            }
-            Some(b'{') => {
-                self.pos += 1;
-                let mut fields = Vec::new();
-                self.skip_ws();
-                if self.peek() == Some(b'}') {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    self.skip_ws();
-                    let key = self.string()?;
-                    self.skip_ws();
-                    self.eat(":")?;
-                    fields.push((key, self.value()?));
-                    self.skip_ws();
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
-                    }
-                }
-            }
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            _ => Err(format!("unexpected input at byte {}", self.pos)),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.eat("\"")?;
-        let mut out = String::new();
-        loop {
-            let start = self.pos;
-            while let Some(&b) = self.bytes.get(self.pos) {
-                if b == b'"' || b == b'\\' {
-                    break;
-                }
-                self.pos += 1;
-            }
-            out.push_str(
-                std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|e| format!("invalid UTF-8 in string: {e}"))?,
-            );
-            match self.peek() {
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            let hex = self
-                                .bytes
-                                .get(self.pos + 1..self.pos + 5)
-                                .ok_or("truncated \\u escape")?;
-                            let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|e| e.to_string())?,
-                                16,
-                            )
-                            .map_err(|e| e.to_string())?;
-                            out.push(
-                                char::from_u32(code)
-                                    .ok_or_else(|| format!("invalid \\u escape {code:#x}"))?,
-                            );
-                            self.pos += 4;
-                        }
-                        other => return Err(format!("unknown escape {other:?}")),
-                    }
-                    self.pos += 1;
-                }
-                _ => return Err("unterminated string".to_string()),
-            }
-        }
-    }
-
-    fn number(&mut self) -> Result<Json, String> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
-                self.pos += 1;
-            } else {
-                break;
-            }
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|e| e.to_string())?
-            .parse::<f64>()
-            .map(Json::Num)
-            .map_err(|e| format!("bad number at byte {start}: {e}"))
-    }
-}
-
 // ---------------------------------------------------------------------------
 // The recovery checker
 // ---------------------------------------------------------------------------

@@ -25,6 +25,9 @@
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //! repro bench [--quick]      # execution-core throughput matrix (BENCH_sim_throughput.json)
 //! repro bench-check <fresh> <committed>  # schema + >30% regression gate (exit 1 on failures)
+//! repro serve [--addr A] [--shards N]    # run the hetchol-serve job API in the foreground
+//! repro storm [--addr A] [--jobs N] [--p99-limit MS] [--quick]
+//!                            # load/cache/chaos harness against the job API (exit 1 on failures)
 //!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
 //! Add `--obs-out <dir>` to any subcommand to also run one instrumented
@@ -46,6 +49,10 @@ struct Args {
     obs_out: Option<std::path::PathBuf>,
     mc: bench::McOptions,
     replay: Option<std::path::PathBuf>,
+    addr: Option<String>,
+    shards: usize,
+    jobs: Option<usize>,
+    p99_limit_ms: Option<u64>,
     rest: Vec<String>,
 }
 
@@ -59,6 +66,10 @@ fn parse_args() -> Args {
     let mut obs_out = None;
     let mut mc = bench::McOptions::default();
     let mut replay = None;
+    let mut addr = None;
+    let mut shards = 4usize;
+    let mut jobs = None;
+    let mut p99_limit_ms = None;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -113,6 +124,29 @@ fn parse_args() -> Args {
                     it.next().unwrap_or_else(|| die("--replay needs a file")),
                 ));
             }
+            "--addr" => {
+                addr = Some(it.next().unwrap_or_else(|| die("--addr needs host:port")));
+            }
+            "--shards" => {
+                shards = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--shards needs an integer"));
+            }
+            "--jobs" => {
+                jobs = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--jobs needs an integer")),
+                );
+            }
+            "--p99-limit" => {
+                p99_limit_ms = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--p99-limit needs milliseconds")),
+                );
+            }
             _ => rest.push(a),
         }
     }
@@ -127,8 +161,53 @@ fn parse_args() -> Args {
         obs_out,
         mc,
         replay,
+        addr,
+        shards,
+        jobs,
+        p99_limit_ms,
         rest,
     }
+}
+
+/// `repro serve`: run the job API in the foreground until killed.
+fn run_serve(args: &Args) -> ! {
+    let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:8790".into());
+    let config = bench::storm::serve_config(&addr, args.shards);
+    match hetchol_serve::Server::start(config) {
+        Ok(server) => {
+            println!("serve: listening on http://{}", server.addr());
+            println!("serve: POST /jobs  GET /jobs/<id>[/trace|/lint]  GET /health  GET /stats");
+            loop {
+                std::thread::park();
+            }
+        }
+        Err(e) => die(&format!("serve: cannot bind {addr}: {e}")),
+    }
+}
+
+/// `repro storm [--quick]`: the load/cache/chaos harness; exit 1 when any
+/// assertion fails.
+fn run_storm(args: &Args) -> ! {
+    let mut opts = if args.quick {
+        bench::StormOptions::quick()
+    } else {
+        bench::StormOptions::full()
+    };
+    opts.addr = args.addr.clone();
+    opts.json = args.json;
+    if let Some(jobs) = args.jobs {
+        opts.jobs = jobs;
+    }
+    if let Some(limit) = args.p99_limit_ms {
+        opts.p99_limit_ms = limit;
+    }
+    let (report, failures) = bench::storm(&opts);
+    print!("{report}");
+    if failures > 0 {
+        eprintln!("storm: {failures} failed assertion(s)");
+        std::process::exit(1);
+    }
+    std::process::exit(0)
 }
 
 /// `repro --analyze` / `repro analyze`: lint both engines' traces with
@@ -304,6 +383,12 @@ fn main() {
     if cmd == "bench-check" {
         run_bench_check(&args.rest[1..]);
     }
+    if cmd == "serve" {
+        run_serve(&args);
+    }
+    if cmd == "storm" {
+        run_storm(&args);
+    }
     let cp_opts = CpOptions {
         anneal_iters: args.cp_budget,
         node_limit: args.cp_budget,
@@ -387,7 +472,18 @@ fn main() {
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
                  \u{20}            bench [--quick]  (execution-core throughput matrix; --json for the committed schema)\n\
                  \u{20}            bench-check <fresh> <committed>  (schema + regression gate; exit 1 on failures)\n\
-                 flags: --csv  --json  --analyze  --quick  --cp-budget <iters>  --seed <n>  --obs-out <dir>"
+                 \u{20}            serve [--addr A] [--shards N]  (run the hetchol-serve job API in the foreground)\n\
+                 \u{20}            storm [--addr A] [--jobs N] [--p99-limit MS] [--quick]\n\
+                 \u{20}               (load/cache/chaos harness against the job API; exit 1 on failed assertions)\n\
+                 flags: --csv  --json  --analyze  --quick  --cp-budget <iters>  --seed <n>  --obs-out <dir>\n\
+                 \u{20}      --addr <host:port>  --shards <n>  --jobs <n>  --p99-limit <ms>\n\
+                 conventions:\n\
+                 \u{20} exit codes: 0 = success, 1 = findings/failures (analyze, chaos, mc, certify,\n\
+                 \u{20}             obs-check, bench-check, storm), 2 = usage error\n\
+                 \u{20} --json: structured output on every figure/report subcommand (fig2..fig8, fig10,\n\
+                 \u{20}         fig11, hint-gemmsyrk, mapping-only, lu, qr, analyze, chaos, mc, certify,\n\
+                 \u{20}         bench, storm); fig1, fig9, fig12, table1, kfactors and sweep-k render\n\
+                 \u{20}         ASCII art / plain tables only"
             );
         }
         "all" => {

@@ -7,8 +7,10 @@
 //! the paper's plots.
 
 pub mod perf;
+pub mod storm;
 
 pub use perf::{bench_check, bench_report, BenchReport};
+pub use storm::{storm, StormOptions};
 
 use hetchol_bounds::BoundSet;
 use hetchol_core::algorithm::Algorithm;
@@ -19,10 +21,7 @@ use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
 use hetchol_core::scheduler::Scheduler;
 use hetchol_cp::{optimize_from, CpOptions};
-use hetchol_sched::{
-    Dmda, Dmdas, EagerScheduler, GemmSyrkOnGpu, MappingInjector, RandomScheduler, ScheduleInjector,
-    TriangleTrsmOnCpu,
-};
+use hetchol_sched::{Dmda, Dmdas, MappingInjector, ScheduleInjector};
 use hetchol_sim::{simulate_with, SimOptions, SimResult};
 
 /// The matrix sizes (in 960-tiles) of every plot in the paper.
@@ -62,22 +61,32 @@ impl SchedKind {
         }
     }
 
-    /// Instantiate the scheduler; `seed` only matters for `random`.
-    pub fn build(self, seed: u64) -> Box<dyn Scheduler + Send> {
+    /// The [`hetchol_sched::registry`] name of this policy — the string a
+    /// serialized `JobSpec` would carry for the same scheduler.
+    pub fn registry_name(self) -> String {
         match self {
-            SchedKind::Random => Box::new(RandomScheduler::new(seed)),
-            SchedKind::Eager => Box::new(EagerScheduler::new()),
-            SchedKind::Dmda => Box::new(Dmda::new()),
-            SchedKind::Dmdas => Box::new(Dmdas::new()),
-            SchedKind::GemmSyrkGpu => Box::new(GemmSyrkOnGpu(Dmdas::new())),
-            SchedKind::TriangleTrsm(k) => Box::new(TriangleTrsmOnCpu(Dmdas::new(), k)),
+            SchedKind::Random => "random".into(),
+            SchedKind::Eager => "eager".into(),
+            SchedKind::Dmda => "dmda".into(),
+            SchedKind::Dmdas => "dmdas".into(),
+            SchedKind::GemmSyrkGpu => "gemmsyrk-gpu".into(),
+            SchedKind::TriangleTrsm(k) => format!("triangle:{k}"),
         }
+    }
+
+    /// Instantiate the scheduler; `seed` only matters for `random`.
+    ///
+    /// Delegates to [`hetchol_sched::registry`] so the harness and the
+    /// serving layer cannot drift apart.
+    pub fn build(self, seed: u64) -> Box<dyn Scheduler + Send> {
+        hetchol_sched::registry::build(&self.registry_name(), seed)
+            .expect("every SchedKind has a registry entry")
     }
 
     /// Whether the scheduler itself is stochastic (needs averaging even in
     /// deterministic simulation mode).
     pub fn stochastic(self) -> bool {
-        matches!(self, SchedKind::Random)
+        hetchol_sched::registry::is_stochastic(&self.registry_name())
     }
 }
 

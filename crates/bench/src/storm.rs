@@ -1,0 +1,486 @@
+//! `repro storm` — a load, cache and chaos harness for `hetchol-serve`.
+//!
+//! The storm drives one server (in-process by default, `--addr` to aim at
+//! an external one) through three legs:
+//!
+//! 1. **Load** — `jobs` concurrent submissions over a mixed grid of
+//!    workloads, sizes, schedulers, actions, seeds and fault plans, with
+//!    a deliberately repeated "hot" spec so cache hits happen *during*
+//!    the storm. Every connection must come back with a valid HTTP
+//!    response — a structured `Degraded` body counts, a dropped
+//!    connection fails the storm — and p99 latency is asserted.
+//! 2. **Cache** — the hot spec is resubmitted and must answer
+//!    `"cache":"hit"`, with the hit visible in `GET /stats`.
+//! 3. **Chaos** — shard 0 is killed through the admin API and a spec
+//!    deterministically routed to it must answer a structured
+//!    `shard-dead` degradation, not a hang or a reset.
+
+use hetchol::job::JobSpec;
+use hetchol_core::json::{parse_json, JsonValue};
+use hetchol_serve::{client, ServeConfig, Server};
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Storm tuning.
+pub struct StormOptions {
+    /// Aim at an already-running server instead of booting one in-process.
+    pub addr: Option<String>,
+    /// Concurrent jobs in the load leg.
+    pub jobs: usize,
+    /// Asserted p99 latency ceiling, milliseconds.
+    pub p99_limit_ms: u64,
+    /// Emit the report as one JSON object instead of a table.
+    pub json: bool,
+}
+
+impl StormOptions {
+    /// The full storm: 1000 concurrent jobs (the acceptance floor).
+    pub fn full() -> StormOptions {
+        StormOptions {
+            addr: None,
+            jobs: 1000,
+            p99_limit_ms: 20_000,
+            json: false,
+        }
+    }
+
+    /// CI-sized storm: same legs, fewer jobs.
+    pub fn quick() -> StormOptions {
+        StormOptions {
+            jobs: 64,
+            ..StormOptions::full()
+        }
+    }
+}
+
+/// The server configuration `repro serve` and the in-process storm use:
+/// queues deep enough that a full storm mostly completes (sheds are still
+/// exercised by the chaos leg) and a generous default deadline.
+pub fn serve_config(addr: &str, shards: usize) -> ServeConfig {
+    ServeConfig {
+        addr: addr.into(),
+        shards,
+        queue_depth: 512,
+        default_budget_ms: 60_000,
+        ..ServeConfig::default()
+    }
+}
+
+/// One request's classification.
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum Class {
+    Ok,
+    OkCacheHit,
+    DegradedQueueFull,
+    DegradedDeadline,
+    DegradedShardDead,
+    Rejected,
+    MalformedBody,
+    Dropped,
+}
+
+fn classify(result: &std::io::Result<(u16, String)>) -> Class {
+    let Ok((status, body)) = result else {
+        return Class::Dropped;
+    };
+    let Ok(v) = parse_json(body) else {
+        return Class::MalformedBody;
+    };
+    let status_field = v.get("status").and_then(|s| s.as_str().ok()).unwrap_or("");
+    match (*status, status_field) {
+        (200, "ok") => {
+            if v.get("cache").and_then(|c| c.as_str().ok()) == Some("hit") {
+                Class::OkCacheHit
+            } else {
+                Class::Ok
+            }
+        }
+        (503, "degraded") => {
+            // A shed must carry the simulator's Degraded wire shape.
+            let outcome_ok = v
+                .get("outcome")
+                .and_then(|o| o.get("label"))
+                .and_then(|l| l.as_str().ok())
+                == Some("degraded");
+            if !outcome_ok {
+                return Class::MalformedBody;
+            }
+            match v.get("code").and_then(|c| c.as_str().ok()) {
+                Some("queue-full") => Class::DegradedQueueFull,
+                Some("deadline") => Class::DegradedDeadline,
+                Some("shard-dead") => Class::DegradedShardDead,
+                _ => Class::MalformedBody,
+            }
+        }
+        (400, "error") => Class::Rejected,
+        _ => Class::MalformedBody,
+    }
+}
+
+/// The load-leg spec mix: valid by construction, diverse across every
+/// wire field, with index-0-mod-5 repeating the hot spec.
+fn mix_spec(i: usize) -> JobSpec {
+    if i.is_multiple_of(5) {
+        return hot_spec();
+    }
+    let workloads = ["cholesky", "lu", "qr"];
+    let sizes = [4usize, 6, 8, 10, 12];
+    let schedulers = [
+        "dmda",
+        "dmdas",
+        "eager",
+        "random",
+        "triangle:3",
+        "gemmsyrk-gpu",
+    ];
+    let mut spec = JobSpec::new(workloads[i % 3], sizes[i % 5]).expect("known workload");
+    spec.scheduler = schedulers[i % 6].into();
+    spec.action = match i % 3 {
+        0 => hetchol::job::JobAction::Simulate,
+        1 => hetchol::job::JobAction::Bounds,
+        _ => hetchol::job::JobAction::Lint,
+    };
+    spec.seed = (i % 4) as u64;
+    spec.jitter = i.is_multiple_of(11);
+    spec.obs = i.is_multiple_of(2);
+    if i % 7 == 3 {
+        spec.faults = hetchol_core::fault::FaultPlan::new().kill_worker(1, 6);
+    }
+    spec
+}
+
+fn hot_spec() -> JobSpec {
+    let mut spec = JobSpec::new("cholesky", 8).expect("known workload");
+    spec.action = hetchol::job::JobAction::Bounds;
+    spec
+}
+
+/// Post with a few connect retries: a refused *connect* under a thundering
+/// herd is client-side backlog pressure, not a server-dropped connection.
+/// Once a request is written, there are no retries — a mid-flight failure
+/// counts as dropped.
+fn post_with_retry(addr: SocketAddr, body: &str) -> std::io::Result<(u16, String)> {
+    let mut last_err = None;
+    for attempt in 0..3 {
+        match client::post_job(addr, body) {
+            Ok(ok) => return Ok(ok),
+            Err(e) if e.kind() == std::io::ErrorKind::ConnectionRefused => {
+                std::thread::sleep(Duration::from_millis(10 << attempt));
+                last_err = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last_err.expect("retried at least once"))
+}
+
+struct Tally {
+    ok: usize,
+    cache_hits: usize,
+    queue_full: usize,
+    deadline: usize,
+    shard_dead: usize,
+    rejected: usize,
+    malformed: usize,
+    dropped: usize,
+}
+
+impl Tally {
+    fn count(results: &[(Class, Duration)]) -> Tally {
+        let of = |c: Class| results.iter().filter(|(r, _)| *r == c).count();
+        Tally {
+            ok: of(Class::Ok) + of(Class::OkCacheHit),
+            cache_hits: of(Class::OkCacheHit),
+            queue_full: of(Class::DegradedQueueFull),
+            deadline: of(Class::DegradedDeadline),
+            shard_dead: of(Class::DegradedShardDead),
+            rejected: of(Class::Rejected),
+            malformed: of(Class::MalformedBody),
+            dropped: of(Class::Dropped),
+        }
+    }
+}
+
+fn percentile(sorted_ms: &[u64], p: f64) -> u64 {
+    if sorted_ms.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted_ms.len() as f64 * p).ceil() as usize).max(1) - 1;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Run the storm. Returns the report and the number of failed assertions
+/// (the process exit code is 1 when nonzero).
+pub fn storm(opts: &StormOptions) -> (String, usize) {
+    // Resolve or boot the target server.
+    let (addr, own_server): (SocketAddr, Option<Server>) = match &opts.addr {
+        Some(a) => match a.to_socket_addrs().ok().and_then(|mut i| i.next()) {
+            Some(addr) => (addr, None),
+            None => return (format!("storm: bad --addr {a:?}\n"), 1),
+        },
+        None => match Server::start(serve_config("127.0.0.1:0", 4)) {
+            Ok(server) => (server.addr(), Some(server)),
+            Err(e) => return (format!("storm: cannot boot server: {e}\n"), 1),
+        },
+    };
+
+    // Prime the hot spec so its in-storm repetitions are deterministic,
+    // counted cache hits rather than a race between in-flight twins.
+    let warmup = classify(&post_with_retry(addr, &hot_spec().to_json()));
+    let warmed = matches!(warmup, Class::Ok | Class::OkCacheHit);
+
+    // Leg 1: concurrent load.
+    let started = Instant::now();
+    let handles: Vec<_> = (0..opts.jobs)
+        .map(|i| {
+            let body = mix_spec(i).to_json();
+            std::thread::spawn(move || {
+                let t0 = Instant::now();
+                let result = post_with_retry(addr, &body);
+                (classify(&result), t0.elapsed())
+            })
+        })
+        .collect();
+    let results: Vec<(Class, Duration)> = handles
+        .into_iter()
+        .map(|h| h.join().unwrap_or((Class::Dropped, Duration::from_secs(0))))
+        .collect();
+    let wall = started.elapsed();
+    let tally = Tally::count(&results);
+    let mut latencies_ms: Vec<u64> = results.iter().map(|(_, d)| d.as_millis() as u64).collect();
+    latencies_ms.sort_unstable();
+    let p50 = percentile(&latencies_ms, 0.50);
+    let p90 = percentile(&latencies_ms, 0.90);
+    let p99 = percentile(&latencies_ms, 0.99);
+    let max = latencies_ms.last().copied().unwrap_or(0);
+
+    // Leg 2: the hot spec must now be a counted cache hit.
+    let cache_leg_hit = matches!(
+        classify(&post_with_retry(addr, &hot_spec().to_json())),
+        Class::OkCacheHit
+    );
+    let stats = client::get(addr, "/stats").ok();
+    let stats_value = stats.as_ref().and_then(|(_, b)| parse_json(b).ok());
+    let observed_hits = stats_value
+        .as_ref()
+        .and_then(|v| v.get("cache"))
+        .and_then(|c| c.get("results"))
+        .and_then(|r| r.get("hits"))
+        .and_then(|h| h.as_u64().ok())
+        .unwrap_or(0);
+    let n_shards = stats_value
+        .as_ref()
+        .and_then(|v| v.get("shards"))
+        .and_then(|s| s.as_arr().ok().map(|a| a.len()))
+        .unwrap_or(4)
+        .max(1);
+
+    // Leg 3: kill shard 0 and submit a spec that provably routes to it.
+    let kill_ok = matches!(
+        client::request(addr, "POST", "/admin/shards/0/kill", ""),
+        Ok((200, _))
+    );
+    let mut victim = JobSpec::new("cholesky", 13).expect("known workload");
+    victim.seed = (0..)
+        .find(|&s| {
+            let mut probe = JobSpec::new("cholesky", 13).expect("known workload");
+            probe.seed = s;
+            probe.content_hash().is_multiple_of(n_shards as u64)
+        })
+        .expect("some seed routes to shard 0");
+    let chaos_class = classify(&post_with_retry(addr, &victim.to_json()));
+    let chaos_shed = chaos_class == Class::DegradedShardDead;
+
+    // Assertions.
+    let mut failures = Vec::new();
+    let mut check = |ok: bool, what: String| {
+        if !ok {
+            failures.push(what);
+        }
+    };
+    check(
+        tally.dropped == 0,
+        format!(
+            "{} dropped connection(s); overload must answer Degraded",
+            tally.dropped
+        ),
+    );
+    check(
+        tally.malformed == 0,
+        format!("{} malformed response body/bodies", tally.malformed),
+    );
+    check(
+        tally.rejected == 0,
+        format!(
+            "{} rejected job(s); the storm mix is valid by construction",
+            tally.rejected
+        ),
+    );
+    check(
+        p99 <= opts.p99_limit_ms,
+        format!("p99 {p99}ms over the {}ms limit", opts.p99_limit_ms),
+    );
+    check(warmed, "hot-spec warmup request did not complete".into());
+    check(
+        tally.cache_hits > 0,
+        "no cache hits during the storm (the warmed hot spec repeats)".into(),
+    );
+    check(
+        cache_leg_hit,
+        "hot-spec resubmission was not a cache hit".into(),
+    );
+    check(
+        observed_hits > 0,
+        "cache hits not observable in GET /stats".into(),
+    );
+    check(kill_ok, "admin shard kill did not answer 200".into());
+    check(
+        chaos_shed,
+        "job routed to the killed shard did not answer a structured shard-dead".into(),
+    );
+
+    let report = if opts.json {
+        render_json(
+            opts,
+            &tally,
+            wall,
+            (p50, p90, p99, max),
+            observed_hits,
+            &failures,
+        )
+    } else {
+        render_table(
+            opts,
+            &tally,
+            wall,
+            (p50, p90, p99, max),
+            observed_hits,
+            &failures,
+        )
+    };
+    if let Some(server) = own_server {
+        server.shutdown();
+    }
+    (report, failures.len())
+}
+
+fn render_table(
+    opts: &StormOptions,
+    t: &Tally,
+    wall: Duration,
+    (p50, p90, p99, max): (u64, u64, u64, u64),
+    observed_hits: u64,
+    failures: &[String],
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "# storm: {} concurrent jobs in {:.2}s\n",
+        opts.jobs,
+        wall.as_secs_f64()
+    ));
+    out.push_str(&format!("{:>22} {:>8}\n", "outcome", "count"));
+    for (label, n) in [
+        ("ok", t.ok),
+        ("  of which cache hits", t.cache_hits),
+        ("degraded queue-full", t.queue_full),
+        ("degraded deadline", t.deadline),
+        ("degraded shard-dead", t.shard_dead),
+        ("rejected (400)", t.rejected),
+        ("malformed bodies", t.malformed),
+        ("dropped connections", t.dropped),
+    ] {
+        out.push_str(&format!("{label:>22} {n:>8}\n"));
+    }
+    out.push_str(&format!(
+        "latency ms: p50 {p50}  p90 {p90}  p99 {p99} (limit {})  max {max}\n",
+        opts.p99_limit_ms
+    ));
+    out.push_str(&format!("stats: results-cache hits {observed_hits}\n"));
+    if failures.is_empty() {
+        out.push_str("storm: all assertions passed\n");
+    } else {
+        for f in failures {
+            out.push_str(&format!("storm FAILURE: {f}\n"));
+        }
+    }
+    out
+}
+
+fn render_json(
+    opts: &StormOptions,
+    t: &Tally,
+    wall: Duration,
+    (p50, p90, p99, max): (u64, u64, u64, u64),
+    observed_hits: u64,
+    failures: &[String],
+) -> String {
+    let mut doc = JsonValue::Obj(vec![
+        ("schema".into(), JsonValue::str("hetchol-storm/v1")),
+        ("jobs".into(), JsonValue::uint(opts.jobs as u64)),
+        ("wall_ms".into(), JsonValue::uint(wall.as_millis() as u64)),
+        ("ok".into(), JsonValue::uint(t.ok as u64)),
+        ("cache_hits".into(), JsonValue::uint(t.cache_hits as u64)),
+        (
+            "degraded".into(),
+            JsonValue::Obj(vec![
+                ("queue_full".into(), JsonValue::uint(t.queue_full as u64)),
+                ("deadline".into(), JsonValue::uint(t.deadline as u64)),
+                ("shard_dead".into(), JsonValue::uint(t.shard_dead as u64)),
+            ]),
+        ),
+        ("rejected".into(), JsonValue::uint(t.rejected as u64)),
+        ("malformed".into(), JsonValue::uint(t.malformed as u64)),
+        ("dropped".into(), JsonValue::uint(t.dropped as u64)),
+        (
+            "latency_ms".into(),
+            JsonValue::Obj(vec![
+                ("p50".into(), JsonValue::uint(p50)),
+                ("p90".into(), JsonValue::uint(p90)),
+                ("p99".into(), JsonValue::uint(p99)),
+                ("p99_limit".into(), JsonValue::uint(opts.p99_limit_ms)),
+                ("max".into(), JsonValue::uint(max)),
+            ]),
+        ),
+        (
+            "stats_results_cache_hits".into(),
+            JsonValue::uint(observed_hits),
+        ),
+        (
+            "failures".into(),
+            JsonValue::Arr(failures.iter().map(|f| JsonValue::str(&**f)).collect()),
+        ),
+    ]);
+    if let JsonValue::Obj(members) = &mut doc {
+        members.push(("passed".into(), JsonValue::Bool(failures.is_empty())));
+    }
+    let mut text = doc.render();
+    text.push('\n');
+    text
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_storm_passes_every_assertion() {
+        let (report, failures) = storm(&StormOptions::quick());
+        assert_eq!(failures, 0, "{report}");
+        assert!(report.contains("all assertions passed"), "{report}");
+    }
+
+    #[test]
+    fn json_storm_has_the_schema_header() {
+        let (report, failures) = storm(&StormOptions {
+            jobs: 16,
+            json: true,
+            ..StormOptions::full()
+        });
+        assert_eq!(failures, 0, "{report}");
+        assert!(
+            report.contains(r#""schema":"hetchol-storm/v1""#),
+            "{report}"
+        );
+        assert!(report.contains(r#""passed":true"#), "{report}");
+    }
+}

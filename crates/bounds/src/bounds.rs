@@ -325,6 +325,30 @@ impl BoundSet {
         }
     }
 
+    /// Compute bound sets for a whole batch of `(algorithm, n_tiles)`
+    /// requests against one platform/profile, deduplicating repeated
+    /// requests so each distinct set is computed once — the entry point
+    /// the `hetchol-serve` worker shards drain their bound queues
+    /// through. The returned vector is index-aligned with `requests`.
+    pub fn compute_batch(
+        requests: &[(Algorithm, usize)],
+        platform: &Platform,
+        profile: &TimingProfile,
+    ) -> Vec<BoundSet> {
+        let mut computed: Vec<((Algorithm, usize), BoundSet)> = Vec::new();
+        requests
+            .iter()
+            .map(|&(algo, n_tiles)| {
+                if let Some((_, set)) = computed.iter().find(|(key, _)| *key == (algo, n_tiles)) {
+                    return set.clone();
+                }
+                let set = Self::compute_algo(algo, n_tiles, platform, profile);
+                computed.push(((algo, n_tiles), set.clone()));
+                set
+            })
+            .collect()
+    }
+
     /// The makespan lower bound implied by the kernel peak.
     pub fn gemm_peak_time(&self) -> Time {
         let flops = self.algo.flops(self.n_tiles * self.nb);
@@ -379,6 +403,29 @@ mod tests {
 
     fn mirage() -> (Platform, TimingProfile) {
         (Platform::mirage(), TimingProfile::mirage())
+    }
+
+    #[test]
+    fn batch_matches_individual_computes_in_request_order() {
+        let (platform, profile) = mirage();
+        let requests = [
+            (Algorithm::Cholesky, 8),
+            (Algorithm::Lu, 4),
+            (Algorithm::Cholesky, 8), // duplicate: computed once, repeated in output
+            (Algorithm::Cholesky, 4),
+        ];
+        let batch = BoundSet::compute_batch(&requests, &platform, &profile);
+        assert_eq!(batch.len(), requests.len());
+        for (&(algo, n), set) in requests.iter().zip(&batch) {
+            let solo = BoundSet::compute_algo(algo, n, &platform, &profile);
+            assert_eq!(set.algo, algo);
+            assert_eq!(set.n_tiles, n);
+            assert_eq!(set.critical_path, solo.critical_path);
+            assert_eq!(set.area, solo.area);
+            assert_eq!(set.mixed, solo.mixed);
+            assert_eq!(set.gemm_peak, solo.gemm_peak);
+        }
+        assert_eq!(batch[0].mixed, batch[2].mixed);
     }
 
     #[test]

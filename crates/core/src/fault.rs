@@ -53,6 +53,17 @@ impl FaultKind {
             FaultKind::WorkerLost => "worker-lost",
         }
     }
+
+    /// Inverse of [`FaultKind::label`], for wire-format readers.
+    pub fn from_label(label: &str) -> Option<FaultKind> {
+        match label {
+            "transient" => Some(FaultKind::Transient),
+            "numerical" => Some(FaultKind::Numerical),
+            "timeout" => Some(FaultKind::Timeout),
+            "worker-lost" => Some(FaultKind::WorkerLost),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for FaultKind {
@@ -111,6 +122,66 @@ impl fmt::Display for Fault {
             Fault::Straggler { worker, factor } => {
                 write!(f, "straggler(w{worker}\u{d7}{factor})")
             }
+        }
+    }
+}
+
+impl Fault {
+    /// The shared wire shape of one fault, used by both the model-checker
+    /// witness format and the job API:
+    /// `{"kind": "worker_death", "worker": W, "after_starts": K}`,
+    /// `{"kind": "transient", "task": T, "failures": F, "fault": "<label>"}`
+    /// or `{"kind": "straggler", "worker": W, "factor": X}`.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue as J;
+        match *self {
+            Fault::WorkerDeath {
+                worker,
+                after_starts,
+            } => J::Obj(vec![
+                ("kind".into(), J::str("worker_death")),
+                ("worker".into(), J::uint(worker as u64)),
+                ("after_starts".into(), J::uint(after_starts as u64)),
+            ]),
+            Fault::Transient {
+                task,
+                failures,
+                kind,
+            } => J::Obj(vec![
+                ("kind".into(), J::str("transient")),
+                ("task".into(), J::uint(task.index() as u64)),
+                ("failures".into(), J::uint(failures as u64)),
+                ("fault".into(), J::str(kind.label())),
+            ]),
+            Fault::Straggler { worker, factor } => J::Obj(vec![
+                ("kind".into(), J::str("straggler")),
+                ("worker".into(), J::uint(worker as u64)),
+                ("factor".into(), J::num(factor)),
+            ]),
+        }
+    }
+
+    /// Parse the wire shape emitted by [`Fault::to_json_value`].
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<Fault, String> {
+        match v.field("kind")?.as_str()? {
+            "worker_death" => Ok(Fault::WorkerDeath {
+                worker: v.field("worker")?.as_u64()? as WorkerId,
+                after_starts: v.field("after_starts")?.as_u64()? as u32,
+            }),
+            "transient" => {
+                let label = v.field("fault")?.as_str()?;
+                Ok(Fault::Transient {
+                    task: TaskId(v.field("task")?.as_u64()? as u32),
+                    failures: v.field("failures")?.as_u64()? as u32,
+                    kind: FaultKind::from_label(label)
+                        .ok_or_else(|| format!("unknown fault kind label {label:?}"))?,
+                })
+            }
+            "straggler" => Ok(Fault::Straggler {
+                worker: v.field("worker")?.as_u64()? as WorkerId,
+                factor: v.field("factor")?.as_f64()?,
+            }),
+            other => Err(format!("unknown fault kind {other:?}")),
         }
     }
 }
@@ -271,6 +342,21 @@ impl FaultPlan {
             space.push(FaultPlan::new().transient(TaskId(t), 1));
         }
         space
+    }
+
+    /// The plan as a JSON array of [`Fault::to_json_value`] shapes.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::Arr(self.faults.iter().map(Fault::to_json_value).collect())
+    }
+
+    /// Parse a plan serialized by [`FaultPlan::to_json_value`].
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<FaultPlan, String> {
+        let faults = v
+            .as_arr()?
+            .iter()
+            .map(Fault::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(FaultPlan { faults })
     }
 }
 

@@ -1,0 +1,139 @@
+//! Deterministic content hashing for cache keys.
+//!
+//! The serving layer (`hetchol-serve`, DESIGN.md §15) caches expensive
+//! derived objects — calibrated platform/profile pairs, [`crate::metrics`]
+//! figures, bound sets — keyed by the *content* of the request that
+//! produced them, so two jobs asking the same question share one
+//! computation. Content keys must be stable across processes and platform
+//! builds, which rules out `std::hash::DefaultHasher` (its seed is
+//! unspecified); this module pins FNV-1a 64, folded byte by byte.
+//!
+//! Hashes are identifiers, not security: FNV is trivially forgeable and
+//! is only ever fed trusted, already-validated job specs.
+//!
+//! ```
+//! use hetchol_core::hash::ContentHasher;
+//!
+//! let mut h = ContentHasher::new();
+//! h.write_str("dmdas");
+//! h.write_u64(8);
+//! let a = h.finish();
+//! assert_eq!(a, {
+//!     let mut h = ContentHasher::new();
+//!     h.write_str("dmdas");
+//!     h.write_u64(8);
+//!     h.finish()
+//! });
+//! ```
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// An incremental FNV-1a 64 hasher with typed `write_*` helpers.
+///
+/// Every helper folds a length/tag-unambiguous byte encoding, so
+/// `write_str("ab"); write_str("c")` and `write_str("a"); write_str("bc")`
+/// produce different hashes.
+#[derive(Clone, Debug)]
+pub struct ContentHasher {
+    state: u64,
+}
+
+impl Default for ContentHasher {
+    fn default() -> Self {
+        ContentHasher::new()
+    }
+}
+
+impl ContentHasher {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> ContentHasher {
+        ContentHasher { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes (no length prefix; prefer the typed helpers).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Fold a `usize` (widened to `u64` so 32- and 64-bit builds agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Fold an `f64` by its exact bit pattern (NaN payloads included —
+    /// content equality, not numeric equality).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Fold a string: length prefix, then bytes.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The current 64-bit digest.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Hash a canonical string encoding in one call — the job API hashes the
+/// canonical JSON of a spec this way.
+pub fn content_hash_str(s: &str) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(s);
+    h.finish()
+}
+
+/// Render a content hash the way the wire format carries it: 16 lowercase
+/// hex digits (JSON numbers are only exact to 2⁵³ — see [`crate::json`]).
+pub fn hash_hex(h: u64) -> String {
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vector() {
+        // FNV-1a 64 of the empty input is the offset basis; of "a" it is
+        // the published 0xaf63dc4c8601ec8c.
+        assert_eq!(ContentHasher::new().finish(), FNV_OFFSET);
+        let mut h = ContentHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn typed_writes_are_unambiguous() {
+        let mut a = ContentHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = ContentHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_rendering_is_stable() {
+        assert_eq!(hash_hex(0xdead_beef), "00000000deadbeef");
+        assert_eq!(
+            hash_hex(content_hash_str("x")),
+            hash_hex(content_hash_str("x"))
+        );
+    }
+}

@@ -42,6 +42,11 @@
 //!   [`obs::ObsSink`] is enabled at run construction.
 //! * [`metrics`] — GFLOP/s conversions and result-series containers used by
 //!   the reproduction harness.
+//! * [`json`] — the one hand-rolled JSON value module (emit + parse) every
+//!   exporter, validator and the `hetchol-serve` wire format build on.
+//! * [`hash`] — deterministic FNV-1a content hashing for the serving
+//!   layer's cache keys ([`Platform::content_hash`],
+//!   [`TimingProfile::content_hash`]).
 
 #![forbid(unsafe_code)]
 
@@ -49,6 +54,8 @@ pub mod algorithm;
 pub mod dag;
 pub mod exec;
 pub mod fault;
+pub mod hash;
+pub mod json;
 pub mod kernel;
 pub mod metrics;
 pub mod obs;
@@ -67,6 +74,8 @@ pub use fault::{
     ConfigError, FailureCause, Fault, FaultEvent, FaultEventKind, FaultKind, FaultPlan, FaultState,
     RetryPolicy, RunOutcome,
 };
+pub use hash::ContentHasher;
+pub use json::{parse_json, JsonValue};
 pub use kernel::Kernel;
 pub use metrics::{Figure, Point, Series};
 pub use obs::{

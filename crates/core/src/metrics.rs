@@ -185,37 +185,11 @@ impl Figure {
     /// Render as pretty-printed JSON, mirroring the struct layout
     /// (`{"title": ..., "series": [{"label": ..., "points": [...]}]}`).
     ///
-    /// Hand-rolled: the only values needing escaping are the label and
-    /// axis strings, and all numbers are finite `f64`s (NaN/infinity are
-    /// emitted as `null`, as JSON requires).
+    /// The escaping and number emission are [`crate::json`]'s (NaN and
+    /// infinity become `null`, as JSON requires); only the pretty layout
+    /// is local.
     pub fn to_json(&self) -> String {
-        use std::fmt::Write as _;
-
-        fn esc(s: &str, out: &mut String) {
-            out.push('"');
-            for c in s.chars() {
-                match c {
-                    '"' => out.push_str("\\\""),
-                    '\\' => out.push_str("\\\\"),
-                    '\n' => out.push_str("\\n"),
-                    '\t' => out.push_str("\\t"),
-                    '\r' => out.push_str("\\r"),
-                    c if (c as u32) < 0x20 => {
-                        let _ = write!(out, "\\u{:04x}", c as u32);
-                    }
-                    c => out.push(c),
-                }
-            }
-            out.push('"');
-        }
-
-        fn num(v: f64, out: &mut String) {
-            if v.is_finite() {
-                let _ = write!(out, "{v}");
-            } else {
-                out.push_str("null");
-            }
-        }
+        use crate::json::{escape_into as esc, write_num as num};
 
         let mut out = String::new();
         out.push_str("{\n  \"title\": ");

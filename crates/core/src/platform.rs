@@ -210,6 +210,32 @@ impl Platform {
         let rank = w - self.workers_in_class(class).start;
         format!("{}{}", self.classes[class].name, rank)
     }
+
+    /// Deterministic content hash over everything that defines the
+    /// platform (classes, counts, PCI model) — the serving layer's cache
+    /// key ingredient ([`crate::hash`]). The worker/node layout is fully
+    /// derived from the classes, so hashing the inputs suffices.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::ContentHasher::new();
+        h.write_usize(self.classes.len());
+        for c in &self.classes {
+            h.write_str(&c.name);
+            h.write_u64(match c.kind {
+                ResourceKind::Cpu => 0,
+                ResourceKind::Gpu => 1,
+            });
+            h.write_usize(c.count);
+        }
+        match &self.comm {
+            None => h.write_u64(0),
+            Some(m) => {
+                h.write_u64(1);
+                h.write_u64(m.latency.as_nanos());
+                h.write_f64(m.bandwidth);
+            }
+        }
+        h.finish()
+    }
 }
 
 #[cfg(test)]

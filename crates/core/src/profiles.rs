@@ -127,6 +127,21 @@ impl TimingProfile {
         self.times[class][kernel.index()]
     }
 
+    /// Deterministic content hash over the full timing table and tile
+    /// geometry — the serving layer's cache key ingredient
+    /// ([`crate::hash`]).
+    pub fn content_hash(&self) -> u64 {
+        let mut h = crate::hash::ContentHasher::new();
+        h.write_usize(self.nb);
+        h.write_usize(self.times.len());
+        for class in &self.times {
+            for t in class {
+                h.write_u64(t.as_nanos());
+            }
+        }
+        h.finish()
+    }
+
     /// Fastest execution time of `kernel` over all classes — the weight used
     /// by the critical-path bound and the `dmdas` priorities.
     pub fn fastest_time(&self, kernel: Kernel) -> Time {

@@ -19,6 +19,9 @@
 //! * [`inject`] — replaying an externally computed schedule through the
 //!   dynamic runtime: full injection (mapping + order) and mapping-only
 //!   injection (Section VI-B).
+//! * [`registry`] — scheduler selection by *name* (`"dmdas"`,
+//!   `"triangle:6"`, ...), the resolver behind the serializable job API
+//!   and the `hetchol-serve` wire format.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,6 +32,7 @@ pub mod heft;
 pub mod hints;
 pub mod inject;
 pub mod random;
+pub mod registry;
 
 pub use dm::{bottom_level_priorities, Dmda, Dmdas};
 pub use eager::EagerScheduler;

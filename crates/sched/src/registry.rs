@@ -1,0 +1,151 @@
+//! Scheduler selection by *name* — the registry behind the serializable
+//! job API.
+//!
+//! The `Run` builder accepts any `impl Scheduler`, which is the right
+//! interface for library code but cannot travel over a wire. A serialized
+//! `JobSpec` names its policy with a string instead and both the library
+//! facade and `hetchol-serve` resolve it here, so a job submitted over
+//! HTTP instantiates *exactly* the scheduler a direct library call would.
+//!
+//! Names are stable API: the dynamic policies are their paper names
+//! (`random`, `eager`, `dmda`, `dmdas`), the static-knowledge hybrids take
+//! their hint parameters after a colon (`gemmsyrk-gpu`,
+//! `triangle:<k>` — both layered on `dmdas`, as in the paper's
+//! Section V-C3 experiments).
+//!
+//! ```
+//! use hetchol_sched::registry;
+//!
+//! let s = registry::build("triangle:3", 0).unwrap();
+//! assert_eq!(s.name(), "triangle-trsm-cpu(k=3)");
+//! assert!(registry::build("no-such-policy", 0).is_err());
+//! ```
+
+use crate::dm::{Dmda, Dmdas};
+use crate::eager::EagerScheduler;
+use crate::hints::{GemmSyrkOnGpu, TriangleTrsmOnCpu};
+use crate::random::RandomScheduler;
+use hetchol_core::scheduler::Scheduler;
+use std::fmt;
+
+/// The registry's resolvable scheduler names (parameterised entries shown
+/// with their placeholder). Kept sorted for stable error messages.
+pub const NAMES: [&str; 6] = [
+    "dmda",
+    "dmdas",
+    "eager",
+    "gemmsyrk-gpu",
+    "random",
+    "triangle:<k>",
+];
+
+/// A scheduler name the registry does not know.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnknownScheduler {
+    /// The rejected name, verbatim.
+    pub name: String,
+}
+
+impl fmt::Display for UnknownScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown scheduler {:?}; known: {}",
+            self.name,
+            NAMES.join(", ")
+        )
+    }
+}
+
+impl std::error::Error for UnknownScheduler {}
+
+/// Instantiate the named scheduling policy. `seed` is consumed only by
+/// stochastic policies (`random`); deterministic ones ignore it, so the
+/// same name resolves to the same behaviour regardless of seed.
+pub fn build(name: &str, seed: u64) -> Result<Box<dyn Scheduler + Send>, UnknownScheduler> {
+    match name {
+        "random" => Ok(Box::new(RandomScheduler::new(seed))),
+        "eager" => Ok(Box::new(EagerScheduler::new())),
+        "dmda" => Ok(Box::new(Dmda::new())),
+        "dmdas" => Ok(Box::new(Dmdas::new())),
+        "gemmsyrk-gpu" => Ok(Box::new(GemmSyrkOnGpu(Dmdas::new()))),
+        _ => {
+            if let Some(k) = name.strip_prefix("triangle:") {
+                if let Ok(k) = k.parse::<u32>() {
+                    return Ok(Box::new(TriangleTrsmOnCpu(Dmdas::new(), k)));
+                }
+            }
+            Err(UnknownScheduler { name: name.into() })
+        }
+    }
+}
+
+/// Whether the named policy is stochastic (needs a seed / averaging even
+/// in deterministic simulation mode). Unknown names are conservatively
+/// `false`; resolve them through [`build`] first for a real error.
+pub fn is_stochastic(name: &str) -> bool {
+    name == "random"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_builds() {
+        for name in [
+            "random",
+            "eager",
+            "dmda",
+            "dmdas",
+            "gemmsyrk-gpu",
+            "triangle:2",
+        ] {
+            assert!(build(name, 7).is_ok(), "{name} should resolve");
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_with_catalog() {
+        let err = build("dmdax", 0).err().expect("dmdax must not resolve");
+        assert_eq!(err.name, "dmdax");
+        let msg = err.to_string();
+        assert!(msg.contains("dmdax") && msg.contains("dmdas"));
+        // A malformed triangle parameter is an unknown name, not a panic.
+        assert!(build("triangle:", 0).is_err());
+        assert!(build("triangle:x", 0).is_err());
+    }
+
+    #[test]
+    fn seed_only_affects_random() {
+        use hetchol_core::dag::TaskGraph;
+        use hetchol_core::platform::Platform;
+        use hetchol_core::profiles::TimingProfile;
+        use hetchol_core::scheduler::{SchedContext, StaticView};
+        use hetchol_core::task::TaskId;
+
+        let graph = TaskGraph::cholesky(3);
+        let platform = Platform::mirage();
+        let profile = TimingProfile::mirage();
+        let ctx = SchedContext {
+            graph: &graph,
+            platform: &platform,
+            profile: &profile,
+        };
+        let view = StaticView {
+            now: hetchol_core::time::Time::ZERO,
+            available: vec![hetchol_core::time::Time::ZERO; platform.n_workers()],
+        };
+        for name in ["dmda", "dmdas", "eager"] {
+            let mut a = build(name, 1).unwrap();
+            let mut b = build(name, 2).unwrap();
+            a.init(&ctx);
+            b.init(&ctx);
+            assert_eq!(
+                a.assign(TaskId(0), &ctx, &view),
+                b.assign(TaskId(0), &ctx, &view),
+                "{name} must ignore the seed"
+            );
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Content-hash caches with observable hit/miss accounting.
+//!
+//! Every cache in the serving layer is keyed by a 64-bit FNV content hash
+//! ([`hetchol_core::hash::ContentHasher`]) and stores `Arc`'d values so a
+//! hit never copies a trace or a bound set. The hit/miss counters feed
+//! `GET /stats` — the acceptance test for the whole layer asserts cache
+//! hits are *observable*, not inferred from latency.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A hash-keyed map with hit/miss counters.
+pub struct CountedCache<V> {
+    map: Mutex<HashMap<u64, Arc<V>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V> CountedCache<V> {
+    /// An empty cache.
+    pub fn new() -> CountedCache<V> {
+        CountedCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Counting lookup: bumps the hit or miss counter. Use on request
+    /// paths, where the counter answers "did caching help this client?".
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let found = self.map.lock().expect("cache lock").get(&key).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Non-counting lookup. Use for internal dedup (a shard re-checking
+    /// the result cache before recomputing), which should not skew the
+    /// client-facing counters.
+    pub fn peek(&self, key: u64) -> Option<Arc<V>> {
+        self.map.lock().expect("cache lock").get(&key).cloned()
+    }
+
+    /// Insert (last writer wins; values are pure functions of the key, so
+    /// racing writers insert identical results).
+    pub fn insert(&self, key: u64, value: Arc<V>) {
+        self.map.lock().expect("cache lock").insert(key, value);
+    }
+
+    /// Counting-lookup hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Counting-lookup misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<V> Default for CountedCache<V> {
+    fn default() -> CountedCache<V> {
+        CountedCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_counts_and_peek_does_not() {
+        let cache = CountedCache::<u32>::new();
+        assert!(cache.get(7).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        cache.insert(7, Arc::new(42));
+        assert_eq!(*cache.get(7).unwrap(), 42);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(*cache.peek(7).unwrap(), 42);
+        assert!(cache.peek(8).is_none());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+}

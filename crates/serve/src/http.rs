@@ -1,0 +1,140 @@
+//! A deliberately small HTTP/1.1 subset over [`std::net`].
+//!
+//! The job API needs exactly four things from HTTP: a method, a path, a
+//! body, and a status line back — no keep-alive, no chunked encoding, no
+//! content negotiation. Hand-rolling that subset keeps the workspace free
+//! of external dependencies and keeps every byte on the wire auditable.
+//! Responses always carry `Connection: close`; one request per connection
+//! is the protocol.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Largest accepted request body. Specs are a few hundred bytes; a 1 MiB
+/// cap leaves generous headroom while bounding per-connection memory.
+pub const MAX_BODY: usize = 1 << 20;
+
+/// Largest accepted request-line or header line.
+pub const MAX_LINE: usize = 8 * 1024;
+
+/// A parsed request: just the routing triple.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// The path component as sent (query strings are not used by the API).
+    pub path: String,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: String,
+}
+
+/// Why a request could not be parsed into a [`Request`].
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line.
+    Eof,
+    /// Transport-level failure (timeouts surface here).
+    Io(io::Error),
+    /// The bytes were not the HTTP subset we speak; the detail is safe to
+    /// echo into a 400 body.
+    Malformed(String),
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> ReadError {
+        ReadError::Io(e)
+    }
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, ReadError> {
+    let mut line = String::new();
+    let n = reader
+        .by_ref()
+        .take(MAX_LINE as u64)
+        .read_line(&mut line)
+        .map_err(ReadError::Io)?;
+    if n == 0 {
+        return Err(ReadError::Eof);
+    }
+    if !line.ends_with('\n') && n >= MAX_LINE {
+        return Err(ReadError::Malformed(format!(
+            "header line exceeds {MAX_LINE} bytes"
+        )));
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Read and parse one request from the connection.
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadError> {
+    let request_line = read_line(reader)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_string(), p.to_string(), v),
+        _ => {
+            return Err(ReadError::Malformed(format!(
+                "bad request line {request_line:?}"
+            )))
+        }
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed(format!(
+            "unsupported protocol {version:?}"
+        )));
+    }
+
+    let mut content_length = 0usize;
+    loop {
+        let line = read_line(reader)?;
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ReadError::Malformed(format!("bad header line {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse::<usize>()
+                .map_err(|_| ReadError::Malformed(format!("bad content-length {value:?}")))?;
+            if content_length > MAX_BODY {
+                return Err(ReadError::Malformed(format!(
+                    "body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
+                )));
+            }
+        }
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(ReadError::Io)?;
+    let body = String::from_utf8(body)
+        .map_err(|_| ReadError::Malformed("request body is not UTF-8".into()))?;
+    Ok(Request { method, path, body })
+}
+
+/// The reason phrase for the handful of statuses the API uses.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Write a complete `application/json` response and flush it. Every
+/// response closes the connection.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        reason(status),
+        body.len(),
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}

@@ -1,0 +1,574 @@
+//! `hetchol-serve` — a job API over the `hetchol` facade.
+//!
+//! A hand-rolled HTTP/1.1 server (over [`std::net`], zero external
+//! dependencies) exposing simulation, bound computation, certification
+//! and linting as one JSON endpoint:
+//!
+//! ```text
+//! POST /jobs                    submit a JobSpec; answers the JobOutcome
+//! GET  /jobs/<id>               re-fetch a stored result
+//! GET  /jobs/<id>/trace         the run's Chrome about:tracing document
+//! GET  /jobs/<id>/lint          lint the stored trace on demand
+//! GET  /health                  liveness probe
+//! GET  /stats                   counters: cache hits, sheds, batching
+//! POST /admin/shards/<i>/kill   chaos: stop one shard's worker
+//! ```
+//!
+//! Requests route by spec content hash to a sharded worker pool
+//! ([`pool`]); each shard drains its bounded queue in batches so bound
+//! computations amortize through [`hetchol_bounds::BoundSet::compute_batch`]
+//! and three content-hash caches ([`cache`]): results by spec hash,
+//! bound sets by (workload, n, platform, profile), materialized
+//! platform/profile pairs by name.
+//!
+//! **Degradation is a response, not a dropped connection.** A full queue,
+//! an expired per-request deadline, or a killed shard each answer HTTP
+//! 503 with a structured body whose `outcome` member is the same
+//! [`RunOutcome::Degraded`] wire shape the resilient simulator reports —
+//! clients parse one vocabulary for "the system shed my job" and "the
+//! simulated platform lost workers".
+//!
+//! ```
+//! use hetchol_serve::{client, ServeConfig, Server};
+//!
+//! let server = Server::start(ServeConfig::default()).unwrap();
+//! let (status, body) = client::post_job(
+//!     server.addr(),
+//!     r#"{"workload":"cholesky","n":4,"action":"bounds"}"#,
+//! )
+//! .unwrap();
+//! assert_eq!(status, 200, "{body}");
+//! assert!(body.contains(r#""status":"ok""#));
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod store;
+
+use hetchol::job::{outcome_to_json, JobSpec};
+use hetchol_core::fault::RunOutcome;
+use hetchol_core::json::{parse_json, JsonValue};
+use pool::{JobRequest, Pool, ServerState, ShardReply, SubmitError};
+use std::io::{self};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker shards.
+    pub shards: usize,
+    /// Bounded queue depth per shard (backpressure).
+    pub queue_depth: usize,
+    /// Max jobs a worker drains per batch.
+    pub max_batch: usize,
+    /// Deadline for jobs that do not carry their own `budget_ms`.
+    pub default_budget_ms: u64,
+    /// Largest accepted matrix size in tiles; bigger specs answer 400
+    /// `over-budget` instead of monopolizing a worker.
+    pub max_n: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            shards: 4,
+            queue_depth: 128,
+            max_batch: 8,
+            default_budget_ms: 30_000,
+            max_n: 64,
+        }
+    }
+}
+
+struct Ctx {
+    config: ServeConfig,
+    state: Arc<ServerState>,
+    pool: Pool,
+}
+
+/// A running server. Dropping it does **not** stop the threads; call
+/// [`Server::shutdown`].
+pub struct Server {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Bind, start the worker pool and the acceptor thread, and return.
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState::new());
+        let pool = Pool::start(
+            config.shards,
+            config.queue_depth,
+            config.max_batch,
+            state.clone(),
+        );
+        let ctx = Arc::new(Ctx {
+            config,
+            state,
+            pool,
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor_ctx = ctx.clone();
+        let acceptor_stop = stop.clone();
+        let acceptor = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if acceptor_stop.load(Ordering::Acquire) {
+                    break;
+                }
+                if let Ok(stream) = conn {
+                    let ctx = acceptor_ctx.clone();
+                    thread::spawn(move || handle_connection(stream, &ctx));
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            ctx,
+            stop,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (with the resolved ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared state — counters and caches — for in-process callers.
+    pub fn state(&self) -> &ServerState {
+        &self.ctx.state
+    }
+
+    /// Kill one shard (the in-process twin of `POST /admin/shards/<i>/kill`).
+    pub fn kill_shard(&self, shard: usize) -> bool {
+        self.ctx.pool.kill(shard)
+    }
+
+    /// Stop accepting, stop the workers, join the acceptor. In-flight
+    /// connection handlers finish on their own (every response carries
+    /// `Connection: close`).
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Wake the acceptor out of `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        self.ctx.pool.shutdown();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+    let mut reader = std::io::BufReader::new(stream);
+    let (status, body) = match http::read_request(&mut reader) {
+        Ok(req) => route(&req, ctx),
+        Err(http::ReadError::Eof) => return,
+        Err(http::ReadError::Io(_)) => return,
+        Err(http::ReadError::Malformed(detail)) => (400, error_body("bad-request", &detail)),
+    };
+    stream = reader.into_inner();
+    let _ = http::write_response(&mut stream, status, &body);
+}
+
+fn route(req: &http::Request, ctx: &Ctx) -> (u16, String) {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/health") => (
+            200,
+            JsonValue::Obj(vec![("status".into(), JsonValue::str("ok"))]).render(),
+        ),
+        ("GET", "/stats") => (200, stats_body(ctx)),
+        ("POST", "/jobs") => submit(&req.body, ctx),
+        (method, path) if path.starts_with("/jobs/") => jobs_subresource(method, path, ctx),
+        ("POST", path) if path.starts_with("/admin/shards/") && path.ends_with("/kill") => {
+            let middle = &path["/admin/shards/".len()..path.len() - "/kill".len()];
+            match middle.parse::<usize>() {
+                Ok(shard) if ctx.pool.kill(shard) => (
+                    200,
+                    JsonValue::Obj(vec![
+                        ("status".into(), JsonValue::str("ok")),
+                        ("shard".into(), JsonValue::uint(shard as u64)),
+                        ("alive".into(), JsonValue::Bool(false)),
+                    ])
+                    .render(),
+                ),
+                _ => (
+                    404,
+                    error_body("not-found", &format!("no shard {middle:?}")),
+                ),
+            }
+        }
+        ("GET" | "POST", path) => (404, error_body("not-found", &format!("no route {path:?}"))),
+        (method, _) => (
+            405,
+            error_body("bad-method", &format!("method {method:?} not supported")),
+        ),
+    }
+}
+
+/// `POST /jobs`: parse, budget-check, consult the result cache, queue,
+/// and wait out the deadline.
+fn submit(body: &str, ctx: &Ctx) -> (u16, String) {
+    let spec = match JobSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(err) => return (400, err.to_json_value().render()),
+    };
+    if spec.n > ctx.config.max_n {
+        return (
+            400,
+            error_body(
+                "over-budget",
+                &format!(
+                    "n={} exceeds this server's limit of {} tiles",
+                    spec.n, ctx.config.max_n
+                ),
+            ),
+        );
+    }
+    let spec_hash = spec.content_hash();
+    if let Some(hit) = ctx.state.results.get(spec_hash) {
+        return (200, envelope(&hit, "hit"));
+    }
+
+    let id = ctx.state.store.next_id();
+    let budget = Duration::from_millis(spec.budget_ms.unwrap_or(ctx.config.default_budget_ms));
+    let (reply_tx, reply_rx) = mpsc::channel();
+    let shard = match ctx.pool.submit(
+        spec_hash,
+        JobRequest {
+            id,
+            spec,
+            reply: reply_tx,
+        },
+    ) {
+        Ok(shard) => shard,
+        Err((shard, SubmitError::QueueFull)) => {
+            ctx.state.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                degraded_body(
+                    "queue-full",
+                    &format!("shard {shard} queue is full; retry later"),
+                    shard,
+                ),
+            );
+        }
+        Err((shard, SubmitError::ShardDead)) => {
+            ctx.state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
+            return (
+                503,
+                degraded_body("shard-dead", &format!("shard {shard} is dead"), shard),
+            );
+        }
+    };
+    ctx.state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+    match reply_rx.recv_timeout(budget) {
+        Ok(ShardReply::Done(job)) => (200, envelope(&job, "miss")),
+        Ok(ShardReply::Rejected(err)) => (400, err.to_json_value().render()),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            ctx.state.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                degraded_body(
+                    "deadline",
+                    &format!("job {id} missed its {}ms budget", budget.as_millis()),
+                    shard,
+                ),
+            )
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            ctx.state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
+            (
+                503,
+                degraded_body(
+                    "shard-dead",
+                    &format!("shard {shard} died with job {id} queued"),
+                    shard,
+                ),
+            )
+        }
+    }
+}
+
+/// `GET /jobs/<id>`, `/jobs/<id>/trace`, `/jobs/<id>/lint`.
+fn jobs_subresource(method: &str, path: &str, ctx: &Ctx) -> (u16, String) {
+    if method != "GET" {
+        return (
+            405,
+            error_body("bad-method", &format!("{path} only supports GET")),
+        );
+    }
+    let rest = &path["/jobs/".len()..];
+    let (id_text, sub) = match rest.split_once('/') {
+        None => (rest, ""),
+        Some((id, sub)) => (id, sub),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return (
+            404,
+            error_body("not-found", &format!("bad job id {id_text:?}")),
+        );
+    };
+    let Some(job) = ctx.state.store.get(id) else {
+        return (404, error_body("not-found", &format!("no job {id}")));
+    };
+    match sub {
+        "" => (200, envelope(&job, "stored")),
+        "trace" => match job.chrome_trace() {
+            Some(trace) => (200, trace),
+            None => (
+                400,
+                error_body(
+                    "no-trace",
+                    &format!("job {id} ran without obs; resubmit with \"obs\":true"),
+                ),
+            ),
+        },
+        "lint" => match job.lint() {
+            Some(Ok(report)) => {
+                let report_value = parse_json(&report.to_json()).unwrap_or(JsonValue::Null);
+                (
+                    200,
+                    JsonValue::Obj(vec![
+                        ("status".into(), JsonValue::str("ok")),
+                        ("job_id".into(), JsonValue::uint(id)),
+                        ("errors".into(), JsonValue::uint(report.n_errors() as u64)),
+                        (
+                            "warnings".into(),
+                            JsonValue::uint(report.n_warnings() as u64),
+                        ),
+                        ("clean".into(), JsonValue::Bool(report.is_clean())),
+                        ("report".into(), report_value),
+                    ])
+                    .render(),
+                )
+            }
+            Some(Err(err)) => (400, err.to_json_value().render()),
+            None => (
+                400,
+                error_body(
+                    "no-trace",
+                    &format!("job {id} never simulated; nothing to lint"),
+                ),
+            ),
+        },
+        other => (
+            404,
+            error_body("not-found", &format!("no job subresource {other:?}")),
+        ),
+    }
+}
+
+/// The success envelope: the job's `JobOutcome` wire object with the
+/// server-assigned id and the cache disposition prepended.
+fn envelope(job: &store::StoredJob, cache: &str) -> String {
+    let mut members = vec![
+        ("job_id".into(), JsonValue::uint(job.id)),
+        ("cache".into(), JsonValue::str(cache)),
+    ];
+    if let JsonValue::Obj(rest) = job.outcome.to_json_value() {
+        members.extend(rest);
+    }
+    JsonValue::Obj(members).render()
+}
+
+/// A structured shed: HTTP 503 whose `outcome` reuses the simulator's
+/// `RunOutcome::Degraded` wire shape, with the shed shard as the lost
+/// worker.
+fn degraded_body(code: &str, detail: &str, shard: usize) -> String {
+    JsonValue::Obj(vec![
+        ("status".into(), JsonValue::str("degraded")),
+        ("code".into(), JsonValue::str(code)),
+        ("detail".into(), JsonValue::str(detail)),
+        (
+            "outcome".into(),
+            outcome_to_json(&RunOutcome::Degraded {
+                lost_workers: vec![shard],
+                retries: 0,
+            }),
+        ),
+    ])
+    .render()
+}
+
+fn error_body(code: &str, detail: &str) -> String {
+    JsonValue::Obj(vec![
+        ("status".into(), JsonValue::str("error")),
+        ("code".into(), JsonValue::str(code)),
+        ("detail".into(), JsonValue::str(detail)),
+    ])
+    .render()
+}
+
+fn stats_body(ctx: &Ctx) -> String {
+    let s = &ctx.state;
+    let cache_obj = |hits: u64, misses: u64, len: usize| {
+        JsonValue::Obj(vec![
+            ("hits".into(), JsonValue::uint(hits)),
+            ("misses".into(), JsonValue::uint(misses)),
+            ("entries".into(), JsonValue::uint(len as u64)),
+        ])
+    };
+    JsonValue::Obj(vec![
+        ("status".into(), JsonValue::str("ok")),
+        (
+            "jobs".into(),
+            JsonValue::Obj(vec![
+                (
+                    "submitted".into(),
+                    JsonValue::uint(s.jobs_submitted.load(Ordering::Relaxed)),
+                ),
+                (
+                    "completed".into(),
+                    JsonValue::uint(s.jobs_completed.load(Ordering::Relaxed)),
+                ),
+                ("stored".into(), JsonValue::uint(s.store.len() as u64)),
+                (
+                    "batched".into(),
+                    JsonValue::uint(s.batched.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "cache".into(),
+            JsonValue::Obj(vec![
+                (
+                    "results".into(),
+                    cache_obj(s.results.hits(), s.results.misses(), s.results.len()),
+                ),
+                (
+                    "bounds".into(),
+                    cache_obj(s.bounds.hits(), s.bounds.misses(), s.bounds.len()),
+                ),
+                (
+                    "profiles".into(),
+                    cache_obj(s.profiles.hits(), s.profiles.misses(), s.profiles.len()),
+                ),
+            ]),
+        ),
+        (
+            "shed".into(),
+            JsonValue::Obj(vec![
+                (
+                    "queue_full".into(),
+                    JsonValue::uint(s.shed_queue_full.load(Ordering::Relaxed)),
+                ),
+                (
+                    "deadline".into(),
+                    JsonValue::uint(s.shed_deadline.load(Ordering::Relaxed)),
+                ),
+                (
+                    "shard_dead".into(),
+                    JsonValue::uint(s.shed_shard_dead.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
+            "shards".into(),
+            JsonValue::Arr(ctx.pool.alive().into_iter().map(JsonValue::Bool).collect()),
+        ),
+    ])
+    .render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start() -> Server {
+        Server::start(ServeConfig {
+            shards: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind loopback")
+    }
+
+    #[test]
+    fn health_and_stats_respond() {
+        let server = start();
+        let (status, body) = client::get(server.addr(), "/health").unwrap();
+        assert_eq!((status, body.as_str()), (200, r#"{"status":"ok"}"#));
+        let (status, body) = client::get(server.addr(), "/stats").unwrap();
+        assert_eq!(status, 200);
+        assert!(body.contains(r#""shards":[true,true]"#), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn submit_then_refetch_and_cache_hit() {
+        let server = start();
+        let spec = r#"{"workload":"cholesky","n":6,"scheduler":"dmdas","obs":true}"#;
+        let (status, body) = client::post_job(server.addr(), spec).unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(r#""cache":"miss""#), "{body}");
+        let v = parse_json(&body).unwrap();
+        let id = v.field("job_id").unwrap().as_u64().unwrap();
+
+        // Same spec again: a counted cache hit with the original id.
+        let (status, body2) = client::post_job(server.addr(), spec).unwrap();
+        assert_eq!(status, 200, "{body2}");
+        assert!(body2.contains(r#""cache":"hit""#), "{body2}");
+        assert_eq!(server.state().results.hits(), 1);
+
+        // Refetch by id, then its trace and on-demand lint.
+        let (status, body3) = client::get(server.addr(), &format!("/jobs/{id}")).unwrap();
+        assert_eq!(status, 200, "{body3}");
+        assert!(body3.contains(r#""cache":"stored""#), "{body3}");
+        let (status, trace) = client::get(server.addr(), &format!("/jobs/{id}/trace")).unwrap();
+        assert_eq!(status, 200, "{trace}");
+        assert!(trace.contains("traceEvents"), "{trace}");
+        let (status, lint) = client::get(server.addr(), &format!("/jobs/{id}/lint")).unwrap();
+        assert_eq!(status, 200, "{lint}");
+        assert!(lint.contains(r#""errors":0"#), "{lint}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn killed_shard_answers_shard_dead_not_a_hang() {
+        let server = start();
+        let (status, body) =
+            client::request(server.addr(), "POST", "/admin/shards/0/kill", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) =
+            client::request(server.addr(), "POST", "/admin/shards/1/kill", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+        let (status, body) =
+            client::post_job(server.addr(), r#"{"workload":"cholesky","n":4}"#).unwrap();
+        assert_eq!(status, 503, "{body}");
+        assert!(body.contains(r#""status":"degraded""#), "{body}");
+        assert!(body.contains(r#""code":"shard-dead""#), "{body}");
+        assert!(body.contains(r#""label":"degraded""#), "{body}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_routes_and_methods_have_stable_codes() {
+        let server = start();
+        let (status, body) = client::get(server.addr(), "/nope").unwrap();
+        assert_eq!(status, 404);
+        assert!(body.contains(r#""code":"not-found""#), "{body}");
+        let (status, body) = client::request(server.addr(), "DELETE", "/jobs", "").unwrap();
+        assert_eq!(status, 405);
+        assert!(body.contains(r#""code":"bad-method""#), "{body}");
+        let (status, body) = client::get(server.addr(), "/jobs/999").unwrap();
+        assert_eq!(status, 404, "{body}");
+        server.shutdown();
+    }
+}

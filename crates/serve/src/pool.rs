@@ -1,0 +1,381 @@
+//! The sharded worker pool.
+//!
+//! Jobs are routed to a shard by spec content hash, queued on a bounded
+//! channel, and executed by one worker thread per shard. The bounded
+//! queue is the server's backpressure: a full queue answers *queue-full*
+//! immediately instead of buffering unboundedly, and a killed shard
+//! answers *shard-dead* instead of hanging — both as structured
+//! `Degraded` HTTP responses, never dropped connections.
+//!
+//! Workers drain their queue in batches (up to `max_batch`) so the bound
+//! computations of co-queued jobs amortize through
+//! [`BoundSet::compute_batch`] and the shared bounds cache.
+
+use crate::cache::CountedCache;
+use crate::store::{JobStore, StoredJob};
+use hetchol::job::{JobAction, JobError, JobSpec};
+use hetchol_bounds::BoundSet;
+use hetchol_core::algorithm::Algorithm;
+use hetchol_core::hash::ContentHasher;
+use hetchol_core::platform::Platform;
+use hetchol_core::profiles::TimingProfile;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+
+/// Shared server state: the caches, the job store, and the counters
+/// surfaced by `GET /stats`.
+pub struct ServerState {
+    /// Completed jobs by spec content hash — the result cache.
+    pub results: CountedCache<StoredJob>,
+    /// Bound sets by (workload, n, platform, profile) hash.
+    pub bounds: CountedCache<BoundSet>,
+    /// Materialized (platform, profile) pairs by name hash.
+    pub profiles: CountedCache<(Platform, TimingProfile)>,
+    /// Completed jobs by server-assigned id.
+    pub store: JobStore,
+    /// Jobs accepted into a shard queue.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs a worker finished executing.
+    pub jobs_completed: AtomicU64,
+    /// Submissions shed because the target shard's queue was full.
+    pub shed_queue_full: AtomicU64,
+    /// Submissions answered Degraded because the deadline expired first.
+    pub shed_deadline: AtomicU64,
+    /// Submissions shed because the target shard was dead.
+    pub shed_shard_dead: AtomicU64,
+    /// Jobs that were executed as part of a multi-job batch.
+    pub batched: AtomicU64,
+}
+
+impl ServerState {
+    /// Fresh state with zeroed counters.
+    pub fn new() -> ServerState {
+        ServerState {
+            results: CountedCache::new(),
+            bounds: CountedCache::new(),
+            profiles: CountedCache::new(),
+            store: JobStore::new(),
+            jobs_submitted: AtomicU64::new(0),
+            jobs_completed: AtomicU64::new(0),
+            shed_queue_full: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            shed_shard_dead: AtomicU64::new(0),
+            batched: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached (platform, profile) pair for a spec, building and
+    /// caching it on first use.
+    pub fn profile_pair(&self, spec: &JobSpec) -> Arc<(Platform, TimingProfile)> {
+        let key = profile_key(spec);
+        if let Some(pair) = self.profiles.get(key) {
+            return pair;
+        }
+        let pair = Arc::new((spec.platform.build(), spec.profile.build()));
+        self.profiles.insert(key, pair.clone());
+        pair
+    }
+}
+
+impl Default for ServerState {
+    fn default() -> ServerState {
+        ServerState::new()
+    }
+}
+
+/// Whether the action computes a bound set (and so benefits from the
+/// bounds cache and batching).
+pub fn needs_bounds(action: JobAction) -> bool {
+    matches!(
+        action,
+        JobAction::Bounds | JobAction::Certify | JobAction::Lint
+    )
+}
+
+/// Cache key for a spec's (platform, profile) pair.
+pub fn profile_key(spec: &JobSpec) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(&spec.platform.name());
+    h.write_str(&spec.profile.name());
+    h.finish()
+}
+
+/// Cache key for a spec's bound set. Bounds depend only on the workload,
+/// the size, and the (platform, profile) pair — not the scheduler, seed
+/// or faults — so many distinct jobs share one entry.
+pub fn bounds_key(spec: &JobSpec) -> u64 {
+    let mut h = ContentHasher::new();
+    h.write_str(spec.workload.label());
+    h.write_usize(spec.n);
+    h.write_str(&spec.platform.name());
+    h.write_str(&spec.profile.name());
+    h.finish()
+}
+
+/// One queued job: the assigned id, the spec, and the channel the
+/// connection handler is blocked on.
+pub struct JobRequest {
+    /// Server-assigned job id.
+    pub id: u64,
+    /// The job to run.
+    pub spec: JobSpec,
+    /// Where the worker sends the result. Send errors are ignored: a
+    /// handler whose deadline expired has hung up, but the result is
+    /// still cached for the next request.
+    pub reply: mpsc::Sender<ShardReply>,
+}
+
+/// What a worker sends back per job.
+pub enum ShardReply {
+    /// The job ran (possibly degraded *inside* the simulation — the
+    /// stored outcome says); it is in the store and the result cache.
+    Done(Arc<StoredJob>),
+    /// The spec failed validation at execution time.
+    Rejected(JobError),
+}
+
+enum ShardMsg {
+    Job(JobRequest),
+    Stop,
+}
+
+/// Why a submission was refused without queueing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The shard's bounded queue is full (backpressure).
+    QueueFull,
+    /// The shard's worker is dead (killed or exited).
+    ShardDead,
+}
+
+struct Shard {
+    tx: mpsc::SyncSender<ShardMsg>,
+    alive: Arc<AtomicBool>,
+}
+
+/// The worker pool: `n_shards` bounded queues, one worker thread each.
+pub struct Pool {
+    shards: Vec<Shard>,
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Pool {
+    /// Start `n_shards` workers over the shared state.
+    pub fn start(
+        n_shards: usize,
+        queue_depth: usize,
+        max_batch: usize,
+        state: Arc<ServerState>,
+    ) -> Pool {
+        let n_shards = n_shards.max(1);
+        let max_batch = max_batch.max(1);
+        let mut shards = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = mpsc::sync_channel(queue_depth.max(1));
+            let alive = Arc::new(AtomicBool::new(true));
+            let worker_alive = alive.clone();
+            let worker_state = state.clone();
+            handles.push(thread::spawn(move || {
+                worker(rx, worker_alive, worker_state, max_batch)
+            }));
+            shards.push(Shard { tx, alive });
+        }
+        Pool {
+            shards,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a spec hash routes to.
+    pub fn shard_of(&self, spec_hash: u64) -> usize {
+        (spec_hash % self.shards.len() as u64) as usize
+    }
+
+    /// Liveness of every shard, in order.
+    pub fn alive(&self) -> Vec<bool> {
+        self.shards
+            .iter()
+            .map(|s| s.alive.load(Ordering::Acquire))
+            .collect()
+    }
+
+    /// Route and enqueue a job. Returns the shard index it was queued on,
+    /// or the shard index plus the reason it was shed.
+    pub fn submit(&self, spec_hash: u64, req: JobRequest) -> Result<usize, (usize, SubmitError)> {
+        let idx = self.shard_of(spec_hash);
+        let shard = &self.shards[idx];
+        if !shard.alive.load(Ordering::Acquire) {
+            return Err((idx, SubmitError::ShardDead));
+        }
+        match shard.tx.try_send(ShardMsg::Job(req)) {
+            Ok(()) => Ok(idx),
+            Err(mpsc::TrySendError::Full(_)) => Err((idx, SubmitError::QueueFull)),
+            Err(mpsc::TrySendError::Disconnected(_)) => Err((idx, SubmitError::ShardDead)),
+        }
+    }
+
+    /// Kill a shard: its worker stops, its queued jobs are answered
+    /// *shard-dead* (their reply channels disconnect), and future
+    /// submissions routed to it are refused. Returns `false` for an
+    /// out-of-range index.
+    pub fn kill(&self, shard: usize) -> bool {
+        let Some(s) = self.shards.get(shard) else {
+            return false;
+        };
+        s.alive.store(false, Ordering::Release);
+        // Wake a worker blocked on an empty queue; if the queue is full
+        // the worker is busy and will observe the flag after its batch.
+        let _ = s.tx.try_send(ShardMsg::Stop);
+        true
+    }
+
+    /// Stop every worker and join them.
+    pub fn shutdown(&self) {
+        for shard in &self.shards {
+            shard.alive.store(false, Ordering::Release);
+            let _ = shard.tx.try_send(ShardMsg::Stop);
+        }
+        let handles = std::mem::take(&mut *self.handles.lock().expect("pool lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker(
+    rx: mpsc::Receiver<ShardMsg>,
+    alive: Arc<AtomicBool>,
+    state: Arc<ServerState>,
+    max_batch: usize,
+) {
+    loop {
+        if !alive.load(Ordering::Acquire) {
+            break;
+        }
+        let first = match rx.recv() {
+            Ok(msg) => msg,
+            Err(_) => break,
+        };
+        let mut batch = Vec::new();
+        match first {
+            ShardMsg::Stop => break,
+            ShardMsg::Job(req) => batch.push(req),
+        }
+        let mut stop_after = false;
+        while batch.len() < max_batch {
+            match rx.try_recv() {
+                Ok(ShardMsg::Job(req)) => batch.push(req),
+                Ok(ShardMsg::Stop) => {
+                    stop_after = true;
+                    break;
+                }
+                Err(_) => break,
+            }
+        }
+        if alive.load(Ordering::Acquire) {
+            process_batch(&state, batch);
+        }
+        // A batch picked up by a just-killed worker is dropped instead:
+        // the reply senders disconnect and every waiting handler answers
+        // shard-dead rather than blocking on a corpse.
+        if stop_after {
+            break;
+        }
+    }
+    alive.store(false, Ordering::Release);
+}
+
+/// Run one drained batch: prefetch the batch's distinct bound sets in one
+/// [`BoundSet::compute_batch`] call per (platform, profile) group, then
+/// execute each job with its bounds spliced in.
+fn process_batch(state: &ServerState, batch: Vec<JobRequest>) {
+    struct Group {
+        profile_key: u64,
+        exemplar: JobSpec,
+        requests: Vec<(u64, Algorithm, usize)>,
+    }
+    let mut groups: Vec<Group> = Vec::new();
+    for req in &batch {
+        if !needs_bounds(req.spec.action) {
+            continue;
+        }
+        let bkey = bounds_key(&req.spec);
+        // Counting lookup: the stats answer "how many jobs found their
+        // bounds precomputed?".
+        if state.bounds.get(bkey).is_some() {
+            continue;
+        }
+        let pkey = profile_key(&req.spec);
+        let group = match groups.iter_mut().find(|g| g.profile_key == pkey) {
+            Some(g) => g,
+            None => {
+                groups.push(Group {
+                    profile_key: pkey,
+                    exemplar: req.spec.clone(),
+                    requests: Vec::new(),
+                });
+                groups.last_mut().expect("just pushed")
+            }
+        };
+        if !group.requests.iter().any(|&(k, _, _)| k == bkey) {
+            group.requests.push((bkey, req.spec.workload, req.spec.n));
+        }
+    }
+    for group in groups {
+        let pair = state.profile_pair(&group.exemplar);
+        let wanted: Vec<(Algorithm, usize)> =
+            group.requests.iter().map(|&(_, a, n)| (a, n)).collect();
+        let sets = BoundSet::compute_batch(&wanted, &pair.0, &pair.1);
+        for (&(bkey, _, _), set) in group.requests.iter().zip(sets) {
+            state.bounds.insert(bkey, Arc::new(set));
+        }
+    }
+
+    if batch.len() > 1 {
+        state
+            .batched
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    }
+    for req in batch {
+        let spec_hash = req.spec.content_hash();
+        // An identical spec may have completed on another shard while this
+        // one sat in the queue; reuse it (non-counting, internal dedup).
+        if let Some(done) = state.results.peek(spec_hash) {
+            state.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            let _ = req.reply.send(ShardReply::Done(done));
+            continue;
+        }
+        let precomputed = if needs_bounds(req.spec.action) {
+            state
+                .bounds
+                .peek(bounds_key(&req.spec))
+                .map(|set| (*set).clone())
+        } else {
+            None
+        };
+        match req.spec.run_with_bounds(precomputed) {
+            Ok(run) => {
+                let job = Arc::new(StoredJob {
+                    id: req.id,
+                    spec: req.spec,
+                    outcome: run.outcome,
+                    sim: run.sim,
+                });
+                state.store.insert(job.clone());
+                state.results.insert(spec_hash, job.clone());
+                state.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                let _ = req.reply.send(ShardReply::Done(job));
+            }
+            Err(err) => {
+                let _ = req.reply.send(ShardReply::Rejected(err));
+            }
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Per-job result storage.
+//!
+//! Every completed job is kept (spec + summary + full simulation result)
+//! so clients can come back for the heavyweight artifacts — the Chrome
+//! trace (`GET /jobs/<id>/trace`) and an after-the-fact lint
+//! (`GET /jobs/<id>/lint`) — without re-running anything.
+
+use hetchol::job::{JobError, JobOutcome, JobSpec};
+use hetchol_analyze::Report;
+use hetchol_sim::SimResult;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A finished job: the spec that produced it, the wire summary, and the
+/// full simulation result when one was run.
+pub struct StoredJob {
+    /// Server-assigned id (the `/jobs/<id>` path segment).
+    pub id: u64,
+    /// The spec, kept verbatim for replay and lint-on-demand.
+    pub spec: JobSpec,
+    /// The serializable result summary.
+    pub outcome: JobOutcome,
+    /// The full engine result (simulate/lint actions only).
+    pub sim: Option<SimResult>,
+}
+
+impl StoredJob {
+    /// Render the recorded observability spans as a Chrome `about:tracing`
+    /// document. `None` when the job ran without `obs` or never simulated.
+    pub fn chrome_trace(&self) -> Option<String> {
+        if !self.spec.obs {
+            return None;
+        }
+        self.sim.as_ref().map(|r| r.obs.to_chrome_trace())
+    }
+
+    /// Lint the stored trace on demand with the exact configuration the
+    /// `lint` action would have used.
+    pub fn lint(&self) -> Option<Result<Report, JobError>> {
+        self.sim.as_ref().map(|r| self.spec.lint_sim(r))
+    }
+}
+
+/// The id-indexed store behind `GET /jobs/<id>`.
+pub struct JobStore {
+    jobs: Mutex<HashMap<u64, Arc<StoredJob>>>,
+    next_id: AtomicU64,
+}
+
+impl JobStore {
+    /// An empty store; ids start at 1.
+    pub fn new() -> JobStore {
+        JobStore {
+            jobs: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(1),
+        }
+    }
+
+    /// Allocate the next job id.
+    pub fn next_id(&self) -> u64 {
+        self.next_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Store a finished job under its id.
+    pub fn insert(&self, job: Arc<StoredJob>) {
+        self.jobs.lock().expect("store lock").insert(job.id, job);
+    }
+
+    /// Fetch a job by id.
+    pub fn get(&self, id: u64) -> Option<Arc<StoredJob>> {
+        self.jobs.lock().expect("store lock").get(&id).cloned()
+    }
+
+    /// Number of stored jobs.
+    pub fn len(&self) -> usize {
+        self.jobs.lock().expect("store lock").len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for JobStore {
+    fn default() -> JobStore {
+        JobStore::new()
+    }
+}

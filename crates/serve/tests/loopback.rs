@@ -1,0 +1,298 @@
+//! Loopback-socket integration tests: a real server on an ephemeral
+//! port, driven through the blocking client — results bitwise-matched
+//! against direct in-process [`Run`] calls, golden error bodies pinned
+//! verbatim, and cache-hit accounting exercised under real concurrency.
+
+use hetchol::core::platform::Platform;
+use hetchol::job::JobSpec;
+use hetchol::prelude::*;
+use hetchol_core::json::parse_json;
+use hetchol_sched::registry;
+use hetchol_serve::{client, ServeConfig, Server};
+use hetchol_sim::SimOptions;
+
+fn start(config: ServeConfig) -> Server {
+    Server::start(config).expect("bind ephemeral loopback port")
+}
+
+fn default_server() -> Server {
+    start(ServeConfig {
+        shards: 2,
+        ..ServeConfig::default()
+    })
+}
+
+#[test]
+fn paper_grid_results_match_direct_run_bitwise() {
+    let server = default_server();
+    for &(workload, n) in &[("cholesky", 4), ("cholesky", 8), ("lu", 6), ("qr", 6)] {
+        for sched in ["dmda", "dmdas"] {
+            let mut spec = JobSpec::new(workload, n).unwrap().scheduler(sched);
+            spec.seed = 5;
+            let (status, body) = client::post_job(server.addr(), &spec.to_json()).unwrap();
+            assert_eq!(status, 200, "{body}");
+            let v = parse_json(&body).unwrap();
+            let served_makespan = v.field("makespan_ns").unwrap().as_u64().unwrap();
+            let served_gflops = v.field("gflops").unwrap().as_f64().unwrap();
+
+            let graph = spec.workload.graph(n);
+            let direct = Run::new(&graph)
+                .scheduler_boxed(registry::build(sched, 5).unwrap())
+                .try_simulate(
+                    &Platform::mirage(),
+                    &SimOptions {
+                        seed: 5,
+                        ..SimOptions::default()
+                    },
+                )
+                .unwrap();
+            assert_eq!(
+                served_makespan,
+                direct.makespan.as_nanos(),
+                "{workload} n={n} {sched}: served makespan must be the direct Run's, bit for bit"
+            );
+            let direct_gflops = spec.workload.gflops(
+                n,
+                hetchol::core::profiles::TimingProfile::mirage().nb(),
+                direct.makespan,
+            );
+            assert_eq!(
+                served_gflops.to_bits(),
+                direct_gflops.to_bits(),
+                "{workload} n={n} {sched}: gflops bit pattern"
+            );
+            // The wire hash is the spec's content hash.
+            let hex = v.field("spec_hash").unwrap().as_str().unwrap().to_string();
+            assert_eq!(hex, spec.hash_hex());
+        }
+    }
+    server.shutdown();
+}
+
+#[test]
+fn golden_error_bodies_are_stable() {
+    let server = start(ServeConfig {
+        shards: 2,
+        max_n: 16,
+        ..ServeConfig::default()
+    });
+
+    // Unknown scheduler name: rejected at parse time with the registry list.
+    let (status, body) = client::post_job(
+        server.addr(),
+        r#"{"workload":"cholesky","n":4,"scheduler":"dmdax"}"#,
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.field("status").unwrap().as_str().unwrap(), "error");
+    assert_eq!(
+        v.field("code").unwrap().as_str().unwrap(),
+        "unknown-scheduler"
+    );
+    let detail = v.field("detail").unwrap().as_str().unwrap();
+    assert!(detail.contains("dmdax"), "{detail}");
+    assert!(
+        detail.contains("dmdas"),
+        "detail lists known names: {detail}"
+    );
+
+    // A plan that kills every worker: typed ConfigError code.
+    let (status, body) = client::post_job(
+        server.addr(),
+        concat!(
+            r#"{"workload":"cholesky","n":4,"platform":"homogeneous:2","#,
+            r#""profile":"mirage-homogeneous","#,
+            r#""faults":[{"kind":"worker_death","worker":0,"after_starts":0},"#,
+            r#"{"kind":"worker_death","worker":1,"after_starts":0}]}"#
+        ),
+    )
+    .unwrap();
+    assert_eq!(status, 400, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(
+        v.field("code").unwrap().as_str().unwrap(),
+        "plan-kills-all-workers"
+    );
+
+    // Over the server's size budget: refused before queueing.
+    let (status, body) =
+        client::post_job(server.addr(), r#"{"workload":"cholesky","n":32}"#).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.field("code").unwrap().as_str().unwrap(), "over-budget");
+    assert!(
+        v.field("detail").unwrap().as_str().unwrap().contains("16"),
+        "{body}"
+    );
+
+    // Unknown workload: bad-spec.
+    let (status, body) = client::post_job(server.addr(), r#"{"workload":"svd","n":4}"#).unwrap();
+    assert_eq!(status, 400, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.field("code").unwrap().as_str().unwrap(), "bad-spec");
+
+    // Not JSON at all: bad-spec from the shared parser.
+    let (status, body) = client::post_job(server.addr(), "not json").unwrap();
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains(r#""code":"bad-spec""#), "{body}");
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_identical_specs_hit_the_cache_after_warmup() {
+    let server = default_server();
+    let spec = r#"{"workload":"cholesky","n":6,"action":"bounds"}"#;
+
+    // Warm the cache with one synchronous request.
+    let (status, body) = client::post_job(server.addr(), spec).unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""cache":"miss""#), "{body}");
+
+    // 16 concurrent identical submissions: every one is a counted hit
+    // answering the original job id.
+    let addr = server.addr();
+    let first_id = parse_json(&body)
+        .unwrap()
+        .field("job_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let handles: Vec<_> = (0..16)
+        .map(|_| {
+            std::thread::spawn(move || client::post_job(addr, spec).expect("loopback request"))
+        })
+        .collect();
+    for handle in handles {
+        let (status, body) = handle.join().unwrap();
+        assert_eq!(status, 200, "{body}");
+        assert!(body.contains(r#""cache":"hit""#), "{body}");
+        let id = parse_json(&body)
+            .unwrap()
+            .field("job_id")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        assert_eq!(id, first_id, "hits echo the original job id");
+    }
+    assert_eq!(server.state().results.hits(), 16);
+    assert_eq!(server.state().results.misses(), 1);
+
+    // The stats endpoint reports the same numbers over the wire.
+    let (status, stats) = client::get(addr, "/stats").unwrap();
+    assert_eq!(status, 200);
+    let v = parse_json(&stats).unwrap();
+    let results = v.field("cache").unwrap().field("results").unwrap();
+    assert_eq!(
+        results.field("hits").unwrap().as_u64().unwrap(),
+        16,
+        "{stats}"
+    );
+    assert_eq!(
+        results.field("misses").unwrap().as_u64().unwrap(),
+        1,
+        "{stats}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn degraded_responses_reuse_the_simulator_wire_shape() {
+    let server = start(ServeConfig {
+        shards: 1,
+        ..ServeConfig::default()
+    });
+    // Kill the only shard, then submit: a structured shard-dead 503.
+    assert!(server.kill_shard(0));
+    let (status, body) =
+        client::post_job(server.addr(), r#"{"workload":"cholesky","n":4}"#).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(v.field("status").unwrap().as_str().unwrap(), "degraded");
+    assert_eq!(v.field("code").unwrap().as_str().unwrap(), "shard-dead");
+    let outcome = v.field("outcome").unwrap();
+    assert_eq!(
+        outcome.field("label").unwrap().as_str().unwrap(),
+        "degraded"
+    );
+    let lost = outcome.field("lost_workers").unwrap().as_arr().unwrap();
+    assert_eq!(lost.len(), 1);
+    assert_eq!(lost[0].as_u64().unwrap(), 0, "shard 0 is the lost worker");
+    server.shutdown();
+}
+
+#[test]
+fn per_request_budget_sheds_as_deadline_degradation() {
+    // One shard, and a first job that occupies the worker long enough for
+    // a second, tightly-budgeted job to miss its deadline in the queue.
+    let server = start(ServeConfig {
+        shards: 1,
+        max_batch: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+    // Back the single worker up with a queue of distinct heavyweight jobs
+    // (jittered lint at n=32, different seeds → different content hashes,
+    // no dedup), then submit a 1 ms-budget job behind them.
+    let slow: Vec<_> = (0..8)
+        .map(|seed| {
+            std::thread::spawn(move || {
+                let body = format!(
+                    r#"{{"workload":"cholesky","n":32,"action":"lint","obs":true,"jitter":true,"seed":{seed}}}"#
+                );
+                client::post_job(addr, &body).expect("slow job answers")
+            })
+        })
+        .collect();
+    // Wait until the backlog is actually enqueued before racing it.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+    loop {
+        let (_, stats) = client::get(addr, "/stats").unwrap();
+        let v = parse_json(&stats).unwrap();
+        let submitted = v
+            .field("jobs")
+            .unwrap()
+            .field("submitted")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        let completed = v
+            .field("jobs")
+            .unwrap()
+            .field("completed")
+            .unwrap()
+            .as_u64()
+            .unwrap();
+        if submitted >= 8 && completed < 7 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline && completed < 7,
+            "backlog drained before the deadline job could race it: {stats}"
+        );
+        std::thread::yield_now();
+    }
+    let (status, body) =
+        client::post_job(addr, r#"{"workload":"qr","n":12,"budget_ms":1,"seed":77}"#).unwrap();
+    assert_eq!(status, 503, "{body}");
+    let v = parse_json(&body).unwrap();
+    assert_eq!(
+        v.field("code").unwrap().as_str().unwrap(),
+        "deadline",
+        "{body}"
+    );
+    assert_eq!(
+        v.field("outcome")
+            .unwrap()
+            .field("label")
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "degraded"
+    );
+    for handle in slow {
+        let (status, _) = handle.join().unwrap();
+        assert_eq!(status, 200);
+    }
+    server.shutdown();
+}

@@ -26,9 +26,13 @@
 //!   the interleaving-exploring race checker (DESIGN.md §4).
 
 //!
-//! The crate itself hosts the [`Run`] builder facade (`src/run.rs`): one
+//! The crate itself hosts the [`Run`] builder facade (`src/run.rs`) — one
 //! configuration path into either engine, with observability attached at
-//! construction.
+//! construction — and its serializable twin, the [`job::JobSpec`] /
+//! [`job::JobOutcome`] pair (`src/job.rs`) that the `hetchol-serve` HTTP
+//! API and the `repro` CLI submit over the wire. Both funnel simulations
+//! through [`job::dispatch_simulate`], so a wire job is bit-identical to
+//! a direct builder call.
 
 pub use hetchol_analyze as analyze;
 pub use hetchol_bounds as bounds;
@@ -39,8 +43,10 @@ pub use hetchol_rt as rt;
 pub use hetchol_sched as sched;
 pub use hetchol_sim as sim;
 
+pub mod job;
 pub mod run;
 
+pub use job::{JobAction, JobError, JobOutcome, JobRun, JobSpec};
 pub use run::Run;
 
 /// Convenient glob import for examples and downstream users: core
@@ -51,6 +57,7 @@ pub use run::Run;
 /// Every item here appears in at least one doctest — see [`Run`],
 /// [`crate::core::obs`], and the per-type docs.
 pub mod prelude {
+    pub use crate::job::{JobAction, JobError, JobOutcome, JobSpec};
     pub use crate::run::Run;
     pub use hetchol_core::fault::{
         ConfigError, FailureCause, FaultKind, FaultPlan, RetryPolicy, RunOutcome,

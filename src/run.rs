@@ -11,7 +11,11 @@
 //!
 //! Both paths share the execution core (`hetchol-core::exec`), so a
 //! facade run is *bit-identical* to calling the engine directly with the
-//! same arguments (golden-tested in `tests/cross_engine.rs`).
+//! same arguments (golden-tested in `tests/cross_engine.rs`). Simulation
+//! dispatch itself lives in [`crate::job::dispatch_simulate`] — the same
+//! function a deserialized [`crate::job::JobSpec`] runs through, which is
+//! what makes wire-submitted jobs bit-identical to direct builder calls
+//! (`tests/jobspec.rs`).
 //!
 //! Fault injection rides on the same builder: [`Run::faults`] attaches a
 //! [`FaultPlan`] and [`Run::retry`] a [`RetryPolicy`]; [`Run::try_simulate`]
@@ -157,20 +161,7 @@ impl<'a> Run<'a> {
         platform: &Platform,
         opts: &SimOptions,
     ) -> Result<SimResult, ConfigError> {
-        if self.faults.is_empty() {
-            if platform.n_workers() == 0 {
-                return Err(ConfigError::ZeroWorkers);
-            }
-            return Ok(hetchol_sim::simulate_with(
-                self.graph,
-                platform,
-                &self.profile,
-                self.scheduler.as_mut(),
-                opts,
-                self.obs,
-            ));
-        }
-        hetchol_sim::simulate_resilient(
+        crate::job::dispatch_simulate(
             self.graph,
             platform,
             &self.profile,
