@@ -62,6 +62,11 @@ pub enum Rule {
     /// violated invariant (CONFIRMED), or fails to (the witness is stale
     /// or the replay diverged — a warning).
     McWitness,
+    /// A happens-before race or lock-order cycle witnessed by the passive
+    /// sync recorder: two conflicting touchpoint accesses with no
+    /// release→acquire or send→recv path between them, or a cycle in the
+    /// global lock acquisition graph (potential deadlock).
+    RaceWitness,
 }
 
 impl Rule {
@@ -86,11 +91,12 @@ impl Rule {
             Rule::UncertifiedBound => "uncertified-bound",
             Rule::RecoveryConsistency => "recovery-consistency",
             Rule::McWitness => "mc-witness",
+            Rule::RaceWitness => "race-witness",
         }
     }
 
     /// All rules, for catalog listings and coverage tests.
-    pub const ALL: [Rule; 18] = [
+    pub const ALL: [Rule; 19] = [
         Rule::TaskSetSize,
         Rule::TaskMisnumbered,
         Rule::BadWorker,
@@ -109,6 +115,7 @@ impl Rule {
         Rule::UncertifiedBound,
         Rule::RecoveryConsistency,
         Rule::McWitness,
+        Rule::RaceWitness,
     ];
 }
 

@@ -19,19 +19,27 @@
 //!   checker that also explores fault nondeterminism (worker deaths,
 //!   transient task failures), checks recovery invariants at every
 //!   quiescent state, and serializes minimized, replayable witnesses.
+//!
+//! * **The happens-before recorder** ([`hb`]) — a passive FastTrack-style
+//!   vector-clock race detector plus lockdep-style lock-order cycle
+//!   detection over the same shim event stream, for whole-process runs
+//!   (including the serve layer) at real speed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod diag;
+pub mod hb;
 pub mod lint;
 pub mod mc;
 pub mod race;
 
 pub use diag::{Diagnostic, Report, Rule, Severity};
-pub use lint::{Linter, QueueDiscipline};
+pub use hb::{HbReport, LockCycle, RaceCandidate, RaceSide};
+pub use lint::{race_report, Linter, QueueDiscipline};
 pub use mc::{
-    check_recovery, explore_dpor, explore_runtime_dpor, replay_witness, resilient_runner,
-    trace_invariants, Invariant, McReport, RecoveryScenario, Replay, Violation, Witness,
+    check_model, check_recovery, explore_dpor, explore_runtime_dpor, replay_model, replay_witness,
+    resilient_runner, trace_invariants, Invariant, McReport, ModelReplay, ModelReport,
+    RecoveryScenario, Replay, Violation, Witness,
 };
 pub use race::{explore, explore_runtime, Deadlock, ExploreConfig, ExploreReport, RoundRobin};

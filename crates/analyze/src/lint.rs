@@ -896,3 +896,53 @@ fn finish(mut diags: Vec<Diagnostic>) -> Report {
     diags.sort_by_key(|d| d.rule);
     Report { diagnostics: diags }
 }
+
+/// Rule 19 (`race-witness`): convert a passive happens-before pass
+/// ([`crate::hb::record`]) into the linter's report format. Every race
+/// candidate and every lock-order cycle becomes one error diagnostic —
+/// both are schedule-independent evidence (the vector clocks certify the
+/// recorded synchronization cannot order the pair; the cycle needs no
+/// timing at all), so there is no warning tier here. A clean pass yields
+/// an empty report, which as usual proves only the schedules that ran.
+pub fn race_report(hb: &crate::hb::HbReport) -> Report {
+    let mut diags = Vec::new();
+    for r in &hb.races {
+        let held = |h: &[String]| {
+            if h.is_empty() {
+                "nothing".to_string()
+            } else {
+                format!("[{}]", h.join(", "))
+            }
+        };
+        diags.push(Diagnostic {
+            rule: Rule::RaceWitness,
+            severity: Severity::Error,
+            task: None,
+            worker: None,
+            message: format!(
+                "data race on \"{}\": {} {} holding {} is unordered with {} {} holding {}",
+                r.obj,
+                r.first.thread,
+                r.first.access,
+                held(&r.first.held),
+                r.second.thread,
+                r.second.access,
+                held(&r.second.held),
+            ),
+        });
+    }
+    for c in &hb.cycles {
+        diags.push(Diagnostic {
+            rule: Rule::RaceWitness,
+            severity: Severity::Error,
+            task: None,
+            worker: None,
+            message: format!(
+                "lock-order cycle {} (potential deadlock): {}",
+                c.locks.join(" -> "),
+                c.chains.join("; "),
+            ),
+        });
+    }
+    finish(diags)
+}

@@ -450,6 +450,189 @@ pub fn explore_runtime_dpor(
     })
 }
 
+/// Outcome of one [`check_model`] call: the generic counterpart of
+/// [`McReport`] for models that are not the resilient runtime.
+#[derive(Clone, Debug)]
+pub struct ModelReport {
+    /// Branches run before the verdict.
+    pub schedules_run: usize,
+    /// `true` when the DPOR tree was covered with no finding.
+    pub exhausted: bool,
+    /// The first invariant violation found (model deadlocks surface as
+    /// [`Invariant::Deadlock`], step-cap aborts as
+    /// [`Invariant::NoLivelock`]).
+    pub violation: Option<Violation>,
+    /// Minimized choice prefix reaching `violation`; empty when clean.
+    pub choices: Vec<usize>,
+    /// Panic messages from runs that failed for any other reason.
+    pub failures: Vec<String>,
+}
+
+impl ModelReport {
+    /// `true` when no violation and no failure was found.
+    pub fn is_clean(&self) -> bool {
+        self.violation.is_none() && self.failures.is_empty()
+    }
+}
+
+/// Exhaustively model-check an arbitrary closed system: explore every
+/// (DPOR-reduced) interleaving of `run_once`'s `n_threads` checked-in
+/// threads, evaluating `post_run` at every quiescent state. Stops at the
+/// first violation and minimizes its choice prefix. This is the engine
+/// behind the serve-pool model (`hetchol_serve::model`); the resilient
+/// runtime keeps its richer [`check_recovery`] wrapper.
+pub fn check_model(
+    n_threads: usize,
+    cfg: ExploreConfig,
+    mut run_once: impl FnMut(),
+    mut post_run: impl FnMut() -> Option<Violation>,
+) -> ModelReport {
+    assert!(n_threads > 0, "need at least one controlled thread");
+    let _serial = lock_of(&SESSION_LOCK);
+    let session = Arc::new(Session::new(n_threads, &cfg));
+    let guard = SessionGuard::install(session.clone());
+
+    let d = drive(
+        &session,
+        &guard,
+        n_threads,
+        &cfg,
+        &mut run_once,
+        &mut post_run,
+    );
+    let mut report = ModelReport {
+        schedules_run: d.schedules_run,
+        exhausted: false,
+        violation: None,
+        choices: Vec::new(),
+        failures: Vec::new(),
+    };
+    let (violation, choices, target) = match d.end {
+        DriveEnd::Exhausted => {
+            report.exhausted = true;
+            drop(guard);
+            return report;
+        }
+        DriveEnd::Budget => {
+            drop(guard);
+            return report;
+        }
+        DriveEnd::Failure(msg) => {
+            report.failures.push(msg);
+            drop(guard);
+            return report;
+        }
+        DriveEnd::Deadlock {
+            parked, choices, ..
+        } => {
+            let detail = parked
+                .iter()
+                .map(|(w, what)| format!("worker {w}: {what}"))
+                .collect::<Vec<_>>()
+                .join("; ");
+            (
+                Violation {
+                    invariant: Invariant::Deadlock,
+                    detail,
+                },
+                choices,
+                Target::Deadlock(parked),
+            )
+        }
+        DriveEnd::Capped { choices } => (
+            Violation {
+                invariant: Invariant::NoLivelock,
+                detail: format!(
+                    "a run exceeded {} scheduling decisions — livelock",
+                    cfg.max_steps
+                ),
+            },
+            choices,
+            Target::Capped,
+        ),
+        DriveEnd::Finding { violation, choices } => {
+            let target = Target::Invariant(violation.invariant.id());
+            (violation, choices, target)
+        }
+    };
+    report.choices = minimize_prefix(
+        &session,
+        &guard,
+        &mut run_once,
+        &mut post_run,
+        &choices,
+        &target,
+    );
+    report.violation = Some(violation);
+    drop(guard);
+    report
+}
+
+/// Outcome of [`replay_model`].
+#[derive(Clone, Debug)]
+pub struct ModelReplay {
+    /// The invariant violation the replay observed, if any.
+    pub observed: Option<Violation>,
+    /// A panic/assertion failure outside the invariant engine.
+    pub error: Option<String>,
+}
+
+/// Deterministically re-run a model witness: force the choice prefix,
+/// free-run past it, and re-evaluate `post_run`. The generic counterpart
+/// of [`replay_witness`].
+pub fn replay_model(
+    n_threads: usize,
+    cfg: ExploreConfig,
+    choices: &[usize],
+    mut run_once: impl FnMut(),
+    mut post_run: impl FnMut() -> Option<Violation>,
+) -> ModelReplay {
+    assert!(n_threads > 0, "need at least one controlled thread");
+    let _serial = lock_of(&SESSION_LOCK);
+    let session = Arc::new(Session::new(n_threads, &cfg));
+    let guard = SessionGuard::install(session.clone());
+
+    session.reset(choices.to_vec(), Vec::new());
+    guard.clear();
+    let outcome = panic::catch_unwind(AssertUnwindSafe(&mut run_once));
+    session.drain();
+    let (_trail, deadlocked, capped, failure) = session.take_outcome();
+    let panic_msg = guard.take_panic();
+    drop(guard);
+
+    let mut replay = ModelReplay {
+        observed: None,
+        error: None,
+    };
+    if outcome.is_err() || failure.is_some() {
+        if let Some(parked) = deadlocked {
+            replay.observed = Some(Violation {
+                invariant: Invariant::Deadlock,
+                detail: parked
+                    .iter()
+                    .map(|(w, what)| format!("worker {w}: {what}"))
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            });
+        } else if capped {
+            replay.observed = Some(Violation {
+                invariant: Invariant::NoLivelock,
+                detail: format!(
+                    "a run exceeded {} scheduling decisions — livelock",
+                    cfg.max_steps
+                ),
+            });
+        } else {
+            replay.error = failure
+                .or(panic_msg)
+                .or_else(|| Some("run panicked without a message".to_string()));
+        }
+    } else {
+        replay.observed = post_run();
+    }
+    replay
+}
+
 // ---------------------------------------------------------------------------
 // The invariant engine
 // ---------------------------------------------------------------------------
@@ -476,17 +659,30 @@ pub enum Invariant {
     /// A run stays under the decision budget — retry backoff must not
     /// spin the engine forever (model-level step cap).
     NoLivelock,
+    /// Serve-pool model: every accepted request is answered exactly once
+    /// — one reply per client, and every non-degraded reply is backed by
+    /// a stored job.
+    AnsweredOnce,
+    /// Serve-pool model: once a shard's death is observed, no later
+    /// request routed to it gets a non-degraded reply.
+    NoServeAfterKill,
+    /// Serve-pool model: cache accounting balances — hits + misses equals
+    /// the counted gets on every cache.
+    CacheAccounting,
 }
 
 impl Invariant {
     /// Every invariant, in severity-agnostic declaration order.
-    pub const ALL: [Invariant; 6] = [
+    pub const ALL: [Invariant; 9] = [
         Invariant::Deadlock,
         Invariant::RetireOnce,
         Invariant::NoExecAfterDeath,
         Invariant::NoQueueAfterDeath,
         Invariant::OutcomeConsistent,
         Invariant::NoLivelock,
+        Invariant::AnsweredOnce,
+        Invariant::NoServeAfterKill,
+        Invariant::CacheAccounting,
     ];
 
     /// Stable kebab-case id, used in witnesses and diagnostics.
@@ -498,6 +694,9 @@ impl Invariant {
             Invariant::NoQueueAfterDeath => "no-queue-after-death",
             Invariant::OutcomeConsistent => "outcome-consistent",
             Invariant::NoLivelock => "no-livelock",
+            Invariant::AnsweredOnce => "answered-once",
+            Invariant::NoServeAfterKill => "no-serve-after-kill",
+            Invariant::CacheAccounting => "cache-accounting",
         }
     }
 
@@ -693,6 +892,10 @@ pub fn trace_invariants(graph: &TaskGraph, trace: &Trace, outcome: &RunOutcome) 
 pub struct Witness {
     /// Format version (currently 1).
     pub version: u32,
+    /// Which model produced the witness: `"rt"` (the resilient runtime,
+    /// the default — omitted from the JSON for compatibility) or
+    /// `"serve-pool"` (the serve sharded-pool model).
+    pub model: String,
     /// Cholesky tile count of the checked scenario.
     pub n_tiles: usize,
     /// Worker (thread) count of the checked scenario.
@@ -727,8 +930,15 @@ impl Witness {
         let mut s = String::new();
         s.push_str("{\n");
         s.push_str(&format!("  \"version\": {},\n", self.version));
+        // The model tag is omitted for "rt" so rt witnesses serialize
+        // byte-identically to the pre-serve-model format.
+        let model_tag = if self.model == "rt" {
+            String::new()
+        } else {
+            format!("\"model\": \"{}\", ", json_escape(&self.model))
+        };
         s.push_str(&format!(
-            "  \"scenario\": {{\"n_tiles\": {}, \"n_workers\": {}, \"mutation\": {}}},\n",
+            "  \"scenario\": {{{model_tag}\"n_tiles\": {}, \"n_workers\": {}, \"mutation\": {}}},\n",
             self.n_tiles,
             self.n_workers,
             match &self.mutation {
@@ -785,6 +995,10 @@ impl Witness {
             return Err(format!("unsupported witness version {version}"));
         }
         let scenario = v.field("scenario")?;
+        let model = match scenario.field("model") {
+            Ok(m) => m.as_str()?.to_string(),
+            Err(_) => "rt".to_string(),
+        };
         let n_tiles = scenario.field("n_tiles")?.as_u64()? as usize;
         let n_workers = scenario.field("n_workers")?.as_u64()? as usize;
         let mutation = match scenario.field("mutation")? {
@@ -840,6 +1054,7 @@ impl Witness {
         let schedules_explored = v.field("schedules_explored")?.as_u64()? as usize;
         Ok(Witness {
             version,
+            model,
             n_tiles,
             n_workers,
             mutation,
@@ -1041,6 +1256,7 @@ pub fn check_recovery(
         report.exhausted = false;
         report.witness = Some(Witness {
             version: 1,
+            model: "rt".to_string(),
             n_tiles: scenario.n_tiles,
             n_workers: scenario.n_workers,
             mutation: scenario.mutation.clone(),
@@ -1286,6 +1502,7 @@ mod tests {
     fn witness_json_round_trips() {
         let w = Witness {
             version: 1,
+            model: "rt".to_string(),
             n_tiles: 3,
             n_workers: 2,
             mutation: Some("skip-dead-requeue".to_string()),
@@ -1305,9 +1522,21 @@ mod tests {
         let w2 = Witness {
             mutation: None,
             plan: FaultPlan::none(),
-            ..w
+            ..w.clone()
         };
         assert_eq!(Witness::from_json(&w2.to_json()).unwrap(), w2);
+        // An rt witness never mentions a model tag (wire compatibility)…
+        assert!(!w.to_json().contains("\"model\""));
+        // …while a serve-pool witness carries and round-trips it.
+        let w3 = Witness {
+            model: "serve-pool".to_string(),
+            mutation: Some("leak-killed-batch".to_string()),
+            invariant: Invariant::AnsweredOnce,
+            ..w
+        };
+        let json = w3.to_json();
+        assert!(json.contains("\"model\": \"serve-pool\""));
+        assert_eq!(Witness::from_json(&json).unwrap(), w3);
     }
 
     #[test]
@@ -1317,6 +1546,7 @@ mod tests {
         assert!(Witness::from_json("{\"version\": 2}").is_err());
         let w = Witness {
             version: 1,
+            model: "rt".to_string(),
             n_tiles: 2,
             n_workers: 2,
             mutation: None,
@@ -1334,6 +1564,7 @@ mod tests {
     fn json_escapes_survive() {
         let w = Witness {
             version: 1,
+            model: "rt".to_string(),
             n_tiles: 2,
             n_workers: 1,
             mutation: Some("quote\"back\\slash\nnewline\ttab".to_string()),

@@ -535,6 +535,15 @@ impl ExploreHook for Session {
             SyncEvent::Wait { condvar, mutex } => self.on_wait(condvar, mutex),
             SyncEvent::Notify { condvar, all } => self.on_notify(condvar, all),
             SyncEvent::ThreadExit { worker } => self.on_thread_exit(worker),
+            // Bookkeeping events that never block: channel send/recv are
+            // already ordered by their underlying mutex+condvar traffic,
+            // and touchpoints/labels only feed the passive happens-before
+            // recorder. None is a schedule point for the explorer.
+            SyncEvent::WakeAcquire { .. }
+            | SyncEvent::Send { .. }
+            | SyncEvent::Recv { .. }
+            | SyncEvent::Touch { .. }
+            | SyncEvent::Label { .. } => {}
         }
     }
 }

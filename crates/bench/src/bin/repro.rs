@@ -21,6 +21,9 @@
 //! repro mc [--workers N] [--tiles N] [--faults] [--mutate <bug>] [--compare-pruning]
 //!          [--witness-out <file>] [--replay <witness.json>]
 //!                            # DPOR model checking of the resilient runtime (exit 1 on violations)
+//! repro race [--serve] [--mutate <bug>] [--witness-out <file>]
+//!                            # happens-before + lockdep recording and the serve-pool model;
+//!                            # stock: exit 1 on findings; --mutate: exit 1 when the bug is caught
 //! repro certify              # exact-certify the paper grid's bounds (exit 1 on failures)
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //! repro bench [--quick]      # execution-core throughput matrix (BENCH_sim_throughput.json)
@@ -48,6 +51,7 @@ struct Args {
     seed: u64,
     obs_out: Option<std::path::PathBuf>,
     mc: bench::McOptions,
+    race: bench::RaceOptions,
     replay: Option<std::path::PathBuf>,
     addr: Option<String>,
     shards: usize,
@@ -65,6 +69,7 @@ fn parse_args() -> Args {
     let mut seed = 42u64;
     let mut obs_out = None;
     let mut mc = bench::McOptions::default();
+    let mut race = bench::RaceOptions::default();
     let mut replay = None;
     let mut addr = None;
     let mut shards = 4usize;
@@ -110,14 +115,19 @@ fn parse_args() -> Args {
             }
             "--faults" => mc.faults = true,
             "--compare-pruning" => mc.compare_pruning = true,
+            "--serve" => race.serve_only = true,
             "--mutate" => {
-                mc.mutate = Some(it.next().unwrap_or_else(|| die("--mutate needs a name")));
+                let name = it.next().unwrap_or_else(|| die("--mutate needs a name"));
+                mc.mutate = Some(name.clone());
+                race.mutate = Some(name);
             }
             "--witness-out" => {
-                mc.witness_out = Some(std::path::PathBuf::from(
+                let path = std::path::PathBuf::from(
                     it.next()
                         .unwrap_or_else(|| die("--witness-out needs a file")),
-                ));
+                );
+                mc.witness_out = Some(path.clone());
+                race.witness_out = Some(path);
             }
             "--replay" => {
                 replay = Some(std::path::PathBuf::from(
@@ -151,6 +161,7 @@ fn parse_args() -> Args {
         }
     }
     mc.json = json;
+    race.json = json;
     Args {
         csv,
         json,
@@ -160,6 +171,7 @@ fn parse_args() -> Args {
         seed,
         obs_out,
         mc,
+        race,
         replay,
         addr,
         shards,
@@ -251,6 +263,20 @@ fn run_mc(opts: &bench::McOptions, replay: Option<&std::path::Path>, json: bool)
     print!("{report}");
     if code > 0 {
         eprintln!("mc: verification failed");
+    }
+    std::process::exit(i32::try_from(code.min(2)).expect("code ≤ 2"))
+}
+
+/// `repro race`: the concurrency-analysis battery (DESIGN.md §16) —
+/// passive happens-before + lockdep recordings over the runtime and the
+/// serve layer, then exhaustive DPOR of the serve-pool model. Stock exits
+/// 0 when clean; `--mutate <bug>` arms one seeded concurrency bug and
+/// exits 1 when the corresponding analyzer catches it.
+fn run_race(opts: &bench::RaceOptions) -> ! {
+    let (report, code) = bench::race(opts);
+    print!("{report}");
+    if code == 2 {
+        eprintln!("race: usage error");
     }
     std::process::exit(i32::try_from(code.min(2)).expect("code ≤ 2"))
 }
@@ -377,6 +403,9 @@ fn main() {
     if cmd == "mc" {
         run_mc(&args.mc, args.replay.as_deref(), args.json);
     }
+    if cmd == "race" {
+        run_race(&args.race);
+    }
     if cmd == "bench" {
         run_bench(args.json, args.quick);
     }
@@ -468,6 +497,9 @@ fn main() {
                  \u{20}            mc [--workers N] [--tiles N] [--faults] [--mutate <bug>] [--compare-pruning]\n\
                  \u{20}               [--witness-out <file>] [--replay <witness.json>]\n\
                  \u{20}               (DPOR model checking of the resilient runtime; exit 1 on violations)\n\
+                 \u{20}            race [--serve] [--mutate <bug>] [--witness-out <file>]\n\
+                 \u{20}               (happens-before + lockdep + serve-pool model; stock exits 1 on\n\
+                 \u{20}                findings, --mutate exits 1 when the seeded bug is caught)\n\
                  \u{20}            certify  (exact-certify the paper grid's bounds; exit 1 on failures)\n\
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
                  \u{20}            bench [--quick]  (execution-core throughput matrix; --json for the committed schema)\n\
@@ -478,8 +510,8 @@ fn main() {
                  flags: --csv  --json  --analyze  --quick  --cp-budget <iters>  --seed <n>  --obs-out <dir>\n\
                  \u{20}      --addr <host:port>  --shards <n>  --jobs <n>  --p99-limit <ms>\n\
                  conventions:\n\
-                 \u{20} exit codes: 0 = success, 1 = findings/failures (analyze, chaos, mc, certify,\n\
-                 \u{20}             obs-check, bench-check, storm), 2 = usage error\n\
+                 \u{20} exit codes: 0 = success, 1 = findings/failures (analyze, chaos, mc, race,\n\
+                 \u{20}             certify, obs-check, bench-check, storm), 2 = usage error\n\
                  \u{20} --json: structured output on every figure/report subcommand (fig2..fig8, fig10,\n\
                  \u{20}         fig11, hint-gemmsyrk, mapping-only, lu, qr, analyze, chaos, mc, certify,\n\
                  \u{20}         bench, storm); fig1, fig9, fig12, table1, kfactors and sweep-k render\n\

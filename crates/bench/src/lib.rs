@@ -1616,7 +1616,9 @@ pub fn mc(opts: &McOptions) -> (String, usize) {
 /// `repro mc --replay <witness.json>`: deterministically re-run a stored
 /// witness and verify it still reproduces its recorded invariant
 /// violation. Returns the rendered report and the exit code (nonzero when
-/// the witness fails to reproduce).
+/// the witness fails to reproduce). Dispatches on the witness's `model`
+/// tag: the resilient runtime (the default) or the serve pool
+/// (`"serve-pool"`, produced by `repro race --mutate leak-killed-batch`).
 pub fn mc_replay(text: &str, json: bool) -> (String, usize) {
     use hetchol_analyze::race::ExploreConfig;
     use hetchol_analyze::Witness;
@@ -1626,6 +1628,9 @@ pub fn mc_replay(text: &str, json: bool) -> (String, usize) {
         Ok(w) => w,
         Err(e) => return (format!("error: bad witness: {e}\n"), 2),
     };
+    if witness.model == "serve-pool" {
+        return serve_pool_replay(&witness, json);
+    }
     let runner = match mc_runner(
         witness.n_tiles,
         witness.n_workers,
@@ -1681,6 +1686,498 @@ pub fn mc_replay(text: &str, json: bool) -> (String, usize) {
         );
     }
     (out, usize::from(!replay.reproduced))
+}
+
+/// Replay a `"serve-pool"` witness through the serve-layer model
+/// ([`hetchol_serve::model::replay_pool`]).
+fn serve_pool_replay(witness: &hetchol_analyze::Witness, json: bool) -> (String, usize) {
+    use std::fmt::Write as _;
+
+    let replay = match hetchol_serve::model::replay_pool(witness, serve_model_config()) {
+        Ok(r) => r,
+        Err(e) => return (format!("error: {e}\n"), 2),
+    };
+    let reproduced = replay
+        .observed
+        .as_ref()
+        .is_some_and(|v| v.invariant == witness.invariant);
+    let mut out = String::new();
+    if json {
+        let _ = writeln!(
+            out,
+            "{{\"model\":\"serve-pool\",\"invariant\":\"{}\",\"reproduced\":{},\"observed\":{}}}",
+            witness.invariant,
+            reproduced,
+            match &replay.observed {
+                Some(v) => format!("\"{}\"", v.invariant),
+                None => "null".to_string(),
+            }
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "witness: {} on the serve pool ({} controlled threads){}",
+            witness.invariant,
+            witness.n_workers,
+            match &witness.mutation {
+                Some(m) => format!(" (mutation `{m}`)"),
+                None => String::new(),
+            }
+        );
+        match (&replay.observed, &replay.error) {
+            (Some(v), _) => {
+                let _ = writeln!(out, "replay observed: {}\n  {}", v.invariant, v.detail);
+            }
+            (None, Some(e)) => {
+                let _ = writeln!(out, "replay errored: {e}");
+            }
+            (None, None) => {
+                let _ = writeln!(out, "replay observed: clean run");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if reproduced {
+                "REPRODUCED: the recorded violation is real in this build"
+            } else {
+                "NOT reproduced (fixed bug, or a stale/divergent witness)"
+            }
+        );
+    }
+    (out, usize::from(!reproduced))
+}
+
+/// Options for `repro race` (see [`race`]).
+#[derive(Clone, Debug, Default)]
+pub struct RaceOptions {
+    /// Skip the threaded-runtime recording leg; analyze the serve layer
+    /// only.
+    pub serve_only: bool,
+    /// Seeded bug to arm (`drop-store-lock`, `invert-commit-order` or
+    /// `leak-killed-batch`); `None` analyzes the stock stack.
+    pub mutate: Option<String>,
+    /// Write the found model-checker witness (`leak-killed-batch`) to
+    /// this path.
+    pub witness_out: Option<std::path::PathBuf>,
+    /// Emit machine-readable JSON instead of text.
+    pub json: bool,
+}
+
+/// The exploration budget the serve-pool model runs under: the stock tree
+/// is ~59k schedules, well inside this cap, so `exhausted: false` is a
+/// real finding rather than a budget artifact.
+fn serve_model_config() -> hetchol_analyze::race::ExploreConfig {
+    hetchol_analyze::race::ExploreConfig {
+        max_schedules: 200_000,
+        max_steps: 20_000,
+        sleep_sets: true,
+    }
+}
+
+/// A tiny finished job for driving the serve commit path directly: runs
+/// a `cholesky(2)` spec once (deterministic, milliseconds) and wraps the
+/// result the way a pool worker would.
+fn race_job(id: u64, seed: u64) -> (u64, std::sync::Arc<hetchol_serve::store::StoredJob>) {
+    let mut spec = hetchol::job::JobSpec::new("cholesky", 2).expect("cholesky is a known workload");
+    spec.seed = seed;
+    let hash = spec.content_hash();
+    let run = spec
+        .run_with_bounds(None)
+        .expect("a stock cholesky(2) simulation cannot fail");
+    let job = std::sync::Arc::new(hetchol_serve::store::StoredJob {
+        id,
+        spec,
+        outcome: run.outcome,
+        sim: run.sim,
+    });
+    (hash, job)
+}
+
+/// Exercise the real serve submission path at real speed: a fresh state
+/// (built inside the recording, so its lock labels are captured), a pool
+/// over it, four concurrent clients submitting overlapping specs (so the
+/// result cache sees both hits and misses), then one `/stats` snapshot.
+/// Returns that snapshot and the total number of counted submissions.
+fn serve_exercise() -> (hetchol_serve::pool::StatsSnapshot, u64) {
+    const CLIENTS: u64 = 4;
+    const JOBS_PER_CLIENT: u64 = 3;
+    let state = std::sync::Arc::new(hetchol_serve::pool::ServerState::new());
+    state.label_locks();
+    let pool = hetchol_serve::pool::Pool::start(2, 8, 4, state.clone());
+    std::thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let state = &*state;
+            let pool = &pool;
+            s.spawn(move || {
+                for j in 0..JOBS_PER_CLIENT {
+                    let mut spec = hetchol::job::JobSpec::new("cholesky", 2)
+                        .expect("cholesky is a known workload");
+                    // Clients 0/2 and 1/3 submit the same specs, so the
+                    // second of each pair hits the result cache.
+                    spec.seed = (client % 2) * 100 + j;
+                    let _ = hetchol_serve::submit_job(state, pool, spec, 30_000);
+                }
+            });
+        }
+    });
+    let snap = state.consistent_stats();
+    pool.shutdown();
+    (snap, CLIENTS * JOBS_PER_CLIENT)
+}
+
+/// `repro race`: the concurrency-analysis battery (DESIGN.md §16).
+///
+/// Stock (no `--mutate`): record the threaded runtime and the serve
+/// submission path under the passive happens-before recorder (data races
+/// over declared touchpoints, lock-order cycles), then exhaust the
+/// serve-pool model under DPOR. Exit 1 on any finding.
+///
+/// With `--mutate <bug>`, arm exactly one seeded concurrency bug and run
+/// the analyzer that must catch it — exit 1 *when detected* (so CI
+/// asserts stock ⇒ 0 and each mutation ⇒ 1):
+///
+/// * `drop-store-lock` — store commits touch outside the lock; the
+///   happens-before recorder reports the race under every real timing,
+///   surfaced through linter rule 19 (`race-witness`);
+/// * `invert-commit-order` — the commit path pins the result cache
+///   before the store; lockdep closes the cycle against the stats path,
+///   deterministically, with no concurrency needed at all;
+/// * `leak-killed-batch` — a killed worker leaks its drained batch; the
+///   model checker produces a minimized deadlock witness, which is
+///   immediately replayed (and optionally written via `--witness-out`).
+pub fn race(opts: &RaceOptions) -> (String, usize) {
+    use std::fmt::Write as _;
+
+    match opts.mutate.as_deref() {
+        None => race_stock(opts),
+        Some("drop-store-lock") => race_hb_mutation(
+            opts,
+            "drop-store-lock",
+            hetchol_serve::pool::PoolMutations {
+                unsynced_store_touch: true,
+                ..Default::default()
+            },
+        ),
+        Some("invert-commit-order") => race_hb_mutation(
+            opts,
+            "invert-commit-order",
+            hetchol_serve::pool::PoolMutations {
+                invert_commit_order: true,
+                ..Default::default()
+            },
+        ),
+        Some("leak-killed-batch") => race_model_mutation(opts),
+        Some(other) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "error: unknown mutation `{other}` (try `drop-store-lock`, \
+                 `invert-commit-order` or `leak-killed-batch`)"
+            );
+            (out, 2)
+        }
+    }
+}
+
+/// The stock `repro race` pass: both passive recordings plus the model
+/// exhaustion; any finding is an error.
+fn race_stock(opts: &RaceOptions) -> (String, usize) {
+    use hetchol_analyze::hb;
+    use std::fmt::Write as _;
+
+    let mut out = String::new();
+    let mut errors = 0usize;
+    if !opts.json {
+        let _ = writeln!(
+            out,
+            "# Race analysis: passive happens-before + lockdep, then the serve-pool model (DPOR)"
+        );
+    }
+
+    // Leg 1: the threaded runtime, recorded passively at real speed.
+    let mut rt_json = "null".to_string();
+    if !opts.serve_only {
+        let graph = TaskGraph::cholesky(4);
+        let ((), rt) = hb::record(|| {
+            let mut scheduler = Dmdas::new();
+            let workload = hetchol_rt::FnWorkload(|_| Ok::<(), std::convert::Infallible>(()));
+            let r = hetchol_rt::execute_workload(
+                &workload,
+                &graph,
+                &mut scheduler,
+                &TimingProfile::mirage_homogeneous(),
+                4,
+                ObsSink::enabled(),
+            )
+            .expect("no-op tasks cannot fail");
+            drop(r);
+        });
+        if !rt.is_clean() {
+            errors += 1;
+        }
+        rt_json = format!(
+            "{{\"threads\":{},\"events\":{},\"races\":{},\"cycles\":{}}}",
+            rt.threads,
+            rt.events,
+            rt.races.len(),
+            rt.cycles.len()
+        );
+        if !opts.json {
+            let _ = writeln!(
+                out,
+                "rt: {} threads, {} sync events, {} race(s), {} lock-order cycle(s)",
+                rt.threads,
+                rt.events,
+                rt.races.len(),
+                rt.cycles.len()
+            );
+            for d in hetchol_analyze::race_report(&rt).diagnostics {
+                let _ = writeln!(out, "  {d}");
+            }
+        }
+    }
+
+    // Leg 2: the serve submission path, recorded passively at real speed.
+    let ((snap, gets), serve) = hb::record(serve_exercise);
+    let coherent =
+        snap.results.hits + snap.results.misses == snap.results.gets && snap.results.gets == gets;
+    if !serve.is_clean() || !coherent {
+        errors += 1;
+    }
+    if !opts.json {
+        let _ = writeln!(
+            out,
+            "serve: {} threads, {} sync events, {} race(s), {} lock-order cycle(s); \
+             stats coherent: {} (hits {} + misses {} == gets {})",
+            serve.threads,
+            serve.events,
+            serve.races.len(),
+            serve.cycles.len(),
+            coherent,
+            snap.results.hits,
+            snap.results.misses,
+            snap.results.gets
+        );
+        for d in hetchol_analyze::race_report(&serve).diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+    }
+
+    // Leg 3: exhaust the serve-pool model under DPOR.
+    let report = match hetchol_serve::model::check_pool(serve_model_config(), None) {
+        Ok(r) => r,
+        Err(e) => return (format!("error: {e}\n"), 2),
+    };
+    if !report.is_clean() || !report.exhausted {
+        errors += 1;
+    }
+    if opts.json {
+        let _ = writeln!(
+            out,
+            "{{\"mutation\":null,\"rt\":{rt_json},\"serve\":{{\"threads\":{},\"events\":{},\
+             \"races\":{},\"cycles\":{},\"stats_coherent\":{}}},\
+             \"model\":{{\"schedules_run\":{},\"exhausted\":{},\"clean\":{}}},\"detected\":{}}}",
+            serve.threads,
+            serve.events,
+            serve.races.len(),
+            serve.cycles.len(),
+            coherent,
+            report.schedules_run,
+            report.exhausted,
+            report.is_clean(),
+            errors > 0
+        );
+    } else {
+        let _ = writeln!(
+            out,
+            "model: {} schedule(s), exhausted: {}, clean: {}",
+            report.schedules_run,
+            report.exhausted,
+            report.is_clean()
+        );
+        if let Some(v) = &report.violation {
+            let _ = writeln!(out, "VIOLATION: {} — {}", v.invariant, v.detail);
+        }
+        for f in &report.failures {
+            let _ = writeln!(out, "FAILURE: {f}");
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if errors == 0 {
+                "no races, no lock-order cycles, model clean"
+            } else {
+                "FINDINGS: the stock stack is not clean"
+            }
+        );
+    }
+    (out, usize::from(errors > 0))
+}
+
+/// One happens-before-detected mutation (`drop-store-lock` or
+/// `invert-commit-order`): arm it, drive the commit path the minimal
+/// deterministic way, and report through linter rule 19.
+fn race_hb_mutation(
+    opts: &RaceOptions,
+    name: &str,
+    muts: hetchol_serve::pool::PoolMutations,
+) -> (String, usize) {
+    use hetchol_analyze::hb;
+    use std::fmt::Write as _;
+
+    let (h1, j1) = race_job(1, 0);
+    let (h2, j2) = race_job(2, 1);
+    // The state is built inside the recording so its lock labels land in
+    // the event stream and the report names locks, not raw ids.
+    let ((), report) = hb::record(|| {
+        let state = hetchol_serve::pool::ServerState::with_mutations(muts);
+        state.label_locks();
+        if muts.invert_commit_order {
+            // The inversion needs no concurrency: one commit (results →
+            // store) plus one stats snapshot (store → results) closes the
+            // cycle.
+            state.commit_job(h1, j1.clone());
+            let _ = state.consistent_stats();
+        } else {
+            // Two threads each committing exactly once: with the touch
+            // outside the store lock, the only inter-thread edges both
+            // predate the touches, so the vector clocks leave the pair
+            // unordered under every real timing — detection is
+            // deterministic.
+            std::thread::scope(|s| {
+                s.spawn(|| state.commit_job(h1, j1.clone()));
+                s.spawn(|| state.commit_job(h2, j2.clone()));
+            });
+        }
+    });
+
+    let lint = hetchol_analyze::race_report(&report);
+    let detected = !report.is_clean();
+    let mut out = String::new();
+    if opts.json {
+        let _ = writeln!(
+            out,
+            "{{\"mutation\":\"{name}\",\"detected\":{detected},\"races\":{},\"cycles\":{},\
+             \"lint\":{}}}",
+            report.races.len(),
+            report.cycles.len(),
+            lint.to_json()
+        );
+    } else {
+        let _ = writeln!(out, "# Race analysis: seeded mutation `{name}`");
+        let _ = writeln!(
+            out,
+            "recorded {} threads, {} sync events: {} race(s), {} lock-order cycle(s)",
+            report.threads,
+            report.events,
+            report.races.len(),
+            report.cycles.len()
+        );
+        for d in &lint.diagnostics {
+            let _ = writeln!(out, "  {d}");
+        }
+        let _ = writeln!(
+            out,
+            "{}",
+            if detected {
+                "DETECTED: the seeded bug was caught (linter rule 19, race-witness)"
+            } else {
+                "NOT DETECTED: the seeded bug escaped the analyzer"
+            }
+        );
+    }
+    (out, usize::from(detected))
+}
+
+/// The model-checked mutation (`leak-killed-batch`): the DPOR engine must
+/// produce a deadlock witness, which is replayed on the spot and
+/// optionally written out for `repro mc --replay`.
+fn race_model_mutation(opts: &RaceOptions) -> (String, usize) {
+    use std::fmt::Write as _;
+
+    let report =
+        match hetchol_serve::model::check_pool(serve_model_config(), Some("leak-killed-batch")) {
+            Ok(r) => r,
+            Err(e) => return (format!("error: {e}\n"), 2),
+        };
+    let witness = hetchol_serve::model::pool_witness(&report, Some("leak-killed-batch"));
+    let detected = witness.is_some();
+    let mut out = String::new();
+    let mut replay_line = String::new();
+    let mut reproduced = false;
+    if let Some(w) = &witness {
+        match hetchol_serve::model::replay_pool(w, serve_model_config()) {
+            Ok(replay) => {
+                reproduced = replay
+                    .observed
+                    .as_ref()
+                    .is_some_and(|v| v.invariant == w.invariant);
+                let _ = write!(
+                    replay_line,
+                    "replay: {}",
+                    if reproduced {
+                        "reproduced deterministically"
+                    } else {
+                        "DID NOT reproduce"
+                    }
+                );
+            }
+            Err(e) => {
+                let _ = write!(replay_line, "replay errored: {e}");
+            }
+        }
+        if let Some(path) = &opts.witness_out {
+            match std::fs::write(path, w.to_json()) {
+                Ok(()) => {
+                    let _ = write!(replay_line, "; witness written to {}", path.display());
+                }
+                Err(e) => {
+                    let _ = write!(replay_line, "; FAILED to write {}: {e}", path.display());
+                }
+            }
+        }
+    }
+    if opts.json {
+        let _ = writeln!(
+            out,
+            "{{\"mutation\":\"leak-killed-batch\",\"detected\":{detected},\
+             \"schedules_run\":{},\"replay_reproduced\":{reproduced},\"witness\":{}}}",
+            report.schedules_run,
+            match &witness {
+                Some(w) => w.to_json(),
+                None => "null".to_string(),
+            }
+        );
+    } else {
+        let _ = writeln!(out, "# Race analysis: seeded mutation `leak-killed-batch`");
+        let _ = writeln!(
+            out,
+            "model: {} schedule(s) before the verdict",
+            report.schedules_run
+        );
+        match &witness {
+            Some(w) => {
+                let _ = writeln!(
+                    out,
+                    "VIOLATION: {}\n  {}\n  minimized choice prefix: {:?}",
+                    w.invariant, w.detail, w.choices
+                );
+                let _ = writeln!(out, "{replay_line}");
+                let _ = writeln!(
+                    out,
+                    "DETECTED: the seeded bug was caught (deadlock witness)"
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "NOT DETECTED: the seeded bug escaped the model checker"
+                );
+            }
+        }
+    }
+    (out, usize::from(detected))
 }
 
 #[cfg(test)]

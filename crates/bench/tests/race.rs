@@ -1,0 +1,67 @@
+//! Detection power of `repro race`: every seeded concurrency mutation
+//! must be caught by its analyzer, and the serve-pool deadlock witness
+//! must survive a JSON round-trip and replay.
+//!
+//! The stock full-tree exhaustion (~59k schedules) lives in the CI race
+//! job and `crates/serve/tests/model.rs`; here we only pay for the
+//! cheap, deterministic mutation runs.
+
+use hetchol_analyze::{ExploreConfig, Witness};
+use hetchol_bench as bench;
+use hetchol_serve::model;
+
+fn opts(mutate: &str) -> bench::RaceOptions {
+    bench::RaceOptions {
+        mutate: Some(mutate.to_string()),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn drop_store_lock_is_detected_as_a_race() {
+    let (report, code) = bench::race(&opts("drop-store-lock"));
+    assert_eq!(code, 1, "{report}");
+    assert!(report.contains("race-witness"), "{report}");
+    assert!(report.contains("serve.store.jobs"), "{report}");
+}
+
+#[test]
+fn invert_commit_order_is_detected_as_a_cycle() {
+    let (report, code) = bench::race(&opts("invert-commit-order"));
+    assert_eq!(code, 1, "{report}");
+    assert!(report.contains("lock-order cycle"), "{report}");
+    assert!(report.contains("serve.cache.results"), "{report}");
+}
+
+#[test]
+fn unknown_mutation_is_a_usage_error() {
+    let (report, code) = bench::race(&opts("no-such-bug"));
+    assert_eq!(code, 2, "{report}");
+}
+
+#[test]
+fn leak_killed_batch_witness_roundtrips_and_replays() {
+    let cfg = ExploreConfig {
+        max_schedules: 5_000,
+        max_steps: 20_000,
+        sleep_sets: true,
+    };
+    let report = model::check_pool(cfg, Some("leak-killed-batch")).expect("known mutation");
+    let witness =
+        model::pool_witness(&report, Some("leak-killed-batch")).expect("deadlock witness found");
+    assert_eq!(witness.model, "serve-pool");
+
+    // JSON round-trip preserves everything replay needs.
+    let parsed = Witness::from_json(&witness.to_json()).expect("witness parses back");
+    assert_eq!(parsed.model, witness.model);
+    assert_eq!(parsed.choices, witness.choices);
+    assert_eq!(parsed.invariant, witness.invariant);
+    assert_eq!(parsed.mutation, witness.mutation);
+
+    let replay = model::replay_pool(&parsed, cfg).expect("replay runs");
+    assert_eq!(
+        replay.observed.map(|v| v.invariant),
+        Some(witness.invariant),
+        "replayed witness must reproduce its recorded invariant"
+    );
+}

@@ -8,17 +8,32 @@
 //! In addition the shim is *instrumentable*: the [`explore`] module lets a
 //! model checker (the `hetchol-analyze` interleaving explorer) interpose on
 //! every lock acquire/release, condvar wait and notify performed by threads
-//! that opted in via [`explore::checkin`]. With no hook installed a single
+//! that opted in via [`explore::checkin`] — or, in *passive* mode
+//! ([`explore::install_passive`]), record the same event stream from every
+//! thread in the process without perturbing scheduling, which is what a
+//! happens-before race detector consumes. With no hook installed a single
 //! relaxed atomic load is the only overhead.
+//!
+//! The [`channel`] module provides an mpsc-compatible channel built on the
+//! shim's own `Mutex` + `Condvar`, so message passing is visible to both
+//! the model checker and the happens-before recorder as `Send`/`Recv`
+//! events plus the underlying lock traffic.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::ops::{Deref, DerefMut};
 use std::sync;
+use std::time::Duration;
 
 pub mod explore {
-    //! Optional exploration hook for deterministic interleaving search.
+    //! Optional exploration hook for deterministic interleaving search and
+    //! passive happens-before recording.
     //!
-    //! A model checker installs an [`ExploreHook`] with [`install`]; worker
-    //! threads that want to be *controlled* call [`checkin`] once at
+    //! Two modes share one [`ExploreHook`] event stream:
+    //!
+    //! **Controlled** ([`install`]): a model checker installs the hook;
+    //! worker threads that want to be *controlled* call [`checkin`] once at
     //! startup. From then on every `Mutex::lock`, guard drop,
     //! `Condvar::wait` and notify performed by a checked-in thread reports
     //! a kind-tagged [`SyncEvent`] to the hook — and, crucially, a
@@ -30,16 +45,28 @@ pub mod explore {
     //! over wakeup order, which is what makes lost-wakeup bugs observable
     //! as model deadlocks instead of 60-second test hangs.
     //!
+    //! **Passive** ([`install_passive`]): every thread in the process —
+    //! checked in or not — reports the same events, but the shim never
+    //! parks inside the hook and never reorders anything; threads run at
+    //! real-time speed under the OS scheduler. So that the serialized
+    //! event order a passive hook observes is consistent with the real
+    //! lock order, the delivery points flip relative to controlled mode:
+    //! `Acquire` is delivered *after* the real acquire (while holding the
+    //! lock) and `Release` *before* the real release (still holding it).
+    //! A passive wait additionally reports [`SyncEvent::WakeAcquire`]
+    //! after the real reacquisition.
+    //!
     //! The single-event-stream shape (rather than one method per
     //! operation) is what lets a hook feed the events straight into a
-    //! happens-before model: a DPOR explorer keeps one vector clock per
+    //! happens-before model: the recorder keeps one vector clock per
     //! thread and per sync object and joins them on each event, so the
     //! event must carry the operation kind and the object identities
     //! together.
     //!
     //! The hook's blocking discipline (one running thread at a time, DFS
     //! over decision points, sleep sets or DPOR…) lives entirely in the
-    //! installer; the shim only guarantees the delivery order below:
+    //! installer; the shim only guarantees the delivery order below for
+    //! **controlled** threads:
     //!
     //! * [`SyncEvent::Acquire`] is delivered **before** the real acquire —
     //!   the hook must block until its model says the mutex is free for
@@ -57,17 +84,18 @@ pub mod explore {
     //!   unwind).
     //!
     //! Threads that never call [`checkin`] (e.g. the main thread) are
-    //! invisible to the hook and use the primitives at full speed.
+    //! invisible to a controlled hook and use the primitives at full
+    //! speed; in passive mode every thread is visible.
 
     use std::cell::{Cell, RefCell};
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::{Arc, Mutex as StdMutex};
 
-    /// One synchronization operation performed by a checked-in thread.
+    /// One synchronization operation performed by an instrumented thread.
     ///
-    /// Sync objects are identified by their stable address (see the
-    /// `addr` helper); the enum carries exactly the metadata a
-    /// happens-before model needs: which objects were touched and how.
+    /// Sync objects are identified by their stable address (see [`addr`]);
+    /// the enum carries exactly the metadata a happens-before model
+    /// needs: which objects were touched and how.
     #[derive(Copy, Clone, Debug, PartialEq, Eq)]
     pub enum SyncEvent {
         /// A worker thread registered itself under worker id `worker`.
@@ -75,23 +103,36 @@ pub mod explore {
             /// The runtime-chosen worker id for this thread.
             worker: usize,
         },
-        /// The thread is about to acquire `mutex`.
+        /// Controlled mode: the thread is about to acquire `mutex`.
+        /// Passive mode: the thread just acquired `mutex`.
         Acquire {
             /// Identity of the mutex being acquired.
             mutex: usize,
         },
-        /// The thread released `mutex`.
+        /// Controlled mode: the thread released `mutex`. Passive mode:
+        /// the thread is about to release `mutex` (still holding it).
         Release {
             /// Identity of the mutex that was released.
             mutex: usize,
         },
-        /// The thread waits on `condvar`, having released `mutex`; the
-        /// hook returns once the model has woken the thread *and*
-        /// re-granted `mutex`.
+        /// The thread waits on `condvar`, having released (controlled) or
+        /// being about to release (passive) `mutex`. In controlled mode
+        /// the hook returns once the model has woken the thread *and*
+        /// re-granted `mutex`; in passive mode the reacquisition is
+        /// reported separately as [`SyncEvent::WakeAcquire`].
         Wait {
             /// Identity of the condvar being waited on.
             condvar: usize,
             /// Identity of the mutex released for the wait's duration.
+            mutex: usize,
+        },
+        /// Passive mode only: a waiter woke from `condvar` and reacquired
+        /// `mutex` (delivered holding the lock). Never emitted for
+        /// controlled threads — their `Wait` models the reacquisition.
+        WakeAcquire {
+            /// Identity of the condvar the thread was waiting on.
+            condvar: usize,
+            /// Identity of the mutex just reacquired.
             mutex: usize,
         },
         /// The thread notified `condvar` (`all` distinguishes
@@ -102,6 +143,35 @@ pub mod explore {
             /// `true` for `notify_all`, `false` for `notify_one`.
             all: bool,
         },
+        /// The thread enqueued a message on channel `chan` (delivered
+        /// while holding the channel's state lock).
+        Send {
+            /// Identity of the channel.
+            chan: usize,
+        },
+        /// The thread dequeued a message from channel `chan` (delivered
+        /// while holding the channel's state lock).
+        Recv {
+            /// Identity of the channel.
+            chan: usize,
+        },
+        /// A declared shared-state touchpoint: application code announced
+        /// it is reading (`write == false`) or writing (`write == true`)
+        /// the logical object named `obj`. Consumed by the
+        /// happens-before race detector; a no-op for the model checker.
+        Touch {
+            /// Stable logical name of the shared state.
+            obj: &'static str,
+            /// `true` for a write access, `false` for a read.
+            write: bool,
+        },
+        /// A human-readable label for sync object `obj`, for reports.
+        Label {
+            /// Identity of the labelled sync object.
+            obj: usize,
+            /// The label to display instead of a raw address-derived id.
+            label: &'static str,
+        },
         /// The checked-in thread registered as `worker` is terminating.
         /// Delivered from a TLS destructor, so the hook must not rely on
         /// its own thread-locals here — hence the explicit id.
@@ -111,19 +181,21 @@ pub mod explore {
         },
     }
 
-    /// The callback a model checker implements to control checked-in
-    /// threads.
+    /// The callback a model checker or recorder implements to observe
+    /// (and, in controlled mode, control) instrumented threads.
     ///
-    /// `on_event` is invoked on the checked-in thread itself; it is
-    /// allowed to block (that is the point) and to panic (the explorer's
-    /// abort path — the panic unwinds the worker thread).
+    /// `on_event` is invoked on the instrumented thread itself; it is
+    /// allowed to block (that is the point of controlled mode) and to
+    /// panic (the explorer's abort path — the panic unwinds the worker
+    /// thread). A passive hook must not block.
     pub trait ExploreHook: Send + Sync {
-        /// A checked-in thread performed the synchronization operation
+        /// An instrumented thread performed the synchronization operation
         /// `event`. See the module docs for the delivery-order contract.
         fn on_event(&self, event: SyncEvent);
     }
 
     static ACTIVE: AtomicBool = AtomicBool::new(false);
+    static PASSIVE: AtomicBool = AtomicBool::new(false);
     static HOOK: StdMutex<Option<Arc<dyn ExploreHook>>> = StdMutex::new(None);
 
     thread_local! {
@@ -140,18 +212,31 @@ pub mod explore {
         }
     }
 
-    /// Install `hook` and start instrumenting checked-in threads.
+    /// Install `hook` in controlled mode and start instrumenting
+    /// checked-in threads.
     ///
     /// The registry is process-global: callers running under a test
     /// harness must serialize sessions themselves.
     pub fn install(hook: Arc<dyn ExploreHook>) {
         *HOOK.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+        PASSIVE.store(false, Ordering::Release);
+        ACTIVE.store(true, Ordering::Release);
+    }
+
+    /// Install `hook` in passive mode: every thread in the process
+    /// reports its sync events, the shim never blocks inside the hook,
+    /// and delivery points are ordered consistently with the real lock
+    /// order (see the module docs).
+    pub fn install_passive(hook: Arc<dyn ExploreHook>) {
+        *HOOK.lock().unwrap_or_else(|e| e.into_inner()) = Some(hook);
+        PASSIVE.store(true, Ordering::Release);
         ACTIVE.store(true, Ordering::Release);
     }
 
     /// Remove the hook; threads checked in afterwards run uninstrumented.
     pub fn uninstall() {
         ACTIVE.store(false, Ordering::Release);
+        PASSIVE.store(false, Ordering::Release);
         *HOOK.lock().unwrap_or_else(|e| e.into_inner()) = None;
     }
 
@@ -159,6 +244,8 @@ pub mod explore {
     ///
     /// A no-op when no hook is installed, so runtimes can call it
     /// unconditionally. Installs a TLS guard that reports thread exit.
+    /// In passive mode the checkin is reported (naming the thread for
+    /// race reports) but the thread was already instrumented.
     pub fn checkin(worker: usize) {
         if !ACTIVE.load(Ordering::Acquire) {
             return;
@@ -166,24 +253,86 @@ pub mod explore {
         let Some(hook) = HOOK.lock().unwrap_or_else(|e| e.into_inner()).clone() else {
             return;
         };
-        CONTROLLED.with(|c| c.set(true));
-        EXIT_GUARD.with(|g| *g.borrow_mut() = Some(ExitGuard(hook.clone(), worker)));
+        if !PASSIVE.load(Ordering::Acquire) {
+            CONTROLLED.with(|c| c.set(true));
+            EXIT_GUARD.with(|g| *g.borrow_mut() = Some(ExitGuard(hook.clone(), worker)));
+        }
         hook.on_event(SyncEvent::Checkin { worker });
     }
 
-    /// The hook, iff one is installed *and* the current thread checked in.
-    pub(crate) fn current() -> Option<Arc<dyn ExploreHook>> {
+    /// How the current thread is instrumented, if at all.
+    pub(crate) enum Hooked {
+        /// Controlled by a model checker: events are schedule points.
+        Controlled(Arc<dyn ExploreHook>),
+        /// Passively recorded: events never block.
+        Passive(Arc<dyn ExploreHook>),
+    }
+
+    /// The hook applying to the current thread, tagged with its mode.
+    pub(crate) fn hooked() -> Option<Hooked> {
         if !ACTIVE.load(Ordering::Acquire) {
             return None;
+        }
+        if PASSIVE.load(Ordering::Acquire) {
+            return HOOK
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .clone()
+                .map(Hooked::Passive);
         }
         if !CONTROLLED.try_with(|c| c.get()).unwrap_or(false) {
             return None;
         }
-        HOOK.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        // A controlled thread that is unwinding (its own bug, or the
+        // session aborting the run) must clean up rawly: destructors drop
+        // guards and channel endpoints, and modeling those events would
+        // re-park — a panic inside a destructor during unwind aborts the
+        // process. Thread death itself still reaches the session through
+        // the exit guard, which bypasses this gate.
+        if std::thread::panicking() {
+            return None;
+        }
+        HOOK.lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+            .map(Hooked::Controlled)
+    }
+
+    /// Report `event` to the hook applying to this thread, if any,
+    /// regardless of mode. Used for events that never block (send/recv
+    /// bookkeeping, touchpoints, labels).
+    pub(crate) fn emit(event: SyncEvent) {
+        match hooked() {
+            Some(Hooked::Controlled(h)) | Some(Hooked::Passive(h)) => h.on_event(event),
+            None => {}
+        }
+    }
+
+    /// Declare a shared-state touchpoint: the calling thread is reading
+    /// (`write == false`) or writing (`write == true`) the logical object
+    /// named `obj`. Feeds the happens-before race detector; free (one
+    /// relaxed load) when no hook is installed.
+    pub fn touch(obj: &'static str, write: bool) {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return;
+        }
+        emit(SyncEvent::Touch { obj, write });
+    }
+
+    /// Attach a human-readable `label` to sync object `x` for reports.
+    /// Free (one relaxed load) when no hook is installed.
+    pub fn label<T: ?Sized>(x: &T, label: &'static str) {
+        if !ACTIVE.load(Ordering::Relaxed) {
+            return;
+        }
+        emit(SyncEvent::Label {
+            obj: addr(x),
+            label,
+        });
     }
 
     /// Stable identity of a sync object: its address.
-    pub(crate) fn addr<T: ?Sized>(x: &T) -> usize {
+    pub fn addr<T: ?Sized>(x: &T) -> usize {
         x as *const T as *const () as usize
     }
 }
@@ -218,35 +367,60 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquire the lock, blocking until available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        if let Some(hook) = explore::current() {
-            // The hook blocks until its model grants this thread the lock;
-            // the real acquire below then succeeds without contention.
-            hook.on_event(explore::SyncEvent::Acquire {
-                mutex: explore::addr(self),
-            });
-        }
-        MutexGuard {
-            inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
-            owner: self,
+        match explore::hooked() {
+            Some(explore::Hooked::Controlled(hook)) => {
+                // The hook blocks until its model grants this thread the
+                // lock; the real acquire below then succeeds without
+                // contention.
+                hook.on_event(explore::SyncEvent::Acquire {
+                    mutex: explore::addr(self),
+                });
+                MutexGuard {
+                    inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+                    owner: self,
+                }
+            }
+            Some(explore::Hooked::Passive(hook)) => {
+                // Acquire for real first, then report while holding the
+                // lock: the recorder's serialized event order stays
+                // consistent with the real lock order.
+                let inner = self.0.lock().unwrap_or_else(|e| e.into_inner());
+                hook.on_event(explore::SyncEvent::Acquire {
+                    mutex: explore::addr(self),
+                });
+                MutexGuard {
+                    inner: Some(inner),
+                    owner: self,
+                }
+            }
+            None => MutexGuard {
+                inner: Some(self.0.lock().unwrap_or_else(|e| e.into_inner())),
+                owner: self,
+            },
         }
     }
 
     /// Try to acquire the lock without blocking.
     ///
-    /// Not a schedule point for the exploration hook (the runtime under
-    /// test never uses it on controlled threads).
+    /// Not a schedule point for a controlled exploration hook (the
+    /// runtime under test never uses it on controlled threads); a
+    /// successful try-lock is reported to a passive recorder like any
+    /// other acquire.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard {
-                inner: Some(g),
-                owner: self,
-            }),
-            Err(sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
-                inner: Some(e.into_inner()),
-                owner: self,
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
+        let inner = match self.0.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(e)) => e.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        if let Some(explore::Hooked::Passive(hook)) = explore::hooked() {
+            hook.on_event(explore::SyncEvent::Acquire {
+                mutex: explore::addr(self),
+            });
         }
+        Some(MutexGuard {
+            inner: Some(inner),
+            owner: self,
+        })
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -270,17 +444,29 @@ impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
 
 impl<T: ?Sized> Drop for MutexGuard<'_, T> {
     fn drop(&mut self) {
-        let inner = self.inner.take();
-        let was_locked = inner.is_some();
-        drop(inner); // real release happens first…
-        if was_locked {
-            if let Some(hook) = explore::current() {
-                // …then the model release, so a thread the explorer
-                // schedules next never blocks on the real lock.
+        if self.inner.is_none() {
+            return;
+        }
+        match explore::hooked() {
+            Some(explore::Hooked::Controlled(hook)) => {
+                // Real release first, then the model release, so a thread
+                // the explorer schedules next never blocks on the real
+                // lock.
+                drop(self.inner.take());
                 hook.on_event(explore::SyncEvent::Release {
                     mutex: explore::addr(self.owner),
                 });
             }
+            Some(explore::Hooked::Passive(hook)) => {
+                // Report first, while still holding the lock: any thread
+                // that records an Acquire of this mutex afterwards really
+                // did acquire it after our release.
+                hook.on_event(explore::SyncEvent::Release {
+                    mutex: explore::addr(self.owner),
+                });
+                drop(self.inner.take());
+            }
+            None => drop(self.inner.take()),
         }
     }
 }
@@ -331,43 +517,420 @@ impl Condvar {
     /// Atomically release the guard's lock and wait for a notification,
     /// reacquiring the lock before returning.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.inner.take().expect("guard live outside wait");
-        if let Some(hook) = explore::current() {
-            // Controlled wait: never sleep on the real condvar. Release
-            // the real lock, park inside the hook (which models the wait
-            // and the reacquisition), then retake the real lock directly.
-            drop(inner);
-            hook.on_event(explore::SyncEvent::Wait {
-                condvar: explore::addr(self),
-                mutex: explore::addr(guard.owner),
-            });
-            guard.inner = Some(guard.owner.0.lock().unwrap_or_else(|e| e.into_inner()));
-            return;
+        match explore::hooked() {
+            Some(explore::Hooked::Controlled(hook)) => {
+                // Controlled wait: never sleep on the real condvar.
+                // Release the real lock, park inside the hook (which
+                // models the wait and the reacquisition), then retake the
+                // real lock directly.
+                let inner = guard.inner.take().expect("guard live outside wait");
+                drop(inner);
+                hook.on_event(explore::SyncEvent::Wait {
+                    condvar: explore::addr(self),
+                    mutex: explore::addr(guard.owner),
+                });
+                guard.inner = Some(guard.owner.0.lock().unwrap_or_else(|e| e.into_inner()));
+            }
+            Some(explore::Hooked::Passive(hook)) => {
+                // Report the wait while still holding the lock (the
+                // recorder treats it as the release), wait for real, then
+                // report the reacquisition while holding the lock again.
+                hook.on_event(explore::SyncEvent::Wait {
+                    condvar: explore::addr(self),
+                    mutex: explore::addr(guard.owner),
+                });
+                let inner = guard.inner.take().expect("guard live outside wait");
+                let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(reacquired);
+                hook.on_event(explore::SyncEvent::WakeAcquire {
+                    condvar: explore::addr(self),
+                    mutex: explore::addr(guard.owner),
+                });
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard live outside wait");
+                let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(reacquired);
+            }
         }
-        let reacquired = self.0.wait(inner).unwrap_or_else(|e| e.into_inner());
-        guard.inner = Some(reacquired);
+    }
+
+    /// Like [`Condvar::wait`], but give up after `timeout`. Returns
+    /// `true` iff the wait timed out (the lock is reacquired either way).
+    ///
+    /// Under a **controlled** exploration hook the timeout is ignored and
+    /// this behaves exactly like [`Condvar::wait`] (returning `false`):
+    /// model time has no clock, so a timeout would be a nondeterministic
+    /// schedule point. Models must guarantee a notify (or model deadlock
+    /// detection) instead — which is precisely what makes lost-wakeup
+    /// bugs show up as deadlocks rather than silent timeouts.
+    pub fn wait_for<T>(&self, guard: &mut MutexGuard<'_, T>, timeout: Duration) -> bool {
+        match explore::hooked() {
+            Some(explore::Hooked::Controlled(_)) => {
+                self.wait(guard);
+                false
+            }
+            Some(explore::Hooked::Passive(hook)) => {
+                hook.on_event(explore::SyncEvent::Wait {
+                    condvar: explore::addr(self),
+                    mutex: explore::addr(guard.owner),
+                });
+                let inner = guard.inner.take().expect("guard live outside wait");
+                let (reacquired, result) = self
+                    .0
+                    .wait_timeout(inner, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(reacquired);
+                hook.on_event(explore::SyncEvent::WakeAcquire {
+                    condvar: explore::addr(self),
+                    mutex: explore::addr(guard.owner),
+                });
+                result.timed_out()
+            }
+            None => {
+                let inner = guard.inner.take().expect("guard live outside wait");
+                let (reacquired, result) = self
+                    .0
+                    .wait_timeout(inner, timeout)
+                    .unwrap_or_else(|e| e.into_inner());
+                guard.inner = Some(reacquired);
+                result.timed_out()
+            }
+        }
     }
 
     /// Wake one waiter.
     pub fn notify_one(&self) {
-        if let Some(hook) = explore::current() {
-            hook.on_event(explore::SyncEvent::Notify {
-                condvar: explore::addr(self),
-                all: false,
-            });
-        }
+        explore::emit(explore::SyncEvent::Notify {
+            condvar: explore::addr(self),
+            all: false,
+        });
         self.0.notify_one();
     }
 
     /// Wake all waiters.
     pub fn notify_all(&self) {
-        if let Some(hook) = explore::current() {
-            hook.on_event(explore::SyncEvent::Notify {
-                condvar: explore::addr(self),
-                all: true,
-            });
-        }
+        explore::emit(explore::SyncEvent::Notify {
+            condvar: explore::addr(self),
+            all: true,
+        });
         self.0.notify_all();
+    }
+}
+
+pub mod channel {
+    //! An instrumented mpsc channel with `std::sync::mpsc`'s API surface
+    //! (the subset this workspace uses), built on the shim's [`Mutex`] +
+    //! [`Condvar`] so every send and receive is visible to the
+    //! exploration hook — as [`SyncEvent::Send`]/[`SyncEvent::Recv`]
+    //! bookkeeping events plus the underlying lock and condvar traffic
+    //! that actually orders them.
+    //!
+    //! Disconnect semantics match std: `recv` on an empty channel with no
+    //! live senders errors; sending to a dropped receiver errors and
+    //! returns the message. `recv_timeout` degrades to an untimed `recv`
+    //! under a controlled exploration hook (see [`Condvar::wait_for`]).
+    //!
+    //! [`Mutex`]: super::Mutex
+    //! [`Condvar`]: super::Condvar
+    //! [`SyncEvent::Send`]: super::explore::SyncEvent::Send
+    //! [`SyncEvent::Recv`]: super::explore::SyncEvent::Recv
+
+    use super::{explore, Condvar, Mutex};
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    struct Chan<T> {
+        state: Mutex<State<T>>,
+        not_empty: Condvar,
+        not_full: Condvar,
+        bound: Option<usize>,
+    }
+
+    impl<T> Chan<T> {
+        fn id(&self) -> usize {
+            explore::addr(&self.state)
+        }
+    }
+
+    /// Sending half of an unbounded [`channel`]. Clonable.
+    pub struct Sender<T>(Arc<Chan<T>>);
+
+    /// Sending half of a bounded [`sync_channel`]. Clonable.
+    pub struct SyncSender<T>(Arc<Chan<T>>);
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(Arc<Chan<T>>);
+
+    /// The receiver disconnected before the message could be delivered;
+    /// the message is handed back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Why a [`SyncSender::try_send`] could not enqueue.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded queue is at capacity; the message is handed back.
+        Full(T),
+        /// The receiver disconnected; the message is handed back.
+        Disconnected(T),
+    }
+
+    /// All senders disconnected and the queue is drained.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Why a [`Receiver::try_recv`] returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty but senders remain.
+        Empty,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    /// Why a [`Receiver::recv_timeout`] returned no message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the queue still empty.
+        Timeout,
+        /// All senders disconnected and the queue is drained.
+        Disconnected,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for SyncSender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SyncSender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    /// Create an unbounded instrumented channel.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            bound: None,
+        });
+        (Sender(chan.clone()), Receiver(chan))
+    }
+
+    /// Create a bounded instrumented channel holding at most `bound`
+    /// queued messages (`bound == 0` is treated as capacity 1; the shim
+    /// does not model rendezvous channels).
+    pub fn sync_channel<T>(bound: usize) -> (SyncSender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            bound: Some(bound.max(1)),
+        });
+        (SyncSender(chan.clone()), Receiver(chan))
+    }
+
+    fn push<T>(chan: &Chan<T>, state: &mut State<T>, value: T) {
+        state.queue.push_back(value);
+        explore::emit(explore::SyncEvent::Send { chan: chan.id() });
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, failing (and handing it back) iff the
+        /// receiver disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.0.state.lock();
+            if !state.receiver_alive {
+                return Err(SendError(value));
+            }
+            push(&self.0, &mut state, value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> SyncSender<T> {
+        /// Enqueue `value`, blocking while the queue is at capacity;
+        /// fails (handing the message back) iff the receiver
+        /// disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let bound = self.0.bound.expect("sync sender has a bound");
+            let mut state = self.0.state.lock();
+            loop {
+                if !state.receiver_alive {
+                    return Err(SendError(value));
+                }
+                if state.queue.len() < bound {
+                    push(&self.0, &mut state, value);
+                    drop(state);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                self.0.not_full.wait(&mut state);
+            }
+        }
+
+        /// Enqueue `value` without blocking, failing if the queue is at
+        /// capacity or the receiver disconnected.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let bound = self.0.bound.expect("sync sender has a bound");
+            let mut state = self.0.state.lock();
+            if !state.receiver_alive {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.queue.len() >= bound {
+                return Err(TrySendError::Full(value));
+            }
+            push(&self.0, &mut state, value);
+            drop(state);
+            self.0.not_empty.notify_one();
+            Ok(())
+        }
+    }
+
+    fn clone_sender<T>(chan: &Arc<Chan<T>>) -> Arc<Chan<T>> {
+        chan.state.lock().senders += 1;
+        chan.clone()
+    }
+
+    fn drop_sender<T>(chan: &Chan<T>) {
+        let mut state = chan.state.lock();
+        state.senders -= 1;
+        let last = state.senders == 0;
+        drop(state);
+        if last {
+            // Wake every blocked receiver so it can observe disconnect.
+            chan.not_empty.notify_all();
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Sender<T> {
+            Sender(clone_sender(&self.0))
+        }
+    }
+
+    impl<T> Clone for SyncSender<T> {
+        fn clone(&self) -> SyncSender<T> {
+            SyncSender(clone_sender(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Drop for SyncSender<T> {
+        fn drop(&mut self) {
+            drop_sender(&self.0);
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut state = self.0.state.lock();
+            state.receiver_alive = false;
+            state.queue.clear();
+            drop(state);
+            // Wake every blocked sender so it can observe disconnect.
+            self.0.not_full.notify_all();
+        }
+    }
+
+    fn pop<T>(chan: &Chan<T>, state: &mut State<T>) -> Option<T> {
+        let value = state.queue.pop_front()?;
+        explore::emit(explore::SyncEvent::Recv { chan: chan.id() });
+        Some(value)
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeue the next message, blocking while the queue is empty;
+        /// fails once every sender disconnected and the queue drained.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.0.state.lock();
+            loop {
+                if let Some(value) = pop(&self.0, &mut state) {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                self.0.not_empty.wait(&mut state);
+            }
+        }
+
+        /// Dequeue the next message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.0.state.lock();
+            if let Some(value) = pop(&self.0, &mut state) {
+                drop(state);
+                self.0.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Dequeue the next message, giving up after `timeout`.
+        ///
+        /// Under a controlled exploration hook the timeout never fires
+        /// (see [`Condvar::wait_for`](super::Condvar::wait_for)): models
+        /// must arrange delivery or rely on model deadlock detection.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.0.state.lock();
+            loop {
+                if let Some(value) = pop(&self.0, &mut state) {
+                    drop(state);
+                    self.0.not_full.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                // A timed-out wait falls through to the next iteration,
+                // whose queue/disconnect/deadline checks decide the
+                // verdict — a message that raced in still wins.
+                let _ = self.0.not_empty.wait_for(&mut state, deadline - now);
+            }
+        }
     }
 }
 
@@ -426,5 +989,55 @@ mod tests {
             cv.notify_all();
         });
         assert_eq!(woken.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn wait_for_times_out_without_notify() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        assert!(cv.wait_for(&mut g, Duration::from_millis(5)));
+    }
+
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::channel();
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(channel::RecvError));
+    }
+
+    #[test]
+    fn sync_channel_respects_bound() {
+        let (tx, rx) = channel::sync_channel(1);
+        tx.try_send(1).unwrap();
+        assert_eq!(tx.try_send(2), Err(channel::TrySendError::Full(2)));
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(4), Err(channel::TrySendError::Disconnected(4)));
+        assert_eq!(tx.send(5), Err(channel::SendError(5)));
+    }
+
+    #[test]
+    fn recv_timeout_reports_timeout_then_delivery() {
+        let (tx, rx) = channel::channel();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(5)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                tx.send(9).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(30)), Ok(9));
+        });
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 }

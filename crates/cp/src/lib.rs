@@ -20,6 +20,9 @@
 //! [`optimize_schedule`] chains them: HEFT seed → annealing → (optionally)
 //! exact search, returning the best schedule found within the budget.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod anneal;
 pub mod list;
 pub mod search;

@@ -11,6 +11,9 @@
 //! execution times (which `hetchol-rt` measures at startup, playing the
 //! role of StarPU's calibration pass).
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cholesky;
 pub mod full;
 pub mod generate;

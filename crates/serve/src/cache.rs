@@ -5,36 +5,101 @@
 //! hit never copies a trace or a bound set. The hit/miss counters feed
 //! `GET /stats` — the acceptance test for the whole layer asserts cache
 //! hits are *observable*, not inferred from latency.
+//!
+//! The map **and** the counters live under one instrumented mutex: a
+//! counting lookup bumps `gets` and `hits`-or-`misses` in the same
+//! critical section, so `hits + misses == gets` holds in every snapshot
+//! ([`CountedCache::snapshot`]) — the `/stats` torn-read bug class is
+//! structurally gone, and every access is visible to the happens-before
+//! recorder and the model checker through the `parking_lot` compat shim.
 
+use parking_lot::{explore, Mutex, MutexGuard};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// A hash-keyed map with hit/miss counters.
+struct Inner<V> {
+    map: HashMap<u64, Arc<V>>,
+    hits: u64,
+    misses: u64,
+    gets: u64,
+}
+
+/// A hash-keyed map with hit/miss accounting under a single lock.
 pub struct CountedCache<V> {
-    map: Mutex<HashMap<u64, Arc<V>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    name: &'static str,
+    inner: Mutex<Inner<V>>,
+}
+
+/// One coherent read of a cache's accounting, taken under one guard.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Counting lookups that found an entry.
+    pub hits: u64,
+    /// Counting lookups that found nothing.
+    pub misses: u64,
+    /// Counting lookups total; always `hits + misses`.
+    pub gets: u64,
+    /// Entries currently cached.
+    pub entries: usize,
+}
+
+/// Holds a cache's lock across an insert, so a caller can pin the cache
+/// while touching other state (the seeded lock-order-inversion mutation
+/// uses this; stock code never holds it across another acquisition).
+pub struct CommitGuard<'a, V> {
+    name: &'static str,
+    guard: MutexGuard<'a, Inner<V>>,
+}
+
+impl<V> CommitGuard<'_, V> {
+    /// Insert under the already-held lock.
+    pub fn insert(&mut self, key: u64, value: Arc<V>) {
+        explore::touch(self.name, true);
+        self.guard.map.insert(key, value);
+    }
 }
 
 impl<V> CountedCache<V> {
-    /// An empty cache.
+    /// An empty, anonymously named cache.
     pub fn new() -> CountedCache<V> {
-        CountedCache {
-            map: Mutex::new(HashMap::new()),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        CountedCache::named("cache")
     }
 
-    /// Counting lookup: bumps the hit or miss counter. Use on request
-    /// paths, where the counter answers "did caching help this client?".
-    pub fn get(&self, key: u64) -> Option<Arc<V>> {
-        let found = self.map.lock().expect("cache lock").get(&key).cloned();
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
+    /// An empty cache whose lock is labelled `name` in analysis reports.
+    pub fn named(name: &'static str) -> CountedCache<V> {
+        let cache = CountedCache {
+            name,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                gets: 0,
+            }),
         };
+        explore::label(&cache.inner, name);
+        cache
+    }
+
+    /// Re-emit the lock label at the cache's current address. Labels are
+    /// keyed by address in the analyzers, so a cache that was *moved*
+    /// after construction (into a struct, into an `Arc`) must relabel
+    /// once it has settled for reports to name it.
+    pub fn relabel(&self) {
+        explore::label(&self.inner, self.name);
+    }
+
+    /// Counting lookup: bumps `gets` plus the hit or miss counter, all in
+    /// one critical section. Use on request paths, where the counter
+    /// answers "did caching help this client?".
+    pub fn get(&self, key: u64) -> Option<Arc<V>> {
+        let mut inner = self.inner.lock();
+        explore::touch(self.name, true);
+        inner.gets += 1;
+        let found = inner.map.get(&key).cloned();
+        match &found {
+            Some(_) => inner.hits += 1,
+            None => inner.misses += 1,
+        }
         found
     }
 
@@ -42,28 +107,52 @@ impl<V> CountedCache<V> {
     /// the result cache before recomputing), which should not skew the
     /// client-facing counters.
     pub fn peek(&self, key: u64) -> Option<Arc<V>> {
-        self.map.lock().expect("cache lock").get(&key).cloned()
+        let inner = self.inner.lock();
+        explore::touch(self.name, false);
+        inner.map.get(&key).cloned()
     }
 
     /// Insert (last writer wins; values are pure functions of the key, so
     /// racing writers insert identical results).
     pub fn insert(&self, key: u64, value: Arc<V>) {
-        self.map.lock().expect("cache lock").insert(key, value);
+        let mut inner = self.inner.lock();
+        explore::touch(self.name, true);
+        inner.map.insert(key, value);
+    }
+
+    /// Lock the cache and return a guard for inserting while held.
+    pub fn begin_commit(&self) -> CommitGuard<'_, V> {
+        CommitGuard {
+            name: self.name,
+            guard: self.inner.lock(),
+        }
+    }
+
+    /// One coherent snapshot of the accounting, under a single guard.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let inner = self.inner.lock();
+        explore::touch(self.name, false);
+        CacheSnapshot {
+            hits: inner.hits,
+            misses: inner.misses,
+            gets: inner.gets,
+            entries: inner.map.len(),
+        }
     }
 
     /// Counting-lookup hits so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.snapshot().hits
     }
 
     /// Counting-lookup misses so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.snapshot().misses
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+        self.snapshot().entries
     }
 
     /// Whether the cache is empty.
@@ -94,5 +183,24 @@ mod tests {
         assert!(cache.peek(8).is_none());
         assert_eq!((cache.hits(), cache.misses()), (1, 1));
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_coherent() {
+        let cache = CountedCache::<u32>::named("test.cache");
+        cache.get(1);
+        cache.insert(1, Arc::new(1));
+        cache.get(1);
+        let snap = cache.snapshot();
+        assert_eq!(snap.hits + snap.misses, snap.gets);
+        assert_eq!(
+            snap,
+            CacheSnapshot {
+                hits: 1,
+                misses: 1,
+                gets: 2,
+                entries: 1,
+            }
+        );
     }
 }

@@ -42,20 +42,25 @@
 //! server.shutdown();
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub mod cache;
 pub mod client;
 pub mod http;
+pub mod model;
 pub mod pool;
 pub mod store;
 
-use hetchol::job::{outcome_to_json, JobSpec};
+use hetchol::job::{outcome_to_json, JobError, JobSpec};
 use hetchol_core::fault::RunOutcome;
 use hetchol_core::json::{parse_json, JsonValue};
+use parking_lot::channel;
 use pool::{JobRequest, Pool, ServerState, ShardReply, SubmitError};
 use std::io::{self};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -222,8 +227,98 @@ fn route(req: &http::Request, ctx: &Ctx) -> (u16, String) {
     }
 }
 
-/// `POST /jobs`: parse, budget-check, consult the result cache, queue,
-/// and wait out the deadline.
+/// What became of one submitted job, transport-free.
+///
+/// [`submit_job`] is the whole `POST /jobs` request path minus HTTP:
+/// loopback handlers render this to JSON, while analysis harnesses (the
+/// happens-before recorder's serve exercise, the serve-pool model) call
+/// it in-process and assert on the variants directly.
+pub enum SubmitOutcome {
+    /// Answered from the result cache (a counted hit).
+    Hit(Arc<store::StoredJob>),
+    /// Executed by a shard within the deadline (a counted miss).
+    Done(Arc<store::StoredJob>),
+    /// The spec failed validation at execution time.
+    Rejected(JobError),
+    /// Shed without a result: queue-full, shard-dead, or deadline.
+    Shed {
+        /// Stable machine-readable reason (`queue-full`, `shard-dead`,
+        /// `deadline`).
+        code: &'static str,
+        /// Human-readable detail (the HTTP `detail` member, verbatim).
+        detail: String,
+        /// The shard the job routed to.
+        shard: usize,
+    },
+}
+
+/// Submit one job: consult the result cache, queue on the routed shard,
+/// and wait out the deadline. This is `POST /jobs` without the HTTP.
+pub fn submit_job(
+    state: &ServerState,
+    pool: &Pool,
+    spec: JobSpec,
+    default_budget_ms: u64,
+) -> SubmitOutcome {
+    let spec_hash = spec.content_hash();
+    if let Some(hit) = state.results.get(spec_hash) {
+        return SubmitOutcome::Hit(hit);
+    }
+
+    let id = state.store.next_id();
+    let budget = Duration::from_millis(spec.budget_ms.unwrap_or(default_budget_ms));
+    let (reply_tx, reply_rx) = channel::channel();
+    let shard = match pool.submit(
+        spec_hash,
+        JobRequest {
+            id,
+            spec,
+            reply: reply_tx,
+        },
+    ) {
+        Ok(shard) => shard,
+        Err((shard, SubmitError::QueueFull)) => {
+            state.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Shed {
+                code: "queue-full",
+                detail: format!("shard {shard} queue is full; retry later"),
+                shard,
+            };
+        }
+        Err((shard, SubmitError::ShardDead)) => {
+            state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Shed {
+                code: "shard-dead",
+                detail: format!("shard {shard} is dead"),
+                shard,
+            };
+        }
+    };
+    state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
+
+    match reply_rx.recv_timeout(budget) {
+        Ok(ShardReply::Done(job)) => SubmitOutcome::Done(job),
+        Ok(ShardReply::Rejected(err)) => SubmitOutcome::Rejected(err),
+        Err(channel::RecvTimeoutError::Timeout) => {
+            state.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            SubmitOutcome::Shed {
+                code: "deadline",
+                detail: format!("job {id} missed its {}ms budget", budget.as_millis()),
+                shard,
+            }
+        }
+        Err(channel::RecvTimeoutError::Disconnected) => {
+            state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
+            SubmitOutcome::Shed {
+                code: "shard-dead",
+                detail: format!("shard {shard} died with job {id} queued"),
+                shard,
+            }
+        }
+    }
+}
+
+/// `POST /jobs`: parse, budget-check, then [`submit_job`] and render.
 fn submit(body: &str, ctx: &Ctx) -> (u16, String) {
     let spec = match JobSpec::from_json(body) {
         Ok(spec) => spec,
@@ -241,69 +336,15 @@ fn submit(body: &str, ctx: &Ctx) -> (u16, String) {
             ),
         );
     }
-    let spec_hash = spec.content_hash();
-    if let Some(hit) = ctx.state.results.get(spec_hash) {
-        return (200, envelope(&hit, "hit"));
-    }
-
-    let id = ctx.state.store.next_id();
-    let budget = Duration::from_millis(spec.budget_ms.unwrap_or(ctx.config.default_budget_ms));
-    let (reply_tx, reply_rx) = mpsc::channel();
-    let shard = match ctx.pool.submit(
-        spec_hash,
-        JobRequest {
-            id,
-            spec,
-            reply: reply_tx,
-        },
-    ) {
-        Ok(shard) => shard,
-        Err((shard, SubmitError::QueueFull)) => {
-            ctx.state.shed_queue_full.fetch_add(1, Ordering::Relaxed);
-            return (
-                503,
-                degraded_body(
-                    "queue-full",
-                    &format!("shard {shard} queue is full; retry later"),
-                    shard,
-                ),
-            );
-        }
-        Err((shard, SubmitError::ShardDead)) => {
-            ctx.state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
-            return (
-                503,
-                degraded_body("shard-dead", &format!("shard {shard} is dead"), shard),
-            );
-        }
-    };
-    ctx.state.jobs_submitted.fetch_add(1, Ordering::Relaxed);
-
-    match reply_rx.recv_timeout(budget) {
-        Ok(ShardReply::Done(job)) => (200, envelope(&job, "miss")),
-        Ok(ShardReply::Rejected(err)) => (400, err.to_json_value().render()),
-        Err(mpsc::RecvTimeoutError::Timeout) => {
-            ctx.state.shed_deadline.fetch_add(1, Ordering::Relaxed);
-            (
-                503,
-                degraded_body(
-                    "deadline",
-                    &format!("job {id} missed its {}ms budget", budget.as_millis()),
-                    shard,
-                ),
-            )
-        }
-        Err(mpsc::RecvTimeoutError::Disconnected) => {
-            ctx.state.shed_shard_dead.fetch_add(1, Ordering::Relaxed);
-            (
-                503,
-                degraded_body(
-                    "shard-dead",
-                    &format!("shard {shard} died with job {id} queued"),
-                    shard,
-                ),
-            )
-        }
+    match submit_job(&ctx.state, &ctx.pool, spec, ctx.config.default_budget_ms) {
+        SubmitOutcome::Hit(job) => (200, envelope(&job, "hit")),
+        SubmitOutcome::Done(job) => (200, envelope(&job, "miss")),
+        SubmitOutcome::Rejected(err) => (400, err.to_json_value().render()),
+        SubmitOutcome::Shed {
+            code,
+            detail,
+            shard,
+        } => (503, degraded_body(code, &detail, shard)),
     }
 }
 
@@ -419,11 +460,16 @@ fn error_body(code: &str, detail: &str) -> String {
 
 fn stats_body(ctx: &Ctx) -> String {
     let s = &ctx.state;
-    let cache_obj = |hits: u64, misses: u64, len: usize| {
+    // One lock-ordered snapshot (store → caches, each cache under a
+    // single guard): `hits + misses == gets` holds in every response, no
+    // matter how many requests are in flight.
+    let snap = s.consistent_stats();
+    let cache_obj = |c: cache::CacheSnapshot| {
         JsonValue::Obj(vec![
-            ("hits".into(), JsonValue::uint(hits)),
-            ("misses".into(), JsonValue::uint(misses)),
-            ("entries".into(), JsonValue::uint(len as u64)),
+            ("hits".into(), JsonValue::uint(c.hits)),
+            ("misses".into(), JsonValue::uint(c.misses)),
+            ("gets".into(), JsonValue::uint(c.gets)),
+            ("entries".into(), JsonValue::uint(c.entries as u64)),
         ])
     };
     JsonValue::Obj(vec![
@@ -439,7 +485,7 @@ fn stats_body(ctx: &Ctx) -> String {
                     "completed".into(),
                     JsonValue::uint(s.jobs_completed.load(Ordering::Relaxed)),
                 ),
-                ("stored".into(), JsonValue::uint(s.store.len() as u64)),
+                ("stored".into(), JsonValue::uint(snap.stored as u64)),
                 (
                     "batched".into(),
                     JsonValue::uint(s.batched.load(Ordering::Relaxed)),
@@ -449,18 +495,9 @@ fn stats_body(ctx: &Ctx) -> String {
         (
             "cache".into(),
             JsonValue::Obj(vec![
-                (
-                    "results".into(),
-                    cache_obj(s.results.hits(), s.results.misses(), s.results.len()),
-                ),
-                (
-                    "bounds".into(),
-                    cache_obj(s.bounds.hits(), s.bounds.misses(), s.bounds.len()),
-                ),
-                (
-                    "profiles".into(),
-                    cache_obj(s.profiles.hits(), s.profiles.misses(), s.profiles.len()),
-                ),
+                ("results".into(), cache_obj(snap.results)),
+                ("bounds".into(), cache_obj(snap.bounds)),
+                ("profiles".into(), cache_obj(snap.profiles)),
             ]),
         ),
         (

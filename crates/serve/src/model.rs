@@ -1,0 +1,325 @@
+//! The serve-pool model: the sharded worker pool under the DPOR model
+//! checker.
+//!
+//! A closed five-thread system — two pool workers ([`Pool::start_controlled`]),
+//! two clients driving the real [`submit_job`] request
+//! path with specs routed to different shards, and an admin thread that
+//! kills shard 0 at a model-chosen point — is explored exhaustively over
+//! every (DPOR-reduced) interleaving of its lock, channel and condvar
+//! operations. Three serving invariants are checked at every quiescent
+//! state:
+//!
+//! * **answered-once** — every accepted request gets exactly one reply,
+//!   and every `Done` reply is backed by the job store;
+//! * **no-serve-after-kill** — a submission that began after a shard was
+//!   killed is shed `shard-dead`, never answered as if the shard lived;
+//! * **cache-accounting** — the result cache's `hits + misses == gets`
+//!   with one counted get per client.
+//!
+//! A blocked-forever handler (the `leak-killed-batch` mutation keeps a
+//! killed worker's reply senders alive) surfaces as the engine's own
+//! deadlock invariant. Violations serialize to minimized, replayable
+//! [`Witness`]es tagged `"model": "serve-pool"`, the same format `repro
+//! mc-replay` consumes.
+
+use crate::pool::{Pool, PoolMutations, ServerState};
+use crate::{submit_job, SubmitOutcome};
+use hetchol::job::JobSpec;
+use hetchol_analyze::mc::{
+    check_model, replay_model, Invariant, ModelReplay, ModelReport, Violation, Witness,
+};
+use hetchol_analyze::ExploreConfig;
+use hetchol_core::fault::FaultPlan;
+use parking_lot::explore;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::thread;
+
+/// Controlled threads in the model: two workers, two clients, one admin.
+pub const N_THREADS: usize = 5;
+
+const N_SHARDS: usize = 2;
+const CLIENTS: usize = 2;
+const ADMIN: usize = N_SHARDS + CLIENTS;
+const BUDGET_MS: u64 = 30_000;
+
+/// The model's execution log, written by the harness threads through a
+/// plain `std` mutex (invisible to the explorer — it records *when*
+/// things happened under the chosen schedule, it is not part of the
+/// system under test).
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum LogEvent {
+    /// `pool.kill(shard)` returned.
+    Killed(usize),
+    /// A client is about to submit (its spec routes to `shard`).
+    Begin { client: usize, shard: usize },
+    /// A client's submission resolved.
+    End { client: usize, kind: EndKind },
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum EndKind {
+    Done(u64),
+    Shed(&'static str),
+    Rejected,
+}
+
+fn kind_of(outcome: &SubmitOutcome) -> EndKind {
+    match outcome {
+        SubmitOutcome::Hit(job) | SubmitOutcome::Done(job) => EndKind::Done(job.id),
+        SubmitOutcome::Rejected(_) => EndKind::Rejected,
+        SubmitOutcome::Shed { code, .. } => EndKind::Shed(code),
+    }
+}
+
+/// The smallest cholesky spec whose content hash routes to `shard` of
+/// [`N_SHARDS`], found by scanning seeds (the seed is hashed, the result
+/// is not affected by it here — n=2 deterministic simulation).
+fn spec_for_shard(shard: usize) -> JobSpec {
+    let mut spec = JobSpec::new("cholesky", 2).expect("cholesky is a known workload");
+    for seed in 0..1024 {
+        spec.seed = seed;
+        if spec.content_hash() % N_SHARDS as u64 == shard as u64 {
+            return spec;
+        }
+    }
+    unreachable!("1024 seeds cover both residues");
+}
+
+fn mutations_for(mutation: Option<&str>) -> Result<PoolMutations, String> {
+    match mutation {
+        None => Ok(PoolMutations::default()),
+        #[cfg(feature = "race-mutations")]
+        Some("leak-killed-batch") => Ok(PoolMutations {
+            leak_killed_batch: true,
+            ..PoolMutations::default()
+        }),
+        #[cfg(not(feature = "race-mutations"))]
+        Some("leak-killed-batch") => Err(
+            "mutation \"leak-killed-batch\" requires building hetchol-serve \
+             with the race-mutations feature"
+                .into(),
+        ),
+        Some(other) => Err(format!("unknown serve-pool mutation {other:?}")),
+    }
+}
+
+fn state_for(muts: PoolMutations) -> ServerState {
+    #[cfg(feature = "race-mutations")]
+    {
+        ServerState::with_mutations(muts)
+    }
+    #[cfg(not(feature = "race-mutations"))]
+    {
+        let _ = muts;
+        ServerState::new()
+    }
+}
+
+/// What one completed run leaves behind for the invariant engine.
+struct RunArtifacts {
+    log: Vec<LogEvent>,
+    state: Arc<ServerState>,
+}
+
+fn evaluate(run: &RunArtifacts) -> Option<Violation> {
+    // answered-once: one End per client, every Done backed by the store.
+    for client in 0..CLIENTS {
+        let ends: Vec<&EndKind> = run
+            .log
+            .iter()
+            .filter_map(|e| match e {
+                LogEvent::End { client: c, kind } if *c == client => Some(kind),
+                _ => None,
+            })
+            .collect();
+        if ends.len() != 1 {
+            return Some(Violation {
+                invariant: Invariant::AnsweredOnce,
+                detail: format!("client {client} was answered {} times", ends.len()),
+            });
+        }
+        if let EndKind::Done(id) = ends[0] {
+            if run.state.store.get(*id).is_none() {
+                return Some(Violation {
+                    invariant: Invariant::AnsweredOnce,
+                    detail: format!("client {client} got Done for job {id} absent from the store"),
+                });
+            }
+        }
+    }
+
+    // no-serve-after-kill: a submission that began after its shard's kill
+    // completed must be shed shard-dead.
+    for client in 0..CLIENTS {
+        let begin = run
+            .log
+            .iter()
+            .position(|e| matches!(e, LogEvent::Begin { client: c, .. } if *c == client));
+        let Some(begin) = begin else { continue };
+        let LogEvent::Begin { shard, .. } = run.log[begin] else {
+            unreachable!("position matched a Begin");
+        };
+        let killed_first = run.log[..begin].contains(&LogEvent::Killed(shard));
+        if !killed_first {
+            continue;
+        }
+        let served = run.log.iter().any(|e| {
+            matches!(e, LogEvent::End { client: c, kind } if *c == client
+                && *kind != EndKind::Shed("shard-dead"))
+        });
+        if served {
+            return Some(Violation {
+                invariant: Invariant::NoServeAfterKill,
+                detail: format!(
+                    "client {client} began after shard {shard} was killed \
+                     but was not shed shard-dead"
+                ),
+            });
+        }
+    }
+
+    // cache-accounting: one counted result-cache get per client, and the
+    // counters cohere.
+    let snap = run.state.results.snapshot();
+    if snap.hits + snap.misses != snap.gets || snap.gets != CLIENTS as u64 {
+        return Some(Violation {
+            invariant: Invariant::CacheAccounting,
+            detail: format!(
+                "results cache counted hits={} misses={} gets={} (want hits+misses==gets=={})",
+                snap.hits, snap.misses, snap.gets, CLIENTS
+            ),
+        });
+    }
+    None
+}
+
+/// One closed run of the model system. Fills `slot` with the artifacts
+/// the invariant engine reads; a deadlocked or panicked run leaves it
+/// empty (the engine reports those itself).
+fn run_system(muts: PoolMutations, slot: &Rc<RefCell<Option<RunArtifacts>>>) {
+    slot.borrow_mut().take();
+    let state = Arc::new(state_for(muts));
+    let pool = Pool::start_controlled(N_SHARDS, 1, 1, state.clone(), 0);
+    let log = StdMutex::new(Vec::new());
+
+    thread::scope(|s| {
+        for client in 0..CLIENTS {
+            let spec = spec_for_shard(client);
+            let state = &state;
+            let pool = &pool;
+            let log = &log;
+            s.spawn(move || {
+                explore::checkin(N_SHARDS + client);
+                let shard = pool.shard_of(spec.content_hash());
+                log.lock()
+                    .expect("log")
+                    .push(LogEvent::Begin { client, shard });
+                let outcome = submit_job(state, pool, spec, BUDGET_MS);
+                log.lock().expect("log").push(LogEvent::End {
+                    client,
+                    kind: kind_of(&outcome),
+                });
+            });
+        }
+        let pool = &pool;
+        let log = &log;
+        s.spawn(move || {
+            explore::checkin(ADMIN);
+            // Kill both shards at model-chosen points relative to the
+            // clients. The explorer covers every ordering: jobs served
+            // before the kill, shed at submission, and orphaned in the
+            // queue. The kills also guarantee both workers exit under
+            // the model's schedule, so every run terminates.
+            pool.kill(0);
+            log.lock().expect("log").push(LogEvent::Killed(0));
+            pool.kill(1);
+            log.lock().expect("log").push(LogEvent::Killed(1));
+        });
+    });
+
+    // Every controlled thread has exited; the real joins below are
+    // immediate and invisible to the session.
+    pool.shutdown();
+    let log = std::mem::take(&mut *log.lock().expect("log"));
+    *slot.borrow_mut() = Some(RunArtifacts { log, state });
+}
+
+/// Exhaustively model-check the serve pool, optionally with one seeded
+/// mutation armed (`"leak-killed-batch"`). Errors on an unknown mutation
+/// or one compiled out.
+pub fn check_pool(cfg: ExploreConfig, mutation: Option<&str>) -> Result<ModelReport, String> {
+    let muts = mutations_for(mutation)?;
+    let slot = Rc::new(RefCell::new(None));
+    let run_slot = slot.clone();
+    let post_slot = slot.clone();
+    Ok(check_model(
+        N_THREADS,
+        cfg,
+        move || run_system(muts, &run_slot),
+        move || post_slot.borrow_mut().take().as_ref().and_then(evaluate),
+    ))
+}
+
+/// Build the serializable witness for a violating [`check_pool`] report.
+pub fn pool_witness(report: &ModelReport, mutation: Option<&str>) -> Option<Witness> {
+    let v = report.violation.as_ref()?;
+    Some(Witness {
+        version: 1,
+        model: "serve-pool".to_string(),
+        n_tiles: 0,
+        n_workers: N_THREADS,
+        mutation: mutation.map(str::to_string),
+        plan: FaultPlan::none(),
+        choices: report.choices.clone(),
+        invariant: v.invariant,
+        detail: v.detail.clone(),
+        schedules_explored: report.schedules_run,
+    })
+}
+
+/// Deterministically re-run a serve-pool witness: force its choice
+/// prefix, free-run past it, and re-evaluate the invariants.
+pub fn replay_pool(witness: &Witness, cfg: ExploreConfig) -> Result<ModelReplay, String> {
+    if witness.model != "serve-pool" {
+        return Err(format!(
+            "witness is for model {:?}, not serve-pool",
+            witness.model
+        ));
+    }
+    let muts = mutations_for(witness.mutation.as_deref())?;
+    let slot = Rc::new(RefCell::new(None));
+    let run_slot = slot.clone();
+    let post_slot = slot.clone();
+    Ok(replay_model(
+        N_THREADS,
+        cfg,
+        &witness.choices,
+        move || run_system(muts, &run_slot),
+        move || post_slot.borrow_mut().take().as_ref().and_then(evaluate),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_route_to_their_shards() {
+        for shard in 0..N_SHARDS {
+            let spec = spec_for_shard(shard);
+            assert_eq!(spec.content_hash() % N_SHARDS as u64, shard as u64);
+        }
+        assert_ne!(
+            spec_for_shard(0).content_hash(),
+            spec_for_shard(1).content_hash()
+        );
+    }
+
+    #[test]
+    fn unknown_mutation_is_refused() {
+        let err = check_pool(ExploreConfig::default(), Some("no-such-bug")).unwrap_err();
+        assert!(err.contains("no-such-bug"), "{err}");
+    }
+}

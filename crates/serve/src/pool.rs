@@ -10,8 +10,14 @@
 //! Workers drain their queue in batches (up to `max_batch`) so the bound
 //! computations of co-queued jobs amortize through
 //! [`BoundSet::compute_batch`] and the shared bounds cache.
+//!
+//! All pool synchronization — the shard queues, the liveness flags, the
+//! reply channels — goes through the instrumented `parking_lot` compat
+//! shim, so the whole layer runs under the happens-before recorder
+//! ([`hetchol_analyze::hb`]) at real speed and under the DPOR model
+//! checker ([`Pool::start_controlled`]) exhaustively.
 
-use crate::cache::CountedCache;
+use crate::cache::{CacheSnapshot, CountedCache};
 use crate::store::{JobStore, StoredJob};
 use hetchol::job::{JobAction, JobError, JobSpec};
 use hetchol_bounds::BoundSet;
@@ -19,9 +25,32 @@ use hetchol_core::algorithm::Algorithm;
 use hetchol_core::hash::ContentHasher;
 use hetchol_core::platform::Platform;
 use hetchol_core::profiles::TimingProfile;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use parking_lot::{channel, explore, Mutex};
+use std::sync::atomic::AtomicBool;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+
+/// Seeded concurrency bugs for proving the analyzers' detection power.
+///
+/// Each flag re-introduces one historical bug class; `repro race
+/// --mutate <bug>` flips exactly one and asserts the corresponding
+/// analyzer catches it. All flags default to off, and the constructors
+/// that set them only exist under the `race-mutations` feature, so none
+/// of this is reachable from a stock build.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolMutations {
+    /// Commit jobs to the store with the declared touchpoint outside the
+    /// lock — a data race the happens-before recorder reports.
+    pub unsynced_store_touch: bool,
+    /// Commit result-cache-first while holding it across the store insert
+    /// — a lock-order inversion lockdep reports as a cycle.
+    pub invert_commit_order: bool,
+    /// Keep (leak) the batch a killed worker drained instead of dropping
+    /// it — the reply senders stay alive, the waiting handler never gets
+    /// its disconnect, and the model checker produces a deadlock witness.
+    pub leak_killed_batch: bool,
+}
 
 /// Shared server state: the caches, the job store, and the counters
 /// surfaced by `GET /stats`.
@@ -46,15 +75,38 @@ pub struct ServerState {
     pub shed_shard_dead: AtomicU64,
     /// Jobs that were executed as part of a multi-job batch.
     pub batched: AtomicU64,
+    /// Which seeded bugs are active (all off outside `repro race`).
+    pub mutations: PoolMutations,
+    /// Batches a killed worker leaked instead of dropping (the
+    /// `leak-killed-batch` mutation). Plain `std` mutex on purpose: the
+    /// leak itself must stay invisible to the analyzers so what they
+    /// catch is its *consequence* — the reply that never disconnects.
+    #[cfg(feature = "race-mutations")]
+    pub leaked: std::sync::Mutex<Vec<JobRequest>>,
+}
+
+/// One coherent `/stats` snapshot: the store size and every cache's
+/// accounting, read while holding the store lock so no concurrent commit
+/// can tear it.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Jobs in the id-indexed store.
+    pub stored: usize,
+    /// Result-cache accounting.
+    pub results: CacheSnapshot,
+    /// Bounds-cache accounting.
+    pub bounds: CacheSnapshot,
+    /// Profile-cache accounting.
+    pub profiles: CacheSnapshot,
 }
 
 impl ServerState {
     /// Fresh state with zeroed counters.
     pub fn new() -> ServerState {
         ServerState {
-            results: CountedCache::new(),
-            bounds: CountedCache::new(),
-            profiles: CountedCache::new(),
+            results: CountedCache::named("serve.cache.results"),
+            bounds: CountedCache::named("serve.cache.bounds"),
+            profiles: CountedCache::named("serve.cache.profiles"),
             store: JobStore::new(),
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
@@ -62,7 +114,29 @@ impl ServerState {
             shed_deadline: AtomicU64::new(0),
             shed_shard_dead: AtomicU64::new(0),
             batched: AtomicU64::new(0),
+            mutations: PoolMutations::default(),
+            #[cfg(feature = "race-mutations")]
+            leaked: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Fresh state with the given seeded bugs armed.
+    #[cfg(feature = "race-mutations")]
+    pub fn with_mutations(mutations: PoolMutations) -> ServerState {
+        let mut state = ServerState::new();
+        state.mutations = mutations;
+        state
+    }
+
+    /// Re-emit every lock label at the state's final address. The
+    /// constructors label their locks, but labels are address-keyed and
+    /// the state is usually moved afterwards (into an `Arc`); call this
+    /// once it has settled so analyzer reports name the locks.
+    pub fn label_locks(&self) {
+        self.results.relabel();
+        self.bounds.relabel();
+        self.profiles.relabel();
+        self.store.relabel();
     }
 
     /// The cached (platform, profile) pair for a spec, building and
@@ -75,6 +149,49 @@ impl ServerState {
         let pair = Arc::new((spec.platform.build(), spec.profile.build()));
         self.profiles.insert(key, pair.clone());
         pair
+    }
+
+    /// Commit a finished job: into the store, then into the result cache
+    /// while the store lock is still held, so a [`Self::consistent_stats`]
+    /// reader never counts a job in one map but not the other. The lock
+    /// order is store → results, everywhere.
+    pub fn commit_job(&self, spec_hash: u64, job: Arc<StoredJob>) {
+        #[cfg(feature = "race-mutations")]
+        {
+            if self.mutations.invert_commit_order {
+                // Seeded inversion: pin the result cache, then take the
+                // store lock inside it — results → store, the reverse of
+                // the stats path. Lockdep closes the cycle.
+                let mut results = self.results.begin_commit();
+                results.insert(spec_hash, job.clone());
+                self.store.insert(job);
+                return;
+            }
+            if self.mutations.unsynced_store_touch {
+                self.store.insert_unsynced(job.clone());
+                self.results.insert(spec_hash, job);
+                return;
+            }
+        }
+        let pinned = self.store.insert_locked(job.clone());
+        self.results.insert(spec_hash, job);
+        drop(pinned);
+    }
+
+    /// One coherent snapshot of store size and cache accounting, taken
+    /// while holding the store lock (order store → caches, matching
+    /// [`Self::commit_job`]). Each cache snapshot is a single guard, so
+    /// `hits + misses == gets` holds field-wise in every observation.
+    pub fn consistent_stats(&self) -> StatsSnapshot {
+        let jobs = self.store.lock_jobs();
+        let snap = StatsSnapshot {
+            stored: jobs.len(),
+            results: self.results.snapshot(),
+            bounds: self.bounds.snapshot(),
+            profiles: self.profiles.snapshot(),
+        };
+        drop(jobs);
+        snap
     }
 }
 
@@ -123,7 +240,7 @@ pub struct JobRequest {
     /// Where the worker sends the result. Send errors are ignored: a
     /// handler whose deadline expired has hung up, but the result is
     /// still cached for the next request.
-    pub reply: mpsc::Sender<ShardReply>,
+    pub reply: channel::Sender<ShardReply>,
 }
 
 /// What a worker sends back per job.
@@ -150,7 +267,13 @@ pub enum SubmitError {
 }
 
 struct Shard {
-    tx: mpsc::SyncSender<ShardMsg>,
+    tx: channel::SyncSender<ShardMsg>,
+    // Deliberately an atomic, not a shim mutex: liveness is a monotonic
+    // flag whose readers tolerate staleness by design (a stale `true`
+    // just means the queued job is answered shard-dead a step later).
+    // Keeping it invisible to the explorer keeps the model tree small
+    // without hiding any distinct outcome — kill-vs-submit orderings are
+    // still explored through the Stop message on the shard queue.
     alive: Arc<AtomicBool>,
 }
 
@@ -168,17 +291,41 @@ impl Pool {
         max_batch: usize,
         state: Arc<ServerState>,
     ) -> Pool {
+        Pool::start_inner(n_shards, queue_depth, max_batch, state, None)
+    }
+
+    /// Start a pool whose workers check in with the interleaving explorer
+    /// as threads `checkin_base .. checkin_base + n_shards`, so a DPOR
+    /// session can schedule them exhaustively alongside model clients.
+    pub fn start_controlled(
+        n_shards: usize,
+        queue_depth: usize,
+        max_batch: usize,
+        state: Arc<ServerState>,
+        checkin_base: usize,
+    ) -> Pool {
+        Pool::start_inner(n_shards, queue_depth, max_batch, state, Some(checkin_base))
+    }
+
+    fn start_inner(
+        n_shards: usize,
+        queue_depth: usize,
+        max_batch: usize,
+        state: Arc<ServerState>,
+        checkin_base: Option<usize>,
+    ) -> Pool {
         let n_shards = n_shards.max(1);
         let max_batch = max_batch.max(1);
         let mut shards = Vec::with_capacity(n_shards);
         let mut handles = Vec::with_capacity(n_shards);
-        for _ in 0..n_shards {
-            let (tx, rx) = mpsc::sync_channel(queue_depth.max(1));
+        for i in 0..n_shards {
+            let (tx, rx) = channel::sync_channel(queue_depth.max(1));
             let alive = Arc::new(AtomicBool::new(true));
             let worker_alive = alive.clone();
             let worker_state = state.clone();
+            let checkin = checkin_base.map(|base| base + i);
             handles.push(thread::spawn(move || {
-                worker(rx, worker_alive, worker_state, max_batch)
+                worker(rx, worker_alive, worker_state, max_batch, checkin)
             }));
             shards.push(Shard { tx, alive });
         }
@@ -216,8 +363,8 @@ impl Pool {
         }
         match shard.tx.try_send(ShardMsg::Job(req)) {
             Ok(()) => Ok(idx),
-            Err(mpsc::TrySendError::Full(_)) => Err((idx, SubmitError::QueueFull)),
-            Err(mpsc::TrySendError::Disconnected(_)) => Err((idx, SubmitError::ShardDead)),
+            Err(channel::TrySendError::Full(_)) => Err((idx, SubmitError::QueueFull)),
+            Err(channel::TrySendError::Disconnected(_)) => Err((idx, SubmitError::ShardDead)),
         }
     }
 
@@ -242,7 +389,7 @@ impl Pool {
             shard.alive.store(false, Ordering::Release);
             let _ = shard.tx.try_send(ShardMsg::Stop);
         }
-        let handles = std::mem::take(&mut *self.handles.lock().expect("pool lock"));
+        let handles = std::mem::take(&mut *self.handles.lock());
         for handle in handles {
             let _ = handle.join();
         }
@@ -250,11 +397,15 @@ impl Pool {
 }
 
 fn worker(
-    rx: mpsc::Receiver<ShardMsg>,
+    rx: channel::Receiver<ShardMsg>,
     alive: Arc<AtomicBool>,
     state: Arc<ServerState>,
     max_batch: usize,
+    checkin: Option<usize>,
 ) {
+    if let Some(id) = checkin {
+        explore::checkin(id);
+    }
     loop {
         if !alive.load(Ordering::Acquire) {
             break;
@@ -281,15 +432,32 @@ fn worker(
         }
         if alive.load(Ordering::Acquire) {
             process_batch(&state, batch);
+        } else {
+            // A batch picked up by a just-killed worker is dropped
+            // instead: the reply senders disconnect and every waiting
+            // handler answers shard-dead rather than blocking on a
+            // corpse. (The leak-killed-batch mutation keeps the batch —
+            // and the senders — alive, which is exactly the hang the
+            // model checker's deadlock detector witnesses.)
+            drop_batch(&state, batch);
         }
-        // A batch picked up by a just-killed worker is dropped instead:
-        // the reply senders disconnect and every waiting handler answers
-        // shard-dead rather than blocking on a corpse.
         if stop_after {
             break;
         }
     }
     alive.store(false, Ordering::Release);
+}
+
+#[cfg(feature = "race-mutations")]
+fn drop_batch(state: &ServerState, batch: Vec<JobRequest>) {
+    if state.mutations.leak_killed_batch {
+        state.leaked.lock().expect("leak lock").extend(batch);
+    }
+}
+
+#[cfg(not(feature = "race-mutations"))]
+fn drop_batch(_state: &ServerState, batch: Vec<JobRequest>) {
+    drop(batch);
 }
 
 /// Run one drained batch: prefetch the batch's distinct bound sets in one
@@ -368,8 +536,7 @@ fn process_batch(state: &ServerState, batch: Vec<JobRequest>) {
                     outcome: run.outcome,
                     sim: run.sim,
                 });
-                state.store.insert(job.clone());
-                state.results.insert(spec_hash, job.clone());
+                state.commit_job(spec_hash, job.clone());
                 state.jobs_completed.fetch_add(1, Ordering::Relaxed);
                 let _ = req.reply.send(ShardReply::Done(job));
             }

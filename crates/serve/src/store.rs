@@ -4,13 +4,22 @@
 //! so clients can come back for the heavyweight artifacts — the Chrome
 //! trace (`GET /jobs/<id>/trace`) and an after-the-fact lint
 //! (`GET /jobs/<id>/lint`) — without re-running anything.
+//!
+//! The job map lives behind the instrumented `parking_lot` shim so the
+//! happens-before recorder sees every insert and lookup; the labelled
+//! touchpoints make a dropped-lock mutation show up as a reported data
+//! race rather than silent corruption.
 
 use hetchol::job::{JobError, JobOutcome, JobSpec};
 use hetchol_analyze::Report;
 use hetchol_sim::SimResult;
+use parking_lot::{explore, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+/// The label the store's lock and touchpoints carry in analysis reports.
+pub const STORE_LOCK_LABEL: &str = "serve.store.jobs";
 
 /// A finished job: the spec that produced it, the wire summary, and the
 /// full simulation result when one was run.
@@ -48,13 +57,45 @@ pub struct JobStore {
     next_id: AtomicU64,
 }
 
+/// Holds the store's lock after an insert so the commit path can update
+/// the result cache while the store is still pinned — a reader holding
+/// the store lock then never observes a job in one map but not the other.
+pub struct StoreGuard<'a> {
+    _guard: MutexGuard<'a, HashMap<u64, Arc<StoredJob>>>,
+}
+
+/// The store's lock held for a multi-map read (`/stats`).
+pub struct JobsGuard<'a> {
+    guard: MutexGuard<'a, HashMap<u64, Arc<StoredJob>>>,
+}
+
+impl JobsGuard<'_> {
+    /// Number of stored jobs, under the held lock.
+    pub fn len(&self) -> usize {
+        self.guard.len()
+    }
+
+    /// Whether the store is empty, under the held lock.
+    pub fn is_empty(&self) -> bool {
+        self.guard.is_empty()
+    }
+}
+
 impl JobStore {
     /// An empty store; ids start at 1.
     pub fn new() -> JobStore {
-        JobStore {
+        let store = JobStore {
             jobs: Mutex::new(HashMap::new()),
             next_id: AtomicU64::new(1),
-        }
+        };
+        explore::label(&store.jobs, STORE_LOCK_LABEL);
+        store
+    }
+
+    /// Re-emit the lock label at the store's current address (labels are
+    /// address-keyed; see [`crate::cache::CountedCache::relabel`]).
+    pub fn relabel(&self) {
+        explore::label(&self.jobs, STORE_LOCK_LABEL);
     }
 
     /// Allocate the next job id.
@@ -64,17 +105,51 @@ impl JobStore {
 
     /// Store a finished job under its id.
     pub fn insert(&self, job: Arc<StoredJob>) {
-        self.jobs.lock().expect("store lock").insert(job.id, job);
+        let mut jobs = self.jobs.lock();
+        explore::touch(STORE_LOCK_LABEL, true);
+        jobs.insert(job.id, job);
+    }
+
+    /// Store a finished job and keep holding the store lock; the returned
+    /// guard releases it. This is the first half of the commit path
+    /// (store, then result cache, nested).
+    pub fn insert_locked(&self, job: Arc<StoredJob>) -> StoreGuard<'_> {
+        let mut jobs = self.jobs.lock();
+        explore::touch(STORE_LOCK_LABEL, true);
+        jobs.insert(job.id, job);
+        StoreGuard { _guard: jobs }
+    }
+
+    /// Store a finished job with its declared touchpoint *outside* the
+    /// critical section — the seeded `drop-store-lock` mutation. Two
+    /// shards committing concurrently through this path are a data race
+    /// the happens-before recorder reports under every real timing.
+    #[cfg(feature = "race-mutations")]
+    pub fn insert_unsynced(&self, job: Arc<StoredJob>) {
+        {
+            let mut jobs = self.jobs.lock();
+            jobs.insert(job.id, job);
+        }
+        explore::touch(STORE_LOCK_LABEL, true);
+    }
+
+    /// Lock the job map for a coherent multi-field read.
+    pub fn lock_jobs(&self) -> JobsGuard<'_> {
+        let guard = self.jobs.lock();
+        explore::touch(STORE_LOCK_LABEL, false);
+        JobsGuard { guard }
     }
 
     /// Fetch a job by id.
     pub fn get(&self, id: u64) -> Option<Arc<StoredJob>> {
-        self.jobs.lock().expect("store lock").get(&id).cloned()
+        let jobs = self.jobs.lock();
+        explore::touch(STORE_LOCK_LABEL, false);
+        jobs.get(&id).cloned()
     }
 
     /// Number of stored jobs.
     pub fn len(&self) -> usize {
-        self.jobs.lock().expect("store lock").len()
+        self.lock_jobs().len()
     }
 
     /// Whether the store is empty.

@@ -178,6 +178,12 @@ fn concurrent_identical_specs_hit_the_cache_after_warmup() {
     assert_eq!(server.state().results.hits(), 16);
     assert_eq!(server.state().results.misses(), 1);
 
+    // The counters were read in one critical section: no interleaving of
+    // the 16 concurrent lookups can tear hits/misses/gets apart.
+    let snap = server.state().results.snapshot();
+    assert_eq!(snap.hits + snap.misses, snap.gets, "torn snapshot");
+    assert_eq!(snap.gets, 17, "one counted get per POST");
+
     // The stats endpoint reports the same numbers over the wire.
     let (status, stats) = client::get(addr, "/stats").unwrap();
     assert_eq!(status, 200);
@@ -191,6 +197,11 @@ fn concurrent_identical_specs_hit_the_cache_after_warmup() {
     assert_eq!(
         results.field("misses").unwrap().as_u64().unwrap(),
         1,
+        "{stats}"
+    );
+    assert_eq!(
+        results.field("gets").unwrap().as_u64().unwrap(),
+        17,
         "{stats}"
     );
     server.shutdown();

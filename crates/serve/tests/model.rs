@@ -1,0 +1,38 @@
+//! The serve-pool model under the DPOR engine: the stock pool must
+//! exhaust its interleaving tree with no invariant violation.
+//!
+//! Full exhaustion (~59k schedules) runs in release builds — the CI
+//! `race` job and `repro race` both do it — while debug builds run a
+//! bounded prefix so `cargo test` stays quick.
+
+use hetchol_analyze::ExploreConfig;
+use hetchol_serve::model;
+
+#[cfg(debug_assertions)]
+const MAX_SCHEDULES: usize = 4_000;
+#[cfg(not(debug_assertions))]
+const MAX_SCHEDULES: usize = 200_000;
+
+#[test]
+fn stock_pool_model_explores_clean() {
+    let cfg = ExploreConfig {
+        max_schedules: MAX_SCHEDULES,
+        max_steps: 20_000,
+        sleep_sets: true,
+    };
+    let report = model::check_pool(cfg, None).expect("stock model runs");
+    assert!(
+        report.is_clean(),
+        "stock pool violated an invariant: {:?} (failures: {:?})",
+        report.violation,
+        report.failures
+    );
+    assert!(report.schedules_run > 1, "model explored only one schedule");
+    // The stock tree is ~59k schedules; release builds must cover it all.
+    #[cfg(not(debug_assertions))]
+    assert!(
+        report.exhausted,
+        "stock pool model did not exhaust in {} schedules",
+        report.schedules_run
+    );
+}
