@@ -669,11 +669,16 @@ pub enum Invariant {
     /// Serve-pool model: cache accounting balances — hits + misses equals
     /// the counted gets on every cache.
     CacheAccounting,
+    /// Serve-pool model: a job evicted from the store under memory
+    /// pressure and then requested again is reloaded from the log
+    /// backend with its identity intact — eviction must never turn an
+    /// answered job into a 404 or a different job.
+    EvictionReload,
 }
 
 impl Invariant {
     /// Every invariant, in severity-agnostic declaration order.
-    pub const ALL: [Invariant; 9] = [
+    pub const ALL: [Invariant; 10] = [
         Invariant::Deadlock,
         Invariant::RetireOnce,
         Invariant::NoExecAfterDeath,
@@ -683,6 +688,7 @@ impl Invariant {
         Invariant::AnsweredOnce,
         Invariant::NoServeAfterKill,
         Invariant::CacheAccounting,
+        Invariant::EvictionReload,
     ];
 
     /// Stable kebab-case id, used in witnesses and diagnostics.
@@ -697,6 +703,7 @@ impl Invariant {
             Invariant::AnsweredOnce => "answered-once",
             Invariant::NoServeAfterKill => "no-serve-after-kill",
             Invariant::CacheAccounting => "cache-accounting",
+            Invariant::EvictionReload => "eviction-reload",
         }
     }
 

@@ -28,9 +28,13 @@
 //! repro obs-check <file...>  # validate Chrome-trace JSON files (exit 1 on invalid)
 //! repro bench [--quick]      # execution-core throughput matrix (BENCH_sim_throughput.json)
 //! repro bench-check <fresh> <committed>  # schema + >30% regression gate (exit 1 on failures)
-//! repro serve [--addr A] [--shards N]    # run the hetchol-serve job API in the foreground
+//! repro serve [--addr A] [--shards N] [--log FILE]
+//!                            # run the hetchol-serve job API in the foreground; --log makes
+//!                            # commits durable (crash recovery + `POST /admin/drain` exits cleanly)
 //! repro storm [--addr A] [--jobs N] [--p99-limit MS] [--quick]
-//!                            # load/cache/chaos harness against the job API (exit 1 on failures)
+//!             [--keep-alive] [--disk-fault] [--kill-restart]
+//!                            # load/cache/chaos harness against the job API (exit 1 on failures);
+//!                            # the three flags add the durability legs of DESIGN.md §17
 //!
 //! Add `--csv` to print figures as CSV instead of aligned tables.
 //! Add `--obs-out <dir>` to any subcommand to also run one instrumented
@@ -57,6 +61,10 @@ struct Args {
     shards: usize,
     jobs: Option<usize>,
     p99_limit_ms: Option<u64>,
+    log: Option<std::path::PathBuf>,
+    keep_alive: bool,
+    disk_fault: bool,
+    kill_restart: bool,
     rest: Vec<String>,
 }
 
@@ -75,6 +83,10 @@ fn parse_args() -> Args {
     let mut shards = 4usize;
     let mut jobs = None;
     let mut p99_limit_ms = None;
+    let mut log = None;
+    let mut keep_alive = false;
+    let mut disk_fault = false;
+    let mut kill_restart = false;
     let mut rest = Vec::new();
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -157,6 +169,14 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| die("--p99-limit needs milliseconds")),
                 );
             }
+            "--log" => {
+                log = Some(std::path::PathBuf::from(
+                    it.next().unwrap_or_else(|| die("--log needs a file path")),
+                ));
+            }
+            "--keep-alive" => keep_alive = true,
+            "--disk-fault" => disk_fault = true,
+            "--kill-restart" => kill_restart = true,
             _ => rest.push(a),
         }
     }
@@ -177,21 +197,37 @@ fn parse_args() -> Args {
         shards,
         jobs,
         p99_limit_ms,
+        log,
+        keep_alive,
+        disk_fault,
+        kill_restart,
         rest,
     }
 }
 
-/// `repro serve`: run the job API in the foreground until killed.
+/// `repro serve`: run the job API in the foreground until killed or
+/// drained. With `--log` every commit is durable: startup recovers the
+/// longest checksummed prefix (a torn tail is a structured warning, not
+/// a crash) and `POST /admin/drain` fsyncs the log and exits cleanly.
 fn run_serve(args: &Args) -> ! {
     let addr = args.addr.clone().unwrap_or_else(|| "127.0.0.1:8790".into());
-    let config = bench::storm::serve_config(&addr, args.shards);
+    let mut config = bench::storm::serve_config(&addr, args.shards);
+    config.log_path = args.log.clone();
     match hetchol_serve::Server::start(config) {
         Ok(server) => {
-            println!("serve: listening on http://{}", server.addr());
-            println!("serve: POST /jobs  GET /jobs/<id>[/trace|/lint]  GET /health  GET /stats");
-            loop {
-                std::thread::park();
+            if let Some(report) = server.recovery() {
+                if !report.is_clean() {
+                    eprintln!("serve: WARNING torn job log tail truncated");
+                }
+                eprintln!("serve: recovery {}", report.to_json_value().render());
             }
+            println!("serve: listening on http://{}", server.addr());
+            println!(
+                "serve: POST /jobs  GET /jobs/<id>[/trace|/lint]  GET /health  GET /stats  POST /admin/drain"
+            );
+            server.wait_drained();
+            println!("serve: drained; exiting");
+            std::process::exit(0)
         }
         Err(e) => die(&format!("serve: cannot bind {addr}: {e}")),
     }
@@ -207,6 +243,9 @@ fn run_storm(args: &Args) -> ! {
     };
     opts.addr = args.addr.clone();
     opts.json = args.json;
+    opts.keep_alive = args.keep_alive;
+    opts.disk_fault = args.disk_fault;
+    opts.kill_restart = args.kill_restart;
     if let Some(jobs) = args.jobs {
         opts.jobs = jobs;
     }
@@ -504,11 +543,15 @@ fn main() {
                  \u{20}            obs-check <file...>  (validate Chrome-trace JSON; exit 1 on invalid)\n\
                  \u{20}            bench [--quick]  (execution-core throughput matrix; --json for the committed schema)\n\
                  \u{20}            bench-check <fresh> <committed>  (schema + regression gate; exit 1 on failures)\n\
-                 \u{20}            serve [--addr A] [--shards N]  (run the hetchol-serve job API in the foreground)\n\
+                 \u{20}            serve [--addr A] [--shards N] [--log FILE]\n\
+                 \u{20}               (run the hetchol-serve job API in the foreground; --log makes commits\n\
+                 \u{20}                durable with crash recovery, and POST /admin/drain exits cleanly)\n\
                  \u{20}            storm [--addr A] [--jobs N] [--p99-limit MS] [--quick]\n\
-                 \u{20}               (load/cache/chaos harness against the job API; exit 1 on failed assertions)\n\
+                 \u{20}                  [--keep-alive] [--disk-fault] [--kill-restart]\n\
+                 \u{20}               (load/cache/chaos harness against the job API; exit 1 on failed\n\
+                 \u{20}                assertions; the three flags add the durability legs of DESIGN.md §17)\n\
                  flags: --csv  --json  --analyze  --quick  --cp-budget <iters>  --seed <n>  --obs-out <dir>\n\
-                 \u{20}      --addr <host:port>  --shards <n>  --jobs <n>  --p99-limit <ms>\n\
+                 \u{20}      --addr <host:port>  --shards <n>  --jobs <n>  --p99-limit <ms>  --log <file>\n\
                  conventions:\n\
                  \u{20} exit codes: 0 = success, 1 = findings/failures (analyze, chaos, mc, race,\n\
                  \u{20}             certify, obs-check, bench-check, storm), 2 = usage error\n\

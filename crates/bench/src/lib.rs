@@ -1785,12 +1785,12 @@ fn race_job(id: u64, seed: u64) -> (u64, std::sync::Arc<hetchol_serve::store::St
     let run = spec
         .run_with_bounds(None)
         .expect("a stock cholesky(2) simulation cannot fail");
-    let job = std::sync::Arc::new(hetchol_serve::store::StoredJob {
+    let job = std::sync::Arc::new(hetchol_serve::store::StoredJob::fresh(
         id,
         spec,
-        outcome: run.outcome,
-        sim: run.sim,
-    });
+        run.outcome,
+        run.sim,
+    ));
     (hash, job)
 }
 

@@ -1,0 +1,26 @@
+//! End-to-end durability storm: the disk-fault and kill-restart legs
+//! driven through the real `repro` binary — the same `serve --log`
+//! child process CI spawns, SIGKILLed mid-storm and restarted on its
+//! own log. The keep-alive leg's p99 assertion is timing-sensitive, so
+//! it runs in CI's durability job (sequential, release) rather than
+//! here under the parallel test harness.
+
+use hetchol_bench::{storm, StormOptions};
+
+#[test]
+fn disk_fault_and_kill_restart_legs_pass_against_the_built_binary() {
+    let opts = StormOptions {
+        jobs: 8,
+        disk_fault: true,
+        kill_restart: true,
+        serve_exe: Some(std::path::PathBuf::from(env!("CARGO_BIN_EXE_repro"))),
+        ..StormOptions::full()
+    };
+    let (report, failures) = storm(&opts);
+    assert_eq!(failures, 0, "{report}");
+    assert!(report.contains("all assertions passed"), "{report}");
+    assert!(
+        report.contains("bitwise-identical after restart"),
+        "{report}"
+    );
+}

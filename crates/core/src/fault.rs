@@ -371,6 +371,175 @@ fn splitmix64(state: &mut u64) -> u64 {
 }
 
 // ---------------------------------------------------------------------------
+// Disk fault injection
+// ---------------------------------------------------------------------------
+
+/// One injected I/O fault against an append-only log.
+///
+/// Counters are 1-based and count *operations on the faulted backend*:
+/// `append: 3` afflicts the third append since the backend was wrapped.
+/// The vocabulary mirrors [`Fault`]: a short write is the disk's
+/// transient, a flush failure its timeout, disk-full its permanent death.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum IoFault {
+    /// The `append`-th append persists only `keep` bytes of its buffer,
+    /// then errors — the torn-record generator.
+    ShortWrite {
+        /// Which append (1-based) is cut short.
+        append: u64,
+        /// How many leading bytes still reach the disk.
+        keep: usize,
+    },
+    /// The `flush`-th flush/fsync fails (the data may or may not be
+    /// durable; a correct log must treat it as not).
+    FlushFail {
+        /// Which flush (1-based) fails.
+        flush: u64,
+    },
+    /// Every append once the log has reached `at_bytes` bytes fails with
+    /// "no space left" and writes nothing.
+    DiskFull {
+        /// Log size in bytes at which the disk is full.
+        at_bytes: u64,
+    },
+}
+
+impl fmt::Display for IoFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            IoFault::ShortWrite { append, keep } => {
+                write!(f, "short-write(append {append}, keep {keep}B)")
+            }
+            IoFault::FlushFail { flush } => write!(f, "flush-fail(flush {flush})"),
+            IoFault::DiskFull { at_bytes } => write!(f, "disk-full(at {at_bytes}B)"),
+        }
+    }
+}
+
+impl IoFault {
+    /// The wire shape of one I/O fault:
+    /// `{"kind":"short_write","append":N,"keep":K}`,
+    /// `{"kind":"flush_fail","flush":N}` or
+    /// `{"kind":"disk_full","at_bytes":N}`.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue as J;
+        match *self {
+            IoFault::ShortWrite { append, keep } => J::Obj(vec![
+                ("kind".into(), J::str("short_write")),
+                ("append".into(), J::uint(append)),
+                ("keep".into(), J::uint(keep as u64)),
+            ]),
+            IoFault::FlushFail { flush } => J::Obj(vec![
+                ("kind".into(), J::str("flush_fail")),
+                ("flush".into(), J::uint(flush)),
+            ]),
+            IoFault::DiskFull { at_bytes } => J::Obj(vec![
+                ("kind".into(), J::str("disk_full")),
+                ("at_bytes".into(), J::uint(at_bytes)),
+            ]),
+        }
+    }
+
+    /// Parse the wire shape emitted by [`IoFault::to_json_value`].
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<IoFault, String> {
+        match v.field("kind")?.as_str()? {
+            "short_write" => Ok(IoFault::ShortWrite {
+                append: v.field("append")?.as_u64()?,
+                keep: v.field("keep")?.as_u64()? as usize,
+            }),
+            "flush_fail" => Ok(IoFault::FlushFail {
+                flush: v.field("flush")?.as_u64()?,
+            }),
+            "disk_full" => Ok(IoFault::DiskFull {
+                at_bytes: v.field("at_bytes")?.as_u64()?,
+            }),
+            other => Err(format!("unknown io fault kind {other:?}")),
+        }
+    }
+}
+
+/// A deterministic disk-fault plan for the serve layer's job log: the
+/// I/O twin of [`FaultPlan`]. Plans are plain values consumed through a
+/// fault-injecting log backend; an empty plan injects nothing.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct IoFaultPlan {
+    faults: Vec<IoFault>,
+}
+
+impl IoFaultPlan {
+    /// The empty plan.
+    pub fn new() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// Alias for [`IoFaultPlan::new`] at call sites that opt out.
+    pub fn none() -> IoFaultPlan {
+        IoFaultPlan::default()
+    }
+
+    /// `true` when no faults are planned.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[IoFault] {
+        &self.faults
+    }
+
+    /// Add a short write: the `append`-th append keeps only `keep` bytes.
+    pub fn short_write(mut self, append: u64, keep: usize) -> IoFaultPlan {
+        self.faults.push(IoFault::ShortWrite { append, keep });
+        self
+    }
+
+    /// Add a flush failure on the `flush`-th flush.
+    pub fn flush_fail(mut self, flush: u64) -> IoFaultPlan {
+        self.faults.push(IoFault::FlushFail { flush });
+        self
+    }
+
+    /// Declare the disk full once the log reaches `at_bytes` bytes.
+    pub fn disk_full(mut self, at_bytes: u64) -> IoFaultPlan {
+        self.faults.push(IoFault::DiskFull { at_bytes });
+        self
+    }
+
+    /// A deterministic pseudo-random plan derived from `seed` alone
+    /// (same splitmix64 stream as [`FaultPlan::seeded`]), scaled so the
+    /// faults land within a log of roughly `expected_appends` records:
+    /// exactly one fault per plan, so a chaos matrix over seeds covers
+    /// each kind and each kind's degradation is observable in isolation.
+    pub fn seeded(seed: u64, expected_appends: u64) -> IoFaultPlan {
+        let mut state = seed ^ 0xd15c_fa17_0c8a_05e5;
+        let mut next = move || splitmix64(&mut state);
+        let appends = expected_appends.max(1);
+        match next() % 3 {
+            0 => IoFaultPlan::new().short_write(1 + next() % appends, (next() % 16) as usize),
+            1 => IoFaultPlan::new().flush_fail(1 + next() % appends),
+            // Records are a few hundred bytes; a kilobyte-scale threshold
+            // fills the disk a handful of appends in.
+            _ => IoFaultPlan::new().disk_full(256 + next() % 4096),
+        }
+    }
+
+    /// The plan as a JSON array of [`IoFault::to_json_value`] shapes.
+    pub fn to_json_value(&self) -> crate::json::JsonValue {
+        crate::json::JsonValue::Arr(self.faults.iter().map(IoFault::to_json_value).collect())
+    }
+
+    /// Parse a plan serialized by [`IoFaultPlan::to_json_value`].
+    pub fn from_json_value(v: &crate::json::JsonValue) -> Result<IoFaultPlan, String> {
+        let faults = v
+            .as_arr()?
+            .iter()
+            .map(IoFault::from_json_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(IoFaultPlan { faults })
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Retry policy
 // ---------------------------------------------------------------------------
 
@@ -1047,5 +1216,34 @@ mod tests {
             .faults()
             .iter()
             .any(|f| matches!(f, Fault::WorkerDeath { .. }))));
+    }
+
+    #[test]
+    fn io_fault_plans_round_trip_and_seed_deterministically() {
+        let plan = IoFaultPlan::new()
+            .short_write(3, 11)
+            .flush_fail(2)
+            .disk_full(4096);
+        let back = IoFaultPlan::from_json_value(&plan.to_json_value()).expect("round trip");
+        assert_eq!(plan, back);
+        assert_eq!(
+            plan.to_json_value().render(),
+            r#"[{"kind":"short_write","append":3,"keep":11},{"kind":"flush_fail","flush":2},{"kind":"disk_full","at_bytes":4096}]"#
+        );
+
+        // Seeded plans are pure functions of the seed, carry exactly one
+        // fault, and a few seeds cover every kind.
+        assert_eq!(IoFaultPlan::seeded(9, 50), IoFaultPlan::seeded(9, 50));
+        let mut kinds = std::collections::BTreeSet::new();
+        for seed in 0..32 {
+            let plan = IoFaultPlan::seeded(seed, 50);
+            assert_eq!(plan.faults().len(), 1, "{plan:?}");
+            kinds.insert(match plan.faults()[0] {
+                IoFault::ShortWrite { .. } => "short-write",
+                IoFault::FlushFail { .. } => "flush-fail",
+                IoFault::DiskFull { .. } => "disk-full",
+            });
+        }
+        assert_eq!(kinds.len(), 3, "32 seeds cover the matrix: {kinds:?}");
     }
 }

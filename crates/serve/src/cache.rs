@@ -1,4 +1,5 @@
-//! Content-hash caches with observable hit/miss accounting.
+//! Content-hash caches with observable hit/miss accounting and bounded
+//! memory.
 //!
 //! Every cache in the serving layer is keyed by a 64-bit FNV content hash
 //! ([`hetchol_core::hash::ContentHasher`]) and stores `Arc`'d values so a
@@ -12,21 +13,98 @@
 //! ([`CountedCache::snapshot`]) — the `/stats` torn-read bug class is
 //! structurally gone, and every access is visible to the happens-before
 //! recorder and the model checker through the `parking_lot` compat shim.
+//!
+//! Caches built with [`CountedCache::with_caps`] are bounded: an entry
+//! cap and an approximate byte cap (through a caller-supplied weigher)
+//! evict least-recently-used entries on insert, with evictions counted
+//! in the same snapshot. Values are pure functions of their keys, so an
+//! eviction only ever costs recomputation, never correctness.
 
 use parking_lot::{explore, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::Arc;
 
+fn zero_weight<V>(_: &V) -> usize {
+    0
+}
+
+struct Entry<V> {
+    value: Arc<V>,
+    last_used: u64,
+    weight: usize,
+}
+
 struct Inner<V> {
-    map: HashMap<u64, Arc<V>>,
+    map: HashMap<u64, Entry<V>>,
     hits: u64,
     misses: u64,
     gets: u64,
+    bytes: usize,
+    clock: u64,
+    evicted: u64,
+    evicted_bytes: u64,
 }
 
-/// A hash-keyed map with hit/miss accounting under a single lock.
+impl<V> Inner<V> {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn touch_entry(&mut self, key: u64) -> Option<Arc<V>> {
+        let stamp = self.tick();
+        let entry = self.map.get_mut(&key)?;
+        entry.last_used = stamp;
+        Some(entry.value.clone())
+    }
+
+    fn insert_weighed(&mut self, key: u64, value: Arc<V>, weight: usize) {
+        let stamp = self.tick();
+        if let Some(old) = self.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: stamp,
+                weight,
+            },
+        ) {
+            self.bytes -= old.weight;
+        }
+        self.bytes += weight;
+    }
+
+    /// Evict least-recently-used entries until under both caps
+    /// (0 = unbounded). At least one entry always survives, so a single
+    /// oversized value cannot wedge the cache into thrashing emptiness.
+    fn evict_over(&mut self, max_entries: usize, max_bytes: usize) {
+        while self.map.len() > 1
+            && ((max_entries > 0 && self.map.len() > max_entries)
+                || (max_bytes > 0 && self.bytes > max_bytes))
+        {
+            let Some(&lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k)
+            else {
+                break;
+            };
+            if let Some(gone) = self.map.remove(&lru) {
+                self.bytes -= gone.weight;
+                self.evicted += 1;
+                self.evicted_bytes += gone.weight as u64;
+            }
+        }
+    }
+}
+
+/// A hash-keyed map with hit/miss accounting under a single lock,
+/// optionally bounded by entry count and approximate bytes (LRU).
 pub struct CountedCache<V> {
     name: &'static str,
+    max_entries: usize,
+    max_bytes: usize,
+    weigher: fn(&V) -> usize,
     inner: Mutex<Inner<V>>,
 }
 
@@ -41,6 +119,12 @@ pub struct CacheSnapshot {
     pub gets: u64,
     /// Entries currently cached.
     pub entries: usize,
+    /// Approximate bytes currently cached (0 on unweighed caches).
+    pub bytes: usize,
+    /// Entries evicted over the cache's lifetime.
+    pub evicted: u64,
+    /// Approximate bytes those evictions released.
+    pub evicted_bytes: u64,
 }
 
 /// Holds a cache's lock across an insert, so a caller can pin the cache
@@ -48,6 +132,9 @@ pub struct CacheSnapshot {
 /// uses this; stock code never holds it across another acquisition).
 pub struct CommitGuard<'a, V> {
     name: &'static str,
+    max_entries: usize,
+    max_bytes: usize,
+    weigher: fn(&V) -> usize,
     guard: MutexGuard<'a, Inner<V>>,
 }
 
@@ -55,25 +142,47 @@ impl<V> CommitGuard<'_, V> {
     /// Insert under the already-held lock.
     pub fn insert(&mut self, key: u64, value: Arc<V>) {
         explore::touch(self.name, true);
-        self.guard.map.insert(key, value);
+        let weight = (self.weigher)(&value);
+        self.guard.insert_weighed(key, value, weight);
+        self.guard.evict_over(self.max_entries, self.max_bytes);
     }
 }
 
 impl<V> CountedCache<V> {
-    /// An empty, anonymously named cache.
+    /// An empty, anonymously named, unbounded cache.
     pub fn new() -> CountedCache<V> {
         CountedCache::named("cache")
     }
 
-    /// An empty cache whose lock is labelled `name` in analysis reports.
+    /// An empty unbounded cache whose lock is labelled `name` in
+    /// analysis reports.
     pub fn named(name: &'static str) -> CountedCache<V> {
+        CountedCache::with_caps(name, 0, 0, zero_weight)
+    }
+
+    /// An empty cache bounded to `max_entries` entries and `max_bytes`
+    /// approximate bytes (0 = unbounded for either), with `weigher`
+    /// assessing each value's bytes at insert time.
+    pub fn with_caps(
+        name: &'static str,
+        max_entries: usize,
+        max_bytes: usize,
+        weigher: fn(&V) -> usize,
+    ) -> CountedCache<V> {
         let cache = CountedCache {
             name,
+            max_entries,
+            max_bytes,
+            weigher,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
                 hits: 0,
                 misses: 0,
                 gets: 0,
+                bytes: 0,
+                clock: 0,
+                evicted: 0,
+                evicted_bytes: 0,
             }),
         };
         explore::label(&cache.inner, name);
@@ -90,12 +199,12 @@ impl<V> CountedCache<V> {
 
     /// Counting lookup: bumps `gets` plus the hit or miss counter, all in
     /// one critical section. Use on request paths, where the counter
-    /// answers "did caching help this client?".
+    /// answers "did caching help this client?". Hits refresh recency.
     pub fn get(&self, key: u64) -> Option<Arc<V>> {
         let mut inner = self.inner.lock();
         explore::touch(self.name, true);
         inner.gets += 1;
-        let found = inner.map.get(&key).cloned();
+        let found = inner.touch_entry(key);
         match &found {
             Some(_) => inner.hits += 1,
             None => inner.misses += 1,
@@ -105,25 +214,32 @@ impl<V> CountedCache<V> {
 
     /// Non-counting lookup. Use for internal dedup (a shard re-checking
     /// the result cache before recomputing), which should not skew the
-    /// client-facing counters.
+    /// client-facing counters. Still refreshes recency — a peeked entry
+    /// is a used entry.
     pub fn peek(&self, key: u64) -> Option<Arc<V>> {
-        let inner = self.inner.lock();
-        explore::touch(self.name, false);
-        inner.map.get(&key).cloned()
+        let mut inner = self.inner.lock();
+        explore::touch(self.name, true);
+        inner.touch_entry(key)
     }
 
     /// Insert (last writer wins; values are pure functions of the key, so
-    /// racing writers insert identical results).
+    /// racing writers insert identical results), evicting LRU entries
+    /// past the caps.
     pub fn insert(&self, key: u64, value: Arc<V>) {
         let mut inner = self.inner.lock();
         explore::touch(self.name, true);
-        inner.map.insert(key, value);
+        let weight = (self.weigher)(&value);
+        inner.insert_weighed(key, value, weight);
+        inner.evict_over(self.max_entries, self.max_bytes);
     }
 
     /// Lock the cache and return a guard for inserting while held.
     pub fn begin_commit(&self) -> CommitGuard<'_, V> {
         CommitGuard {
             name: self.name,
+            max_entries: self.max_entries,
+            max_bytes: self.max_bytes,
+            weigher: self.weigher,
             guard: self.inner.lock(),
         }
     }
@@ -137,6 +253,9 @@ impl<V> CountedCache<V> {
             misses: inner.misses,
             gets: inner.gets,
             entries: inner.map.len(),
+            bytes: inner.bytes,
+            evicted: inner.evicted,
+            evicted_bytes: inner.evicted_bytes,
         }
     }
 
@@ -200,7 +319,37 @@ mod tests {
                 misses: 1,
                 gets: 2,
                 entries: 1,
+                bytes: 0,
+                evicted: 0,
+                evicted_bytes: 0,
             }
         );
+    }
+
+    #[test]
+    fn entry_cap_evicts_least_recently_used() {
+        let cache = CountedCache::<u32>::with_caps("test.lru", 2, 0, zero_weight);
+        cache.insert(1, Arc::new(10));
+        cache.insert(2, Arc::new(20));
+        cache.get(1); // 2 is now the LRU entry.
+        cache.insert(3, Arc::new(30));
+        assert!(cache.peek(2).is_none(), "LRU entry evicted");
+        assert!(cache.peek(1).is_some() && cache.peek(3).is_some());
+        let snap = cache.snapshot();
+        assert_eq!((snap.entries, snap.evicted), (2, 1));
+    }
+
+    #[test]
+    fn byte_cap_evicts_by_weight_but_keeps_one_entry() {
+        let cache = CountedCache::<Vec<u8>>::with_caps("test.bytes", 0, 10, |v| v.len());
+        cache.insert(1, Arc::new(vec![0; 6]));
+        cache.insert(2, Arc::new(vec![0; 6])); // 12 bytes > 10: evict key 1.
+        let snap = cache.snapshot();
+        assert_eq!((snap.entries, snap.bytes), (1, 6));
+        assert_eq!((snap.evicted, snap.evicted_bytes), (1, 6));
+        // One oversized value survives alone instead of thrashing.
+        cache.insert(3, Arc::new(vec![0; 64]));
+        assert_eq!(cache.snapshot().entries, 1);
+        assert!(cache.peek(3).is_some());
     }
 }

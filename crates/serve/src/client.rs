@@ -1,44 +1,41 @@
 //! A blocking HTTP client for the job API — used by the integration
 //! tests and `repro storm`; small enough to read in one sitting.
+//!
+//! Two entry points: the one-shot [`request`] (connect, ask, close) and
+//! the persistent [`Conn`], which keeps its socket open across requests
+//! under HTTP/1.1 keep-alive. Both read response bodies by `Content-
+//! Length` exactly — never read-to-EOF, which on a kept-alive connection
+//! would block until the server's idle timeout and then swallow the next
+//! response's bytes.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
-/// Issue one request and read the full response. Returns the status code
-/// and the body.
-pub fn request(
-    addr: SocketAddr,
-    method: &str,
-    path: &str,
-    body: &str,
-) -> io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(60)))?;
-    stream.set_write_timeout(Some(Duration::from_secs(60)))?;
-    let head = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len(),
-    );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()?;
+fn bad_data(detail: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, detail)
+}
 
-    let mut reader = BufReader::new(stream);
+/// Read one response off the wire: status, body, and whether the server
+/// will keep the connection open. The body is read to its exact
+/// `Content-Length`; a response without one is read to EOF and treated
+/// as closing.
+fn read_response(reader: &mut BufReader<TcpStream>) -> io::Result<(u16, String, bool)> {
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a status line",
+        ));
+    }
     let status = status_line
         .split_whitespace()
         .nth(1)
         .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad status line {status_line:?}"),
-            )
-        })?;
+        .ok_or_else(|| bad_data(format!("bad status line {status_line:?}")))?;
 
     let mut content_length: Option<usize> = None;
+    let mut keep_alive = !status_line.starts_with("HTTP/1.0");
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -51,6 +48,8 @@ pub fn request(
         if let Some((name, value)) = line.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse::<usize>().ok();
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.trim().eq_ignore_ascii_case("close");
             }
         }
     }
@@ -60,13 +59,124 @@ pub fn request(
         Some(n) => {
             let mut buf = vec![0u8; n];
             reader.read_exact(&mut buf)?;
-            body = String::from_utf8(buf)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+            body = String::from_utf8(buf).map_err(|_| bad_data("non-UTF-8 body".into()))?;
         }
         None => {
             reader.read_to_string(&mut body)?;
+            keep_alive = false;
         }
     }
+    Ok((status, body, keep_alive))
+}
+
+fn write_request(
+    stream: &mut TcpStream,
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write per request — see `http::write_response` for why the
+    // head and body must not go out as two small segments.
+    let mut message = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+        body.len(),
+    );
+    message.push_str(body);
+    stream.write_all(message.as_bytes())?;
+    stream.flush()
+}
+
+fn connect(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(timeout))?;
+    stream.set_write_timeout(Some(timeout))?;
+    stream.set_nodelay(true)?;
+    Ok(stream)
+}
+
+/// A persistent connection to the job API, reused across requests under
+/// keep-alive. Reconnects transparently when the server closed the
+/// previous exchange (idle timeout, request cap, or `Connection: close`).
+pub struct Conn {
+    addr: SocketAddr,
+    timeout: Duration,
+    reader: Option<BufReader<TcpStream>>,
+    reused: u64,
+}
+
+impl Conn {
+    /// A connection handle to `addr` (the socket opens on first use).
+    pub fn new(addr: SocketAddr) -> Conn {
+        Conn {
+            addr,
+            timeout: Duration::from_secs(60),
+            reader: None,
+            reused: 0,
+        }
+    }
+
+    /// Exchanges that reused an already-open socket (for asserting that
+    /// keep-alive actually kept the connection alive).
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+
+    /// Issue one request on the persistent connection and read the full
+    /// response. A send failure on a reused socket (the server closed it
+    /// between requests) retries once on a fresh connection.
+    pub fn request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let had_socket = self.reader.is_some();
+        match self.try_request(method, path, body) {
+            Ok(done) => Ok(done),
+            Err(err) if had_socket => {
+                // A stale kept-alive socket: reconnect and retry once.
+                self.reader = None;
+                let _ = err;
+                self.try_request(method, path, body)
+            }
+            Err(err) => Err(err),
+        }
+    }
+
+    fn try_request(&mut self, method: &str, path: &str, body: &str) -> io::Result<(u16, String)> {
+        let reused = self.reader.is_some();
+        if self.reader.is_none() {
+            self.reader = Some(BufReader::new(connect(self.addr, self.timeout)?));
+        }
+        let reader = self.reader.as_mut().expect("just ensured");
+        write_request(reader.get_mut(), self.addr, method, path, body, true)?;
+        let (status, body, keep) = match read_response(reader) {
+            Ok(done) => done,
+            Err(err) => {
+                self.reader = None;
+                return Err(err);
+            }
+        };
+        if reused {
+            self.reused += 1;
+        }
+        if !keep {
+            self.reader = None;
+        }
+        Ok((status, body))
+    }
+}
+
+/// Issue one request on a fresh connection and read the full response.
+/// Returns the status code and the body.
+pub fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(u16, String)> {
+    let mut stream = connect(addr, Duration::from_secs(60))?;
+    write_request(&mut stream, addr, method, path, body, false)?;
+    let mut reader = BufReader::new(stream);
+    let (status, body, _keep) = read_response(&mut reader)?;
     Ok((status, body))
 }
 

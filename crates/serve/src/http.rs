@@ -1,11 +1,17 @@
 //! A deliberately small HTTP/1.1 subset over [`std::net`].
 //!
-//! The job API needs exactly four things from HTTP: a method, a path, a
-//! body, and a status line back — no keep-alive, no chunked encoding, no
-//! content negotiation. Hand-rolling that subset keeps the workspace free
-//! of external dependencies and keeps every byte on the wire auditable.
-//! Responses always carry `Connection: close`; one request per connection
-//! is the protocol.
+//! The job API needs exactly five things from HTTP: a method, a path, a
+//! body, a status line back, and connection reuse — no chunked encoding,
+//! no content negotiation. Hand-rolling that subset keeps the workspace
+//! free of external dependencies and keeps every byte on the wire
+//! auditable.
+//!
+//! Persistence follows HTTP/1.1 semantics: connections stay open by
+//! default, `Connection: close` (or an HTTP/1.0 request without
+//! `Connection: keep-alive`) opts out, and every response states its
+//! disposition explicitly. The server additionally closes on idle
+//! timeout and after a per-connection request cap — both are transport
+//! hygiene, invisible to a conforming client.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -17,7 +23,7 @@ pub const MAX_BODY: usize = 1 << 20;
 /// Largest accepted request-line or header line.
 pub const MAX_LINE: usize = 8 * 1024;
 
-/// A parsed request: just the routing triple.
+/// A parsed request: the routing triple plus connection disposition.
 #[derive(Debug)]
 pub struct Request {
     /// `GET`, `POST`, ...
@@ -26,6 +32,10 @@ pub struct Request {
     pub path: String,
     /// The request body (empty when no `Content-Length` was sent).
     pub body: String,
+    /// Whether the client asked to keep the connection open: HTTP/1.1
+    /// unless `Connection: close`, HTTP/1.0 only with
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 /// Why a request could not be parsed into a [`Request`].
@@ -33,7 +43,7 @@ pub struct Request {
 pub enum ReadError {
     /// The peer closed the connection before sending a request line.
     Eof,
-    /// Transport-level failure (timeouts surface here).
+    /// Transport-level failure (idle timeouts surface here).
     Io(io::Error),
     /// The bytes were not the HTTP subset we speak; the detail is safe to
     /// echo into a 400 body.
@@ -84,6 +94,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
             "unsupported protocol {version:?}"
         )));
     }
+    let mut keep_alive = version != "HTTP/1.0";
 
     let mut content_length = 0usize;
     loop {
@@ -104,6 +115,13 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
                     "body of {content_length} bytes exceeds the {MAX_BODY}-byte limit"
                 )));
             }
+        } else if name.eq_ignore_ascii_case("connection") {
+            let value = value.trim();
+            if value.eq_ignore_ascii_case("close") {
+                keep_alive = false;
+            } else if value.eq_ignore_ascii_case("keep-alive") {
+                keep_alive = true;
+            }
         }
     }
 
@@ -111,7 +129,12 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
     reader.read_exact(&mut body).map_err(ReadError::Io)?;
     let body = String::from_utf8(body)
         .map_err(|_| ReadError::Malformed("request body is not UTF-8".into()))?;
-    Ok(Request { method, path, body })
+    Ok(Request {
+        method,
+        path,
+        body,
+        keep_alive,
+    })
 }
 
 /// The reason phrase for the handful of statuses the API uses.
@@ -126,15 +149,24 @@ pub fn reason(status: u16) -> &'static str {
     }
 }
 
-/// Write a complete `application/json` response and flush it. Every
-/// response closes the connection.
-pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+/// Write a complete `application/json` response and flush it, stating
+/// whether the connection stays open.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    keep_alive: bool,
+) -> io::Result<()> {
+    let connection = if keep_alive { "keep-alive" } else { "close" };
+    // One write per response: a head-then-body pair of small writes
+    // interacts with Nagle + delayed ACK on a kept-alive socket (the
+    // second segment waits out the peer's ~40ms ACK timer).
+    let mut message = format!(
+        "HTTP/1.1 {status} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
         reason(status),
         body.len(),
     );
-    stream.write_all(head.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
+    message.push_str(body);
+    stream.write_all(message.as_bytes())?;
     stream.flush()
 }

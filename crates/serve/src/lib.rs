@@ -10,9 +10,21 @@
 //! GET  /jobs/<id>/trace         the run's Chrome about:tracing document
 //! GET  /jobs/<id>/lint          lint the stored trace on demand
 //! GET  /health                  liveness probe
-//! GET  /stats                   counters: cache hits, sheds, batching
+//! GET  /stats                   counters: cache hits, sheds, evictions
 //! POST /admin/shards/<i>/kill   chaos: stop one shard's worker
+//! POST /admin/drain             graceful drain: finish queued jobs,
+//!                               fsync the log, stop taking new ones
 //! ```
+//!
+//! Connections are kept alive per HTTP/1.1 (with an idle timeout and a
+//! per-connection request cap); `Connection: close` opts out. With a
+//! [`ServeConfig::log_path`], every committed job is appended to a
+//! crash-safe [`wal::JobLog`] before its response is sent, startup
+//! replays the log (truncating a torn tail with a structured
+//! [`wal::RecoveryReport`], never a crash), and a restarted server
+//! re-serves `GET /jobs/<id>/trace` bitwise-identical. A log that stops
+//! accepting writes flips the server read-only: stored jobs still serve,
+//! new submissions answer 503 `store-unavailable`.
 //!
 //! Requests route by spec content hash to a sharded worker pool
 //! ([`pool`]); each shard drains its bounded queue in batches so bound
@@ -51,18 +63,21 @@ pub mod http;
 pub mod model;
 pub mod pool;
 pub mod store;
+pub mod wal;
 
 use hetchol::job::{outcome_to_json, JobError, JobSpec};
-use hetchol_core::fault::RunOutcome;
+use hetchol_core::fault::{IoFaultPlan, RunOutcome};
 use hetchol_core::json::{parse_json, JsonValue};
 use parking_lot::channel;
-use pool::{JobRequest, Pool, ServerState, ShardReply, SubmitError};
+use pool::{JobRequest, Pool, ServerState, ShardReply, StateOptions, SubmitError};
 use std::io::{self};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
+use wal::{JobLog, RecoveryReport};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -80,6 +95,25 @@ pub struct ServeConfig {
     /// Largest accepted matrix size in tiles; bigger specs answer 400
     /// `over-budget` instead of monopolizing a worker.
     pub max_n: usize,
+    /// Path of the append-only job log. `None` runs in-RAM: nothing
+    /// persists, nothing evicts, a restart starts empty.
+    pub log_path: Option<PathBuf>,
+    /// Seeded I/O faults injected into the log's backend (chaos testing;
+    /// only takes effect with a `log_path`).
+    pub io_faults: IoFaultPlan,
+    /// Close kept-alive connections idle this long.
+    pub idle_timeout_ms: u64,
+    /// Close kept-alive connections after this many requests.
+    pub max_requests_per_conn: usize,
+    /// Max jobs resident in the store; colder persisted jobs evict to
+    /// the log and reload on demand (0 = unbounded).
+    pub max_resident_jobs: usize,
+    /// Max approximate bytes resident in the store (0 = unbounded).
+    pub max_resident_bytes: usize,
+    /// Max entries in the result cache (0 = unbounded).
+    pub results_max_entries: usize,
+    /// Max approximate bytes in the result cache (0 = unbounded).
+    pub results_max_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +125,14 @@ impl Default for ServeConfig {
             max_batch: 8,
             default_budget_ms: 30_000,
             max_n: 64,
+            log_path: None,
+            io_faults: IoFaultPlan::none(),
+            idle_timeout_ms: 5_000,
+            max_requests_per_conn: 1_000,
+            max_resident_jobs: 0,
+            max_resident_bytes: 0,
+            results_max_entries: 0,
+            results_max_bytes: 0,
         }
     }
 }
@@ -99,6 +141,35 @@ struct Ctx {
     config: ServeConfig,
     state: Arc<ServerState>,
     pool: Pool,
+    /// Cleared by the first drain; a false value sheds new submissions
+    /// with 503 `draining` while queued work finishes.
+    accepting: AtomicBool,
+    /// Set (under `drained`/`drained_cv`) once the pool has drained and
+    /// the log is synced.
+    drained: StdMutex<bool>,
+    drained_cv: Condvar,
+}
+
+impl Ctx {
+    /// Drain once, idempotently: the first caller stops new submissions,
+    /// waits for every queued job to be answered, fsyncs the log, and
+    /// signals; later callers just wait for that to finish.
+    fn drain(&self) {
+        if self.accepting.swap(false, Ordering::SeqCst) {
+            self.pool.drain();
+            if let Some(log) = &self.state.log {
+                let _ = log.sync();
+            }
+            let mut done = self.drained.lock().expect("drained flag");
+            *done = true;
+            self.drained_cv.notify_all();
+        } else {
+            let mut done = self.drained.lock().expect("drained flag");
+            while !*done {
+                done = self.drained_cv.wait(done).expect("drained flag");
+            }
+        }
+    }
 }
 
 /// A running server. Dropping it does **not** stop the threads; call
@@ -108,14 +179,35 @@ pub struct Server {
     ctx: Arc<Ctx>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    recovery: Option<RecoveryReport>,
 }
 
 impl Server {
-    /// Bind, start the worker pool and the acceptor thread, and return.
+    /// Bind, replay the job log (when configured), start the worker pool
+    /// and the acceptor thread, and return. A torn log tail is truncated
+    /// and reported through [`Server::recovery`] — never a startup
+    /// failure; only an unopenable log file errors here.
     pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState::new());
+
+        let (log, recovered, recovery) = match &config.log_path {
+            Some(path) => {
+                let (log, records, report) = JobLog::open(path, &config.io_faults)?;
+                (Some(Arc::new(log)), records, Some(report))
+            }
+            None => (None, Vec::new(), None),
+        };
+        let state = Arc::new(ServerState::with_options(StateOptions {
+            log,
+            max_resident_jobs: config.max_resident_jobs,
+            max_resident_bytes: config.max_resident_bytes,
+            results_max_entries: config.results_max_entries,
+            results_max_bytes: config.results_max_bytes,
+        }));
+        state.store.recover(&recovered);
+        drop(recovered);
+
         let pool = Pool::start(
             config.shards,
             config.queue_depth,
@@ -126,6 +218,9 @@ impl Server {
             config,
             state,
             pool,
+            accepting: AtomicBool::new(true),
+            drained: StdMutex::new(false),
+            drained_cv: Condvar::new(),
         });
         let stop = Arc::new(AtomicBool::new(false));
         let acceptor_ctx = ctx.clone();
@@ -146,6 +241,7 @@ impl Server {
             ctx,
             stop,
             acceptor: Some(acceptor),
+            recovery,
         })
     }
 
@@ -159,14 +255,36 @@ impl Server {
         &self.ctx.state
     }
 
+    /// What startup log replay found (`None` without a log). A torn tail
+    /// shows up here as [`RecoveryReport::torn`], already truncated.
+    pub fn recovery(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
+    }
+
     /// Kill one shard (the in-process twin of `POST /admin/shards/<i>/kill`).
     pub fn kill_shard(&self, shard: usize) -> bool {
         self.ctx.pool.kill(shard)
     }
 
+    /// Gracefully drain (the in-process twin of `POST /admin/drain`):
+    /// stop taking new jobs, answer everything queued, fsync the log.
+    /// Blocks until done; idempotent.
+    pub fn drain(&self) {
+        self.ctx.drain();
+    }
+
+    /// Block until a drain — ours or one requested over HTTP — has
+    /// completed. `repro serve` parks here instead of sleeping forever.
+    pub fn wait_drained(&self) {
+        let mut done = self.ctx.drained.lock().expect("drained flag");
+        while !*done {
+            done = self.ctx.drained_cv.wait(done).expect("drained flag");
+        }
+    }
+
     /// Stop accepting, stop the workers, join the acceptor. In-flight
-    /// connection handlers finish on their own (every response carries
-    /// `Connection: close`).
+    /// connection handlers finish on their own; kept-alive connections
+    /// close at their next idle timeout.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::Release);
         // Wake the acceptor out of `accept`.
@@ -178,21 +296,44 @@ impl Server {
     }
 }
 
-fn handle_connection(mut stream: TcpStream, ctx: &Ctx) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+/// Serve one connection until it closes: per HTTP/1.1 keep-alive,
+/// bounded by the idle timeout (reads time out) and the per-connection
+/// request cap. The last response before the cap — and any response to a
+/// `Connection: close` request — says `Connection: close`.
+fn handle_connection(stream: TcpStream, ctx: &Arc<Ctx>) {
+    let idle = Duration::from_millis(ctx.config.idle_timeout_ms.max(1));
+    let _ = stream.set_read_timeout(Some(idle));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
-    let mut reader = std::io::BufReader::new(stream);
-    let (status, body) = match http::read_request(&mut reader) {
-        Ok(req) => route(&req, ctx),
-        Err(http::ReadError::Eof) => return,
-        Err(http::ReadError::Io(_)) => return,
-        Err(http::ReadError::Malformed(detail)) => (400, error_body("bad-request", &detail)),
+    // Nagle holds small responses back behind un-ACKed data on a
+    // kept-alive socket; every response here is one small write.
+    let _ = stream.set_nodelay(true);
+    let Ok(mut write_half) = stream.try_clone() else {
+        return;
     };
-    stream = reader.into_inner();
-    let _ = http::write_response(&mut stream, status, &body);
+    let mut reader = std::io::BufReader::new(stream);
+    let cap = ctx.config.max_requests_per_conn.max(1);
+    for served in 1..=cap {
+        let (status, body, client_keep) = match http::read_request(&mut reader) {
+            Ok(req) => {
+                let keep = req.keep_alive;
+                let (status, body) = route(&req, ctx);
+                (status, body, keep)
+            }
+            Err(http::ReadError::Eof) | Err(http::ReadError::Io(_)) => return,
+            Err(http::ReadError::Malformed(detail)) => {
+                // A malformed request leaves the stream position
+                // unknowable; answer and close.
+                (400, error_body("bad-request", &detail), false)
+            }
+        };
+        let keep = client_keep && served < cap;
+        if http::write_response(&mut write_half, status, &body, keep).is_err() || !keep {
+            return;
+        }
+    }
 }
 
-fn route(req: &http::Request, ctx: &Ctx) -> (u16, String) {
+fn route(req: &http::Request, ctx: &Arc<Ctx>) -> (u16, String) {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/health") => (
             200,
@@ -200,6 +341,26 @@ fn route(req: &http::Request, ctx: &Ctx) -> (u16, String) {
         ),
         ("GET", "/stats") => (200, stats_body(ctx)),
         ("POST", "/jobs") => submit(&req.body, ctx),
+        ("POST", "/admin/drain") => {
+            // Blocks until every queued job is answered and the log is
+            // synced — when the 200 arrives, the log is durable.
+            ctx.drain();
+            (
+                200,
+                JsonValue::Obj(vec![
+                    ("status".into(), JsonValue::str("drained")),
+                    (
+                        "jobs_completed".into(),
+                        JsonValue::uint(ctx.state.jobs_completed.load(Ordering::Relaxed)),
+                    ),
+                    (
+                        "log_healthy".into(),
+                        JsonValue::Bool(ctx.state.log_healthy()),
+                    ),
+                ])
+                .render(),
+            )
+        }
         (method, path) if path.starts_with("/jobs/") => jobs_subresource(method, path, ctx),
         ("POST", path) if path.starts_with("/admin/shards/") && path.ends_with("/kill") => {
             let middle = &path["/admin/shards/".len()..path.len() - "/kill".len()];
@@ -265,6 +426,19 @@ pub fn submit_job(
         return SubmitOutcome::Hit(hit);
     }
 
+    // Read-only mode: an unhealthy log means new work could complete but
+    // never persist; cached and stored jobs still serve above and via
+    // `GET /jobs/<id>`, new submissions shed with a structured 503.
+    if !state.log_healthy() {
+        state.shed_store_unavailable.fetch_add(1, Ordering::Relaxed);
+        let shard = pool.shard_of(spec_hash);
+        return SubmitOutcome::Shed {
+            code: "store-unavailable",
+            detail: "the job log stopped accepting writes; serving stored results only".into(),
+            shard,
+        };
+    }
+
     let id = state.store.next_id();
     let budget = Duration::from_millis(spec.budget_ms.unwrap_or(default_budget_ms));
     let (reply_tx, reply_rx) = channel::channel();
@@ -324,6 +498,13 @@ fn submit(body: &str, ctx: &Ctx) -> (u16, String) {
         Ok(spec) => spec,
         Err(err) => return (400, err.to_json_value().render()),
     };
+    if !ctx.accepting.load(Ordering::Acquire) {
+        let shard = ctx.pool.shard_of(spec.content_hash());
+        return (
+            503,
+            degraded_body("draining", "the server is draining; no new jobs", shard),
+        );
+    }
     if spec.n > ctx.config.max_n {
         return (
             400,
@@ -470,7 +651,17 @@ fn stats_body(ctx: &Ctx) -> String {
             ("misses".into(), JsonValue::uint(c.misses)),
             ("gets".into(), JsonValue::uint(c.gets)),
             ("entries".into(), JsonValue::uint(c.entries as u64)),
+            ("evicted".into(), JsonValue::uint(c.evicted)),
         ])
+    };
+    let log_obj = match &s.log {
+        None => JsonValue::Obj(vec![("attached".into(), JsonValue::Bool(false))]),
+        Some(log) => JsonValue::Obj(vec![
+            ("attached".into(), JsonValue::Bool(true)),
+            ("healthy".into(), JsonValue::Bool(log.healthy())),
+            ("appended".into(), JsonValue::uint(log.appended())),
+            ("bytes".into(), JsonValue::uint(log.len_bytes())),
+        ]),
     };
     JsonValue::Obj(vec![
         ("status".into(), JsonValue::str("ok")),
@@ -485,13 +676,33 @@ fn stats_body(ctx: &Ctx) -> String {
                     "completed".into(),
                     JsonValue::uint(s.jobs_completed.load(Ordering::Relaxed)),
                 ),
-                ("stored".into(), JsonValue::uint(snap.stored as u64)),
+                ("stored".into(), JsonValue::uint(snap.store.stored as u64)),
                 (
                     "batched".into(),
                     JsonValue::uint(s.batched.load(Ordering::Relaxed)),
                 ),
             ]),
         ),
+        (
+            "store".into(),
+            JsonValue::Obj(vec![
+                (
+                    "resident".into(),
+                    JsonValue::uint(snap.store.resident as u64),
+                ),
+                (
+                    "resident_bytes".into(),
+                    JsonValue::uint(snap.store.resident_bytes as u64),
+                ),
+                ("evicted".into(), JsonValue::uint(snap.store.evicted)),
+                (
+                    "evicted_bytes".into(),
+                    JsonValue::uint(snap.store.evicted_bytes),
+                ),
+                ("reloads".into(), JsonValue::uint(snap.store.reloads)),
+            ]),
+        ),
+        ("log".into(), log_obj),
         (
             "cache".into(),
             JsonValue::Obj(vec![
@@ -514,6 +725,10 @@ fn stats_body(ctx: &Ctx) -> String {
                 (
                     "shard_dead".into(),
                     JsonValue::uint(s.shed_shard_dead.load(Ordering::Relaxed)),
+                ),
+                (
+                    "store_unavailable".into(),
+                    JsonValue::uint(s.shed_store_unavailable.load(Ordering::Relaxed)),
                 ),
             ]),
         ),

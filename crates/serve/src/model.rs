@@ -6,7 +6,10 @@
 //! path with specs routed to different shards, and an admin thread that
 //! kills shard 0 at a model-chosen point — is explored exhaustively over
 //! every (DPOR-reduced) interleaving of its lock, channel and condvar
-//! operations. Three serving invariants are checked at every quiescent
+//! operations. The state is built *durable and memory-starved* — an
+//! in-memory [`JobLog`] with a one-job residency cap — so commits
+//! append to the log and evict each other under every explored
+//! schedule. Four serving invariants are checked at every quiescent
 //! state:
 //!
 //! * **answered-once** — every accepted request gets exactly one reply,
@@ -14,7 +17,14 @@
 //! * **no-serve-after-kill** — a submission that began after a shard was
 //!   killed is shed `shard-dead`, never answered as if the shard lived;
 //! * **cache-accounting** — the result cache's `hits + misses == gets`
-//!   with one counted get per client.
+//!   with one counted get per client;
+//! * **eviction-reload** — in runs where the cap forced evictions, every
+//!   `Done` job is still fetchable by id with its identity intact,
+//!   reloaded from the log backend.
+//!
+//! The log's internal lock is a plain `std` mutex (see [`crate::wal`]),
+//! so durability adds **zero** schedule points: the stock tree stays the
+//! same size and stays exhaustible.
 //!
 //! A blocked-forever handler (the `leak-killed-batch` mutation keeps a
 //! killed worker's reply senders alive) surfaces as the engine's own
@@ -22,14 +32,15 @@
 //! [`Witness`]es tagged `"model": "serve-pool"`, the same format `repro
 //! mc-replay` consumes.
 
-use crate::pool::{Pool, PoolMutations, ServerState};
+use crate::pool::{Pool, PoolMutations, ServerState, StateOptions};
+use crate::wal::JobLog;
 use crate::{submit_job, SubmitOutcome};
 use hetchol::job::JobSpec;
 use hetchol_analyze::mc::{
     check_model, replay_model, Invariant, ModelReplay, ModelReport, Violation, Witness,
 };
 use hetchol_analyze::ExploreConfig;
-use hetchol_core::fault::FaultPlan;
+use hetchol_core::fault::{FaultPlan, IoFaultPlan};
 use parking_lot::explore;
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -105,15 +116,29 @@ fn mutations_for(mutation: Option<&str>) -> Result<PoolMutations, String> {
     }
 }
 
+/// The model's durability setup: a fresh in-memory log (no injected
+/// faults — fault schedules are the storm's job, interleavings are
+/// ours) and a one-job residency cap, so any run that commits two jobs
+/// exercises eviction and the answered-once check exercises reload.
+fn model_options() -> StateOptions {
+    StateOptions {
+        log: Some(Arc::new(JobLog::in_memory(&IoFaultPlan::none()))),
+        max_resident_jobs: 1,
+        ..StateOptions::default()
+    }
+}
+
 fn state_for(muts: PoolMutations) -> ServerState {
     #[cfg(feature = "race-mutations")]
     {
-        ServerState::with_mutations(muts)
+        let mut state = ServerState::with_options(model_options());
+        state.mutations = muts;
+        state
     }
     #[cfg(not(feature = "race-mutations"))]
     {
         let _ = muts;
-        ServerState::new()
+        ServerState::with_options(model_options())
     }
 }
 
@@ -191,6 +216,44 @@ fn evaluate(run: &RunArtifacts) -> Option<Violation> {
                 snap.hits, snap.misses, snap.gets, CLIENTS
             ),
         });
+    }
+
+    // eviction-reload: in runs where the one-job cap forced evictions,
+    // every answered job must still be fetchable by id — reloaded from
+    // the log backend — with its identity intact.
+    let store = run.state.store.lock_jobs().snapshot();
+    if store.evicted > 0 {
+        for event in &run.log {
+            let LogEvent::End {
+                client,
+                kind: EndKind::Done(id),
+            } = event
+            else {
+                continue;
+            };
+            match run.state.store.get(*id) {
+                Some(job) if job.id == *id => {}
+                Some(job) => {
+                    return Some(Violation {
+                        invariant: Invariant::EvictionReload,
+                        detail: format!(
+                            "client {client}'s job {id} reloaded as job {} after eviction",
+                            job.id
+                        ),
+                    });
+                }
+                None => {
+                    return Some(Violation {
+                        invariant: Invariant::EvictionReload,
+                        detail: format!(
+                            "client {client}'s job {id} vanished after eviction \
+                             (evicted={}, reloads={})",
+                            store.evicted, store.reloads
+                        ),
+                    });
+                }
+            }
+        }
     }
     None
 }
@@ -321,5 +384,34 @@ mod tests {
     fn unknown_mutation_is_refused() {
         let err = check_pool(ExploreConfig::default(), Some("no-such-bug")).unwrap_err();
         assert!(err.contains("no-such-bug"), "{err}");
+    }
+
+    /// The model's one-job cap is not theater: running the exact system
+    /// state outside the explorer, two committed jobs force an eviction,
+    /// and both still answer by id — the cold one reloaded from the
+    /// in-memory log backend.
+    #[test]
+    fn model_state_evicts_and_reloads_under_its_cap() {
+        let state = Arc::new(state_for(PoolMutations::default()));
+        let pool = Pool::start(N_SHARDS, 1, 1, state.clone());
+        let mut ids = Vec::new();
+        for shard in 0..N_SHARDS {
+            match submit_job(&state, &pool, spec_for_shard(shard), BUDGET_MS) {
+                SubmitOutcome::Done(job) => ids.push(job.id),
+                other => panic!("expected Done, got {:?}", kind_of(&other)),
+            }
+        }
+        pool.shutdown();
+
+        let snap = state.store.lock_jobs().snapshot();
+        assert!(snap.evicted >= 1, "cap of one forces an eviction: {snap:?}");
+        for id in ids {
+            let job = state.store.get(id).expect("evicted job reloads");
+            assert_eq!(job.id, id);
+        }
+        assert!(
+            state.store.lock_jobs().snapshot().reloads >= 1,
+            "at least one fetch came back through the log"
+        );
     }
 }

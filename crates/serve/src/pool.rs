@@ -18,7 +18,8 @@
 //! checker ([`Pool::start_controlled`]) exhaustively.
 
 use crate::cache::{CacheSnapshot, CountedCache};
-use crate::store::{JobStore, StoredJob};
+use crate::store::{JobStore, StoreSnapshot, StoredJob};
+use crate::wal::JobLog;
 use hetchol::job::{JobAction, JobError, JobSpec};
 use hetchol_bounds::BoundSet;
 use hetchol_core::algorithm::Algorithm;
@@ -52,6 +53,24 @@ pub struct PoolMutations {
     pub leak_killed_batch: bool,
 }
 
+/// Durability knobs for [`ServerState::with_options`]: the job log and
+/// the residency caps. The default is the legacy in-RAM server — no log,
+/// everything unbounded.
+#[derive(Clone, Default)]
+pub struct StateOptions {
+    /// The append-only job log; `None` runs in-RAM (nothing persists,
+    /// nothing evicts).
+    pub log: Option<Arc<JobLog>>,
+    /// Max jobs resident in the store (0 = unbounded).
+    pub max_resident_jobs: usize,
+    /// Max approximate bytes resident in the store (0 = unbounded).
+    pub max_resident_bytes: usize,
+    /// Max entries in the result cache (0 = unbounded).
+    pub results_max_entries: usize,
+    /// Max approximate bytes in the result cache (0 = unbounded).
+    pub results_max_bytes: usize,
+}
+
 /// Shared server state: the caches, the job store, and the counters
 /// surfaced by `GET /stats`.
 pub struct ServerState {
@@ -63,6 +82,8 @@ pub struct ServerState {
     pub profiles: CountedCache<(Platform, TimingProfile)>,
     /// Completed jobs by server-assigned id.
     pub store: JobStore,
+    /// The append-only job log commits go through (`None` = in-RAM).
+    pub log: Option<Arc<JobLog>>,
     /// Jobs accepted into a shard queue.
     pub jobs_submitted: AtomicU64,
     /// Jobs a worker finished executing.
@@ -73,6 +94,9 @@ pub struct ServerState {
     pub shed_deadline: AtomicU64,
     /// Submissions shed because the target shard was dead.
     pub shed_shard_dead: AtomicU64,
+    /// Submissions shed because the job log went unhealthy (read-only
+    /// mode: GETs still serve, POSTs answer *store-unavailable*).
+    pub shed_store_unavailable: AtomicU64,
     /// Jobs that were executed as part of a multi-job batch.
     pub batched: AtomicU64,
     /// Which seeded bugs are active (all off outside `repro race`).
@@ -90,8 +114,8 @@ pub struct ServerState {
 /// can tear it.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct StatsSnapshot {
-    /// Jobs in the id-indexed store.
-    pub stored: usize,
+    /// Job-store accounting (stored, resident, evictions, reloads).
+    pub store: StoreSnapshot,
     /// Result-cache accounting.
     pub results: CacheSnapshot,
     /// Bounds-cache accounting.
@@ -100,24 +124,52 @@ pub struct StatsSnapshot {
     pub profiles: CacheSnapshot,
 }
 
+fn job_weight(job: &StoredJob) -> usize {
+    job.approx_bytes()
+}
+
 impl ServerState {
-    /// Fresh state with zeroed counters.
+    /// Fresh in-RAM state with zeroed counters (no log, no caps).
     pub fn new() -> ServerState {
+        ServerState::with_options(StateOptions::default())
+    }
+
+    /// Fresh state with the given durability options. When a log is
+    /// present it is attached to the store, so evicted jobs reload from
+    /// it transparently.
+    pub fn with_options(opts: StateOptions) -> ServerState {
+        let store = JobStore::with_caps(opts.max_resident_jobs, opts.max_resident_bytes);
+        if let Some(log) = &opts.log {
+            store.attach_log(log.clone());
+        }
         ServerState {
-            results: CountedCache::named("serve.cache.results"),
+            results: CountedCache::with_caps(
+                "serve.cache.results",
+                opts.results_max_entries,
+                opts.results_max_bytes,
+                job_weight,
+            ),
             bounds: CountedCache::named("serve.cache.bounds"),
             profiles: CountedCache::named("serve.cache.profiles"),
-            store: JobStore::new(),
+            store,
+            log: opts.log,
             jobs_submitted: AtomicU64::new(0),
             jobs_completed: AtomicU64::new(0),
             shed_queue_full: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             shed_shard_dead: AtomicU64::new(0),
+            shed_store_unavailable: AtomicU64::new(0),
             batched: AtomicU64::new(0),
             mutations: PoolMutations::default(),
             #[cfg(feature = "race-mutations")]
             leaked: std::sync::Mutex::new(Vec::new()),
         }
+    }
+
+    /// Whether the job log can still accept appends. `true` with no log
+    /// attached — an in-RAM server is never read-only.
+    pub fn log_healthy(&self) -> bool {
+        self.log.as_ref().is_none_or(|log| log.healthy())
     }
 
     /// Fresh state with the given seeded bugs armed.
@@ -151,10 +203,18 @@ impl ServerState {
         pair
     }
 
-    /// Commit a finished job: into the store, then into the result cache
-    /// while the store lock is still held, so a [`Self::consistent_stats`]
-    /// reader never counts a job in one map but not the other. The lock
-    /// order is store → results, everywhere.
+    /// Commit a finished job: durably append it to the log (when one is
+    /// attached and healthy), then into the store, then into the result
+    /// cache while the store lock is still held, so a
+    /// [`Self::consistent_stats`] reader never counts a job in one map
+    /// but not the other. The shim-lock order is store → results,
+    /// everywhere; the log append happens *before* the store lock and
+    /// the log's own lock is `std`, so no cycle is possible.
+    ///
+    /// A failed append flips the log unhealthy (sticky, inside
+    /// [`JobLog`]); the job is still committed in RAM and answered — it
+    /// just is not durable, and every *subsequent* submission is shed
+    /// *store-unavailable* by the handler.
     pub fn commit_job(&self, spec_hash: u64, job: Arc<StoredJob>) {
         #[cfg(feature = "race-mutations")]
         {
@@ -173,7 +233,11 @@ impl ServerState {
                 return;
             }
         }
-        let pinned = self.store.insert_locked(job.clone());
+        let appended = self
+            .log
+            .as_ref()
+            .and_then(|log| log.append(&job.wal_record()).ok());
+        let pinned = self.store.insert_locked(job.clone(), appended.as_ref());
         self.results.insert(spec_hash, job);
         drop(pinned);
     }
@@ -185,7 +249,7 @@ impl ServerState {
     pub fn consistent_stats(&self) -> StatsSnapshot {
         let jobs = self.store.lock_jobs();
         let snap = StatsSnapshot {
-            stored: jobs.len(),
+            store: jobs.snapshot(),
             results: self.results.snapshot(),
             bounds: self.bounds.snapshot(),
             profiles: self.profiles.snapshot(),
@@ -383,6 +447,28 @@ impl Pool {
         true
     }
 
+    /// Gracefully drain the pool: every job already queued is processed
+    /// and answered, then the workers exit and are joined. The caller
+    /// must stop submitting first (the server flips its accepting flag);
+    /// the `Stop` message rides the same FIFO queue as the jobs, so a
+    /// worker sees it only after everything queued ahead of it. Blocks
+    /// until every worker has exited.
+    pub fn drain(&self) {
+        for shard in &self.shards {
+            // Blocking send: a full queue waits for the worker to drain
+            // it rather than skipping the stop (contrast `kill`, which
+            // uses try_send because its workers stop mid-queue anyway).
+            let _ = shard.tx.send(ShardMsg::Stop);
+        }
+        let handles = std::mem::take(&mut *self.handles.lock());
+        for handle in handles {
+            let _ = handle.join();
+        }
+        for shard in &self.shards {
+            shard.alive.store(false, Ordering::Release);
+        }
+    }
+
     /// Stop every worker and join them.
     pub fn shutdown(&self) {
         for shard in &self.shards {
@@ -530,12 +616,7 @@ fn process_batch(state: &ServerState, batch: Vec<JobRequest>) {
         };
         match req.spec.run_with_bounds(precomputed) {
             Ok(run) => {
-                let job = Arc::new(StoredJob {
-                    id: req.id,
-                    spec: req.spec,
-                    outcome: run.outcome,
-                    sim: run.sim,
-                });
+                let job = Arc::new(StoredJob::fresh(req.id, req.spec, run.outcome, run.sim));
                 state.commit_job(spec_hash, job.clone());
                 state.jobs_completed.fetch_add(1, Ordering::Relaxed);
                 let _ = req.reply.send(ShardReply::Done(job));

@@ -1,28 +1,43 @@
-//! Per-job result storage.
+//! Per-job result storage with bounded residency and log rehydration.
 //!
-//! Every completed job is kept (spec + summary + full simulation result)
-//! so clients can come back for the heavyweight artifacts — the Chrome
+//! Every completed job is kept (spec + summary + rendered trace) so
+//! clients can come back for the heavyweight artifacts — the Chrome
 //! trace (`GET /jobs/<id>/trace`) and an after-the-fact lint
 //! (`GET /jobs/<id>/lint`) — without re-running anything.
 //!
-//! The job map lives behind the instrumented `parking_lot` shim so the
-//! happens-before recorder sees every insert and lookup; the labelled
-//! touchpoints make a dropped-lock mutation show up as a reported data
-//! race rather than silent corruption.
+//! A store built with [`JobStore::with_caps`] and an attached
+//! [`JobLog`] bounds resident memory: jobs past the caps are evicted
+//! least-recently-used down to their log offset, and a later `GET`
+//! transparently reloads the record from disk ([`StoredJob::rehydrated`])
+//! — the trace comes back bitwise-identical because the *rendered*
+//! document is what the log stores. Jobs that were never persisted (no
+//! log attached, or the log went unhealthy mid-commit) are pinned
+//! resident: eviction only ever trades RAM for a disk read, never for
+//! an answer.
+//!
+//! The slot map lives behind the instrumented `parking_lot` shim so the
+//! happens-before recorder sees every insert, lookup, eviction and
+//! reload; the labelled touchpoints make a dropped-lock mutation show up
+//! as a reported data race rather than silent corruption. Rehydration
+//! reads the log *while holding the store lock* — the log's own internal
+//! lock is a plain `std` mutex (see [`crate::wal`]), so the only shim
+//! lock order is still store → caches, and the DPOR model tree gains no
+//! schedule points.
 
+use crate::wal::{Appended, JobLog, ScannedRecord, WalRecord};
 use hetchol::job::{JobError, JobOutcome, JobSpec};
 use hetchol_analyze::Report;
 use hetchol_sim::SimResult;
 use parking_lot::{explore, Mutex, MutexGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// The label the store's lock and touchpoints carry in analysis reports.
 pub const STORE_LOCK_LABEL: &str = "serve.store.jobs";
 
-/// A finished job: the spec that produced it, the wire summary, and the
-/// full simulation result when one was run.
+/// A finished job: the spec that produced it, the wire summary, the
+/// rendered trace, and the full simulation result when one was run.
 pub struct StoredJob {
     /// Server-assigned id (the `/jobs/<id>` path segment).
     pub id: u64,
@@ -30,66 +45,275 @@ pub struct StoredJob {
     pub spec: JobSpec,
     /// The serializable result summary.
     pub outcome: JobOutcome,
-    /// The full engine result (simulate/lint actions only).
+    /// The full engine result (simulate/lint actions only); `None` on
+    /// jobs rehydrated from the log, whose trace is already rendered.
     pub sim: Option<SimResult>,
+    trace_text: Option<String>,
 }
 
 impl StoredJob {
-    /// Render the recorded observability spans as a Chrome `about:tracing`
-    /// document. `None` when the job ran without `obs` or never simulated.
-    pub fn chrome_trace(&self) -> Option<String> {
-        if !self.spec.obs {
-            return None;
+    /// A job finished by a live worker. The Chrome trace is rendered
+    /// here, once, so serving it later is a clone and persisting it now
+    /// writes the exact bytes a restarted server will re-serve.
+    pub fn fresh(id: u64, spec: JobSpec, outcome: JobOutcome, sim: Option<SimResult>) -> StoredJob {
+        let trace_text = if spec.obs {
+            sim.as_ref().map(|r| r.obs.to_chrome_trace())
+        } else {
+            None
+        };
+        StoredJob {
+            id,
+            spec,
+            outcome,
+            sim,
+            trace_text,
         }
-        self.sim.as_ref().map(|r| r.obs.to_chrome_trace())
+    }
+
+    /// A job reloaded from its log record: the trace is served verbatim
+    /// from the record, and there is no `SimResult` to lint.
+    pub fn rehydrated(record: WalRecord) -> StoredJob {
+        StoredJob {
+            id: record.id,
+            spec: record.spec,
+            outcome: record.outcome,
+            sim: None,
+            trace_text: record.trace,
+        }
+    }
+
+    /// The Chrome `about:tracing` document. `None` when the job ran
+    /// without `obs` or never simulated.
+    pub fn chrome_trace(&self) -> Option<String> {
+        self.trace_text.clone()
     }
 
     /// Lint the stored trace on demand with the exact configuration the
-    /// `lint` action would have used.
+    /// `lint` action would have used. `None` when the job never simulated
+    /// — including jobs rehydrated from the log, which keep their trace
+    /// but not the in-memory simulation state a lint needs.
     pub fn lint(&self) -> Option<Result<Report, JobError>> {
         self.sim.as_ref().map(|r| self.spec.lint_sim(r))
     }
+
+    /// The job's durable form for the log.
+    pub fn wal_record(&self) -> WalRecord {
+        WalRecord {
+            id: self.id,
+            spec: self.spec.clone(),
+            outcome: self.outcome.clone(),
+            trace: self.trace_text.clone(),
+        }
+    }
+
+    /// Approximate resident bytes, for cache byte caps. The rendered
+    /// trace dominates; the constant covers the spec and outcome.
+    pub fn approx_bytes(&self) -> usize {
+        256 + self.trace_text.as_ref().map_or(0, String::len)
+    }
+}
+
+/// One job's slot: resident (`job` is `Some`), or evicted down to its
+/// log offset, ready to reload.
+struct Slot {
+    job: Option<Arc<StoredJob>>,
+    offset: Option<u64>,
+    bytes: usize,
+    last_used: u64,
+}
+
+struct Jobs {
+    slots: HashMap<u64, Slot>,
+    resident: usize,
+    resident_bytes: usize,
+    clock: u64,
+    evicted: u64,
+    evicted_bytes: u64,
+    reloads: u64,
+}
+
+impl Jobs {
+    fn tick(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn insert_slot(&mut self, job: Arc<StoredJob>, persisted: Option<&Appended>) {
+        let stamp = self.tick();
+        let bytes = persisted.map_or(0, |a| a.frame_bytes);
+        let old = self.slots.insert(
+            job.id,
+            Slot {
+                job: Some(job),
+                offset: persisted.map(|a| a.offset),
+                bytes,
+                last_used: stamp,
+            },
+        );
+        if let Some(old) = old {
+            if old.job.is_some() {
+                self.resident -= 1;
+                self.resident_bytes -= old.bytes;
+            }
+        }
+        self.resident += 1;
+        self.resident_bytes += bytes;
+    }
+
+    /// Evict resident, *persisted* slots least-recently-used first until
+    /// under both caps (0 = unbounded). Unpersisted jobs are pinned —
+    /// they exist nowhere else — and at least one resident job always
+    /// survives, so a single oversized trace cannot thrash the store
+    /// empty.
+    fn evict_over(&mut self, max_resident: usize, max_bytes: usize) {
+        while self.resident > 1
+            && ((max_resident > 0 && self.resident > max_resident)
+                || (max_bytes > 0 && self.resident_bytes > max_bytes))
+        {
+            let victim = self
+                .slots
+                .iter()
+                .filter(|(_, s)| s.job.is_some() && s.offset.is_some())
+                .min_by_key(|(_, s)| s.last_used)
+                .map(|(&id, _)| id);
+            let Some(id) = victim else {
+                break; // Everything left is pinned.
+            };
+            let slot = self.slots.get_mut(&id).expect("victim exists");
+            slot.job = None;
+            self.resident -= 1;
+            self.resident_bytes -= slot.bytes;
+            self.evicted += 1;
+            self.evicted_bytes += slot.bytes as u64;
+        }
+    }
+}
+
+/// One coherent read of the store's accounting.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StoreSnapshot {
+    /// Jobs the store knows (resident or evicted-to-log).
+    pub stored: usize,
+    /// Jobs currently resident in memory.
+    pub resident: usize,
+    /// Approximate bytes of resident persisted jobs.
+    pub resident_bytes: usize,
+    /// Evictions over the store's lifetime.
+    pub evicted: u64,
+    /// Approximate bytes those evictions released.
+    pub evicted_bytes: u64,
+    /// Evicted jobs reloaded from the log on demand.
+    pub reloads: u64,
 }
 
 /// The id-indexed store behind `GET /jobs/<id>`.
 pub struct JobStore {
-    jobs: Mutex<HashMap<u64, Arc<StoredJob>>>,
+    jobs: Mutex<Jobs>,
     next_id: AtomicU64,
+    max_resident: usize,
+    max_resident_bytes: usize,
+    log: OnceLock<Arc<JobLog>>,
 }
 
 /// Holds the store's lock after an insert so the commit path can update
 /// the result cache while the store is still pinned — a reader holding
 /// the store lock then never observes a job in one map but not the other.
 pub struct StoreGuard<'a> {
-    _guard: MutexGuard<'a, HashMap<u64, Arc<StoredJob>>>,
+    _guard: MutexGuard<'a, Jobs>,
 }
 
-/// The store's lock held for a multi-map read (`/stats`).
+/// The store's lock held for a multi-field read (`/stats`).
 pub struct JobsGuard<'a> {
-    guard: MutexGuard<'a, HashMap<u64, Arc<StoredJob>>>,
+    guard: MutexGuard<'a, Jobs>,
 }
 
 impl JobsGuard<'_> {
-    /// Number of stored jobs, under the held lock.
+    /// Number of stored jobs (resident or evicted), under the held lock.
     pub fn len(&self) -> usize {
-        self.guard.len()
+        self.guard.slots.len()
     }
 
     /// Whether the store is empty, under the held lock.
     pub fn is_empty(&self) -> bool {
-        self.guard.is_empty()
+        self.guard.slots.is_empty()
+    }
+
+    /// One coherent accounting snapshot, under the held lock.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        StoreSnapshot {
+            stored: self.guard.slots.len(),
+            resident: self.guard.resident,
+            resident_bytes: self.guard.resident_bytes,
+            evicted: self.guard.evicted,
+            evicted_bytes: self.guard.evicted_bytes,
+            reloads: self.guard.reloads,
+        }
     }
 }
 
 impl JobStore {
-    /// An empty store; ids start at 1.
+    /// An empty, unbounded store with no log; ids start at 1.
     pub fn new() -> JobStore {
+        JobStore::with_caps(0, 0)
+    }
+
+    /// An empty store keeping at most `max_resident` jobs /
+    /// `max_resident_bytes` approximate bytes resident (0 = unbounded).
+    /// The caps only bite once a log is attached — without one, nothing
+    /// is evictable and every job stays pinned.
+    pub fn with_caps(max_resident: usize, max_resident_bytes: usize) -> JobStore {
         let store = JobStore {
-            jobs: Mutex::new(HashMap::new()),
+            jobs: Mutex::new(Jobs {
+                slots: HashMap::new(),
+                resident: 0,
+                resident_bytes: 0,
+                clock: 0,
+                evicted: 0,
+                evicted_bytes: 0,
+                reloads: 0,
+            }),
             next_id: AtomicU64::new(1),
+            max_resident,
+            max_resident_bytes,
+            log: OnceLock::new(),
         };
         explore::label(&store.jobs, STORE_LOCK_LABEL);
         store
+    }
+
+    /// Attach the job log evicted slots reload from. Set once, at
+    /// startup, before the pool runs.
+    pub fn attach_log(&self, log: Arc<JobLog>) {
+        assert!(self.log.set(log).is_ok(), "job log attached twice");
+    }
+
+    /// The attached log, if any.
+    pub fn log(&self) -> Option<&Arc<JobLog>> {
+        self.log.get()
+    }
+
+    /// Seed the store from recovered log records: every job enters
+    /// *evicted* (offset-indexed, zero resident bytes) so a restarted
+    /// server's memory stays bounded no matter how long the log is, and
+    /// `next_id` moves past the highest recovered id.
+    pub fn recover(&self, records: &[ScannedRecord]) {
+        let mut jobs = self.jobs.lock();
+        explore::touch(STORE_LOCK_LABEL, true);
+        let mut max_id = 0;
+        for rec in records {
+            max_id = max_id.max(rec.record.id);
+            jobs.slots.insert(
+                rec.record.id,
+                Slot {
+                    job: None,
+                    offset: Some(rec.offset),
+                    bytes: rec.frame_bytes,
+                    last_used: 0,
+                },
+            );
+        }
+        drop(jobs);
+        self.next_id.fetch_max(max_id + 1, Ordering::Relaxed);
     }
 
     /// Re-emit the lock label at the store's current address (labels are
@@ -103,20 +327,29 @@ impl JobStore {
         self.next_id.fetch_add(1, Ordering::Relaxed)
     }
 
-    /// Store a finished job under its id.
+    /// Store a finished job under its id, unpersisted (pinned resident).
     pub fn insert(&self, job: Arc<StoredJob>) {
         let mut jobs = self.jobs.lock();
         explore::touch(STORE_LOCK_LABEL, true);
-        jobs.insert(job.id, job);
+        jobs.insert_slot(job, None);
+        jobs.evict_over(self.max_resident, self.max_resident_bytes);
     }
 
-    /// Store a finished job and keep holding the store lock; the returned
+    /// Store a finished job — with its log receipt when the commit was
+    /// durably appended — and keep holding the store lock; the returned
     /// guard releases it. This is the first half of the commit path
-    /// (store, then result cache, nested).
-    pub fn insert_locked(&self, job: Arc<StoredJob>) -> StoreGuard<'_> {
+    /// (store, then result cache, nested). Eviction runs in the same
+    /// critical section, so a concurrent reader never sees the store
+    /// over its caps.
+    pub fn insert_locked(
+        &self,
+        job: Arc<StoredJob>,
+        persisted: Option<&Appended>,
+    ) -> StoreGuard<'_> {
         let mut jobs = self.jobs.lock();
         explore::touch(STORE_LOCK_LABEL, true);
-        jobs.insert(job.id, job);
+        jobs.insert_slot(job, persisted);
+        jobs.evict_over(self.max_resident, self.max_resident_bytes);
         StoreGuard { _guard: jobs }
     }
 
@@ -128,7 +361,7 @@ impl JobStore {
     pub fn insert_unsynced(&self, job: Arc<StoredJob>) {
         {
             let mut jobs = self.jobs.lock();
-            jobs.insert(job.id, job);
+            jobs.insert_slot(job, None);
         }
         explore::touch(STORE_LOCK_LABEL, true);
     }
@@ -140,14 +373,44 @@ impl JobStore {
         JobsGuard { guard }
     }
 
-    /// Fetch a job by id.
+    /// Fetch a job by id. An evicted job is reloaded from the log record
+    /// at its slot's offset — transparently, counted in
+    /// [`StoreSnapshot::reloads`] — and becomes resident again (possibly
+    /// evicting a colder persisted job in its place). The log read
+    /// happens under the store lock; the log's own lock is `std`, so no
+    /// shim-lock cycle is possible.
     pub fn get(&self, id: u64) -> Option<Arc<StoredJob>> {
-        let jobs = self.jobs.lock();
+        let mut jobs = self.jobs.lock();
         explore::touch(STORE_LOCK_LABEL, false);
-        jobs.get(&id).cloned()
+        let (resident, offset) = {
+            let slot = jobs.slots.get_mut(&id)?;
+            (slot.job.clone(), slot.offset)
+        };
+        if let Some(job) = resident {
+            let stamp = jobs.tick();
+            jobs.slots.get_mut(&id).expect("slot exists").last_used = stamp;
+            return Some(job);
+        }
+        let offset = offset?;
+        let record = self.log.get()?.read(offset).ok()?;
+        if record.id != id {
+            return None; // A log rewritten underneath us; refuse to lie.
+        }
+        explore::touch(STORE_LOCK_LABEL, true);
+        let job = Arc::new(StoredJob::rehydrated(record));
+        let stamp = jobs.tick();
+        let slot = jobs.slots.get_mut(&id).expect("slot exists");
+        slot.job = Some(job.clone());
+        slot.last_used = stamp;
+        let bytes = slot.bytes;
+        jobs.resident += 1;
+        jobs.resident_bytes += bytes;
+        jobs.reloads += 1;
+        jobs.evict_over(self.max_resident, self.max_resident_bytes);
+        Some(job)
     }
 
-    /// Number of stored jobs.
+    /// Number of stored jobs (resident or evicted).
     pub fn len(&self) -> usize {
         self.lock_jobs().len()
     }
@@ -161,5 +424,79 @@ impl JobStore {
 impl Default for JobStore {
     fn default() -> JobStore {
         JobStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetchol_core::fault::IoFaultPlan;
+
+    fn job(id: u64, seed: u64) -> Arc<StoredJob> {
+        let mut spec = JobSpec::new("cholesky", 2).expect("cholesky is a known workload");
+        spec.seed = seed;
+        spec.obs = true;
+        let run = spec
+            .run_with_bounds(None)
+            .expect("a stock cholesky(2) simulation cannot fail");
+        Arc::new(StoredJob::fresh(id, spec, run.outcome, run.sim))
+    }
+
+    #[test]
+    fn evicted_jobs_reload_from_the_log_bitwise_identical() {
+        let log = Arc::new(JobLog::in_memory(&IoFaultPlan::none()));
+        let store = JobStore::with_caps(1, 0);
+        store.attach_log(log.clone());
+
+        let first = job(1, 0);
+        let first_trace = first.chrome_trace().expect("obs job has a trace");
+        let a1 = log.append(&first.wal_record()).expect("append 1");
+        drop(store.insert_locked(first, Some(&a1)));
+
+        let second = job(2, 1);
+        let a2 = log.append(&second.wal_record()).expect("append 2");
+        drop(store.insert_locked(second, Some(&a2)));
+
+        // Cap of one: the first job was evicted down to its offset...
+        let snap = store.lock_jobs().snapshot();
+        assert_eq!((snap.stored, snap.resident, snap.evicted), (2, 1, 1));
+
+        // ...and a GET reloads it with the exact trace bytes, evicting
+        // the now-colder second job in its place.
+        let back = store.get(1).expect("evicted job reloads");
+        assert_eq!(back.chrome_trace().as_deref(), Some(first_trace.as_str()));
+        assert!(back.sim.is_none(), "rehydrated jobs carry no SimResult");
+        let snap = store.lock_jobs().snapshot();
+        assert_eq!((snap.resident, snap.evicted, snap.reloads), (1, 2, 1));
+    }
+
+    #[test]
+    fn unpersisted_jobs_are_pinned_resident() {
+        let store = JobStore::with_caps(1, 0);
+        for id in 1..=3 {
+            store.insert(job(id, id));
+        }
+        let snap = store.lock_jobs().snapshot();
+        assert_eq!((snap.stored, snap.resident, snap.evicted), (3, 3, 0));
+        assert!(store.get(1).is_some() && store.get(3).is_some());
+    }
+
+    #[test]
+    fn recovery_seeds_evicted_slots_and_advances_next_id() {
+        let log = Arc::new(JobLog::in_memory(&IoFaultPlan::none()));
+        let a = job(7, 3);
+        let trace = a.chrome_trace().expect("obs trace");
+        log.append(&a.wal_record()).expect("append");
+        let (records, report) = crate::wal::scan(&log.read(0).expect("readable").frame());
+        assert!(report.is_clean());
+
+        let store = JobStore::new();
+        store.attach_log(log);
+        store.recover(&records);
+        assert_eq!(store.next_id(), 8, "next id moves past recovered ids");
+        let snap = store.lock_jobs().snapshot();
+        assert_eq!((snap.stored, snap.resident), (1, 0));
+        let back = store.get(7).expect("recovered job loads on demand");
+        assert_eq!(back.chrome_trace().as_deref(), Some(trace.as_str()));
     }
 }

@@ -1,7 +1,9 @@
 //! Loopback-socket integration tests: a real server on an ephemeral
 //! port, driven through the blocking client — results bitwise-matched
 //! against direct in-process [`Run`] calls, golden error bodies pinned
-//! verbatim, and cache-hit accounting exercised under real concurrency.
+//! verbatim, cache-hit accounting exercised under real concurrency, and
+//! the durability surface (crash restart, keep-alive, drain, eviction)
+//! driven end to end.
 
 use hetchol::core::platform::Platform;
 use hetchol::job::JobSpec;
@@ -306,4 +308,188 @@ fn per_request_budget_sheds_as_deadline_degradation() {
         assert_eq!(status, 200);
     }
     server.shutdown();
+}
+
+/// A unique scratch directory for a log-backed server.
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after the epoch")
+        .as_nanos();
+    let dir = std::env::temp_dir().join(format!(
+        "hetchol-loopback-{tag}-{}-{nanos}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn restart_reserves_committed_traces_bitwise_identical() {
+    let dir = scratch("restart");
+    let log = dir.join("jobs.jlog");
+    let spec = r#"{"workload":"cholesky","n":6,"obs":true,"seed":9}"#;
+
+    let server = start(ServeConfig {
+        shards: 2,
+        log_path: Some(log.clone()),
+        ..ServeConfig::default()
+    });
+    let (status, body) = client::post_job(server.addr(), spec).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let id = parse_json(&body)
+        .unwrap()
+        .field("job_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let (status, trace) = client::get(server.addr(), &format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(status, 200);
+    let (_, summary) = client::get(server.addr(), &format!("/jobs/{id}")).unwrap();
+    server.shutdown();
+
+    // Same log, new process-equivalent: the job and its trace survive.
+    let server = start(ServeConfig {
+        shards: 2,
+        log_path: Some(log),
+        ..ServeConfig::default()
+    });
+    let report = server
+        .recovery()
+        .expect("log-backed servers report recovery");
+    assert!(report.is_clean(), "{report:?}");
+    assert_eq!(report.recovered, 1, "{report:?}");
+    let (status, replayed) = client::get(server.addr(), &format!("/jobs/{id}/trace")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(
+        replayed, trace,
+        "a restarted server re-serves the trace bitwise-identical"
+    );
+    let (status, resummary) = client::get(server.addr(), &format!("/jobs/{id}")).unwrap();
+    assert_eq!(status, 200, "{resummary}");
+    assert_eq!(resummary, summary, "the job summary survives too");
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn keep_alive_reuses_one_connection_across_requests() {
+    let server = default_server();
+    let mut conn = client::Conn::new(server.addr());
+    for _ in 0..5 {
+        let (status, body) = conn.request("GET", "/health", "").unwrap();
+        assert_eq!(status, 200, "{body}");
+    }
+    assert_eq!(conn.reused(), 4, "four of five exchanges reuse the socket");
+    server.shutdown();
+}
+
+#[test]
+fn request_cap_closes_the_connection_and_the_client_reconnects() {
+    let server = start(ServeConfig {
+        shards: 1,
+        max_requests_per_conn: 2,
+        ..ServeConfig::default()
+    });
+    let mut conn = client::Conn::new(server.addr());
+    for _ in 0..4 {
+        let (status, _) = conn.request("GET", "/health", "").unwrap();
+        assert_eq!(status, 200);
+    }
+    // Per pair: one fresh exchange, one reused, then the server's cap
+    // answers `Connection: close` and the client reconnects.
+    assert_eq!(conn.reused(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn drain_finishes_commits_then_sheds_draining() {
+    let dir = scratch("drain");
+    let log = dir.join("jobs.jlog");
+    let server = start(ServeConfig {
+        shards: 2,
+        log_path: Some(log.clone()),
+        ..ServeConfig::default()
+    });
+    let (status, body) =
+        client::post_job(server.addr(), r#"{"workload":"cholesky","n":4,"seed":3}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+
+    let (status, body) = client::request(server.addr(), "POST", "/admin/drain", "").unwrap();
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""status":"drained""#), "{body}");
+
+    // Post-drain submissions shed a structured 503, never a dropped
+    // connection; reads still work.
+    let (status, body) =
+        client::post_job(server.addr(), r#"{"workload":"cholesky","n":5,"seed":3}"#).unwrap();
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains(r#""code":"draining""#), "{body}");
+    let (status, _) = client::get(server.addr(), "/stats").unwrap();
+    assert_eq!(status, 200);
+
+    server.wait_drained(); // already drained: returns immediately
+    server.shutdown();
+
+    // The drain's final fsync left the commit durable and the log clean.
+    let bytes = std::fs::read(&log).unwrap();
+    let (records, report) = hetchol_serve::wal::scan(&bytes);
+    assert_eq!(records.len(), 1, "{report:?}");
+    assert!(report.is_clean(), "{report:?}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn eviction_under_memory_pressure_reloads_from_the_log() {
+    let dir = scratch("evict");
+    let log = dir.join("jobs.jlog");
+    let server = start(ServeConfig {
+        shards: 1,
+        log_path: Some(log),
+        max_resident_jobs: 1,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr();
+
+    let (status, body) =
+        client::post_job(addr, r#"{"workload":"cholesky","n":4,"obs":true,"seed":1}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let id1 = parse_json(&body)
+        .unwrap()
+        .field("job_id")
+        .unwrap()
+        .as_u64()
+        .unwrap();
+    let (_, trace1) = client::get(addr, &format!("/jobs/{id1}/trace")).unwrap();
+
+    // A second commit over the 1-job residency cap evicts the first.
+    let (status, body) =
+        client::post_job(addr, r#"{"workload":"cholesky","n":4,"obs":true,"seed":2}"#).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let (_, stats) = client::get(addr, "/stats").unwrap();
+    let v = parse_json(&stats).unwrap();
+    let store = v.field("store").unwrap();
+    assert!(
+        store.field("evicted").unwrap().as_u64().unwrap() >= 1,
+        "{stats}"
+    );
+
+    // The evicted job transparently reloads from the log, bit for bit.
+    let (status, reloaded) = client::get(addr, &format!("/jobs/{id1}/trace")).unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(reloaded, trace1);
+    let (_, stats) = client::get(addr, "/stats").unwrap();
+    let v = parse_json(&stats).unwrap();
+    assert!(
+        v.field("store")
+            .unwrap()
+            .field("reloads")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            >= 1,
+        "{stats}"
+    );
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
 }
